@@ -1,0 +1,584 @@
+//! Bitonic counting networks — the structures behind §1.2.
+//!
+//! The paper's contention model descends from the counting-network
+//! literature it cites (Aiello–Venkatesan–Yung, Busch–Mavronicolas):
+//! "much of the subsequent work using formal contention models has dealt
+//! with amortized contention of counting networks". This module builds
+//! the classic bitonic counting network `Bitonic[w]`
+//! (Aspnes–Herlihy–Shavit) on the PRAM simulator so that the claim that
+//! motivates the whole §3 exercise — *spreading accesses over many cells
+//! beats hammering one* — can be measured on the same machine as the
+//! sort (experiment E21).
+//!
+//! A *balancer* is a toggle cell: tokens entering it leave alternately on
+//! its first and second output wire. A *counting network* is a wiring of
+//! balancers with the **step property**: after any set of tokens has
+//! passed through, the per-output-wire counts `c_0 >= c_1 >= ... >=
+//! c_{w-1}` differ by at most one — so output wire order + a per-wire
+//! local counter yields a shared counter whose hot cell is split `w`
+//! ways.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pram::{
+    failure::FailurePlan, Machine, MachineError, MemoryLayout, Op, OpResult, Process, Region,
+    RunReport, Scheduler, Word,
+};
+
+/// One balancer: its two output wires, first-output first.
+type Balancer = (usize, usize);
+
+/// A column: a perfect matching of the `w` wires into balancers.
+type Column = Vec<Balancer>;
+
+/// The bitonic counting network `Bitonic[w]`.
+#[derive(Clone, Debug)]
+pub struct CountingNetwork {
+    width: usize,
+    columns: Vec<Column>,
+    /// `output_order[j]` = the physical wire that is the network's `j`-th
+    /// logical output (the recursion permutes outputs).
+    output_order: Vec<usize>,
+}
+
+impl CountingNetwork {
+    /// Builds `Bitonic[width]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not a power of two or is < 2.
+    pub fn new(width: usize) -> Self {
+        assert!(
+            width.is_power_of_two() && width >= 2,
+            "counting networks need power-of-two width >= 2"
+        );
+        let wires: Vec<usize> = (0..width).collect();
+        let (columns, output_order) = bitonic(&wires);
+        CountingNetwork {
+            width,
+            columns,
+            output_order,
+        }
+    }
+
+    /// Network width (wires).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of balancer columns — `O(log^2 w)`.
+    pub fn depth(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Total balancers.
+    pub fn size(&self) -> usize {
+        self.columns.iter().map(Vec::len).sum()
+    }
+
+    /// The columns (each a perfect matching, first-output first).
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// The logical output order over physical wires.
+    pub fn output_order(&self) -> &[usize] {
+        &self.output_order
+    }
+
+    /// Routes one token sequentially given mutable balancer states
+    /// (toggle bits indexed `[column][balancer]`); returns the logical
+    /// output index. Used by tests as the specification executable.
+    pub fn route_sequential(&self, enter_wire: usize, states: &mut [Vec<bool>]) -> usize {
+        let mut wire = enter_wire;
+        for (c, column) in self.columns.iter().enumerate() {
+            let (b, &(first, second)) = column
+                .iter()
+                .enumerate()
+                .find(|(_, &(a, b))| a == wire || b == wire)
+                .expect("every column is a perfect matching");
+            let toggle = &mut states[c][b];
+            wire = if !*toggle { first } else { second };
+            *toggle = !*toggle;
+        }
+        self.output_order
+            .iter()
+            .position(|&w| w == wire)
+            .expect("wire is an output")
+    }
+}
+
+/// Recursive bitonic construction over a wire list; returns (columns,
+/// output order).
+fn bitonic(wires: &[usize]) -> (Vec<Column>, Vec<usize>) {
+    if wires.len() == 1 {
+        return (Vec::new(), wires.to_vec());
+    }
+    let half = wires.len() / 2;
+    let (cols_a, out_a) = bitonic(&wires[..half]);
+    let (cols_b, out_b) = bitonic(&wires[half..]);
+    let mut columns = zip_columns(cols_a, cols_b);
+    let (cols_m, out) = merger(&out_a, &out_b);
+    columns.extend(cols_m);
+    (columns, out)
+}
+
+/// The AHS merger `Merger[2k]` over two length-k sorted-output wire
+/// lists.
+fn merger(a: &[usize], b: &[usize]) -> (Vec<Column>, Vec<usize>) {
+    if a.len() == 1 {
+        return (vec![vec![(a[0], b[0])]], vec![a[0], b[0]]);
+    }
+    let a_even: Vec<usize> = a.iter().copied().step_by(2).collect();
+    let a_odd: Vec<usize> = a.iter().copied().skip(1).step_by(2).collect();
+    let b_even: Vec<usize> = b.iter().copied().step_by(2).collect();
+    let b_odd: Vec<usize> = b.iter().copied().skip(1).step_by(2).collect();
+    let (cols_0, z0) = merger(&a_even, &b_odd);
+    let (cols_1, z1) = merger(&a_odd, &b_even);
+    let mut columns = zip_columns(cols_0, cols_1);
+    let final_column: Column = z0.iter().zip(&z1).map(|(&x, &y)| (x, y)).collect();
+    let out = z0.iter().zip(&z1).flat_map(|(&x, &y)| [x, y]).collect();
+    columns.push(final_column);
+    (columns, out)
+}
+
+/// Merges two column sequences over disjoint wire sets into combined
+/// perfect-matching columns (the sequences have equal length by
+/// construction symmetry).
+fn zip_columns(a: Vec<Column>, b: Vec<Column>) -> Vec<Column> {
+    debug_assert_eq!(a.len(), b.len());
+    a.into_iter()
+        .zip(b)
+        .map(|(mut ca, cb)| {
+            ca.extend(cb);
+            ca
+        })
+        .collect()
+}
+
+/// Outcome of a simulated counting run.
+#[derive(Clone, Debug)]
+pub struct CountingOutcome {
+    /// Final per-logical-output-wire token counts (network mode) or a
+    /// single-element vector (central-counter mode).
+    pub counts: Vec<Word>,
+    /// Machine metrics.
+    pub report: RunReport,
+}
+
+/// How the shared counter is realized.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CounterKind {
+    /// A single cell everyone CAS-increments — `O(P)` contention.
+    Central,
+    /// Tokens traverse a counting network of the given width and bump a
+    /// per-output-wire cell — contention split across balancers.
+    Network {
+        /// Network width (power of two, >= 2).
+        width: usize,
+    },
+}
+
+/// Runs `nprocs` simulated processors each pushing `tokens` increments
+/// through the chosen counter realization.
+///
+/// # Errors
+///
+/// Returns the machine error if the cycle budget is exhausted.
+///
+/// # Panics
+///
+/// Panics if `nprocs` or `tokens` is zero.
+pub fn count_with(
+    kind: CounterKind,
+    nprocs: usize,
+    tokens: usize,
+    seed: u64,
+    scheduler: &mut dyn Scheduler,
+) -> Result<CountingOutcome, MachineError> {
+    assert!(nprocs > 0 && tokens > 0, "need processors and tokens");
+    let mut layout = MemoryLayout::new();
+    match kind {
+        CounterKind::Central => {
+            let cell = layout.region(1);
+            let mut machine = Machine::with_seed(layout.total(), seed);
+            for i in 0..nprocs {
+                machine.add_process(Box::new(CentralProcess {
+                    cell,
+                    remaining: tokens,
+                    state: CentralSt::Read,
+                    seen: 0,
+                }));
+                let _ = i;
+            }
+            let report = machine.run_with_failures(scheduler, &FailurePlan::new(), 100_000_000)?;
+            let counts = vec![machine.memory().read(cell.at(0))];
+            Ok(CountingOutcome { counts, report })
+        }
+        CounterKind::Network { width } => {
+            let network = std::sync::Arc::new(CountingNetwork::new(width));
+            // One cell per balancer per column (toggle bits), plus one
+            // counter per output wire.
+            let balancer_cells: Vec<Region> = network
+                .columns()
+                .iter()
+                .map(|c| layout.region(c.len()))
+                .collect();
+            let counters = layout.region(width);
+            let mut machine = Machine::with_seed(layout.total(), seed);
+            for i in 0..nprocs {
+                machine.add_process(Box::new(NetworkProcess {
+                    network: std::sync::Arc::clone(&network),
+                    balancer_cells: balancer_cells.clone(),
+                    counters,
+                    rng: StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9)),
+                    remaining: tokens,
+                    state: NetSt::NewToken,
+                    wire: 0,
+                    column: 0,
+                    seen: 0,
+                }));
+            }
+            let report = machine.run_with_failures(scheduler, &FailurePlan::new(), 100_000_000)?;
+            let counts = (0..width)
+                .map(|j| machine.memory().read(counters.at(j)))
+                .collect();
+            Ok(CountingOutcome { counts, report })
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum CentralSt {
+    Read,
+    AwaitRead,
+    AwaitCas,
+}
+
+/// `tokens` fetch-and-increments on one cell via read + CAS retry.
+#[derive(Debug)]
+struct CentralProcess {
+    cell: Region,
+    remaining: usize,
+    state: CentralSt,
+    seen: Word,
+}
+
+impl Process for CentralProcess {
+    fn step(&mut self, mut last: Option<OpResult>) -> Op {
+        loop {
+            match self.state {
+                CentralSt::Read => {
+                    if self.remaining == 0 {
+                        return Op::Halt;
+                    }
+                    self.state = CentralSt::AwaitRead;
+                    return Op::Read(self.cell.at(0));
+                }
+                CentralSt::AwaitRead => {
+                    self.seen = last.take().expect("read pending").read_value();
+                    self.state = CentralSt::AwaitCas;
+                    return Op::Cas {
+                        addr: self.cell.at(0),
+                        expected: self.seen,
+                        new: self.seen + 1,
+                    };
+                }
+                CentralSt::AwaitCas => {
+                    let won = last.take().expect("cas pending").cas_won();
+                    if won {
+                        self.remaining -= 1;
+                    }
+                    self.state = CentralSt::Read;
+                }
+            }
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "central-counter"
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum NetSt {
+    NewToken,
+    ReadBalancer,
+    AwaitBalancer,
+    AwaitToggle,
+    ReadCounter,
+    AwaitCounter,
+    AwaitCounterCas,
+}
+
+/// Pushes `tokens` through the network, bumping output-wire counters.
+struct NetworkProcess {
+    network: std::sync::Arc<CountingNetwork>,
+    balancer_cells: Vec<Region>,
+    counters: Region,
+    rng: StdRng,
+    remaining: usize,
+    state: NetSt,
+    wire: usize,
+    column: usize,
+    seen: Word,
+}
+
+impl NetworkProcess {
+    /// The balancer index and pair at the current (column, wire).
+    fn here(&self) -> (usize, Balancer) {
+        let column = &self.network.columns()[self.column];
+        column
+            .iter()
+            .enumerate()
+            .find(|(_, &(a, b))| a == self.wire || b == self.wire)
+            .map(|(i, &pair)| (i, pair))
+            .expect("perfect matching")
+    }
+}
+
+impl Process for NetworkProcess {
+    fn step(&mut self, mut last: Option<OpResult>) -> Op {
+        loop {
+            match self.state {
+                NetSt::NewToken => {
+                    if self.remaining == 0 {
+                        return Op::Halt;
+                    }
+                    self.wire = self.rng.gen_range(0..self.network.width());
+                    self.column = 0;
+                    self.state = NetSt::ReadBalancer;
+                }
+                NetSt::ReadBalancer => {
+                    if self.column == self.network.depth() {
+                        self.state = NetSt::ReadCounter;
+                        continue;
+                    }
+                    let (b, _) = self.here();
+                    self.state = NetSt::AwaitBalancer;
+                    return Op::Read(self.balancer_cells[self.column].at(b));
+                }
+                NetSt::AwaitBalancer => {
+                    self.seen = last.take().expect("balancer read pending").read_value();
+                    let (b, _) = self.here();
+                    self.state = NetSt::AwaitToggle;
+                    return Op::Cas {
+                        addr: self.balancer_cells[self.column].at(b),
+                        expected: self.seen,
+                        new: 1 - self.seen,
+                    };
+                }
+                NetSt::AwaitToggle => {
+                    let won = last.take().expect("toggle pending").cas_won();
+                    if !won {
+                        // Lost the toggle race; re-read and retry.
+                        self.state = NetSt::ReadBalancer;
+                        continue;
+                    }
+                    let (_, (first, second)) = self.here();
+                    self.wire = if self.seen == 0 { first } else { second };
+                    self.column += 1;
+                    self.state = NetSt::ReadBalancer;
+                }
+                NetSt::ReadCounter => {
+                    let j = self
+                        .network
+                        .output_order()
+                        .iter()
+                        .position(|&w| w == self.wire)
+                        .expect("output wire");
+                    self.wire = j; // reuse as the counter slot
+                    self.state = NetSt::AwaitCounter;
+                    return Op::Read(self.counters.at(j));
+                }
+                NetSt::AwaitCounter => {
+                    self.seen = last.take().expect("counter read pending").read_value();
+                    self.state = NetSt::AwaitCounterCas;
+                    return Op::Cas {
+                        addr: self.counters.at(self.wire),
+                        expected: self.seen,
+                        new: self.seen + 1,
+                    };
+                }
+                NetSt::AwaitCounterCas => {
+                    let won = last.take().expect("counter cas pending").cas_won();
+                    if won {
+                        self.remaining -= 1;
+                        self.state = NetSt::NewToken;
+                    } else {
+                        self.state = NetSt::AwaitCounter;
+                        // Re-read before retrying.
+                        let j = self.wire;
+                        return Op::Read(self.counters.at(j));
+                    }
+                }
+            }
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "counting-network"
+    }
+}
+
+impl std::fmt::Debug for NetworkProcess {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetworkProcess")
+            .field("state", &self.state)
+            .field("remaining", &self.remaining)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Checks the step property: sorted descending, adjacent counts differ by
+/// at most one, and the first/last differ by at most one.
+pub fn has_step_property(counts: &[Word]) -> bool {
+    let mut sorted = counts.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    sorted == counts
+        && counts
+            .first()
+            .zip(counts.last())
+            .is_none_or(|(f, l)| f - l <= 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pram::{RandomScheduler, SingleStepScheduler, SyncScheduler};
+
+    #[test]
+    fn network_shape() {
+        for k in 1..=4u32 {
+            let w = 1usize << k;
+            let net = CountingNetwork::new(w);
+            assert_eq!(net.width(), w);
+            assert_eq!(net.depth() as u32, k * (k + 1) / 2, "w={w}");
+            assert!(net.columns().iter().all(|c| c.len() == w / 2));
+            let mut order = net.output_order().to_vec();
+            order.sort_unstable();
+            assert_eq!(order, (0..w).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn columns_are_perfect_matchings() {
+        let net = CountingNetwork::new(16);
+        for column in net.columns() {
+            let mut seen = [false; 16];
+            for &(a, b) in column {
+                assert!(!seen[a] && !seen[b]);
+                seen[a] = true;
+                seen[b] = true;
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn sequential_routing_counts_perfectly() {
+        // The executable specification: tokens fed one at a time exit on
+        // consecutive logical outputs (mod w) — the defining behaviour of
+        // a counting network in the quiescent case.
+        for w in [2usize, 4, 8, 16] {
+            let net = CountingNetwork::new(w);
+            let mut states: Vec<Vec<bool>> =
+                net.columns().iter().map(|c| vec![false; c.len()]).collect();
+            let mut counts = vec![0u32; w];
+            for t in 0..3 * w {
+                // Entering wire is arbitrary; use a rotating choice.
+                let out = net.route_sequential(t % w, &mut states);
+                counts[out] += 1;
+            }
+            // Exactly 3 tokens per output.
+            assert!(counts.iter().all(|&c| c == 3), "w={w}: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn step_property_checker() {
+        assert!(has_step_property(&[3, 3, 2, 2]));
+        assert!(has_step_property(&[1, 1, 1, 1]));
+        assert!(!has_step_property(&[3, 1, 1, 1]));
+        assert!(!has_step_property(&[1, 2, 1, 1]));
+        assert!(has_step_property(&[]));
+    }
+
+    #[test]
+    fn concurrent_counting_has_step_property() {
+        for seed in 0..5 {
+            let out = count_with(
+                CounterKind::Network { width: 8 },
+                16,
+                4,
+                seed,
+                &mut SyncScheduler,
+            )
+            .unwrap();
+            assert_eq!(out.counts.iter().sum::<Word>(), 64, "all tokens counted");
+            let mut sorted = out.counts.clone();
+            sorted.sort_unstable_by(|a, b| b.cmp(a));
+            assert!(
+                sorted.first().unwrap() - sorted.last().unwrap() <= 1,
+                "seed {seed}: step property violated: {:?}",
+                out.counts
+            );
+        }
+    }
+
+    #[test]
+    fn counting_correct_under_asynchrony() {
+        let out = count_with(
+            CounterKind::Network { width: 4 },
+            8,
+            3,
+            1,
+            &mut RandomScheduler::new(3, 0.4),
+        )
+        .unwrap();
+        assert_eq!(out.counts.iter().sum::<Word>(), 24);
+        let out = count_with(
+            CounterKind::Central,
+            8,
+            3,
+            1,
+            &mut SingleStepScheduler::new(),
+        )
+        .unwrap();
+        assert_eq!(out.counts, vec![24]);
+    }
+
+    #[test]
+    fn central_counter_counts_exactly() {
+        let out = count_with(CounterKind::Central, 12, 5, 2, &mut SyncScheduler).unwrap();
+        assert_eq!(out.counts, vec![60]);
+        // Everyone hammers one cell: contention ~ P.
+        assert!(out.report.metrics.max_contention >= 10);
+    }
+
+    #[test]
+    fn network_splits_contention() {
+        let central = count_with(CounterKind::Central, 32, 4, 3, &mut SyncScheduler).unwrap();
+        let network = count_with(
+            CounterKind::Network { width: 16 },
+            32,
+            4,
+            3,
+            &mut SyncScheduler,
+        )
+        .unwrap();
+        assert!(
+            network.report.metrics.max_contention * 2 <= central.report.metrics.max_contention,
+            "network {} vs central {}",
+            network.report.metrics.max_contention,
+            central.report.metrics.max_contention
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn rejects_bad_width() {
+        CountingNetwork::new(6);
+    }
+}

@@ -1,0 +1,37 @@
+//! Baseline sorting algorithms that *"A Wait-Free Sorting Algorithm"*
+//! (Shavit, Upfal, Zemach; PODC 1997) compares against, for the
+//! experiment harness:
+//!
+//! * [`seq`] — sequential Quicksort (Hoare) and `std` sort wrappers.
+//! * [`bitonic`] — Batcher's bitonic sorting network (§1.1's
+//!   fault-tolerant-network discussion), with sequential and
+//!   barrier-parallel executors.
+//! * [`simulated`] — the network executed stage-by-stage as certified
+//!   write-all on the PRAM simulator: the `O(log^3 N)` "transformation
+//!   technique" cost the paper's introduction cites, made concrete.
+//! * [`locked`] — a conventional lock-based parallel Quicksort: fast, but
+//!   a single stalled lock-holder stalls everyone, which is exactly what
+//!   wait-freedom rules out.
+//! * [`universal`] — sorting through a Herlihy-style universal
+//!   construction (announce / consensus / help): wait-free but paying
+//!   the `O(k * f)` helping cost of §1.1.
+//! * [`counting`] — bitonic counting networks, the structures the
+//!   paper's §1.2 contention model descends from, pitted against a
+//!   central CAS counter.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitonic;
+pub mod counting;
+pub mod locked;
+pub mod seq;
+pub mod simulated;
+pub mod universal;
+
+pub use bitonic::BitonicNetwork;
+pub use counting::{count_with, CounterKind, CountingNetwork, CountingOutcome};
+pub use locked::LockedParallelSorter;
+pub use seq::quicksort;
+pub use simulated::{NetworkSortOutcome, SimulatedNetworkSorter};
+pub use universal::{UniversalSortOutcome, UniversalSorter};

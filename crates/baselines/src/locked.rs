@@ -1,0 +1,213 @@
+//! Lock-based parallel Quicksort — the non-wait-free strawman.
+//!
+//! A conventional parallel Quicksort: a shared work deque of segments
+//! protected by a mutex, workers popping segments, partitioning, and
+//! pushing halves back. Throughput is fine; the failure behaviour is the
+//! point of contrast with the wait-free sort. A thread that stalls (or
+//! dies) *while holding the lock* stalls every other worker — the
+//! scenario [`LockedParallelSorter::sort_with_stall`] makes measurable —
+//! whereas the wait-free algorithm's survivors are oblivious to such
+//! casualties.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+/// Below this segment length workers sort locally instead of splitting.
+const SPLIT_CUTOFF: usize = 1024;
+
+/// Work-queue parallel Quicksort over `u64` keys.
+///
+/// # Examples
+///
+/// ```
+/// use baselines::LockedParallelSorter;
+///
+/// let sorted = LockedParallelSorter::new(2).sort(&[9, 1, 5, 3]);
+/// assert_eq!(sorted, vec![1, 3, 5, 9]);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct LockedParallelSorter {
+    threads: usize,
+}
+
+/// A segment of the array still to be sorted, as an index range.
+type Segment = (usize, usize);
+
+struct Queue {
+    segments: Mutex<Vec<Segment>>,
+    /// Number of elements not yet inside a fully-sorted segment.
+    outstanding: AtomicUsize,
+}
+
+impl LockedParallelSorter {
+    /// Creates a sorter with `threads` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        LockedParallelSorter { threads }
+    }
+
+    /// Sorts `keys` into a new vector.
+    pub fn sort(&self, keys: &[u64]) -> Vec<u64> {
+        self.sort_inner(keys, None)
+    }
+
+    /// Sorts while worker 0, once, holds the queue lock for `stall` —
+    /// modelling a page fault (or death) inside a critical section. The
+    /// sort still finishes (the lock is released afterwards), but the
+    /// stall serializes every other worker behind it; benches measure
+    /// the cost.
+    pub fn sort_with_stall(&self, keys: &[u64], stall: Duration) -> Vec<u64> {
+        self.sort_inner(keys, Some(stall))
+    }
+
+    fn sort_inner(&self, keys: &[u64], stall: Option<Duration>) -> Vec<u64> {
+        let n = keys.len();
+        if n < 2 {
+            return keys.to_vec();
+        }
+        // Each worker owns disjoint segments at any moment, so the array
+        // is shared as per-cell atomics (no unsafe, tolerable overhead —
+        // identical storage to the wait-free competitor, keeping the
+        // comparison fair).
+        let data: Vec<AtomicUsize> = keys.iter().map(|&k| AtomicUsize::new(k as usize)).collect();
+        let queue = Queue {
+            segments: Mutex::new(vec![(0, n)]),
+            outstanding: AtomicUsize::new(n),
+        };
+        crossbeam::thread::scope(|s| {
+            for t in 0..self.threads {
+                let data = &data;
+                let queue = &queue;
+                let my_stall = if t == 0 { stall } else { None };
+                s.spawn(move |_| worker(data, queue, my_stall));
+            }
+        })
+        .expect("workers do not panic");
+        data.into_iter().map(|a| a.into_inner() as u64).collect()
+    }
+}
+
+fn read(data: &[AtomicUsize], i: usize) -> usize {
+    data[i].load(Ordering::Relaxed)
+}
+
+fn write(data: &[AtomicUsize], i: usize, v: usize) {
+    data[i].store(v, Ordering::Relaxed);
+}
+
+fn swap_cells(data: &[AtomicUsize], i: usize, j: usize) {
+    let a = read(data, i);
+    let b = read(data, j);
+    write(data, i, b);
+    write(data, j, a);
+}
+
+fn worker(data: &[AtomicUsize], queue: &Queue, mut stall: Option<Duration>) {
+    loop {
+        if queue.outstanding.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        let seg = {
+            let mut q = queue.segments.lock();
+            if let Some(d) = stall.take() {
+                // The critical-section stall: everyone else now spins on
+                // an empty or unreachable queue until we wake up.
+                std::thread::sleep(d);
+            }
+            q.pop()
+        };
+        let Some((lo, hi)) = seg else {
+            std::thread::yield_now();
+            continue;
+        };
+        let len = hi - lo;
+        if len <= SPLIT_CUTOFF {
+            // Sort locally: copy out, sort, copy back.
+            let mut local: Vec<usize> = (lo..hi).map(|i| read(data, i)).collect();
+            local.sort_unstable();
+            for (off, v) in local.into_iter().enumerate() {
+                write(data, lo + off, v);
+            }
+            queue.outstanding.fetch_sub(len, Ordering::AcqRel);
+            continue;
+        }
+        // Partition around the middle element.
+        let mid = lo + len / 2;
+        swap_cells(data, mid, hi - 1);
+        let pivot = read(data, hi - 1);
+        let mut store = lo;
+        for i in lo..hi - 1 {
+            if read(data, i) < pivot {
+                swap_cells(data, i, store);
+                store += 1;
+            }
+        }
+        swap_cells(data, store, hi - 1);
+        // The pivot cell is final.
+        queue.outstanding.fetch_sub(1, Ordering::AcqRel);
+        let mut q = queue.segments.lock();
+        if store > lo {
+            q.push((lo, store));
+        }
+        if hi > store + 1 {
+            q.push((store + 1, hi));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn keys(n: usize, seed: u64) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(0..1_000_000)).collect()
+    }
+
+    #[test]
+    fn sorts_random_input() {
+        let input = keys(50_000, 1);
+        let mut expect = input.clone();
+        expect.sort_unstable();
+        assert_eq!(LockedParallelSorter::new(4).sort(&input), expect);
+    }
+
+    #[test]
+    fn sorts_with_one_thread() {
+        let input = keys(5_000, 2);
+        let mut expect = input.clone();
+        expect.sort_unstable();
+        assert_eq!(LockedParallelSorter::new(1).sort(&input), expect);
+    }
+
+    #[test]
+    fn sorts_tiny_and_duplicate_inputs() {
+        let s = LockedParallelSorter::new(2);
+        assert_eq!(s.sort(&[]), Vec::<u64>::new());
+        assert_eq!(s.sort(&[1]), vec![1]);
+        assert_eq!(s.sort(&[5, 5, 5, 1, 1]), vec![1, 1, 5, 5, 5]);
+    }
+
+    #[test]
+    fn stall_delays_but_does_not_break() {
+        let input = keys(20_000, 3);
+        let mut expect = input.clone();
+        expect.sort_unstable();
+        let sorted = LockedParallelSorter::new(4).sort_with_stall(&input, Duration::from_millis(5));
+        assert_eq!(sorted, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        LockedParallelSorter::new(0);
+    }
+}

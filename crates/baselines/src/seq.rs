@@ -1,0 +1,145 @@
+//! Sequential sorting baselines.
+//!
+//! The paper's algorithm is a parallel Quicksort (Hoare, via the pivot
+//! tree); the natural sequential baseline is a classic in-place Quicksort
+//! with median-of-three pivoting and an insertion-sort cutoff, plus
+//! `std`'s sorts for reference.
+
+/// Below this length, insertion sort beats partitioning.
+const INSERTION_CUTOFF: usize = 24;
+
+/// Sorts `data` in place with a classic recursive Quicksort
+/// (median-of-three pivot, insertion-sort cutoff, recurse-smaller-side
+/// first so stack depth stays `O(log n)`).
+///
+/// # Examples
+///
+/// ```
+/// let mut v = vec![3, 1, 4, 1, 5, 9, 2, 6];
+/// baselines::quicksort(&mut v);
+/// assert_eq!(v, vec![1, 1, 2, 3, 4, 5, 6, 9]);
+/// ```
+pub fn quicksort<T: Ord>(data: &mut [T]) {
+    if data.len() <= INSERTION_CUTOFF {
+        insertion_sort(data);
+        return;
+    }
+    let pivot = partition(data);
+    let (lo, hi) = data.split_at_mut(pivot);
+    let hi = &mut hi[1..];
+    if lo.len() < hi.len() {
+        quicksort(lo);
+        quicksort(hi);
+    } else {
+        quicksort(hi);
+        quicksort(lo);
+    }
+}
+
+/// Simple insertion sort, used below the cutoff.
+pub fn insertion_sort<T: Ord>(data: &mut [T]) {
+    for i in 1..data.len() {
+        let mut j = i;
+        while j > 0 && data[j] < data[j - 1] {
+            data.swap(j, j - 1);
+            j -= 1;
+        }
+    }
+}
+
+/// Hoare-style partition around a median-of-three pivot; returns the
+/// pivot's final index.
+fn partition<T: Ord>(data: &mut [T]) -> usize {
+    let len = data.len();
+    let mid = len / 2;
+    // Median-of-three: order first, middle, last; use the middle value.
+    if data[mid] < data[0] {
+        data.swap(mid, 0);
+    }
+    if data[len - 1] < data[0] {
+        data.swap(len - 1, 0);
+    }
+    if data[len - 1] < data[mid] {
+        data.swap(len - 1, mid);
+    }
+    // Park the pivot just before the end.
+    data.swap(mid, len - 2);
+    let pivot = len - 2;
+    let mut store = 1;
+    for i in 1..pivot {
+        if data[i] < data[pivot] {
+            data.swap(i, store);
+            store += 1;
+        }
+    }
+    data.swap(store, pivot);
+    store
+}
+
+/// `slice::sort_unstable` wrapper, for symmetric bench naming.
+pub fn std_sort_unstable<T: Ord>(data: &mut [T]) {
+    data.sort_unstable();
+}
+
+/// `slice::sort` (stable) wrapper, for symmetric bench naming.
+pub fn std_sort_stable<T: Ord>(data: &mut [T]) {
+    data.sort();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn check(mut v: Vec<i64>) {
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        quicksort(&mut v);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn sorts_small_cases() {
+        check(vec![]);
+        check(vec![1]);
+        check(vec![2, 1]);
+        check(vec![3, 3, 3]);
+        check(vec![5, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn sorts_random_inputs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [10usize, 100, 1000, 10_000] {
+            check((0..n).map(|_| rng.gen_range(-1000..1000)).collect());
+        }
+    }
+
+    #[test]
+    fn sorts_adversarial_patterns() {
+        check((0..5000).collect());
+        check((0..5000).rev().collect());
+        check((0..5000).map(|i| i % 7).collect());
+        let mut organ: Vec<i64> = (0..2500).collect();
+        organ.extend((0..2500).rev());
+        check(organ);
+    }
+
+    #[test]
+    fn insertion_sort_standalone() {
+        let mut v = vec![4, 2, 5, 1, 3];
+        insertion_sort(&mut v);
+        assert_eq!(v, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn wrappers_sort() {
+        let mut a = vec![3, 1, 2];
+        std_sort_unstable(&mut a);
+        assert_eq!(a, vec![1, 2, 3]);
+        let mut b = vec![3, 1, 2];
+        std_sort_stable(&mut b);
+        assert_eq!(b, vec![1, 2, 3]);
+    }
+}

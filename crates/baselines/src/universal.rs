@@ -1,0 +1,587 @@
+//! Sorting through a Herlihy-style wait-free *universal construction* —
+//! the "straight-forward" approach §1.1 of the paper argues against.
+//!
+//! Herlihy's method makes any sequential object wait-free: processors
+//! *announce* pending operations, agree (by CAS consensus) on the next
+//! operation to apply, and *help* apply it — every active processor
+//! redundantly executes the chosen operation on a fresh copy of the
+//! object state. For a "sorted-list object" with `N` insertions this
+//! costs `O(k · f)` per operation (`k` concurrent helpers, `f` =
+//! object-copy cost), i.e. `Theta(N^2)` time serialized through the
+//! object no matter how many processors participate — "this can be
+//! detrimental to parallelism as often only one process performs all
+//! pending work" (§1.1).
+//!
+//! Instructively, the wait-free object alone does **not** make the
+//! *sort* wait-free: if the processor that owns an element crashes
+//! before announcing it, the element is simply never inserted — exactly
+//! the paper's observation that "one must still allocate processors to
+//! values ... and make sure values aren't lost even if the processor
+//! assigned to them fails". So, as the paper's `O(P N log N)` estimate
+//! presupposes, element-announcing duty is itself distributed through a
+//! Work Assignment Tree; duplicate announcements (the WAT may hand one
+//! element to several processors) are deduplicated at apply time by the
+//! deterministic version contents.
+//!
+//! Protocol per log slot `h` (helpers run it redundantly):
+//! 1. pick a candidate token from the announce array (scan from
+//!    `h mod P`), CAS it into `log[h]` — the slot's consensus;
+//! 2. read version `h` (a length-prefixed list of `(key, element)`
+//!    pairs), locally insert the winner's element *unless its element
+//!    index is already present* (dedup), and write version `h + 1` —
+//!    identical values from every helper, a benign race;
+//! 3. CAS-clear the winner's announcement (ABA-guarded), CAS
+//!    `head: h -> h + 1`.
+
+use pram::{
+    failure::FailurePlan, Addr, Machine, MachineError, MemoryLayout, Op, OpResult, Pid, Region,
+    RunReport, Scheduler, SyncScheduler, Word,
+};
+use wat::{LeafWorker, Wat, WorkerOp};
+
+/// Outcome of a universal-construction sort run.
+#[derive(Clone, Debug)]
+pub struct UniversalSortOutcome {
+    /// The sorted keys (the final object version).
+    pub sorted: Vec<Word>,
+    /// Machine metrics.
+    pub report: RunReport,
+    /// Log slots consumed (≥ N; > N means duplicated announcements).
+    pub operations_applied: usize,
+}
+
+/// The universal-construction sorter.
+///
+/// # Examples
+///
+/// ```
+/// use baselines::UniversalSorter;
+///
+/// let outcome = UniversalSorter::new(4).sort(&[3, 1, 2])?;
+/// assert_eq!(outcome.sorted, vec![1, 2, 3]);
+/// // Helping is redundant work: operations applied >= N.
+/// assert!(outcome.operations_applied >= 3);
+/// # Ok::<(), pram::MachineError>(())
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct UniversalSorter {
+    /// Number of simulated processors (capped at 64 — the construction's
+    /// memory is `O(P · N^2)` because every duplicated announcement may
+    /// need its own object version).
+    pub nprocs: usize,
+    /// Arbitration seed.
+    pub seed: u64,
+    /// Cycle budget; `None` derives one (`Theta(N^2)` runs need room).
+    pub max_cycles: Option<u64>,
+}
+
+impl UniversalSorter {
+    /// Creates a sorter with `nprocs` simulated processors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nprocs` is zero or exceeds 64.
+    pub fn new(nprocs: usize) -> Self {
+        assert!(nprocs > 0, "need at least one processor");
+        assert!(
+            nprocs <= 64,
+            "universal construction capped at 64 processors"
+        );
+        UniversalSorter {
+            nprocs,
+            seed: 0x5eed,
+            max_cycles: None,
+        }
+    }
+
+    /// Sorts on a faultless synchronous PRAM.
+    ///
+    /// # Errors
+    ///
+    /// Returns the machine error if the cycle budget is exhausted.
+    pub fn sort(&self, keys: &[Word]) -> Result<UniversalSortOutcome, MachineError> {
+        self.sort_under(keys, &mut SyncScheduler, &FailurePlan::new())
+    }
+
+    /// Sorts under an arbitrary scheduler and failure plan; thanks to the
+    /// WAT-distributed announcing duty, the whole sort (not just each
+    /// object operation) is wait-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns the machine error if the cycle budget is exhausted.
+    pub fn sort_under(
+        &self,
+        keys: &[Word],
+        scheduler: &mut dyn Scheduler,
+        failures: &FailurePlan,
+    ) -> Result<UniversalSortOutcome, MachineError> {
+        let n = keys.len();
+        if n == 0 {
+            return Ok(UniversalSortOutcome {
+                sorted: Vec::new(),
+                report: Machine::new(0).report(),
+                operations_applied: 0,
+            });
+        }
+        let p = self.nprocs.min(n).max(1);
+        let mut memlayout = MemoryLayout::new();
+        // Worst-case log length: every processor may execute every WAT
+        // leaf once (Corollary 2.2), each posting one token.
+        let slots = p * n.next_power_of_two() + 1;
+        let shared = SharedLayout::layout(&mut memlayout, n, p, slots);
+        let announce_wat = Wat::layout(&mut memlayout, n);
+        let mut machine = Machine::with_seed(memlayout.total(), self.seed);
+        machine.memory_mut().load(shared.input.base(), keys);
+        for proc in announce_wat.processes(p, |pid| AnnounceHelpWorker::new(shared, pid, p)) {
+            machine.add_process(proc);
+        }
+        let budget = self
+            .max_cycles
+            .unwrap_or_else(|| 1_000_000 + 1024 * (n as u64) * (n as u64));
+        let report = machine.run_with_failures(scheduler, failures, budget)?;
+        let head = machine.memory().read(shared.head.at(0)) as usize;
+        let len = machine.memory().read(shared.version_len(head)) as usize;
+        debug_assert_eq!(len, n, "final version must contain all elements");
+        let sorted = (0..len)
+            .map(|i| machine.memory().read(shared.version_entry(head, i).0))
+            .collect();
+        Ok(UniversalSortOutcome {
+            sorted,
+            report,
+            operations_applied: head,
+        })
+    }
+}
+
+/// Shared-memory plan. Version `v` (`0 <= v <= slots`) occupies
+/// `1 + 2n` cells: a length header followed by `(key, element)` pairs.
+#[derive(Clone, Copy, Debug)]
+struct SharedLayout {
+    n: usize,
+    input: Region,
+    announce: Region,
+    log: Region,
+    head: Region,
+    versions: Region,
+}
+
+impl SharedLayout {
+    fn layout(l: &mut MemoryLayout, n: usize, p: usize, slots: usize) -> Self {
+        SharedLayout {
+            n,
+            input: l.region(n),
+            announce: l.region(p),
+            log: l.region(slots),
+            head: l.region(1),
+            versions: l.region((slots + 1) * (1 + 2 * n)),
+        }
+    }
+
+    fn version_len(&self, v: usize) -> Addr {
+        self.versions.at(v * (1 + 2 * self.n))
+    }
+
+    /// `(key cell, element cell)` of entry `i` of version `v`.
+    fn version_entry(&self, v: usize, i: usize) -> (Addr, Addr) {
+        let base = v * (1 + 2 * self.n) + 1 + 2 * i;
+        (self.versions.at(base), self.versions.at(base + 1))
+    }
+}
+
+/// Encodes an announcement token `(pid, element)` as a non-zero word.
+fn token(pid: usize, element: usize, p: usize) -> Word {
+    (element * p + pid + 1) as Word
+}
+
+/// Decodes a token back to `(pid, element)`.
+fn untoken(t: Word, p: usize) -> (usize, usize) {
+    let raw = (t - 1) as usize;
+    (raw % p, raw / p)
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum St {
+    PostToken,
+    AwaitPost,
+    CheckMine,
+    AwaitMine,
+    ReadHead,
+    AwaitHead,
+    AwaitScan,
+    AwaitLogCheck,
+    AwaitLogCas,
+    AwaitElem,
+    AwaitVersionLen,
+    AwaitVersionKey,
+    AwaitVersionIdx,
+    WriteVersion,
+    AwaitVersionWrite,
+    AwaitLenWrite,
+    AwaitAnnounceClear,
+    AwaitHeadCas,
+    Finished,
+}
+
+/// WAT leaf worker: job `j` = "announce element `j` and help the object
+/// until the announcement is consumed".
+#[derive(Debug)]
+struct AnnounceHelpWorker {
+    shared: SharedLayout,
+    pid: Pid,
+    p: usize,
+    state: St,
+    element: usize,
+    my_token: Word,
+    head: usize,
+    scan_offset: usize,
+    winner: Word,
+    elem_key: Word,
+    read_i: usize,
+    write_i: usize,
+    version_len: usize,
+    pending_key: Word,
+    /// `(key, element)` pairs of the version being built.
+    buffer: Vec<(Word, Word)>,
+}
+
+impl AnnounceHelpWorker {
+    fn new(shared: SharedLayout, pid: Pid, p: usize) -> Self {
+        AnnounceHelpWorker {
+            shared,
+            pid,
+            p,
+            state: St::Finished,
+            element: 0,
+            my_token: 0,
+            head: 0,
+            scan_offset: 0,
+            winner: 0,
+            elem_key: 0,
+            read_i: 0,
+            write_i: 0,
+            version_len: 0,
+            pending_key: 0,
+            buffer: Vec::new(),
+        }
+    }
+
+    /// After consensus on `self.winner`, start fetching its key.
+    fn fetch_winner_elem(&mut self) -> WorkerOp {
+        let (_, elem) = untoken(self.winner, self.p);
+        self.state = St::AwaitElem;
+        WorkerOp::Op(Op::Read(self.shared.input.at(elem)))
+    }
+}
+
+impl LeafWorker for AnnounceHelpWorker {
+    fn begin(&mut self, job: usize) {
+        self.element = job;
+        self.my_token = token(self.pid.index(), job, self.p);
+        self.state = St::PostToken;
+    }
+
+    fn step(&mut self, mut last: Option<OpResult>) -> WorkerOp {
+        loop {
+            match self.state {
+                St::PostToken => {
+                    self.state = St::AwaitPost;
+                    return WorkerOp::Op(Op::Write(
+                        self.shared.announce.at(self.pid.index()),
+                        self.my_token,
+                    ));
+                }
+                St::AwaitPost => {
+                    last.take();
+                    self.state = St::CheckMine;
+                }
+                St::CheckMine => {
+                    self.state = St::AwaitMine;
+                    return WorkerOp::Op(Op::Read(self.shared.announce.at(self.pid.index())));
+                }
+                St::AwaitMine => {
+                    let v = last.take().expect("mine pending").read_value();
+                    if v != self.my_token {
+                        // Consumed (and possibly replaced by nothing):
+                        // this job's element is in the object. Done.
+                        self.state = St::Finished;
+                        return WorkerOp::Done;
+                    }
+                    self.state = St::ReadHead;
+                }
+                St::ReadHead => {
+                    self.state = St::AwaitHead;
+                    return WorkerOp::Op(Op::Read(self.shared.head.at(0)));
+                }
+                St::AwaitHead => {
+                    self.head = last.take().expect("head pending").read_value() as usize;
+                    self.scan_offset = 0;
+                    self.state = St::AwaitScan;
+                    return WorkerOp::Op(Op::Read(self.shared.announce.at(self.head % self.p)));
+                }
+                St::AwaitScan => {
+                    let v = last.take().expect("scan pending").read_value();
+                    if v != 0 {
+                        self.state = St::AwaitLogCas;
+                        return WorkerOp::Op(Op::Cas {
+                            addr: self.shared.log.at(self.head),
+                            expected: 0,
+                            new: v,
+                        });
+                    }
+                    self.scan_offset += 1;
+                    if self.scan_offset >= self.p {
+                        // Nothing announced — but a chosen-but-unfinished
+                        // slot may exist; help it if so.
+                        self.state = St::AwaitLogCheck;
+                        return WorkerOp::Op(Op::Read(self.shared.log.at(self.head)));
+                    }
+                    self.state = St::AwaitScan;
+                    return WorkerOp::Op(Op::Read(
+                        self.shared
+                            .announce
+                            .at((self.head + self.scan_offset) % self.p),
+                    ));
+                }
+                St::AwaitLogCheck => {
+                    let v = last.take().expect("log check pending").read_value();
+                    if v == 0 {
+                        self.state = St::CheckMine;
+                        continue;
+                    }
+                    self.winner = v;
+                    return self.fetch_winner_elem();
+                }
+                St::AwaitLogCas => {
+                    let current = match last.take().expect("log cas pending") {
+                        OpResult::Cas { current, .. } => current,
+                        other => panic!("unexpected {other:?}"),
+                    };
+                    self.winner = current;
+                    return self.fetch_winner_elem();
+                }
+                St::AwaitElem => {
+                    self.elem_key = last.take().expect("elem pending").read_value();
+                    self.buffer.clear();
+                    self.read_i = 0;
+                    self.state = St::AwaitVersionLen;
+                    return WorkerOp::Op(Op::Read(self.shared.version_len(self.head)));
+                }
+                St::AwaitVersionLen => {
+                    self.version_len =
+                        last.take().expect("version len pending").read_value() as usize;
+                    if self.version_len == 0 {
+                        self.finish_buffer();
+                        continue;
+                    }
+                    self.state = St::AwaitVersionKey;
+                    return WorkerOp::Op(Op::Read(self.shared.version_entry(self.head, 0).0));
+                }
+                St::AwaitVersionKey => {
+                    self.pending_key = last.take().expect("version key pending").read_value();
+                    self.state = St::AwaitVersionIdx;
+                    return WorkerOp::Op(Op::Read(
+                        self.shared.version_entry(self.head, self.read_i).1,
+                    ));
+                }
+                St::AwaitVersionIdx => {
+                    let idx = last.take().expect("version idx pending").read_value();
+                    self.buffer.push((self.pending_key, idx));
+                    self.read_i += 1;
+                    if self.read_i < self.version_len {
+                        self.state = St::AwaitVersionKey;
+                        return WorkerOp::Op(Op::Read(
+                            self.shared.version_entry(self.head, self.read_i).0,
+                        ));
+                    }
+                    self.finish_buffer();
+                }
+                St::WriteVersion => {
+                    if self.write_i < self.buffer.len() {
+                        let (key, _idx) = self.buffer[self.write_i];
+                        let (key_cell, _) = self.shared.version_entry(self.head + 1, self.write_i);
+                        self.state = St::AwaitVersionWrite;
+                        return WorkerOp::Op(Op::Write(key_cell, key));
+                    }
+                    self.state = St::AwaitLenWrite;
+                    return WorkerOp::Op(Op::Write(
+                        self.shared.version_len(self.head + 1),
+                        self.buffer.len() as Word,
+                    ));
+                }
+                St::AwaitVersionWrite => {
+                    last.take();
+                    // Write the paired element index in the next cycle.
+                    let (_, idx) = self.buffer[self.write_i];
+                    let (_, idx_cell) = self.shared.version_entry(self.head + 1, self.write_i);
+                    self.write_i += 1;
+                    self.state = St::WriteVersion;
+                    return WorkerOp::Op(Op::Write(idx_cell, idx));
+                }
+                St::AwaitLenWrite => {
+                    last.take();
+                    // Clear the consumed announcement, ABA-guarded.
+                    let (wpid, _) = untoken(self.winner, self.p);
+                    self.state = St::AwaitAnnounceClear;
+                    return WorkerOp::Op(Op::Cas {
+                        addr: self.shared.announce.at(wpid),
+                        expected: self.winner,
+                        new: 0,
+                    });
+                }
+                St::AwaitAnnounceClear => {
+                    last.take();
+                    self.state = St::AwaitHeadCas;
+                    return WorkerOp::Op(Op::Cas {
+                        addr: self.shared.head.at(0),
+                        expected: self.head as Word,
+                        new: self.head as Word + 1,
+                    });
+                }
+                St::AwaitHeadCas => {
+                    last.take();
+                    self.state = St::CheckMine;
+                }
+                St::Finished => return WorkerOp::Done,
+            }
+        }
+    }
+}
+
+impl AnnounceHelpWorker {
+    /// Inserts the winner's `(key, element)` into the buffered version —
+    /// unless that element is already present (a duplicated announcement
+    /// consumed twice) — and starts writing version `head + 1`.
+    fn finish_buffer(&mut self) {
+        let (_, elem) = untoken(self.winner, self.p);
+        let already = self.buffer.iter().any(|&(_, e)| e as usize == elem);
+        if !already {
+            let entry = (self.elem_key, elem as Word);
+            let pos = self
+                .buffer
+                .partition_point(|&(k, e)| (k, e) <= (entry.0, entry.1));
+            self.buffer.insert(pos, entry);
+        }
+        self.write_i = 0;
+        self.state = St::WriteVersion;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn keys(n: usize, seed: u64) -> Vec<Word> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(-100..100)).collect()
+    }
+
+    fn check(n: usize, p: usize, seed: u64) {
+        let input = keys(n, seed);
+        let mut expect = input.clone();
+        expect.sort_unstable();
+        let out = UniversalSorter::new(p).sort(&input).unwrap();
+        assert_eq!(out.sorted, expect, "n={n} p={p} seed={seed}");
+        assert!(out.operations_applied >= n);
+    }
+
+    #[test]
+    fn sorts_various_sizes_and_processor_counts() {
+        for (n, p) in [(1, 1), (5, 1), (8, 2), (16, 4), (33, 5), (64, 8)] {
+            check(n, p, 7);
+        }
+    }
+
+    #[test]
+    fn sorts_with_more_processors_than_elements() {
+        check(6, 16, 3);
+    }
+
+    #[test]
+    fn sorts_duplicate_keys() {
+        let input = vec![5, 5, 5, 1, 1, 5];
+        let mut expect = input.clone();
+        expect.sort_unstable();
+        let out = UniversalSorter::new(3).sort(&input).unwrap();
+        assert_eq!(out.sorted, expect);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out = UniversalSorter::new(4).sort(&[]).unwrap();
+        assert!(out.sorted.is_empty());
+    }
+
+    #[test]
+    fn token_roundtrip() {
+        for pid in 0..7 {
+            for elem in 0..11 {
+                let t = token(pid, elem, 7);
+                assert_ne!(t, 0);
+                assert_eq!(untoken(t, 7), (pid, elem));
+            }
+        }
+    }
+
+    #[test]
+    fn survives_crashes() {
+        let input = keys(24, 5);
+        let mut expect = input.clone();
+        expect.sort_unstable();
+        for seed in 0..3 {
+            let plan = FailurePlan::random_crashes(6, 0.6, 2_000, seed);
+            let out = UniversalSorter::new(6)
+                .sort_under(&input, &mut SyncScheduler, &plan)
+                .unwrap();
+            assert_eq!(out.sorted, expect, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn quadratic_time_shape() {
+        // The point of this baseline: doubling N roughly quadruples time
+        // (object-copy cost), unlike the direct algorithm.
+        let t = |n: usize| {
+            UniversalSorter::new(8)
+                .sort(&keys(n, 1))
+                .unwrap()
+                .report
+                .metrics
+                .cycles
+        };
+        let t32 = t(32);
+        let t128 = t(128);
+        assert!(
+            (t128 as f64) > (t32 as f64) * 6.0,
+            "expected ~quadratic growth: t(32)={t32}, t(128)={t128}"
+        );
+    }
+
+    #[test]
+    fn helping_means_all_processors_do_all_work() {
+        // Work scales with P (every helper copies every version) — the
+        // §1.1 objection made measurable.
+        let ops = |p: usize| {
+            UniversalSorter::new(p)
+                .sort(&keys(48, 2))
+                .unwrap()
+                .report
+                .metrics
+                .total_ops
+        };
+        let w1 = ops(1);
+        let w8 = ops(8);
+        assert!(
+            w8 > 4 * w1,
+            "helping should multiply work: P=1 {w1} ops, P=8 {w8} ops"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "capped at 64")]
+    fn rejects_huge_processor_counts() {
+        UniversalSorter::new(65);
+    }
+}

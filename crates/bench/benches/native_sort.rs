@@ -1,0 +1,79 @@
+//! Criterion bench: native wall-clock throughput of the wait-free sort
+//! against sequential and parallel baselines (backs experiment E11).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use baselines::{quicksort, BitonicNetwork, LockedParallelSorter};
+use wfsort_native::WaitFreeSorter;
+
+fn keys(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen()).collect()
+}
+
+fn bench_native(c: &mut Criterion) {
+    let n = 1 << 17; // power of two so the bitonic network participates
+    let input = keys(n, 1);
+
+    let mut group = c.benchmark_group("native_sort");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n as u64));
+
+    group.bench_function("std_sort_unstable", |b| {
+        b.iter(|| {
+            let mut v = input.clone();
+            v.sort_unstable();
+            v
+        })
+    });
+    group.bench_function("seq_quicksort", |b| {
+        b.iter(|| {
+            let mut v = input.clone();
+            quicksort(&mut v);
+            v
+        })
+    });
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("wait_free", threads), &threads, |b, &t| {
+            let sorter = WaitFreeSorter::new(t);
+            b.iter(|| sorter.sort(&input))
+        });
+    }
+    {
+        let threads = 4usize;
+        group.bench_with_input(
+            BenchmarkId::new("wait_free_with_casualties", threads),
+            &threads,
+            |b, &t| {
+                let sorter = WaitFreeSorter::new(t);
+                b.iter(|| sorter.sort_with_casualties(&input, 5_000))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("locked_quicksort", threads),
+            &threads,
+            |b, &t| {
+                let sorter = LockedParallelSorter::new(t);
+                b.iter(|| sorter.sort(&input))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("bitonic_parallel", threads),
+            &threads,
+            |b, &t| {
+                let net = BitonicNetwork::new(n);
+                b.iter(|| {
+                    let mut v = input.clone();
+                    net.sort_parallel(&mut v, t);
+                    v
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_native);
+criterion_main!(benches);

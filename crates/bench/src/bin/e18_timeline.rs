@@ -1,0 +1,64 @@
+//! E18 (extension) — the contention *profile* over time, as an ASCII
+//! figure: the deterministic sort's opening root storm versus the §3
+//! pipeline's flat sqrt(P) ceiling. This is the paper's §3 narrative in
+//! one picture.
+//!
+//! Run: `cargo run --release -p bench --bin e18_timeline`
+
+use bench::sparkline;
+use pram::{failure::FailurePlan, SyncScheduler};
+use wfsort::low_contention::LowContentionSorter;
+use wfsort::{check_sorted_permutation, PramSorter, SortConfig, Workload};
+
+fn main() {
+    let n = 1024; // P = N, sqrt(P) = 32
+    let keys = Workload::RandomPermutation.generate(n, 47);
+
+    // Deterministic run with timeline.
+    let sorter = PramSorter::new(SortConfig::new(n).seed(47));
+    let mut prepared = sorter.prepare(&keys);
+    prepared.machine.record_timeline(true);
+    prepared
+        .machine
+        .run_with_failures(&mut SyncScheduler, &FailurePlan::new(), prepared.budget)
+        .expect("sort completes");
+    let out = prepared.layout.read_output(prepared.machine.memory());
+    check_sorted_permutation(&keys, &out).expect("det sorted");
+    let det_tl = prepared
+        .machine
+        .metrics()
+        .timeline
+        .clone()
+        .expect("timeline on");
+
+    // Low-contention run with timeline recorded into its report.
+    let lc = LowContentionSorter::default()
+        .sort_with_timeline(&keys)
+        .expect("sort completes");
+    check_sorted_permutation(&keys, &lc.sorted).expect("lc sorted");
+    let lc_tl = lc.report.metrics.timeline.clone().expect("timeline on");
+
+    let scale = det_tl.iter().copied().max().unwrap_or(1);
+    let width = 96;
+    println!("\n## E18: per-cycle max contention, N = P = {n} (shared scale, peak = {scale})\n");
+    println!(
+        "deterministic (§2), {} cycles, peak {}:",
+        det_tl.len(),
+        det_tl.iter().max().unwrap()
+    );
+    println!("  [{}]", sparkline(&det_tl, width, scale));
+    println!(
+        "\nlow-contention (§3), {} cycles, peak {}:",
+        lc_tl.len(),
+        lc_tl.iter().max().unwrap()
+    );
+    println!("  [{}]", sparkline(&lc_tl, width, scale));
+    println!(
+        "\nReading the figure: the deterministic profile opens with a full-\
+         height wall — every processor CASing the root (contention ~ P) — \
+         then decays as the tree fans out. The low-contention profile \
+         never leaves the bottom band (~sqrt(P)): group roots, fat-tree \
+         duplicates and random probing keep every cycle's worst cell \
+         cold. Same input, same output, same machine."
+    );
+}

@@ -1,0 +1,60 @@
+//! E1 — Lemma 2.1: `next_element` is wait-free with `O(log N)` steps per
+//! call, and a solo processor completes an N-leaf WAT in `O(N)` total
+//! steps (amortized O(1) per leaf plus an `O(log N)` tail).
+//!
+//! Run: `cargo run --release -p bench --bin e1_wat_steps`
+
+use bench::{f2, log2, Table};
+use pram::{Machine, MemoryLayout, SyncScheduler};
+use wat::{NopWorker, Wat};
+
+fn main() {
+    let mut solo = Table::new(&["N (leaves)", "steps (P=1)", "steps/leaf", "log2 N"]);
+    for k in [4u32, 6, 8, 10, 12, 14] {
+        let n = 1usize << k;
+        let mut layout = MemoryLayout::new();
+        let wat = Wat::layout(&mut layout, n);
+        let mut machine = Machine::new(layout.total());
+        for p in wat.processes(1, |_| NopWorker) {
+            machine.add_process(p);
+        }
+        let report = machine
+            .run(&mut SyncScheduler, 100_000_000)
+            .expect("wait-free: must terminate");
+        let steps = report.metrics.steps_per_process[0];
+        solo.row(vec![
+            n.to_string(),
+            steps.to_string(),
+            f2(steps as f64 / n as f64),
+            f2(log2(n)),
+        ]);
+    }
+    solo.print("E1a: solo WAT traversal cost (expect steps/leaf ~ constant)");
+
+    let mut par = Table::new(&["N = P", "cycles", "cycles/log2 N", "max steps/proc"]);
+    for k in [4u32, 6, 8, 10, 12] {
+        let n = 1usize << k;
+        let mut layout = MemoryLayout::new();
+        let wat = Wat::layout(&mut layout, n);
+        let mut machine = Machine::new(layout.total());
+        for p in wat.processes(n, |_| NopWorker) {
+            machine.add_process(p);
+        }
+        let report = machine
+            .run(&mut SyncScheduler, 100_000_000)
+            .expect("wait-free: must terminate");
+        par.row(vec![
+            n.to_string(),
+            report.metrics.cycles.to_string(),
+            f2(report.metrics.cycles as f64 / log2(n)),
+            report.metrics.max_steps_per_process().to_string(),
+        ]);
+    }
+    par.print("E1b: P = N WAT completion (Lemma 2.3 with K = 0: expect cycles ~ c log N)");
+
+    println!(
+        "\nPaper claim: each next_element call is O(log N); with P = N the \
+         skeleton finishes in O(K + log N) cycles. Shape check: the \
+         cycles/log2(N) column should stay roughly flat."
+    );
+}

@@ -1,0 +1,65 @@
+//! E20 (extension) — the all-workloads panorama: every sorter variant on
+//! every input distribution, one table. Answers "which inputs hurt which
+//! variant" at a glance and doubles as a broad correctness smoke test
+//! (every cell's output is verified).
+//!
+//! Run: `cargo run --release -p bench --bin e20_workload_sweep`
+
+use bench::Table;
+use wfsort::low_contention::LowContentionSorter;
+use wfsort::{check_sorted_permutation, Allocation, PramSorter, SortConfig, Workload};
+
+fn main() {
+    let n = 256; // 4^4 so the low-contention sorter participates at P = N
+    let p = 16;
+    let mut t = Table::new(&[
+        "workload",
+        "det cycles (P=16)",
+        "rand cycles (P=16)",
+        "LC cycles (P=N)",
+        "det contention",
+        "LC contention",
+    ]);
+    for w in Workload::all() {
+        let keys = w.generate(n, 61);
+
+        let det = PramSorter::new(SortConfig::new(p).seed(61))
+            .sort(&keys)
+            .expect("sort completes");
+        check_sorted_permutation(&keys, &det.sorted).expect("det sorted");
+
+        let rand = PramSorter::new(
+            SortConfig::new(p)
+                .seed(61)
+                .allocation(Allocation::Randomized),
+        )
+        .sort(&keys)
+        .expect("sort completes");
+        check_sorted_permutation(&keys, &rand.sorted).expect("rand sorted");
+
+        let lc = LowContentionSorter::default()
+            .sort(&keys)
+            .expect("sort completes");
+        check_sorted_permutation(&keys, &lc.sorted).expect("lc sorted");
+
+        t.row(vec![
+            w.name().to_string(),
+            det.report.metrics.cycles.to_string(),
+            rand.report.metrics.cycles.to_string(),
+            lc.report.metrics.cycles.to_string(),
+            det.report.metrics.max_contention.to_string(),
+            lc.report.metrics.max_contention.to_string(),
+        ]);
+    }
+    t.print(&format!(
+        "E20: all workloads x all simulated variants, N = {n} (det/rand at P = {p}, LC at P = N)"
+    ));
+    println!(
+        "\nReading the table: input order moves the deterministic variant \
+         (deep trees on sorted-ish inputs at P << N); the randomized \
+         allocation flattens those rows; the low-contention pipeline's \
+         cost is input-insensitive and its contention column never leaves \
+         the sqrt(P) band. Every cell's output was verified as a sorted \
+         permutation."
+    );
+}

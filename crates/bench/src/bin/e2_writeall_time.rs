@@ -1,0 +1,43 @@
+//! E2 — Lemma 2.3: the skeleton wait-free algorithm (write-all) with
+//! `P = N` processors and `K`-step leaf work completes in `O(K + log N)`
+//! cycles on a faultless CRCW PRAM.
+//!
+//! Run: `cargo run --release -p bench --bin e2_writeall_time`
+
+use bench::{f2, log2, Table};
+use pram::{Machine, MemoryLayout, SyncScheduler};
+use wat::{BusyWorker, Wat};
+
+fn main() {
+    let mut t = Table::new(&["N = P", "K", "cycles", "cycles/(K + log2 N)"]);
+    for k_work in [0usize, 4, 16, 64] {
+        for exp in [4u32, 6, 8, 10, 12] {
+            let n = 1usize << exp;
+            let mut layout = MemoryLayout::new();
+            let out = layout.region(n);
+            let wat = Wat::layout(&mut layout, n);
+            let mut machine = Machine::new(layout.total());
+            for p in wat.processes(n, |_| BusyWorker::new(out, k_work)) {
+                machine.add_process(p);
+            }
+            let report = machine
+                .run(&mut SyncScheduler, 100_000_000)
+                .expect("wait-free: must terminate");
+            // Sanity: write-all actually wrote all.
+            let values = machine.memory().snapshot(out.range());
+            assert!(values.iter().all(|&v| v >= 1), "write-all incomplete");
+            let denom = k_work as f64 + log2(n);
+            t.row(vec![
+                n.to_string(),
+                k_work.to_string(),
+                report.metrics.cycles.to_string(),
+                f2(report.metrics.cycles as f64 / denom),
+            ]);
+        }
+    }
+    t.print("E2: write-all completion time, P = N (Lemma 2.3)");
+    println!(
+        "\nPaper claim: O(K + log N) cycles. Shape check: the last column \
+         should stay bounded as N grows for every K."
+    );
+}

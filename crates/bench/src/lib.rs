@@ -1,0 +1,224 @@
+//! Shared plumbing for the experiment binaries (`e1`..`e12`) and the
+//! criterion benches.
+//!
+//! Each binary regenerates one experiment from EXPERIMENTS.md, printing a
+//! markdown table whose *shape* (growth rates, who wins, crossovers) is
+//! compared against the corresponding claim of the paper.
+
+#![forbid(unsafe_code)]
+
+/// A rendered results table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header length).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders as GitHub-flavored markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            let padded: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            format!("| {} |", padded.join(" | "))
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&format!("| {} |\n", sep.join(" | ")));
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as CSV (header row first).
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|c| escape(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table with a title line; additionally, if the
+    /// `BENCH_OUTPUT_DIR` environment variable is set, writes the table
+    /// as CSV into that directory (file name derived from the title).
+    pub fn print(&self, title: &str) {
+        println!("\n## {title}\n");
+        print!("{}", self.to_markdown());
+        if let Ok(dir) = std::env::var("BENCH_OUTPUT_DIR") {
+            let slug: String = title
+                .chars()
+                .map(|c| {
+                    if c.is_ascii_alphanumeric() {
+                        c.to_ascii_lowercase()
+                    } else {
+                        '-'
+                    }
+                })
+                .collect::<String>()
+                .split('-')
+                .filter(|s| !s.is_empty())
+                .collect::<Vec<_>>()
+                .join("-");
+            let path = std::path::Path::new(&dir).join(format!("{slug}.csv"));
+            if let Err(e) = std::fs::write(&path, self.to_csv()) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                eprintln!("(csv written to {})", path.display());
+            }
+        }
+    }
+}
+
+/// Unicode block characters for sparklines, blank to full.
+pub const SPARK_BARS: &[char] = &[' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders a series as a fixed-width sparkline: the series is max-pooled
+/// into `width` buckets and each bucket drawn against `scale_max`.
+pub fn sparkline(series: &[u32], width: usize, scale_max: u32) -> String {
+    let bucket = series.len().div_ceil(width).max(1);
+    series
+        .chunks(bucket)
+        .map(|c| {
+            let m = *c.iter().max().unwrap_or(&0);
+            let idx = if scale_max == 0 {
+                0
+            } else {
+                (m as usize * (SPARK_BARS.len() - 1)).div_ceil(scale_max as usize)
+            };
+            SPARK_BARS[idx.min(SPARK_BARS.len() - 1)]
+        })
+        .collect()
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// `log2` of a positive integer, as f64.
+pub fn log2(n: usize) -> f64 {
+    (n as f64).log2()
+}
+
+/// Geometric mean of a nonempty slice.
+pub fn geomean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty());
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Mean of a nonempty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty());
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Wall-clock helper: runs `f` and returns (result, seconds).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = std::time::Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_markdown() {
+        let mut t = Table::new(&["n", "cycles"]);
+        t.row(vec!["16".into(), "100".into()]);
+        t.row(vec!["256".into(), "2000".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("|   n | cycles |"));
+        assert!(md.contains("|  16 |    100 |"));
+        assert!(md.lines().count() == 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_checks_width() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn csv_rendering_escapes() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(vec!["plain".into(), "1".into()]);
+        t.row(vec!["with,comma".into(), "with\"quote".into()]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("name,value\n"));
+        assert!(csv.contains("plain,1"));
+        assert!(csv.contains("\"with,comma\",\"with\"\"quote\""));
+    }
+
+    #[test]
+    fn stats_helpers() {
+        assert_eq!(f2(1.2345), "1.23");
+        assert_eq!(log2(8), 3.0);
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    fn sparkline_scales_and_pools() {
+        let s = sparkline(&[0, 0, 8, 8], 2, 8);
+        assert_eq!(s.chars().count(), 2);
+        assert_eq!(s.chars().next(), Some(' '));
+        assert_eq!(s.chars().nth(1), Some('█'));
+        // Zero scale never panics.
+        assert_eq!(sparkline(&[5], 1, 0), " ");
+    }
+
+    #[test]
+    fn timed_returns_result() {
+        let (v, secs) = timed(|| 42);
+        assert_eq!(v, 42);
+        assert!(secs >= 0.0);
+    }
+}

@@ -1,0 +1,251 @@
+//! Failure injection: crash and revive plans.
+//!
+//! Wait-freedom (Herlihy) requires every operation to finish in a bounded
+//! number of its *own* steps regardless of other processors' failures. The
+//! plans here script those failures: deterministic crash schedules for
+//! regression tests, and seeded random schedules for stochastic sweeps
+//! like experiment E9.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::word::Pid;
+
+/// A crash or revive of one processor at a scheduled cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureEvent {
+    /// Stop stepping the processor.
+    Crash(Pid),
+    /// Resume a crashed processor in place (undetectable restart).
+    Revive(Pid),
+}
+
+/// A schedule of [`FailureEvent`]s keyed by cycle, applied by
+/// [`crate::Machine::run_with_failures`] just before each cycle executes.
+#[derive(Clone, Debug, Default)]
+pub struct FailurePlan {
+    events: Vec<(u64, FailureEvent)>,
+}
+
+impl FailurePlan {
+    /// Creates an empty plan (no failures — the paper's "normal
+    /// execution").
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `pid` to crash at `cycle`.
+    pub fn crash_at(mut self, cycle: u64, pid: Pid) -> Self {
+        self.events.push((cycle, FailureEvent::Crash(pid)));
+        self
+    }
+
+    /// Schedules `pid` to revive at `cycle`.
+    pub fn revive_at(mut self, cycle: u64, pid: Pid) -> Self {
+        self.events.push((cycle, FailureEvent::Revive(pid)));
+        self
+    }
+
+    /// Builds a plan that crashes a random `fraction` of the first
+    /// `nprocs` processors at random cycles within `0..horizon`,
+    /// deterministically from `seed`. At least one processor is always
+    /// left alive: a run in which *everyone* crashes trivially cannot
+    /// sort.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not within `[0.0, 1.0]` or `nprocs` is 0.
+    pub fn random_crashes(nprocs: usize, fraction: f64, horizon: u64, seed: u64) -> Self {
+        assert!(nprocs > 0, "need at least one processor");
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction must be in [0, 1]"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let max_victims = nprocs - 1;
+        let victims = ((nprocs as f64 * fraction).round() as usize).min(max_victims);
+        let mut pool: Vec<usize> = (0..nprocs).collect();
+        pool.shuffle(&mut rng);
+        let mut plan = FailurePlan::new();
+        for &v in pool.iter().take(victims) {
+            let cycle = rng.gen_range(0..horizon.max(1));
+            plan.events.push((cycle, FailureEvent::Crash(Pid::new(v))));
+        }
+        plan
+    }
+
+    /// Builds a fail-revive storm (§1.1's model: processors fail and
+    /// "later possibly revive and proceed in an undetectable manner"):
+    /// each of the first `nprocs` processors suffers `rounds` independent
+    /// crash/revive pairs at random cycles within `0..horizon`,
+    /// deterministically from `seed`. Unlike [`FailurePlan::random_crashes`]
+    /// every processor may be hit — revivals guarantee eventual progress.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nprocs` or `horizon` is zero.
+    pub fn random_crash_revive(nprocs: usize, rounds: usize, horizon: u64, seed: u64) -> Self {
+        assert!(nprocs > 0, "need at least one processor");
+        assert!(horizon > 0, "need a positive horizon");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut plan = FailurePlan::new();
+        for p in 0..nprocs {
+            for _ in 0..rounds {
+                // Crashes land strictly before `horizon`...
+                let down = rng.gen_range(0..horizon);
+                let up = rng.gen_range(down..horizon);
+                plan.events.push((down, FailureEvent::Crash(Pid::new(p))));
+                plan.events.push((up, FailureEvent::Revive(Pid::new(p))));
+            }
+            // ...and a final revive at `horizon` guarantees overlapping
+            // pairs can never leave the processor permanently down.
+            plan.events
+                .push((horizon, FailureEvent::Revive(Pid::new(p))));
+        }
+        plan
+    }
+
+    /// All events scheduled for `cycle`.
+    pub fn events_at(&self, cycle: u64) -> impl Iterator<Item = FailureEvent> + '_ {
+        self.events
+            .iter()
+            .filter(move |&&(c, _)| c == cycle)
+            .map(|&(_, e)| e)
+    }
+
+    /// The latest cycle at which this plan schedules a revive, if any.
+    /// The machine's run loop uses this to keep ticking through a moment
+    /// where *every* processor happens to be down but revivals are still
+    /// pending.
+    pub fn last_revive_cycle(&self) -> Option<u64> {
+        self.events
+            .iter()
+            .filter(|(_, e)| matches!(e, FailureEvent::Revive(_)))
+            .map(|&(c, _)| c)
+            .max()
+    }
+
+    /// Total number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan schedules no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of distinct processors this plan ever crashes.
+    pub fn crash_victims(&self) -> usize {
+        let mut pids: Vec<usize> = self
+            .events
+            .iter()
+            .filter_map(|&(_, e)| match e {
+                FailureEvent::Crash(p) => Some(p.index()),
+                FailureEvent::Revive(_) => None,
+            })
+            .collect();
+        pids.sort_unstable();
+        pids.dedup();
+        pids.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_events() {
+        let plan = FailurePlan::new()
+            .crash_at(3, Pid::new(0))
+            .crash_at(3, Pid::new(1))
+            .revive_at(7, Pid::new(0));
+        assert_eq!(plan.len(), 3);
+        assert!(!plan.is_empty());
+        let at3: Vec<_> = plan.events_at(3).collect();
+        assert_eq!(
+            at3,
+            vec![
+                FailureEvent::Crash(Pid::new(0)),
+                FailureEvent::Crash(Pid::new(1))
+            ]
+        );
+        let at7: Vec<_> = plan.events_at(7).collect();
+        assert_eq!(at7, vec![FailureEvent::Revive(Pid::new(0))]);
+        assert!(plan.events_at(5).next().is_none());
+    }
+
+    #[test]
+    fn random_crashes_leaves_a_survivor() {
+        for seed in 0..20 {
+            let plan = FailurePlan::random_crashes(8, 1.0, 100, seed);
+            assert!(plan.crash_victims() <= 7, "seed {seed} crashed everyone");
+        }
+    }
+
+    #[test]
+    fn random_crashes_is_deterministic_in_seed() {
+        let a = FailurePlan::random_crashes(16, 0.5, 50, 7);
+        let b = FailurePlan::random_crashes(16, 0.5, 50, 7);
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn random_crashes_fraction_zero_is_empty() {
+        let plan = FailurePlan::random_crashes(8, 0.0, 100, 1);
+        assert!(plan.is_empty());
+        assert_eq!(plan.crash_victims(), 0);
+    }
+
+    #[test]
+    fn crash_victims_deduplicates() {
+        let plan = FailurePlan::new()
+            .crash_at(1, Pid::new(2))
+            .crash_at(5, Pid::new(2));
+        assert_eq!(plan.crash_victims(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn random_crashes_rejects_bad_fraction() {
+        FailurePlan::random_crashes(8, 1.5, 100, 1);
+    }
+
+    #[test]
+    fn crash_revive_storm_always_ends_revived() {
+        for seed in 0..10 {
+            let plan = FailurePlan::random_crash_revive(4, 3, 50, seed);
+            // Simulate the event stream per processor: the final state
+            // must be alive for everyone.
+            for p in 0..4 {
+                let mut alive = true;
+                for cycle in 0..=50u64 {
+                    for e in plan.events_at(cycle) {
+                        match e {
+                            FailureEvent::Crash(pid) if pid.index() == p => alive = false,
+                            FailureEvent::Revive(pid) if pid.index() == p => alive = true,
+                            _ => {}
+                        }
+                    }
+                }
+                assert!(alive, "seed {seed}: processor {p} left crashed");
+            }
+        }
+    }
+
+    #[test]
+    fn crash_revive_storm_is_deterministic() {
+        let a = FailurePlan::random_crash_revive(3, 2, 40, 9);
+        let b = FailurePlan::random_crash_revive(3, 2, 40, 9);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.len(), 3 * (2 * 2 + 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive horizon")]
+    fn crash_revive_rejects_zero_horizon() {
+        FailurePlan::random_crash_revive(2, 1, 0, 0);
+    }
+}

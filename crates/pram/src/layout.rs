@@ -1,0 +1,135 @@
+//! Bump allocation of shared-memory regions.
+//!
+//! PRAM programs address flat memory; a [`MemoryLayout`] carves that flat
+//! space into named [`Region`]s so each algorithm crate can lay out its
+//! arrays (`A`, the WAT, the winner tree, ...) without hard-coding
+//! addresses.
+
+use crate::word::Addr;
+
+/// Bump allocator over the machine's address space.
+#[derive(Clone, Debug, Default)]
+pub struct MemoryLayout {
+    next: Addr,
+}
+
+impl MemoryLayout {
+    /// Starts a layout at address 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reserves `len` consecutive cells and returns the region.
+    pub fn region(&mut self, len: usize) -> Region {
+        let base = self.next;
+        self.next += len;
+        Region { base, len }
+    }
+
+    /// Total cells reserved so far — the memory size the machine needs.
+    pub fn total(&self) -> usize {
+        self.next
+    }
+}
+
+/// A contiguous range of shared-memory cells.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Region {
+    base: Addr,
+    len: usize,
+}
+
+impl Region {
+    /// A sub-window of `len` cells starting at `base` of an existing
+    /// region, for structures that carve one allocation into per-group
+    /// chunks. The caller is responsible for `base` lying inside memory
+    /// it owns.
+    pub fn window(base: Addr, len: usize) -> Region {
+        Region { base, len }
+    }
+
+    /// First address of the region.
+    pub fn base(&self) -> Addr {
+        self.base
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the region is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Address of element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len` — regions bound-check so that a logic error in
+    /// an algorithm cannot silently alias another algorithm's memory.
+    pub fn at(&self, i: usize) -> Addr {
+        assert!(
+            i < self.len,
+            "index {i} out of region of length {}",
+            self.len
+        );
+        self.base + i
+    }
+
+    /// The region as a `std::ops::Range` of addresses.
+    pub fn range(&self) -> std::ops::Range<Addr> {
+        self.base..self.base + self.len
+    }
+
+    /// Whether `addr` falls inside the region.
+    pub fn contains(&self, addr: Addr) -> bool {
+        addr >= self.base && addr < self.base + self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_disjoint_and_contiguous() {
+        let mut l = MemoryLayout::new();
+        let a = l.region(10);
+        let b = l.region(5);
+        assert_eq!(a.base(), 0);
+        assert_eq!(a.len(), 10);
+        assert_eq!(b.base(), 10);
+        assert_eq!(b.len(), 5);
+        assert_eq!(l.total(), 15);
+        assert!(a.range().all(|addr| !b.contains(addr)));
+    }
+
+    #[test]
+    fn at_addresses_elements() {
+        let mut l = MemoryLayout::new();
+        let _pad = l.region(7);
+        let r = l.region(3);
+        assert_eq!(r.at(0), 7);
+        assert_eq!(r.at(2), 9);
+        assert!(r.contains(8));
+        assert!(!r.contains(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of region")]
+    fn at_checks_bounds() {
+        let mut l = MemoryLayout::new();
+        let r = l.region(3);
+        r.at(3);
+    }
+
+    #[test]
+    fn empty_region() {
+        let mut l = MemoryLayout::new();
+        let r = l.region(0);
+        assert!(r.is_empty());
+        assert_eq!(r.range().count(), 0);
+    }
+}

@@ -1,0 +1,77 @@
+//! A cycle-accurate simulator for the CRCW PRAM (Concurrent-Read
+//! Concurrent-Write Parallel Random Access Machine).
+//!
+//! This crate is the execution substrate for the reproduction of
+//! *"A Wait-Free Sorting Algorithm"* (Shavit, Upfal, Zemach; PODC 1997).
+//! Every complexity claim in that paper is a statement about three
+//! quantities of a CRCW PRAM execution:
+//!
+//! * **time** — the number of synchronous machine cycles,
+//! * **work** — the total number of shared-memory operations, and
+//! * **contention** — the maximum number of processors accessing any
+//!   single memory cell in the same cycle (§1.2 of the paper).
+//!
+//! The simulator counts exactly these quantities. Programs are expressed as
+//! state machines implementing [`Process`]: on every cycle in which the
+//! scheduler steps a processor, the processor receives the result of its
+//! previous shared-memory operation and emits its next one. This
+//! single-operation granularity is the granularity at which *wait-freedom*
+//! is defined, and lets an adversarial [`Scheduler`] interleave, delay, or
+//! crash processors between any two memory operations.
+//!
+//! # Example
+//!
+//! Run two processors that each increment a counter cell with
+//! compare-and-swap until it reaches 10:
+//!
+//! ```
+//! use pram::{Machine, Op, OpResult, Process, SyncScheduler, Word};
+//!
+//! struct Incrementor { last_seen: Option<Word> }
+//!
+//! impl Process for Incrementor {
+//!     fn step(&mut self, last: Option<OpResult>) -> Op {
+//!         match last {
+//!             None | Some(OpResult::Cas { .. }) => Op::Read(0),
+//!             Some(OpResult::Read(v)) if v >= 10 => Op::Halt,
+//!             Some(OpResult::Read(v)) => Op::Cas { addr: 0, expected: v, new: v + 1 },
+//!             _ => unreachable!(),
+//!         }
+//!     }
+//! }
+//!
+//! let mut machine = Machine::new(1);
+//! machine.add_process(Box::new(Incrementor { last_seen: None }));
+//! machine.add_process(Box::new(Incrementor { last_seen: None }));
+//! let report = machine.run(&mut SyncScheduler, 10_000).expect("terminates");
+//! assert_eq!(machine.memory().read(0), 10);
+//! assert!(report.metrics.max_contention <= 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod layout;
+mod machine;
+mod memory;
+mod metrics;
+mod op;
+mod process;
+mod sched;
+mod trace;
+mod word;
+
+pub mod failure;
+
+pub use layout::{MemoryLayout, Region};
+pub use machine::{Machine, MachineError, ModelPolicy, RunReport};
+pub use memory::Memory;
+pub use metrics::{CycleReport, Metrics};
+pub use op::{Op, OpResult};
+pub use process::{FnProcess, Process, ProcessState, SeqProcess};
+pub use sched::{
+    AdversaryScheduler, RandomScheduler, RoundRobinScheduler, Scheduler, SingleStepScheduler,
+    SyncScheduler,
+};
+pub use trace::{Trace, TraceEvent};
+pub use word::{Addr, Pid, Word};

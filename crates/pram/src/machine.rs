@@ -1,0 +1,745 @@
+//! The CRCW PRAM machine: memory + processes + cycle execution.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::memory::Memory;
+use crate::metrics::{AccessKind, CycleReport, Metrics};
+use crate::op::{Op, OpResult};
+use crate::process::{Process, ProcessState};
+use crate::sched::Scheduler;
+use crate::word::Pid;
+
+/// The PRAM concurrency model to *enforce* while running.
+///
+/// The machine always executes with arbitrary-winner CRCW semantics; the
+/// stricter policies are verification aids that answer "does this
+/// algorithm actually need concurrent reads/writes?" — the question the
+/// paper's model discussion (§1.2, QRQW citations) turns on. Under
+/// `Crew`, two same-cycle writers to one cell end the run with
+/// [`MachineError::ModelViolation`]; under `Erew`, two same-cycle
+/// accesses of any kind do.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ModelPolicy {
+    /// Concurrent reads and writes allowed (the paper's model).
+    #[default]
+    Crcw,
+    /// Concurrent reads allowed, writes exclusive.
+    Crew,
+    /// All accesses exclusive.
+    Erew,
+}
+
+/// Error conditions of a simulated run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MachineError {
+    /// The run did not finish within the cycle budget. For a wait-free
+    /// algorithm under a fair scheduler this indicates a bug (or a budget
+    /// that contradicts the algorithm's step bound).
+    CycleLimitExceeded {
+        /// The exhausted budget.
+        limit: u64,
+        /// Processes still runnable when the budget ran out.
+        still_runnable: usize,
+    },
+    /// A cycle violated the enforced [`ModelPolicy`].
+    ModelViolation {
+        /// The enforced policy.
+        policy: ModelPolicy,
+        /// Cycle of the first violation.
+        cycle: u64,
+        /// The contended cell.
+        cell: usize,
+        /// Same-cycle writers to the cell (writes + CAS).
+        writers: usize,
+        /// Same-cycle accesses of any kind to the cell.
+        accessors: usize,
+    },
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::CycleLimitExceeded {
+                limit,
+                still_runnable,
+            } => write!(
+                f,
+                "cycle limit {limit} exceeded with {still_runnable} processes still runnable"
+            ),
+            MachineError::ModelViolation {
+                policy,
+                cycle,
+                cell,
+                writers,
+                accessors,
+            } => write!(
+                f,
+                "{policy:?} violation at cycle {cycle}: cell {cell} had {writers} \
+                 concurrent writers / {accessors} concurrent accesses"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+/// Summary of a completed run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Aggregated execution metrics.
+    pub metrics: Metrics,
+    /// Processes that halted normally.
+    pub halted: usize,
+    /// Processes left crashed at the end of the run.
+    pub crashed: usize,
+}
+
+struct Slot {
+    process: Box<dyn Process>,
+    state: ProcessState,
+    pending: Option<OpResult>,
+}
+
+/// A simulated CRCW PRAM: shared [`Memory`], a set of processes, and the
+/// cycle loop that advances them under a [`Scheduler`].
+///
+/// Concurrency semantics: within a cycle, every selected process issues one
+/// operation; the machine serializes the operations of the cycle in a
+/// seeded arbitrary order (so concurrent writes have an *arbitrary winner*
+/// and at most one of several identical-expectation CASes succeeds), counts
+/// every access toward that cycle's per-cell contention, and delivers each
+/// result to its issuer at that process's next step.
+pub struct Machine {
+    memory: Memory,
+    slots: Vec<Slot>,
+    metrics: Metrics,
+    rng: StdRng,
+    cycle: u64,
+    policy: ModelPolicy,
+    violation: Option<MachineError>,
+    trace: Option<crate::trace::Trace>,
+    // Scratch buffers reused across cycles.
+    runnable_buf: Vec<Pid>,
+    selected_buf: Vec<Pid>,
+    cell_counts: HashMap<usize, usize>,
+    write_counts: HashMap<usize, usize>,
+}
+
+impl Machine {
+    /// Creates a machine with `mem_size` zeroed cells and a default seed.
+    pub fn new(mem_size: usize) -> Self {
+        Self::with_seed(mem_size, 0x5eed)
+    }
+
+    /// Creates a machine whose arbitrary-winner choices derive from `seed`,
+    /// for reproducible runs.
+    pub fn with_seed(mem_size: usize, seed: u64) -> Self {
+        Machine {
+            memory: Memory::new(mem_size),
+            slots: Vec::new(),
+            metrics: Metrics::new(0),
+            rng: StdRng::seed_from_u64(seed),
+            cycle: 0,
+            policy: ModelPolicy::Crcw,
+            violation: None,
+            trace: None,
+            runnable_buf: Vec::new(),
+            selected_buf: Vec::new(),
+            cell_counts: HashMap::new(),
+            write_counts: HashMap::new(),
+        }
+    }
+
+    /// Enforces `policy` on subsequent cycles (see [`ModelPolicy`]); runs
+    /// end with [`MachineError::ModelViolation`] on the first offense.
+    pub fn enforce_model(&mut self, policy: ModelPolicy) {
+        self.policy = policy;
+    }
+
+    /// The first model violation observed so far, if any.
+    pub fn model_violation(&self) -> Option<&MachineError> {
+        self.violation.as_ref()
+    }
+
+    /// Starts recording the last `capacity` executed operations into a
+    /// ring-buffer [`crate::Trace`] for post-mortem debugging.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn record_trace(&mut self, capacity: usize) {
+        self.trace = Some(crate::trace::Trace::new(capacity));
+    }
+
+    /// The recorded trace, if [`Machine::record_trace`] was called.
+    pub fn trace(&self) -> Option<&crate::trace::Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Adds a process; returns its [`Pid`] (dense, in insertion order).
+    pub fn add_process(&mut self, process: Box<dyn Process>) -> Pid {
+        let pid = Pid::new(self.slots.len());
+        self.slots.push(Slot {
+            process,
+            state: ProcessState::Runnable,
+            pending: None,
+        });
+        self.metrics.ensure_process(pid.index());
+        pid
+    }
+
+    /// Number of processes ever added.
+    pub fn process_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Shared memory (read-only view).
+    pub fn memory(&self) -> &Memory {
+        &self.memory
+    }
+
+    /// Shared memory, mutable — for pre-run initialization via
+    /// [`Memory::load`] and for watching invariants.
+    pub fn memory_mut(&mut self) -> &mut Memory {
+        &mut self.memory
+    }
+
+    /// Current lifecycle state of `pid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` was not returned by [`Machine::add_process`].
+    pub fn state(&self, pid: Pid) -> ProcessState {
+        self.slots[pid.index()].state
+    }
+
+    /// Metrics accumulated so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Enables recording the per-cycle contention series (see
+    /// [`Metrics::record_timeline`]). Call before running.
+    pub fn record_timeline(&mut self, enabled: bool) {
+        self.metrics.record_timeline(enabled);
+    }
+
+    /// Current cycle number (number of cycles executed so far).
+    pub fn cycle_count(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Crashes `pid`: it takes no further steps until revived. Crashing a
+    /// halted process has no effect. This models the wait-free failure
+    /// assumption — a crash can occur between any two memory operations.
+    pub fn crash(&mut self, pid: Pid) {
+        let slot = &mut self.slots[pid.index()];
+        if slot.state == ProcessState::Runnable {
+            slot.state = ProcessState::Crashed;
+        }
+    }
+
+    /// Revives a crashed `pid`, which resumes exactly where it stopped —
+    /// the *undetectable restart* of the fail-revive model discussed in
+    /// §1.1 of the paper.
+    pub fn revive(&mut self, pid: Pid) {
+        let slot = &mut self.slots[pid.index()];
+        if slot.state == ProcessState::Crashed {
+            slot.state = ProcessState::Runnable;
+        }
+    }
+
+    /// Whether any process is still runnable.
+    pub fn has_runnable(&self) -> bool {
+        self.slots.iter().any(|s| s.state == ProcessState::Runnable)
+    }
+
+    /// Executes one machine cycle under `sched` and reports what happened.
+    pub fn cycle(&mut self, sched: &mut dyn Scheduler) -> CycleReport {
+        self.runnable_buf.clear();
+        for (i, slot) in self.slots.iter().enumerate() {
+            if slot.state.is_runnable() {
+                self.runnable_buf.push(Pid::new(i));
+            }
+        }
+        self.selected_buf.clear();
+        sched.select(self.cycle, &self.runnable_buf, &mut self.selected_buf);
+        debug_assert!(
+            {
+                let mut seen = std::collections::HashSet::new();
+                self.selected_buf
+                    .iter()
+                    .all(|p| self.runnable_buf.contains(p) && seen.insert(p.index()))
+            },
+            "scheduler selected a non-runnable or duplicate pid"
+        );
+
+        // Phase A: collect this cycle's operations.
+        let mut ops: Vec<(Pid, Op)> = Vec::with_capacity(self.selected_buf.len());
+        let mut halted_now = 0;
+        let selected = std::mem::take(&mut self.selected_buf);
+        for &pid in &selected {
+            let slot = &mut self.slots[pid.index()];
+            let op = slot.process.step(slot.pending.take());
+            self.metrics.record_step(pid.index());
+            match op {
+                Op::Halt => {
+                    slot.state = ProcessState::Halted;
+                    halted_now += 1;
+                }
+                op => ops.push((pid, op)),
+            }
+        }
+        self.selected_buf = selected;
+
+        // Phase B: serialize the operations in an arbitrary (seeded) order.
+        ops.shuffle(&mut self.rng);
+        self.cell_counts.clear();
+        self.write_counts.clear();
+        let mut memory_ops = 0;
+        for (pid, op) in ops {
+            let result = match op {
+                Op::Read(addr) => {
+                    self.metrics.record_access(addr, AccessKind::Read);
+                    *self.cell_counts.entry(addr).or_insert(0) += 1;
+                    memory_ops += 1;
+                    OpResult::Read(self.memory.read(addr))
+                }
+                Op::Write(addr, value) => {
+                    self.metrics.record_access(addr, AccessKind::Write);
+                    *self.cell_counts.entry(addr).or_insert(0) += 1;
+                    *self.write_counts.entry(addr).or_insert(0) += 1;
+                    memory_ops += 1;
+                    self.memory.write(addr, value);
+                    OpResult::Write
+                }
+                Op::Cas {
+                    addr,
+                    expected,
+                    new,
+                } => {
+                    self.metrics.record_access(addr, AccessKind::Cas);
+                    *self.cell_counts.entry(addr).or_insert(0) += 1;
+                    *self.write_counts.entry(addr).or_insert(0) += 1;
+                    memory_ops += 1;
+                    let (won, current) = self.memory.compare_and_swap(addr, expected, new);
+                    OpResult::Cas { won, current }
+                }
+                Op::Nop => OpResult::Nop,
+                Op::Halt => unreachable!("halt filtered in phase A"),
+            };
+            if let Some(trace) = &mut self.trace {
+                trace.push(crate::trace::TraceEvent {
+                    cycle: self.cycle,
+                    pid,
+                    op,
+                    result: Some(result),
+                });
+            }
+            self.slots[pid.index()].pending = Some(result);
+        }
+
+        if self.violation.is_none() {
+            let offender = match self.policy {
+                ModelPolicy::Crcw => None,
+                ModelPolicy::Crew => self
+                    .write_counts
+                    .iter()
+                    .find(|(_, &w)| w >= 2)
+                    .map(|(&cell, _)| cell),
+                ModelPolicy::Erew => self
+                    .cell_counts
+                    .iter()
+                    .find(|(_, &c)| c >= 2)
+                    .map(|(&cell, _)| cell),
+            };
+            if let Some(cell) = offender {
+                self.violation = Some(MachineError::ModelViolation {
+                    policy: self.policy,
+                    cycle: self.cycle,
+                    cell,
+                    writers: self.write_counts.get(&cell).copied().unwrap_or(0),
+                    accessors: self.cell_counts.get(&cell).copied().unwrap_or(0),
+                });
+            }
+        }
+
+        let max_cell_contention = self.metrics.finish_cycle(&self.cell_counts);
+        let report = CycleReport {
+            cycle: self.cycle,
+            stepped: self.selected_buf.len(),
+            memory_ops,
+            max_cell_contention,
+            halted: halted_now,
+        };
+        self.cycle += 1;
+        report
+    }
+
+    /// Runs cycles until no process is runnable, or errors after
+    /// `max_cycles`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::CycleLimitExceeded`] if runnable processes
+    /// remain after `max_cycles` cycles.
+    pub fn run(
+        &mut self,
+        sched: &mut dyn Scheduler,
+        max_cycles: u64,
+    ) -> Result<RunReport, MachineError> {
+        let start = self.cycle;
+        while self.has_runnable() {
+            if self.cycle - start >= max_cycles {
+                return Err(MachineError::CycleLimitExceeded {
+                    limit: max_cycles,
+                    still_runnable: self.slots.iter().filter(|s| s.state.is_runnable()).count(),
+                });
+            }
+            self.cycle(sched);
+            if let Some(v) = &self.violation {
+                return Err(v.clone());
+            }
+        }
+        Ok(self.report())
+    }
+
+    /// Runs under `sched`, applying `plan`'s crash/revive events at their
+    /// scheduled cycles, until no process is runnable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::CycleLimitExceeded`] as [`Machine::run`]
+    /// does.
+    pub fn run_with_failures(
+        &mut self,
+        sched: &mut dyn Scheduler,
+        plan: &crate::failure::FailurePlan,
+        max_cycles: u64,
+    ) -> Result<RunReport, MachineError> {
+        let start = self.cycle;
+        // A cycle where everyone happens to be crashed must not end the
+        // run if the plan still schedules revivals — in the fail-revive
+        // model a crash is just a delay.
+        let keep_ticking = |m: &Machine| {
+            m.has_runnable()
+                || (m.slots.iter().any(|s| s.state == ProcessState::Crashed)
+                    && plan.last_revive_cycle().is_some_and(|c| c >= m.cycle))
+        };
+        while keep_ticking(self) {
+            if self.cycle - start >= max_cycles {
+                return Err(MachineError::CycleLimitExceeded {
+                    limit: max_cycles,
+                    still_runnable: self.slots.iter().filter(|s| s.state.is_runnable()).count(),
+                });
+            }
+            for event in plan.events_at(self.cycle) {
+                match event {
+                    crate::failure::FailureEvent::Crash(pid) => self.crash(pid),
+                    crate::failure::FailureEvent::Revive(pid) => self.revive(pid),
+                }
+            }
+            self.cycle(sched);
+            if let Some(v) = &self.violation {
+                return Err(v.clone());
+            }
+        }
+        Ok(self.report())
+    }
+
+    /// Builds the final report without running further.
+    pub fn report(&self) -> RunReport {
+        RunReport {
+            metrics: self.metrics.clone(),
+            halted: self
+                .slots
+                .iter()
+                .filter(|s| s.state == ProcessState::Halted)
+                .count(),
+            crashed: self
+                .slots
+                .iter()
+                .filter(|s| s.state == ProcessState::Crashed)
+                .count(),
+        }
+    }
+}
+
+impl fmt::Debug for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Machine")
+            .field("cells", &self.memory.len())
+            .field("processes", &self.slots.len())
+            .field("cycle", &self.cycle)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::FnProcess;
+    use crate::sched::{SingleStepScheduler, SyncScheduler};
+
+    /// A process that writes `value` to `addr` and halts.
+    fn writer(addr: usize, value: i64) -> Box<dyn Process> {
+        Box::new(FnProcess::new(move |last| match last {
+            None => Op::Write(addr, value),
+            Some(OpResult::Write) => Op::Halt,
+            other => panic!("unexpected {other:?}"),
+        }))
+    }
+
+    #[test]
+    fn single_writer_runs_to_completion() {
+        let mut m = Machine::new(4);
+        let pid = m.add_process(writer(2, 7));
+        let report = m.run(&mut SyncScheduler, 100).unwrap();
+        assert_eq!(m.memory().read(2), 7);
+        assert_eq!(m.state(pid), ProcessState::Halted);
+        assert_eq!(report.halted, 1);
+        assert_eq!(report.metrics.writes, 1);
+        // One write cycle + one halt cycle.
+        assert_eq!(report.metrics.steps_per_process[0], 2);
+    }
+
+    #[test]
+    fn concurrent_writes_have_arbitrary_winner_and_full_contention() {
+        let mut m = Machine::with_seed(1, 42);
+        for v in 1..=8 {
+            m.add_process(writer(0, v));
+        }
+        let report = m.run(&mut SyncScheduler, 100).unwrap();
+        let final_value = m.memory().read(0);
+        assert!((1..=8).contains(&final_value));
+        assert_eq!(report.metrics.max_contention, 8);
+        assert_eq!(report.metrics.total_stalls, 7);
+    }
+
+    #[test]
+    fn concurrent_cas_exactly_one_winner() {
+        let mut m = Machine::with_seed(1, 9);
+        let n = 6;
+        for v in 1..=n {
+            m.add_process(Box::new(FnProcess::new(move |last| match last {
+                None => Op::Cas {
+                    addr: 0,
+                    expected: 0,
+                    new: v,
+                },
+                Some(OpResult::Cas { won, current }) => {
+                    if won {
+                        assert_eq!(current, v);
+                    } else {
+                        assert_ne!(current, 0);
+                    }
+                    Op::Halt
+                }
+                other => panic!("unexpected {other:?}"),
+            })));
+        }
+        m.run(&mut SyncScheduler, 100).unwrap();
+        assert_ne!(m.memory().read(0), 0);
+    }
+
+    #[test]
+    fn crash_prevents_steps_and_revive_resumes_in_place() {
+        let mut m = Machine::new(2);
+        let pid = m.add_process(Box::new(FnProcess::new(move |last| match last {
+            None => Op::Read(0),
+            Some(OpResult::Read(_)) => Op::Write(1, 99),
+            Some(OpResult::Write) => Op::Halt,
+            other => panic!("unexpected {other:?}"),
+        })));
+        let mut sched = SyncScheduler;
+        m.cycle(&mut sched); // performed the read
+        m.crash(pid);
+        for _ in 0..10 {
+            m.cycle(&mut sched);
+        }
+        assert_eq!(m.memory().read(1), 0, "crashed process makes no progress");
+        m.revive(pid);
+        m.run(&mut sched, 100).unwrap();
+        assert_eq!(
+            m.memory().read(1),
+            99,
+            "revived process resumed mid-program"
+        );
+    }
+
+    #[test]
+    fn crash_on_halted_process_is_noop() {
+        let mut m = Machine::new(1);
+        let pid = m.add_process(writer(0, 1));
+        m.run(&mut SyncScheduler, 10).unwrap();
+        m.crash(pid);
+        assert_eq!(m.state(pid), ProcessState::Halted);
+    }
+
+    #[test]
+    fn trace_records_executed_operations() {
+        let mut m = Machine::new(2);
+        m.record_trace(16);
+        m.add_process(writer(1, 5));
+        m.run(&mut SyncScheduler, 10).unwrap();
+        let trace = m.trace().expect("trace enabled");
+        assert_eq!(trace.len(), 1, "one memory op executed");
+        let e = trace.events().next().unwrap();
+        assert_eq!(e.op, Op::Write(1, 5));
+        assert_eq!(e.pid, Pid::new(0));
+        assert!(trace.dump().contains("write 1 <- 5"));
+    }
+
+    #[test]
+    fn erew_policy_accepts_single_processor_runs() {
+        // One operation per cycle can never collide: any single-processor
+        // program is EREW-clean.
+        let mut m = Machine::new(2);
+        m.enforce_model(ModelPolicy::Erew);
+        m.add_process(writer(0, 3));
+        m.run(&mut SyncScheduler, 100).unwrap();
+        assert!(m.model_violation().is_none());
+    }
+
+    #[test]
+    fn crew_policy_rejects_concurrent_writers() {
+        let mut m = Machine::new(1);
+        m.enforce_model(ModelPolicy::Crew);
+        m.add_process(writer(0, 1));
+        m.add_process(writer(0, 2));
+        let err = m.run(&mut SyncScheduler, 100).unwrap_err();
+        assert!(matches!(
+            err,
+            MachineError::ModelViolation {
+                policy: ModelPolicy::Crew,
+                writers: 2,
+                ..
+            }
+        ));
+        assert!(err.to_string().contains("Crew violation"));
+    }
+
+    #[test]
+    fn crew_policy_allows_concurrent_readers() {
+        let mut m = Machine::new(1);
+        m.enforce_model(ModelPolicy::Crew);
+        for _ in 0..4 {
+            m.add_process(Box::new(FnProcess::new(|last| match last {
+                None => Op::Read(0),
+                Some(OpResult::Read(_)) => Op::Halt,
+                other => panic!("unexpected {other:?}"),
+            })));
+        }
+        m.run(&mut SyncScheduler, 100).unwrap();
+    }
+
+    #[test]
+    fn erew_policy_rejects_concurrent_readers() {
+        let mut m = Machine::new(1);
+        m.enforce_model(ModelPolicy::Erew);
+        for _ in 0..2 {
+            m.add_process(Box::new(FnProcess::new(|last| match last {
+                None => Op::Read(0),
+                Some(OpResult::Read(_)) => Op::Halt,
+                other => panic!("unexpected {other:?}"),
+            })));
+        }
+        let err = m.run(&mut SyncScheduler, 100).unwrap_err();
+        assert!(matches!(
+            err,
+            MachineError::ModelViolation {
+                policy: ModelPolicy::Erew,
+                accessors: 2,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn run_survives_a_moment_where_everyone_is_down() {
+        // Regression test: if every processor is crashed at once but the
+        // plan schedules revivals, the run must keep ticking — in the
+        // fail-revive model a crash is only a delay.
+        let mut m = Machine::new(2);
+        m.add_process(writer(0, 7));
+        m.add_process(writer(1, 9));
+        let plan = crate::failure::FailurePlan::new()
+            .crash_at(0, Pid::new(0))
+            .crash_at(0, Pid::new(1))
+            .revive_at(5, Pid::new(0))
+            .revive_at(9, Pid::new(1));
+        let report = m
+            .run_with_failures(&mut SyncScheduler, &plan, 1000)
+            .unwrap();
+        assert_eq!(report.halted, 2);
+        assert_eq!(m.memory().read(0), 7);
+        assert_eq!(m.memory().read(1), 9);
+    }
+
+    #[test]
+    fn cycle_limit_error_reports_stragglers() {
+        let mut m = Machine::new(1);
+        // A process that spins forever.
+        m.add_process(Box::new(FnProcess::new(|_| Op::Read(0))));
+        let err = m.run(&mut SyncScheduler, 50).unwrap_err();
+        assert_eq!(
+            err,
+            MachineError::CycleLimitExceeded {
+                limit: 50,
+                still_runnable: 1
+            }
+        );
+        assert!(err.to_string().contains("cycle limit 50"));
+    }
+
+    #[test]
+    fn sequential_schedule_gives_zero_stalls() {
+        let mut m = Machine::new(1);
+        for v in 1..=4 {
+            m.add_process(writer(0, v));
+        }
+        let report = m.run(&mut SingleStepScheduler::new(), 100).unwrap();
+        assert_eq!(report.metrics.max_contention, 1);
+        assert_eq!(report.metrics.total_stalls, 0);
+    }
+
+    #[test]
+    fn nop_costs_a_cycle_but_no_memory_traffic() {
+        let mut m = Machine::new(1);
+        m.add_process(Box::new(FnProcess::new(|last| match last {
+            None => Op::Nop,
+            Some(OpResult::Nop) => Op::Halt,
+            other => panic!("unexpected {other:?}"),
+        })));
+        let report = m.run(&mut SyncScheduler, 10).unwrap();
+        assert_eq!(report.metrics.total_ops, 0);
+        assert_eq!(report.metrics.steps_per_process[0], 2);
+    }
+
+    #[test]
+    fn same_seed_same_winner() {
+        let run = |seed| {
+            let mut m = Machine::with_seed(1, seed);
+            for v in 1..=8 {
+                m.add_process(writer(0, v));
+            }
+            m.run(&mut SyncScheduler, 100).unwrap();
+            m.memory().read(0)
+        };
+        assert_eq!(run(123), run(123));
+    }
+
+    #[test]
+    fn report_before_running_is_empty() {
+        let m = Machine::new(1);
+        let r = m.report();
+        assert_eq!(r.halted, 0);
+        assert_eq!(r.crashed, 0);
+        assert_eq!(r.metrics.cycles, 0);
+    }
+}

@@ -1,0 +1,192 @@
+//! The shared-memory array of the simulated machine.
+
+use crate::word::{Addr, Word};
+
+/// Flat shared memory of [`Word`] cells, all initialized to zero.
+///
+/// The memory itself is sequential; concurrency semantics (which of several
+/// same-cycle operations wins, how contention is charged) live in
+/// [`crate::Machine`], which serializes each cycle's operations in an
+/// arbitrary (seeded) order. `Memory` additionally supports *write-once
+/// watching*: the sorting algorithm's correctness argument leans on the
+/// fact that child pointers, once set, never change (Lemma 2.5), and tests
+/// enable watching to turn any violation into a panic.
+#[derive(Clone, Debug)]
+pub struct Memory {
+    cells: Vec<Word>,
+    /// For each watched cell: `Some(addr)` ranges recorded as write-once.
+    watched: Vec<(Addr, Addr)>,
+    /// Cells (within watched ranges) that have been written a first time.
+    written_once: Vec<bool>,
+}
+
+impl Memory {
+    /// Creates a memory of `size` cells, all zero.
+    pub fn new(size: usize) -> Self {
+        Memory {
+            cells: vec![0; size],
+            watched: Vec::new(),
+            written_once: vec![false; size],
+        }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the memory has zero cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Reads the cell at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of bounds — simulated programs are expected
+    /// to be memory-safe, and an out-of-range access is a bug in the
+    /// algorithm under test, not a recoverable condition.
+    pub fn read(&self, addr: Addr) -> Word {
+        self.cells[addr]
+    }
+
+    /// Writes `value` to the cell at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of bounds, or if the cell lies in a
+    /// write-once watched range and is being overwritten with a *different*
+    /// value after its first write.
+    pub fn write(&mut self, addr: Addr, value: Word) {
+        if self.is_watched(addr) && self.written_once[addr] && self.cells[addr] != value {
+            panic!(
+                "write-once violation at cell {addr}: {} -> {value}",
+                self.cells[addr]
+            );
+        }
+        self.cells[addr] = value;
+        self.written_once[addr] = true;
+    }
+
+    /// Atomic compare-and-swap; returns `(won, value_after)`.
+    pub fn compare_and_swap(&mut self, addr: Addr, expected: Word, new: Word) -> (bool, Word) {
+        if self.cells[addr] == expected {
+            self.write(addr, new);
+            (true, new)
+        } else {
+            (false, self.cells[addr])
+        }
+    }
+
+    /// Marks `range` as write-once: overwriting a cell in it with a
+    /// different value panics. Used by tests to enforce the paper's
+    /// "child pointers, once set, are never changed" invariant.
+    pub fn watch_write_once(&mut self, range: std::ops::Range<Addr>) {
+        assert!(range.end <= self.cells.len(), "watch range out of bounds");
+        self.watched.push((range.start, range.end));
+    }
+
+    /// Copies a slice of memory out as a `Vec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn snapshot(&self, range: std::ops::Range<Addr>) -> Vec<Word> {
+        self.cells[range].to_vec()
+    }
+
+    /// Bulk-initializes cells starting at `base` from `values`.
+    ///
+    /// Initialization happens "before time starts" and is exempt from
+    /// write-once watching.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the values do not fit.
+    pub fn load(&mut self, base: Addr, values: &[Word]) {
+        self.cells[base..base + values.len()].copy_from_slice(values);
+    }
+
+    fn is_watched(&self, addr: Addr) -> bool {
+        self.watched.iter().any(|&(s, e)| addr >= s && addr < e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_memory_is_zeroed() {
+        let m = Memory::new(8);
+        assert_eq!(m.len(), 8);
+        assert!(!m.is_empty());
+        assert!((0..8).all(|a| m.read(a) == 0));
+    }
+
+    #[test]
+    fn write_then_read() {
+        let mut m = Memory::new(4);
+        m.write(2, -7);
+        assert_eq!(m.read(2), -7);
+    }
+
+    #[test]
+    fn cas_succeeds_on_expected_value() {
+        let mut m = Memory::new(2);
+        let (won, cur) = m.compare_and_swap(0, 0, 5);
+        assert!(won);
+        assert_eq!(cur, 5);
+        assert_eq!(m.read(0), 5);
+    }
+
+    #[test]
+    fn cas_fails_on_mismatch_and_reports_current() {
+        let mut m = Memory::new(2);
+        m.write(0, 3);
+        let (won, cur) = m.compare_and_swap(0, 0, 5);
+        assert!(!won);
+        assert_eq!(cur, 3);
+        assert_eq!(m.read(0), 3);
+    }
+
+    #[test]
+    fn write_once_watch_allows_idempotent_rewrite() {
+        let mut m = Memory::new(4);
+        m.watch_write_once(0..4);
+        m.write(1, 9);
+        m.write(1, 9); // same value: benign, permitted
+        assert_eq!(m.read(1), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "write-once violation")]
+    fn write_once_watch_catches_mutation() {
+        let mut m = Memory::new(4);
+        m.watch_write_once(0..4);
+        m.write(1, 9);
+        m.write(1, 10);
+    }
+
+    #[test]
+    fn load_is_exempt_from_watch() {
+        let mut m = Memory::new(4);
+        m.watch_write_once(0..4);
+        m.load(0, &[1, 2, 3, 4]);
+        assert_eq!(m.snapshot(0..4), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn snapshot_copies_range() {
+        let mut m = Memory::new(6);
+        m.load(0, &[9, 8, 7, 6, 5, 4]);
+        assert_eq!(m.snapshot(2..5), vec![7, 6, 5]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_read_panics() {
+        Memory::new(1).read(1);
+    }
+}

@@ -1,0 +1,285 @@
+//! Execution metrics: time, work, and the paper's contention measure.
+
+use std::collections::HashMap;
+
+use crate::word::Addr;
+
+/// Per-cycle observation produced by [`crate::Machine::cycle`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CycleReport {
+    /// Cycle number (0-based).
+    pub cycle: u64,
+    /// Number of processes stepped this cycle.
+    pub stepped: usize,
+    /// Number of shared-memory operations issued this cycle.
+    pub memory_ops: usize,
+    /// Maximum number of processors that accessed any single cell this
+    /// cycle — the paper's per-step contention.
+    pub max_cell_contention: usize,
+    /// Number of processes that halted this cycle.
+    pub halted: usize,
+}
+
+/// Aggregated metrics for a whole run.
+///
+/// *Contention* follows §1.2 of the paper: "the maximum number of
+/// concurrent accesses to any single variable". We also record the
+/// Dwork–Herlihy–Waarts *stall* count (each access to a cell beyond the
+/// first in a cycle is one stall) because the related-work discussion is
+/// phrased in terms of it.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    /// Total machine cycles executed.
+    pub cycles: u64,
+    /// Total shared-memory operations (the PRAM *work*).
+    pub total_ops: u64,
+    /// Total reads.
+    pub reads: u64,
+    /// Total writes.
+    pub writes: u64,
+    /// Total compare-and-swaps.
+    pub cas_ops: u64,
+    /// Maximum per-cycle per-cell contention over the whole run.
+    pub max_contention: usize,
+    /// Total stalls: sum over cycles and cells of `max(accesses - 1, 0)`.
+    pub total_stalls: u64,
+    /// Queue-Read Queue-Write time (Gibbons–Matias–Ramachandran, cited in
+    /// §3 of the paper): each cycle costs its own maximum per-cell
+    /// contention (minimum 1), modelling hardware that services one
+    /// request per cell per time step. Low-contention algorithms win
+    /// *time* under this charging, not just the contention statistic.
+    pub qrqw_time: u64,
+    /// Histogram of per-cycle max contention: `contention_histogram[c]` is
+    /// the number of cycles whose max contention was exactly `c`.
+    pub contention_histogram: Vec<u64>,
+    /// Cumulative access counts of the hottest cells (top hotspots),
+    /// tracked exactly.
+    accesses_per_cell: HashMap<Addr, u64>,
+    /// The single worst moment of the run: `(cycle, cell, accesses)` of
+    /// the per-cycle per-cell contention maximum.
+    pub peak: Option<(u64, Addr, usize)>,
+    /// Per-process count of steps taken (indexed by pid), for
+    /// wait-freedom bound checks.
+    pub steps_per_process: Vec<u64>,
+    /// Opt-in per-cycle max-contention series (see
+    /// [`Metrics::record_timeline`]); `None` unless enabled.
+    pub timeline: Option<Vec<u32>>,
+}
+
+impl Metrics {
+    /// Creates empty metrics for a machine with `nprocs` processes.
+    pub fn new(nprocs: usize) -> Self {
+        Metrics {
+            steps_per_process: vec![0; nprocs],
+            ..Metrics::default()
+        }
+    }
+
+    /// Enables (or disables) recording the per-cycle contention series —
+    /// one `u32` per cycle, so only worth it for runs whose contention
+    /// profile you want to plot (e.g. experiment E18's timelines).
+    pub fn record_timeline(&mut self, enabled: bool) {
+        self.timeline = if enabled { Some(Vec::new()) } else { None };
+    }
+
+    /// Ensures `steps_per_process` can index process `pid`.
+    pub(crate) fn ensure_process(&mut self, pid: usize) {
+        if pid >= self.steps_per_process.len() {
+            self.steps_per_process.resize(pid + 1, 0);
+        }
+    }
+
+    /// Records that `pid` took a step this cycle.
+    pub(crate) fn record_step(&mut self, pid: usize) {
+        self.ensure_process(pid);
+        self.steps_per_process[pid] += 1;
+    }
+
+    /// Records one memory access of the given kind to `addr`.
+    pub(crate) fn record_access(&mut self, addr: Addr, kind: AccessKind) {
+        self.total_ops += 1;
+        match kind {
+            AccessKind::Read => self.reads += 1,
+            AccessKind::Write => self.writes += 1,
+            AccessKind::Cas => self.cas_ops += 1,
+        }
+        *self.accesses_per_cell.entry(addr).or_insert(0) += 1;
+    }
+
+    /// Folds one cycle's per-cell access counts into the aggregates and
+    /// returns the cycle's max contention.
+    pub(crate) fn finish_cycle(&mut self, cell_counts: &HashMap<Addr, usize>) -> usize {
+        let (max, argmax) = cell_counts
+            .iter()
+            .map(|(&a, &c)| (c, a))
+            .max()
+            .unwrap_or((0, 0));
+        if max > self.max_contention {
+            self.peak = Some((self.cycles, argmax, max));
+        }
+        self.max_contention = self.max_contention.max(max);
+        for &count in cell_counts.values() {
+            self.total_stalls += count.saturating_sub(1) as u64;
+        }
+        if max >= self.contention_histogram.len() {
+            self.contention_histogram.resize(max + 1, 0);
+        }
+        self.contention_histogram[max] += 1;
+        self.cycles += 1;
+        self.qrqw_time += max.max(1) as u64;
+        if let Some(tl) = &mut self.timeline {
+            tl.push(max as u32);
+        }
+        max
+    }
+
+    /// The `k` cells with the most cumulative accesses, hottest first.
+    pub fn hotspots(&self, k: usize) -> Vec<(Addr, u64)> {
+        let mut v: Vec<(Addr, u64)> = self
+            .accesses_per_cell
+            .iter()
+            .map(|(&a, &c)| (a, c))
+            .collect();
+        v.sort_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
+        v.truncate(k);
+        v
+    }
+
+    /// Maximum steps taken by any single process (the per-process time
+    /// bound that wait-freedom arguments constrain).
+    pub fn max_steps_per_process(&self) -> u64 {
+        self.steps_per_process.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Average contention per cycle in the Dwork et al. sense:
+    /// `total_stalls / cycles` (0 for an empty run).
+    pub fn amortized_stalls_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.total_stalls as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// Which kind of access is being recorded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum AccessKind {
+    Read,
+    Write,
+    Cas,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_access_updates_counters() {
+        let mut m = Metrics::new(2);
+        m.record_access(3, AccessKind::Read);
+        m.record_access(3, AccessKind::Write);
+        m.record_access(4, AccessKind::Cas);
+        assert_eq!(m.total_ops, 3);
+        assert_eq!(m.reads, 1);
+        assert_eq!(m.writes, 1);
+        assert_eq!(m.cas_ops, 1);
+    }
+
+    #[test]
+    fn finish_cycle_tracks_max_contention_and_stalls() {
+        let mut m = Metrics::new(0);
+        let mut counts = HashMap::new();
+        counts.insert(0usize, 3usize);
+        counts.insert(1usize, 1usize);
+        let max = m.finish_cycle(&counts);
+        assert_eq!(max, 3);
+        assert_eq!(m.max_contention, 3);
+        assert_eq!(m.total_stalls, 2);
+        assert_eq!(m.cycles, 1);
+        assert_eq!(m.contention_histogram[3], 1);
+    }
+
+    #[test]
+    fn finish_cycle_on_quiet_cycle() {
+        let mut m = Metrics::new(0);
+        let max = m.finish_cycle(&HashMap::new());
+        assert_eq!(max, 0);
+        assert_eq!(m.contention_histogram[0], 1);
+    }
+
+    #[test]
+    fn hotspots_sorted_by_heat() {
+        let mut m = Metrics::new(0);
+        for _ in 0..5 {
+            m.record_access(10, AccessKind::Read);
+        }
+        for _ in 0..2 {
+            m.record_access(20, AccessKind::Read);
+        }
+        m.record_access(30, AccessKind::Read);
+        assert_eq!(m.hotspots(2), vec![(10, 5), (20, 2)]);
+    }
+
+    #[test]
+    fn steps_per_process_grows_on_demand() {
+        let mut m = Metrics::new(1);
+        m.record_step(0);
+        m.record_step(4);
+        m.record_step(4);
+        assert_eq!(m.steps_per_process[0], 1);
+        assert_eq!(m.steps_per_process[4], 2);
+        assert_eq!(m.max_steps_per_process(), 2);
+    }
+
+    #[test]
+    fn qrqw_time_charges_contention() {
+        let mut m = Metrics::new(0);
+        // Quiet cycle: costs 1.
+        m.finish_cycle(&HashMap::new());
+        assert_eq!(m.qrqw_time, 1);
+        // Contended cycle: costs its max contention.
+        let mut counts = HashMap::new();
+        counts.insert(0usize, 7usize);
+        m.finish_cycle(&counts);
+        assert_eq!(m.qrqw_time, 8);
+    }
+
+    #[test]
+    fn timeline_records_when_enabled() {
+        let mut m = Metrics::new(0);
+        assert!(m.timeline.is_none());
+        m.record_timeline(true);
+        let mut counts = HashMap::new();
+        counts.insert(0usize, 4usize);
+        m.finish_cycle(&counts);
+        m.finish_cycle(&HashMap::new());
+        assert_eq!(m.timeline.as_deref(), Some(&[4u32, 0][..]));
+        m.record_timeline(false);
+        assert!(m.timeline.is_none());
+    }
+
+    #[test]
+    fn peak_records_argmax() {
+        let mut m = Metrics::new(0);
+        let mut counts = HashMap::new();
+        counts.insert(5usize, 3usize);
+        m.finish_cycle(&counts);
+        assert_eq!(m.peak, Some((0, 5, 3)));
+        // A later, lower cycle does not displace the peak.
+        let mut counts = HashMap::new();
+        counts.insert(9usize, 2usize);
+        m.finish_cycle(&counts);
+        assert_eq!(m.peak, Some((0, 5, 3)));
+    }
+
+    #[test]
+    fn amortized_stalls() {
+        let mut m = Metrics::new(0);
+        assert_eq!(m.amortized_stalls_per_cycle(), 0.0);
+        let mut counts = HashMap::new();
+        counts.insert(0usize, 5usize);
+        m.finish_cycle(&counts);
+        assert_eq!(m.amortized_stalls_per_cycle(), 4.0);
+    }
+}

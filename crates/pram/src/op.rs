@@ -1,0 +1,163 @@
+//! Shared-memory operations and their results.
+
+use crate::word::{Addr, Word};
+
+/// One shared-memory operation, issued by a [`crate::Process`] per cycle.
+///
+/// A PRAM processor performs at most one shared-memory access per machine
+/// cycle; local computation between accesses is free, following standard
+/// PRAM cost accounting. [`Op::Nop`] burns a cycle without touching memory
+/// (used e.g. by the winner-selection wait loop of Figure 9, whose delays
+/// must cost real time but no memory traffic).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Op {
+    /// Read the cell at the address; the value arrives in the next step as
+    /// [`OpResult::Read`].
+    Read(Addr),
+    /// Write the value to the cell. Under arbitrary-winner CRCW semantics
+    /// concurrent writers all "succeed" but one value persists.
+    Write(Addr, Word),
+    /// Atomic compare-and-swap: if the cell holds `expected`, store `new`.
+    /// The next step receives [`OpResult::Cas`] with the outcome.
+    Cas {
+        /// Cell to operate on.
+        addr: Addr,
+        /// Value the cell must currently hold for the swap to occur.
+        expected: Word,
+        /// Value stored on success.
+        new: Word,
+    },
+    /// Spend one cycle on local computation; no memory access, no contention.
+    Nop,
+    /// The process has finished; it will never be stepped again.
+    Halt,
+}
+
+impl Op {
+    /// The address this operation touches, if it accesses memory at all.
+    pub fn addr(&self) -> Option<Addr> {
+        match *self {
+            Op::Read(a) | Op::Write(a, _) | Op::Cas { addr: a, .. } => Some(a),
+            Op::Nop | Op::Halt => None,
+        }
+    }
+
+    /// Whether the operation accesses shared memory (and therefore counts
+    /// toward work and contention).
+    pub fn is_memory_access(&self) -> bool {
+        self.addr().is_some()
+    }
+}
+
+/// Result of the previous [`Op`], delivered on a process's next step.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum OpResult {
+    /// Value read from the cell.
+    Read(Word),
+    /// The write was applied (possibly overwritten by a concurrent winner;
+    /// arbitrary-CRCW writers do not learn whether they won).
+    Write,
+    /// Outcome of a compare-and-swap.
+    Cas {
+        /// `true` if this processor's CAS installed `new`.
+        won: bool,
+        /// The cell's value after all of this cycle's operations on it.
+        current: Word,
+    },
+    /// A [`Op::Nop`] cycle elapsed.
+    Nop,
+}
+
+impl OpResult {
+    /// Convenience accessor: the value carried by a read result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result is not [`OpResult::Read`]; processes use this
+    /// when their state machine guarantees the previous op was a read.
+    pub fn read_value(&self) -> Word {
+        match *self {
+            OpResult::Read(v) => v,
+            ref other => panic!("expected read result, got {other:?}"),
+        }
+    }
+
+    /// Convenience accessor: whether a CAS result won.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result is not [`OpResult::Cas`].
+    pub fn cas_won(&self) -> bool {
+        match *self {
+            OpResult::Cas { won, .. } => won,
+            ref other => panic!("expected CAS result, got {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_of_memory_ops() {
+        assert_eq!(Op::Read(3).addr(), Some(3));
+        assert_eq!(Op::Write(4, 9).addr(), Some(4));
+        assert_eq!(
+            Op::Cas {
+                addr: 5,
+                expected: 0,
+                new: 1
+            }
+            .addr(),
+            Some(5)
+        );
+        assert_eq!(Op::Nop.addr(), None);
+        assert_eq!(Op::Halt.addr(), None);
+    }
+
+    #[test]
+    fn memory_access_classification() {
+        assert!(Op::Read(0).is_memory_access());
+        assert!(Op::Write(0, 0).is_memory_access());
+        assert!(Op::Cas {
+            addr: 0,
+            expected: 0,
+            new: 1
+        }
+        .is_memory_access());
+        assert!(!Op::Nop.is_memory_access());
+        assert!(!Op::Halt.is_memory_access());
+    }
+
+    #[test]
+    fn read_value_accessor() {
+        assert_eq!(OpResult::Read(42).read_value(), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected read result")]
+    fn read_value_panics_on_other_results() {
+        OpResult::Write.read_value();
+    }
+
+    #[test]
+    fn cas_won_accessor() {
+        assert!(OpResult::Cas {
+            won: true,
+            current: 1
+        }
+        .cas_won());
+        assert!(!OpResult::Cas {
+            won: false,
+            current: 1
+        }
+        .cas_won());
+    }
+
+    #[test]
+    #[should_panic(expected = "expected CAS result")]
+    fn cas_won_panics_on_other_results() {
+        OpResult::Nop.cas_won();
+    }
+}

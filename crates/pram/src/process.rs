@@ -1,0 +1,218 @@
+//! The process abstraction: programs as per-cycle state machines.
+
+use crate::op::{Op, OpResult};
+
+/// A simulated PRAM program, advanced one shared-memory operation at a time.
+///
+/// On every cycle in which the scheduler steps this process, the machine
+/// calls [`Process::step`] with the result of the *previous* operation
+/// (`None` on the very first step) and executes the operation the call
+/// returns. Returning [`Op::Halt`] retires the process.
+///
+/// Implementations are state machines: any amount of local computation may
+/// happen inside `step`, but each shared-memory access must be its own
+/// step. That granularity is what makes wait-freedom observable — the
+/// scheduler may suspend or crash the process between any two operations.
+pub trait Process {
+    /// Receives the previous operation's result and returns the next
+    /// operation.
+    fn step(&mut self, last: Option<OpResult>) -> Op;
+
+    /// A short human-readable label for diagnostics.
+    fn label(&self) -> &'static str {
+        "process"
+    }
+}
+
+/// Lifecycle state of a process inside a [`crate::Machine`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProcessState {
+    /// Eligible for scheduling.
+    Runnable,
+    /// Returned [`Op::Halt`]; finished normally.
+    Halted,
+    /// Crashed by failure injection; takes no further steps (unless
+    /// revived in the fail-revive model).
+    Crashed,
+}
+
+impl ProcessState {
+    /// Whether the process can be scheduled this cycle.
+    pub fn is_runnable(self) -> bool {
+        self == ProcessState::Runnable
+    }
+}
+
+/// A process defined by a closure, convenient for tests.
+///
+/// The closure receives the previous result and returns the next op.
+pub struct FnProcess<F: FnMut(Option<OpResult>) -> Op> {
+    f: F,
+}
+
+impl<F: FnMut(Option<OpResult>) -> Op> FnProcess<F> {
+    /// Wraps a closure as a [`Process`].
+    pub fn new(f: F) -> Self {
+        FnProcess { f }
+    }
+}
+
+impl<F: FnMut(Option<OpResult>) -> Op> Process for FnProcess<F> {
+    fn step(&mut self, last: Option<OpResult>) -> Op {
+        (self.f)(last)
+    }
+
+    fn label(&self) -> &'static str {
+        "fn-process"
+    }
+}
+
+impl<F: FnMut(Option<OpResult>) -> Op> std::fmt::Debug for FnProcess<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnProcess").finish_non_exhaustive()
+    }
+}
+
+/// Runs a sequence of processes back to back, without any barrier.
+///
+/// When the current stage returns [`Op::Halt`], the next stage starts *in
+/// the same cycle* — mirroring the paper's phase structure, where "any
+/// processor that completes the first phase immediately goes on to the
+/// second phase" with no synchronization. The composite halts when the
+/// last stage halts.
+pub struct SeqProcess {
+    stages: Vec<Box<dyn Process>>,
+    current: usize,
+    fresh: bool,
+}
+
+impl SeqProcess {
+    /// Chains `stages` into a single process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is empty.
+    pub fn new(stages: Vec<Box<dyn Process>>) -> Self {
+        assert!(!stages.is_empty(), "need at least one stage");
+        SeqProcess {
+            stages,
+            current: 0,
+            fresh: true,
+        }
+    }
+
+    /// Index of the stage currently executing (for diagnostics).
+    pub fn current_stage(&self) -> usize {
+        self.current
+    }
+}
+
+impl Process for SeqProcess {
+    fn step(&mut self, mut last: Option<OpResult>) -> Op {
+        loop {
+            // A freshly entered stage must not see the previous stage's
+            // final op result.
+            let fed = if self.fresh { None } else { last.take() };
+            self.fresh = false;
+            match self.stages[self.current].step(fed) {
+                Op::Halt => {
+                    if self.current + 1 == self.stages.len() {
+                        return Op::Halt;
+                    }
+                    self.current += 1;
+                    self.fresh = true;
+                }
+                op => return op,
+            }
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        self.stages[self.current].label()
+    }
+}
+
+impl std::fmt::Debug for SeqProcess {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SeqProcess")
+            .field("stages", &self.stages.len())
+            .field("current", &self.current)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runnable_classification() {
+        assert!(ProcessState::Runnable.is_runnable());
+        assert!(!ProcessState::Halted.is_runnable());
+        assert!(!ProcessState::Crashed.is_runnable());
+    }
+
+    #[test]
+    fn fn_process_threads_results() {
+        let mut p = FnProcess::new(|last| match last {
+            None => Op::Read(0),
+            Some(OpResult::Read(v)) => Op::Write(1, v + 1),
+            Some(OpResult::Write) => Op::Halt,
+            other => panic!("unexpected {other:?}"),
+        });
+        assert_eq!(p.step(None), Op::Read(0));
+        assert_eq!(p.step(Some(OpResult::Read(5))), Op::Write(1, 6));
+        assert_eq!(p.step(Some(OpResult::Write)), Op::Halt);
+        assert_eq!(p.label(), "fn-process");
+    }
+
+    fn one_shot(op: Op) -> Box<dyn Process> {
+        let mut fired = false;
+        Box::new(FnProcess::new(move |_| {
+            if fired {
+                Op::Halt
+            } else {
+                fired = true;
+                op
+            }
+        }))
+    }
+
+    #[test]
+    fn seq_runs_stages_in_order_without_gap_cycles() {
+        let mut seq = SeqProcess::new(vec![one_shot(Op::Write(0, 1)), one_shot(Op::Write(1, 2))]);
+        assert_eq!(seq.current_stage(), 0);
+        assert_eq!(seq.step(None), Op::Write(0, 1));
+        // Stage 0 halts on its second step; stage 1's first op is emitted
+        // in the same cycle.
+        assert_eq!(seq.step(Some(OpResult::Write)), Op::Write(1, 2));
+        assert_eq!(seq.current_stage(), 1);
+        assert_eq!(seq.step(Some(OpResult::Write)), Op::Halt);
+    }
+
+    #[test]
+    fn seq_does_not_leak_results_across_stages() {
+        // Stage 1 must see None on its first step, not stage 0's final
+        // result.
+        let stage1 = Box::new(FnProcess::new(|last| {
+            assert!(last.is_none(), "fresh stage saw stale result {last:?}");
+            Op::Halt
+        }));
+        let mut seq = SeqProcess::new(vec![one_shot(Op::Read(0)), stage1]);
+        assert_eq!(seq.step(None), Op::Read(0));
+        assert_eq!(seq.step(Some(OpResult::Read(7))), Op::Halt);
+    }
+
+    #[test]
+    fn seq_single_stage_is_transparent() {
+        let mut seq = SeqProcess::new(vec![one_shot(Op::Nop)]);
+        assert_eq!(seq.step(None), Op::Nop);
+        assert_eq!(seq.step(Some(OpResult::Nop)), Op::Halt);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn seq_rejects_empty() {
+        SeqProcess::new(Vec::new());
+    }
+}

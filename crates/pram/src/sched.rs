@@ -1,0 +1,310 @@
+//! Schedulers: who steps on each cycle.
+//!
+//! Wait-freedom is a claim quantified over *all* schedules. The simulator
+//! therefore separates the machine (which executes whatever set of
+//! processors the scheduler picks) from the scheduling policy. The
+//! [`SyncScheduler`] reproduces the paper's "normal execution" — a
+//! faultless synchronous CRCW PRAM, the setting of every run-time lemma —
+//! while the others realize the asynchrony and adversity that
+//! wait-freedom must survive.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::word::Pid;
+
+/// Chooses, each cycle, which runnable processors take a step.
+pub trait Scheduler {
+    /// Appends to `out` the subset of `runnable` that steps on `cycle`.
+    ///
+    /// Implementations must only select pids present in `runnable` and must
+    /// not select duplicates; the machine debug-asserts both.
+    fn select(&mut self, cycle: u64, runnable: &[Pid], out: &mut Vec<Pid>);
+}
+
+/// Synchronous lock-step execution: every runnable processor steps every
+/// cycle. This is the faultless CRCW PRAM of the paper's run-time analysis.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SyncScheduler;
+
+impl Scheduler for SyncScheduler {
+    fn select(&mut self, _cycle: u64, runnable: &[Pid], out: &mut Vec<Pid>) {
+        out.extend_from_slice(runnable);
+    }
+}
+
+/// Each runnable processor independently steps with probability `p` — a
+/// simple model of uncoordinated delays (page faults, preemption).
+#[derive(Clone, Debug)]
+pub struct RandomScheduler {
+    rng: StdRng,
+    p: f64,
+}
+
+impl RandomScheduler {
+    /// Creates a scheduler that steps each processor with probability `p`,
+    /// deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `(0.0, 1.0]`.
+    pub fn new(seed: u64, p: f64) -> Self {
+        assert!(p > 0.0 && p <= 1.0, "step probability must be in (0, 1]");
+        RandomScheduler {
+            rng: StdRng::seed_from_u64(seed),
+            p,
+        }
+    }
+}
+
+impl Scheduler for RandomScheduler {
+    fn select(&mut self, _cycle: u64, runnable: &[Pid], out: &mut Vec<Pid>) {
+        for &pid in runnable {
+            if self.rng.gen_bool(self.p) {
+                out.push(pid);
+            }
+        }
+        // Never let a cycle go completely idle while work remains; a
+        // schedule that steps no one forever says nothing about the
+        // algorithm. Pick one survivor at random.
+        if out.is_empty() && !runnable.is_empty() {
+            out.push(runnable[self.rng.gen_range(0..runnable.len())]);
+        }
+    }
+}
+
+/// Fully sequential execution: exactly one processor steps per cycle, in
+/// round-robin order. The extreme point of asynchrony — every interleaving
+/// a single-core OS could produce is a subsequence of these.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SingleStepScheduler {
+    next: usize,
+}
+
+impl SingleStepScheduler {
+    /// Creates the scheduler starting from the first runnable processor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for SingleStepScheduler {
+    fn select(&mut self, _cycle: u64, runnable: &[Pid], out: &mut Vec<Pid>) {
+        if runnable.is_empty() {
+            return;
+        }
+        self.next %= runnable.len();
+        out.push(runnable[self.next]);
+        self.next += 1;
+    }
+}
+
+/// Steps a fixed-size random subset of processors each cycle — models a
+/// machine with fewer cores than threads under an oblivious OS scheduler.
+#[derive(Clone, Debug)]
+pub struct RoundRobinScheduler {
+    rng: StdRng,
+    width: usize,
+}
+
+impl RoundRobinScheduler {
+    /// Creates a scheduler that steps `width` random runnable processors
+    /// per cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn new(seed: u64, width: usize) -> Self {
+        assert!(width > 0, "scheduler width must be positive");
+        RoundRobinScheduler {
+            rng: StdRng::seed_from_u64(seed),
+            width,
+        }
+    }
+}
+
+impl Scheduler for RoundRobinScheduler {
+    fn select(&mut self, _cycle: u64, runnable: &[Pid], out: &mut Vec<Pid>) {
+        if runnable.len() <= self.width {
+            out.extend_from_slice(runnable);
+            return;
+        }
+        let mut pool: Vec<Pid> = runnable.to_vec();
+        pool.shuffle(&mut self.rng);
+        out.extend(pool.into_iter().take(self.width));
+    }
+}
+
+/// A scripted adversary: an arbitrary closure over (cycle, runnable set).
+///
+/// Tests use this to stall victims at the worst possible moments, e.g.
+/// suspending a processor that has just won a CAS, to show other
+/// processors still finish.
+pub struct AdversaryScheduler<F>
+where
+    F: FnMut(u64, &[Pid]) -> Vec<Pid>,
+{
+    policy: F,
+}
+
+impl<F> AdversaryScheduler<F>
+where
+    F: FnMut(u64, &[Pid]) -> Vec<Pid>,
+{
+    /// Wraps an arbitrary scheduling policy.
+    pub fn new(policy: F) -> Self {
+        AdversaryScheduler { policy }
+    }
+}
+
+impl<F> Scheduler for AdversaryScheduler<F>
+where
+    F: FnMut(u64, &[Pid]) -> Vec<Pid>,
+{
+    fn select(&mut self, cycle: u64, runnable: &[Pid], out: &mut Vec<Pid>) {
+        out.extend((self.policy)(cycle, runnable));
+    }
+}
+
+impl<F> std::fmt::Debug for AdversaryScheduler<F>
+where
+    F: FnMut(u64, &[Pid]) -> Vec<Pid>,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdversaryScheduler").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pids(v: &[usize]) -> Vec<Pid> {
+        v.iter().map(|&i| Pid::new(i)).collect()
+    }
+
+    #[test]
+    fn sync_selects_everyone() {
+        let mut s = SyncScheduler;
+        let mut out = Vec::new();
+        s.select(0, &pids(&[0, 1, 2]), &mut out);
+        assert_eq!(out, pids(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn single_step_cycles_through() {
+        let mut s = SingleStepScheduler::new();
+        let r = pids(&[0, 1, 2]);
+        let mut seen = Vec::new();
+        for c in 0..6 {
+            let mut out = Vec::new();
+            s.select(c, &r, &mut out);
+            assert_eq!(out.len(), 1);
+            seen.push(out[0].index());
+        }
+        assert_eq!(seen, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn single_step_handles_shrinking_runnable_set() {
+        let mut s = SingleStepScheduler::new();
+        let mut out = Vec::new();
+        s.select(0, &pids(&[0, 1, 2]), &mut out);
+        out.clear();
+        s.select(1, &pids(&[2]), &mut out);
+        assert_eq!(out, pids(&[2]));
+    }
+
+    #[test]
+    fn random_scheduler_never_idles_forever() {
+        let mut s = RandomScheduler::new(7, 0.01);
+        let r = pids(&[0, 1]);
+        for c in 0..100 {
+            let mut out = Vec::new();
+            s.select(c, &r, &mut out);
+            assert!(!out.is_empty());
+            assert!(out.iter().all(|p| r.contains(p)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "step probability")]
+    fn random_scheduler_rejects_zero_probability() {
+        RandomScheduler::new(0, 0.0);
+    }
+
+    #[test]
+    fn round_robin_respects_width() {
+        let mut s = RoundRobinScheduler::new(3, 2);
+        let r = pids(&[0, 1, 2, 3, 4]);
+        for c in 0..50 {
+            let mut out = Vec::new();
+            s.select(c, &r, &mut out);
+            assert_eq!(out.len(), 2);
+            let mut sorted: Vec<usize> = out.iter().map(|p| p.index()).collect();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 2, "no duplicate picks");
+        }
+    }
+
+    #[test]
+    fn round_robin_selects_all_when_few_runnable() {
+        let mut s = RoundRobinScheduler::new(3, 4);
+        let mut out = Vec::new();
+        s.select(0, &pids(&[0, 1]), &mut out);
+        assert_eq!(out, pids(&[0, 1]));
+    }
+
+    #[test]
+    fn random_scheduler_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut s = RandomScheduler::new(seed, 0.5);
+            let r = pids(&[0, 1, 2, 3]);
+            let mut all = Vec::new();
+            for c in 0..20 {
+                let mut out = Vec::new();
+                s.select(c, &r, &mut out);
+                all.push(out);
+            }
+            all
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6), "different seeds should differ");
+    }
+
+    #[test]
+    fn round_robin_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut s = RoundRobinScheduler::new(seed, 2);
+            let r = pids(&[0, 1, 2, 3, 4]);
+            let mut all = Vec::new();
+            for c in 0..20 {
+                let mut out = Vec::new();
+                s.select(c, &r, &mut out);
+                all.push(out);
+            }
+            all
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn adversary_runs_policy() {
+        let mut s = AdversaryScheduler::new(|cycle, runnable: &[Pid]| {
+            if cycle % 2 == 0 {
+                runnable.to_vec()
+            } else {
+                Vec::new()
+            }
+        });
+        let r = pids(&[0, 1]);
+        let mut out = Vec::new();
+        s.select(0, &r, &mut out);
+        assert_eq!(out.len(), 2);
+        out.clear();
+        s.select(1, &r, &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,212 @@
+//! Execution tracing: a bounded ring buffer of per-operation events.
+//!
+//! Developing a new PRAM state machine usually fails as "the run never
+//! terminates" or "cell X holds the wrong value", with no visibility into
+//! the interleaving that caused it. The trace records every executed
+//! operation — `(cycle, pid, op, result)` — in a fixed-capacity ring
+//! buffer so the tail of a misbehaving run can be dumped without paying
+//! unbounded memory on long runs.
+//!
+//! Enable with [`crate::Machine::record_trace`]; read back with
+//! [`crate::Machine::trace`].
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::op::{Op, OpResult};
+use crate::word::Pid;
+
+/// One executed operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Cycle in which the operation executed.
+    pub cycle: u64,
+    /// The issuing processor.
+    pub pid: Pid,
+    /// The operation.
+    pub op: Op,
+    /// Its result (`None` for [`Op::Halt`], which produces none).
+    pub result: Option<OpResult>,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>6}] {:>5} ", self.cycle, self.pid.to_string())?;
+        match (self.op, self.result) {
+            (Op::Read(a), Some(OpResult::Read(v))) => write!(f, "read  {a} -> {v}"),
+            (Op::Write(a, v), _) => write!(f, "write {a} <- {v}"),
+            (
+                Op::Cas {
+                    addr,
+                    expected,
+                    new,
+                },
+                Some(OpResult::Cas { won, current }),
+            ) => {
+                write!(
+                    f,
+                    "cas   {addr}: {expected} -> {new} ({}; now {current})",
+                    if won { "won" } else { "lost" }
+                )
+            }
+            (Op::Nop, _) => write!(f, "nop"),
+            (Op::Halt, _) => write!(f, "halt"),
+            (op, result) => write!(f, "{op:?} -> {result:?}"),
+        }
+    }
+}
+
+/// Fixed-capacity ring buffer of [`TraceEvent`]s (oldest evicted first).
+#[derive(Clone, Debug)]
+pub struct Trace {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Creates a trace retaining at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        Trace {
+            events: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest if full.
+    pub(crate) fn push(&mut self, event: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Only the events of one processor, oldest first.
+    pub fn of(&self, pid: Pid) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.pid == pid)
+    }
+
+    /// Only the events touching one cell, oldest first.
+    pub fn touching(&self, addr: crate::Addr) -> impl Iterator<Item = &TraceEvent> {
+        self.events
+            .iter()
+            .filter(move |e| e.op.addr() == Some(addr))
+    }
+
+    /// Renders the retained tail as text, one event per line.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        if self.dropped > 0 {
+            out.push_str(&format!(
+                "... {} earlier events dropped ...\n",
+                self.dropped
+            ));
+        }
+        for e in &self.events {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64, pid: usize, op: Op, result: Option<OpResult>) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            pid: Pid::new(pid),
+            op,
+            result,
+        }
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut t = Trace::new(2);
+        t.push(ev(0, 0, Op::Nop, Some(OpResult::Nop)));
+        t.push(ev(1, 0, Op::Nop, Some(OpResult::Nop)));
+        t.push(ev(2, 0, Op::Nop, Some(OpResult::Nop)));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 1);
+        assert_eq!(t.events().next().unwrap().cycle, 1);
+    }
+
+    #[test]
+    fn filters_by_pid_and_cell() {
+        let mut t = Trace::new(10);
+        t.push(ev(0, 0, Op::Read(5), Some(OpResult::Read(1))));
+        t.push(ev(0, 1, Op::Write(5, 2), Some(OpResult::Write)));
+        t.push(ev(1, 0, Op::Read(7), Some(OpResult::Read(0))));
+        assert_eq!(t.of(Pid::new(0)).count(), 2);
+        assert_eq!(t.of(Pid::new(1)).count(), 1);
+        assert_eq!(t.touching(5).count(), 2);
+        assert_eq!(t.touching(7).count(), 1);
+        assert_eq!(t.touching(9).count(), 0);
+    }
+
+    #[test]
+    fn display_formats_are_readable() {
+        let read = ev(3, 1, Op::Read(4), Some(OpResult::Read(9)));
+        assert_eq!(read.to_string(), "[     3]    P1 read  4 -> 9");
+        let cas = ev(
+            4,
+            2,
+            Op::Cas {
+                addr: 8,
+                expected: 0,
+                new: 5,
+            },
+            Some(OpResult::Cas {
+                won: true,
+                current: 5,
+            }),
+        );
+        assert!(cas.to_string().contains("cas   8: 0 -> 5 (won; now 5)"));
+    }
+
+    #[test]
+    fn dump_mentions_dropped_events() {
+        let mut t = Trace::new(1);
+        t.push(ev(0, 0, Op::Nop, Some(OpResult::Nop)));
+        t.push(ev(1, 0, Op::Nop, Some(OpResult::Nop)));
+        let dump = t.dump();
+        assert!(dump.contains("1 earlier events dropped"));
+        assert!(dump.contains("nop"));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        Trace::new(0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Fundamental value types of the simulated machine.
+
+use std::fmt;
+
+/// The machine word stored in every shared-memory cell.
+///
+/// A signed 64-bit word is wide enough for keys, indices and the sentinel
+/// values (`EMPTY`, `DONE`, ...) used by the paper's algorithms, which are
+/// conventionally encoded as non-positive numbers so they can never collide
+/// with 1-based array indices.
+pub type Word = i64;
+
+/// Address of a shared-memory cell.
+pub type Addr = usize;
+
+/// Identifier of a simulated processor.
+///
+/// Processor IDs are dense and zero-based: a machine with `P` processors
+/// uses IDs `0..P`. The sorting algorithm reads the *bits* of the ID to
+/// spread processors over subtrees (Figure 5 of the paper), which
+/// [`Pid::bit`] exposes directly.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Pid(usize);
+
+impl Pid {
+    /// Creates a processor ID from its dense index.
+    pub fn new(index: usize) -> Self {
+        Pid(index)
+    }
+
+    /// Returns the dense index of this processor.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Returns bit `d` (0 = least significant) of the processor ID.
+    ///
+    /// Phase 2 of the sort uses bit `d` at tree depth `d` to decide which
+    /// child a processor visits first.
+    pub fn bit(self, d: u32) -> bool {
+        if d >= usize::BITS {
+            false
+        } else {
+            (self.0 >> d) & 1 == 1
+        }
+    }
+}
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl From<usize> for Pid {
+    fn from(index: usize) -> Self {
+        Pid(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pid_roundtrip() {
+        let p = Pid::new(17);
+        assert_eq!(p.index(), 17);
+        assert_eq!(Pid::from(17usize), p);
+    }
+
+    #[test]
+    fn pid_bits_match_binary_representation() {
+        let p = Pid::new(0b1011_0100);
+        assert!(!p.bit(0));
+        assert!(!p.bit(1));
+        assert!(p.bit(2));
+        assert!(!p.bit(3));
+        assert!(p.bit(4));
+        assert!(p.bit(5));
+        assert!(!p.bit(6));
+        assert!(p.bit(7));
+        assert!(!p.bit(63));
+    }
+
+    #[test]
+    fn pid_bit_past_word_width_is_zero() {
+        let p = Pid::new(usize::MAX);
+        assert!(p.bit(usize::BITS - 1));
+        assert!(!p.bit(usize::BITS));
+        assert!(!p.bit(200));
+    }
+
+    #[test]
+    fn pid_display_is_compact() {
+        assert_eq!(Pid::new(3).to_string(), "P3");
+    }
+
+    #[test]
+    fn pid_ordering_follows_index() {
+        assert!(Pid::new(1) < Pid::new(2));
+    }
+}

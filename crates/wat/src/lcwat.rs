@@ -1,0 +1,398 @@
+//! The Low-Contention Work Assignment Tree of §3.1 (Figure 8).
+//!
+//! Instead of deterministic climbing, every processor repeatedly probes a
+//! *uniformly random* node of the tree and acts on what it finds: it
+//! executes and marks unfinished leaves, marks inner nodes whose children
+//! are complete, and — the low-contention twist — the processor that
+//! completes the root writes `ALLDONE`, which floods *down* the tree so
+//! processors discover termination without all polling the root. Lemma 3.1:
+//! `O(log P)` time and `O(log P / log log P)` contention w.h.p.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pram::{Memory, MemoryLayout, Op, OpResult, Pid, Process, Word};
+
+use crate::tree::HeapTree;
+use crate::worker::{LeafWorker, WorkerOp};
+
+/// Cell value: nothing known about this subtree yet.
+pub const EMPTY: Word = 0;
+/// Cell value: this subtree's work is complete.
+pub const DONE: Word = 1;
+/// Cell value: *all* work is complete (termination marker flooding down).
+pub const ALLDONE: Word = 2;
+
+/// A low-contention work assignment tree overlaid on shared memory.
+///
+/// # Examples
+///
+/// ```
+/// use pram::{Machine, MemoryLayout, SyncScheduler};
+/// use wat::{LcWat, WriteAllWorker};
+///
+/// let mut layout = MemoryLayout::new();
+/// let output = layout.region(8);
+/// let wat = LcWat::layout(&mut layout, 8);
+/// let mut machine = Machine::new(layout.total());
+/// for p in wat.processes(4, 1, |_| WriteAllWorker::new(output, 1)) {
+///     machine.add_process(p);
+/// }
+/// machine.run(&mut SyncScheduler, 1_000_000)?;
+/// assert!(wat.all_done(machine.memory()));
+/// # Ok::<(), pram::MachineError>(())
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct LcWat {
+    tree: HeapTree,
+    jobs: usize,
+}
+
+impl LcWat {
+    /// Reserves shared memory for an LC-WAT covering `jobs` jobs (leaf
+    /// count rounded up to a power of two; padding leaves complete on
+    /// first probe).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs` is zero.
+    pub fn layout(layout: &mut MemoryLayout, jobs: usize) -> Self {
+        assert!(jobs > 0, "an LC-WAT needs at least one job");
+        let leaves = crate::tree::next_power_of_two(jobs);
+        let region = layout.region(2 * leaves);
+        LcWat {
+            tree: HeapTree::new(region, leaves),
+            jobs,
+        }
+    }
+
+    /// The underlying tree geometry.
+    pub fn tree(&self) -> &HeapTree {
+        &self.tree
+    }
+
+    /// Number of real jobs.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Whether the root records completion of all work.
+    pub fn all_done(&self, memory: &Memory) -> bool {
+        memory.read(self.tree.addr(self.tree.root())) >= DONE
+    }
+
+    /// Spawns one probing process per processor, each with an independent
+    /// random stream derived from `seed`.
+    pub fn processes<W>(
+        &self,
+        nprocs: usize,
+        seed: u64,
+        mut make_worker: impl FnMut(Pid) -> W,
+    ) -> Vec<Box<dyn Process>>
+    where
+        W: LeafWorker + 'static,
+    {
+        (0..nprocs)
+            .map(|i| {
+                let pid = Pid::new(i);
+                Box::new(LcWatProcess::new(*self, pid, seed, make_worker(pid))) as Box<dyn Process>
+            })
+            .collect()
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum St {
+    Pick,
+    AwaitNode,
+    Working,
+    LeafDone,
+    AwaitLeafWrite,
+    AwaitLeft,
+    AwaitRight,
+    AwaitInnerWrite,
+    AwaitFloodLeft,
+    AwaitFloodRight,
+}
+
+/// One processor running the `low_contention_work` loop of Figure 8.
+#[derive(Debug)]
+pub struct LcWatProcess<W> {
+    wat: LcWat,
+    worker: W,
+    rng: StdRng,
+    state: St,
+    /// The node currently probed.
+    node: usize,
+}
+
+impl<W: LeafWorker> LcWatProcess<W> {
+    /// Creates the probing process for `pid`, with randomness derived from
+    /// `(seed, pid)`.
+    pub fn new(wat: LcWat, pid: Pid, seed: u64, worker: W) -> Self {
+        LcWatProcess {
+            wat,
+            worker,
+            rng: StdRng::seed_from_u64(
+                seed ^ (pid.index() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ),
+            state: St::Pick,
+            node: 1,
+        }
+    }
+
+    fn tree(&self) -> &HeapTree {
+        self.wat.tree()
+    }
+
+    /// Value to store when completing `node`: `ALLDONE` at the root (the
+    /// termination marker), `DONE` elsewhere.
+    fn completion_value(&self, node: usize) -> Word {
+        if self.tree().is_root(node) {
+            ALLDONE
+        } else {
+            DONE
+        }
+    }
+}
+
+impl<W: LeafWorker> Process for LcWatProcess<W> {
+    fn step(&mut self, mut last: Option<OpResult>) -> Op {
+        loop {
+            match self.state {
+                St::Pick => {
+                    let count = self.tree().node_count();
+                    self.node = 1 + self.rng.gen_range(0..count);
+                    self.state = St::AwaitNode;
+                    return Op::Read(self.tree().addr(self.node));
+                }
+                St::AwaitNode => {
+                    let v = last.take().expect("node read pending").read_value();
+                    let leaf = self.tree().is_leaf(self.node);
+                    match v {
+                        EMPTY if leaf => {
+                            let job = self.tree().job_of(self.node);
+                            if job < self.wat.jobs {
+                                self.worker.begin(job);
+                                self.state = St::Working;
+                            } else {
+                                self.state = St::LeafDone;
+                            }
+                        }
+                        EMPTY => {
+                            self.state = St::AwaitLeft;
+                            return Op::Read(self.tree().addr(self.tree().left(self.node)));
+                        }
+                        DONE => self.state = St::Pick,
+                        _ => {
+                            // ALLDONE. Figure 8 propagates it to the
+                            // children of an inner node and quits. At a
+                            // leaf there is nothing to propagate; any
+                            // ALLDONE sighting already implies the root
+                            // completed, so quitting immediately is sound
+                            // (and only shortens the run).
+                            if leaf {
+                                return Op::Halt;
+                            }
+                            self.state = St::AwaitFloodLeft;
+                            return Op::Write(
+                                self.tree().addr(self.tree().left(self.node)),
+                                ALLDONE,
+                            );
+                        }
+                    }
+                }
+                St::Working => match self.worker.step(last.take()) {
+                    WorkerOp::Op(op) => return op,
+                    WorkerOp::Done => self.state = St::LeafDone,
+                },
+                St::LeafDone => {
+                    self.state = St::AwaitLeafWrite;
+                    return Op::Write(
+                        self.tree().addr(self.node),
+                        self.completion_value(self.node),
+                    );
+                }
+                St::AwaitLeafWrite => {
+                    last.take();
+                    // A single-node tree's leaf is the root: its write was
+                    // ALLDONE and the work is finished.
+                    if self.tree().is_root(self.node) {
+                        return Op::Halt;
+                    }
+                    self.state = St::Pick;
+                }
+                St::AwaitLeft => {
+                    let v = last.take().expect("left read pending").read_value();
+                    if v >= DONE {
+                        self.state = St::AwaitRight;
+                        return Op::Read(self.tree().addr(self.tree().right(self.node)));
+                    }
+                    self.state = St::Pick;
+                }
+                St::AwaitRight => {
+                    let v = last.take().expect("right read pending").read_value();
+                    if v >= DONE {
+                        self.state = St::AwaitInnerWrite;
+                        return Op::Write(
+                            self.tree().addr(self.node),
+                            self.completion_value(self.node),
+                        );
+                    }
+                    self.state = St::Pick;
+                }
+                St::AwaitInnerWrite => {
+                    last.take();
+                    self.state = St::Pick;
+                }
+                St::AwaitFloodLeft => {
+                    last.take();
+                    self.state = St::AwaitFloodRight;
+                    return Op::Write(self.tree().addr(self.tree().right(self.node)), ALLDONE);
+                }
+                St::AwaitFloodRight => {
+                    last.take();
+                    return Op::Halt;
+                }
+            }
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "lc-wat"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worker::WriteAllWorker;
+    use pram::{Machine, Region, SyncScheduler};
+
+    fn solve(jobs: usize, nprocs: usize, seed: u64) -> (Machine, LcWat, Region) {
+        let mut layout = MemoryLayout::new();
+        let out = layout.region(jobs);
+        let wat = LcWat::layout(&mut layout, jobs);
+        let mut machine = Machine::with_seed(layout.total(), seed);
+        for p in wat.processes(nprocs, seed, |_| WriteAllWorker::new(out, 1)) {
+            machine.add_process(p);
+        }
+        (machine, wat, out)
+    }
+
+    #[test]
+    fn write_all_completes_and_all_processors_exit() {
+        let (mut m, wat, out) = solve(32, 32, 5);
+        let report = m.run(&mut SyncScheduler, 1_000_000).unwrap();
+        assert_eq!(m.memory().snapshot(out.range()), vec![1; 32]);
+        assert!(wat.all_done(m.memory()));
+        assert_eq!(report.halted, 32);
+    }
+
+    #[test]
+    fn works_with_fewer_processors_than_jobs() {
+        let (mut m, wat, out) = solve(64, 4, 9);
+        m.run(&mut SyncScheduler, 1_000_000).unwrap();
+        assert_eq!(m.memory().snapshot(out.range()), vec![1; 64]);
+        assert!(wat.all_done(m.memory()));
+    }
+
+    #[test]
+    fn works_with_non_power_of_two_jobs() {
+        let (mut m, wat, out) = solve(21, 8, 13);
+        m.run(&mut SyncScheduler, 1_000_000).unwrap();
+        assert_eq!(m.memory().snapshot(out.range()), vec![1; 21]);
+        assert!(wat.all_done(m.memory()));
+    }
+
+    #[test]
+    fn single_job_single_processor() {
+        let (mut m, wat, out) = solve(1, 1, 2);
+        m.run(&mut SyncScheduler, 10_000).unwrap();
+        assert_eq!(m.memory().snapshot(out.range()), vec![1]);
+        assert!(wat.all_done(m.memory()));
+    }
+
+    #[test]
+    fn survives_crashes_leaving_one_processor() {
+        let (mut m, wat, out) = solve(16, 8, 3);
+        let mut plan = pram::failure::FailurePlan::new();
+        for v in 1..8 {
+            plan = plan.crash_at(2 * v as u64, Pid::new(v));
+        }
+        m.run_with_failures(&mut SyncScheduler, &plan, 1_000_000)
+            .unwrap();
+        assert_eq!(m.memory().snapshot(out.range()), vec![1; 16]);
+        assert!(wat.all_done(m.memory()));
+    }
+
+    #[test]
+    fn lemma_3_1_logarithmic_time_growth() {
+        // Time should grow like O(log P), so quadrupling P should add a
+        // bounded number of cycles rather than multiplying them. We allow
+        // a loose factor because the constant in Lemma 3.1 is large.
+        let t = |p: usize| {
+            let (mut m, _, _) = solve(p, p, 77);
+            m.run(&mut SyncScheduler, 10_000_000)
+                .unwrap()
+                .metrics
+                .cycles
+        };
+        let t64 = t(64);
+        let t1024 = t(1024);
+        // log(1024)/log(64) = 10/6; even with noise the ratio must stay
+        // far below the linear ratio 16.
+        assert!(
+            (t1024 as f64) < (t64 as f64) * 6.0,
+            "time not logarithmic: t(64)={t64} t(1024)={t1024}"
+        );
+    }
+
+    #[test]
+    fn contention_stays_well_below_p() {
+        let p = 256;
+        let (mut m, _, _) = solve(p, p, 21);
+        let report = m.run(&mut SyncScheduler, 10_000_000).unwrap();
+        // Lemma 3.1: O(log P / log log P) w.h.p. — allow slack but insist
+        // we are an order of magnitude below P.
+        assert!(
+            report.metrics.max_contention <= p / 8,
+            "contention {} too close to P={p}",
+            report.metrics.max_contention
+        );
+    }
+
+    #[test]
+    fn completes_under_sequential_scheduler() {
+        let (mut m, wat, out) = solve(16, 8, 4);
+        m.run(&mut pram::SingleStepScheduler::new(), 10_000_000)
+            .unwrap();
+        assert_eq!(m.memory().snapshot(out.range()), vec![1; 16]);
+        assert!(wat.all_done(m.memory()));
+    }
+
+    #[test]
+    fn completes_under_random_scheduler() {
+        let (mut m, wat, out) = solve(16, 8, 6);
+        m.run(&mut pram::RandomScheduler::new(2, 0.3), 10_000_000)
+            .unwrap();
+        assert_eq!(m.memory().snapshot(out.range()), vec![1; 16]);
+        assert!(wat.all_done(m.memory()));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let (mut m, _, _) = solve(16, 16, seed);
+            m.run(&mut SyncScheduler, 1_000_000).unwrap().metrics.cycles
+        };
+        assert_eq!(run(4), run(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one job")]
+    fn zero_jobs_rejected() {
+        let mut layout = MemoryLayout::new();
+        LcWat::layout(&mut layout, 0);
+    }
+}

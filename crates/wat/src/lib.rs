@@ -1,0 +1,61 @@
+//! Work-assignment structures from *"A Wait-Free Sorting Algorithm"*
+//! (Shavit, Upfal, Zemach; PODC 1997).
+//!
+//! The paper's conclusion singles out three "simple, efficient and of low
+//! enough contention" building blocks that this crate provides as reusable
+//! PRAM programs for the [`pram`] simulator:
+//!
+//! * [`Wat`] / [`WatProcess`] — the deterministic Work Assignment Tree of
+//!   §2.1 (Figures 1–2), solving *write-all*: no job is lost even if the
+//!   processor holding it crashes, and each `next_element` call costs
+//!   `O(log N)` steps (Lemma 2.1).
+//! * [`LcWat`] / [`LcWatProcess`] — the low-contention randomized variant
+//!   of §3.1 (Figure 8): random probing plus a downward-flooding `ALLDONE`
+//!   marker; `O(log P)` time and `O(log P / log log P)` contention w.h.p.
+//!   (Lemma 3.1).
+//! * [`WinnerTree`] / [`WinnerProcess`] — low-contention winner selection
+//!   of §3.2 (Figure 9): randomized exponential arrival waves and a single
+//!   root CAS; `O(log P)` time and contention (Lemma 3.2).
+//! * [`WriteMostProcess`] — the randomized *write-most* scatter of §3.2
+//!   used to fill the fat tree.
+//!
+//! Leaf work is abstracted by [`LeafWorker`], the `func()` of the paper's
+//! skeleton algorithm (Figure 2), so the same assignment structures drive
+//! write-all, tree building, and anything else.
+//!
+//! # Example: wait-free write-all
+//!
+//! ```
+//! use pram::{Machine, MemoryLayout, SyncScheduler};
+//! use wat::{Wat, WriteAllWorker};
+//!
+//! let jobs = 16;
+//! let mut layout = MemoryLayout::new();
+//! let output = layout.region(jobs);
+//! let wat = Wat::layout(&mut layout, jobs);
+//!
+//! let mut machine = Machine::new(layout.total());
+//! for p in wat.processes(4, |_| WriteAllWorker::new(output, 1)) {
+//!     machine.add_process(p);
+//! }
+//! machine.run(&mut SyncScheduler, 100_000)?;
+//! assert_eq!(machine.memory().snapshot(output.range()), vec![1; jobs]);
+//! # Ok::<(), pram::MachineError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lcwat;
+pub mod tree;
+pub mod wat;
+pub mod winner;
+pub mod worker;
+pub mod write_most;
+
+pub use crate::lcwat::{LcWat, LcWatProcess, ALLDONE, EMPTY};
+pub use crate::tree::HeapTree;
+pub use crate::wat::{Wat, WatProcess, DONE, NOT_DONE};
+pub use crate::winner::{WinnerProcess, WinnerTree};
+pub use crate::worker::{BusyWorker, LeafWorker, NopWorker, WorkerOp, WriteAllWorker};
+pub use crate::write_most::{Source, WriteMostProcess};

@@ -1,0 +1,251 @@
+//! Index arithmetic for complete binary trees stored in shared memory.
+//!
+//! All three work-assignment structures of the paper (the WAT of Figure 1,
+//! the LC-WAT of Figure 8 and the winner-selection tree of Figure 9) are
+//! complete binary trees kept in a flat array with 1-based heap indexing:
+//! node 1 is the root, node `i` has children `2i` and `2i+1`, and the
+//! leaves of a tree with `L` leaves occupy nodes `L .. 2L`.
+
+use pram::{Addr, Region};
+
+/// A complete binary tree with a power-of-two number of leaves, overlaid
+/// on a shared-memory [`Region`] of `2 * leaves` cells (cell 0 unused).
+#[derive(Clone, Copy, Debug)]
+pub struct HeapTree {
+    region: Region,
+    leaves: usize,
+}
+
+impl HeapTree {
+    /// Overlays a tree with `leaves` leaves on `region`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaves` is not a positive power of two or the region is
+    /// smaller than `2 * leaves` cells.
+    pub fn new(region: Region, leaves: usize) -> Self {
+        assert!(
+            leaves.is_power_of_two(),
+            "leaf count must be a power of two"
+        );
+        assert!(
+            region.len() >= 2 * leaves,
+            "region of {} cells too small for {leaves} leaves",
+            region.len()
+        );
+        HeapTree { region, leaves }
+    }
+
+    /// Number of leaves.
+    pub fn leaves(&self) -> usize {
+        self.leaves
+    }
+
+    /// Total number of nodes (`2 * leaves - 1`).
+    pub fn node_count(&self) -> usize {
+        2 * self.leaves - 1
+    }
+
+    /// Height: number of edges from root to a leaf (`log2(leaves)`).
+    pub fn height(&self) -> u32 {
+        self.leaves.trailing_zeros()
+    }
+
+    /// The root node index (always 1).
+    pub fn root(&self) -> usize {
+        1
+    }
+
+    /// Whether `node` is the root.
+    pub fn is_root(&self, node: usize) -> bool {
+        node == 1
+    }
+
+    /// Whether `node` is a leaf.
+    pub fn is_leaf(&self, node: usize) -> bool {
+        node >= self.leaves
+    }
+
+    /// Parent of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is the root.
+    pub fn parent(&self, node: usize) -> usize {
+        assert!(node > 1, "root has no parent");
+        node / 2
+    }
+
+    /// Sibling of `node` (the parent's other child).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is the root.
+    pub fn sibling(&self, node: usize) -> usize {
+        assert!(node > 1, "root has no sibling");
+        node ^ 1
+    }
+
+    /// Left child of `node`.
+    pub fn left(&self, node: usize) -> usize {
+        2 * node
+    }
+
+    /// Right child of `node`.
+    pub fn right(&self, node: usize) -> usize {
+        2 * node + 1
+    }
+
+    /// The node holding leaf number `job` (`0 <= job < leaves`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `job` is out of range.
+    pub fn leaf_node(&self, job: usize) -> usize {
+        assert!(job < self.leaves, "leaf {job} out of range");
+        self.leaves + job
+    }
+
+    /// The leaf number of a leaf `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a leaf.
+    pub fn job_of(&self, node: usize) -> usize {
+        assert!(self.is_leaf(node), "node {node} is not a leaf");
+        node - self.leaves
+    }
+
+    /// Shared-memory address of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a valid node index (`1..2*leaves - 1`... the
+    /// region check rejects anything past `2 * leaves`).
+    pub fn addr(&self, node: usize) -> Addr {
+        assert!(
+            node >= 1 && node < 2 * self.leaves,
+            "node {node} out of tree"
+        );
+        self.region.at(node)
+    }
+
+    /// Depth of `node` (root = 0).
+    pub fn depth(&self, node: usize) -> u32 {
+        debug_assert!(node >= 1);
+        usize::BITS - 1 - node.leading_zeros()
+    }
+
+    /// Iterator over all node indices, root first (breadth-first order).
+    pub fn nodes(&self) -> impl Iterator<Item = usize> {
+        1..2 * self.leaves
+    }
+}
+
+/// Rounds `n` up to the next power of two (minimum 1).
+pub fn next_power_of_two(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pram::MemoryLayout;
+
+    fn tree(leaves: usize) -> HeapTree {
+        let mut l = MemoryLayout::new();
+        let r = l.region(2 * leaves);
+        HeapTree::new(r, leaves)
+    }
+
+    #[test]
+    fn basic_shape() {
+        let t = tree(8);
+        assert_eq!(t.leaves(), 8);
+        assert_eq!(t.node_count(), 15);
+        assert_eq!(t.height(), 3);
+        assert_eq!(t.root(), 1);
+        assert!(t.is_root(1));
+        assert!(!t.is_root(2));
+    }
+
+    #[test]
+    fn family_relations() {
+        let t = tree(8);
+        assert_eq!(t.parent(5), 2);
+        assert_eq!(t.sibling(5), 4);
+        assert_eq!(t.sibling(4), 5);
+        assert_eq!(t.left(3), 6);
+        assert_eq!(t.right(3), 7);
+        assert_eq!(t.parent(t.left(3)), 3);
+        assert_eq!(t.parent(t.right(3)), 3);
+    }
+
+    #[test]
+    fn leaves_and_jobs_roundtrip() {
+        let t = tree(8);
+        for job in 0..8 {
+            let node = t.leaf_node(job);
+            assert!(t.is_leaf(node));
+            assert_eq!(t.job_of(node), job);
+        }
+        assert!(!t.is_leaf(7));
+        assert!(t.is_leaf(8));
+    }
+
+    #[test]
+    fn depth_runs_root_to_leaf() {
+        let t = tree(8);
+        assert_eq!(t.depth(1), 0);
+        assert_eq!(t.depth(2), 1);
+        assert_eq!(t.depth(8), 3);
+        assert_eq!(t.depth(15), 3);
+    }
+
+    #[test]
+    fn addresses_offset_by_region() {
+        let mut l = MemoryLayout::new();
+        let _pad = l.region(100);
+        let r = l.region(16);
+        let t = HeapTree::new(r, 8);
+        assert_eq!(t.addr(1), 101);
+        assert_eq!(t.addr(15), 115);
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let t = tree(1);
+        assert_eq!(t.node_count(), 1);
+        assert!(t.is_leaf(1));
+        assert!(t.is_root(1));
+        assert_eq!(t.leaf_node(0), 1);
+        assert_eq!(t.height(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        tree(6);
+    }
+
+    #[test]
+    #[should_panic(expected = "root has no parent")]
+    fn parent_of_root_panics() {
+        tree(2).parent(1);
+    }
+
+    #[test]
+    fn next_power_of_two_rounds_up() {
+        assert_eq!(next_power_of_two(0), 1);
+        assert_eq!(next_power_of_two(1), 1);
+        assert_eq!(next_power_of_two(5), 8);
+        assert_eq!(next_power_of_two(8), 8);
+    }
+
+    #[test]
+    fn nodes_iterates_every_index() {
+        let t = tree(4);
+        let all: Vec<usize> = t.nodes().collect();
+        assert_eq!(all, vec![1, 2, 3, 4, 5, 6, 7]);
+    }
+}

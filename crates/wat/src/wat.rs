@@ -1,0 +1,450 @@
+//! The deterministic Work Assignment Tree of §2.1 (Figures 1 and 2).
+//!
+//! A WAT is a complete binary tree whose leaves are jobs and whose inner
+//! nodes record completion of their subtrees. The `next_element` routine
+//! (Figure 1, after Algorithm X of Buss et al.) marks the caller's node
+//! `DONE`, climbs while the sibling subtree is finished, and descends into
+//! the first unfinished subtree it finds — all in `O(log N)` operations,
+//! which is what makes the construction wait-free (Lemma 2.1).
+
+use pram::{Memory, MemoryLayout, Op, OpResult, Pid, Process, Word};
+
+use crate::tree::HeapTree;
+use crate::worker::{LeafWorker, WorkerOp};
+
+/// Cell value: subtree not yet complete.
+pub const NOT_DONE: Word = 0;
+/// Cell value: subtree complete.
+pub const DONE: Word = 1;
+
+/// A Work Assignment Tree overlaid on shared memory.
+#[derive(Clone, Copy, Debug)]
+pub struct Wat {
+    tree: HeapTree,
+    jobs: usize,
+}
+
+impl Wat {
+    /// Reserves shared memory for a WAT covering `jobs` jobs.
+    ///
+    /// The leaf count is `jobs` rounded up to a power of two; padding
+    /// leaves carry no work and are marked `DONE` on first visit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs` is zero.
+    pub fn layout(layout: &mut MemoryLayout, jobs: usize) -> Self {
+        assert!(jobs > 0, "a WAT needs at least one job");
+        let leaves = crate::tree::next_power_of_two(jobs);
+        let region = layout.region(2 * leaves);
+        Wat {
+            tree: HeapTree::new(region, leaves),
+            jobs,
+        }
+    }
+
+    /// The underlying tree geometry.
+    pub fn tree(&self) -> &HeapTree {
+        &self.tree
+    }
+
+    /// Number of real jobs (excluding padding leaves).
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Whether the root is marked `DONE` — i.e. all work is complete.
+    pub fn all_done(&self, memory: &Memory) -> bool {
+        memory.read(self.tree.addr(self.tree.root())) == DONE
+    }
+
+    /// Number of tree nodes currently marked `DONE`.
+    pub fn done_count(&self, memory: &Memory) -> usize {
+        self.tree
+            .nodes()
+            .filter(|&n| memory.read(self.tree.addr(n)) == DONE)
+            .count()
+    }
+
+    /// Spawns one worker process per processor, as the skeleton algorithm
+    /// of Figure 2 does, returning the created process boxes.
+    pub fn processes<W>(
+        &self,
+        nprocs: usize,
+        mut make_worker: impl FnMut(Pid) -> W,
+    ) -> Vec<Box<dyn Process>>
+    where
+        W: LeafWorker + 'static,
+    {
+        (0..nprocs)
+            .map(|i| {
+                let pid = Pid::new(i);
+                Box::new(WatProcess::new(*self, pid, nprocs, make_worker(pid))) as Box<dyn Process>
+            })
+            .collect()
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum St {
+    Init,
+    Working,
+    MarkCur,
+    AwaitMark,
+    ClimbCheck,
+    AwaitSibling,
+    AwaitParentMark,
+    DescendCheck,
+    AwaitLeft,
+    AwaitRight,
+}
+
+/// One processor executing the skeleton wait-free algorithm of Figure 2
+/// over a [`Wat`], running a [`LeafWorker`] on every leaf it is assigned.
+#[derive(Debug)]
+pub struct WatProcess<W> {
+    wat: Wat,
+    pid: Pid,
+    nprocs: usize,
+    worker: W,
+    state: St,
+    cur: usize,
+}
+
+impl<W: LeafWorker> WatProcess<W> {
+    /// Creates the process for `pid` of `nprocs`, starting (per Figure 2)
+    /// at leaf `leaves * pid / nprocs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nprocs` is zero or `pid` is out of range.
+    pub fn new(wat: Wat, pid: Pid, nprocs: usize, worker: W) -> Self {
+        assert!(nprocs > 0, "need at least one processor");
+        assert!(pid.index() < nprocs, "pid out of range");
+        WatProcess {
+            wat,
+            pid,
+            nprocs,
+            worker,
+            state: St::Init,
+            cur: 0,
+        }
+    }
+
+    /// Creates a process that skips the initial leaf work and enters the
+    /// tree by calling `next_element` on `job`'s leaf (marking it done and
+    /// climbing from there). Used by strategies that hand off to the WAT
+    /// after doing their own allocation first, like the randomized scheme
+    /// at the end of §2.3 of the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `job` is not a leaf of the WAT or `pid`/`nprocs` are
+    /// invalid as for [`WatProcess::new`].
+    pub fn resuming_at(wat: Wat, pid: Pid, nprocs: usize, worker: W, job: usize) -> Self {
+        let mut p = Self::new(wat, pid, nprocs, worker);
+        p.cur = p.tree().leaf_node(job);
+        p.state = St::MarkCur;
+        p
+    }
+
+    fn tree(&self) -> &HeapTree {
+        self.wat.tree()
+    }
+
+    /// Enters the leaf `self.cur`: begins worker if it is a real job,
+    /// otherwise goes straight to marking it done.
+    fn enter_leaf(&mut self) -> St {
+        let job = self.tree().job_of(self.cur);
+        if job < self.wat.jobs {
+            self.worker.begin(job);
+            St::Working
+        } else {
+            St::MarkCur
+        }
+    }
+}
+
+impl<W: LeafWorker> Process for WatProcess<W> {
+    fn step(&mut self, mut last: Option<OpResult>) -> Op {
+        loop {
+            match self.state {
+                St::Init => {
+                    let leaves = self.tree().leaves();
+                    let job = leaves * self.pid.index() / self.nprocs;
+                    self.cur = self.tree().leaf_node(job);
+                    self.state = self.enter_leaf();
+                }
+                St::Working => match self.worker.step(last.take()) {
+                    WorkerOp::Op(op) => return op,
+                    WorkerOp::Done => self.state = St::MarkCur,
+                },
+                St::MarkCur => {
+                    self.state = St::AwaitMark;
+                    return Op::Write(self.tree().addr(self.cur), DONE);
+                }
+                St::AwaitMark => {
+                    last.take();
+                    self.state = St::ClimbCheck;
+                }
+                St::ClimbCheck => {
+                    if self.tree().is_root(self.cur) {
+                        return Op::Halt;
+                    }
+                    self.state = St::AwaitSibling;
+                    return Op::Read(self.tree().addr(self.tree().sibling(self.cur)));
+                }
+                St::AwaitSibling => {
+                    let v = last.take().expect("sibling read pending").read_value();
+                    if v == DONE {
+                        let parent = self.tree().parent(self.cur);
+                        self.cur = parent;
+                        self.state = St::AwaitParentMark;
+                        return Op::Write(self.tree().addr(parent), DONE);
+                    }
+                    self.cur = self.tree().sibling(self.cur);
+                    self.state = St::DescendCheck;
+                }
+                St::AwaitParentMark => {
+                    last.take();
+                    self.state = St::ClimbCheck;
+                }
+                St::DescendCheck => {
+                    if self.tree().is_leaf(self.cur) {
+                        self.state = self.enter_leaf();
+                        continue;
+                    }
+                    self.state = St::AwaitLeft;
+                    return Op::Read(self.tree().addr(self.tree().left(self.cur)));
+                }
+                St::AwaitLeft => {
+                    let v = last.take().expect("left read pending").read_value();
+                    if v != DONE {
+                        self.cur = self.tree().left(self.cur);
+                        self.state = St::DescendCheck;
+                        continue;
+                    }
+                    self.state = St::AwaitRight;
+                    return Op::Read(self.tree().addr(self.tree().right(self.cur)));
+                }
+                St::AwaitRight => {
+                    let v = last.take().expect("right read pending").read_value();
+                    if v != DONE {
+                        self.cur = self.tree().right(self.cur);
+                        self.state = St::DescendCheck;
+                        continue;
+                    }
+                    // Both children DONE but this node not yet marked: the
+                    // outdated-information case of Figure 1 — next_element
+                    // returns this inner node and the skeleton immediately
+                    // re-enters it, marking it DONE and resuming the climb.
+                    self.state = St::MarkCur;
+                }
+            }
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "wat"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worker::{BusyWorker, NopWorker, WriteAllWorker};
+    use pram::{Machine, MachineError, SingleStepScheduler, SyncScheduler};
+
+    /// Builds a machine solving write-all over `jobs` cells with `nprocs`
+    /// processors; returns (machine, wat, output region).
+    fn write_all_machine(jobs: usize, nprocs: usize, seed: u64) -> (Machine, Wat, pram::Region) {
+        let mut layout = MemoryLayout::new();
+        let out = layout.region(jobs);
+        let wat = Wat::layout(&mut layout, jobs);
+        let mut machine = Machine::with_seed(layout.total(), seed);
+        for p in wat.processes(nprocs, |_| WriteAllWorker::new(out, 1)) {
+            machine.add_process(p);
+        }
+        (machine, wat, out)
+    }
+
+    fn assert_write_all_solved(machine: &Machine, wat: &Wat, out: &pram::Region, jobs: usize) {
+        let values = machine.memory().snapshot(out.range());
+        assert_eq!(values, vec![1; jobs], "every cell written");
+        assert!(wat.all_done(machine.memory()), "root marked done");
+    }
+
+    #[test]
+    fn write_all_single_processor() {
+        let (mut m, wat, out) = write_all_machine(8, 1, 0);
+        m.run(&mut SyncScheduler, 10_000).unwrap();
+        assert_write_all_solved(&m, &wat, &out, 8);
+    }
+
+    #[test]
+    fn write_all_p_equals_n() {
+        let (mut m, wat, out) = write_all_machine(16, 16, 0);
+        m.run(&mut SyncScheduler, 10_000).unwrap();
+        assert_write_all_solved(&m, &wat, &out, 16);
+    }
+
+    #[test]
+    fn write_all_more_processors_than_jobs() {
+        let (mut m, wat, out) = write_all_machine(4, 16, 0);
+        m.run(&mut SyncScheduler, 10_000).unwrap();
+        assert_write_all_solved(&m, &wat, &out, 4);
+    }
+
+    #[test]
+    fn write_all_non_power_of_two_jobs() {
+        let (mut m, wat, out) = write_all_machine(13, 5, 3);
+        m.run(&mut SyncScheduler, 10_000).unwrap();
+        assert_write_all_solved(&m, &wat, &out, 13);
+    }
+
+    #[test]
+    fn write_all_under_sequential_schedule() {
+        let (mut m, wat, out) = write_all_machine(8, 4, 0);
+        m.run(&mut SingleStepScheduler::new(), 100_000).unwrap();
+        assert_write_all_solved(&m, &wat, &out, 8);
+    }
+
+    #[test]
+    fn write_all_survives_crashes_of_all_but_one() {
+        let jobs = 16;
+        let nprocs = 8;
+        let (mut m, wat, out) = write_all_machine(jobs, nprocs, 1);
+        // Crash processors 1..8 at staggered early cycles; processor 0
+        // must finish everything alone.
+        let mut plan = pram::failure::FailurePlan::new();
+        for v in 1..nprocs {
+            plan = plan.crash_at(v as u64, Pid::new(v));
+        }
+        m.run_with_failures(&mut SyncScheduler, &plan, 100_000)
+            .unwrap();
+        assert_write_all_solved(&m, &wat, &out, jobs);
+    }
+
+    #[test]
+    fn crashed_everyone_means_no_progress_but_no_hang() {
+        let (mut m, _wat, out) = write_all_machine(4, 2, 0);
+        let plan = pram::failure::FailurePlan::new()
+            .crash_at(0, Pid::new(0))
+            .crash_at(0, Pid::new(1));
+        let report = m
+            .run_with_failures(&mut SyncScheduler, &plan, 1000)
+            .unwrap();
+        assert_eq!(report.crashed, 2);
+        assert_eq!(m.memory().snapshot(out.range()), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn lemma_2_3_time_bound_with_p_equals_n() {
+        // Lemma 2.3: with P = N and K-step leaves the skeleton finishes in
+        // O(K + log N) cycles. Verify with a generous constant.
+        for &n in &[16usize, 64, 256] {
+            for &k in &[0usize, 4, 16] {
+                let mut layout = MemoryLayout::new();
+                let out = layout.region(n);
+                let wat = Wat::layout(&mut layout, n);
+                let mut machine = Machine::with_seed(layout.total(), 7);
+                for p in wat.processes(n, |_| BusyWorker::new(out, k)) {
+                    machine.add_process(p);
+                }
+                let report = machine.run(&mut SyncScheduler, 1_000_000).unwrap();
+                let log_n = (n as f64).log2();
+                let bound = 10.0 * (k as f64 + log_n) + 20.0;
+                assert!(
+                    (report.metrics.cycles as f64) < bound,
+                    "n={n} k={k}: {} cycles exceeds O(K + log N) bound {bound}",
+                    report.metrics.cycles
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_2_1_per_call_step_bound() {
+        // next_element is wait-free: a single processor finishing the whole
+        // tree makes at most O(N) total steps (N leaves, each next_element
+        // call O(log N)).
+        let n = 64;
+        let mut layout = MemoryLayout::new();
+        let wat = Wat::layout(&mut layout, n);
+        let mut machine = Machine::new(layout.total());
+        for p in wat.processes(1, |_| NopWorker) {
+            machine.add_process(p);
+        }
+        let report = machine.run(&mut SyncScheduler, 1_000_000).unwrap();
+        let steps = report.metrics.steps_per_process[0] as f64;
+        let bound = 8.0 * (n as f64) + 8.0 * (n as f64).log2();
+        assert!(steps < bound, "{steps} steps exceeds bound {bound}");
+    }
+
+    #[test]
+    fn busy_worker_executes_every_leaf_at_least_once() {
+        let jobs = 32;
+        let mut layout = MemoryLayout::new();
+        let out = layout.region(jobs);
+        let wat = Wat::layout(&mut layout, jobs);
+        let mut machine = Machine::with_seed(layout.total(), 11);
+        for p in wat.processes(6, |_| BusyWorker::new(out, 2)) {
+            machine.add_process(p);
+        }
+        machine.run(&mut SyncScheduler, 100_000).unwrap();
+        let counts = machine.memory().snapshot(out.range());
+        assert!(
+            counts.iter().all(|&c| c >= 1),
+            "some leaf never executed: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn cycle_limit_too_small_reports_error() {
+        let (mut m, _, _) = write_all_machine(64, 2, 0);
+        let err = m.run(&mut SyncScheduler, 3).unwrap_err();
+        assert!(matches!(err, MachineError::CycleLimitExceeded { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one job")]
+    fn zero_jobs_rejected() {
+        let mut layout = MemoryLayout::new();
+        Wat::layout(&mut layout, 0);
+    }
+
+    #[test]
+    fn resuming_at_skips_initial_work_and_continues() {
+        // A process resuming at job 3 must not run job 3's work again —
+        // it marks the leaf done and climbs/descends from there, still
+        // covering every other job.
+        let jobs = 8;
+        let mut layout = MemoryLayout::new();
+        let out = layout.region(jobs);
+        let wat = Wat::layout(&mut layout, jobs);
+        let mut machine = Machine::new(layout.total());
+        machine.add_process(Box::new(WatProcess::resuming_at(
+            wat,
+            Pid::new(0),
+            1,
+            WriteAllWorker::new(out, 1),
+            3,
+        )));
+        machine.run(&mut SyncScheduler, 100_000).unwrap();
+        assert!(wat.all_done(machine.memory()));
+        let values = machine.memory().snapshot(out.range());
+        assert_eq!(values[3], 0, "resumed job's own work must be skipped");
+        for (j, &v) in values.iter().enumerate() {
+            if j != 3 {
+                assert_eq!(v, 1, "job {j} must still run");
+            }
+        }
+    }
+
+    #[test]
+    fn single_job_single_processor() {
+        let (mut m, wat, out) = write_all_machine(1, 1, 0);
+        m.run(&mut SyncScheduler, 100).unwrap();
+        assert_write_all_solved(&m, &wat, &out, 1);
+    }
+}

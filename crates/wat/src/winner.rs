@@ -1,0 +1,395 @@
+//! Low-contention winner selection of §3.2 (Figure 9).
+//!
+//! Between the group phase and the fat-tree phase of the low-contention
+//! sort, one group's result must be chosen. Processors enter a binary tree
+//! in randomized exponential waves (geometric coin-flip back-off), ascend
+//! from their leaf until they meet a non-`EMPTY` node, compare-and-swap
+//! their candidate at the root if they get that far, and copy the value
+//! they saw one level back down. The first processor through pays one CAS;
+//! the waves keep the number of simultaneous climbers — and hence
+//! contention — at `O(log P)` (Lemma 3.2).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pram::{Memory, MemoryLayout, Op, OpResult, Pid, Process, Region, Word};
+
+use crate::tree::HeapTree;
+
+/// Cell value: no winner information here yet.
+pub const EMPTY: Word = 0;
+
+/// The shared winner-selection tree plus a per-processor result array.
+///
+/// # Examples
+///
+/// ```
+/// use pram::{Machine, MemoryLayout, Pid, SyncScheduler, Word};
+/// use wat::WinnerTree;
+///
+/// let mut layout = MemoryLayout::new();
+/// let wt = WinnerTree::layout(&mut layout, 8);
+/// let mut machine = Machine::new(layout.total());
+/// // Processor i proposes candidate i + 1.
+/// for p in wt.processes(7, 4, |pid| pid.index() as Word + 1) {
+///     machine.add_process(p);
+/// }
+/// machine.run(&mut SyncScheduler, 100_000)?;
+/// let winner = wt.winner(machine.memory()).expect("one winner chosen");
+/// assert!((1..=8).contains(&winner));
+/// // Every processor observed the same winner.
+/// for i in 0..8 {
+///     assert_eq!(wt.observed_winner(machine.memory(), Pid::new(i)), Some(winner));
+/// }
+/// # Ok::<(), pram::MachineError>(())
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct WinnerTree {
+    tree: HeapTree,
+    results: Region,
+    nprocs: usize,
+}
+
+impl WinnerTree {
+    /// Reserves shared memory for selecting a winner among `nprocs`
+    /// processors: a tree with `nprocs` (rounded up to a power of two)
+    /// leaves and one result cell per processor into which each records
+    /// the winner it observed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nprocs` is zero.
+    pub fn layout(layout: &mut MemoryLayout, nprocs: usize) -> Self {
+        assert!(nprocs > 0, "need at least one processor");
+        let leaves = crate::tree::next_power_of_two(nprocs);
+        let region = layout.region(2 * leaves);
+        let results = layout.region(nprocs);
+        WinnerTree {
+            tree: HeapTree::new(region, leaves),
+            results,
+            nprocs,
+        }
+    }
+
+    /// The underlying tree geometry.
+    pub fn tree(&self) -> &HeapTree {
+        &self.tree
+    }
+
+    /// The per-processor result region: cell `i` receives the winner
+    /// processor `i` observed. Downstream phases read their cell to learn
+    /// the winner.
+    pub fn results_region(&self) -> Region {
+        self.results
+    }
+
+    /// The winner stored at the root, or `None` if selection has not
+    /// completed.
+    pub fn winner(&self, memory: &Memory) -> Option<Word> {
+        match memory.read(self.tree.addr(self.tree.root())) {
+            EMPTY => None,
+            w => Some(w),
+        }
+    }
+
+    /// The winner recorded by processor `pid`, or `None` if it has not
+    /// finished.
+    pub fn observed_winner(&self, memory: &Memory, pid: Pid) -> Option<Word> {
+        match memory.read(self.results.at(pid.index())) {
+            EMPTY => None,
+            w => Some(w),
+        }
+    }
+
+    /// Spawns the selection process for every processor. `candidate_of`
+    /// supplies each processor's candidate value (must be non-`EMPTY`).
+    pub fn processes(
+        &self,
+        seed: u64,
+        wait_unit: usize,
+        mut candidate_of: impl FnMut(Pid) -> Word,
+    ) -> Vec<Box<dyn Process>> {
+        (0..self.nprocs)
+            .map(|i| {
+                let pid = Pid::new(i);
+                Box::new(WinnerProcess::new(
+                    *self,
+                    pid,
+                    candidate_of(pid),
+                    wait_unit,
+                    seed,
+                )) as Box<dyn Process>
+            })
+            .collect()
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum St {
+    Waiting { remaining: usize },
+    AwaitNode,
+    AwaitCas,
+    WriteLeft,
+    AwaitLeft,
+    AwaitRight,
+    WriteResult,
+    AwaitResult,
+}
+
+/// One processor executing `select_winner` (Figure 9).
+#[derive(Debug)]
+pub struct WinnerProcess {
+    wt: WinnerTree,
+    pid: Pid,
+    candidate: Word,
+    state: St,
+    node: usize,
+    value: Word,
+}
+
+impl WinnerProcess {
+    /// Creates the process for `pid` proposing `candidate`. `wait_unit` is
+    /// the constant `K` of Figure 9: a processor that flips `s` heads in a
+    /// row waits `K * (log P - s)` cycles before entering the tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidate` is `EMPTY` (the sentinel) or `pid` is out of
+    /// range.
+    pub fn new(wt: WinnerTree, pid: Pid, candidate: Word, wait_unit: usize, seed: u64) -> Self {
+        assert_ne!(
+            candidate, EMPTY,
+            "candidate must be distinguishable from EMPTY"
+        );
+        assert!(pid.index() < wt.nprocs, "pid out of range");
+        let mut rng =
+            StdRng::seed_from_u64(seed ^ (pid.index() as u64).wrapping_mul(0xD1B5_4A32_D192_ED03));
+        let log_p = wt.tree.height() as usize;
+        let mut s = 0;
+        while s < log_p && rng.gen_bool(0.5) {
+            s += 1;
+        }
+        let leaf = wt.tree.leaf_node(pid.index() % wt.tree.leaves());
+        WinnerProcess {
+            wt,
+            pid,
+            candidate,
+            state: St::Waiting {
+                remaining: wait_unit * (log_p - s),
+            },
+            node: leaf,
+            value: EMPTY,
+        }
+    }
+
+    fn tree(&self) -> &HeapTree {
+        &self.wt.tree
+    }
+}
+
+impl Process for WinnerProcess {
+    fn step(&mut self, mut last: Option<OpResult>) -> Op {
+        loop {
+            match self.state {
+                St::Waiting { remaining } => {
+                    if remaining > 0 {
+                        self.state = St::Waiting {
+                            remaining: remaining - 1,
+                        };
+                        return Op::Nop;
+                    }
+                    self.state = St::AwaitNode;
+                    return Op::Read(self.tree().addr(self.node));
+                }
+                St::AwaitNode => {
+                    let v = last.take().expect("node read pending").read_value();
+                    if v != EMPTY {
+                        self.value = v;
+                        self.state = St::WriteLeft;
+                    } else if self.tree().is_root(self.node) {
+                        self.state = St::AwaitCas;
+                        return Op::Cas {
+                            addr: self.tree().addr(self.node),
+                            expected: EMPTY,
+                            new: self.candidate,
+                        };
+                    } else {
+                        self.node = self.tree().parent(self.node);
+                        self.state = St::AwaitNode;
+                        return Op::Read(self.tree().addr(self.node));
+                    }
+                }
+                St::AwaitCas => {
+                    let result = last.take().expect("cas result pending");
+                    self.value = match result {
+                        OpResult::Cas { current, .. } => current,
+                        other => panic!("unexpected {other:?}"),
+                    };
+                    self.state = St::WriteLeft;
+                }
+                St::WriteLeft => {
+                    if self.tree().is_leaf(self.node) {
+                        self.state = St::WriteResult;
+                        continue;
+                    }
+                    self.state = St::AwaitLeft;
+                    return Op::Write(self.tree().addr(self.tree().left(self.node)), self.value);
+                }
+                St::AwaitLeft => {
+                    last.take();
+                    self.state = St::AwaitRight;
+                    return Op::Write(self.tree().addr(self.tree().right(self.node)), self.value);
+                }
+                St::AwaitRight => {
+                    last.take();
+                    self.state = St::WriteResult;
+                }
+                St::WriteResult => {
+                    self.state = St::AwaitResult;
+                    return Op::Write(self.wt.results.at(self.pid.index()), self.value);
+                }
+                St::AwaitResult => {
+                    last.take();
+                    return Op::Halt;
+                }
+            }
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "winner-selection"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pram::{Machine, SyncScheduler};
+
+    fn select(nprocs: usize, seed: u64, wait_unit: usize) -> (Machine, WinnerTree) {
+        let mut layout = MemoryLayout::new();
+        let wt = WinnerTree::layout(&mut layout, nprocs);
+        let mut machine = Machine::with_seed(layout.total(), seed);
+        // Candidate of processor i is i + 1 (non-EMPTY).
+        for p in wt.processes(seed, wait_unit, |pid| pid.index() as Word + 1) {
+            machine.add_process(p);
+        }
+        (machine, wt)
+    }
+
+    #[test]
+    fn selects_exactly_one_winner_all_agree() {
+        for seed in 0..10 {
+            let (mut m, wt) = select(16, seed, 3);
+            m.run(&mut SyncScheduler, 100_000).unwrap();
+            let winner = wt.winner(m.memory()).expect("winner chosen");
+            assert!((1..=16).contains(&winner), "winner {winner} is a candidate");
+            for i in 0..16 {
+                assert_eq!(
+                    wt.observed_winner(m.memory(), Pid::new(i)),
+                    Some(winner),
+                    "seed {seed}: processor {i} disagrees"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_processor_wins_immediately() {
+        let (mut m, wt) = select(1, 0, 1);
+        m.run(&mut SyncScheduler, 1000).unwrap();
+        assert_eq!(wt.winner(m.memory()), Some(1));
+        assert_eq!(wt.observed_winner(m.memory(), Pid::new(0)), Some(1));
+    }
+
+    #[test]
+    fn non_power_of_two_processor_count() {
+        let (mut m, wt) = select(11, 4, 2);
+        m.run(&mut SyncScheduler, 100_000).unwrap();
+        let winner = wt.winner(m.memory()).unwrap();
+        assert!((1..=11).contains(&winner));
+    }
+
+    #[test]
+    fn lemma_3_2_time_is_logarithmic() {
+        let time = |p: usize| {
+            let (mut m, _) = select(p, 99, 2);
+            m.run(&mut SyncScheduler, 1_000_000).unwrap().metrics.cycles
+        };
+        let t16 = time(16);
+        let t1024 = time(1024);
+        // O(K log P): growing P 64x should grow time ~2.5x, never ~64x.
+        assert!(
+            (t1024 as f64) < (t16 as f64) * 8.0,
+            "time not logarithmic: t(16)={t16}, t(1024)={t1024}"
+        );
+    }
+
+    #[test]
+    fn contention_well_below_p() {
+        let p = 512;
+        let (mut m, _) = select(p, 42, 3);
+        let report = m.run(&mut SyncScheduler, 1_000_000).unwrap();
+        assert!(
+            report.metrics.max_contention <= 64,
+            "contention {} not O(log P) for P={p}",
+            report.metrics.max_contention
+        );
+    }
+
+    #[test]
+    fn survives_crash_of_early_wave() {
+        // Crash half the processors a few cycles in; the rest must still
+        // agree on a winner (possibly a crashed processor's candidate —
+        // that is fine, selection is about the value, not the proposer).
+        let (mut m, wt) = select(8, 7, 2);
+        let mut plan = pram::failure::FailurePlan::new();
+        for i in 0..4 {
+            plan = plan.crash_at(1, Pid::new(i));
+        }
+        m.run_with_failures(&mut SyncScheduler, &plan, 100_000)
+            .unwrap();
+        let winner = wt.winner(m.memory()).expect("survivors chose a winner");
+        for i in 4..8 {
+            assert_eq!(wt.observed_winner(m.memory(), Pid::new(i)), Some(winner));
+        }
+    }
+
+    #[test]
+    fn agreement_holds_under_asynchrony() {
+        // Lemma 3.2's *time/contention* analysis assumes bounded arrival
+        // spread, but *agreement* must hold under any schedule.
+        for seed in 0..5 {
+            let (mut m, wt) = select(16, seed, 2);
+            m.run(&mut pram::RandomScheduler::new(seed, 0.3), 1_000_000)
+                .unwrap();
+            let winner = wt.winner(m.memory()).expect("winner chosen");
+            for i in 0..16 {
+                assert_eq!(
+                    wt.observed_winner(m.memory(), Pid::new(i)),
+                    Some(winner),
+                    "seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn agreement_holds_fully_sequentially() {
+        let (mut m, wt) = select(8, 3, 1);
+        m.run(&mut pram::SingleStepScheduler::new(), 1_000_000)
+            .unwrap();
+        let winner = wt.winner(m.memory()).unwrap();
+        for i in 0..8 {
+            assert_eq!(wt.observed_winner(m.memory(), Pid::new(i)), Some(winner));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distinguishable from EMPTY")]
+    fn empty_candidate_rejected() {
+        let mut layout = MemoryLayout::new();
+        let wt = WinnerTree::layout(&mut layout, 2);
+        WinnerProcess::new(wt, Pid::new(0), EMPTY, 1, 0);
+    }
+}

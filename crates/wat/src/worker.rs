@@ -1,0 +1,217 @@
+//! Leaf work: what a work-assignment structure hands out.
+//!
+//! The skeleton algorithm of Figure 2 calls an abstract `func(i)` on each
+//! leaf `i`. A [`LeafWorker`] is that `func` as a resumable state machine,
+//! so leaf work composes with the simulator's one-memory-op-per-cycle
+//! accounting: the surrounding process drives the worker one operation at
+//! a time and regains control when the worker reports completion.
+
+use pram::{Op, OpResult, Region, Word};
+
+/// What a [`LeafWorker`] wants next: another memory operation, or done.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkerOp {
+    /// Perform this shared-memory operation and resume me with its result.
+    Op(Op),
+    /// The job is complete; the surrounding process takes over. Costs no
+    /// cycle by itself.
+    Done,
+}
+
+/// A resumable unit of leaf work, the `func()` of the paper's Figure 2.
+///
+/// Lifecycle: the owning process calls [`LeafWorker::begin`] with a job
+/// number, then repeatedly [`LeafWorker::step`]; each returned
+/// [`WorkerOp::Op`] is executed by the machine and its result fed to the
+/// next `step` call. [`WorkerOp::Done`] yields control back.
+pub trait LeafWorker {
+    /// Starts work on leaf job `job`.
+    fn begin(&mut self, job: usize);
+
+    /// Advances the job by one operation. `last` carries the result of the
+    /// previously returned operation (`None` right after [`begin`]).
+    ///
+    /// [`begin`]: LeafWorker::begin
+    fn step(&mut self, last: Option<OpResult>) -> WorkerOp;
+}
+
+/// The canonical write-all worker: job `j` writes `value` into cell `j` of
+/// the target region. Substituting this worker into a WAT yields the
+/// Kanellakis–Shvartsman *write-all* solution of §2.1.
+#[derive(Clone, Debug)]
+pub struct WriteAllWorker {
+    target: Region,
+    value: Word,
+    job: usize,
+    wrote: bool,
+}
+
+impl WriteAllWorker {
+    /// Creates a worker writing `value` into each cell of `target`.
+    pub fn new(target: Region, value: Word) -> Self {
+        WriteAllWorker {
+            target,
+            value,
+            job: 0,
+            wrote: false,
+        }
+    }
+}
+
+impl LeafWorker for WriteAllWorker {
+    fn begin(&mut self, job: usize) {
+        self.job = job;
+        self.wrote = false;
+    }
+
+    fn step(&mut self, _last: Option<OpResult>) -> WorkerOp {
+        if self.wrote {
+            WorkerOp::Done
+        } else {
+            self.wrote = true;
+            WorkerOp::Op(Op::Write(self.target.at(self.job), self.value))
+        }
+    }
+}
+
+/// A worker that completes instantly without touching memory; useful for
+/// measuring the overhead of the assignment structure itself (K = 0 in
+/// Lemma 2.3).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NopWorker;
+
+impl LeafWorker for NopWorker {
+    fn begin(&mut self, _job: usize) {}
+
+    fn step(&mut self, _last: Option<OpResult>) -> WorkerOp {
+        WorkerOp::Done
+    }
+}
+
+/// A worker that burns exactly `k` cycles of local work per leaf (the
+/// `K`-step `func` of Lemma 2.3) and then increments cell `job` of the
+/// target region so tests can verify every leaf was executed.
+#[derive(Clone, Debug)]
+pub struct BusyWorker {
+    target: Region,
+    k: usize,
+    remaining: usize,
+    job: usize,
+    state: BusyState,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum BusyState {
+    Burning,
+    Reading,
+    Writing,
+    Finished,
+}
+
+impl BusyWorker {
+    /// Creates a worker doing `k` local steps then one read-increment-write
+    /// on `target[job]`.
+    pub fn new(target: Region, k: usize) -> Self {
+        BusyWorker {
+            target,
+            k,
+            remaining: 0,
+            job: 0,
+            state: BusyState::Finished,
+        }
+    }
+}
+
+impl LeafWorker for BusyWorker {
+    fn begin(&mut self, job: usize) {
+        self.job = job;
+        self.remaining = self.k;
+        self.state = BusyState::Burning;
+    }
+
+    fn step(&mut self, last: Option<OpResult>) -> WorkerOp {
+        loop {
+            match self.state {
+                BusyState::Burning => {
+                    if self.remaining == 0 {
+                        self.state = BusyState::Reading;
+                        continue;
+                    }
+                    self.remaining -= 1;
+                    return WorkerOp::Op(Op::Nop);
+                }
+                BusyState::Reading => {
+                    self.state = BusyState::Writing;
+                    return WorkerOp::Op(Op::Read(self.target.at(self.job)));
+                }
+                BusyState::Writing => {
+                    let v = last.expect("read result pending").read_value();
+                    self.state = BusyState::Finished;
+                    return WorkerOp::Op(Op::Write(self.target.at(self.job), v + 1));
+                }
+                BusyState::Finished => return WorkerOp::Done,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pram::MemoryLayout;
+
+    #[test]
+    fn write_all_worker_emits_single_write() {
+        let mut l = MemoryLayout::new();
+        let r = l.region(4);
+        let mut w = WriteAllWorker::new(r, 1);
+        w.begin(2);
+        assert_eq!(w.step(None), WorkerOp::Op(Op::Write(r.at(2), 1)));
+        assert_eq!(w.step(Some(OpResult::Write)), WorkerOp::Done);
+    }
+
+    #[test]
+    fn write_all_worker_is_reusable_across_jobs() {
+        let mut l = MemoryLayout::new();
+        let r = l.region(4);
+        let mut w = WriteAllWorker::new(r, 7);
+        w.begin(0);
+        assert_eq!(w.step(None), WorkerOp::Op(Op::Write(r.at(0), 7)));
+        assert_eq!(w.step(Some(OpResult::Write)), WorkerOp::Done);
+        w.begin(3);
+        assert_eq!(w.step(None), WorkerOp::Op(Op::Write(r.at(3), 7)));
+    }
+
+    #[test]
+    fn nop_worker_is_instant() {
+        let mut w = NopWorker;
+        w.begin(5);
+        assert_eq!(w.step(None), WorkerOp::Done);
+    }
+
+    #[test]
+    fn busy_worker_burns_k_cycles_then_increments() {
+        let mut l = MemoryLayout::new();
+        let r = l.region(2);
+        let mut w = BusyWorker::new(r, 3);
+        w.begin(1);
+        for _ in 0..3 {
+            assert_eq!(w.step(Some(OpResult::Nop)), WorkerOp::Op(Op::Nop));
+        }
+        assert_eq!(w.step(Some(OpResult::Nop)), WorkerOp::Op(Op::Read(r.at(1))));
+        assert_eq!(
+            w.step(Some(OpResult::Read(4))),
+            WorkerOp::Op(Op::Write(r.at(1), 5))
+        );
+        assert_eq!(w.step(Some(OpResult::Write)), WorkerOp::Done);
+    }
+
+    #[test]
+    fn busy_worker_with_zero_k_goes_straight_to_read() {
+        let mut l = MemoryLayout::new();
+        let r = l.region(1);
+        let mut w = BusyWorker::new(r, 0);
+        w.begin(0);
+        assert_eq!(w.step(None), WorkerOp::Op(Op::Read(r.at(0))));
+    }
+}

@@ -1,0 +1,226 @@
+//! Randomized *write-most* of §3.2.
+//!
+//! Write-most is the approximate cousin of write-all: each processor
+//! writes `rounds` uniformly random cells of the destination region, so
+//! after all processors finish the region is filled with high probability
+//! (the paper uses `rounds = log P` to fill the fat tree). It is trivially
+//! wait-free — a fixed number of operations per processor, no coordination
+//! — which is exactly why the paper prefers it to the non-wait-free binary
+//! broadcast used by Gibbons et al.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pram::{Memory, Op, OpResult, Pid, Process, Region, Word};
+
+/// Where the value written to a destination cell comes from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Source {
+    /// A constant value (plain approximate write-all).
+    Const(Word),
+    /// Read this shared-memory address, then write the value read.
+    Cell(pram::Addr),
+}
+
+/// One processor of the write-most scatter: `rounds` iterations of "pick a
+/// random destination cell, fetch its value per `source_of`, write it".
+pub struct WriteMostProcess {
+    dst: Region,
+    source_of: Box<dyn Fn(usize) -> Source + Send>,
+    rounds: usize,
+    rng: StdRng,
+    state: St,
+    dst_index: usize,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum St {
+    Pick { remaining: usize },
+    AwaitRead { remaining: usize },
+    AwaitWrite { remaining: usize },
+}
+
+impl WriteMostProcess {
+    /// Creates the scatter process for `pid`: `rounds` random cells of
+    /// `dst`, values determined by `source_of(dst_index)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is empty or `rounds` is zero.
+    pub fn new(
+        dst: Region,
+        rounds: usize,
+        pid: Pid,
+        seed: u64,
+        source_of: impl Fn(usize) -> Source + Send + 'static,
+    ) -> Self {
+        assert!(!dst.is_empty(), "destination region must be non-empty");
+        assert!(rounds > 0, "need at least one round");
+        WriteMostProcess {
+            dst,
+            source_of: Box::new(source_of),
+            rounds,
+            rng: StdRng::seed_from_u64(
+                seed ^ (pid.index() as u64).wrapping_mul(0xA076_1D64_78BD_642F),
+            ),
+            state: St::Pick { remaining: 0 },
+            dst_index: 0,
+        }
+    }
+
+    /// Fraction of `dst` cells left unwritten (still equal to `probe`),
+    /// for measuring how "most" the write-most achieved.
+    pub fn unfilled_fraction(memory: &Memory, dst: Region, empty_value: Word) -> f64 {
+        let missing = dst
+            .range()
+            .filter(|&addr| memory.read(addr) == empty_value)
+            .count();
+        missing as f64 / dst.len() as f64
+    }
+}
+
+impl Process for WriteMostProcess {
+    fn step(&mut self, mut last: Option<OpResult>) -> Op {
+        loop {
+            match self.state {
+                St::Pick { remaining: 0 } => {
+                    // First entry initializes the counter; afterwards 0
+                    // remaining means all rounds done.
+                    if self.rounds == 0 {
+                        return Op::Halt;
+                    }
+                    let remaining = self.rounds;
+                    self.rounds = 0; // consumed into the state machine
+                    self.state = St::Pick { remaining };
+                }
+                St::Pick { remaining } => {
+                    self.dst_index = self.rng.gen_range(0..self.dst.len());
+                    match (self.source_of)(self.dst_index) {
+                        Source::Const(v) => {
+                            self.state = St::AwaitWrite {
+                                remaining: remaining - 1,
+                            };
+                            return Op::Write(self.dst.at(self.dst_index), v);
+                        }
+                        Source::Cell(addr) => {
+                            self.state = St::AwaitRead {
+                                remaining: remaining - 1,
+                            };
+                            return Op::Read(addr);
+                        }
+                    }
+                }
+                St::AwaitRead { remaining } => {
+                    let v = last.take().expect("source read pending").read_value();
+                    self.state = St::AwaitWrite { remaining };
+                    return Op::Write(self.dst.at(self.dst_index), v);
+                }
+                St::AwaitWrite { remaining } => {
+                    last.take();
+                    if remaining == 0 {
+                        return Op::Halt;
+                    }
+                    self.state = St::Pick { remaining };
+                }
+            }
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "write-most"
+    }
+}
+
+impl std::fmt::Debug for WriteMostProcess {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WriteMostProcess")
+            .field("dst", &self.dst)
+            .field("state", &self.state)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pram::{Machine, MemoryLayout, SyncScheduler};
+
+    #[test]
+    fn const_scatter_fills_most_cells() {
+        let p = 64;
+        let mut layout = MemoryLayout::new();
+        let dst = layout.region(p);
+        let mut machine = Machine::with_seed(layout.total(), 8);
+        let rounds = (p as f64).log2() as usize * 2; // 2 log P rounds
+        for i in 0..p {
+            machine.add_process(Box::new(WriteMostProcess::new(
+                dst,
+                rounds,
+                Pid::new(i),
+                9,
+                |_| Source::Const(1),
+            )));
+        }
+        machine.run(&mut SyncScheduler, 100_000).unwrap();
+        let unfilled = WriteMostProcess::unfilled_fraction(machine.memory(), dst, 0);
+        assert!(
+            unfilled < 0.05,
+            "write-most left {unfilled} of cells unwritten"
+        );
+    }
+
+    #[test]
+    fn cell_source_copies_from_source_region() {
+        let mut layout = MemoryLayout::new();
+        let src = layout.region(8);
+        let dst = layout.region(8);
+        let mut machine = Machine::with_seed(layout.total(), 3);
+        machine
+            .memory_mut()
+            .load(src.base(), &[10, 20, 30, 40, 50, 60, 70, 80]);
+        for i in 0..8 {
+            machine.add_process(Box::new(WriteMostProcess::new(
+                dst,
+                16,
+                Pid::new(i),
+                4,
+                move |j| Source::Cell(src.at(j)),
+            )));
+        }
+        machine.run(&mut SyncScheduler, 100_000).unwrap();
+        for j in 0..8 {
+            let v = machine.memory().read(dst.at(j));
+            assert!(
+                v == 0 || v == ((j as Word + 1) * 10),
+                "cell {j} holds {v}, expected 0 or {}",
+                (j + 1) * 10
+            );
+        }
+    }
+
+    #[test]
+    fn runs_in_bounded_steps_per_processor() {
+        // Write-most is deterministic-time wait-free: each round is at
+        // most 2 memory ops, so rounds * 2 + O(1) steps per processor.
+        let mut layout = MemoryLayout::new();
+        let dst = layout.region(32);
+        let mut machine = Machine::new(layout.total());
+        machine.add_process(Box::new(WriteMostProcess::new(
+            dst,
+            10,
+            Pid::new(0),
+            0,
+            |_| Source::Const(1),
+        )));
+        let report = machine.run(&mut SyncScheduler, 1000).unwrap();
+        assert!(report.metrics.steps_per_process[0] <= 2 * 10 + 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn zero_rounds_rejected() {
+        let mut layout = MemoryLayout::new();
+        let dst = layout.region(4);
+        WriteMostProcess::new(dst, 0, Pid::new(0), 0, |_| Source::Const(1));
+    }
+}

@@ -1,0 +1,486 @@
+//! A sort job shared by any number of participating threads.
+//!
+//! [`SortJob`] owns the keys and all shared state; [`SortJob::participate`]
+//! runs the four wait-free phases to completion and may be called from as
+//! many threads as desired, at any time — the scenario motivating the
+//! paper's introduction: threads can be reaped mid-sort (abandon
+//! participation) and fresh threads can join later, without the data
+//! structures ever being left in a state others cannot finish from.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::lcwat::AtomicLcWat;
+use crate::tree::{SharedTree, Side, EMPTY};
+use crate::wat::AtomicWat;
+
+/// Controls when a participant abandons the sort, simulating reaping or
+/// crashing. Consulted at wait-free operation boundaries.
+pub trait Participation {
+    /// `false` = abandon now.
+    fn keep_going(&mut self) -> bool;
+}
+
+/// Never abandons.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunToCompletion;
+
+impl Participation for RunToCompletion {
+    fn keep_going(&mut self) -> bool {
+        true
+    }
+}
+
+/// Abandons after a fixed number of checks — a deterministic "reap".
+#[derive(Clone, Copy, Debug)]
+pub struct QuitAfter(pub usize);
+
+impl Participation for QuitAfter {
+    fn keep_going(&mut self) -> bool {
+        if self.0 == 0 {
+            false
+        } else {
+            self.0 -= 1;
+            true
+        }
+    }
+}
+
+/// How jobs are handed to participants (the native analogue of the PRAM
+/// sorter's `Allocation`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum NativeAllocation {
+    /// The deterministic WAT of Figure 2.
+    #[default]
+    Deterministic,
+    /// The randomized LC-WAT of Figure 8: random probing decorrelates
+    /// which cache lines concurrent threads touch.
+    Randomized,
+}
+
+/// A wait-free sort of `keys` in progress (or completed).
+///
+/// The comparison order is `(key, index)` — the paper's assumption of
+/// distinct keys realized by index tie-breaking, which also makes the
+/// resulting permutation stable.
+///
+/// # Examples
+///
+/// Any number of threads can participate; any of them may abandon at
+/// any time and the rest finish the job:
+///
+/// ```
+/// use wfsort_native::{QuitAfter, RunToCompletion, SortJob};
+///
+/// let job = SortJob::new(vec![5, 2, 8, 1, 9, 3]);
+/// crossbeam::thread::scope(|s| {
+///     s.spawn(|_| job.participate(&mut QuitAfter(10))); // reaped early
+///     s.spawn(|_| job.participate(&mut RunToCompletion));
+/// })
+/// .unwrap();
+/// assert!(job.is_complete());
+/// assert_eq!(job.into_sorted(), vec![1, 2, 3, 5, 8, 9]);
+/// ```
+#[derive(Debug)]
+pub struct SortJob<K: Ord> {
+    keys: Vec<K>,
+    tree: SharedTree,
+    allocation: NativeAllocation,
+    build_wat: AtomicWat,
+    scatter_wat: AtomicWat,
+    build_lcwat: AtomicLcWat,
+    scatter_lcwat: AtomicLcWat,
+    /// `perm[r - 1]` = element index with rank `r`.
+    perm: Vec<AtomicUsize>,
+    participants: AtomicUsize,
+}
+
+impl<K: Ord> SortJob<K> {
+    /// Creates a job for sorting `keys`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` has fewer than 2 elements (nothing to do in
+    /// parallel; handle short inputs locally).
+    pub fn new(keys: Vec<K>) -> Self {
+        Self::with_allocation(keys, NativeAllocation::Deterministic)
+    }
+
+    /// Creates a job using the given work-allocation strategy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` has fewer than 2 elements.
+    pub fn with_allocation(keys: Vec<K>, allocation: NativeAllocation) -> Self {
+        let n = keys.len();
+        assert!(n >= 2, "a sort job needs at least two keys");
+        SortJob {
+            keys,
+            tree: SharedTree::new(n),
+            allocation,
+            build_wat: AtomicWat::new(n - 1),
+            scatter_wat: AtomicWat::new(n),
+            build_lcwat: AtomicLcWat::new(n - 1),
+            scatter_lcwat: AtomicLcWat::new(n),
+            perm: (0..n).map(|_| AtomicUsize::new(0)).collect(),
+            participants: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the job is empty (never true; `new` requires 2+ keys).
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Whether the sorted permutation is fully computed.
+    pub fn is_complete(&self) -> bool {
+        match self.allocation {
+            NativeAllocation::Deterministic => self.scatter_wat.all_done(),
+            NativeAllocation::Randomized => self.scatter_lcwat.all_done(),
+        }
+    }
+
+    /// Whether phase 1 (tree building) is complete.
+    fn build_done(&self) -> bool {
+        match self.allocation {
+            NativeAllocation::Deterministic => self.build_wat.all_done(),
+            NativeAllocation::Randomized => self.build_lcwat.all_done(),
+        }
+    }
+
+    /// `(key, index)` comparison: is element `a` less than element `b`?
+    fn less(&self, a: usize, b: usize) -> bool {
+        (&self.keys[a - 1], a) < (&self.keys[b - 1], b)
+    }
+
+    /// Runs all four phases as one participant until the sort is complete
+    /// or `p` abandons. Wait-free: bounded work between `keep_going`
+    /// checks, and progress never depends on any other participant.
+    pub fn participate(&self, p: &mut impl Participation) {
+        let tid = self.participants.fetch_add(1, Ordering::Relaxed);
+        // A nominal thread count for work spreading; any value works, the
+        // WAT reassigns everything anyway.
+        let nthreads = (tid + 1).max(2);
+        self.build_phase(tid, nthreads, p);
+        if !self.build_done() {
+            return; // abandoned
+        }
+        if !self.sum_phase(tid, p) {
+            return;
+        }
+        if !self.place_phase(tid, p) {
+            return;
+        }
+        self.scatter_phase(tid, nthreads, p);
+    }
+
+    /// Convenience: participate and never abandon.
+    pub fn run(&self) {
+        self.participate(&mut RunToCompletion);
+    }
+
+    /// Phase 1: insert every element into the pivot tree (Figure 4).
+    fn build_phase(&self, tid: usize, nthreads: usize, p: &mut impl Participation) {
+        // Job j inserts element j + 2 (element 1 is the root).
+        let insert = |job: usize| {
+            let element = job + 2;
+            let mut parent = 1usize;
+            loop {
+                let side = if self.less(element, parent) {
+                    Side::Small
+                } else {
+                    Side::Big
+                };
+                let occupant = self.tree.install_child(parent, side, element);
+                if occupant == element {
+                    return;
+                }
+                parent = occupant;
+            }
+        };
+        match self.allocation {
+            NativeAllocation::Deterministic => {
+                self.build_wat
+                    .participate(tid, nthreads, insert, || p.keep_going());
+            }
+            NativeAllocation::Randomized => {
+                self.build_lcwat
+                    .participate(tid as u64, insert, || p.keep_going());
+            }
+        }
+    }
+
+    /// Phase 2: subtree sizes (Figure 5); returns `false` if abandoned.
+    fn sum_phase(&self, tid: usize, p: &mut impl Participation) -> bool {
+        // Explicit stack: (node, visit-state). State 0 = first entry,
+        // 1 = after first child, 2 = after second child.
+        let mut stack: Vec<(usize, u8, usize)> = vec![(1, 0, 0)];
+        let mut ret = 0usize;
+        while let Some((node, stage, first_sum)) = stack.pop() {
+            if !p.keep_going() {
+                return false;
+            }
+            let depth = stack.len() as u32;
+            let first = Side::from_bit(tid >> (depth % usize::BITS) & 1 == 1);
+            match stage {
+                0 => {
+                    let s = self.tree.size(node);
+                    if s > 0 {
+                        ret = s;
+                        continue;
+                    }
+                    let c = self.tree.child(node, first);
+                    stack.push((node, 1, 0));
+                    if c != EMPTY {
+                        stack.push((c, 0, 0));
+                        ret = 0;
+                    } else {
+                        ret = 0;
+                    }
+                }
+                1 => {
+                    let sum1 = ret;
+                    let c = self.tree.child(node, first.other());
+                    stack.push((node, 2, sum1));
+                    if c != EMPTY {
+                        stack.push((c, 0, 0));
+                        ret = 0;
+                    } else {
+                        ret = 0;
+                    }
+                }
+                _ => {
+                    let total = first_sum + ret + 1;
+                    self.tree.set_size(node, total);
+                    ret = total;
+                }
+            }
+        }
+        true
+    }
+
+    /// Phase 3: ranks (Figure 6 with the postorder completion flag);
+    /// returns `false` if abandoned.
+    fn place_phase(&self, tid: usize, p: &mut impl Participation) -> bool {
+        // Frames: (node, sub, stage).
+        let mut stack: Vec<(usize, usize, u8)> = vec![(1, 0, 0)];
+        while let Some((node, sub, stage)) = stack.pop() {
+            if !p.keep_going() {
+                return false;
+            }
+            let depth = stack.len() as u32;
+            match stage {
+                0 => {
+                    if self.tree.place_complete(node) {
+                        continue;
+                    }
+                    let small = self.tree.child(node, Side::Small);
+                    let s = if small == EMPTY {
+                        0
+                    } else {
+                        self.tree.size(small)
+                    };
+                    if self.tree.place(node) == 0 {
+                        self.tree.set_place(node, s + sub + 1);
+                    }
+                    let big = self.tree.child(node, Side::Big);
+                    // Children in PID-bit order.
+                    let small_first =
+                        Side::from_bit(tid >> (depth % usize::BITS) & 1 == 1) == Side::Small;
+                    let kids = if small_first {
+                        [(small, sub), (big, sub + s + 1)]
+                    } else {
+                        [(big, sub + s + 1), (small, sub)]
+                    };
+                    stack.push((node, sub, 1));
+                    for (c, csub) in kids.into_iter().rev() {
+                        if c != EMPTY {
+                            stack.push((c, csub, 0));
+                        }
+                    }
+                }
+                _ => {
+                    self.tree.set_place_complete(node);
+                }
+            }
+        }
+        true
+    }
+
+    /// Phase 4: scatter element indices by rank.
+    fn scatter_phase(&self, tid: usize, nthreads: usize, p: &mut impl Participation) {
+        let move_one = |job: usize| {
+            let element = job + 1;
+            let rank = self.tree.place(element);
+            debug_assert!(rank >= 1, "scatter before placement");
+            self.perm[rank - 1].store(element, Ordering::Release);
+        };
+        match self.allocation {
+            NativeAllocation::Deterministic => {
+                self.scatter_wat
+                    .participate(tid, nthreads, move_one, || p.keep_going());
+            }
+            NativeAllocation::Randomized => {
+                self.scatter_lcwat
+                    .participate(tid as u64, move_one, || p.keep_going());
+            }
+        }
+    }
+
+    /// The sorted permutation: entry `r` is the index (1-based) of the
+    /// rank-`r + 1` element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sort is not complete.
+    pub fn permutation(&self) -> Vec<usize> {
+        assert!(self.is_complete(), "sort not complete");
+        self.perm
+            .iter()
+            .map(|a| a.load(Ordering::Acquire))
+            .collect()
+    }
+
+    /// Consumes the job, returning the keys in sorted order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sort is not complete.
+    pub fn into_sorted(self) -> Vec<K> {
+        let perm = self.permutation();
+        let mut slots: Vec<Option<K>> = self.keys.into_iter().map(Some).collect();
+        perm.into_iter()
+            .map(|i| slots[i - 1].take().expect("permutation is a bijection"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_participant_sorts() {
+        let job = SortJob::new(vec![5, 2, 9, 1, 7, 3]);
+        job.run();
+        assert!(job.is_complete());
+        assert_eq!(job.into_sorted(), vec![1, 2, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn permutation_is_stable_for_duplicates() {
+        let job = SortJob::new(vec![2, 1, 2, 1]);
+        job.run();
+        assert_eq!(job.permutation(), vec![2, 4, 1, 3]);
+        assert_eq!(job.into_sorted(), vec![1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn many_participants_concurrently() {
+        let keys: Vec<i64> = (0..5000)
+            .map(|i| (i * 2654435761u64 % 10007) as i64)
+            .collect();
+        let mut expect = keys.clone();
+        expect.sort();
+        let job = SortJob::new(keys);
+        crossbeam::thread::scope(|s| {
+            for _ in 0..8 {
+                let job = &job;
+                s.spawn(move |_| job.run());
+            }
+        })
+        .unwrap();
+        assert_eq!(job.into_sorted(), expect);
+    }
+
+    #[test]
+    fn quitters_plus_one_survivor_complete() {
+        let keys: Vec<i64> = (0..2000).rev().collect();
+        let mut expect = keys.clone();
+        expect.sort();
+        let job = SortJob::new(keys);
+        crossbeam::thread::scope(|s| {
+            for q in 0..6 {
+                let job = &job;
+                s.spawn(move |_| job.participate(&mut QuitAfter(50 * (q + 1))));
+            }
+            let job = &job;
+            s.spawn(move |_| job.run());
+        })
+        .unwrap();
+        assert!(job.is_complete());
+        assert_eq!(job.into_sorted(), expect);
+    }
+
+    #[test]
+    fn late_joiner_finishes_abandoned_job() {
+        let keys: Vec<i64> = (0..512).map(|i| (i * 37) % 512).collect();
+        let mut expect = keys.clone();
+        expect.sort();
+        let job = SortJob::new(keys);
+        // A participant that gives up early...
+        job.participate(&mut QuitAfter(20));
+        assert!(!job.is_complete());
+        // ...and a fresh one that arrives later and completes everything.
+        job.run();
+        assert!(job.is_complete());
+        assert_eq!(job.into_sorted(), expect);
+    }
+
+    #[test]
+    fn randomized_allocation_sorts() {
+        let keys: Vec<i64> = (0..3000).map(|i| (i * 97) % 1009).collect();
+        let mut expect = keys.clone();
+        expect.sort();
+        let job = SortJob::with_allocation(keys, NativeAllocation::Randomized);
+        crossbeam::thread::scope(|s| {
+            for _ in 0..4 {
+                let job = &job;
+                s.spawn(move |_| job.run());
+            }
+        })
+        .unwrap();
+        assert!(job.is_complete());
+        assert_eq!(job.into_sorted(), expect);
+    }
+
+    #[test]
+    fn randomized_allocation_survives_quitters() {
+        let keys: Vec<i64> = (0..600).rev().collect();
+        let mut expect = keys.clone();
+        expect.sort();
+        let job = SortJob::with_allocation(keys, NativeAllocation::Randomized);
+        job.participate(&mut QuitAfter(30));
+        assert!(!job.is_complete());
+        job.run();
+        assert_eq!(job.into_sorted(), expect);
+    }
+
+    #[test]
+    fn works_on_generic_keys() {
+        let words = vec!["pear", "apple", "fig", "date", "cherry"];
+        let job = SortJob::new(words);
+        job.run();
+        assert_eq!(
+            job.into_sorted(),
+            vec!["apple", "cherry", "date", "fig", "pear"]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two keys")]
+    fn rejects_tiny_input() {
+        SortJob::new(vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sort not complete")]
+    fn permutation_before_completion_panics() {
+        let job = SortJob::new(vec![2, 1]);
+        job.permutation();
+    }
+}

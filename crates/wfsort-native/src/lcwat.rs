@@ -1,0 +1,214 @@
+//! The Low-Contention Work Assignment Tree on native atomics (§3.1,
+//! Figure 8).
+//!
+//! Random probing instead of deterministic climbing: on real hardware
+//! the motivation is cache-line ping-pong rather than the PRAM's
+//! concurrent-access counts, but the structure is the same — a tree of
+//! `AtomicUsize` states where `DONE` percolates up from wherever
+//! processors happen to probe and a terminal `ALLDONE` floods down to
+//! release them.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const EMPTY: usize = 0;
+const DONE: usize = 1;
+const ALLDONE: usize = 2;
+
+/// A randomized work-assignment tree over `jobs` jobs for native threads.
+#[derive(Debug)]
+pub struct AtomicLcWat {
+    nodes: Vec<AtomicUsize>,
+    leaves: usize,
+    jobs: usize,
+}
+
+impl AtomicLcWat {
+    /// Creates an LC-WAT covering `jobs` jobs (leaf count rounded up to a
+    /// power of two; padding leaves complete on first probe).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs` is zero.
+    pub fn new(jobs: usize) -> Self {
+        assert!(jobs > 0, "an LC-WAT needs at least one job");
+        let leaves = jobs.next_power_of_two();
+        AtomicLcWat {
+            nodes: (0..2 * leaves).map(|_| AtomicUsize::new(EMPTY)).collect(),
+            leaves,
+            jobs,
+        }
+    }
+
+    /// Number of real jobs.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Whether all jobs are complete.
+    pub fn all_done(&self) -> bool {
+        self.nodes[1].load(Ordering::Acquire) >= DONE
+    }
+
+    fn load(&self, node: usize) -> usize {
+        self.nodes[node].load(Ordering::Acquire)
+    }
+
+    fn store(&self, node: usize, value: usize) {
+        self.nodes[node].store(value, Ordering::Release);
+    }
+
+    /// Runs `work(job)` for every job as one probing participant (the
+    /// Figure 8 loop). Callable from any number of threads; returns when
+    /// the participant observes global completion or `keep_going()`
+    /// returns `false`. Leaf work may be executed more than once across
+    /// participants and must be idempotent.
+    pub fn participate(
+        &self,
+        seed: u64,
+        mut work: impl FnMut(usize),
+        mut keep_going: impl FnMut() -> bool,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let count = 2 * self.leaves - 1;
+        loop {
+            if !keep_going() {
+                return;
+            }
+            let node = 1 + rng.gen_range(0..count);
+            let is_leaf = node >= self.leaves;
+            let is_root = node == 1;
+            match self.load(node) {
+                EMPTY if is_leaf => {
+                    let job = node - self.leaves;
+                    if job < self.jobs {
+                        work(job);
+                    }
+                    self.store(node, if is_root { ALLDONE } else { DONE });
+                    if is_root {
+                        return;
+                    }
+                }
+                EMPTY => {
+                    let left = self.load(2 * node);
+                    let right = self.load(2 * node + 1);
+                    if left >= DONE && right >= DONE {
+                        self.store(node, if is_root { ALLDONE } else { DONE });
+                    }
+                }
+                DONE => {}
+                _ => {
+                    // ALLDONE: flood one level down and quit (at a leaf
+                    // there is nothing to flood — quitting is sound, any
+                    // ALLDONE sighting implies the root completed).
+                    if !is_leaf {
+                        self.store(2 * node, ALLDONE);
+                        self.store(2 * node + 1, ALLDONE);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize as Counter;
+
+    #[test]
+    fn single_thread_covers_all_jobs() {
+        let wat = AtomicLcWat::new(37);
+        let counts: Vec<Counter> = (0..37).map(|_| Counter::new(0)).collect();
+        wat.participate(
+            1,
+            |j| {
+                counts[j].fetch_add(1, Ordering::Relaxed);
+            },
+            || true,
+        );
+        assert!(wat.all_done());
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) >= 1));
+    }
+
+    #[test]
+    fn many_threads_cover_all_jobs() {
+        let wat = AtomicLcWat::new(200);
+        let counts: Vec<Counter> = (0..200).map(|_| Counter::new(0)).collect();
+        crossbeam::thread::scope(|s| {
+            for t in 0..8u64 {
+                let wat = &wat;
+                let counts = &counts;
+                s.spawn(move |_| {
+                    wat.participate(
+                        t,
+                        |j| {
+                            counts[j].fetch_add(1, Ordering::Relaxed);
+                        },
+                        || true,
+                    );
+                });
+            }
+        })
+        .unwrap();
+        assert!(wat.all_done());
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) >= 1));
+    }
+
+    #[test]
+    fn deserters_do_not_lose_work() {
+        let wat = AtomicLcWat::new(64);
+        let counts: Vec<Counter> = (0..64).map(|_| Counter::new(0)).collect();
+        crossbeam::thread::scope(|s| {
+            for t in 1..5u64 {
+                let wat = &wat;
+                let counts = &counts;
+                s.spawn(move |_| {
+                    let mut budget = 10 * t;
+                    wat.participate(
+                        t,
+                        |j| {
+                            counts[j].fetch_add(1, Ordering::Relaxed);
+                        },
+                        move || {
+                            budget = budget.saturating_sub(1);
+                            budget > 0
+                        },
+                    );
+                });
+            }
+            let wat = &wat;
+            let counts = &counts;
+            s.spawn(move |_| {
+                wat.participate(
+                    0,
+                    |j| {
+                        counts[j].fetch_add(1, Ordering::Relaxed);
+                    },
+                    || true,
+                );
+            });
+        })
+        .unwrap();
+        assert!(wat.all_done());
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) >= 1));
+    }
+
+    #[test]
+    fn single_job_tree_terminates() {
+        let wat = AtomicLcWat::new(1);
+        let mut ran = 0;
+        wat.participate(9, |_| ran += 1, || true);
+        assert!(wat.all_done());
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one job")]
+    fn zero_jobs_rejected() {
+        AtomicLcWat::new(0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Native multi-threaded implementation of the wait-free sorting
+//! algorithm of Shavit, Upfal and Zemach (PODC 1997), using std atomics.
+//!
+//! Where the [`wfsort`] crate runs the algorithm on a simulated CRCW PRAM
+//! (to measure the quantities the paper's lemmas bound), this crate runs
+//! the same three phases on real threads:
+//!
+//! * child pointers are installed with `compare_exchange` (Figure 4);
+//! * subtree sizes and ranks are *benign races* — every writer stores the
+//!   same deterministic value — published with release stores;
+//! * work allocation uses the same Work Assignment Trees, so a reaped or
+//!   crashed thread's work is picked up by survivors.
+//!
+//! The headline property carries over: [`SortJob::participate`] may be
+//! called from any number of threads, joining and abandoning at will, and
+//! the sort completes as long as any one participant keeps running.
+//!
+//! # Example
+//!
+//! ```
+//! use wfsort_native::WaitFreeSorter;
+//!
+//! let data: Vec<u64> = (0..10_000).rev().collect();
+//! let sorted = WaitFreeSorter::new(4).sort(&data);
+//! assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+//! ```
+//!
+//! [`wfsort`]: ../wfsort/index.html
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod job;
+mod lcwat;
+mod sorter;
+mod tree;
+mod wat;
+
+pub use job::{NativeAllocation, Participation, QuitAfter, RunToCompletion, SortJob};
+pub use lcwat::AtomicLcWat;
+pub use sorter::{sort_with_churn, UntilFlag, WaitFreeSorter};
+pub use tree::{SharedTree, Side, EMPTY};
+pub use wat::{Assignment, AtomicWat};

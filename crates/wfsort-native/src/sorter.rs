@@ -1,0 +1,263 @@
+//! High-level sorting front-ends over [`SortJob`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use crate::job::{Participation, RunToCompletion, SortJob};
+
+/// A multi-threaded wait-free sorter.
+///
+/// # Examples
+///
+/// ```
+/// use wfsort_native::WaitFreeSorter;
+///
+/// let sorter = WaitFreeSorter::new(4);
+/// assert_eq!(sorter.sort(&[3u64, 1, 2]), vec![1, 2, 3]);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct WaitFreeSorter {
+    threads: usize,
+}
+
+impl WaitFreeSorter {
+    /// Creates a sorter that spawns `threads` worker threads per sort.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        WaitFreeSorter { threads }
+    }
+
+    /// The configured thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Sorts `keys` into a new vector.
+    pub fn sort<K: Ord + Clone + Send + Sync>(&self, keys: &[K]) -> Vec<K> {
+        if keys.len() < 2 {
+            return keys.to_vec();
+        }
+        let job = SortJob::new(keys.to_vec());
+        if self.threads == 1 {
+            job.run();
+        } else {
+            crossbeam::thread::scope(|s| {
+                for _ in 0..self.threads {
+                    let job = &job;
+                    s.spawn(move |_| job.run());
+                }
+            })
+            .expect("worker threads do not panic");
+        }
+        job.into_sorted()
+    }
+
+    /// Sorts `items` by the key `f` extracts, computing each key once and
+    /// running the wait-free sort over the keys; payloads are gathered
+    /// through the resulting permutation. Stable (ties keep input order).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wfsort_native::WaitFreeSorter;
+    ///
+    /// let words = vec!["ccc", "a", "bb"];
+    /// let by_len = WaitFreeSorter::new(2).sort_by_cached_key(&words, |w| w.len());
+    /// assert_eq!(by_len, vec!["a", "bb", "ccc"]);
+    /// ```
+    pub fn sort_by_cached_key<T, K, F>(&self, items: &[T], f: F) -> Vec<T>
+    where
+        T: Clone + Send + Sync,
+        K: Ord + Send + Sync,
+        F: Fn(&T) -> K,
+    {
+        if items.len() < 2 {
+            return items.to_vec();
+        }
+        let keys: Vec<K> = items.iter().map(f).collect();
+        let job = SortJob::new(keys);
+        if self.threads == 1 {
+            job.run();
+        } else {
+            crossbeam::thread::scope(|s| {
+                for _ in 0..self.threads {
+                    let job = &job;
+                    s.spawn(move |_| job.run());
+                }
+            })
+            .expect("worker threads do not panic");
+        }
+        job.permutation()
+            .into_iter()
+            .map(|e| items[e - 1].clone())
+            .collect()
+    }
+
+    /// Sorts while a saboteur kills all but one worker mid-run: workers
+    /// `1..threads` abandon after `abandon_after` participation checks;
+    /// worker 0 runs to completion. Returns the sorted keys — the point
+    /// being that it *does* return, every time (wait-freedom).
+    pub fn sort_with_casualties<K: Ord + Clone + Send + Sync>(
+        &self,
+        keys: &[K],
+        abandon_after: usize,
+    ) -> Vec<K> {
+        if keys.len() < 2 {
+            return keys.to_vec();
+        }
+        let job = SortJob::new(keys.to_vec());
+        crossbeam::thread::scope(|s| {
+            for t in 1..self.threads {
+                let job = &job;
+                s.spawn(move |_| {
+                    job.participate(&mut crate::job::QuitAfter(abandon_after * t));
+                });
+            }
+            let job = &job;
+            s.spawn(move |_| job.run());
+        })
+        .expect("worker threads do not panic");
+        job.into_sorted()
+    }
+}
+
+impl Default for WaitFreeSorter {
+    fn default() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4);
+        WaitFreeSorter::new(threads)
+    }
+}
+
+/// Stops a participant when an external flag flips — the "reap this
+/// thread, the processor is needed elsewhere" scenario of the paper's
+/// introduction.
+#[derive(Debug)]
+pub struct UntilFlag<'a> {
+    flag: &'a AtomicBool,
+}
+
+impl<'a> UntilFlag<'a> {
+    /// Participates until `flag` becomes `true`.
+    pub fn new(flag: &'a AtomicBool) -> Self {
+        UntilFlag { flag }
+    }
+}
+
+impl Participation for UntilFlag<'_> {
+    fn keep_going(&mut self) -> bool {
+        !self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// Demonstrates oblivious thread churn: spawns `initial` workers, reaps
+/// them at `reap_after`, then spawns `replacements` fresh workers that
+/// finish the job. Returns the sorted keys.
+pub fn sort_with_churn<K: Ord + Clone + Send + Sync>(
+    keys: &[K],
+    initial: usize,
+    reap_after: Duration,
+    replacements: usize,
+) -> Vec<K> {
+    if keys.len() < 2 {
+        return keys.to_vec();
+    }
+    let job = SortJob::new(keys.to_vec());
+    let reap = AtomicBool::new(false);
+    crossbeam::thread::scope(|s| {
+        for _ in 0..initial.max(1) {
+            let job = &job;
+            let reap = &reap;
+            s.spawn(move |_| job.participate(&mut UntilFlag::new(reap)));
+        }
+        std::thread::sleep(reap_after);
+        reap.store(true, Ordering::Relaxed);
+        for _ in 0..replacements.max(1) {
+            let job = &job;
+            s.spawn(move |_| job.participate(&mut RunToCompletion));
+        }
+    })
+    .expect("worker threads do not panic");
+    job.into_sorted()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_keys(n: usize, seed: u64) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(0..1_000_000)).collect()
+    }
+
+    #[test]
+    fn sorts_trivial_inputs() {
+        let s = WaitFreeSorter::new(2);
+        assert_eq!(s.sort::<u64>(&[]), Vec::<u64>::new());
+        assert_eq!(s.sort(&[7]), vec![7]);
+        assert_eq!(s.sort(&[2, 1]), vec![1, 2]);
+    }
+
+    #[test]
+    fn sorts_large_random_input_multithreaded() {
+        let keys = random_keys(20_000, 1);
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        assert_eq!(WaitFreeSorter::new(8).sort(&keys), expect);
+    }
+
+    #[test]
+    fn single_thread_matches_std_sort() {
+        let keys = random_keys(5_000, 2);
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        assert_eq!(WaitFreeSorter::new(1).sort(&keys), expect);
+    }
+
+    #[test]
+    fn casualties_do_not_prevent_completion() {
+        let keys = random_keys(5_000, 3);
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        assert_eq!(
+            WaitFreeSorter::new(8).sort_with_casualties(&keys, 100),
+            expect
+        );
+    }
+
+    #[test]
+    fn churn_reap_then_respawn() {
+        let keys = random_keys(30_000, 4);
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        let sorted = sort_with_churn(&keys, 4, Duration::from_micros(200), 3);
+        assert_eq!(sorted, expect);
+    }
+
+    #[test]
+    fn sorts_strings() {
+        let keys = vec!["b".to_string(), "a".to_string(), "c".to_string()];
+        assert_eq!(
+            WaitFreeSorter::new(2).sort(&keys),
+            vec!["a".to_string(), "b".to_string(), "c".to_string()]
+        );
+    }
+
+    #[test]
+    fn default_uses_available_parallelism() {
+        assert!(WaitFreeSorter::default().threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        WaitFreeSorter::new(0);
+    }
+}

@@ -1,0 +1,196 @@
+//! The shared pivot-tree state, in real atomics.
+//!
+//! This is Figure 3's data structure for native threads: child pointers
+//! installed with `compare_exchange`, sizes and places written with
+//! release stores. All cross-field values are deterministic functions of
+//! the immutable key array plus the (write-once) child pointers, so
+//! concurrent duplicate writes always store the same value — the benign
+//! races the paper's observations 1–6 license.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Sentinel: no child / not computed (element indices are `1..=n`).
+pub const EMPTY: usize = 0;
+
+/// Which child pointer of a node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Side {
+    /// Subtree of smaller keys.
+    Small,
+    /// Subtree of larger keys.
+    Big,
+}
+
+impl Side {
+    /// The opposite side.
+    pub fn other(self) -> Side {
+        match self {
+            Side::Small => Side::Big,
+            Side::Big => Side::Small,
+        }
+    }
+
+    /// Decodes a thread-ID bit: set visits SMALL first (paper `SMALL = 1`).
+    pub fn from_bit(bit: bool) -> Side {
+        if bit {
+            Side::Small
+        } else {
+            Side::Big
+        }
+    }
+}
+
+/// Atomic per-element fields, 1-based (index 0 unused).
+#[derive(Debug)]
+pub struct SharedTree {
+    small: Vec<AtomicUsize>,
+    big: Vec<AtomicUsize>,
+    size: Vec<AtomicUsize>,
+    place: Vec<AtomicUsize>,
+    place_done: Vec<AtomicUsize>,
+}
+
+fn atomic_vec(n: usize) -> Vec<AtomicUsize> {
+    (0..n).map(|_| AtomicUsize::new(0)).collect()
+}
+
+impl SharedTree {
+    /// Creates the shared fields for `n` elements.
+    pub fn new(n: usize) -> Self {
+        SharedTree {
+            small: atomic_vec(n + 1),
+            big: atomic_vec(n + 1),
+            size: atomic_vec(n + 1),
+            place: atomic_vec(n + 1),
+            place_done: atomic_vec(n + 1),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.small.len() - 1
+    }
+
+    /// Whether the tree holds zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn child_slot(&self, node: usize, side: Side) -> &AtomicUsize {
+        match side {
+            Side::Small => &self.small[node],
+            Side::Big => &self.big[node],
+        }
+    }
+
+    /// Reads the child of `node` on `side` (`EMPTY` if none).
+    pub fn child(&self, node: usize, side: Side) -> usize {
+        self.child_slot(node, side).load(Ordering::Acquire)
+    }
+
+    /// Attempts to install `child` as `node`'s `side` child; returns the
+    /// slot's occupant afterwards (== `child` on success, the prior
+    /// occupant on failure) — mirroring the paper's re-read after CAS.
+    pub fn install_child(&self, node: usize, side: Side, child: usize) -> usize {
+        match self.child_slot(node, side).compare_exchange(
+            EMPTY,
+            child,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => child,
+            Err(current) => current,
+        }
+    }
+
+    /// Reads `node`'s subtree size (0 = not yet summed).
+    pub fn size(&self, node: usize) -> usize {
+        self.size[node].load(Ordering::Acquire)
+    }
+
+    /// Publishes `node`'s subtree size.
+    pub fn set_size(&self, node: usize, value: usize) {
+        self.size[node].store(value, Ordering::Release);
+    }
+
+    /// Reads `node`'s 1-based rank (0 = not yet placed).
+    pub fn place(&self, node: usize) -> usize {
+        self.place[node].load(Ordering::Acquire)
+    }
+
+    /// Publishes `node`'s rank.
+    pub fn set_place(&self, node: usize, value: usize) {
+        self.place[node].store(value, Ordering::Release);
+    }
+
+    /// Whether `node`'s whole subtree has been placed (the postorder
+    /// completion flag — see the find_place crash-window fix in
+    /// DESIGN.md).
+    pub fn place_complete(&self, node: usize) -> bool {
+        self.place_done[node].load(Ordering::Acquire) != 0
+    }
+
+    /// Marks `node`'s subtree placement complete.
+    pub fn set_place_complete(&self, node: usize) {
+        self.place_done[node].store(1, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_child_first_wins() {
+        let t = SharedTree::new(4);
+        assert_eq!(t.install_child(1, Side::Small, 2), 2);
+        assert_eq!(t.install_child(1, Side::Small, 3), 2, "loser sees winner");
+        assert_eq!(t.child(1, Side::Small), 2);
+        assert_eq!(t.child(1, Side::Big), EMPTY);
+    }
+
+    #[test]
+    fn install_same_value_is_idempotent() {
+        let t = SharedTree::new(4);
+        assert_eq!(t.install_child(1, Side::Big, 3), 3);
+        // A duplicate-working thread re-attempting the same install gets
+        // the already-present value back — counts as success upstream.
+        assert_eq!(t.install_child(1, Side::Big, 3), 3);
+    }
+
+    #[test]
+    fn size_place_roundtrip() {
+        let t = SharedTree::new(2);
+        assert_eq!(t.size(1), 0);
+        t.set_size(1, 2);
+        assert_eq!(t.size(1), 2);
+        assert_eq!(t.place(2), 0);
+        t.set_place(2, 1);
+        assert_eq!(t.place(2), 1);
+        assert!(!t.place_complete(2));
+        t.set_place_complete(2);
+        assert!(t.place_complete(2));
+    }
+
+    #[test]
+    fn concurrent_installs_have_single_winner() {
+        let t = SharedTree::new(64);
+        let tref = &t;
+        let winners: Vec<usize> = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = (2..=8)
+                .map(|i| s.spawn(move |_| tref.install_child(1, Side::Small, i)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .unwrap();
+        let final_child = t.child(1, Side::Small);
+        assert!(winners.iter().all(|&w| w == final_child));
+    }
+
+    #[test]
+    fn side_helpers() {
+        assert_eq!(Side::Small.other(), Side::Big);
+        assert_eq!(Side::from_bit(true), Side::Small);
+        assert_eq!(Side::from_bit(false), Side::Big);
+    }
+}

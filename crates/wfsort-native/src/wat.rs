@@ -1,0 +1,288 @@
+//! The Work Assignment Tree on native atomics.
+//!
+//! Same structure and algorithm as the simulator's [`wat`] crate (Figure
+//! 1 of the paper / Algorithm X of Buss et al.), but each node is an
+//! `AtomicUsize` and `next_element` is an ordinary function a thread runs
+//! to completion — it is wait-free, so running it inline is fine.
+//!
+//! [`wat`]: https://crates.io/crates/wat
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const NOT_DONE: usize = 0;
+const DONE: usize = 1;
+
+/// Outcome of asking the WAT for more work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Assignment {
+    /// Run this job (a leaf's work). The job may already have been
+    /// executed by another thread — leaf work must be idempotent.
+    Job(usize),
+    /// An internal bookkeeping node was claimed; call
+    /// [`AtomicWat::next_after`] again with it after "completing" it
+    /// (no user work attached).
+    Internal(usize),
+    /// Every job is complete.
+    AllDone,
+}
+
+/// A wait-free work-assignment tree over `jobs` jobs for native threads.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use wfsort_native::AtomicWat;
+///
+/// let wat = AtomicWat::new(100);
+/// let done: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+/// crossbeam::thread::scope(|s| {
+///     for t in 0..4 {
+///         let (wat, done) = (&wat, &done);
+///         s.spawn(move |_| {
+///             wat.participate(t, 4, |job| {
+///                 done[job].fetch_add(1, Ordering::Relaxed);
+///             }, || true);
+///         });
+///     }
+/// }).unwrap();
+/// assert!(wat.all_done());
+/// assert!(done.iter().all(|c| c.load(Ordering::Relaxed) >= 1));
+/// ```
+#[derive(Debug)]
+pub struct AtomicWat {
+    nodes: Vec<AtomicUsize>,
+    leaves: usize,
+    jobs: usize,
+}
+
+impl AtomicWat {
+    /// Creates a WAT covering `jobs` jobs (leaf count rounded up to a
+    /// power of two; padding leaves carry no work).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs` is zero.
+    pub fn new(jobs: usize) -> Self {
+        assert!(jobs > 0, "a WAT needs at least one job");
+        let leaves = jobs.next_power_of_two();
+        AtomicWat {
+            nodes: (0..2 * leaves)
+                .map(|_| AtomicUsize::new(NOT_DONE))
+                .collect(),
+            leaves,
+            jobs,
+        }
+    }
+
+    /// Number of real jobs.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// The starting node for thread `tid` of `nthreads` (Figure 2's
+    /// `leaf number N * PID / P`).
+    pub fn initial_node(&self, tid: usize, nthreads: usize) -> usize {
+        debug_assert!(nthreads > 0);
+        self.leaves + (self.leaves * tid / nthreads)
+    }
+
+    /// The job at `node`, if `node` is a leaf carrying real work.
+    pub fn job_at(&self, node: usize) -> Option<usize> {
+        if node >= self.leaves && node - self.leaves < self.jobs {
+            Some(node - self.leaves)
+        } else {
+            None
+        }
+    }
+
+    /// Whether all jobs are complete.
+    pub fn all_done(&self) -> bool {
+        self.nodes[1].load(Ordering::Acquire) == DONE
+    }
+
+    /// Marks `node` complete and finds the next assignment: the
+    /// `next_element` routine of Figure 1. Wait-free: `O(log jobs)`
+    /// atomic operations per call.
+    pub fn next_after(&self, mut node: usize) -> Assignment {
+        self.nodes[node].store(DONE, Ordering::Release);
+        // Climb while the sibling subtree is complete.
+        loop {
+            if node == 1 {
+                return Assignment::AllDone;
+            }
+            let sibling = node ^ 1;
+            if self.nodes[sibling].load(Ordering::Acquire) == DONE {
+                let parent = node / 2;
+                self.nodes[parent].store(DONE, Ordering::Release);
+                node = parent;
+            } else {
+                node = sibling;
+                break;
+            }
+        }
+        // Descend into the unfinished subtree.
+        while node < self.leaves {
+            let left = 2 * node;
+            let right = 2 * node + 1;
+            if self.nodes[left].load(Ordering::Acquire) != DONE {
+                node = left;
+            } else if self.nodes[right].load(Ordering::Acquire) != DONE {
+                node = right;
+            } else {
+                // Outdated info: both children done, node not yet marked.
+                return Assignment::Internal(node);
+            }
+        }
+        match self.job_at(node) {
+            Some(job) => Assignment::Job(job),
+            None => Assignment::Internal(node), // padding leaf: mark & move on
+        }
+    }
+
+    /// Runs `work(job)` for every job, as one participant: the skeleton
+    /// algorithm of Figure 2. Safe to call from any number of threads;
+    /// returns when all jobs are complete. `keep_going()` is consulted
+    /// between assignments — returning `false` abandons participation
+    /// (simulating a crash; other participants finish the work).
+    pub fn participate(
+        &self,
+        tid: usize,
+        nthreads: usize,
+        mut work: impl FnMut(usize),
+        mut keep_going: impl FnMut() -> bool,
+    ) {
+        let mut node = self.initial_node(tid, nthreads);
+        if let Some(job) = self.job_at(node) {
+            work(job);
+        }
+        loop {
+            if !keep_going() {
+                return;
+            }
+            match self.next_after(node) {
+                Assignment::AllDone => return,
+                Assignment::Job(job) => {
+                    work(job);
+                    node = self.leaves + job;
+                }
+                Assignment::Internal(n) => node = n,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize as Counter;
+
+    #[test]
+    fn single_thread_covers_all_jobs() {
+        let wat = AtomicWat::new(13);
+        let counts: Vec<Counter> = (0..13).map(|_| Counter::new(0)).collect();
+        wat.participate(
+            0,
+            1,
+            |j| {
+                counts[j].fetch_add(1, Ordering::Relaxed);
+            },
+            || true,
+        );
+        assert!(wat.all_done());
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) >= 1));
+    }
+
+    #[test]
+    fn many_threads_cover_all_jobs() {
+        let wat = AtomicWat::new(100);
+        let counts: Vec<Counter> = (0..100).map(|_| Counter::new(0)).collect();
+        crossbeam::thread::scope(|s| {
+            for t in 0..8 {
+                let wat = &wat;
+                let counts = &counts;
+                s.spawn(move |_| {
+                    wat.participate(
+                        t,
+                        8,
+                        |j| {
+                            counts[j].fetch_add(1, Ordering::Relaxed);
+                        },
+                        || true,
+                    );
+                });
+            }
+        })
+        .unwrap();
+        assert!(wat.all_done());
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) >= 1));
+    }
+
+    #[test]
+    fn deserters_do_not_lose_work() {
+        let wat = AtomicWat::new(64);
+        let counts: Vec<Counter> = (0..64).map(|_| Counter::new(0)).collect();
+        crossbeam::thread::scope(|s| {
+            // Threads 1..6 quit after 3 assignments; thread 0 persists.
+            for t in 1..6 {
+                let wat = &wat;
+                let counts = &counts;
+                s.spawn(move |_| {
+                    let mut budget = 3;
+                    wat.participate(
+                        t,
+                        6,
+                        |j| {
+                            counts[j].fetch_add(1, Ordering::Relaxed);
+                        },
+                        move || {
+                            budget -= 1;
+                            budget > 0
+                        },
+                    );
+                });
+            }
+            let wat = &wat;
+            let counts = &counts;
+            s.spawn(move |_| {
+                wat.participate(
+                    0,
+                    6,
+                    |j| {
+                        counts[j].fetch_add(1, Ordering::Relaxed);
+                    },
+                    || true,
+                );
+            });
+        })
+        .unwrap();
+        assert!(wat.all_done());
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) >= 1));
+    }
+
+    #[test]
+    fn initial_nodes_spread_threads() {
+        let wat = AtomicWat::new(16);
+        let n0 = wat.initial_node(0, 4);
+        let n1 = wat.initial_node(1, 4);
+        let n3 = wat.initial_node(3, 4);
+        assert_eq!(n0, 16);
+        assert_eq!(n1, 20);
+        assert_eq!(n3, 28);
+    }
+
+    #[test]
+    fn job_at_excludes_padding() {
+        let wat = AtomicWat::new(5); // 8 leaves, 3 padding
+        assert_eq!(wat.job_at(8), Some(0));
+        assert_eq!(wat.job_at(12), Some(4));
+        assert_eq!(wat.job_at(13), None);
+        assert_eq!(wat.job_at(1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one job")]
+    fn zero_jobs_rejected() {
+        AtomicWat::new(0);
+    }
+}

@@ -1,0 +1,270 @@
+//! Shared-memory layout of the sorting data structure (Figure 3).
+//!
+//! The paper attaches `child[BIG, SMALL]`, `size` and `place` fields to
+//! each record of the input array `A`. We lay the same fields out as
+//! structure-of-arrays over the machine's flat memory, one cell per
+//! element per field, with 1-based element indexing so the paper's
+//! `EMPTY = 0` sentinel works unchanged. A `parent` array is added for the
+//! low-contention phases of §3.3, which probe nodes at random and need to
+//! reach a node's parent without a root-to-node walk.
+
+use pram::{Addr, Memory, MemoryLayout, Region, Word};
+
+/// Sentinel: "no child" / "not computed yet".
+pub const EMPTY: Word = 0;
+
+/// Side selector for child pointers. The paper uses `BIG = 0, SMALL = 1`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// The subtree of larger keys.
+    Big,
+    /// The subtree of smaller keys.
+    Small,
+}
+
+impl Side {
+    /// The other side.
+    pub fn other(self) -> Side {
+        match self {
+            Side::Big => Side::Small,
+            Side::Small => Side::Big,
+        }
+    }
+
+    /// Decodes a processor-ID bit as in Figures 5–6: a set bit visits the
+    /// `SMALL` side first (the paper's `SMALL = 1`).
+    pub fn from_bit(bit: bool) -> Side {
+        if bit {
+            Side::Small
+        } else {
+            Side::Big
+        }
+    }
+}
+
+/// The per-element field arrays of the sort, each `n + 1` cells
+/// (cell 0 unused so element indices `1..=n` address directly).
+#[derive(Clone, Copy, Debug)]
+pub struct ElementArrays {
+    n: usize,
+    keys: Region,
+    child_small: Region,
+    child_big: Region,
+    size: Region,
+    place: Region,
+    place_done: Region,
+    parent: Region,
+}
+
+impl ElementArrays {
+    /// Reserves the field arrays for `n` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn layout(layout: &mut MemoryLayout, n: usize) -> Self {
+        assert!(n > 0, "need at least one element");
+        ElementArrays {
+            n,
+            keys: layout.region(n + 1),
+            child_small: layout.region(n + 1),
+            child_big: layout.region(n + 1),
+            size: layout.region(n + 1),
+            place: layout.region(n + 1),
+            place_done: layout.region(n + 1),
+            parent: layout.region(n + 1),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the arrays hold zero elements (never true — `layout`
+    /// rejects `n = 0` — but provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Address of element `i`'s key (`1 <= i <= n`).
+    pub fn key(&self, i: usize) -> Addr {
+        self.keys.at(i)
+    }
+
+    /// Address of element `i`'s child pointer on `side`.
+    pub fn child(&self, i: usize, side: Side) -> Addr {
+        match side {
+            Side::Small => self.child_small.at(i),
+            Side::Big => self.child_big.at(i),
+        }
+    }
+
+    /// Address of element `i`'s subtree size.
+    pub fn size(&self, i: usize) -> Addr {
+        self.size.at(i)
+    }
+
+    /// Address of element `i`'s sorted rank (1-based when computed).
+    pub fn place(&self, i: usize) -> Addr {
+        self.place.at(i)
+    }
+
+    /// Address of element `i`'s phase-3 completion flag (see the
+    /// DESIGN.md note on the Figure 6 crash-window fix).
+    pub fn place_done(&self, i: usize) -> Addr {
+        self.place_done.at(i)
+    }
+
+    /// Address of element `i`'s parent pointer (`EMPTY` for the root).
+    pub fn parent(&self, i: usize) -> Addr {
+        self.parent.at(i)
+    }
+
+    /// Returns a copy of these arrays that addresses `donor`'s key array
+    /// instead of its own.
+    ///
+    /// The group phase of the low-contention sort (§3.2) needs scratch
+    /// `child`/`size`/`place` fields that must not pollute the final
+    /// pivot tree, while comparing the *same* keys — this view provides
+    /// exactly that.
+    pub fn sharing_keys_of(mut self, donor: &ElementArrays) -> Self {
+        self.keys = donor.keys;
+        self
+    }
+
+    /// Loads the input keys into shared memory (element `i` gets
+    /// `keys[i - 1]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys.len() != self.len()`.
+    pub fn load_keys(&self, memory: &mut Memory, keys: &[Word]) {
+        assert_eq!(keys.len(), self.n, "key count mismatch");
+        memory.load(self.keys.at(1), keys);
+    }
+
+    /// Region of both child-pointer arrays, for write-once watching in
+    /// tests (Lemma 2.5: child pointers never change once set).
+    pub fn child_regions(&self) -> [Region; 2] {
+        [self.child_small, self.child_big]
+    }
+
+    /// Reads the pivot-tree structure out of memory: returns
+    /// `(child_small, child_big)` vectors indexed by element (entry 0
+    /// unused).
+    pub fn read_tree(&self, memory: &Memory) -> (Vec<Word>, Vec<Word>) {
+        (
+            memory.snapshot(self.child_small.range()),
+            memory.snapshot(self.child_big.range()),
+        )
+    }
+}
+
+/// The sort's full memory plan: element arrays, the output array and the
+/// work-assignment structures for the build and scatter phases.
+#[derive(Clone, Copy, Debug)]
+pub struct SortLayout {
+    /// Per-element field arrays.
+    pub elems: ElementArrays,
+    /// The sorted output, `n` cells, 0-based.
+    pub output: Region,
+    /// Marker cell each processor bumps when it finishes (diagnostics).
+    pub finished: Region,
+}
+
+impl SortLayout {
+    /// Reserves everything the three-phase sort needs for `n` elements.
+    pub fn layout(layout: &mut MemoryLayout, n: usize) -> Self {
+        let elems = ElementArrays::layout(layout, n);
+        let output = layout.region(n);
+        let finished = layout.region(1);
+        SortLayout {
+            elems,
+            output,
+            finished,
+        }
+    }
+
+    /// Reads the sorted output from memory.
+    pub fn read_output(&self, memory: &Memory) -> Vec<Word> {
+        memory.snapshot(self.output.range())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn side_other_and_bits() {
+        assert_eq!(Side::Big.other(), Side::Small);
+        assert_eq!(Side::Small.other(), Side::Big);
+        assert_eq!(Side::from_bit(true), Side::Small);
+        assert_eq!(Side::from_bit(false), Side::Big);
+    }
+
+    #[test]
+    fn arrays_are_disjoint() {
+        let mut l = MemoryLayout::new();
+        let a = ElementArrays::layout(&mut l, 4);
+        let addrs = [
+            a.key(1),
+            a.child(1, Side::Small),
+            a.child(1, Side::Big),
+            a.size(1),
+            a.place(1),
+            a.place_done(1),
+            a.parent(1),
+        ];
+        let mut unique = addrs.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), addrs.len(), "field arrays alias");
+    }
+
+    #[test]
+    fn one_based_indexing() {
+        let mut l = MemoryLayout::new();
+        let a = ElementArrays::layout(&mut l, 4);
+        assert_eq!(a.key(1), a.key(2) - 1);
+        // Cell 0 exists but is never addressed by elements.
+        assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    fn load_keys_places_values() {
+        let mut l = MemoryLayout::new();
+        let a = ElementArrays::layout(&mut l, 3);
+        let mut mem = Memory::new(l.total());
+        a.load_keys(&mut mem, &[30, 10, 20]);
+        assert_eq!(mem.read(a.key(1)), 30);
+        assert_eq!(mem.read(a.key(2)), 10);
+        assert_eq!(mem.read(a.key(3)), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "key count mismatch")]
+    fn load_keys_checks_length() {
+        let mut l = MemoryLayout::new();
+        let a = ElementArrays::layout(&mut l, 3);
+        let mut mem = Memory::new(l.total());
+        a.load_keys(&mut mem, &[1, 2]);
+    }
+
+    #[test]
+    fn sort_layout_output_is_zero_based() {
+        let mut l = MemoryLayout::new();
+        let s = SortLayout::layout(&mut l, 5);
+        assert_eq!(s.output.len(), 5);
+        let mem = Memory::new(l.total());
+        assert_eq!(s.read_output(&mem), vec![0; 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one element")]
+    fn zero_elements_rejected() {
+        let mut l = MemoryLayout::new();
+        ElementArrays::layout(&mut l, 0);
+    }
+}

@@ -1,0 +1,59 @@
+//! The wait-free parallel Quicksort of Shavit, Upfal and Zemach
+//! (*"A Wait-Free Sorting Algorithm"*, PODC 1997) on the CRCW PRAM model.
+//!
+//! The algorithm sorts `N` elements with `P ≤ N` processors in
+//! `O(N log N / P)` time with high probability — optimal — while being
+//! *wait-free*: every processor finishes within a bounded number of its
+//! own steps no matter how the others are delayed or crashed, and the
+//! sort as a whole completes as long as any processor survives.
+//!
+//! Three phases (§2.2), each a module here:
+//!
+//! 1. [`build`] — insert every element into a binary pivot tree with CAS
+//!    (Figure 4), work handed out by a [`wat::Wat`] so crashed
+//!    processors' elements are re-assigned.
+//! 2. [`sum`] — compute every subtree's size (Figure 5).
+//! 3. [`place`] — derive every element's sorted rank from the sizes
+//!    (Figure 6), then [`scatter`] moves elements to their ranks.
+//!
+//! [`sort::PramSorter`] chains the phases per processor; §3's
+//! low-contention machinery lives in [`low_contention`], and input
+//! distributions for experiments in [`workload`].
+//!
+//! # Example
+//!
+//! ```
+//! use wfsort::{PramSorter, SortConfig, Workload};
+//!
+//! let keys = Workload::RandomPermutation.generate(128, 42);
+//! let outcome = PramSorter::new(SortConfig::new(16)).sort(&keys)?;
+//! assert!(outcome.sorted.windows(2).all(|w| w[0] <= w[1]));
+//! // The paper's contention measure is metered for free:
+//! println!("max contention: {}", outcome.report.metrics.max_contention);
+//! # Ok::<(), wfsort::SortError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod layout;
+pub mod low_contention;
+pub mod place;
+pub mod random_alloc;
+pub mod scatter;
+pub mod sort;
+pub mod sum;
+pub mod verify;
+pub mod workload;
+
+pub use crate::build::BuildTreeWorker;
+pub use crate::layout::{ElementArrays, Side, SortLayout, EMPTY};
+pub use crate::low_contention::LowContentionSorter;
+pub use crate::place::FindPlaceProcess;
+pub use crate::random_alloc::RandomAllocProcess;
+pub use crate::scatter::{ScatterMode, ScatterWorker};
+pub use crate::sort::{Allocation, PramSorter, PreparedSort, SortConfig, SortError, SortOutcome};
+pub use crate::sum::TreeSumProcess;
+pub use crate::verify::{check_sorted_permutation, validate_pivot_tree, TreeStats, VerifyError};
+pub use crate::workload::Workload;

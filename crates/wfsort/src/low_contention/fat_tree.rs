@@ -1,0 +1,526 @@
+//! The fat balanced binary tree of §3.2.
+//!
+//! After a winner group is selected, its sorted slice of `m = sqrt(P)`
+//! elements becomes the top of the final Quicksort tree, shaped as the
+//! balanced BST over the sorted slice. To keep contention down, every
+//! node of that BST is *fattened*: `sqrt(P)` copies of its `(key, index)`
+//! pair are kept, and a descending processor reads a uniformly random
+//! copy. The root — the worst case — is then shared by `P` processors
+//! over `sqrt(P)` copies, i.e. `O(sqrt(P))` contention.
+//!
+//! The BST shape is pure arithmetic (midpoint recursion over the sorted
+//! slice), so *navigating* the fat tree costs no memory reads — only the
+//! key/index lookups do. Cells are filled by randomized *write-most*
+//! ([`FatFillProcess`]); readers that hit a not-yet-filled copy fall back
+//! to the authoritative sorted-slice cell.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pram::{Addr, MemoryLayout, Op, OpResult, Pid, Process, Region, Word};
+use wat::{LeafWorker, WorkerOp};
+
+use crate::layout::{ElementArrays, Side};
+
+/// A position in the balanced BST over a sorted slice of length `m`:
+/// heap slot `h` covering the half-open range `lo..hi` of slice ranks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FatCursor {
+    /// Heap slot (1-based; children at `2h`, `2h + 1`).
+    pub h: usize,
+    /// First slice rank covered.
+    pub lo: usize,
+    /// One past the last slice rank covered.
+    pub hi: usize,
+}
+
+impl FatCursor {
+    /// The root cursor over a slice of length `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn root(m: usize) -> Self {
+        assert!(m > 0, "fat tree over empty slice");
+        FatCursor { h: 1, lo: 0, hi: m }
+    }
+
+    /// The slice rank stored at this node (the midpoint).
+    pub fn mid(&self) -> usize {
+        (self.lo + self.hi) / 2
+    }
+
+    /// The child on `side`, or `None` if its range is empty (descent
+    /// leaves the fat tree there).
+    pub fn child(&self, side: Side) -> Option<FatCursor> {
+        let (lo, hi, h) = match side {
+            Side::Small => (self.lo, self.mid(), 2 * self.h),
+            Side::Big => (self.mid() + 1, self.hi, 2 * self.h + 1),
+        };
+        if lo < hi {
+            Some(FatCursor { h, lo, hi })
+        } else {
+            None
+        }
+    }
+}
+
+/// Per-node facts precomputed for fill and edge jobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FatNodeInfo {
+    /// The node's cursor.
+    pub cursor: FatCursor,
+    /// Slice rank of the node's parent (`None` at the root).
+    pub parent_mid: Option<usize>,
+    /// Slice rank of the SMALL child, if any.
+    pub small_mid: Option<usize>,
+    /// Slice rank of the BIG child, if any.
+    pub big_mid: Option<usize>,
+}
+
+/// The fat tree's shared-memory plan: `2m` heap slots x `copies` cells
+/// for keys and the same for element indices. Index cells double as fill
+/// markers (`0` = unfilled; element indices are `>= 1`).
+#[derive(Clone, Copy, Debug)]
+pub struct FatTree {
+    m: usize,
+    copies: usize,
+    keys: Region,
+    idx: Region,
+}
+
+impl FatTree {
+    /// Reserves memory for the fat tree over a slice of `m` elements with
+    /// `copies` duplicates per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` or `copies` is zero.
+    pub fn layout(layout: &mut MemoryLayout, m: usize, copies: usize) -> Self {
+        assert!(m > 0 && copies > 0, "need a non-empty fat tree");
+        FatTree {
+            m,
+            copies,
+            keys: layout.region(2 * m * copies),
+            idx: layout.region(2 * m * copies),
+        }
+    }
+
+    /// Slice length (number of BST nodes).
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Duplicates per node.
+    pub fn copies(&self) -> usize {
+        self.copies
+    }
+
+    /// Address of copy `c` of heap slot `h`'s key.
+    pub fn key_at(&self, h: usize, c: usize) -> Addr {
+        debug_assert!(h >= 1 && h < 2 * self.m && c < self.copies);
+        self.keys.at((h - 1) * self.copies + c)
+    }
+
+    /// Address of copy `c` of heap slot `h`'s element index.
+    pub fn idx_at(&self, h: usize, c: usize) -> Addr {
+        debug_assert!(h >= 1 && h < 2 * self.m && c < self.copies);
+        self.idx.at((h - 1) * self.copies + c)
+    }
+
+    /// Enumerates the `m` BST nodes (preorder) with their family ranks.
+    pub fn nodes(&self) -> Vec<FatNodeInfo> {
+        let mut out = Vec::with_capacity(self.m);
+        let mut stack = vec![(FatCursor::root(self.m), None::<usize>)];
+        while let Some((cursor, parent_mid)) = stack.pop() {
+            let small = cursor.child(Side::Small);
+            let big = cursor.child(Side::Big);
+            out.push(FatNodeInfo {
+                cursor,
+                parent_mid,
+                small_mid: small.map(|c| c.mid()),
+                big_mid: big.map(|c| c.mid()),
+            });
+            let mid = cursor.mid();
+            if let Some(c) = small {
+                stack.push((c, Some(mid)));
+            }
+            if let Some(c) = big {
+                stack.push((c, Some(mid)));
+            }
+        }
+        out
+    }
+}
+
+/// Shared context the low-contention phases need to find the winner's
+/// slice: the per-processor winner-result cells and the concatenated
+/// per-group sorted slices.
+#[derive(Clone, Copy, Debug)]
+pub struct WinnerContext {
+    /// One cell per processor: the winner (group index + 1) it observed.
+    pub results: Region,
+    /// `groups * m` cells; group `g`'s sorted slice (element indices) at
+    /// offset `g * m`.
+    pub slices: Region,
+    /// Slice length.
+    pub m: usize,
+}
+
+impl WinnerContext {
+    /// Address of the winner cell for `pid`.
+    pub fn result_of(&self, pid: Pid) -> Addr {
+        self.results.at(pid.index())
+    }
+
+    /// Address of rank `r` in the winner `w`'s sorted slice (`w` is the
+    /// 1-based candidate value, i.e. group index + 1).
+    pub fn slice_cell(&self, w: Word, r: usize) -> Addr {
+        self.slices.at((w as usize - 1) * self.m + r)
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum FillSt {
+    ReadWinner,
+    AwaitWinner,
+    Pick,
+    AwaitElem,
+    AwaitKey,
+    AwaitKeyWrite,
+    AwaitIdxWrite,
+}
+
+/// Randomized write-most filling of the fat tree (§3.2): each processor
+/// copies `rounds` random `(node, copy)` cells from the winner's sorted
+/// slice. Writes the key cell *before* the index cell so that a reader
+/// that observes a non-zero index is guaranteed a valid key.
+#[derive(Debug)]
+pub struct FatFillProcess {
+    fat: FatTree,
+    ctx: WinnerContext,
+    arrays: ElementArrays,
+    pid: Pid,
+    rounds: usize,
+    rng: StdRng,
+    nodes: Vec<FatNodeInfo>,
+    state: FillSt,
+    winner: Word,
+    h: usize,
+    c: usize,
+    elem: Word,
+}
+
+impl FatFillProcess {
+    /// Creates the fill process for `pid` doing `rounds` random copies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds` is zero.
+    pub fn new(
+        fat: FatTree,
+        ctx: WinnerContext,
+        arrays: ElementArrays,
+        pid: Pid,
+        rounds: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(rounds > 0, "need at least one fill round");
+        let nodes = fat.nodes();
+        FatFillProcess {
+            fat,
+            ctx,
+            arrays,
+            pid,
+            rounds,
+            rng: StdRng::seed_from_u64(
+                seed ^ (pid.index() as u64).wrapping_mul(0x9E6D_62D0_6F6A_9A9B),
+            ),
+            nodes,
+            state: FillSt::ReadWinner,
+            winner: 0,
+            h: 1,
+            c: 0,
+            elem: 0,
+        }
+    }
+}
+
+impl Process for FatFillProcess {
+    fn step(&mut self, mut last: Option<OpResult>) -> Op {
+        loop {
+            match self.state {
+                FillSt::ReadWinner => {
+                    self.state = FillSt::AwaitWinner;
+                    return Op::Read(self.ctx.result_of(self.pid));
+                }
+                FillSt::AwaitWinner => {
+                    self.winner = last.take().expect("winner read pending").read_value();
+                    debug_assert!(self.winner >= 1, "winner selection must precede filling");
+                    self.state = FillSt::Pick;
+                }
+                FillSt::Pick => {
+                    if self.rounds == 0 {
+                        return Op::Halt;
+                    }
+                    self.rounds -= 1;
+                    let node = self.nodes[self.rng.gen_range(0..self.nodes.len())];
+                    self.h = node.cursor.h;
+                    self.c = self.rng.gen_range(0..self.fat.copies());
+                    self.state = FillSt::AwaitElem;
+                    return Op::Read(self.ctx.slice_cell(self.winner, node.cursor.mid()));
+                }
+                FillSt::AwaitElem => {
+                    self.elem = last.take().expect("slice read pending").read_value();
+                    self.state = FillSt::AwaitKey;
+                    return Op::Read(self.arrays.key(self.elem as usize));
+                }
+                FillSt::AwaitKey => {
+                    let key = last.take().expect("key read pending").read_value();
+                    self.state = FillSt::AwaitKeyWrite;
+                    return Op::Write(self.fat.key_at(self.h, self.c), key);
+                }
+                FillSt::AwaitKeyWrite => {
+                    last.take();
+                    self.state = FillSt::AwaitIdxWrite;
+                    return Op::Write(self.fat.idx_at(self.h, self.c), self.elem);
+                }
+                FillSt::AwaitIdxWrite => {
+                    last.take();
+                    self.state = FillSt::Pick;
+                }
+            }
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "fat-fill"
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum EdgeSt {
+    ReadWinner,
+    AwaitWinner,
+    ReadOwn,
+    AwaitOwn,
+    AwaitParentElem,
+    AwaitParentWrite,
+    AwaitSmallElem,
+    AwaitSmallWrite,
+    AwaitBigElem,
+    AwaitBigWrite,
+    Finished,
+}
+
+/// Leaf worker writing the winner slice's internal BST edges into the
+/// main element arrays, one job per fat node: `parent`, `child_small` and
+/// `child_big` pointers of the node's element.
+///
+/// Builders never CAS into a child slot whose fat subrange is non-empty
+/// (they navigate those levels arithmetically), so these plain writes
+/// cannot race with phase-1 insertions; conversely, slots whose fat
+/// subrange is empty are left for the builders' CAS.
+#[derive(Debug)]
+pub struct FatEdgeWorker {
+    ctx: WinnerContext,
+    arrays: ElementArrays,
+    pid: Pid,
+    nodes: Vec<FatNodeInfo>,
+    state: EdgeSt,
+    winner: Word,
+    node: usize,
+    own: Word,
+}
+
+impl FatEdgeWorker {
+    /// Creates the edge worker for `pid` over a fat tree of `m` nodes.
+    pub fn new(fat: &FatTree, ctx: WinnerContext, arrays: ElementArrays, pid: Pid) -> Self {
+        FatEdgeWorker {
+            ctx,
+            arrays,
+            pid,
+            nodes: fat.nodes(),
+            state: EdgeSt::Finished,
+            winner: 0,
+            node: 0,
+            own: 0,
+        }
+    }
+
+    fn info(&self) -> FatNodeInfo {
+        self.nodes[self.node]
+    }
+
+    /// After the parent pointer is handled, proceed to the SMALL edge,
+    /// then the BIG edge, then finish.
+    fn next_edge(&mut self) -> WorkerOp {
+        if let Some(mid) = self.info().small_mid {
+            self.state = EdgeSt::AwaitSmallElem;
+            return WorkerOp::Op(Op::Read(self.ctx.slice_cell(self.winner, mid)));
+        }
+        self.next_big_edge()
+    }
+
+    fn next_big_edge(&mut self) -> WorkerOp {
+        if let Some(mid) = self.info().big_mid {
+            self.state = EdgeSt::AwaitBigElem;
+            return WorkerOp::Op(Op::Read(self.ctx.slice_cell(self.winner, mid)));
+        }
+        self.state = EdgeSt::Finished;
+        WorkerOp::Done
+    }
+}
+
+impl LeafWorker for FatEdgeWorker {
+    fn begin(&mut self, job: usize) {
+        self.node = job;
+        self.state = if self.winner == 0 {
+            EdgeSt::ReadWinner
+        } else {
+            EdgeSt::ReadOwn
+        };
+    }
+
+    fn step(&mut self, last: Option<OpResult>) -> WorkerOp {
+        match self.state {
+            EdgeSt::ReadWinner => {
+                self.state = EdgeSt::AwaitWinner;
+                WorkerOp::Op(Op::Read(self.ctx.result_of(self.pid)))
+            }
+            EdgeSt::AwaitWinner => {
+                self.winner = last.expect("winner read pending").read_value();
+                debug_assert!(self.winner >= 1);
+                self.state = EdgeSt::AwaitOwn;
+                WorkerOp::Op(Op::Read(
+                    self.ctx.slice_cell(self.winner, self.info().cursor.mid()),
+                ))
+            }
+            EdgeSt::ReadOwn => {
+                self.state = EdgeSt::AwaitOwn;
+                WorkerOp::Op(Op::Read(
+                    self.ctx.slice_cell(self.winner, self.info().cursor.mid()),
+                ))
+            }
+            EdgeSt::AwaitOwn => {
+                self.own = last.expect("own elem pending").read_value();
+                if let Some(pmid) = self.info().parent_mid {
+                    self.state = EdgeSt::AwaitParentElem;
+                    WorkerOp::Op(Op::Read(self.ctx.slice_cell(self.winner, pmid)))
+                } else {
+                    // The fat root is the global root: its parent pointer
+                    // stays EMPTY, which is how the probing phases of
+                    // §3.3 recognize the root.
+                    self.next_edge()
+                }
+            }
+            EdgeSt::AwaitParentElem => {
+                let p = last.expect("parent elem pending").read_value();
+                self.state = EdgeSt::AwaitParentWrite;
+                WorkerOp::Op(Op::Write(self.arrays.parent(self.own as usize), p))
+            }
+            EdgeSt::AwaitParentWrite => self.next_edge(),
+            EdgeSt::AwaitSmallElem => {
+                let c = last.expect("small elem pending").read_value();
+                self.state = EdgeSt::AwaitSmallWrite;
+                WorkerOp::Op(Op::Write(
+                    self.arrays.child(self.own as usize, Side::Small),
+                    c,
+                ))
+            }
+            EdgeSt::AwaitSmallWrite => self.next_big_edge(),
+            EdgeSt::AwaitBigElem => {
+                let c = last.expect("big elem pending").read_value();
+                self.state = EdgeSt::AwaitBigWrite;
+                WorkerOp::Op(Op::Write(
+                    self.arrays.child(self.own as usize, Side::Big),
+                    c,
+                ))
+            }
+            EdgeSt::AwaitBigWrite => {
+                self.state = EdgeSt::Finished;
+                WorkerOp::Done
+            }
+            EdgeSt::Finished => WorkerOp::Done,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cursor_covers_slice_exactly_once() {
+        for m in [1usize, 2, 3, 4, 7, 8, 16, 31] {
+            let mut l = MemoryLayout::new();
+            let fat = FatTree::layout(&mut l, m, 2);
+            let nodes = fat.nodes();
+            assert_eq!(nodes.len(), m, "m={m}");
+            let mut mids: Vec<usize> = nodes.iter().map(|n| n.cursor.mid()).collect();
+            mids.sort_unstable();
+            assert_eq!(mids, (0..m).collect::<Vec<_>>(), "m={m}");
+        }
+    }
+
+    #[test]
+    fn cursor_children_partition_range() {
+        let c = FatCursor::root(8); // covers 0..8, mid 4
+        assert_eq!(c.mid(), 4);
+        let s = c.child(Side::Small).unwrap();
+        assert_eq!((s.lo, s.hi, s.h), (0, 4, 2));
+        let b = c.child(Side::Big).unwrap();
+        assert_eq!((b.lo, b.hi, b.h), (5, 8, 3));
+    }
+
+    #[test]
+    fn single_node_has_no_children() {
+        let c = FatCursor::root(1);
+        assert_eq!(c.mid(), 0);
+        assert!(c.child(Side::Small).is_none());
+        assert!(c.child(Side::Big).is_none());
+    }
+
+    #[test]
+    fn depth_is_logarithmic() {
+        let mut l = MemoryLayout::new();
+        let fat = FatTree::layout(&mut l, 16, 1);
+        let max_h = fat.nodes().iter().map(|n| n.cursor.h).max().unwrap();
+        // Heap slot of deepest node: depth = floor(log2 h) <= ceil(log2 m) + 1.
+        assert!(max_h < 64, "tree too deep: max heap slot {max_h}");
+    }
+
+    #[test]
+    fn node_cells_are_distinct() {
+        let mut l = MemoryLayout::new();
+        let fat = FatTree::layout(&mut l, 4, 3);
+        let mut addrs = Vec::new();
+        for n in fat.nodes() {
+            for c in 0..3 {
+                addrs.push(fat.key_at(n.cursor.h, c));
+                addrs.push(fat.idx_at(n.cursor.h, c));
+            }
+        }
+        let len = addrs.len();
+        addrs.sort_unstable();
+        addrs.dedup();
+        assert_eq!(addrs.len(), len);
+    }
+
+    #[test]
+    fn parent_mids_consistent() {
+        let mut l = MemoryLayout::new();
+        let fat = FatTree::layout(&mut l, 8, 1);
+        let nodes = fat.nodes();
+        let root = nodes.iter().find(|n| n.cursor.h == 1).unwrap();
+        assert_eq!(root.parent_mid, None);
+        for n in &nodes {
+            for (child_mid, _) in [(n.small_mid, 0), (n.big_mid, 1)] {
+                if let Some(cm) = child_mid {
+                    let child = nodes.iter().find(|x| x.cursor.mid() == cm).unwrap();
+                    assert_eq!(child.parent_mid, Some(n.cursor.mid()));
+                }
+            }
+        }
+    }
+}

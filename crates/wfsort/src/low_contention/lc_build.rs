@@ -1,0 +1,266 @@
+//! Phase 1 of the low-contention sort: building the full Quicksort tree
+//! with the fat tree serving its top levels (§3.2).
+//!
+//! Descent through the first `log sqrt(P)` levels reads a uniformly
+//! random duplicate of each fat node, so no cell is shared by more than
+//! `O(sqrt(P))` expected processors. Falling off the bottom of the fat
+//! tree, the walk continues with the ordinary CAS protocol of Figure 4 on
+//! the element arrays.
+//!
+//! The same worker also executes the *edge jobs* appended to the build
+//! WAT (see [`super::fat_tree::FatEdgeWorker`]); bundling them in one WAT
+//! means the WAT's completion implies both that every element is inserted
+//! *and* that the winner slice's internal edges exist — which is what the
+//! probing phases of §3.3 traverse.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pram::{Op, OpResult, Pid, Word};
+use wat::{LeafWorker, WorkerOp};
+
+use crate::build::key_less;
+use crate::layout::{ElementArrays, Side, EMPTY};
+
+use super::fat_tree::{FatCursor, FatEdgeWorker, FatTree, WinnerContext};
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum St {
+    ReadWinner,
+    AwaitWinner,
+    Begin,
+    AwaitMyKey,
+    AwaitFatIdx,
+    AwaitSliceFallback,
+    AwaitFallbackKey,
+    AwaitFatKey,
+    AwaitRealKey,
+    AwaitCas,
+    AwaitParentPtr,
+    EdgeJob,
+    Finished,
+}
+
+/// Leaf worker for the low-contention build WAT: jobs `0..n` insert
+/// element `job + 1` (skipping winner-slice elements), jobs `n..n + m`
+/// run the edge jobs for the winner slice.
+pub struct FatBuildWorker {
+    arrays: ElementArrays,
+    fat: FatTree,
+    ctx: WinnerContext,
+    pid: Pid,
+    n: usize,
+    rng: StdRng,
+    edges: FatEdgeWorker,
+    state: St,
+    winner: Word,
+    element: usize,
+    my_key: Word,
+    cursor: FatCursor,
+    /// Element index read from the fat node (or the slice fallback).
+    fat_elem: Word,
+    /// In the A-protocol tail: the current candidate parent.
+    parent: usize,
+}
+
+impl FatBuildWorker {
+    /// Creates the worker for `pid`; `n` is the number of elements.
+    pub fn new(
+        arrays: ElementArrays,
+        fat: FatTree,
+        ctx: WinnerContext,
+        pid: Pid,
+        n: usize,
+        seed: u64,
+    ) -> Self {
+        FatBuildWorker {
+            arrays,
+            fat,
+            ctx,
+            pid,
+            n,
+            rng: StdRng::seed_from_u64(
+                seed ^ (pid.index() as u64).wrapping_mul(0x853C_49E6_748F_EA9B),
+            ),
+            edges: FatEdgeWorker::new(&fat, ctx, arrays, pid),
+            state: St::Finished,
+            winner: 0,
+            element: 0,
+            my_key: 0,
+            cursor: FatCursor::root(1),
+            fat_elem: 0,
+            parent: 0,
+        }
+    }
+
+    /// Whether `element` belongs to the winning group's slice (groups
+    /// partition elements by index: group `g` owns `g*m + 1 ..= (g+1)*m`).
+    fn in_winner_slice(&self, element: usize) -> bool {
+        let m = self.ctx.m;
+        let g = self.winner as usize - 1;
+        element > g * m && element <= (g + 1) * m
+    }
+
+    /// Emits the read of a random duplicate of the current fat node's
+    /// index cell.
+    fn probe_fat(&mut self) -> WorkerOp {
+        let c = self.rng.gen_range(0..self.fat.copies());
+        self.fat_elem = c as Word; // stash the copy for the key read
+        self.state = St::AwaitFatIdx;
+        WorkerOp::Op(Op::Read(self.fat.idx_at(self.cursor.h, c)))
+    }
+
+    /// Decides the descent side at the current fat node given its
+    /// `(key, element)` pair, and either keeps descending in the fat tree
+    /// or switches to the CAS protocol.
+    fn descend(&mut self, node_key: Word, node_elem: usize) -> WorkerOp {
+        let side = if key_less(self.my_key, self.element, node_key, node_elem) {
+            Side::Small
+        } else {
+            Side::Big
+        };
+        match self.cursor.child(side) {
+            Some(child) => {
+                self.cursor = child;
+                self.probe_fat()
+            }
+            None => {
+                // Off the fat tree: CAS into the real child slot of the
+                // fat node's element — exactly the slot the edge jobs
+                // leave untouched (its fat subrange is empty).
+                self.parent = node_elem;
+                self.state = St::AwaitCas;
+                WorkerOp::Op(Op::Cas {
+                    addr: self.arrays.child(self.parent, side),
+                    expected: EMPTY,
+                    new: self.element as Word,
+                })
+            }
+        }
+    }
+}
+
+impl LeafWorker for FatBuildWorker {
+    fn begin(&mut self, job: usize) {
+        if job >= self.n {
+            self.edges.begin(job - self.n);
+            self.state = St::EdgeJob;
+            return;
+        }
+        self.element = job + 1;
+        self.state = if self.winner == 0 {
+            St::ReadWinner
+        } else {
+            St::Begin
+        };
+    }
+
+    fn step(&mut self, last: Option<OpResult>) -> WorkerOp {
+        match self.state {
+            St::EdgeJob => self.edges.step(last),
+            St::ReadWinner => {
+                self.state = St::AwaitWinner;
+                WorkerOp::Op(Op::Read(self.ctx.result_of(self.pid)))
+            }
+            St::AwaitWinner => {
+                self.winner = last.expect("winner read pending").read_value();
+                debug_assert!(self.winner >= 1, "build before winner selection");
+                self.step_begin()
+            }
+            St::Begin => self.step_begin(),
+            St::AwaitMyKey => {
+                self.my_key = last.expect("key read pending").read_value();
+                self.cursor = FatCursor::root(self.ctx.m);
+                self.probe_fat()
+            }
+            St::AwaitFatIdx => {
+                let e = last.expect("fat idx pending").read_value();
+                let copy = self.fat_elem as usize;
+                if e == 0 {
+                    // Unfilled duplicate: fall back to the authoritative
+                    // slice cell (rare; write-most fills w.h.p.).
+                    self.state = St::AwaitSliceFallback;
+                    WorkerOp::Op(Op::Read(
+                        self.ctx.slice_cell(self.winner, self.cursor.mid()),
+                    ))
+                } else {
+                    self.fat_elem = e;
+                    self.state = St::AwaitFatKey;
+                    WorkerOp::Op(Op::Read(self.fat.key_at(self.cursor.h, copy)))
+                }
+            }
+            St::AwaitSliceFallback => {
+                self.fat_elem = last.expect("slice fallback pending").read_value();
+                self.state = St::AwaitFallbackKey;
+                WorkerOp::Op(Op::Read(self.arrays.key(self.fat_elem as usize)))
+            }
+            St::AwaitFallbackKey | St::AwaitFatKey => {
+                let k = last.expect("fat key pending").read_value();
+                let e = self.fat_elem as usize;
+                self.descend(k, e)
+            }
+            St::AwaitRealKey => {
+                // Below the fat tree: plain Figure 4 protocol (the cursor
+                // no longer applies).
+                let parent_key = last.expect("parent key pending").read_value();
+                let side = if key_less(self.my_key, self.element, parent_key, self.parent) {
+                    Side::Small
+                } else {
+                    Side::Big
+                };
+                self.state = St::AwaitCas;
+                WorkerOp::Op(Op::Cas {
+                    addr: self.arrays.child(self.parent, side),
+                    expected: EMPTY,
+                    new: self.element as Word,
+                })
+            }
+            St::AwaitCas => {
+                let current = match last.expect("cas result pending") {
+                    OpResult::Cas { current, .. } => current,
+                    other => panic!("unexpected {other:?}"),
+                };
+                if current == self.element as Word {
+                    self.state = St::AwaitParentPtr;
+                    WorkerOp::Op(Op::Write(
+                        self.arrays.parent(self.element),
+                        self.parent as Word,
+                    ))
+                } else {
+                    // Occupied: descend to the occupant with the plain
+                    // Figure 4 protocol (read its key, pick a side, CAS).
+                    self.parent = current as usize;
+                    self.state = St::AwaitRealKey;
+                    WorkerOp::Op(Op::Read(self.arrays.key(self.parent)))
+                }
+            }
+            St::AwaitParentPtr => {
+                self.state = St::Finished;
+                WorkerOp::Done
+            }
+            St::Finished => WorkerOp::Done,
+        }
+    }
+}
+
+impl FatBuildWorker {
+    /// First real step of an insert job: skip winner-slice elements, read
+    /// our key otherwise.
+    fn step_begin(&mut self) -> WorkerOp {
+        if self.in_winner_slice(self.element) {
+            self.state = St::Finished;
+            return WorkerOp::Done;
+        }
+        self.state = St::AwaitMyKey;
+        WorkerOp::Op(Op::Read(self.arrays.key(self.element)))
+    }
+}
+
+impl std::fmt::Debug for FatBuildWorker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FatBuildWorker")
+            .field("state", &self.state)
+            .field("element", &self.element)
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,283 @@
+//! Low-contention placement (§3.3).
+//!
+//! Random probing again, with the three information waves the paper
+//! describes: *place* values written going down the tree (a node's place
+//! follows from its parent's place and a child subtree size), *DONE*
+//! marks propagating up once a node's subtree is fully placed, and
+//! finally *ALLDONE* spreading back down to release the processors.
+//!
+//! Place arithmetic (§2.2, corrected for the dropped `- 1` in the
+//! scanned text; verified by the `sub`-accumulator form of Figure 6):
+//!
+//! * root: `place = size(small child) + 1`
+//! * small child `i` of `p`: `place(i) = place(p) - size(big child of i) - 1`
+//! * big child `i` of `p`: `place(i) = place(p) + size(small child of i) + 1`
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pram::{Op, OpResult, Pid, Process, Word};
+
+use crate::layout::{ElementArrays, Side, EMPTY};
+
+use super::lc_sum::{ProbeState, ALLDONE};
+
+/// State value: the node's subtree is fully placed.
+pub const DONE: Word = 1;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum St {
+    Pick,
+    AwaitState,
+    AwaitPlace,
+    // Computing a place.
+    AwaitParent,
+    AwaitParentPlace,
+    AwaitParentSmall,
+    AwaitOwnChild,
+    AwaitOwnChildSize,
+    AwaitPlaceWrite,
+    // Completion check.
+    AwaitCheckSmall,
+    AwaitCheckSmallState,
+    AwaitCheckBig,
+    AwaitCheckBigState,
+    AwaitDoneParent,
+    AwaitDoneWrite,
+    // ALLDONE flood.
+    FloodSmall,
+    AwaitFloodSmallPtr,
+    AwaitFloodSmallWrite,
+    AwaitFloodBigPtr,
+    AwaitFloodBigWrite,
+}
+
+/// One processor probing the pivot tree until all places are computed.
+#[derive(Debug)]
+pub struct LcPlaceProcess {
+    arrays: ElementArrays,
+    state_arr: ProbeState,
+    n: usize,
+    rng: StdRng,
+    state: St,
+    node: usize,
+    parent: usize,
+    parent_place: Word,
+    /// Whether `node` is its parent's SMALL child.
+    is_small: bool,
+}
+
+impl LcPlaceProcess {
+    /// Creates the probing placement process for `pid` over `n` elements.
+    /// `state_arr` must be a fresh [`ProbeState`], distinct from the one
+    /// used by the summation phase.
+    pub fn new(
+        arrays: ElementArrays,
+        state_arr: ProbeState,
+        pid: Pid,
+        n: usize,
+        seed: u64,
+    ) -> Self {
+        LcPlaceProcess {
+            arrays,
+            state_arr,
+            n,
+            rng: StdRng::seed_from_u64(
+                seed ^ (pid.index() as u64).wrapping_mul(0x27D4_EB2F_1656_67C5),
+            ),
+            state: St::Pick,
+            node: 0,
+            parent: 0,
+            parent_place: 0,
+            is_small: false,
+        }
+    }
+}
+
+impl Process for LcPlaceProcess {
+    fn step(&mut self, mut last: Option<OpResult>) -> Op {
+        loop {
+            match self.state {
+                St::Pick => {
+                    self.node = 1 + self.rng.gen_range(0..self.n);
+                    self.state = St::AwaitState;
+                    return Op::Read(self.state_arr.at(self.node));
+                }
+                St::AwaitState => {
+                    let v = last.take().expect("state pending").read_value();
+                    match v {
+                        x if x == ALLDONE => {
+                            self.state = St::FloodSmall;
+                        }
+                        x if x == DONE => self.state = St::Pick,
+                        _ => {
+                            self.state = St::AwaitPlace;
+                            return Op::Read(self.arrays.place(self.node));
+                        }
+                    }
+                }
+                St::AwaitPlace => {
+                    let v = last.take().expect("place pending").read_value();
+                    if v > 0 {
+                        // Place known; see if the subtree below is done.
+                        self.state = St::AwaitCheckSmall;
+                        return Op::Read(self.arrays.child(self.node, Side::Small));
+                    }
+                    self.state = St::AwaitParent;
+                    return Op::Read(self.arrays.parent(self.node));
+                }
+                St::AwaitParent => {
+                    self.parent = last.take().expect("parent pending").read_value() as usize;
+                    if self.parent == 0 {
+                        // The root (EMPTY parent): place = size(small
+                        // subtree) + 1.
+                        self.parent_place = 0;
+                        self.is_small = false; // root uses +: place = 0 + s + 1
+                        self.state = St::AwaitOwnChild;
+                        return Op::Read(self.arrays.child(self.node, Side::Small));
+                    }
+                    self.state = St::AwaitParentPlace;
+                    return Op::Read(self.arrays.place(self.parent));
+                }
+                St::AwaitParentPlace => {
+                    let v = last.take().expect("parent place pending").read_value();
+                    if v == 0 {
+                        // Parent not placed yet; probe elsewhere.
+                        self.state = St::Pick;
+                        continue;
+                    }
+                    self.parent_place = v;
+                    self.state = St::AwaitParentSmall;
+                    return Op::Read(self.arrays.child(self.parent, Side::Small));
+                }
+                St::AwaitParentSmall => {
+                    let c = last.take().expect("parent small pending").read_value();
+                    self.is_small = c == self.node as Word;
+                    // A small child subtracts the size of its BIG subtree;
+                    // a big child adds the size of its SMALL subtree.
+                    let side = if self.is_small {
+                        Side::Big
+                    } else {
+                        Side::Small
+                    };
+                    self.state = St::AwaitOwnChild;
+                    return Op::Read(self.arrays.child(self.node, side));
+                }
+                St::AwaitOwnChild => {
+                    let c = last.take().expect("own child pending").read_value();
+                    if c != EMPTY {
+                        self.state = St::AwaitOwnChildSize;
+                        return Op::Read(self.arrays.size(c as usize));
+                    }
+                    self.state = St::AwaitPlaceWrite;
+                    return Op::Write(self.arrays.place(self.node), self.place_value(0));
+                }
+                St::AwaitOwnChildSize => {
+                    let s = last.take().expect("child size pending").read_value();
+                    self.state = St::AwaitPlaceWrite;
+                    return Op::Write(self.arrays.place(self.node), self.place_value(s));
+                }
+                St::AwaitPlaceWrite => {
+                    last.take();
+                    self.state = St::Pick;
+                }
+                St::AwaitCheckSmall => {
+                    let c = last.take().expect("check small pending").read_value();
+                    if c != EMPTY {
+                        self.state = St::AwaitCheckSmallState;
+                        return Op::Read(self.state_arr.at(c as usize));
+                    }
+                    self.state = St::AwaitCheckBig;
+                    return Op::Read(self.arrays.child(self.node, Side::Big));
+                }
+                St::AwaitCheckSmallState => {
+                    let v = last.take().expect("small state pending").read_value();
+                    if v < DONE {
+                        self.state = St::Pick;
+                        continue;
+                    }
+                    self.state = St::AwaitCheckBig;
+                    return Op::Read(self.arrays.child(self.node, Side::Big));
+                }
+                St::AwaitCheckBig => {
+                    let c = last.take().expect("check big pending").read_value();
+                    if c != EMPTY {
+                        self.state = St::AwaitCheckBigState;
+                        return Op::Read(self.state_arr.at(c as usize));
+                    }
+                    self.state = St::AwaitDoneParent;
+                    return Op::Read(self.arrays.parent(self.node));
+                }
+                St::AwaitCheckBigState => {
+                    let v = last.take().expect("big state pending").read_value();
+                    if v < DONE {
+                        self.state = St::Pick;
+                        continue;
+                    }
+                    // One more random-cell read to learn whether this is
+                    // the root (EMPTY parent) — never a shared root cell.
+                    self.state = St::AwaitDoneParent;
+                    return Op::Read(self.arrays.parent(self.node));
+                }
+                St::AwaitDoneParent => {
+                    let p = last.take().expect("done parent pending").read_value();
+                    let value = if p == EMPTY { ALLDONE } else { DONE };
+                    self.state = St::AwaitDoneWrite;
+                    return Op::Write(self.state_arr.at(self.node), value);
+                }
+                St::AwaitDoneWrite => {
+                    last.take();
+                    self.state = St::Pick;
+                }
+                St::FloodSmall => {
+                    self.state = St::AwaitFloodSmallPtr;
+                    return Op::Read(self.arrays.child(self.node, Side::Small));
+                }
+                St::AwaitFloodSmallPtr => {
+                    let c = last.take().expect("flood small pending").read_value();
+                    if c != EMPTY {
+                        self.state = St::AwaitFloodSmallWrite;
+                        return Op::Write(self.state_arr.at(c as usize), ALLDONE);
+                    }
+                    self.state = St::AwaitFloodBigPtr;
+                    return Op::Read(self.arrays.child(self.node, Side::Big));
+                }
+                St::AwaitFloodSmallWrite => {
+                    last.take();
+                    self.state = St::AwaitFloodBigPtr;
+                    return Op::Read(self.arrays.child(self.node, Side::Big));
+                }
+                St::AwaitFloodBigPtr => {
+                    let c = last.take().expect("flood big pending").read_value();
+                    if c != EMPTY {
+                        self.state = St::AwaitFloodBigWrite;
+                        return Op::Write(self.state_arr.at(c as usize), ALLDONE);
+                    }
+                    return Op::Halt;
+                }
+                St::AwaitFloodBigWrite => {
+                    last.take();
+                    return Op::Halt;
+                }
+            }
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "lc-place"
+    }
+}
+
+impl LcPlaceProcess {
+    /// The place of `node` given the relevant child-subtree size `s`.
+    fn place_value(&self, s: Word) -> Word {
+        if self.parent == 0 {
+            // Root.
+            s + 1
+        } else if self.is_small {
+            self.parent_place - s - 1
+        } else {
+            self.parent_place + s + 1
+        }
+    }
+}

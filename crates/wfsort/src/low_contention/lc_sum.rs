@@ -1,0 +1,228 @@
+//! Low-contention tree summation (§3.3).
+//!
+//! Follows the LC-WAT blueprint of Figure 8, transplanted onto the
+//! (irregular) Quicksort tree: processors probe uniformly random
+//! *elements*; a probed node whose children are both summed gets its size
+//! written (`size > 0` is the completion marker, as in phase 2); the
+//! processor that completes the root writes an `ALLDONE` marker that
+//! floods down, telling probers to quit. Each probe costs `O(1)`
+//! operations against cells chosen uniformly at random, which is what
+//! bounds contention (Lemma 3.3 reduces to Lemma 3.1) — in particular,
+//! the root is recognized by its `EMPTY` parent pointer on the *probed*
+//! node, never by consulting any shared "root id" cell that all `P`
+//! processors would hammer.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pram::{MemoryLayout, Op, OpResult, Pid, Process, Region, Word};
+
+use crate::layout::{ElementArrays, Side, EMPTY};
+
+/// Marker value in the state array: all summation work is complete.
+pub const ALLDONE: Word = 2;
+
+/// Shared state cells for the probing phases: one per element.
+#[derive(Clone, Copy, Debug)]
+pub struct ProbeState {
+    cells: Region,
+}
+
+impl ProbeState {
+    /// Reserves a state array for `n` elements (1-based, cell 0 unused).
+    pub fn layout(layout: &mut MemoryLayout, n: usize) -> Self {
+        ProbeState {
+            cells: layout.region(n + 1),
+        }
+    }
+
+    /// Address of element `i`'s state cell.
+    pub fn at(&self, i: usize) -> pram::Addr {
+        self.cells.at(i)
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum St {
+    Pick,
+    AwaitState,
+    AwaitSize,
+    AwaitSmall,
+    AwaitSmallSize,
+    AwaitBig,
+    AwaitBigSize,
+    AwaitParent,
+    AwaitSizeWrite,
+    AwaitAllDoneWrite,
+    FloodSmall,
+    AwaitFloodSmallPtr,
+    AwaitFloodSmallWrite,
+    AwaitFloodBigPtr,
+    AwaitFloodBigWrite,
+}
+
+/// One processor probing the pivot tree until sizes are complete.
+#[derive(Debug)]
+pub struct LcSumProcess {
+    arrays: ElementArrays,
+    state_arr: ProbeState,
+    n: usize,
+    rng: StdRng,
+    state: St,
+    node: usize,
+    s_small: Word,
+    total: Word,
+    is_root: bool,
+}
+
+impl LcSumProcess {
+    /// Creates the probing summation process for `pid` over `n` elements.
+    pub fn new(
+        arrays: ElementArrays,
+        state_arr: ProbeState,
+        pid: Pid,
+        n: usize,
+        seed: u64,
+    ) -> Self {
+        LcSumProcess {
+            arrays,
+            state_arr,
+            n,
+            rng: StdRng::seed_from_u64(
+                seed ^ (pid.index() as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F),
+            ),
+            state: St::Pick,
+            node: 0,
+            s_small: 0,
+            total: 0,
+            is_root: false,
+        }
+    }
+}
+
+impl Process for LcSumProcess {
+    fn step(&mut self, mut last: Option<OpResult>) -> Op {
+        loop {
+            match self.state {
+                St::Pick => {
+                    self.node = 1 + self.rng.gen_range(0..self.n);
+                    self.state = St::AwaitState;
+                    return Op::Read(self.state_arr.at(self.node));
+                }
+                St::AwaitState => {
+                    let v = last.take().expect("state pending").read_value();
+                    if v == ALLDONE {
+                        self.state = St::FloodSmall;
+                        continue;
+                    }
+                    self.state = St::AwaitSize;
+                    return Op::Read(self.arrays.size(self.node));
+                }
+                St::AwaitSize => {
+                    let v = last.take().expect("size pending").read_value();
+                    if v > 0 {
+                        self.state = St::Pick;
+                        continue;
+                    }
+                    self.state = St::AwaitSmall;
+                    return Op::Read(self.arrays.child(self.node, Side::Small));
+                }
+                St::AwaitSmall => {
+                    let small = last.take().expect("small pending").read_value();
+                    if small != EMPTY {
+                        self.state = St::AwaitSmallSize;
+                        return Op::Read(self.arrays.size(small as usize));
+                    }
+                    self.s_small = 0;
+                    self.state = St::AwaitBig;
+                    return Op::Read(self.arrays.child(self.node, Side::Big));
+                }
+                St::AwaitSmallSize => {
+                    let v = last.take().expect("small size pending").read_value();
+                    if v == 0 {
+                        // Child not summed yet; try elsewhere.
+                        self.state = St::Pick;
+                        continue;
+                    }
+                    self.s_small = v;
+                    self.state = St::AwaitBig;
+                    return Op::Read(self.arrays.child(self.node, Side::Big));
+                }
+                St::AwaitBig => {
+                    let big = last.take().expect("big pending").read_value();
+                    if big != EMPTY {
+                        self.state = St::AwaitBigSize;
+                        return Op::Read(self.arrays.size(big as usize));
+                    }
+                    self.total = self.s_small + 1;
+                    self.state = St::AwaitParent;
+                    return Op::Read(self.arrays.parent(self.node));
+                }
+                St::AwaitBigSize => {
+                    let v = last.take().expect("big size pending").read_value();
+                    if v == 0 {
+                        self.state = St::Pick;
+                        continue;
+                    }
+                    self.total = self.s_small + v + 1;
+                    self.state = St::AwaitParent;
+                    return Op::Read(self.arrays.parent(self.node));
+                }
+                St::AwaitParent => {
+                    // Root detection without a shared root cell: only the
+                    // global root has an EMPTY parent pointer.
+                    let p = last.take().expect("parent pending").read_value();
+                    self.is_root = p == EMPTY;
+                    self.state = St::AwaitSizeWrite;
+                    return Op::Write(self.arrays.size(self.node), self.total);
+                }
+                St::AwaitSizeWrite => {
+                    last.take();
+                    if self.is_root {
+                        self.state = St::AwaitAllDoneWrite;
+                        return Op::Write(self.state_arr.at(self.node), ALLDONE);
+                    }
+                    self.state = St::Pick;
+                }
+                St::AwaitAllDoneWrite => {
+                    last.take();
+                    self.state = St::Pick;
+                }
+                St::FloodSmall => {
+                    self.state = St::AwaitFloodSmallPtr;
+                    return Op::Read(self.arrays.child(self.node, Side::Small));
+                }
+                St::AwaitFloodSmallPtr => {
+                    let c = last.take().expect("flood small pending").read_value();
+                    if c != EMPTY {
+                        self.state = St::AwaitFloodSmallWrite;
+                        return Op::Write(self.state_arr.at(c as usize), ALLDONE);
+                    }
+                    self.state = St::AwaitFloodBigPtr;
+                    return Op::Read(self.arrays.child(self.node, Side::Big));
+                }
+                St::AwaitFloodSmallWrite => {
+                    last.take();
+                    self.state = St::AwaitFloodBigPtr;
+                    return Op::Read(self.arrays.child(self.node, Side::Big));
+                }
+                St::AwaitFloodBigPtr => {
+                    let c = last.take().expect("flood big pending").read_value();
+                    if c != EMPTY {
+                        self.state = St::AwaitFloodBigWrite;
+                        return Op::Write(self.state_arr.at(c as usize), ALLDONE);
+                    }
+                    return Op::Halt;
+                }
+                St::AwaitFloodBigWrite => {
+                    last.take();
+                    return Op::Halt;
+                }
+            }
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "lc-sum"
+    }
+}

@@ -1,0 +1,265 @@
+//! The low-contention randomized sort of §3.
+//!
+//! The deterministic algorithm of §2 suffers `O(P)` contention — at the
+//! very start, all `P` processors race to install their elements at the
+//! root. This module implements the paper's three-stage remedy (group
+//! sort → winner selection → fat-tree build) plus the probing summation
+//! and placement phases of §3.3, bringing contention down to
+//! `O(sqrt(P))` with high probability while keeping the sort wait-free.
+//!
+//! Entry point: [`LowContentionSorter`].
+
+mod fat_tree;
+mod lc_build;
+mod lc_place;
+mod lc_sum;
+mod sort;
+
+pub use fat_tree::{FatCursor, FatEdgeWorker, FatFillProcess, FatNodeInfo, FatTree, WinnerContext};
+pub use lc_build::FatBuildWorker;
+pub use lc_place::LcPlaceProcess;
+pub use lc_sum::{LcSumProcess, ProbeState, ALLDONE};
+pub use sort::{LcSortError, LowContentionConfig, LowContentionSorter};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::check_sorted_permutation;
+    use crate::workload::Workload;
+    use pram::{failure::FailurePlan, Pid, SyncScheduler};
+
+    #[test]
+    fn supported_lengths() {
+        assert!(LowContentionSorter::supports_length(4));
+        assert!(LowContentionSorter::supports_length(16));
+        assert!(LowContentionSorter::supports_length(64));
+        assert!(LowContentionSorter::supports_length(256));
+        assert!(!LowContentionSorter::supports_length(0));
+        assert!(!LowContentionSorter::supports_length(2));
+        assert!(!LowContentionSorter::supports_length(8));
+        assert!(!LowContentionSorter::supports_length(15));
+        assert!(!LowContentionSorter::supports_length(32));
+    }
+
+    #[test]
+    fn rejects_unsupported_length() {
+        let err = LowContentionSorter::default().sort(&[1, 2, 3]).unwrap_err();
+        assert_eq!(err, LcSortError::UnsupportedLength { len: 3 });
+        assert!(err.to_string().contains("4^k"));
+    }
+
+    #[test]
+    fn sorts_smallest_instance() {
+        let keys = vec![3, 1, 4, 2];
+        let outcome = LowContentionSorter::default().sort(&keys).unwrap();
+        assert_eq!(outcome.sorted, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn sorts_n16_all_workloads() {
+        for w in Workload::all() {
+            let keys = w.generate(16, 3);
+            let outcome = LowContentionSorter::default()
+                .sort(&keys)
+                .unwrap_or_else(|e| panic!("{w}: {e}"));
+            check_sorted_permutation(&keys, &outcome.sorted).unwrap_or_else(|e| panic!("{w}: {e}"));
+        }
+    }
+
+    #[test]
+    fn sorts_n64_random_and_sorted() {
+        for w in [Workload::RandomPermutation, Workload::Sorted] {
+            let keys = w.generate(64, 9);
+            let outcome = LowContentionSorter::default().sort(&keys).unwrap();
+            check_sorted_permutation(&keys, &outcome.sorted).unwrap();
+        }
+    }
+
+    #[test]
+    fn sorts_n256_uniform() {
+        let keys = Workload::UniformRandom.generate(256, 5);
+        let outcome = LowContentionSorter::default().sort(&keys).unwrap();
+        check_sorted_permutation(&keys, &outcome.sorted).unwrap();
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let keys = Workload::RandomPermutation.generate(64, 2);
+        let run = |seed| {
+            let outcome = LowContentionSorter::new(LowContentionConfig {
+                seed,
+                ..Default::default()
+            })
+            .sort(&keys)
+            .unwrap();
+            (outcome.sorted, outcome.report.metrics.cycles)
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn contention_stays_well_below_p() {
+        let n = 256; // P = 256, sqrt(P) = 16
+        let keys = Workload::RandomPermutation.generate(n, 11);
+        let outcome = LowContentionSorter::default().sort(&keys).unwrap();
+        let contention = outcome.report.metrics.max_contention;
+        assert!(
+            contention <= n / 4,
+            "contention {contention} too close to P = {n}"
+        );
+    }
+
+    #[test]
+    fn lower_contention_than_deterministic_sort() {
+        let n = 256;
+        let keys = Workload::RandomPermutation.generate(n, 13);
+        let lc = LowContentionSorter::default().sort(&keys).unwrap();
+        let det = crate::PramSorter::new(crate::SortConfig::new(n))
+            .sort(&keys)
+            .unwrap();
+        // Deterministic: everyone storms the root -> contention ~P.
+        // Low-contention: fat tree caps it near sqrt(P).
+        assert!(
+            lc.report.metrics.max_contention * 2 <= det.report.metrics.max_contention,
+            "lc {} vs det {}",
+            lc.report.metrics.max_contention,
+            det.report.metrics.max_contention
+        );
+    }
+
+    #[test]
+    fn survives_crashes() {
+        let n = 16;
+        let keys = Workload::RandomPermutation.generate(n, 4);
+        for seed in 0..4 {
+            let plan = FailurePlan::random_crashes(n, 0.5, 400, seed);
+            let outcome = LowContentionSorter::default()
+                .sort_under(&keys, &mut SyncScheduler, &plan)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            check_sorted_permutation(&keys, &outcome.sorted)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn starved_fat_tree_falls_back_to_authoritative_slice() {
+        // One fill round over 64 copies per node leaves almost every fat
+        // cell empty; builders must take the authoritative-slice fallback
+        // path constantly, and the sort must not care.
+        let keys = Workload::RandomPermutation.generate(64, 6);
+        let outcome = LowContentionSorter::new(LowContentionConfig {
+            fill_rounds: Some(1),
+            fat_copies: Some(64),
+            ..Default::default()
+        })
+        .sort(&keys)
+        .unwrap();
+        check_sorted_permutation(&keys, &outcome.sorted).unwrap();
+    }
+
+    #[test]
+    fn sorts_under_sequential_scheduler() {
+        // Full asynchrony: one operation per cycle.
+        let keys = Workload::UniformRandom.generate(16, 8);
+        let outcome = LowContentionSorter::default()
+            .sort_under(
+                &keys,
+                &mut pram::SingleStepScheduler::new(),
+                &FailurePlan::new(),
+            )
+            .unwrap();
+        check_sorted_permutation(&keys, &outcome.sorted).unwrap();
+    }
+
+    #[test]
+    fn sorts_under_random_scheduler() {
+        let keys = Workload::Sawtooth(4).generate(16, 9);
+        let outcome = LowContentionSorter::default()
+            .sort_under(
+                &keys,
+                &mut pram::RandomScheduler::new(5, 0.4),
+                &FailurePlan::new(),
+            )
+            .unwrap();
+        check_sorted_permutation(&keys, &outcome.sorted).unwrap();
+    }
+
+    #[test]
+    fn timeline_is_recorded_on_request() {
+        let keys = Workload::RandomPermutation.generate(16, 2);
+        let outcome = LowContentionSorter::default()
+            .sort_with_timeline(&keys)
+            .unwrap();
+        let tl = outcome.report.metrics.timeline.as_ref().expect("timeline");
+        assert_eq!(tl.len() as u64, outcome.report.metrics.cycles);
+        assert_eq!(
+            tl.iter().copied().max().unwrap() as usize,
+            outcome.report.metrics.max_contention
+        );
+    }
+
+    #[test]
+    fn supports_p_ne_n_combinations() {
+        assert!(LowContentionSorter::supports(64, 16));
+        assert!(LowContentionSorter::supports(100, 4));
+        assert!(LowContentionSorter::supports(4096, 256));
+        assert!(!LowContentionSorter::supports(10, 16), "P > N");
+        assert!(
+            !LowContentionSorter::supports(66, 16),
+            "sqrt(P) does not divide N"
+        );
+        assert!(!LowContentionSorter::supports(64, 8), "P not 4^k");
+    }
+
+    #[test]
+    fn sorts_with_fewer_processors_than_elements() {
+        for (n, p) in [(64usize, 16usize), (128, 16), (256, 64), (100, 4), (48, 16)] {
+            let keys = Workload::UniformRandom.generate(n, 7 + n as u64);
+            let outcome = LowContentionSorter::default()
+                .sort_with_processors(&keys, p)
+                .unwrap_or_else(|e| panic!("n={n} p={p}: {e}"));
+            check_sorted_permutation(&keys, &outcome.sorted)
+                .unwrap_or_else(|e| panic!("n={n} p={p}: {e}"));
+        }
+    }
+
+    #[test]
+    fn p_ne_n_contention_still_bounded_by_sqrt_p() {
+        let (n, p) = (1024usize, 64usize);
+        let keys = Workload::RandomPermutation.generate(n, 3);
+        let outcome = LowContentionSorter::default()
+            .sort_with_processors(&keys, p)
+            .unwrap();
+        check_sorted_permutation(&keys, &outcome.sorted).unwrap();
+        // sqrt(P) = 8; allow generous slack over the group-phase floor.
+        assert!(
+            outcome.report.metrics.max_contention <= 16,
+            "contention {} exceeds O(sqrt P) for P={p}",
+            outcome.report.metrics.max_contention
+        );
+    }
+
+    #[test]
+    fn p_ne_n_rejects_bad_combinations() {
+        let keys = Workload::UniformRandom.generate(66, 1);
+        let err = LowContentionSorter::default()
+            .sort_with_processors(&keys, 16)
+            .unwrap_err();
+        assert!(matches!(err, LcSortError::UnsupportedLength { .. }));
+    }
+
+    #[test]
+    fn survives_targeted_early_crashes() {
+        let n = 16;
+        let keys = Workload::Reverse.generate(n, 0);
+        // Crash the entire winning-candidate group's processors early.
+        let mut plan = FailurePlan::new();
+        for i in 0..4 {
+            plan = plan.crash_at(30 + i as u64, Pid::new(i));
+        }
+        let outcome = LowContentionSorter::default()
+            .sort_under(&keys, &mut SyncScheduler, &plan)
+            .unwrap();
+        check_sorted_permutation(&keys, &outcome.sorted).unwrap();
+    }
+}

@@ -1,0 +1,357 @@
+//! Orchestration of the full low-contention sort (§3.2–3.3).
+//!
+//! With `P = 4^k` processors over `N >= P` elements (`sqrt(P) | N`; the
+//! paper presents `P = N`, "extending it to other cases is
+//! straightforward"), every processor runs this chain without barriers:
+//!
+//! 1. **Group sort** — the `sqrt(P)` processors of group `g` sort the
+//!    `N / sqrt(P)` elements of slice `g` with the deterministic
+//!    algorithm of §2 into a sorted slice of element indices.
+//! 2. **Winner selection** — Figure 9; each processor proposes its own
+//!    (complete) group, so the selected slice is always fully sorted.
+//! 3. **Fat-tree fill** — randomized write-most copies the winner slice
+//!    into `sqrt(P)` duplicates per BST node.
+//! 4. **Full build** — Figure 4 with the fat tree serving the top
+//!    `log sqrt(P)` levels, plus edge jobs materializing the winner
+//!    slice's internal BST edges; all under one WAT.
+//!    5.–6. **Probing summation and placement** — §3.3.
+//! 7. **Shuffle** — the final scatter under an LC-WAT.
+
+use pram::{
+    failure::FailurePlan, Machine, Pid, Process, Scheduler, SeqProcess, SyncScheduler, Word,
+};
+use wat::{LcWat, LcWatProcess, Wat, WatProcess, WinnerProcess, WinnerTree};
+
+use crate::build::BuildTreeWorker;
+use crate::layout::{ElementArrays, SortLayout};
+use crate::place::FindPlaceProcess;
+use crate::scatter::{ScatterMode, ScatterWorker};
+use crate::sort::{SortError, SortOutcome};
+use crate::sum::TreeSumProcess;
+
+use super::fat_tree::{FatFillProcess, FatTree, WinnerContext};
+use super::lc_build::FatBuildWorker;
+use super::lc_place::LcPlaceProcess;
+use super::lc_sum::{LcSumProcess, ProbeState};
+
+/// Configuration of the low-contention sort.
+#[derive(Clone, Copy, Debug)]
+pub struct LowContentionConfig {
+    /// Seed for arbitration and all randomized choices.
+    pub seed: u64,
+    /// Cycle budget; `None` derives one from `N`.
+    pub max_cycles: Option<u64>,
+    /// The `K` wait-unit of winner selection (Figure 9).
+    pub winner_wait_unit: usize,
+    /// Write-most rounds per processor (the paper uses `log P`).
+    pub fill_rounds: Option<usize>,
+    /// Duplicates per fat-tree node (the paper uses `sqrt(P)`). Ablation
+    /// knob: fewer copies concentrate top-level reads on fewer cells.
+    pub fat_copies: Option<usize>,
+    /// Ablation knob: distribute the full-build jobs with the
+    /// deterministic WAT instead of the LC-WAT the paper prescribes —
+    /// reintroduces the `O(P)` convergence pile-up at the phase tail.
+    pub deterministic_full_build: bool,
+}
+
+impl Default for LowContentionConfig {
+    fn default() -> Self {
+        LowContentionConfig {
+            seed: 0x5eed,
+            max_cycles: None,
+            // Lemma 3.2 holds "for an appropriate constant K"; empirically
+            // K = 4 is the threshold where winner-selection contention
+            // drops to ~log P (see experiment E8's ablation).
+            winner_wait_unit: 4,
+            fill_rounds: None,
+            fat_copies: None,
+            deterministic_full_build: false,
+        }
+    }
+}
+
+/// Why the low-contention sorter rejected an input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LcSortError {
+    /// The input length is not of the required `4^k, k >= 1` form.
+    UnsupportedLength {
+        /// The offending length.
+        len: usize,
+    },
+    /// The underlying run failed.
+    Sort(SortError),
+}
+
+impl std::fmt::Display for LcSortError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LcSortError::UnsupportedLength { len } => write!(
+                f,
+                "low-contention sort needs P = 4^k (k >= 1), P <= N, and sqrt(P) | N \
+                 (P = N requires N = 4^k); got N = {len}"
+            ),
+            LcSortError::Sort(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for LcSortError {}
+
+impl From<SortError> for LcSortError {
+    fn from(e: SortError) -> Self {
+        LcSortError::Sort(e)
+    }
+}
+
+/// The low-contention wait-free sorter of §3: same asymptotic running
+/// time as [`crate::PramSorter`], but `O(sqrt(P))` contention w.h.p.
+/// instead of `O(P)`.
+///
+/// The paper presents the algorithm for `P = N` ("extending it to other
+/// cases is straightforward"); we implement exactly that presentation, so
+/// the input length must be `4^k` and `P = N`.
+///
+/// # Examples
+///
+/// ```
+/// use wfsort::low_contention::LowContentionSorter;
+/// use wfsort::Workload;
+///
+/// let keys = Workload::RandomPermutation.generate(64, 1);
+/// let outcome = LowContentionSorter::default().sort(&keys)?;
+/// assert!(outcome.sorted.windows(2).all(|w| w[0] <= w[1]));
+/// # Ok::<(), wfsort::low_contention::LcSortError>(())
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LowContentionSorter {
+    config: LowContentionConfig,
+    timeline: bool,
+}
+
+impl LowContentionSorter {
+    /// Creates a sorter with the given configuration.
+    pub fn new(config: LowContentionConfig) -> Self {
+        LowContentionSorter {
+            config,
+            timeline: false,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &LowContentionConfig {
+        &self.config
+    }
+
+    /// Whether `len` is a supported input length for the `P = N` entry
+    /// point ([`LowContentionSorter::sort`]): `4^k`, `k >= 1`.
+    pub fn supports_length(len: usize) -> bool {
+        len >= 4 && len.is_power_of_two() && len.trailing_zeros().is_multiple_of(2)
+    }
+
+    /// Whether `(len, nprocs)` is supported by
+    /// [`LowContentionSorter::sort_with_processors`]: `P = 4^k`
+    /// (`k >= 1`), `P <= N`, and `sqrt(P)` divides `N` (so the `sqrt(P)`
+    /// groups sort equal slices).
+    pub fn supports(len: usize, nprocs: usize) -> bool {
+        Self::supports_length(nprocs) && len >= nprocs && {
+            let gp = 1usize << (nprocs.trailing_zeros() / 2);
+            len.is_multiple_of(gp)
+        }
+    }
+
+    /// Sorts `keys` on a faultless synchronous PRAM with `P = N` — the
+    /// case the paper presents.
+    ///
+    /// # Errors
+    ///
+    /// [`LcSortError::UnsupportedLength`] if `keys.len()` is not `4^k`;
+    /// [`LcSortError::Sort`] if the cycle budget is exhausted.
+    pub fn sort(&self, keys: &[Word]) -> Result<SortOutcome, LcSortError> {
+        self.sort_under(keys, &mut SyncScheduler, &FailurePlan::new())
+    }
+
+    /// Sorts with `P < N` processors — the paper's "extending it to
+    /// other cases is straightforward" case: `sqrt(P)` groups of
+    /// `sqrt(P)` processors each sort a slice of `N / sqrt(P)` elements,
+    /// the winning slice fattens into the tree top, and the probing
+    /// phases run with `P` probers over `N` nodes.
+    ///
+    /// # Errors
+    ///
+    /// [`LcSortError::UnsupportedLength`] if [`LowContentionSorter::supports`]
+    /// rejects the combination; [`LcSortError::Sort`] on budget exhaustion.
+    pub fn sort_with_processors(
+        &self,
+        keys: &[Word],
+        nprocs: usize,
+    ) -> Result<SortOutcome, LcSortError> {
+        self.run(keys, nprocs, &mut SyncScheduler, &FailurePlan::new())
+    }
+
+    /// Sorts under an arbitrary scheduler and failure plan with `P = N`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`LowContentionSorter::sort`].
+    pub fn sort_under(
+        &self,
+        keys: &[Word],
+        scheduler: &mut dyn Scheduler,
+        failures: &FailurePlan,
+    ) -> Result<SortOutcome, LcSortError> {
+        self.run(keys, keys.len(), scheduler, failures)
+    }
+
+    /// Like [`LowContentionSorter::sort`], but records the per-cycle
+    /// contention series into the outcome's
+    /// [`pram::Metrics::timeline`] (used by experiment E18's figure).
+    ///
+    /// # Errors
+    ///
+    /// As for [`LowContentionSorter::sort`].
+    pub fn sort_with_timeline(&self, keys: &[Word]) -> Result<SortOutcome, LcSortError> {
+        let mut me = *self;
+        me.timeline = true;
+        me.run(keys, keys.len(), &mut SyncScheduler, &FailurePlan::new())
+    }
+
+    fn run(
+        &self,
+        keys: &[Word],
+        nprocs: usize,
+        scheduler: &mut dyn Scheduler,
+        failures: &FailurePlan,
+    ) -> Result<SortOutcome, LcSortError> {
+        if !Self::supports(keys.len(), nprocs) {
+            return Err(LcSortError::UnsupportedLength { len: keys.len() });
+        }
+        let n = keys.len();
+        let p = nprocs;
+        let gp = 1usize << (p.trailing_zeros() / 2); // sqrt(P): group size & fat copies
+        let groups = gp;
+        let sl = n / groups; // slice length per group
+        let seed = self.config.seed;
+        let log_p = p.trailing_zeros() as usize;
+        let fill_rounds = self.config.fill_rounds.unwrap_or(2 * log_p.max(1));
+
+        let mut memlayout = pram::MemoryLayout::new();
+        let layout = SortLayout::layout(&mut memlayout, n);
+        // Scratch fields for the group phase (same keys, own tree fields).
+        let scratch = ElementArrays::layout(&mut memlayout, n).sharing_keys_of(&layout.elems);
+        // Per-group WATs and the concatenated sorted slices.
+        let group_build: Vec<Wat> = (0..groups)
+            .map(|_| Wat::layout(&mut memlayout, sl - 1))
+            .collect();
+        let group_scatter: Vec<Wat> = (0..groups)
+            .map(|_| Wat::layout(&mut memlayout, sl))
+            .collect();
+        let slices = memlayout.region(n);
+        let winner_tree = WinnerTree::layout(&mut memlayout, p);
+        let copies = self.config.fat_copies.unwrap_or(gp).max(1);
+        let fat = FatTree::layout(&mut memlayout, sl, copies);
+        let ctx = WinnerContext {
+            results: winner_tree.results_region(),
+            slices,
+            m: sl,
+        };
+        // Full build: n insert jobs + sl edge jobs, distributed by an
+        // LC-WAT — §3.2 "we assume that work is distributed using
+        // LC-WATs"; a deterministic WAT herds every processor into the
+        // last unfinished subtree (O(P) contention at the tail), which
+        // the `deterministic_full_build` ablation makes measurable.
+        let full_build = LcWat::layout(&mut memlayout, n + sl);
+        let full_build_det = Wat::layout(&mut memlayout, n + sl);
+        let sum_state = ProbeState::layout(&mut memlayout, n);
+        let place_state = ProbeState::layout(&mut memlayout, n);
+        let scatter_lcwat = LcWat::layout(&mut memlayout, n);
+
+        let mut machine = Machine::with_seed(memlayout.total(), seed);
+        machine.record_timeline(self.timeline);
+        layout.elems.load_keys(machine.memory_mut(), keys);
+
+        for i in 0..p {
+            let pid = Pid::new(i);
+            let g = i / gp;
+            let local = Pid::new(i % gp);
+            let slice_root = g * sl + 1;
+            let slice_region = {
+                // Group g's slice: a window of `slices`.
+                let base = slices.at(g * sl);
+                pram::Region::window(base, sl)
+            };
+            let stages: Vec<Box<dyn Process>> = vec![
+                // 1. group sort (build, sum, place, scatter indices).
+                Box::new(WatProcess::new(
+                    group_build[g],
+                    local,
+                    gp,
+                    BuildTreeWorker::new(scratch, slice_root, slice_root + 1),
+                )),
+                Box::new(TreeSumProcess::new(scratch, pid, slice_root)),
+                Box::new(FindPlaceProcess::new(scratch, pid, slice_root)),
+                Box::new(WatProcess::new(
+                    group_scatter[g],
+                    local,
+                    gp,
+                    ScatterWorker::new(scratch, slice_region, slice_root, ScatterMode::Indices),
+                )),
+                // 2. winner selection: propose the (complete) own group.
+                Box::new(WinnerProcess::new(
+                    winner_tree,
+                    pid,
+                    g as Word + 1,
+                    self.config.winner_wait_unit,
+                    seed,
+                )),
+                // 3. fat-tree fill.
+                Box::new(FatFillProcess::new(
+                    fat,
+                    ctx,
+                    layout.elems,
+                    pid,
+                    fill_rounds,
+                    seed,
+                )),
+                // 4. full build with fat top.
+                if self.config.deterministic_full_build {
+                    Box::new(WatProcess::new(
+                        full_build_det,
+                        pid,
+                        p,
+                        FatBuildWorker::new(layout.elems, fat, ctx, pid, n, seed),
+                    )) as Box<dyn Process>
+                } else {
+                    Box::new(LcWatProcess::new(
+                        full_build,
+                        pid,
+                        seed,
+                        FatBuildWorker::new(layout.elems, fat, ctx, pid, n, seed),
+                    ))
+                },
+                // 5.-6. probing phases.
+                Box::new(LcSumProcess::new(layout.elems, sum_state, pid, n, seed)),
+                Box::new(LcPlaceProcess::new(layout.elems, place_state, pid, n, seed)),
+                // 7. final shuffle under an LC-WAT.
+                Box::new(LcWatProcess::new(
+                    scatter_lcwat,
+                    pid,
+                    seed,
+                    ScatterWorker::new(layout.elems, layout.output, 1, ScatterMode::Keys),
+                )),
+            ];
+            machine.add_process(Box::new(SeqProcess::new(stages)));
+        }
+
+        let budget = self
+            .config
+            .max_cycles
+            .unwrap_or_else(|| 500_000 + 64 * (n as u64) * (n as u64));
+        let report = machine
+            .run_with_failures(scheduler, failures, budget)
+            .map_err(SortError::from)?;
+        Ok(SortOutcome {
+            sorted: layout.read_output(machine.memory()),
+            report,
+        })
+    }
+}

@@ -1,0 +1,453 @@
+//! Phase 3: computing every element's sorted rank (Figure 6).
+//!
+//! Ranks flow top-down: the root's place is the size of its `SMALL`
+//! subtree plus one, and each child's place follows from its parent's
+//! (`place = s + sub + 1`, where `sub` accumulates the count of elements
+//! known to sort before the subtree and `s` is the size of the node's
+//! `SMALL` subtree). Processors spread by PID bits as in phase 2.
+//!
+//! ## Crash-window fix (documented in DESIGN.md §5)
+//!
+//! Figure 6 as printed skips a node as soon as its `place` is non-zero.
+//! `place` is written *before* the children are visited, so a processor
+//! that crashes in that window would leave a subtree whose places no
+//! surviving processor will ever compute — the skip hides it from
+//! everyone. We restore the claimed fault tolerance by mirroring phase
+//! 2's discipline: a separate `place_done` flag is written in postorder,
+//! *after* the subtree is fully placed, and only that flag short-circuits
+//! traversal. A node with `place` set but `place_done` clear is
+//! re-entered (recomputing the same deterministic values — a benign
+//! race), costing `O(1)` extra operations per node and no asymptotic
+//! change to Lemma 2.6.
+
+use pram::{Op, OpResult, Pid, Process, Word};
+
+use crate::layout::{ElementArrays, Side, EMPTY};
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Stage {
+    Enter,
+    AwaitDone,
+    AwaitPlace,
+    AwaitSmallChild,
+    AwaitSmallSize,
+    WritePlace,
+    AwaitPlaceWrite,
+    ReadBig,
+    AwaitBig,
+    Recurse1,
+    Recurse2,
+    MarkDone,
+    AwaitMark,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Frame {
+    node: usize,
+    sub: Word,
+    depth: u32,
+    stage: Stage,
+    /// `place[node]` as read on entry (0 if not yet computed).
+    place_seen: Word,
+    /// Size of the node's SMALL subtree.
+    s: Word,
+    small_child: usize,
+    big_child: usize,
+}
+
+/// One processor executing `find_place(root, 0, 0)` (Figure 6, with the
+/// postorder completion flag described in the module docs).
+#[derive(Debug)]
+pub struct FindPlaceProcess {
+    arrays: ElementArrays,
+    pid: Pid,
+    stack: Vec<Frame>,
+    started: bool,
+    root: usize,
+    /// `true` = run Figure 6 exactly as printed (skip on `place > 0`, no
+    /// postorder flag). Exists to *demonstrate* the crash-window defect;
+    /// see [`FindPlaceProcess::faithful_figure6`].
+    faithful: bool,
+}
+
+impl FindPlaceProcess {
+    /// Creates the placement process for `pid` over the tree rooted at
+    /// `root`. Requires phase 2 sizes to be complete, which holds because
+    /// a processor only leaves phase 2 after its `tree_sum(root)` returns.
+    pub fn new(arrays: ElementArrays, pid: Pid, root: usize) -> Self {
+        FindPlaceProcess {
+            arrays,
+            pid,
+            stack: Vec::new(),
+            started: false,
+            root,
+            faithful: false,
+        }
+    }
+
+    /// Creates the process running Figure 6 **exactly as printed**: a
+    /// node is skipped as soon as its `place` is non-zero, and no
+    /// postorder completion flag exists.
+    ///
+    /// This variant is *not* crash-tolerant: a processor dying between
+    /// writing a node's `place` and visiting its children hides the
+    /// subtree from every survivor (they skip on `place > 0`), leaving
+    /// its places uncomputed forever. The test
+    /// `faithful_figure6_loses_subtrees_under_crashes` exhibits the
+    /// defect; production callers should use [`FindPlaceProcess::new`].
+    pub fn faithful_figure6(arrays: ElementArrays, pid: Pid, root: usize) -> Self {
+        FindPlaceProcess {
+            faithful: true,
+            ..Self::new(arrays, pid, root)
+        }
+    }
+
+    fn push(&mut self, node: usize, sub: Word, depth: u32) {
+        self.stack.push(Frame {
+            node,
+            sub,
+            depth,
+            stage: Stage::Enter,
+            place_seen: 0,
+            s: 0,
+            small_child: 0,
+            big_child: 0,
+        });
+    }
+
+    /// Children in the order this processor visits them (Figure 6: bit
+    /// `d` of the PID decides whether the SMALL or BIG subtree is walked
+    /// first), paired with each child's `sub` accumulator.
+    fn visit_order(frame: &Frame, pid: Pid) -> [(usize, Word); 2] {
+        let small = (frame.small_child, frame.sub);
+        let big = (frame.big_child, frame.sub + frame.s + 1);
+        if Side::from_bit(pid.bit(frame.depth)) == Side::Small {
+            [small, big]
+        } else {
+            [big, small]
+        }
+    }
+}
+
+impl Process for FindPlaceProcess {
+    fn step(&mut self, mut last: Option<OpResult>) -> Op {
+        if !self.started {
+            self.started = true;
+            self.push(self.root, 0, 0);
+        }
+        loop {
+            let Some(frame) = self.stack.last_mut() else {
+                return Op::Halt;
+            };
+            match frame.stage {
+                Stage::Enter => {
+                    if self.faithful {
+                        // Figure 6 verbatim: the skip is keyed on `place`
+                        // itself (the crash-unsafe check).
+                        frame.stage = Stage::AwaitPlace;
+                        return Op::Read(self.arrays.place(frame.node));
+                    }
+                    frame.stage = Stage::AwaitDone;
+                    return Op::Read(self.arrays.place_done(frame.node));
+                }
+                Stage::AwaitDone => {
+                    let v = last.take().expect("done read pending").read_value();
+                    if v != 0 {
+                        self.stack.pop();
+                        continue;
+                    }
+                    frame.stage = Stage::AwaitPlace;
+                    return Op::Read(self.arrays.place(frame.node));
+                }
+                Stage::AwaitPlace => {
+                    frame.place_seen = last.take().expect("place read pending").read_value();
+                    if self.faithful && frame.place_seen > 0 {
+                        // Figure 6 line 2: "if ... A[i].place > 0 then
+                        // return" — the skip that loses subtrees when the
+                        // placing processor crashed before recursing.
+                        self.stack.pop();
+                        continue;
+                    }
+                    frame.stage = Stage::AwaitSmallChild;
+                    return Op::Read(self.arrays.child(frame.node, Side::Small));
+                }
+                Stage::AwaitSmallChild => {
+                    let sc = last.take().expect("small child pending").read_value();
+                    frame.small_child = sc as usize;
+                    if frame.place_seen > 0 {
+                        // Place already computed: recover `s` arithmetically
+                        // (place = s + sub + 1) instead of re-reading sizes.
+                        frame.s = frame.place_seen - frame.sub - 1;
+                        frame.stage = Stage::ReadBig;
+                        continue;
+                    }
+                    if sc == EMPTY {
+                        frame.s = 0;
+                        frame.stage = Stage::WritePlace;
+                        continue;
+                    }
+                    frame.stage = Stage::AwaitSmallSize;
+                    return Op::Read(self.arrays.size(sc as usize));
+                }
+                Stage::AwaitSmallSize => {
+                    frame.s = last.take().expect("size read pending").read_value();
+                    frame.stage = Stage::WritePlace;
+                }
+                Stage::WritePlace => {
+                    let place = frame.s + frame.sub + 1;
+                    let node = frame.node;
+                    frame.stage = Stage::AwaitPlaceWrite;
+                    return Op::Write(self.arrays.place(node), place);
+                }
+                Stage::AwaitPlaceWrite => {
+                    last.take();
+                    frame.stage = Stage::ReadBig;
+                }
+                Stage::ReadBig => {
+                    frame.stage = Stage::AwaitBig;
+                    return Op::Read(self.arrays.child(frame.node, Side::Big));
+                }
+                Stage::AwaitBig => {
+                    frame.big_child = last.take().expect("big child pending").read_value() as usize;
+                    frame.stage = Stage::Recurse1;
+                }
+                Stage::Recurse1 => {
+                    let (child, sub) = Self::visit_order(frame, self.pid)[0];
+                    frame.stage = Stage::Recurse2;
+                    if child != 0 {
+                        let depth = frame.depth + 1;
+                        self.push(child, sub, depth);
+                    }
+                }
+                Stage::Recurse2 => {
+                    let (child, sub) = Self::visit_order(frame, self.pid)[1];
+                    frame.stage = if self.faithful {
+                        // No postorder flag in the verbatim routine.
+                        Stage::AwaitMark // reached only via the pop below
+                    } else {
+                        Stage::MarkDone
+                    };
+                    let faithful = self.faithful;
+                    if child != 0 {
+                        let depth = frame.depth + 1;
+                        self.push(child, sub, depth);
+                        continue;
+                    }
+                    if faithful {
+                        self.stack.pop();
+                    }
+                }
+                Stage::MarkDone => {
+                    let node = frame.node;
+                    frame.stage = Stage::AwaitMark;
+                    return Op::Write(self.arrays.place_done(node), 1);
+                }
+                Stage::AwaitMark => {
+                    last.take();
+                    self.stack.pop();
+                }
+            }
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "find-place"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sum::TreeSumProcess;
+    use pram::{Machine, SyncScheduler};
+
+    /// Loads a tree, runs phase 2 then phase 3 (chained per processor as
+    /// in the real sort), and returns the machine.
+    fn run_phases(keys: &[Word], nprocs: usize) -> (Machine, ElementArrays) {
+        let (mut machine, arrays) = crate::sum::tests::machine_with_tree(keys, 13);
+        for i in 0..nprocs {
+            let pid = Pid::new(i);
+            machine.add_process(Box::new(pram::SeqProcess::new(vec![
+                Box::new(TreeSumProcess::new(arrays, pid, 1)),
+                Box::new(FindPlaceProcess::new(arrays, pid, 1)),
+            ])));
+        }
+        machine.run(&mut SyncScheduler, 10_000_000).unwrap();
+        (machine, arrays)
+    }
+
+    fn assert_places_are_ranks(machine: &Machine, arrays: &ElementArrays, keys: &[Word]) {
+        let mem = machine.memory();
+        let n = keys.len();
+        // Rank of element i among (key, index) pairs.
+        let mut order: Vec<usize> = (1..=n).collect();
+        order.sort_by_key(|&i| (keys[i - 1], i));
+        for (rank0, &elem) in order.iter().enumerate() {
+            assert_eq!(
+                mem.read(arrays.place(elem)),
+                rank0 as Word + 1,
+                "element {elem} (key {}) has wrong place",
+                keys[elem - 1]
+            );
+            assert_eq!(mem.read(arrays.place_done(elem)), 1);
+        }
+    }
+
+    #[test]
+    fn places_random_tree_single_processor() {
+        let keys: Vec<Word> = (0..31).map(|i| (i * 17) % 31).collect();
+        let (m, a) = run_phases(&keys, 1);
+        assert_places_are_ranks(&m, &a, &keys);
+    }
+
+    #[test]
+    fn places_random_tree_many_processors() {
+        let keys: Vec<Word> = (0..64).map(|i| (i * 29) % 64).collect();
+        let (m, a) = run_phases(&keys, 64);
+        assert_places_are_ranks(&m, &a, &keys);
+    }
+
+    #[test]
+    fn places_duplicate_keys() {
+        let keys = vec![3, 1, 3, 1, 2, 2, 3, 1];
+        let (m, a) = run_phases(&keys, 4);
+        assert_places_are_ranks(&m, &a, &keys);
+    }
+
+    #[test]
+    fn places_degenerate_spine() {
+        let keys: Vec<Word> = (0..16).collect();
+        let (m, a) = run_phases(&keys, 3);
+        assert_places_are_ranks(&m, &a, &keys);
+    }
+
+    #[test]
+    fn places_single_element() {
+        let (m, a) = run_phases(&[9], 2);
+        assert_eq!(m.memory().read(a.place(1)), 1);
+    }
+
+    #[test]
+    fn crash_between_place_write_and_recursion_is_survivable() {
+        // The scenario that breaks unmodified Figure 6: a processor
+        // crashes mid-phase-3. With the postorder flag, survivors finish
+        // everything. Crash processor 0 at many different cycles to sweep
+        // the window.
+        let keys: Vec<Word> = (0..32).map(|i| (i * 19) % 32).collect();
+        for crash_cycle in (0..120).step_by(7) {
+            let (mut machine, arrays) = crate::sum::tests::machine_with_tree(&keys, 21);
+            for i in 0..3 {
+                let pid = Pid::new(i);
+                machine.add_process(Box::new(pram::SeqProcess::new(vec![
+                    Box::new(TreeSumProcess::new(arrays, pid, 1)),
+                    Box::new(FindPlaceProcess::new(arrays, pid, 1)),
+                ])));
+            }
+            let plan = pram::failure::FailurePlan::new().crash_at(crash_cycle, Pid::new(0));
+            machine
+                .run_with_failures(&mut SyncScheduler, &plan, 10_000_000)
+                .unwrap();
+            assert_places_are_ranks(&machine, &arrays, &keys);
+        }
+    }
+
+    #[test]
+    fn faithful_figure6_loses_subtrees_under_crashes() {
+        // Reproduction of the defect the fixed variant exists for. The
+        // adversary runs processor 0 alone through phases 2–3, crashes it
+        // mid-placement, then lets processor 1 take over. Under the
+        // verbatim Figure 6, processor 1 reads the root's (or some
+        // ancestor's) non-zero `place`, skips, and the victim's
+        // half-placed subtrees are lost forever; with the postorder flag
+        // processor 1 re-enters them and finishes. We sweep the crash
+        // over every cycle of the run and count losses.
+        let keys: Vec<Word> = (0..32).map(|i| (i * 19) % 32).collect();
+        let sweep = |faithful: bool| -> (usize, usize) {
+            let mut incomplete = 0;
+            let mut total = 0;
+            for crash_cycle in 1..400 {
+                let (mut machine, arrays) = crate::sum::tests::machine_with_tree(&keys, 21);
+                for i in 0..2 {
+                    let pid = Pid::new(i);
+                    let place: Box<dyn pram::Process> = if faithful {
+                        Box::new(FindPlaceProcess::faithful_figure6(arrays, pid, 1))
+                    } else {
+                        Box::new(FindPlaceProcess::new(arrays, pid, 1))
+                    };
+                    machine.add_process(Box::new(pram::SeqProcess::new(vec![
+                        Box::new(TreeSumProcess::new(arrays, pid, 1)),
+                        place,
+                    ])));
+                }
+                // Victim-first schedule: only processor 0 runs while
+                // runnable and uncrashed; processor 1 runs otherwise.
+                let mut victim_first = pram::AdversaryScheduler::new(|_c, runnable: &[Pid]| {
+                    if runnable.contains(&Pid::new(0)) {
+                        vec![Pid::new(0)]
+                    } else {
+                        runnable.to_vec()
+                    }
+                });
+                let plan = pram::failure::FailurePlan::new().crash_at(crash_cycle, Pid::new(0));
+                machine
+                    .run_with_failures(&mut victim_first, &plan, 10_000_000)
+                    .unwrap();
+                total += 1;
+                let lost = (1..=32).any(|i| machine.memory().read(arrays.place(i)) == 0);
+                if lost {
+                    incomplete += 1;
+                }
+            }
+            (incomplete, total)
+        };
+        let (faithful_losses, total) = sweep(true);
+        let (fixed_losses, _) = sweep(false);
+        assert_eq!(fixed_losses, 0, "the postorder flag must never lose places");
+        assert!(
+            faithful_losses > total / 10,
+            "expected the verbatim Figure 6 to lose subtrees for many crash cycles \
+             (got {faithful_losses}/{total}); if this drops to ~0 the crash window \
+             moved — adjust the sweep range"
+        );
+    }
+
+    #[test]
+    fn faithful_figure6_is_correct_without_failures() {
+        // Absent crashes the verbatim routine is fine — the defect is
+        // purely in the failure model.
+        let keys: Vec<Word> = (0..48).map(|i| (i * 11) % 48).collect();
+        let (mut machine, arrays) = crate::sum::tests::machine_with_tree(&keys, 4);
+        for i in 0..4 {
+            let pid = Pid::new(i);
+            machine.add_process(Box::new(pram::SeqProcess::new(vec![
+                Box::new(TreeSumProcess::new(arrays, pid, 1)),
+                Box::new(FindPlaceProcess::faithful_figure6(arrays, pid, 1)),
+            ])));
+        }
+        machine.run(&mut SyncScheduler, 10_000_000).unwrap();
+        // Check ranks only — the verbatim routine has no place_done flag.
+        let mem = machine.memory();
+        let mut order: Vec<usize> = (1..=48).collect();
+        order.sort_by_key(|&i| (keys[i - 1], i));
+        for (rank0, &elem) in order.iter().enumerate() {
+            assert_eq!(mem.read(arrays.place(elem)), rank0 as Word + 1);
+        }
+    }
+
+    #[test]
+    fn wait_free_step_bound_single_processor() {
+        let n = 64usize;
+        let keys: Vec<Word> = (0..n as Word).map(|i| (i * 23) % n as Word).collect();
+        let (mut machine, arrays) = crate::sum::tests::machine_with_tree(&keys, 3);
+        machine.add_process(Box::new(pram::SeqProcess::new(vec![
+            Box::new(TreeSumProcess::new(arrays, Pid::new(0), 1)),
+            Box::new(FindPlaceProcess::new(arrays, Pid::new(0), 1)),
+        ])));
+        let report = machine.run(&mut SyncScheduler, 1_000_000).unwrap();
+        assert!(
+            report.metrics.max_steps_per_process() <= (12 * n + 32) as u64,
+            "{} steps exceeds O(N)",
+            report.metrics.max_steps_per_process()
+        );
+    }
+}

@@ -1,0 +1,168 @@
+//! The final element shuffle: moving each element to its computed rank.
+//!
+//! §2.2 names the third phase "element shuffling": once `find_place` has
+//! assigned every element its rank, the records must actually be moved.
+//! The move is an independent job per element — exactly the shape of the
+//! write-all problem — so it runs as one more [`wat::LeafWorker`] pass
+//! under a work-assignment tree, keeping it wait-free: a crashed
+//! processor's unmoved elements are picked up by survivors.
+
+use pram::{Op, OpResult, Region, Word};
+use wat::{LeafWorker, WorkerOp};
+
+use crate::layout::ElementArrays;
+
+/// What the scatter writes into the destination slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScatterMode {
+    /// Write the element's key — produces the sorted output array.
+    Keys,
+    /// Write the element's index — produces a sorted permutation, used by
+    /// the low-contention sort to materialize a group's sorted slice.
+    Indices,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum St {
+    ReadPlace,
+    AwaitPlace,
+    AwaitKey,
+    AwaitWrite,
+    Finished,
+}
+
+/// Job `j` moves element `first_element + j` into `dest[place - 1]`.
+#[derive(Clone, Debug)]
+pub struct ScatterWorker {
+    arrays: ElementArrays,
+    dest: Region,
+    first_element: usize,
+    mode: ScatterMode,
+    state: St,
+    element: usize,
+    place: Word,
+}
+
+impl ScatterWorker {
+    /// Creates a scatter worker writing into `dest` (`dest[r - 1]` for
+    /// rank `r`, so `dest` must have as many cells as the tree being
+    /// scattered has elements).
+    pub fn new(
+        arrays: ElementArrays,
+        dest: Region,
+        first_element: usize,
+        mode: ScatterMode,
+    ) -> Self {
+        ScatterWorker {
+            arrays,
+            dest,
+            first_element,
+            mode,
+            state: St::Finished,
+            element: 0,
+            place: 0,
+        }
+    }
+}
+
+impl LeafWorker for ScatterWorker {
+    fn begin(&mut self, job: usize) {
+        self.element = self.first_element + job;
+        self.state = St::ReadPlace;
+    }
+
+    fn step(&mut self, last: Option<OpResult>) -> WorkerOp {
+        match self.state {
+            St::ReadPlace => {
+                self.state = St::AwaitPlace;
+                WorkerOp::Op(Op::Read(self.arrays.place(self.element)))
+            }
+            St::AwaitPlace => {
+                self.place = last.expect("place read pending").read_value();
+                debug_assert!(self.place > 0, "scatter before place computed");
+                match self.mode {
+                    ScatterMode::Keys => {
+                        self.state = St::AwaitKey;
+                        WorkerOp::Op(Op::Read(self.arrays.key(self.element)))
+                    }
+                    ScatterMode::Indices => {
+                        self.state = St::AwaitWrite;
+                        WorkerOp::Op(Op::Write(
+                            self.dest.at(self.place as usize - 1),
+                            self.element as Word,
+                        ))
+                    }
+                }
+            }
+            St::AwaitKey => {
+                let key = last.expect("key read pending").read_value();
+                self.state = St::AwaitWrite;
+                WorkerOp::Op(Op::Write(self.dest.at(self.place as usize - 1), key))
+            }
+            St::AwaitWrite => {
+                self.state = St::Finished;
+                WorkerOp::Done
+            }
+            St::Finished => WorkerOp::Done,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pram::{Machine, MemoryLayout, SyncScheduler};
+
+    /// Sets up arrays with precomputed places (identity permutation of
+    /// ranks via the given order) and scatters with `nprocs`.
+    fn scatter(keys: &[Word], mode: ScatterMode, nprocs: usize) -> Vec<Word> {
+        let n = keys.len();
+        let mut layout = MemoryLayout::new();
+        let arrays = ElementArrays::layout(&mut layout, n);
+        let dest = layout.region(n);
+        let swat = wat::Wat::layout(&mut layout, n);
+        let mut machine = Machine::new(layout.total());
+        arrays.load_keys(machine.memory_mut(), keys);
+        // Compute places locally: rank among (key, index) pairs.
+        let mut order: Vec<usize> = (1..=n).collect();
+        order.sort_by_key(|&i| (keys[i - 1], i));
+        let mut places = vec![0; n + 1];
+        for (rank0, &elem) in order.iter().enumerate() {
+            places[elem] = rank0 as Word + 1;
+        }
+        machine.memory_mut().load(arrays.place(1) - 1, &places);
+        for p in swat.processes(nprocs, |_| ScatterWorker::new(arrays, dest, 1, mode)) {
+            machine.add_process(p);
+        }
+        machine.run(&mut SyncScheduler, 1_000_000).unwrap();
+        machine.memory().snapshot(dest.range())
+    }
+
+    #[test]
+    fn scatters_keys_into_sorted_order() {
+        let keys = vec![5, 3, 9, 1, 7];
+        assert_eq!(scatter(&keys, ScatterMode::Keys, 2), vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn scatters_indices_into_key_order() {
+        let keys = vec![5, 3, 9, 1, 7];
+        // Sorted by key: elements 4(1), 2(3), 1(5), 5(7), 3(9).
+        assert_eq!(scatter(&keys, ScatterMode::Indices, 3), vec![4, 2, 1, 5, 3]);
+    }
+
+    #[test]
+    fn scatter_with_duplicates_is_stable_by_index() {
+        let keys = vec![2, 1, 2, 1];
+        assert_eq!(
+            scatter(&keys, ScatterMode::Indices, 2),
+            vec![2, 4, 1, 3],
+            "ties broken by element index"
+        );
+    }
+
+    #[test]
+    fn single_element_scatter() {
+        assert_eq!(scatter(&[42], ScatterMode::Keys, 1), vec![42]);
+    }
+}

@@ -1,0 +1,475 @@
+//! The complete three-phase wait-free sort, assembled.
+//!
+//! Each of the `P` processors runs the four stages back-to-back with no
+//! barrier (build → sum → place → shuffle), exactly as §2.2 prescribes:
+//! "any processor that completes the first phase immediately goes on to
+//! the second phase". Phase hand-off safety comes from the structures
+//! themselves — a processor only leaves the build phase when the build
+//! WAT's root is `DONE` (all elements inserted), only leaves `tree_sum`
+//! when its root call returns (all sizes written), and so on.
+
+use pram::{
+    failure::FailurePlan, Machine, MachineError, Pid, Process, RunReport, Scheduler, SeqProcess,
+    SyncScheduler, Word,
+};
+use wat::Wat;
+
+use crate::build::BuildTreeWorker;
+use crate::layout::SortLayout;
+use crate::place::FindPlaceProcess;
+use crate::random_alloc::RandomAllocProcess;
+use crate::scatter::{ScatterMode, ScatterWorker};
+use crate::sum::TreeSumProcess;
+
+/// How phase 1 hands elements to processors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Allocation {
+    /// The deterministic WAT of Figure 2. Optimal when the input is in
+    /// random order (Lemma 2.8's precondition).
+    #[default]
+    Deterministic,
+    /// The randomized strategy at the end of §2.3: pick elements uniformly
+    /// at random until `log N` consecutive picks are already done, then
+    /// fall back to the WAT. Removes the random-input-order assumption.
+    Randomized,
+}
+
+/// Configuration of a PRAM sort run.
+#[derive(Clone, Copy, Debug)]
+pub struct SortConfig {
+    /// Number of simulated processors `P`.
+    pub nprocs: usize,
+    /// Seed driving arbitration and all randomized choices.
+    pub seed: u64,
+    /// Phase-1 work allocation strategy.
+    pub allocation: Allocation,
+    /// Cycle budget; `None` derives a generous bound from `N`.
+    pub max_cycles: Option<u64>,
+}
+
+impl SortConfig {
+    /// A deterministic-allocation configuration with `nprocs` processors.
+    pub fn new(nprocs: usize) -> Self {
+        SortConfig {
+            nprocs,
+            seed: 0x5eed,
+            allocation: Allocation::Deterministic,
+            max_cycles: None,
+        }
+    }
+
+    /// Sets the seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Selects the phase-1 allocation strategy.
+    pub fn allocation(mut self, allocation: Allocation) -> Self {
+        self.allocation = allocation;
+        self
+    }
+
+    /// Overrides the cycle budget.
+    pub fn max_cycles(mut self, max_cycles: u64) -> Self {
+        self.max_cycles = Some(max_cycles);
+        self
+    }
+
+    fn budget(&self, n: usize) -> u64 {
+        self.max_cycles.unwrap_or_else(|| {
+            // Worst case (one survivor, fully skewed tree): O(N^2) work.
+            let n = n as u64;
+            100_000 + 64 * n * n
+        })
+    }
+}
+
+/// Result of a sort run: the sorted keys plus the execution metrics the
+/// paper's lemmas constrain.
+#[derive(Clone, Debug)]
+pub struct SortOutcome {
+    /// The keys in non-decreasing order.
+    pub sorted: Vec<Word>,
+    /// Machine metrics (cycles, work, contention, per-processor steps).
+    pub report: RunReport,
+}
+
+/// Errors a sort run can produce.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SortError {
+    /// The machine exhausted its cycle budget — for a wait-free algorithm
+    /// under a fair scheduler this indicates a bug or a hostile schedule
+    /// that never steps anyone.
+    Machine(MachineError),
+}
+
+impl std::fmt::Display for SortError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SortError::Machine(e) => write!(f, "sort did not complete: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SortError {}
+
+impl From<MachineError> for SortError {
+    fn from(e: MachineError) -> Self {
+        SortError::Machine(e)
+    }
+}
+
+/// A prepared machine plus the layout needed to read results back.
+#[derive(Debug)]
+pub struct PreparedSort {
+    /// The machine, loaded with keys and processes, ready to run.
+    pub machine: Machine,
+    /// The memory plan (for reading the output or inspecting the tree).
+    pub layout: SortLayout,
+    /// The cycle budget derived from the configuration.
+    pub budget: u64,
+}
+
+/// The wait-free parallel Quicksort of §2 on the simulated CRCW PRAM.
+///
+/// # Examples
+///
+/// ```
+/// use wfsort::{PramSorter, SortConfig};
+///
+/// let sorter = PramSorter::new(SortConfig::new(8));
+/// let outcome = sorter.sort(&[5, 1, 4, 2, 3])?;
+/// assert_eq!(outcome.sorted, vec![1, 2, 3, 4, 5]);
+/// # Ok::<(), wfsort::SortError>(())
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct PramSorter {
+    config: SortConfig,
+}
+
+impl PramSorter {
+    /// Creates a sorter with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.nprocs` is zero.
+    pub fn new(config: SortConfig) -> Self {
+        assert!(config.nprocs > 0, "need at least one processor");
+        PramSorter { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SortConfig {
+        &self.config
+    }
+
+    /// Builds the machine for sorting `keys` without running it, for
+    /// callers that want to drive cycles themselves (failure injection at
+    /// chosen moments, custom schedulers, per-cycle observation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` has fewer than 2 elements — such inputs have
+    /// nothing to do in parallel; [`PramSorter::sort`] handles them
+    /// locally.
+    pub fn prepare(&self, keys: &[Word]) -> PreparedSort {
+        self.prepare_with_mode(keys, ScatterMode::Keys)
+    }
+
+    fn prepare_with_mode(&self, keys: &[Word], mode: ScatterMode) -> PreparedSort {
+        assert!(keys.len() >= 2, "prepare needs at least two keys");
+        let n = keys.len();
+        let mut memlayout = pram::MemoryLayout::new();
+        let layout = SortLayout::layout(&mut memlayout, n);
+        let build_wat = Wat::layout(&mut memlayout, n - 1);
+        let scatter_wat = Wat::layout(&mut memlayout, n);
+        let mut machine = Machine::with_seed(memlayout.total(), self.config.seed);
+        layout.elems.load_keys(machine.memory_mut(), keys);
+
+        for i in 0..self.config.nprocs {
+            let pid = Pid::new(i);
+            let build_stage: Box<dyn Process> = match self.config.allocation {
+                Allocation::Deterministic => Box::new(wat::WatProcess::new(
+                    build_wat,
+                    pid,
+                    self.config.nprocs,
+                    BuildTreeWorker::for_full_sort(layout.elems),
+                )),
+                Allocation::Randomized => Box::new(RandomAllocProcess::new(
+                    build_wat,
+                    pid,
+                    self.config.nprocs,
+                    self.config.seed,
+                    BuildTreeWorker::for_full_sort(layout.elems),
+                )),
+            };
+            let stages: Vec<Box<dyn Process>> = vec![
+                build_stage,
+                Box::new(TreeSumProcess::new(layout.elems, pid, 1)),
+                Box::new(FindPlaceProcess::new(layout.elems, pid, 1)),
+                Box::new(wat::WatProcess::new(
+                    scatter_wat,
+                    pid,
+                    self.config.nprocs,
+                    ScatterWorker::new(layout.elems, layout.output, 1, mode),
+                )),
+            ];
+            machine.add_process(Box::new(SeqProcess::new(stages)));
+        }
+        PreparedSort {
+            machine,
+            layout,
+            budget: self.config.budget(n),
+        }
+    }
+
+    /// Sorts `keys` on a faultless synchronous PRAM (the setting of the
+    /// paper's run-time lemmas).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SortError::Machine`] if the cycle budget is exhausted.
+    pub fn sort(&self, keys: &[Word]) -> Result<SortOutcome, SortError> {
+        self.sort_under(keys, &mut SyncScheduler, &FailurePlan::new())
+    }
+
+    /// Sorts `keys` and additionally returns the sorted *permutation*:
+    /// entry `r` of the permutation is the 0-based input index of the
+    /// rank-`r + 1` element (stable for duplicates, by index). Useful for
+    /// sorting records by key: gather your payloads through the
+    /// permutation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SortError::Machine`] if the cycle budget is exhausted.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wfsort::{PramSorter, SortConfig};
+    ///
+    /// let keys = vec![30, 10, 20];
+    /// let (sorted, perm) = PramSorter::new(SortConfig::new(2))
+    ///     .sort_with_permutation(&keys)?;
+    /// assert_eq!(sorted, vec![10, 20, 30]);
+    /// assert_eq!(perm, vec![1, 2, 0]);
+    /// # Ok::<(), wfsort::SortError>(())
+    /// ```
+    pub fn sort_with_permutation(
+        &self,
+        keys: &[Word],
+    ) -> Result<(Vec<Word>, Vec<usize>), SortError> {
+        if keys.len() < 2 {
+            return Ok((keys.to_vec(), (0..keys.len()).collect()));
+        }
+        // Run the machine with an index-scatter final phase; the sorted
+        // keys follow from the permutation locally.
+        let mut prepared = self.prepare_with_mode(keys, ScatterMode::Indices);
+        prepared.machine.run_with_failures(
+            &mut SyncScheduler,
+            &FailurePlan::new(),
+            prepared.budget,
+        )?;
+        let perm: Vec<usize> = prepared
+            .layout
+            .read_output(prepared.machine.memory())
+            .into_iter()
+            .map(|e| e as usize - 1) // elements are 1-based in memory
+            .collect();
+        let sorted = perm.iter().map(|&i| keys[i]).collect();
+        Ok((sorted, perm))
+    }
+
+    /// Sorts `keys` under an arbitrary scheduler and failure plan. The
+    /// wait-free guarantee: as long as the scheduler keeps stepping at
+    /// least one non-crashed processor, the sort completes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SortError::Machine`] if the cycle budget is exhausted.
+    pub fn sort_under(
+        &self,
+        keys: &[Word],
+        scheduler: &mut dyn Scheduler,
+        failures: &FailurePlan,
+    ) -> Result<SortOutcome, SortError> {
+        if keys.len() < 2 {
+            // Nothing to parallelize; report an empty run.
+            return Ok(SortOutcome {
+                sorted: keys.to_vec(),
+                report: Machine::new(0).report(),
+            });
+        }
+        let mut prepared = self.prepare(keys);
+        let report = prepared
+            .machine
+            .run_with_failures(scheduler, failures, prepared.budget)?;
+        Ok(SortOutcome {
+            sorted: prepared.layout.read_output(prepared.machine.memory()),
+            report,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::check_sorted_permutation;
+    use crate::workload::Workload;
+    use pram::{RandomScheduler, RoundRobinScheduler, SingleStepScheduler};
+
+    fn assert_sorts(keys: &[Word], config: SortConfig) -> SortOutcome {
+        let outcome = PramSorter::new(config).sort(keys).expect("sort completes");
+        check_sorted_permutation(keys, &outcome.sorted).expect("valid result");
+        outcome
+    }
+
+    #[test]
+    fn sorts_small_fixed_inputs() {
+        for keys in [
+            vec![2, 1],
+            vec![1, 2],
+            vec![3, 1, 2],
+            vec![5, 4, 3, 2, 1],
+            vec![1, 1, 1, 1],
+            vec![7, -3, 0, 7, -3],
+        ] {
+            assert_sorts(&keys, SortConfig::new(4));
+        }
+    }
+
+    #[test]
+    fn trivial_inputs_short_circuit() {
+        let sorter = PramSorter::new(SortConfig::new(4));
+        assert_eq!(sorter.sort(&[]).unwrap().sorted, Vec::<Word>::new());
+        assert_eq!(sorter.sort(&[9]).unwrap().sorted, vec![9]);
+    }
+
+    #[test]
+    fn sorts_every_workload_with_p_equals_n() {
+        let n = 64;
+        for w in Workload::all() {
+            let keys = w.generate(n, 42);
+            assert_sorts(&keys, SortConfig::new(n).seed(17));
+        }
+    }
+
+    #[test]
+    fn sorts_with_one_processor() {
+        let keys = Workload::RandomPermutation.generate(48, 7);
+        assert_sorts(&keys, SortConfig::new(1));
+    }
+
+    #[test]
+    fn sorts_with_more_processors_than_elements() {
+        let keys = Workload::UniformRandom.generate(16, 3);
+        assert_sorts(&keys, SortConfig::new(64));
+    }
+
+    #[test]
+    fn randomized_allocation_sorts_all_workloads() {
+        let n = 64;
+        for w in Workload::all() {
+            let keys = w.generate(n, 5);
+            assert_sorts(
+                &keys,
+                SortConfig::new(n)
+                    .seed(23)
+                    .allocation(Allocation::Randomized),
+            );
+        }
+    }
+
+    #[test]
+    fn sorts_under_random_scheduler() {
+        let keys = Workload::RandomPermutation.generate(32, 11);
+        let sorter = PramSorter::new(SortConfig::new(8).seed(1));
+        let mut sched = RandomScheduler::new(5, 0.4);
+        let outcome = sorter
+            .sort_under(&keys, &mut sched, &FailurePlan::new())
+            .unwrap();
+        check_sorted_permutation(&keys, &outcome.sorted).unwrap();
+    }
+
+    #[test]
+    fn sorts_fully_sequentially() {
+        let keys = Workload::RandomPermutation.generate(24, 2);
+        let sorter = PramSorter::new(SortConfig::new(4));
+        let mut sched = SingleStepScheduler::new();
+        let outcome = sorter
+            .sort_under(&keys, &mut sched, &FailurePlan::new())
+            .unwrap();
+        check_sorted_permutation(&keys, &outcome.sorted).unwrap();
+    }
+
+    #[test]
+    fn sorts_with_width_limited_scheduler() {
+        let keys = Workload::Sawtooth(5).generate(40, 9);
+        let sorter = PramSorter::new(SortConfig::new(16).seed(2));
+        let mut sched = RoundRobinScheduler::new(3, 4);
+        let outcome = sorter
+            .sort_under(&keys, &mut sched, &FailurePlan::new())
+            .unwrap();
+        check_sorted_permutation(&keys, &outcome.sorted).unwrap();
+    }
+
+    #[test]
+    fn survives_random_crash_storms() {
+        let keys = Workload::RandomPermutation.generate(32, 31);
+        for seed in 0..8 {
+            let sorter = PramSorter::new(SortConfig::new(8).seed(seed));
+            let plan = FailurePlan::random_crashes(8, 0.8, 200, seed);
+            let outcome = sorter
+                .sort_under(&keys, &mut SyncScheduler, &plan)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            check_sorted_permutation(&keys, &outcome.sorted)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn survives_crash_and_revive() {
+        let keys = Workload::Reverse.generate(24, 0);
+        let sorter = PramSorter::new(SortConfig::new(6));
+        let plan = FailurePlan::new()
+            .crash_at(10, Pid::new(0))
+            .crash_at(12, Pid::new(1))
+            .revive_at(300, Pid::new(0));
+        let outcome = sorter.sort_under(&keys, &mut SyncScheduler, &plan).unwrap();
+        check_sorted_permutation(&keys, &outcome.sorted).unwrap();
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let keys = Workload::UniformRandom.generate(40, 4);
+        let run = || {
+            let outcome = PramSorter::new(SortConfig::new(8).seed(99))
+                .sort(&keys)
+                .unwrap();
+            (outcome.sorted, outcome.report.metrics.cycles)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn p_equals_n_time_is_subquadratic() {
+        // Lemma 2.8 shape check: with P = N on random input, cycles grow
+        // ~log N per element, nothing like N^2.
+        let cycles = |n: usize| {
+            let keys = Workload::RandomPermutation.generate(n, 8);
+            PramSorter::new(SortConfig::new(n))
+                .sort(&keys)
+                .unwrap()
+                .report
+                .metrics
+                .cycles
+        };
+        let c64 = cycles(64);
+        let c256 = cycles(256);
+        assert!(
+            (c256 as f64) < (c64 as f64) * 3.0,
+            "time grew too fast: {c64} -> {c256}"
+        );
+    }
+}

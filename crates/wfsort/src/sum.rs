@@ -1,0 +1,296 @@
+//! Phase 2: subtree summation (Figure 5).
+//!
+//! Every processor traverses the pivot tree from the root, computing and
+//! recording the size of each subtree. A subtree whose size is already
+//! recorded is skipped — `size > 0` doubles as a completion marker, which
+//! is what makes the skip crash-safe: a size is only ever written *after*
+//! the whole subtree below it has been summed. Processors use the bits of
+//! their ID to pick which child to visit first (bit `d` at depth `d`),
+//! spreading `P` processors over `P` different subtrees within `log P`
+//! levels, which yields the `O(log P + N/P)` phase time of §2.3.
+//!
+//! The paper writes the routine recursively; this process carries an
+//! explicit frame stack so it can be suspended between any two memory
+//! operations.
+
+use pram::{Op, OpResult, Pid, Process, Word};
+
+use crate::layout::{ElementArrays, Side, EMPTY};
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Stage {
+    Enter,
+    AwaitSize,
+    AwaitChild1,
+    ReadChild2,
+    AwaitChild2,
+    WriteSize,
+    AwaitSizeWrite,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Frame {
+    node: usize,
+    depth: u32,
+    first: Side,
+    sum1: Word,
+    stage: Stage,
+}
+
+/// One processor executing `tree_sum(root, 0)` (Figure 5).
+#[derive(Debug)]
+pub struct TreeSumProcess {
+    arrays: ElementArrays,
+    pid: Pid,
+    stack: Vec<Frame>,
+    /// Value returned by the frame that just popped.
+    ret: Word,
+    started: bool,
+    root: usize,
+}
+
+impl TreeSumProcess {
+    /// Creates the summation process for `pid`, summing the tree rooted at
+    /// element `root`.
+    pub fn new(arrays: ElementArrays, pid: Pid, root: usize) -> Self {
+        TreeSumProcess {
+            arrays,
+            pid,
+            stack: Vec::new(),
+            ret: 0,
+            started: false,
+            root,
+        }
+    }
+
+    fn push(&mut self, node: usize, depth: u32) {
+        self.stack.push(Frame {
+            node,
+            depth,
+            first: Side::from_bit(self.pid.bit(depth)),
+            sum1: 0,
+            stage: Stage::Enter,
+        });
+    }
+}
+
+impl Process for TreeSumProcess {
+    fn step(&mut self, mut last: Option<OpResult>) -> Op {
+        if !self.started {
+            self.started = true;
+            self.push(self.root, 0);
+        }
+        loop {
+            let Some(frame) = self.stack.last_mut() else {
+                return Op::Halt;
+            };
+            match frame.stage {
+                Stage::Enter => {
+                    frame.stage = Stage::AwaitSize;
+                    return Op::Read(self.arrays.size(frame.node));
+                }
+                Stage::AwaitSize => {
+                    let v = last.take().expect("size read pending").read_value();
+                    if v > 0 {
+                        // Subtree already summed (by us earlier or by any
+                        // other processor): return it.
+                        self.ret = v;
+                        self.stack.pop();
+                        continue;
+                    }
+                    frame.stage = Stage::AwaitChild1;
+                    return Op::Read(self.arrays.child(frame.node, frame.first));
+                }
+                Stage::AwaitChild1 => {
+                    let c = last.take().expect("child read pending").read_value();
+                    frame.stage = Stage::ReadChild2;
+                    if c != EMPTY {
+                        let depth = frame.depth + 1;
+                        self.ret = 0;
+                        self.push(c as usize, depth);
+                        continue;
+                    }
+                    self.ret = 0;
+                }
+                Stage::ReadChild2 => {
+                    frame.sum1 = self.ret;
+                    frame.stage = Stage::AwaitChild2;
+                    return Op::Read(self.arrays.child(frame.node, frame.first.other()));
+                }
+                Stage::AwaitChild2 => {
+                    let c = last.take().expect("child read pending").read_value();
+                    frame.stage = Stage::WriteSize;
+                    if c != EMPTY {
+                        let depth = frame.depth + 1;
+                        self.ret = 0;
+                        self.push(c as usize, depth);
+                        continue;
+                    }
+                    self.ret = 0;
+                }
+                Stage::WriteSize => {
+                    // Entered either from AwaitChild2 (ret = 0, no second
+                    // child) or from a child frame popping (ret = its
+                    // sum). Stash the total in the frame so the write's
+                    // completion can return it.
+                    let total = frame.sum1 + self.ret + 1;
+                    frame.sum1 = total;
+                    let node = frame.node;
+                    frame.stage = Stage::AwaitSizeWrite;
+                    return Op::Write(self.arrays.size(node), total);
+                }
+                Stage::AwaitSizeWrite => {
+                    last.take();
+                    self.ret = frame.sum1;
+                    self.stack.pop();
+                }
+            }
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "tree-sum"
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use pram::{Machine, MemoryLayout, SyncScheduler};
+
+    /// Builds a pivot tree locally (same deterministic rule as phase 1)
+    /// and loads it into a machine's memory; returns (machine, arrays).
+    pub(crate) fn machine_with_tree(keys: &[Word], seed: u64) -> (Machine, ElementArrays) {
+        let n = keys.len();
+        let mut layout = MemoryLayout::new();
+        let arrays = ElementArrays::layout(&mut layout, n);
+        let mut machine = Machine::with_seed(layout.total(), seed);
+        arrays.load_keys(machine.memory_mut(), keys);
+        let mut small = vec![0i64; n + 1];
+        let mut big = vec![0i64; n + 1];
+        let mut parent = vec![0i64; n + 1];
+        for i in 2..=n {
+            let mut p = 1usize;
+            loop {
+                let slot = if crate::build::key_less(keys[i - 1], i, keys[p - 1], p) {
+                    &mut small
+                } else {
+                    &mut big
+                };
+                if slot[p] == 0 {
+                    slot[p] = i as i64;
+                    parent[i] = p as i64;
+                    break;
+                }
+                p = slot[p] as usize;
+            }
+        }
+        let base_small = arrays.child(1, Side::Small) - 1;
+        let base_big = arrays.child(1, Side::Big) - 1;
+        let base_parent = arrays.parent(1) - 1;
+        machine.memory_mut().load(base_small, &small);
+        machine.memory_mut().load(base_big, &big);
+        machine.memory_mut().load(base_parent, &parent);
+        (machine, arrays)
+    }
+
+    fn run_sum(keys: &[Word], nprocs: usize) -> (Machine, ElementArrays) {
+        let (mut machine, arrays) = machine_with_tree(keys, 7);
+        for i in 0..nprocs {
+            machine.add_process(Box::new(TreeSumProcess::new(arrays, Pid::new(i), 1)));
+        }
+        machine.run(&mut SyncScheduler, 10_000_000).unwrap();
+        (machine, arrays)
+    }
+
+    fn assert_sizes_consistent(machine: &Machine, arrays: &ElementArrays, n: usize) {
+        let mem = machine.memory();
+        assert_eq!(mem.read(arrays.size(1)), n as Word, "root size is N");
+        for i in 1..=n {
+            let small = mem.read(arrays.child(i, Side::Small)) as usize;
+            let big = mem.read(arrays.child(i, Side::Big)) as usize;
+            let s = |j: usize| if j == 0 { 0 } else { mem.read(arrays.size(j)) };
+            assert_eq!(
+                mem.read(arrays.size(i)),
+                s(small) + s(big) + 1,
+                "size invariant at element {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn sums_random_tree_single_processor() {
+        let keys: Vec<Word> = (0..31).map(|i| (i * 17) % 31).collect();
+        let (m, a) = run_sum(&keys, 1);
+        assert_sizes_consistent(&m, &a, 31);
+    }
+
+    #[test]
+    fn sums_random_tree_many_processors() {
+        let keys: Vec<Word> = (0..64).map(|i| (i * 29) % 64).collect();
+        let (m, a) = run_sum(&keys, 64);
+        assert_sizes_consistent(&m, &a, 64);
+    }
+
+    #[test]
+    fn sums_degenerate_spine() {
+        let keys: Vec<Word> = (0..16).collect();
+        let (m, a) = run_sum(&keys, 4);
+        assert_sizes_consistent(&m, &a, 16);
+        // On the right spine, size of element i is n - i + 1.
+        for i in 1..=16usize {
+            assert_eq!(m.memory().read(a.size(i)), (16 - i + 1) as Word);
+        }
+    }
+
+    #[test]
+    fn single_element_tree() {
+        let (m, a) = run_sum(&[42], 2);
+        assert_eq!(m.memory().read(a.size(1)), 1);
+    }
+
+    #[test]
+    fn pid_bits_split_processors_but_result_identical() {
+        let keys: Vec<Word> = (0..32).map(|i| (i * 11) % 32).collect();
+        let (m1, a1) = run_sum(&keys, 1);
+        let (m2, a2) = run_sum(&keys, 32);
+        for i in 1..=32usize {
+            assert_eq!(
+                m1.memory().read(a1.size(i)),
+                m2.memory().read(a2.size(i)),
+                "sizes must not depend on processor count"
+            );
+        }
+    }
+
+    #[test]
+    fn wait_free_step_bound_single_processor() {
+        // One processor alone sums the whole tree in O(N) operations.
+        let n = 64usize;
+        let keys: Vec<Word> = (0..n as Word).map(|i| (i * 23) % n as Word).collect();
+        let (mut machine, arrays) = machine_with_tree(&keys, 3);
+        machine.add_process(Box::new(TreeSumProcess::new(arrays, Pid::new(0), 1)));
+        let report = machine.run(&mut SyncScheduler, 1_000_000).unwrap();
+        assert!(
+            report.metrics.steps_per_process[0] <= (8 * n + 16) as u64,
+            "{} steps exceeds O(N)",
+            report.metrics.steps_per_process[0]
+        );
+    }
+
+    #[test]
+    fn crashed_processor_does_not_block_others() {
+        let keys: Vec<Word> = (0..32).map(|i| (i * 7) % 32).collect();
+        let (mut machine, arrays) = machine_with_tree(&keys, 9);
+        for i in 0..4 {
+            machine.add_process(Box::new(TreeSumProcess::new(arrays, Pid::new(i), 1)));
+        }
+        let plan = pram::failure::FailurePlan::new()
+            .crash_at(3, Pid::new(0))
+            .crash_at(5, Pid::new(1));
+        machine
+            .run_with_failures(&mut SyncScheduler, &plan, 1_000_000)
+            .unwrap();
+        assert_sizes_consistent(&machine, &arrays, 32);
+    }
+}

@@ -1,0 +1,276 @@
+//! Correctness checks shared by tests, property tests and experiments.
+
+use pram::{Memory, Word};
+
+use crate::build::key_less;
+use crate::layout::{ElementArrays, Side, EMPTY};
+
+/// Why an output failed verification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VerifyError {
+    /// Output length differs from input length.
+    LengthMismatch {
+        /// Input length.
+        expected: usize,
+        /// Output length.
+        actual: usize,
+    },
+    /// Adjacent output elements out of order at this index.
+    NotSorted {
+        /// Index `i` with `output[i] > output[i + 1]`.
+        index: usize,
+    },
+    /// Output is sorted but is not a permutation of the input.
+    NotPermutation,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::LengthMismatch { expected, actual } => {
+                write!(f, "output has {actual} elements, input had {expected}")
+            }
+            VerifyError::NotSorted { index } => {
+                write!(f, "output not sorted at index {index}")
+            }
+            VerifyError::NotPermutation => write!(f, "output is not a permutation of the input"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Checks that `output` is `input` sorted: same multiset, non-decreasing.
+///
+/// # Errors
+///
+/// Returns the first violated property.
+pub fn check_sorted_permutation(input: &[Word], output: &[Word]) -> Result<(), VerifyError> {
+    if input.len() != output.len() {
+        return Err(VerifyError::LengthMismatch {
+            expected: input.len(),
+            actual: output.len(),
+        });
+    }
+    if let Some(i) = output.windows(2).position(|w| w[0] > w[1]) {
+        return Err(VerifyError::NotSorted { index: i });
+    }
+    let mut sorted_input = input.to_vec();
+    sorted_input.sort_unstable();
+    if sorted_input != output {
+        return Err(VerifyError::NotPermutation);
+    }
+    Ok(())
+}
+
+/// Shape statistics of a pivot tree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TreeStats {
+    /// Number of reachable nodes.
+    pub nodes: usize,
+    /// Depth in edges (0 for a single node).
+    pub depth: usize,
+}
+
+/// Why a pivot tree failed validation (Lemma 2.5's invariants).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TreeError {
+    /// An element was reachable through two different paths.
+    DuplicateReference {
+        /// The doubly-referenced element.
+        element: usize,
+    },
+    /// The number of reachable nodes differs from `n`.
+    MissingNodes {
+        /// Reachable count.
+        reachable: usize,
+        /// Expected count.
+        expected: usize,
+    },
+    /// A child is on the wrong side of its parent's key.
+    OrderViolation {
+        /// The offending parent.
+        parent: usize,
+        /// The misplaced child.
+        child: usize,
+    },
+}
+
+impl std::fmt::Display for TreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TreeError::DuplicateReference { element } => {
+                write!(f, "element {element} referenced twice in the tree")
+            }
+            TreeError::MissingNodes {
+                reachable,
+                expected,
+            } => write!(f, "only {reachable} of {expected} elements reachable"),
+            TreeError::OrderViolation { parent, child } => {
+                write!(f, "child {child} on wrong side of parent {parent}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+/// Validates the pivot tree rooted at `root` (Lemma 2.5): every element
+/// reachable exactly once, and each child on the side its key dictates.
+///
+/// # Errors
+///
+/// Returns the first violated invariant.
+pub fn validate_pivot_tree(
+    memory: &Memory,
+    arrays: &ElementArrays,
+    root: usize,
+    n: usize,
+) -> Result<TreeStats, TreeError> {
+    let mut visited = vec![false; n + 1];
+    let mut max_depth = 0usize;
+    let mut count = 0usize;
+    // (node, depth) explicit stack.
+    let mut stack = vec![(root, 0usize)];
+    while let Some((node, depth)) = stack.pop() {
+        if visited[node] {
+            return Err(TreeError::DuplicateReference { element: node });
+        }
+        visited[node] = true;
+        count += 1;
+        max_depth = max_depth.max(depth);
+        let node_key = memory.read(arrays.key(node));
+        for side in [Side::Small, Side::Big] {
+            let c = memory.read(arrays.child(node, side));
+            if c == EMPTY {
+                continue;
+            }
+            let child = c as usize;
+            let child_key = memory.read(arrays.key(child));
+            let child_is_smaller = key_less(child_key, child, node_key, node);
+            let expected_side = if child_is_smaller {
+                Side::Small
+            } else {
+                Side::Big
+            };
+            if side != expected_side {
+                return Err(TreeError::OrderViolation {
+                    parent: node,
+                    child,
+                });
+            }
+            stack.push((child, depth + 1));
+        }
+    }
+    if count != n {
+        return Err(TreeError::MissingNodes {
+            reachable: count,
+            expected: n,
+        });
+    }
+    Ok(TreeStats {
+        nodes: count,
+        depth: max_depth,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pram::MemoryLayout;
+
+    #[test]
+    fn accepts_valid_sort() {
+        assert!(check_sorted_permutation(&[3, 1, 2], &[1, 2, 3]).is_ok());
+        assert!(check_sorted_permutation(&[], &[]).is_ok());
+        assert!(check_sorted_permutation(&[2, 2], &[2, 2]).is_ok());
+    }
+
+    #[test]
+    fn rejects_length_mismatch() {
+        assert_eq!(
+            check_sorted_permutation(&[1, 2], &[1]),
+            Err(VerifyError::LengthMismatch {
+                expected: 2,
+                actual: 1
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_unsorted() {
+        assert_eq!(
+            check_sorted_permutation(&[1, 2], &[2, 1]),
+            Err(VerifyError::NotSorted { index: 0 })
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_multiset() {
+        assert_eq!(
+            check_sorted_permutation(&[1, 2], &[1, 3]),
+            Err(VerifyError::NotPermutation)
+        );
+        // Sorted, right length, but an input value duplicated over another.
+        assert_eq!(
+            check_sorted_permutation(&[1, 2], &[1, 1]),
+            Err(VerifyError::NotPermutation)
+        );
+    }
+
+    fn arrays_with_tree(keys: &[Word], small: &[Word], big: &[Word]) -> (Memory, ElementArrays) {
+        let n = keys.len();
+        let mut l = MemoryLayout::new();
+        let arrays = ElementArrays::layout(&mut l, n);
+        let mut mem = Memory::new(l.total());
+        arrays.load_keys(&mut mem, keys);
+        mem.load(arrays.child(1, Side::Small) - 1, small);
+        mem.load(arrays.child(1, Side::Big) - 1, big);
+        (mem, arrays)
+    }
+
+    #[test]
+    fn validates_correct_tree() {
+        // keys: element1=2, element2=1, element3=3; tree: 1 at root,
+        // small child 2, big child 3.
+        let (mem, arrays) = arrays_with_tree(&[2, 1, 3], &[0, 2, 0, 0], &[0, 3, 0, 0]);
+        let stats = validate_pivot_tree(&mem, &arrays, 1, 3).unwrap();
+        assert_eq!(stats, TreeStats { nodes: 3, depth: 1 });
+    }
+
+    #[test]
+    fn detects_order_violation() {
+        // element3 (key 3) placed as SMALL child of element1 (key 2).
+        let (mem, arrays) = arrays_with_tree(&[2, 1, 3], &[0, 3, 0, 0], &[0, 2, 0, 0]);
+        assert_eq!(
+            validate_pivot_tree(&mem, &arrays, 1, 3),
+            Err(TreeError::OrderViolation {
+                parent: 1,
+                child: 3
+            })
+        );
+    }
+
+    #[test]
+    fn detects_missing_nodes() {
+        let (mem, arrays) = arrays_with_tree(&[2, 1, 3], &[0, 2, 0, 0], &[0, 0, 0, 0]);
+        assert_eq!(
+            validate_pivot_tree(&mem, &arrays, 1, 3),
+            Err(TreeError::MissingNodes {
+                reachable: 2,
+                expected: 3
+            })
+        );
+    }
+
+    #[test]
+    fn detects_duplicate_reference() {
+        // element2 is both small and big child of the root.
+        let (mem, arrays) = arrays_with_tree(&[2, 1, 3], &[0, 2, 0, 0], &[0, 2, 0, 0]);
+        let err = validate_pivot_tree(&mem, &arrays, 1, 3).unwrap_err();
+        assert!(matches!(
+            err,
+            TreeError::DuplicateReference { element: 2 } | TreeError::OrderViolation { .. }
+        ));
+    }
+}

@@ -1,0 +1,211 @@
+//! Input distributions for experiments and tests.
+//!
+//! Lemma 2.8 assumes "the elements in the initial array are in random
+//! order"; the randomized allocation of §2.3 removes that assumption.
+//! These generators produce both the benign distributions and the
+//! adversarial ones (pre-sorted, sawtooth) that separate the two
+//! strategies — experiment E12.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use pram::Word;
+
+/// A named input distribution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Workload {
+    /// Independent uniform values in `0..n` (duplicates likely).
+    UniformRandom,
+    /// A random permutation of `0..n` (distinct keys, random order — the
+    /// paper's Lemma 2.8 setting).
+    RandomPermutation,
+    /// Already sorted ascending — worst case for deterministic Quicksort
+    /// tree depth.
+    Sorted,
+    /// Sorted descending.
+    Reverse,
+    /// Only `k` distinct values, shuffled.
+    FewDistinct(usize),
+    /// Repeating ascending runs of the given period.
+    Sawtooth(usize),
+    /// Ascends to the middle then descends (organ pipe).
+    OrganPipe,
+    /// Every key identical — stresses the index tie-break.
+    AllEqual,
+    /// Sorted ascending, then perturbed by the given number of random
+    /// adjacent-ish swaps — the "almost sorted" regime between the
+    /// benign permutation and the adversarial sorted input.
+    NearlySorted(usize),
+}
+
+impl Workload {
+    /// Generates `n` keys, deterministically from `seed`.
+    pub fn generate(&self, n: usize, seed: u64) -> Vec<Word> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match *self {
+            Workload::UniformRandom => (0..n).map(|_| rng.gen_range(0..n.max(1) as Word)).collect(),
+            Workload::RandomPermutation => {
+                let mut v: Vec<Word> = (0..n as Word).collect();
+                v.shuffle(&mut rng);
+                v
+            }
+            Workload::Sorted => (0..n as Word).collect(),
+            Workload::Reverse => (0..n as Word).rev().collect(),
+            Workload::FewDistinct(k) => {
+                let k = k.max(1) as Word;
+                (0..n).map(|_| rng.gen_range(0..k)).collect()
+            }
+            Workload::Sawtooth(period) => {
+                let period = period.max(1);
+                (0..n).map(|i| (i % period) as Word).collect()
+            }
+            Workload::OrganPipe => (0..n)
+                .map(|i| if i < n / 2 { i } else { n - i } as Word)
+                .collect(),
+            Workload::AllEqual => vec![7; n],
+            Workload::NearlySorted(swaps) => {
+                let mut v: Vec<Word> = (0..n as Word).collect();
+                if n >= 2 {
+                    for _ in 0..swaps {
+                        let i = rng.gen_range(0..n - 1);
+                        v.swap(i, i + 1);
+                    }
+                }
+                v
+            }
+        }
+    }
+
+    /// A short stable name for tables and bench IDs.
+    pub fn name(&self) -> &'static str {
+        match *self {
+            Workload::UniformRandom => "uniform",
+            Workload::RandomPermutation => "permutation",
+            Workload::Sorted => "sorted",
+            Workload::Reverse => "reverse",
+            Workload::FewDistinct(_) => "few-distinct",
+            Workload::Sawtooth(_) => "sawtooth",
+            Workload::OrganPipe => "organ-pipe",
+            Workload::AllEqual => "all-equal",
+            Workload::NearlySorted(_) => "nearly-sorted",
+        }
+    }
+
+    /// Looks a workload up by its [`Workload::name`] (parameterized
+    /// variants get library defaults). Returns `None` for unknown names.
+    pub fn by_name(name: &str) -> Option<Workload> {
+        Some(match name {
+            "uniform" => Workload::UniformRandom,
+            "permutation" => Workload::RandomPermutation,
+            "sorted" => Workload::Sorted,
+            "reverse" => Workload::Reverse,
+            "few-distinct" => Workload::FewDistinct(4),
+            "sawtooth" => Workload::Sawtooth(8),
+            "organ-pipe" => Workload::OrganPipe,
+            "all-equal" => Workload::AllEqual,
+            "nearly-sorted" => Workload::NearlySorted(8),
+            _ => return None,
+        })
+    }
+
+    /// The standard suite used by tests and experiments.
+    pub fn all() -> Vec<Workload> {
+        vec![
+            Workload::UniformRandom,
+            Workload::RandomPermutation,
+            Workload::Sorted,
+            Workload::Reverse,
+            Workload::FewDistinct(4),
+            Workload::Sawtooth(8),
+            Workload::OrganPipe,
+            Workload::AllEqual,
+            Workload::NearlySorted(8),
+        ]
+    }
+}
+
+impl std::fmt::Display for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_produce_requested_length() {
+        for w in Workload::all() {
+            assert_eq!(w.generate(33, 1).len(), 33, "{w}");
+            assert_eq!(w.generate(0, 1).len(), 0, "{w}");
+        }
+    }
+
+    #[test]
+    fn permutation_contains_each_value_once() {
+        let mut v = Workload::RandomPermutation.generate(100, 5);
+        v.sort_unstable();
+        assert_eq!(v, (0..100).collect::<Vec<Word>>());
+    }
+
+    #[test]
+    fn sorted_and_reverse_are_monotone() {
+        let s = Workload::Sorted.generate(10, 0);
+        assert!(s.windows(2).all(|w| w[0] <= w[1]));
+        let r = Workload::Reverse.generate(10, 0);
+        assert!(r.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn few_distinct_respects_bound() {
+        let v = Workload::FewDistinct(3).generate(50, 2);
+        assert!(v.iter().all(|&x| (0..3).contains(&x)));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        for w in Workload::all() {
+            assert_eq!(w.generate(20, 9), w.generate(20, 9), "{w}");
+        }
+    }
+
+    #[test]
+    fn organ_pipe_peaks_in_middle() {
+        let v = Workload::OrganPipe.generate(10, 0);
+        let max = *v.iter().max().unwrap();
+        assert_eq!(v[4].max(v[5]), max);
+        assert!(v[0] < max && v[9] < max);
+    }
+
+    #[test]
+    fn nearly_sorted_is_a_perturbed_identity() {
+        let v = Workload::NearlySorted(5).generate(50, 3);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<Word>>());
+        // At most 2 * swaps positions moved.
+        let displaced = v
+            .iter()
+            .enumerate()
+            .filter(|&(i, &x)| x != i as Word)
+            .count();
+        assert!(displaced <= 10, "too many displaced: {displaced}");
+    }
+
+    #[test]
+    fn by_name_roundtrips_every_suite_member() {
+        for w in Workload::all() {
+            let back = Workload::by_name(w.name()).unwrap_or_else(|| panic!("{w}"));
+            assert_eq!(back.name(), w.name());
+        }
+        assert_eq!(Workload::by_name("nope"), None);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Workload::Sawtooth(8).name(), "sawtooth");
+        assert_eq!(Workload::AllEqual.to_string(), "all-equal");
+    }
+}

@@ -1,0 +1,59 @@
+//! The introduction's motivating scenario: sorting in the background of
+//! other work, with threads reaped when their processor is needed
+//! elsewhere and fresh threads spawned when processors free up.
+//!
+//! A `SortJob` is shared state; *any* thread can join, contribute for a
+//! while, and leave — the data structures are never left in a state
+//! others cannot finish from.
+//!
+//! Run: `cargo run --release --example background_sort`
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use wait_free_sort::wfsort_native::{RunToCompletion, SortJob, UntilFlag};
+
+fn main() {
+    let n = 2_000_000;
+    let keys: Vec<u64> = (0..n).map(|i| (i * 2_654_435_761u64) % 1_000_003).collect();
+    let mut expect = keys.clone();
+    expect.sort_unstable();
+
+    let job = SortJob::new(keys);
+    let reap = AtomicBool::new(false);
+
+    crossbeam::thread::scope(|s| {
+        // Phase 1 of the scenario: four background threads start sorting.
+        for i in 0..4 {
+            let job = &job;
+            let reap = &reap;
+            s.spawn(move |_| {
+                let mut p = UntilFlag::new(reap);
+                job.participate(&mut p);
+                println!("worker {i}: reaped (complete: {})", job.is_complete());
+            });
+        }
+
+        // The "OS" suddenly needs those processors: reap all four.
+        std::thread::sleep(Duration::from_millis(2));
+        reap.store(true, Ordering::Relaxed);
+        println!("-- all four background workers reaped mid-sort --");
+
+        // Later, two processors free up: spawn fresh threads. They pick
+        // up exactly where the casualties left off.
+        std::thread::sleep(Duration::from_millis(1));
+        for i in 4..6 {
+            let job = &job;
+            s.spawn(move |_| {
+                job.participate(&mut RunToCompletion);
+                println!("worker {i}: finished participation");
+            });
+        }
+    })
+    .expect("workers do not panic");
+
+    assert!(job.is_complete());
+    let sorted = job.into_sorted();
+    assert_eq!(sorted, expect);
+    println!("sorted {n} keys correctly despite reaping every original worker");
+}

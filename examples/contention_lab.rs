@@ -1,0 +1,55 @@
+//! Contention lab: watch the paper's §3 machinery earn its keep.
+//!
+//! Sorts the same input with the deterministic §2 algorithm and the
+//! low-contention §3 algorithm and prints where each one's worst
+//! memory-cell pile-up happened.
+//!
+//! Run: `cargo run --release --example contention_lab [N]`
+//! (N must be 4^k; default 256)
+
+use wait_free_sort::wfsort::low_contention::LowContentionSorter;
+use wait_free_sort::wfsort::{PramSorter, SortConfig, Workload};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(256);
+    if !LowContentionSorter::supports_length(n) {
+        eprintln!("N must be 4^k (4, 16, 64, 256, 1024, 4096, ...); got {n}");
+        std::process::exit(1);
+    }
+    let keys = Workload::RandomPermutation.generate(n, 1);
+
+    let det = PramSorter::new(SortConfig::new(n))
+        .sort(&keys)
+        .expect("sort completes");
+    let lc = LowContentionSorter::default()
+        .sort(&keys)
+        .expect("sort completes");
+    assert_eq!(det.sorted, lc.sorted, "both sorts agree");
+
+    println!("N = P = {n}, sqrt(P) = {}", (n as f64).sqrt() as usize);
+    for (name, outcome) in [("deterministic (§2)", &det), ("low-contention (§3)", &lc)] {
+        let m = &outcome.report.metrics;
+        let peak = m
+            .peak
+            .map(|(cycle, cell, c)| format!("{c} processors on cell {cell} at cycle {cycle}"))
+            .unwrap_or_else(|| "none".into());
+        println!(
+            "  {name:<20} cycles {:>6}  ops {:>8}  max contention {:>5}  \
+             stalls/cycle {:>8.1}  peak: {peak}",
+            m.cycles,
+            m.total_ops,
+            m.max_contention,
+            m.amortized_stalls_per_cycle(),
+        );
+    }
+    println!(
+        "\nThe deterministic variant piles all {n} processors onto the root \
+         at the start (contention ~ P); the group/winner/fat-tree pipeline \
+         caps the pile-up near sqrt(P). The low-contention run spends more \
+         cycles — that is the paper's trade: an additive log factor of time \
+         for a sqrt(P) contention bound."
+    );
+}

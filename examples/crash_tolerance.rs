@@ -1,0 +1,65 @@
+//! Wait-freedom under an adversary: crash almost every simulated
+//! processor at adversarially chosen moments (including mid-CAS-protocol
+//! and mid-placement), revive one later, and watch the sort finish
+//! correctly every time.
+//!
+//! Run: `cargo run --release --example crash_tolerance`
+
+use wait_free_sort::pram::{failure::FailurePlan, Pid, SingleStepScheduler, SyncScheduler};
+use wait_free_sort::wfsort::{check_sorted_permutation, PramSorter, SortConfig, Workload};
+
+fn main() {
+    let n = 512;
+    let p = 16;
+    let keys = Workload::UniformRandom.generate(n, 3);
+
+    // Scenario 1: a staggered massacre — processors die one by one at
+    // 25-cycle intervals until only processor 0 survives.
+    let mut plan = FailurePlan::new();
+    for v in 1..p {
+        plan = plan.crash_at(25 * v as u64, Pid::new(v));
+    }
+    let outcome = PramSorter::new(SortConfig::new(p))
+        .sort_under(&keys, &mut SyncScheduler, &plan)
+        .expect("one survivor suffices");
+    check_sorted_permutation(&keys, &outcome.sorted).expect("correct output");
+    println!(
+        "staggered massacre: sorted, {} cycles (vs {} with no failures)",
+        outcome.report.metrics.cycles,
+        PramSorter::new(SortConfig::new(p))
+            .sort(&keys)
+            .unwrap()
+            .report
+            .metrics
+            .cycles
+    );
+
+    // Scenario 2: fail-and-revive — undetectable restarts (§1.1's model).
+    let plan = FailurePlan::new()
+        .crash_at(40, Pid::new(1))
+        .crash_at(45, Pid::new(2))
+        .revive_at(400, Pid::new(1))
+        .revive_at(800, Pid::new(2));
+    let outcome = PramSorter::new(SortConfig::new(4))
+        .sort_under(&keys, &mut SyncScheduler, &plan)
+        .expect("revivals are harmless");
+    check_sorted_permutation(&keys, &outcome.sorted).expect("correct output");
+    println!(
+        "fail-and-revive:    sorted, {} cycles; revived processors resumed mid-program",
+        outcome.report.metrics.cycles
+    );
+
+    // Scenario 3: total asynchrony — one operation per cycle, round-robin
+    // (every single-core interleaving is a subsequence of this), plus a
+    // random crash storm on top.
+    let storm = FailurePlan::random_crashes(8, 0.75, 5_000, 99);
+    let outcome = PramSorter::new(SortConfig::new(8))
+        .sort_under(&keys, &mut SingleStepScheduler::new(), &storm)
+        .expect("asynchrony cannot block a wait-free algorithm");
+    check_sorted_permutation(&keys, &outcome.sorted).expect("correct output");
+    println!(
+        "sequential+storm:   sorted, {} cycles, {} of 8 processors crashed",
+        outcome.report.metrics.cycles,
+        storm.crash_victims()
+    );
+}

@@ -1,0 +1,196 @@
+//! A command-line playground for the simulated algorithms: pick a
+//! sorter, a workload, sizes and a failure story, and see the paper's
+//! metrics for that run.
+//!
+//! Usage:
+//!   cargo run --release --example pram_playground -- \
+//!       [--sorter det|rand|lc|net|uni] [--workload NAME] \
+//!       [--n N] [--p P] [--seed S] [--crash FRACTION] \
+//!       [--model crcw|crew|erew] [--trace K]
+//!
+//! Workloads: uniform permutation sorted reverse few-distinct sawtooth
+//! organ-pipe all-equal
+//!
+//! `--model crew|erew` enforces a stricter PRAM model (the run aborts at
+//! the first violation — the paper's algorithms need CRCW, so expect
+//! violations with P >= 2); `--trace K` dumps the last K executed
+//! operations. Both only apply to `--sorter det|rand` (the entry points
+//! that expose the machine).
+
+use wait_free_sort::baselines::{SimulatedNetworkSorter, UniversalSorter};
+use wait_free_sort::pram::{failure::FailurePlan, RunReport, SyncScheduler};
+use wait_free_sort::wfsort::low_contention::LowContentionSorter;
+use wait_free_sort::wfsort::{
+    check_sorted_permutation, Allocation, PramSorter, SortConfig, Workload,
+};
+
+struct Args {
+    sorter: String,
+    workload: String,
+    n: usize,
+    p: usize,
+    seed: u64,
+    crash: f64,
+    model: String,
+    trace: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        sorter: "det".into(),
+        workload: "permutation".into(),
+        n: 256,
+        p: 16,
+        seed: 1,
+        crash: 0.0,
+        model: "crcw".into(),
+        trace: 0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let value = it.next().unwrap_or_else(|| {
+            eprintln!("missing value for {flag}");
+            std::process::exit(2);
+        });
+        match flag.as_str() {
+            "--sorter" => args.sorter = value,
+            "--workload" => args.workload = value,
+            "--n" => args.n = value.parse().expect("--n takes a number"),
+            "--p" => args.p = value.parse().expect("--p takes a number"),
+            "--seed" => args.seed = value.parse().expect("--seed takes a number"),
+            "--crash" => args.crash = value.parse().expect("--crash takes a fraction"),
+            "--model" => args.model = value,
+            "--trace" => args.trace = value.parse().expect("--trace takes a count"),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn workload_by_name(name: &str) -> Workload {
+    Workload::by_name(name).unwrap_or_else(|| {
+        eprintln!("unknown workload {name}");
+        std::process::exit(2);
+    })
+}
+
+fn print_report(name: &str, report: &RunReport) {
+    let m = &report.metrics;
+    println!("sorter:            {name}");
+    println!("cycles:            {}", m.cycles);
+    println!(
+        "memory operations: {} ({} reads, {} writes, {} CAS)",
+        m.total_ops, m.reads, m.writes, m.cas_ops
+    );
+    println!("max contention:    {}", m.max_contention);
+    if let Some((cycle, cell, count)) = m.peak {
+        println!("worst pile-up:     {count} processors on cell {cell} at cycle {cycle}");
+    }
+    println!("stalls/cycle:      {:.2}", m.amortized_stalls_per_cycle());
+    println!("QRQW time:         {}", m.qrqw_time);
+    println!("max steps/proc:    {}", m.max_steps_per_process());
+    println!("halted / crashed:  {} / {}", report.halted, report.crashed);
+}
+
+fn main() {
+    let args = parse_args();
+    let keys = workload_by_name(&args.workload).generate(args.n, args.seed);
+    let plan = if args.crash > 0.0 {
+        FailurePlan::random_crashes(args.p, args.crash, 500, args.seed)
+    } else {
+        FailurePlan::new()
+    };
+    println!(
+        "N = {}, P = {}, workload = {}, seed = {}, crash fraction = {}\n",
+        args.n, args.p, args.workload, args.seed, args.crash
+    );
+
+    let report = match args.sorter.as_str() {
+        "det" | "rand" => {
+            let allocation = if args.sorter == "rand" {
+                Allocation::Randomized
+            } else {
+                Allocation::Deterministic
+            };
+            let sorter = PramSorter::new(
+                SortConfig::new(args.p)
+                    .seed(args.seed)
+                    .allocation(allocation),
+            );
+            // Drive the machine directly so --model / --trace apply.
+            let mut prepared = sorter.prepare(&keys);
+            match args.model.as_str() {
+                "crcw" => {}
+                "crew" => prepared
+                    .machine
+                    .enforce_model(wait_free_sort::pram::ModelPolicy::Crew),
+                "erew" => prepared
+                    .machine
+                    .enforce_model(wait_free_sort::pram::ModelPolicy::Erew),
+                other => {
+                    eprintln!("unknown model {other} (crcw|crew|erew)");
+                    std::process::exit(2);
+                }
+            }
+            if args.trace > 0 {
+                prepared.machine.record_trace(args.trace);
+            }
+            let result =
+                prepared
+                    .machine
+                    .run_with_failures(&mut SyncScheduler, &plan, prepared.budget);
+            if args.trace > 0 {
+                println!("--- last {} operations ---", args.trace);
+                print!("{}", prepared.machine.trace().unwrap().dump());
+                println!("--------------------------\n");
+            }
+            match result {
+                Ok(report) => {
+                    let out = prepared.layout.read_output(prepared.machine.memory());
+                    check_sorted_permutation(&keys, &out).expect("sorted");
+                    report
+                }
+                Err(e) => {
+                    println!("run aborted: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        "lc" => {
+            let outcome = if args.p == args.n {
+                LowContentionSorter::default().sort(&keys)
+            } else {
+                LowContentionSorter::default().sort_with_processors(&keys, args.p)
+            }
+            .unwrap_or_else(|e| {
+                eprintln!("low-contention sorter: {e}");
+                std::process::exit(2);
+            });
+            check_sorted_permutation(&keys, &outcome.sorted).expect("sorted");
+            outcome.report
+        }
+        "net" => {
+            let outcome = SimulatedNetworkSorter::new(args.p)
+                .sort_under(&keys, &mut SyncScheduler, &plan)
+                .expect("wait-free: completes");
+            check_sorted_permutation(&keys, &outcome.sorted).expect("sorted");
+            outcome.report
+        }
+        "uni" => {
+            let outcome = UniversalSorter::new(args.p.min(64))
+                .sort_under(&keys, &mut SyncScheduler, &plan)
+                .expect("wait-free: completes");
+            check_sorted_permutation(&keys, &outcome.sorted).expect("sorted");
+            outcome.report
+        }
+        other => {
+            eprintln!("unknown sorter {other} (det|rand|lc|net|uni)");
+            std::process::exit(2);
+        }
+    };
+    print_report(&args.sorter, &report);
+    println!("\noutput verified: sorted permutation of the input");
+}

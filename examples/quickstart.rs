@@ -1,0 +1,47 @@
+//! Quickstart: the wait-free sort on native threads and on the simulated
+//! CRCW PRAM.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use wait_free_sort::wfsort::{PramSorter, SortConfig, Workload};
+use wait_free_sort::wfsort_native::WaitFreeSorter;
+
+fn main() {
+    // --- Native threads: sort a million keys with 8 workers. ---------
+    let data: Vec<u64> = Workload::UniformRandom
+        .generate(1_000_000, 42)
+        .into_iter()
+        .map(|k| k as u64)
+        .collect();
+    let sorter = WaitFreeSorter::new(8);
+    let start = std::time::Instant::now();
+    let sorted = sorter.sort(&data);
+    println!(
+        "native: sorted {} keys with {} threads in {:.1} ms",
+        sorted.len(),
+        sorter.threads(),
+        start.elapsed().as_secs_f64() * 1e3
+    );
+    assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+
+    // --- Simulated CRCW PRAM: the paper's cost model, measured. ------
+    // P = N = 256 processors; the simulator counts cycles, work and the
+    // paper's contention metric exactly.
+    let keys = Workload::RandomPermutation.generate(256, 7);
+    let outcome = PramSorter::new(SortConfig::new(256))
+        .sort(&keys)
+        .expect("wait-free: always completes");
+    assert!(outcome.sorted.windows(2).all(|w| w[0] <= w[1]));
+    let m = &outcome.report.metrics;
+    println!(
+        "pram:   N = P = 256 -> {} cycles ({}x log2 N), {} memory ops, max contention {}",
+        m.cycles,
+        m.cycles / 8,
+        m.total_ops,
+        m.max_contention
+    );
+    println!(
+        "        (the paper: O(log N) cycles at P = N, O(P) contention for the \
+         deterministic variant — see examples/contention_lab.rs for the O(sqrt P) one)"
+    );
+}

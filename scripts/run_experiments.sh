@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Regenerates every experiment table in EXPERIMENTS.md.
+#
+# Usage: scripts/run_experiments.sh [output-dir]
+#
+# Markdown goes to <output-dir>/eNN.txt and, because BENCH_OUTPUT_DIR is
+# set, each table is also written as CSV alongside it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-experiment-results}"
+mkdir -p "$out"
+export BENCH_OUTPUT_DIR="$out"
+
+bins=(
+  e1_wat_steps
+  e2_writeall_time
+  e3_buildtree_bound
+  e5_runtime_scaling
+  e6_contention
+  e7_lcwat
+  e8_winner
+  e9_failures
+  e10_vs_simulation
+  e11_native_threads
+  e12_presorted
+  e13_qrqw_time
+  e14_ablations
+  e15_async_work
+  e16_weak_adversary
+  e17_universal
+  e18_timeline
+  e19_phase_breakdown
+  e20_workload_sweep
+  e21_counting
+)
+
+cargo build --release -p bench
+for b in "${bins[@]}"; do
+  echo "=== $b ==="
+  cargo run --release -q -p bench --bin "$b" | tee "$out/$b.txt"
+done
+echo
+echo "All experiment outputs in $out/"

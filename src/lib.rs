@@ -1,0 +1,34 @@
+//! Umbrella crate for the reproduction of *"A Wait-Free Sorting
+//! Algorithm"* (Shavit, Upfal, Zemach; PODC 1997).
+//!
+//! This facade re-exports every workspace crate so the examples in
+//! `examples/` and the integration tests in `tests/` can use one coherent
+//! namespace:
+//!
+//! * [`pram`] — cycle-accurate CRCW PRAM simulator with contention
+//!   metering, schedulers and failure injection.
+//! * [`wat`] — work-assignment structures: WATs (write-all), LC-WATs,
+//!   winner selection and write-most.
+//! * [`wfsort`] — the paper's three-phase wait-free sort on the PRAM
+//!   model, deterministic, randomized and low-contention variants.
+//! * [`wfsort_native`] — the same algorithm on real threads with std
+//!   atomics.
+//! * [`baselines`] — the algorithms the paper compares against.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use wait_free_sort::wfsort_native::WaitFreeSorter;
+//!
+//! let data: Vec<u64> = (0..1000).rev().collect();
+//! let sorted = WaitFreeSorter::new(4).sort(&data);
+//! assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use baselines;
+pub use pram;
+pub use wat;
+pub use wfsort;
+pub use wfsort_native;

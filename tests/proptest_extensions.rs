@@ -1,0 +1,132 @@
+//! Property-based tests for the extension components: the P < N
+//! low-contention sort, the universal-construction baseline, and
+//! arbitrary adversarial schedules driven by proptest-generated masks.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use wait_free_sort::baselines::UniversalSorter;
+use wait_free_sort::pram::{failure::FailurePlan, AdversaryScheduler, Pid};
+use wait_free_sort::wfsort::low_contention::LowContentionSorter;
+use wait_free_sort::wfsort::{check_sorted_permutation, PramSorter, SortConfig};
+use wait_free_sort::wfsort_native::AtomicLcWat;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// P < N low-contention sort across valid (N, P) combinations.
+    #[test]
+    fn lc_sort_p_ne_n(
+        k in 1u32..3,           // P = 4^k in {4, 16}
+        mult in 1usize..6,      // N = mult * sqrt(P) * something
+        seed in 0u64..100,
+    ) {
+        let p = 4usize.pow(k);
+        let gp = 1usize << (p.trailing_zeros() / 2);
+        let n = (p + mult * gp).max(p); // >= P and divisible by sqrt(P)
+        prop_assume!(LowContentionSorter::supports(n, p));
+        let keys: Vec<i64> = (0..n)
+            .map(|i| ((i as u64).wrapping_mul(seed * 2 + 3) % 53) as i64)
+            .collect();
+        let outcome = LowContentionSorter::default()
+            .sort_with_processors(&keys, p)
+            .unwrap();
+        prop_assert!(check_sorted_permutation(&keys, &outcome.sorted).is_ok());
+    }
+
+    /// Universal-construction baseline: sorted permutation for arbitrary
+    /// inputs and processor counts.
+    #[test]
+    fn universal_sorter_contract(
+        keys in vec(-50i64..50, 0..40),
+        nprocs in 1usize..10,
+    ) {
+        let outcome = UniversalSorter::new(nprocs).sort(&keys).unwrap();
+        prop_assert!(check_sorted_permutation(&keys, &outcome.sorted).is_ok());
+    }
+
+    /// Arbitrary adversarial schedules: a proptest-generated bitmask per
+    /// cycle decides who steps; as long as the pattern repeats (so
+    /// everyone eventually moves), the sort completes correctly.
+    #[test]
+    fn sort_under_arbitrary_repeating_masks(
+        keys in vec(0i64..100, 4..40),
+        masks in vec(1u8..=255, 1..16),
+        seed in 0u64..50,
+    ) {
+        let p = 8;
+        let sorter = PramSorter::new(SortConfig::new(p).seed(seed));
+        let masks2 = masks.clone();
+        let mut sched = AdversaryScheduler::new(move |cycle, runnable: &[Pid]| {
+            let mask = masks2[(cycle as usize) % masks2.len()];
+            let picked: Vec<Pid> = runnable
+                .iter()
+                .copied()
+                .filter(|pid| mask >> (pid.index() % 8) & 1 == 1)
+                .collect();
+            if picked.is_empty() {
+                // Keep the schedule fair: step the first runnable.
+                runnable.first().copied().into_iter().collect()
+            } else {
+                picked
+            }
+        });
+        let outcome = sorter
+            .sort_under(&keys, &mut sched, &FailurePlan::new())
+            .unwrap();
+        prop_assert!(check_sorted_permutation(&keys, &outcome.sorted).is_ok());
+    }
+
+    /// Native LC-WAT executes every job for arbitrary job counts and
+    /// deserter patterns with one persistent participant.
+    #[test]
+    fn atomic_lcwat_with_random_deserters(
+        jobs in 1usize..150,
+        budgets in vec(1usize..60, 0..5),
+    ) {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let wat = AtomicLcWat::new(jobs);
+        let counts: Vec<AtomicUsize> = (0..jobs).map(|_| AtomicUsize::new(0)).collect();
+        crossbeam::thread::scope(|s| {
+            for (t, budget) in budgets.iter().enumerate() {
+                let wat = &wat;
+                let counts = &counts;
+                let mut b = *budget;
+                s.spawn(move |_| {
+                    wat.participate(t as u64 + 1, |j| {
+                        counts[j].fetch_add(1, Ordering::Relaxed);
+                    }, move || { b = b.saturating_sub(1); b > 0 });
+                });
+            }
+            let wat = &wat;
+            let counts = &counts;
+            s.spawn(move |_| {
+                wat.participate(0, |j| {
+                    counts[j].fetch_add(1, Ordering::Relaxed);
+                }, || true);
+            });
+        }).unwrap();
+        prop_assert!(wat.all_done());
+        prop_assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) >= 1));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Crash plans against the LC sorter at P = N = 16.
+    #[test]
+    fn lc_sort_under_crash_plans(
+        fraction in 0.0f64..0.95,
+        horizon in 50u64..800,
+        seed in 0u64..50,
+    ) {
+        let n = 16;
+        let keys: Vec<i64> = (0..n).map(|i| ((i * 7) % 16) as i64).collect();
+        let plan = FailurePlan::random_crashes(n, fraction, horizon, seed);
+        let outcome = LowContentionSorter::default()
+            .sort_under(&keys, &mut wait_free_sort::pram::SyncScheduler, &plan)
+            .unwrap();
+        prop_assert!(check_sorted_permutation(&keys, &outcome.sorted).is_ok());
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests of the simulator itself: for randomly generated
+//! programs, the machine's metrics must satisfy their defining
+//! invariants, traces must match the counters, and runs must be
+//! reproducible.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use wait_free_sort::pram::{
+    FnProcess, Machine, Op, OpResult, Pid, Process, SingleStepScheduler, SyncScheduler,
+};
+
+/// A compact program description: a list of ops each process executes in
+/// order (Halt appended implicitly).
+#[derive(Clone, Debug)]
+enum MiniOp {
+    Read(usize),
+    Write(usize, i64),
+    Cas(usize, i64, i64),
+    Nop,
+}
+
+fn mini_op_strategy(cells: usize) -> impl Strategy<Value = MiniOp> {
+    prop_oneof![
+        (0..cells).prop_map(MiniOp::Read),
+        (0..cells, -5i64..5).prop_map(|(a, v)| MiniOp::Write(a, v)),
+        (0..cells, -5i64..5, -5i64..5).prop_map(|(a, e, n)| MiniOp::Cas(a, e, n)),
+        Just(MiniOp::Nop),
+    ]
+}
+
+/// Builds a process that executes `script` then halts.
+fn scripted(script: Vec<MiniOp>) -> Box<dyn Process> {
+    let mut index = 0;
+    Box::new(FnProcess::new(move |_last: Option<OpResult>| {
+        if index >= script.len() {
+            return Op::Halt;
+        }
+        let op = match script[index] {
+            MiniOp::Read(a) => Op::Read(a),
+            MiniOp::Write(a, v) => Op::Write(a, v),
+            MiniOp::Cas(a, e, n) => Op::Cas {
+                addr: a,
+                expected: e,
+                new: n,
+            },
+            MiniOp::Nop => Op::Nop,
+        };
+        index += 1;
+        op
+    }))
+}
+
+const CELLS: usize = 8;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Metrics invariants for arbitrary programs under the synchronous
+    /// scheduler.
+    #[test]
+    fn metrics_invariants_hold(
+        programs in vec(vec(mini_op_strategy(CELLS), 0..20), 1..6),
+        seed in 0u64..1000,
+    ) {
+        let nprocs = programs.len();
+        let total_script_ops: usize = programs.iter().flatten().filter(|o| !matches!(o, MiniOp::Nop)).count();
+        let mut m = Machine::with_seed(CELLS, seed);
+        for p in programs {
+            m.add_process(scripted(p));
+        }
+        let report = m.run(&mut SyncScheduler, 10_000).expect("scripts terminate");
+
+        let met = &report.metrics;
+        // Work decomposition.
+        prop_assert_eq!(met.total_ops, met.reads + met.writes + met.cas_ops);
+        // Every non-Nop scripted op executed exactly once.
+        prop_assert_eq!(met.total_ops, total_script_ops as u64);
+        // Contention can never exceed the processor count, and the
+        // histogram over cycles must sum to the cycle count.
+        prop_assert!(met.max_contention <= nprocs);
+        prop_assert_eq!(
+            met.contention_histogram.iter().sum::<u64>(),
+            met.cycles
+        );
+        // QRQW time is at least the cycle count and at most cycles * P.
+        prop_assert!(met.qrqw_time >= met.cycles);
+        prop_assert!(met.qrqw_time <= met.cycles * nprocs as u64);
+        // Steps: everyone steps at most `cycles` times, and the longest
+        // script bounds nobody (each halts one step after its last op).
+        prop_assert!(met.steps_per_process.iter().all(|&s| s <= met.cycles));
+        prop_assert_eq!(report.halted, nprocs);
+    }
+
+    /// The trace agrees with the metrics when its capacity is generous.
+    #[test]
+    fn trace_matches_metrics(
+        programs in vec(vec(mini_op_strategy(CELLS), 0..15), 1..4),
+        seed in 0u64..100,
+    ) {
+        let mut m = Machine::with_seed(CELLS, seed);
+        m.record_trace(10_000);
+        for p in programs {
+            m.add_process(scripted(p));
+        }
+        let report = m.run(&mut SyncScheduler, 10_000).unwrap();
+        let trace = m.trace().unwrap();
+        prop_assert_eq!(trace.dropped(), 0);
+        // Every memory op appears in the trace; Nops do not.
+        let traced_memory_ops = trace
+            .events()
+            .filter(|e| e.op.is_memory_access())
+            .count() as u64;
+        prop_assert_eq!(traced_memory_ops, report.metrics.total_ops);
+        // Per-processor filters partition the events.
+        let by_pid: usize = (0..m.process_count())
+            .map(|i| trace.of(Pid::new(i)).count())
+            .sum();
+        prop_assert_eq!(by_pid, trace.len());
+    }
+
+    /// Same seed, same program => identical cycle count, metrics and
+    /// memory image, under both schedulers.
+    #[test]
+    fn replay_determinism(
+        programs in vec(vec(mini_op_strategy(CELLS), 0..15), 1..5),
+        seed in 0u64..100,
+        sequential in any::<bool>(),
+    ) {
+        let run = || {
+            let mut m = Machine::with_seed(CELLS, seed);
+            for p in programs.clone() {
+                m.add_process(scripted(p));
+            }
+            let report = if sequential {
+                m.run(&mut SingleStepScheduler::new(), 100_000).unwrap()
+            } else {
+                m.run(&mut SyncScheduler, 100_000).unwrap()
+            };
+            (
+                report.metrics.cycles,
+                report.metrics.total_ops,
+                m.memory().snapshot(0..CELLS),
+            )
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Under the sequential scheduler there is never any contention.
+    #[test]
+    fn sequential_schedule_never_contends(
+        programs in vec(vec(mini_op_strategy(CELLS), 0..15), 1..5),
+    ) {
+        let mut m = Machine::new(CELLS);
+        for p in programs {
+            m.add_process(scripted(p));
+        }
+        let report = m.run(&mut SingleStepScheduler::new(), 100_000).unwrap();
+        prop_assert!(report.metrics.max_contention <= 1);
+        prop_assert_eq!(report.metrics.total_stalls, 0);
+        prop_assert_eq!(report.metrics.qrqw_time, report.metrics.cycles);
+    }
+}

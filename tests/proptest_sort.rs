@@ -1,0 +1,118 @@
+//! Property-based tests over the sorting implementations: for arbitrary
+//! inputs, processor counts, seeds and failure patterns, every sorter
+//! returns a sorted permutation of its input.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use wait_free_sort::baselines::SimulatedNetworkSorter;
+use wait_free_sort::pram::{failure::FailurePlan, SyncScheduler};
+use wait_free_sort::wfsort::low_contention::LowContentionSorter;
+use wait_free_sort::wfsort::{check_sorted_permutation, Allocation, PramSorter, SortConfig};
+use wait_free_sort::wfsort_native::WaitFreeSorter;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// PRAM sort: arbitrary keys, processor count and seed.
+    #[test]
+    fn pram_sort_is_sorted_permutation(
+        keys in vec(-1000i64..1000, 0..80),
+        nprocs in 1usize..24,
+        seed in 0u64..1000,
+    ) {
+        let outcome = PramSorter::new(SortConfig::new(nprocs).seed(seed))
+            .sort(&keys)
+            .expect("wait-free sort completes");
+        prop_assert!(check_sorted_permutation(&keys, &outcome.sorted).is_ok());
+    }
+
+    /// Randomized allocation: same contract.
+    #[test]
+    fn randomized_alloc_is_sorted_permutation(
+        keys in vec(-1000i64..1000, 2..60),
+        nprocs in 1usize..16,
+        seed in 0u64..1000,
+    ) {
+        let outcome = PramSorter::new(
+            SortConfig::new(nprocs).seed(seed).allocation(Allocation::Randomized),
+        )
+        .sort(&keys)
+        .expect("wait-free sort completes");
+        prop_assert!(check_sorted_permutation(&keys, &outcome.sorted).is_ok());
+    }
+
+    /// Crash injection: any crash pattern leaving one survivor is
+    /// harmless to correctness.
+    #[test]
+    fn pram_sort_survives_arbitrary_crash_plans(
+        keys in vec(0i64..500, 4..48),
+        fraction in 0.0f64..1.0,
+        horizon in 1u64..400,
+        seed in 0u64..1000,
+    ) {
+        let p = 8;
+        let plan = FailurePlan::random_crashes(p, fraction, horizon, seed);
+        let outcome = PramSorter::new(SortConfig::new(p).seed(seed))
+            .sort_under(&keys, &mut SyncScheduler, &plan)
+            .expect("a survivor always finishes");
+        prop_assert!(check_sorted_permutation(&keys, &outcome.sorted).is_ok());
+    }
+
+    /// Native threads: arbitrary keys and thread counts.
+    #[test]
+    fn native_sort_is_sorted_permutation(
+        keys in vec(any::<i32>(), 0..400),
+        threads in 1usize..6,
+    ) {
+        let keys: Vec<i64> = keys.into_iter().map(i64::from).collect();
+        let sorted = WaitFreeSorter::new(threads).sort(&keys);
+        prop_assert!(check_sorted_permutation(&keys, &sorted).is_ok());
+    }
+
+    /// Native threads with casualties: still a sorted permutation.
+    #[test]
+    fn native_sort_with_casualties(
+        keys in vec(any::<i16>(), 2..300),
+        abandon in 1usize..200,
+    ) {
+        let keys: Vec<i64> = keys.into_iter().map(i64::from).collect();
+        let sorted = WaitFreeSorter::new(4).sort_with_casualties(&keys, abandon);
+        prop_assert!(check_sorted_permutation(&keys, &sorted).is_ok());
+    }
+
+    /// The simulated-network baseline keeps the same contract on
+    /// power-of-two sizes.
+    #[test]
+    fn simulated_network_is_sorted_permutation(
+        exp in 1u32..6,
+        seed in 0u64..100,
+        nprocs in 1usize..12,
+    ) {
+        let n = 1usize << exp;
+        let keys: Vec<i64> = (0..n)
+            .map(|i| ((i as u64).wrapping_mul(seed * 2 + 1) % 97) as i64)
+            .collect();
+        let outcome = SimulatedNetworkSorter::new(nprocs).sort(&keys).unwrap();
+        prop_assert!(check_sorted_permutation(&keys, &outcome.sorted).is_ok());
+    }
+}
+
+proptest! {
+    // The LC sorter simulates P = N processors; keep cases small.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Low-contention sort on its supported sizes.
+    #[test]
+    fn low_contention_sort_is_sorted_permutation(
+        k in 1u32..4,
+        seed in 0u64..50,
+    ) {
+        let n = 4usize.pow(k);
+        let keys: Vec<i64> = (0..n)
+            .map(|i| ((i as u64 * 31 + seed * 17) % 64) as i64)
+            .collect();
+        let outcome = LowContentionSorter::default().sort(&keys).unwrap();
+        prop_assert!(check_sorted_permutation(&keys, &outcome.sorted).is_ok());
+    }
+}

@@ -1,0 +1,202 @@
+//! Property-based tests on the supporting data structures: work
+//! assignment trees, the fat-tree geometry, the bitonic network and the
+//! simulator's own invariants.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use wait_free_sort::baselines::BitonicNetwork;
+use wait_free_sort::pram::{Machine, MemoryLayout, SyncScheduler};
+use wait_free_sort::wat::{LcWat, Wat, WriteAllWorker};
+use wait_free_sort::wfsort::low_contention::{FatCursor, FatTree};
+use wait_free_sort::wfsort::Side;
+use wait_free_sort::wfsort_native::AtomicWat;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The deterministic WAT solves write-all for any job/processor
+    /// combination (the Kanellakis–Shvartsman contract).
+    #[test]
+    fn wat_write_all_covers_everything(
+        jobs in 1usize..120,
+        nprocs in 1usize..24,
+        seed in 0u64..500,
+    ) {
+        let mut layout = MemoryLayout::new();
+        let out = layout.region(jobs);
+        let wat = Wat::layout(&mut layout, jobs);
+        let mut machine = Machine::with_seed(layout.total(), seed);
+        for p in wat.processes(nprocs, |_| WriteAllWorker::new(out, 1)) {
+            machine.add_process(p);
+        }
+        machine.run(&mut SyncScheduler, 10_000_000).expect("terminates");
+        prop_assert!(wat.all_done(machine.memory()));
+        prop_assert_eq!(machine.memory().snapshot(out.range()), vec![1; jobs]);
+    }
+
+    /// Same contract for the randomized LC-WAT.
+    #[test]
+    fn lcwat_write_all_covers_everything(
+        jobs in 1usize..80,
+        nprocs in 1usize..16,
+        seed in 0u64..500,
+    ) {
+        let mut layout = MemoryLayout::new();
+        let out = layout.region(jobs);
+        let wat = LcWat::layout(&mut layout, jobs);
+        let mut machine = Machine::with_seed(layout.total(), seed);
+        for p in wat.processes(nprocs, seed, |_| WriteAllWorker::new(out, 1)) {
+            machine.add_process(p);
+        }
+        machine.run(&mut SyncScheduler, 50_000_000).expect("terminates w.p. 1");
+        prop_assert!(wat.all_done(machine.memory()));
+        prop_assert_eq!(machine.memory().snapshot(out.range()), vec![1; jobs]);
+    }
+
+    /// The native WAT executes every job at least once for any
+    /// participation pattern that includes one persistent thread.
+    #[test]
+    fn atomic_wat_with_random_deserters(
+        jobs in 1usize..200,
+        budgets in vec(1usize..50, 0..6),
+    ) {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let wat = AtomicWat::new(jobs);
+        let counts: Vec<AtomicUsize> = (0..jobs).map(|_| AtomicUsize::new(0)).collect();
+        crossbeam::thread::scope(|s| {
+            let total = budgets.len() + 1;
+            for (t, budget) in budgets.iter().enumerate() {
+                let wat = &wat;
+                let counts = &counts;
+                let mut b = *budget;
+                s.spawn(move |_| {
+                    wat.participate(t, total, |j| {
+                        counts[j].fetch_add(1, Ordering::Relaxed);
+                    }, move || { b = b.saturating_sub(1); b > 0 });
+                });
+            }
+            let wat = &wat;
+            let counts = &counts;
+            s.spawn(move |_| {
+                wat.participate(budgets.len(), total, |j| {
+                    counts[j].fetch_add(1, Ordering::Relaxed);
+                }, || true);
+            });
+        }).unwrap();
+        prop_assert!(wat.all_done());
+        prop_assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) >= 1));
+    }
+
+    /// FatCursor midpoints visit every slice rank exactly once, children
+    /// partition ranges, and depth stays logarithmic.
+    #[test]
+    fn fat_cursor_partitions_any_slice(m in 1usize..300) {
+        let mut layout = MemoryLayout::new();
+        let fat = FatTree::layout(&mut layout, m, 1);
+        let nodes = fat.nodes();
+        prop_assert_eq!(nodes.len(), m);
+        let mut mids: Vec<usize> = nodes.iter().map(|n| n.cursor.mid()).collect();
+        mids.sort_unstable();
+        prop_assert_eq!(mids, (0..m).collect::<Vec<_>>());
+        // Depth bound: heap index < 2^(ceil(log2 m) + 2).
+        let max_h = nodes.iter().map(|n| n.cursor.h).max().unwrap();
+        prop_assert!(max_h < 4 * m.next_power_of_two().max(2));
+    }
+
+    /// In-order traversal of the fat-tree shape is rank order (it is the
+    /// balanced BST over the sorted slice).
+    #[test]
+    fn fat_cursor_inorder_is_sorted(m in 1usize..120) {
+        fn inorder(c: FatCursor, out: &mut Vec<usize>) {
+            if let Some(l) = c.child(Side::Small) {
+                inorder(l, out);
+            }
+            out.push(c.mid());
+            if let Some(r) = c.child(Side::Big) {
+                inorder(r, out);
+            }
+        }
+        let mut seq = Vec::new();
+        inorder(FatCursor::root(m), &mut seq);
+        prop_assert_eq!(seq, (0..m).collect::<Vec<_>>());
+    }
+
+    /// The bitonic network sorts arbitrary values (not just the 0-1
+    /// inputs of the exhaustive unit test).
+    #[test]
+    fn bitonic_sorts_arbitrary_values(
+        exp in 1u32..8,
+        keys in vec(any::<i32>(), 128),
+    ) {
+        let n = 1usize << exp;
+        let mut data: Vec<i32> = keys.into_iter().take(n).collect();
+        prop_assume!(data.len() == n);
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        BitonicNetwork::new(n).sort_sequential(&mut data);
+        prop_assert_eq!(data, expect);
+    }
+
+    /// Machine determinism: identical seeds and programs give identical
+    /// cycle counts and memory images.
+    #[test]
+    fn machine_runs_are_reproducible(
+        jobs in 1usize..40,
+        nprocs in 1usize..8,
+        seed in 0u64..100,
+    ) {
+        let run = || {
+            let mut layout = MemoryLayout::new();
+            let out = layout.region(jobs);
+            let wat = Wat::layout(&mut layout, jobs);
+            let mut machine = Machine::with_seed(layout.total(), seed);
+            for p in wat.processes(nprocs, |_| WriteAllWorker::new(out, 1)) {
+                machine.add_process(p);
+            }
+            let report = machine.run(&mut SyncScheduler, 10_000_000).unwrap();
+            (report.metrics.cycles, report.metrics.total_ops,
+             machine.memory().snapshot(out.range()))
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Counting networks satisfy the step property at quiescence for any
+    /// token count, entry-wire pattern, and concurrency level.
+    #[test]
+    fn counting_network_step_property(
+        width_exp in 1u32..5,
+        nprocs in 1usize..12,
+        tokens in 1usize..6,
+        seed in 0u64..100,
+    ) {
+        use wait_free_sort::baselines::{count_with, CounterKind};
+        use wait_free_sort::pram::SyncScheduler;
+        let width = 1usize << width_exp;
+        let out = count_with(
+            CounterKind::Network { width },
+            nprocs,
+            tokens,
+            seed,
+            &mut SyncScheduler,
+        )
+        .unwrap();
+        let total: i64 = out.counts.iter().sum();
+        prop_assert_eq!(total, (nprocs * tokens) as i64);
+        // Step property in logical output order: non-increasing, spread <= 1.
+        prop_assert!(
+            out.counts.windows(2).all(|w| w[0] >= w[1]),
+            "not monotone: {:?}",
+            out.counts
+        );
+        prop_assert!(
+            out.counts.first().unwrap() - out.counts.last().unwrap() <= 1,
+            "spread > 1: {:?}",
+            out.counts
+        );
+    }
+}

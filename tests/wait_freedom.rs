@@ -1,0 +1,220 @@
+//! Direct checks of the wait-freedom *definition* (Herlihy, §1 of the
+//! paper): every operation by any processor completes within a bounded
+//! number of that processor's own steps, regardless of what the other
+//! processors do — including doing nothing at all forever.
+
+use wait_free_sort::pram::{
+    failure::FailurePlan, AdversaryScheduler, Machine, MemoryLayout, Pid, SyncScheduler,
+};
+use wait_free_sort::wat::{NopWorker, Wat, WriteAllWorker};
+use wait_free_sort::wfsort::{check_sorted_permutation, PramSorter, SortConfig, Workload};
+
+/// An adversary that only ever steps processor 0 must see processor 0
+/// finish the whole sort alone, within its per-processor step bound.
+#[test]
+fn lone_processor_finishes_entire_sort() {
+    let n = 64;
+    let keys = Workload::UniformRandom.generate(n, 1);
+    let sorter = PramSorter::new(SortConfig::new(8).seed(1));
+    let mut prepared = sorter.prepare(&keys);
+    let mut only_zero = AdversaryScheduler::new(|_cycle, runnable: &[Pid]| {
+        runnable
+            .iter()
+            .copied()
+            .filter(|p| p.index() == 0)
+            .collect()
+    });
+    // The 7 frozen processors never halt, so drive cycles until
+    // processor 0 itself finishes — that *is* the wait-freedom claim.
+    while prepared.machine.state(Pid::new(0)) == wait_free_sort::pram::ProcessState::Runnable {
+        prepared.machine.cycle(&mut only_zero);
+        assert!(
+            prepared.machine.cycle_count() < prepared.budget,
+            "processor 0 blocked by frozen processors"
+        );
+    }
+    let out = prepared.layout.read_output(prepared.machine.memory());
+    check_sorted_permutation(&keys, &out).unwrap();
+}
+
+/// Stop-and-go adversary: every processor is frozen for long stretches at
+/// arbitrary points; total progress is still guaranteed whenever anyone
+/// moves. (Freezing is scheduling, not crashing — nobody is ever removed.)
+#[test]
+fn stop_and_go_adversary() {
+    let n = 48;
+    let keys = Workload::RandomPermutation.generate(n, 9);
+    let sorter = PramSorter::new(SortConfig::new(6).seed(9));
+    let mut prepared = sorter.prepare(&keys);
+    // Step only processors whose index matches the cycle's low bits —
+    // a rotating spotlight that strands everyone repeatedly.
+    let mut spotlight = AdversaryScheduler::new(|cycle, runnable: &[Pid]| {
+        runnable
+            .iter()
+            .copied()
+            .filter(|p| p.index() as u64 % 3 == cycle % 3)
+            .collect()
+    });
+    prepared
+        .machine
+        .run(&mut spotlight, prepared.budget * 3)
+        .expect("rotating spotlight schedules are fair enough to finish");
+    let out = prepared.layout.read_output(prepared.machine.memory());
+    check_sorted_permutation(&keys, &out).unwrap();
+}
+
+/// Per-processor step bound for the full sort: a processor running alone
+/// takes O(N * depth) steps; with random input and one processor that is
+/// O(N log N) with the WAT's constant. Verify the bound empirically and
+/// that it does not depend on *other* processors being scheduled.
+#[test]
+fn per_processor_step_bound_independent_of_others() {
+    let n = 128;
+    let keys = Workload::RandomPermutation.generate(n, 4);
+
+    // Run A: processor 0 alone (others never scheduled).
+    let sorter = PramSorter::new(SortConfig::new(4).seed(4));
+    let mut prepared = sorter.prepare(&keys);
+    let mut only_zero = AdversaryScheduler::new(|_c, runnable: &[Pid]| {
+        runnable
+            .iter()
+            .copied()
+            .filter(|p| p.index() == 0)
+            .collect()
+    });
+    while prepared.machine.state(Pid::new(0)) == wait_free_sort::pram::ProcessState::Runnable {
+        prepared.machine.cycle(&mut only_zero);
+        assert!(prepared.machine.cycle_count() < prepared.budget, "runaway");
+    }
+    let alone = prepared.machine.metrics().steps_per_process[0];
+
+    // Run B: all four processors in lockstep.
+    let mut prepared = sorter.prepare(&keys);
+    prepared
+        .machine
+        .run(&mut SyncScheduler, prepared.budget)
+        .unwrap();
+    let together = prepared.machine.metrics().steps_per_process[0];
+
+    // Wait-freedom: the bound on processor 0's steps is a property of the
+    // algorithm, not the schedule. Running with helpers, processor 0 can
+    // only take *fewer or comparable* steps — helpers may make its tree
+    // walks cheaper or slightly costlier, never unbounded.
+    assert!(
+        together <= 2 * alone,
+        "steps with helpers ({together}) should not blow up vs alone ({alone})"
+    );
+    let bound = 64 * (n as u64) * ((n as f64).log2() as u64 + 1);
+    assert!(
+        alone < bound,
+        "solo steps {alone} exceed O(N log N) bound {bound}"
+    );
+}
+
+/// next_element's O(log N) bound holds for each call even when issued
+/// from the most disadvantaged position (fresh processor, stale tree).
+#[test]
+fn late_arriving_processor_pays_only_logarithmic_catchup_per_call() {
+    let jobs = 256;
+    let mut layout = MemoryLayout::new();
+    let wat = Wat::layout(&mut layout, jobs);
+    let mut machine = Machine::new(layout.total());
+    for p in wat.processes(2, |_| NopWorker) {
+        machine.add_process(p);
+    }
+    // Let processor 0 do everything; processor 1 sleeps.
+    let mut only_zero = AdversaryScheduler::new(|_c, runnable: &[Pid]| {
+        runnable
+            .iter()
+            .copied()
+            .filter(|p| p.index() == 0)
+            .collect()
+    });
+    while machine.state(Pid::new(0)) == wait_free_sort::pram::ProcessState::Runnable {
+        machine.cycle(&mut only_zero);
+        assert!(machine.cycle_count() < 100_000, "runaway");
+    }
+    // Now wake processor 1: the whole tree is DONE, so its first
+    // next_element call (after its initial leaf work) must return DONE
+    // within O(log N) steps.
+    let before = machine.metrics().steps_per_process[1];
+    machine.run(&mut SyncScheduler, 10_000).unwrap();
+    let steps = machine.metrics().steps_per_process[1] - before;
+    let bound = 6 * (jobs as f64).log2() as u64 + 12;
+    assert!(
+        steps <= bound,
+        "late processor took {steps} steps, bound {bound}"
+    );
+}
+
+/// Fail-revive storms (§1.1's undetectable-restart model): every
+/// processor repeatedly crashes and silently resumes mid-program; the
+/// sort still completes correctly.
+#[test]
+fn fail_revive_storms() {
+    let keys = Workload::UniformRandom.generate(48, 17);
+    for seed in 0..6 {
+        let plan = FailurePlan::random_crash_revive(6, 4, 400, seed);
+        let outcome = PramSorter::new(SortConfig::new(6).seed(seed))
+            .sort_under(&keys, &mut SyncScheduler, &plan)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        check_sorted_permutation(&keys, &outcome.sorted)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+/// Crashing processors at every possible cycle of a small run (an
+/// exhaustive sweep of the crash window) never breaks the result.
+#[test]
+fn exhaustive_single_crash_window_sweep() {
+    let n = 24;
+    let keys = Workload::UniformRandom.generate(n, 13);
+    let sorter = PramSorter::new(SortConfig::new(3).seed(13));
+    // Determine the failure-free run length.
+    let baseline = sorter.sort(&keys).unwrap().report.metrics.cycles;
+    for crash_cycle in 0..baseline {
+        let plan = FailurePlan::new().crash_at(crash_cycle, Pid::new(0));
+        let outcome = sorter
+            .sort_under(&keys, &mut SyncScheduler, &plan)
+            .unwrap_or_else(|e| panic!("crash at {crash_cycle}: {e}"));
+        check_sorted_permutation(&keys, &outcome.sorted)
+            .unwrap_or_else(|e| panic!("crash at {crash_cycle}: {e}"));
+    }
+}
+
+/// Same sweep for the write-all substrate with two processors: crash
+/// either one at every cycle.
+#[test]
+fn exhaustive_crash_sweep_write_all() {
+    let jobs = 16;
+    let build = || {
+        let mut layout = MemoryLayout::new();
+        let out = layout.region(jobs);
+        let wat = Wat::layout(&mut layout, jobs);
+        let mut machine = Machine::new(layout.total());
+        for p in wat.processes(2, |_| WriteAllWorker::new(out, 1)) {
+            machine.add_process(p);
+        }
+        (machine, wat, out)
+    };
+    let (mut m0, _, _) = build();
+    let baseline = m0.run(&mut SyncScheduler, 100_000).unwrap().metrics.cycles;
+    for victim in 0..2 {
+        for crash_cycle in 0..baseline {
+            let (mut machine, wat, out) = build();
+            let plan = FailurePlan::new().crash_at(crash_cycle, Pid::new(victim));
+            machine
+                .run_with_failures(&mut SyncScheduler, &plan, 100_000)
+                .unwrap();
+            assert!(
+                wat.all_done(machine.memory()),
+                "victim {victim} @ {crash_cycle}"
+            );
+            assert_eq!(
+                machine.memory().snapshot(out.range()),
+                vec![1; jobs],
+                "victim {victim} @ {crash_cycle}"
+            );
+        }
+    }
+}
