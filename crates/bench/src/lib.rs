@@ -114,6 +114,21 @@ impl Table {
     }
 }
 
+/// Writes `contents` to `file_name` inside `BENCH_OUTPUT_DIR`, if that
+/// environment variable is set; otherwise does nothing. Used by
+/// experiment binaries for machine-readable artifacts (JSON records,
+/// raw samples) that do not fit the [`Table`] CSV side-channel.
+pub fn write_artifact(file_name: &str, contents: &str) {
+    if let Ok(dir) = std::env::var("BENCH_OUTPUT_DIR") {
+        let path = std::path::Path::new(&dir).join(file_name);
+        if let Err(e) = std::fs::write(&path, contents) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            eprintln!("(artifact written to {})", path.display());
+        }
+    }
+}
+
 /// Unicode block characters for sparklines, blank to full.
 pub const SPARK_BARS: &[char] = &[' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
 

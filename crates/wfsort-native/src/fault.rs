@@ -1,0 +1,625 @@
+//! Chaos engineering for the native sorter: seeded, composable fault
+//! plans delivered through [`Participation`] checkpoints.
+//!
+//! The PRAM simulator scripts failures by *cycle*
+//! (`pram::failure::FailurePlan`); native threads have no global clock,
+//! so the unit of injection here is the *checkpoint* — one
+//! [`Participation::keep_going`] consultation, which [`crate::SortJob`]
+//! performs at every wait-free operation boundary (WAT claims, tree
+//! traversal steps). A [`ChaosPlan`] maps `(worker, checkpoint)` pairs to
+//! [`FaultAction`]s; a [`ChaosParticipation`] replays one worker's script
+//! deterministically, so a storm that broke a run can be replayed from
+//! its seed alone.
+//!
+//! The adversary modeled here is the paper's §1.1 scenario: threads can
+//! be reaped ([`FaultAction::Crash`]), descheduled and silently resumed
+//! ([`FaultAction::Pause`]), or slowed by interference
+//! ([`FaultAction::Stall`]) — but shared memory is never corrupted and a
+//! crash can only land *between* wait-free operations, which is exactly
+//! the granularity at which the algorithm promises survivors can finish.
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::job::Participation;
+
+/// What a chaos-driven participant does at one checkpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Abandon participation permanently — the thread is reaped, exactly
+    /// like a PRAM processor crash with no revival.
+    Crash,
+    /// Busy-wait approximately `spins` iterations, then continue — a
+    /// straggler slowed by interference (preemption, cache pressure).
+    Stall {
+        /// Iterations of [`std::hint::spin_loop`] to burn.
+        spins: u32,
+    },
+    /// Sleep for `micros` microseconds, then continue — the §1.1
+    /// "fail and later revive in an undetectable manner" adversary: the
+    /// thread is gone long enough for the OS to reuse its processor, then
+    /// resumes mid-algorithm as if nothing happened.
+    Pause {
+        /// Sleep duration in microseconds.
+        micros: u32,
+    },
+}
+
+/// Background noise injected at unscripted checkpoints: with probability
+/// `probability` per checkpoint, stall for `1..=max_spins` spins.
+#[derive(Clone, Copy, Debug)]
+struct Jitter {
+    probability: f64,
+    max_spins: u32,
+}
+
+/// A seeded, composable schedule of [`FaultAction`]s for a cohort of
+/// workers, keyed by checkpoint index — the native mirror of the PRAM
+/// side's `FailurePlan`.
+///
+/// # Examples
+///
+/// ```
+/// use wfsort_native::{ChaosPlan, FaultAction};
+///
+/// let plan = ChaosPlan::new(3)
+///     .crash_at(0, 40)
+///     .stall_at(1, 10, 500)
+///     .pause_at(2, 25, 50);
+/// assert_eq!(plan.workers(), 3);
+/// assert_eq!(plan.crash_victims(), 1);
+/// assert_eq!(plan.survivors(), 2);
+/// assert_eq!(plan.script(0), &[(40, FaultAction::Crash)]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ChaosPlan {
+    /// Per-worker scripts, sorted by checkpoint index.
+    scripts: Vec<Vec<(u64, FaultAction)>>,
+    jitter: Option<Jitter>,
+    seed: u64,
+}
+
+impl ChaosPlan {
+    /// Creates an empty plan for `workers` workers (no faults — every
+    /// worker runs to completion).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        ChaosPlan {
+            scripts: vec![Vec::new(); workers],
+            jitter: None,
+            seed: 0,
+        }
+    }
+
+    /// Number of workers this plan drives.
+    pub fn workers(&self) -> usize {
+        self.scripts.len()
+    }
+
+    fn push(&mut self, worker: usize, checkpoint: u64, action: FaultAction) {
+        assert!(worker < self.scripts.len(), "worker out of range");
+        let script = &mut self.scripts[worker];
+        let pos = script.partition_point(|&(c, _)| c <= checkpoint);
+        script.insert(pos, (checkpoint, action));
+    }
+
+    /// Schedules `worker` to crash at `checkpoint`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range.
+    pub fn crash_at(mut self, worker: usize, checkpoint: u64) -> Self {
+        self.push(worker, checkpoint, FaultAction::Crash);
+        self
+    }
+
+    /// Schedules `worker` to busy-wait `spins` iterations at `checkpoint`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range.
+    pub fn stall_at(mut self, worker: usize, checkpoint: u64, spins: u32) -> Self {
+        self.push(worker, checkpoint, FaultAction::Stall { spins });
+        self
+    }
+
+    /// Schedules `worker` to sleep `micros` microseconds at `checkpoint`
+    /// and then revive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range.
+    pub fn pause_at(mut self, worker: usize, checkpoint: u64, micros: u32) -> Self {
+        self.push(worker, checkpoint, FaultAction::Pause { micros });
+        self
+    }
+
+    /// Adds seeded background jitter: at every checkpoint with no
+    /// scripted event, each worker stalls `1..=max_spins` spins with the
+    /// given probability, drawn from a per-worker RNG derived from the
+    /// plan seed (see [`ChaosPlan::seeded`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probability` is not within `[0, 1]` or `max_spins` is 0.
+    pub fn with_jitter(mut self, probability: f64, max_spins: u32) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "probability must be in [0, 1]"
+        );
+        assert!(max_spins > 0, "max_spins must be positive");
+        self.jitter = Some(Jitter {
+            probability,
+            max_spins,
+        });
+        self
+    }
+
+    /// Sets the base seed from which per-worker jitter RNGs are derived.
+    pub fn seeded(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds a plan that crashes a random `fraction` of `workers` at
+    /// random checkpoints within `0..horizon`, deterministically from
+    /// `seed`. At least one worker is always left crash-free, mirroring
+    /// `FailurePlan::random_crashes` on the PRAM side: a cohort in which
+    /// *everyone* crashes trivially cannot finish by itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero or `fraction` is not within `[0, 1]`.
+    pub fn random_crashes(workers: usize, fraction: f64, horizon: u64, seed: u64) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction must be in [0, 1]"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let max_victims = workers - 1;
+        let victims = ((workers as f64 * fraction).round() as usize).min(max_victims);
+        let mut pool: Vec<usize> = (0..workers).collect();
+        pool.shuffle(&mut rng);
+        let mut plan = ChaosPlan::new(workers).seeded(seed);
+        for &v in pool.iter().take(victims) {
+            let checkpoint = rng.gen_range(0..horizon.max(1));
+            plan.push(v, checkpoint, FaultAction::Crash);
+        }
+        plan
+    }
+
+    /// Builds a pause/revive storm (§1.1's undetectable-restart model,
+    /// natively: the thread sleeps through its slice and silently
+    /// resumes): every worker suffers `rounds` pauses of `1..=250`
+    /// microseconds at random checkpoints within `0..horizon`,
+    /// deterministically from `seed`. Nobody crashes, so any cohort
+    /// finishes — delayed, never blocked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` or `horizon` is zero.
+    pub fn random_pause_revive(workers: usize, rounds: usize, horizon: u64, seed: u64) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        assert!(horizon > 0, "need a positive horizon");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut plan = ChaosPlan::new(workers).seeded(seed);
+        for w in 0..workers {
+            for _ in 0..rounds {
+                let checkpoint = rng.gen_range(0..horizon);
+                let micros = rng.gen_range(1..=250u32);
+                plan.push(w, checkpoint, FaultAction::Pause { micros });
+            }
+        }
+        plan
+    }
+
+    /// The script for `worker`, sorted by checkpoint index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range.
+    pub fn script(&self, worker: usize) -> &[(u64, FaultAction)] {
+        &self.scripts[worker]
+    }
+
+    /// Total number of scheduled events across all workers.
+    pub fn len(&self) -> usize {
+        self.scripts.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the plan schedules no events at all.
+    pub fn is_empty(&self) -> bool {
+        self.scripts.iter().all(Vec::is_empty)
+    }
+
+    /// Number of workers this plan ever crashes.
+    pub fn crash_victims(&self) -> usize {
+        self.scripts
+            .iter()
+            .filter(|s| s.iter().any(|&(_, a)| a == FaultAction::Crash))
+            .count()
+    }
+
+    /// Number of workers guaranteed to run to completion (never crashed;
+    /// stalls and pauses only delay).
+    pub fn survivors(&self) -> usize {
+        self.workers() - self.crash_victims()
+    }
+}
+
+fn busy_wait(spins: u32) {
+    for _ in 0..spins {
+        std::hint::spin_loop();
+    }
+}
+
+/// Replays one worker's slice of a [`ChaosPlan`], deterministically:
+/// checkpoint `c` is the `c`-th `keep_going` consultation this
+/// participant receives, so the fault sequence depends only on
+/// `(plan, worker)` — never on scheduling.
+///
+/// # Examples
+///
+/// ```
+/// use wfsort_native::{ChaosParticipation, ChaosPlan, SortJob};
+///
+/// let plan = ChaosPlan::new(2).crash_at(0, 30);
+/// let job = SortJob::new(vec![5, 2, 8, 1, 9, 3]);
+/// crossbeam::thread::scope(|s| {
+///     s.spawn(|_| job.participate(&mut ChaosParticipation::new(&plan, 0)));
+///     s.spawn(|_| job.participate(&mut ChaosParticipation::new(&plan, 1)));
+/// })
+/// .unwrap();
+/// assert!(job.is_complete()); // worker 1 survives and finishes
+/// ```
+#[derive(Debug)]
+pub struct ChaosParticipation<'a> {
+    script: &'a [(u64, FaultAction)],
+    jitter: Option<(StdRng, f64, u32)>,
+    cursor: usize,
+    checkpoint: u64,
+    crashed: bool,
+    fired: Vec<(u64, FaultAction)>,
+}
+
+impl<'a> ChaosParticipation<'a> {
+    /// Creates the participation driving `worker` under `plan`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range for the plan.
+    pub fn new(plan: &'a ChaosPlan, worker: usize) -> Self {
+        assert!(worker < plan.workers(), "worker out of range");
+        let jitter = plan.jitter.map(|j| {
+            let stream = plan
+                .seed
+                .wrapping_add((worker as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+                .wrapping_add(1);
+            (StdRng::seed_from_u64(stream), j.probability, j.max_spins)
+        });
+        ChaosParticipation {
+            script: plan.script(worker),
+            jitter,
+            cursor: 0,
+            checkpoint: 0,
+            crashed: false,
+            fired: Vec::new(),
+        }
+    }
+
+    /// Checkpoints consulted so far.
+    pub fn checkpoints(&self) -> u64 {
+        self.checkpoint
+    }
+
+    /// Whether a scripted crash has fired.
+    pub fn crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Every action that actually fired, in order, as `(checkpoint,
+    /// action)` — scripted events plus materialized jitter stalls. Equal
+    /// across runs with the same plan, seed and worker.
+    pub fn fired(&self) -> &[(u64, FaultAction)] {
+        &self.fired
+    }
+}
+
+impl Participation for ChaosParticipation<'_> {
+    fn keep_going(&mut self) -> bool {
+        if self.crashed {
+            return false;
+        }
+        let c = self.checkpoint;
+        self.checkpoint += 1;
+        let mut scripted = false;
+        while let Some(&(at, action)) = self.script.get(self.cursor) {
+            if at > c {
+                break;
+            }
+            self.cursor += 1;
+            scripted = true;
+            self.fired.push((c, action));
+            match action {
+                FaultAction::Crash => {
+                    self.crashed = true;
+                    return false;
+                }
+                FaultAction::Stall { spins } => busy_wait(spins),
+                FaultAction::Pause { micros } => {
+                    std::thread::sleep(Duration::from_micros(micros as u64));
+                }
+            }
+        }
+        if !scripted {
+            if let Some((rng, probability, max_spins)) = &mut self.jitter {
+                if rng.gen_bool(*probability) {
+                    let spins = rng.gen_range(1..=*max_spins);
+                    self.fired.push((c, FaultAction::Stall { spins }));
+                    busy_wait(spins);
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Bounds any [`Participation`] by a wall-clock deadline: the inner
+/// policy decides normally until the deadline passes, after which the
+/// participant abandons. The clock is sampled every 16th checkpoint to
+/// keep the common path cheap.
+#[derive(Debug)]
+pub struct WithDeadline<P> {
+    inner: P,
+    until: Instant,
+    calls: u32,
+    expired: bool,
+}
+
+impl<P: Participation> WithDeadline<P> {
+    /// Wraps `inner`, abandoning once `Instant::now()` reaches `until`.
+    pub fn new(inner: P, until: Instant) -> Self {
+        WithDeadline {
+            inner,
+            until,
+            calls: 0,
+            expired: false,
+        }
+    }
+
+    /// Whether the deadline has been observed to pass.
+    pub fn expired(&self) -> bool {
+        self.expired
+    }
+
+    /// Recovers the wrapped participation.
+    pub fn into_inner(self) -> P {
+        self.inner
+    }
+}
+
+impl<P: Participation> Participation for WithDeadline<P> {
+    fn keep_going(&mut self) -> bool {
+        if self.expired {
+            return false;
+        }
+        if self.calls & 15 == 0 && Instant::now() >= self.until {
+            self.expired = true;
+            return false;
+        }
+        self.calls = self.calls.wrapping_add(1);
+        self.inner.keep_going()
+    }
+}
+
+/// Counts checkpoints while delegating to an inner [`Participation`] —
+/// used to size exhaustive crash-window sweeps (how many checkpoints does
+/// a solo run consult?) and by tests asserting progress.
+#[derive(Clone, Copy, Debug)]
+pub struct CheckpointCounter<P> {
+    inner: P,
+    count: u64,
+}
+
+impl<P: Participation> CheckpointCounter<P> {
+    /// Wraps `inner`.
+    pub fn new(inner: P) -> Self {
+        CheckpointCounter { inner, count: 0 }
+    }
+
+    /// Checkpoints consulted so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+impl<P: Participation> Participation for CheckpointCounter<P> {
+    fn keep_going(&mut self) -> bool {
+        self.count += 1;
+        self.inner.keep_going()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{RunToCompletion, SortJob};
+
+    #[test]
+    fn builder_accumulates_sorted_scripts() {
+        let plan = ChaosPlan::new(2)
+            .stall_at(0, 9, 10)
+            .crash_at(0, 3)
+            .pause_at(1, 5, 7);
+        assert_eq!(plan.len(), 3);
+        assert!(!plan.is_empty());
+        assert_eq!(
+            plan.script(0),
+            &[
+                (3, FaultAction::Crash),
+                (9, FaultAction::Stall { spins: 10 })
+            ]
+        );
+        assert_eq!(plan.script(1), &[(5, FaultAction::Pause { micros: 7 })]);
+        assert_eq!(plan.crash_victims(), 1);
+        assert_eq!(plan.survivors(), 1);
+    }
+
+    #[test]
+    fn random_crashes_is_deterministic_in_seed() {
+        let a = ChaosPlan::random_crashes(8, 0.5, 100, 7);
+        let b = ChaosPlan::random_crashes(8, 0.5, 100, 7);
+        for w in 0..8 {
+            assert_eq!(a.script(w), b.script(w));
+        }
+    }
+
+    #[test]
+    fn random_crashes_leaves_a_survivor() {
+        for seed in 0..20 {
+            let plan = ChaosPlan::random_crashes(8, 1.0, 100, seed);
+            assert!(plan.crash_victims() <= 7, "seed {seed} crashed everyone");
+            assert!(plan.survivors() >= 1);
+        }
+    }
+
+    #[test]
+    fn random_pause_revive_never_crashes() {
+        for seed in 0..10 {
+            let plan = ChaosPlan::random_pause_revive(4, 3, 50, seed);
+            assert_eq!(plan.crash_victims(), 0);
+            assert_eq!(plan.survivors(), 4);
+            assert_eq!(plan.len(), 4 * 3);
+        }
+    }
+
+    #[test]
+    fn participation_replays_script_deterministically() {
+        let plan = ChaosPlan::new(1)
+            .stall_at(0, 2, 5)
+            .stall_at(0, 4, 9)
+            .crash_at(0, 6)
+            .seeded(3);
+        let drive = || {
+            let mut p = ChaosParticipation::new(&plan, 0);
+            let mut alive = 0;
+            while p.keep_going() {
+                alive += 1;
+                assert!(alive < 100, "crash never fired");
+            }
+            (alive, p.fired().to_vec(), p.crashed())
+        };
+        let (a_alive, a_fired, a_crashed) = drive();
+        let (b_alive, b_fired, b_crashed) = drive();
+        assert_eq!(a_alive, 6);
+        assert_eq!(a_alive, b_alive);
+        assert_eq!(a_fired, b_fired);
+        assert!(a_crashed && b_crashed);
+        assert_eq!(
+            a_fired,
+            vec![
+                (2, FaultAction::Stall { spins: 5 }),
+                (4, FaultAction::Stall { spins: 9 }),
+                (6, FaultAction::Crash),
+            ]
+        );
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed_and_worker() {
+        let plan = ChaosPlan::new(2).with_jitter(0.5, 40).seeded(11);
+        let drive = |worker: usize| {
+            let mut p = ChaosParticipation::new(&plan, worker);
+            for _ in 0..200 {
+                assert!(p.keep_going());
+            }
+            p.fired().to_vec()
+        };
+        assert_eq!(drive(0), drive(0));
+        assert_eq!(drive(1), drive(1));
+        // Different workers draw from different streams.
+        assert_ne!(drive(0), drive(1));
+        // A different base seed produces a different storm.
+        let other = ChaosPlan::new(2).with_jitter(0.5, 40).seeded(12);
+        let mut p = ChaosParticipation::new(&other, 0);
+        for _ in 0..200 {
+            assert!(p.keep_going());
+        }
+        assert_ne!(drive(0), p.fired().to_vec());
+    }
+
+    #[test]
+    fn chaos_cohort_with_survivor_completes_sort() {
+        let keys: Vec<i64> = (0..800).rev().collect();
+        let mut expect = keys.clone();
+        expect.sort();
+        let plan = ChaosPlan::new(3)
+            .crash_at(0, 10)
+            .pause_at(1, 5, 20)
+            .stall_at(1, 15, 200)
+            .with_jitter(0.05, 50)
+            .seeded(2);
+        let job = SortJob::new(keys);
+        crossbeam::thread::scope(|s| {
+            for w in 0..plan.workers() {
+                let (job, plan) = (&job, &plan);
+                s.spawn(move |_| job.participate(&mut ChaosParticipation::new(plan, w)));
+            }
+        })
+        .unwrap();
+        assert!(job.is_complete());
+        assert_eq!(job.into_sorted(), expect);
+    }
+
+    #[test]
+    fn with_deadline_zero_abandons_immediately() {
+        let mut p = WithDeadline::new(RunToCompletion, Instant::now());
+        assert!(!p.keep_going());
+        assert!(p.expired());
+        assert!(!p.keep_going());
+    }
+
+    #[test]
+    fn with_deadline_far_future_delegates() {
+        let mut p = WithDeadline::new(RunToCompletion, Instant::now() + Duration::from_secs(3600));
+        for _ in 0..100 {
+            assert!(p.keep_going());
+        }
+        assert!(!p.expired());
+    }
+
+    #[test]
+    fn checkpoint_counter_counts() {
+        let job = SortJob::new(vec![3, 1, 2, 5, 4]);
+        let mut counter = CheckpointCounter::new(RunToCompletion);
+        job.participate(&mut counter);
+        assert!(job.is_complete());
+        assert!(counter.count() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker out of range")]
+    fn out_of_range_worker_rejected() {
+        ChaosPlan::new(2).crash_at(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn random_crashes_rejects_bad_fraction() {
+        ChaosPlan::random_crashes(4, 1.5, 10, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        ChaosPlan::new(0);
+    }
+}

@@ -7,11 +7,67 @@
 //! participation) and fresh threads can join later, without the data
 //! structures ever being left in a state others cannot finish from.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use crate::lcwat::AtomicLcWat;
 use crate::tree::{SharedTree, Side, EMPTY};
 use crate::wat::AtomicWat;
+use crate::watchdog::{ParticipantProgress, ProgressReport, SortPhase};
+
+/// Heartbeat slots tracked per job; participants beyond this share slots
+/// (diagnostics degrade gracefully, correctness is unaffected).
+const MAX_TRACKED: usize = 64;
+
+/// Heartbeat bit layout: bit 63 = departed, bits 60..=61 = phase,
+/// bits 0..=59 = checkpoint epoch.
+const DEPARTED_BIT: u64 = 1 << 63;
+const PHASE_SHIFT: u32 = 60;
+const EPOCH_MASK: u64 = (1 << PHASE_SHIFT) - 1;
+
+/// One cache line per heartbeat slot so workers publishing epochs on the
+/// hot path do not false-share.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct HeartbeatSlot(AtomicU64);
+
+/// Publishes a participant's heartbeat around an inner [`Participation`]:
+/// each `keep_going` consultation bumps the epoch and stores it with the
+/// current phase; `depart` marks the slot when the participant returns.
+struct Monitored<'a, P: Participation> {
+    inner: &'a mut P,
+    slot: &'a AtomicU64,
+    phase: SortPhase,
+    epoch: u64,
+}
+
+impl<P: Participation> Monitored<'_, P> {
+    fn publish(&self) {
+        self.slot.store(
+            ((self.phase as u64) << PHASE_SHIFT) | (self.epoch & EPOCH_MASK),
+            Ordering::Release,
+        );
+    }
+
+    fn enter_phase(&mut self, phase: SortPhase) {
+        self.phase = phase;
+        self.publish();
+    }
+
+    fn depart(&self) {
+        self.slot.store(
+            DEPARTED_BIT | ((self.phase as u64) << PHASE_SHIFT) | (self.epoch & EPOCH_MASK),
+            Ordering::Release,
+        );
+    }
+}
+
+impl<P: Participation> Participation for Monitored<'_, P> {
+    fn keep_going(&mut self) -> bool {
+        self.epoch += 1;
+        self.publish();
+        self.inner.keep_going()
+    }
+}
 
 /// Controls when a participant abandons the sort, simulating reaping or
 /// crashing. Consulted at wait-free operation boundaries.
@@ -92,6 +148,8 @@ pub struct SortJob<K: Ord> {
     /// `perm[r - 1]` = element index with rank `r`.
     perm: Vec<AtomicUsize>,
     participants: AtomicUsize,
+    /// Per-participant heartbeats, indexed by `tid % MAX_TRACKED`.
+    heartbeats: Vec<HeartbeatSlot>,
 }
 
 impl<K: Ord> SortJob<K> {
@@ -123,6 +181,7 @@ impl<K: Ord> SortJob<K> {
             scatter_lcwat: AtomicLcWat::new(n),
             perm: (0..n).map(|_| AtomicUsize::new(0)).collect(),
             participants: AtomicUsize::new(0),
+            heartbeats: (0..MAX_TRACKED).map(|_| HeartbeatSlot::default()).collect(),
         }
     }
 
@@ -141,6 +200,54 @@ impl<K: Ord> SortJob<K> {
         match self.allocation {
             NativeAllocation::Deterministic => self.scatter_wat.all_done(),
             NativeAllocation::Randomized => self.scatter_lcwat.all_done(),
+        }
+    }
+
+    /// Snapshots the job's progress: per-participant heartbeats (phase,
+    /// checkpoint epoch, departed flag) and the build/scatter WAT
+    /// frontiers. Safe to call from any thread at any time; intended for
+    /// the [`crate::Watchdog`] and for diagnostics.
+    pub fn progress(&self) -> ProgressReport {
+        let participants = self.participants.load(Ordering::Relaxed);
+        let workers: Vec<ParticipantProgress> = (0..participants.min(MAX_TRACKED))
+            .map(|slot| {
+                let raw = self.heartbeats[slot].0.load(Ordering::Acquire);
+                ParticipantProgress {
+                    slot,
+                    phase: SortPhase::from_bits(raw >> PHASE_SHIFT),
+                    epoch: raw & EPOCH_MASK,
+                    departed: raw & DEPARTED_BIT != 0,
+                }
+            })
+            .collect();
+        let (build_jobs_done, build_jobs_total, scatter_jobs_done, scatter_jobs_total) =
+            match self.allocation {
+                NativeAllocation::Deterministic => (
+                    self.build_wat.done_jobs(),
+                    self.build_wat.jobs(),
+                    self.scatter_wat.done_jobs(),
+                    self.scatter_wat.jobs(),
+                ),
+                NativeAllocation::Randomized => (
+                    self.build_lcwat.done_jobs(),
+                    self.build_lcwat.jobs(),
+                    self.scatter_lcwat.done_jobs(),
+                    self.scatter_lcwat.jobs(),
+                ),
+            };
+        ProgressReport {
+            complete: self.is_complete(),
+            phase: workers
+                .iter()
+                .map(|w| w.phase)
+                .max()
+                .unwrap_or(SortPhase::Build),
+            participants,
+            workers,
+            build_jobs_done,
+            build_jobs_total,
+            scatter_jobs_done,
+            scatter_jobs_total,
         }
     }
 
@@ -165,17 +272,26 @@ impl<K: Ord> SortJob<K> {
         // A nominal thread count for work spreading; any value works, the
         // WAT reassigns everything anyway.
         let nthreads = (tid + 1).max(2);
-        self.build_phase(tid, nthreads, p);
-        if !self.build_done() {
-            return; // abandoned
+        let slot = &self.heartbeats[tid % MAX_TRACKED].0;
+        let mut m = Monitored {
+            inner: p,
+            slot,
+            phase: SortPhase::Build,
+            epoch: 0,
+        };
+        m.publish();
+        self.build_phase(tid, nthreads, &mut m);
+        if self.build_done() {
+            m.enter_phase(SortPhase::Sum);
+            if self.sum_phase(tid, &mut m) {
+                m.enter_phase(SortPhase::Place);
+                if self.place_phase(tid, &mut m) {
+                    m.enter_phase(SortPhase::Scatter);
+                    self.scatter_phase(tid, nthreads, &mut m);
+                }
+            }
         }
-        if !self.sum_phase(tid, p) {
-            return;
-        }
-        if !self.place_phase(tid, p) {
-            return;
-        }
-        self.scatter_phase(tid, nthreads, p);
+        m.depart();
     }
 
     /// Convenience: participate and never abandon.

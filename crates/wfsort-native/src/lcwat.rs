@@ -52,6 +52,19 @@ impl AtomicLcWat {
         self.nodes[1].load(Ordering::Acquire) >= DONE
     }
 
+    /// Number of jobs whose leaves are marked complete — the progress
+    /// frontier a watchdog reads. Probing is random, so leaves may lag
+    /// the root: once the root reports done, so does every job.
+    /// `O(jobs)`: diagnostics only, not for the sort's hot path.
+    pub fn done_jobs(&self) -> usize {
+        if self.all_done() {
+            return self.jobs;
+        }
+        (0..self.jobs)
+            .filter(|j| self.nodes[self.leaves + j].load(Ordering::Acquire) >= DONE)
+            .count()
+    }
+
     fn load(&self, node: usize) -> usize {
         self.nodes[node].load(Ordering::Acquire)
     }

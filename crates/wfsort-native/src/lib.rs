@@ -15,6 +15,15 @@
 //! called from any number of threads, joining and abandoning at will, and
 //! the sort completes as long as any one participant keeps running.
 //!
+//! That claim is exercised by a chaos harness built into the crate:
+//! [`ChaosPlan`] scripts seeded, per-worker fault schedules (crash,
+//! stall, pause, jitter) injected at participation checkpoints via
+//! [`ChaosParticipation`]; a [`Watchdog`] diffs heartbeat snapshots
+//! ([`ProgressReport`]) to tell reaped-but-progressing runs from wedged
+//! ones; and [`WaitFreeSorter::sort_with_plan`] /
+//! [`WaitFreeSorter::sort_with_deadline`] expose graceful degradation as
+//! ordinary sorting entry points.
+//!
 //! # Example
 //!
 //! ```
@@ -30,14 +39,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fault;
 mod job;
 mod lcwat;
 mod sorter;
 mod tree;
 mod wat;
+mod watchdog;
 
+pub use fault::{ChaosParticipation, ChaosPlan, CheckpointCounter, FaultAction, WithDeadline};
 pub use job::{NativeAllocation, Participation, QuitAfter, RunToCompletion, SortJob};
 pub use lcwat::AtomicLcWat;
 pub use sorter::{sort_with_churn, UntilFlag, WaitFreeSorter};
 pub use tree::{SharedTree, Side, EMPTY};
 pub use wat::{Assignment, AtomicWat};
+pub use watchdog::{Health, ParticipantProgress, ProgressReport, SortPhase, Watchdog};

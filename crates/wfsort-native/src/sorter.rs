@@ -1,8 +1,9 @@
 //! High-level sorting front-ends over [`SortJob`].
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
+use crate::fault::{ChaosParticipation, ChaosPlan, WithDeadline};
 use crate::job::{Participation, RunToCompletion, SortJob};
 
 /// A multi-threaded wait-free sorter.
@@ -36,23 +37,28 @@ impl WaitFreeSorter {
         self.threads
     }
 
+    /// Runs `job` to completion on this sorter's thread count (inline
+    /// when single-threaded, scoped workers otherwise).
+    fn run_job<K: Ord + Send + Sync>(&self, job: &SortJob<K>) {
+        if self.threads == 1 {
+            job.run();
+        } else {
+            crossbeam::thread::scope(|s| {
+                for _ in 0..self.threads {
+                    s.spawn(move |_| job.run());
+                }
+            })
+            .expect("worker threads do not panic");
+        }
+    }
+
     /// Sorts `keys` into a new vector.
     pub fn sort<K: Ord + Clone + Send + Sync>(&self, keys: &[K]) -> Vec<K> {
         if keys.len() < 2 {
             return keys.to_vec();
         }
         let job = SortJob::new(keys.to_vec());
-        if self.threads == 1 {
-            job.run();
-        } else {
-            crossbeam::thread::scope(|s| {
-                for _ in 0..self.threads {
-                    let job = &job;
-                    s.spawn(move |_| job.run());
-                }
-            })
-            .expect("worker threads do not panic");
-        }
+        self.run_job(&job);
         job.into_sorted()
     }
 
@@ -80,17 +86,7 @@ impl WaitFreeSorter {
         }
         let keys: Vec<K> = items.iter().map(f).collect();
         let job = SortJob::new(keys);
-        if self.threads == 1 {
-            job.run();
-        } else {
-            crossbeam::thread::scope(|s| {
-                for _ in 0..self.threads {
-                    let job = &job;
-                    s.spawn(move |_| job.run());
-                }
-            })
-            .expect("worker threads do not panic");
-        }
+        self.run_job(&job);
         job.permutation()
             .into_iter()
             .map(|e| items[e - 1].clone())
@@ -119,6 +115,134 @@ impl WaitFreeSorter {
             }
             let job = &job;
             s.spawn(move |_| job.run());
+        })
+        .expect("worker threads do not panic");
+        job.into_sorted()
+    }
+
+    /// Sorts under a scripted adversary: spawns one worker per
+    /// [`ChaosPlan`] slot, each driven by its deterministic fault script
+    /// (crashes, stalls, pauses, jitter). The plan's worker count
+    /// overrides this sorter's thread count.
+    ///
+    /// Always returns the sorted keys: any crash-free worker runs to
+    /// completion, and if the plan crashes *every* worker the calling
+    /// thread finishes the job alone — wait-freedom means the abandoned
+    /// data structures are always completable.
+    ///
+    /// Deterministic given `(keys, plan)`: the fault schedule is a pure
+    /// function of the plan and its seed, and the output permutation is a
+    /// pure function of the keys.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wfsort_native::{ChaosPlan, WaitFreeSorter};
+    ///
+    /// let keys: Vec<u64> = (0..500).rev().collect();
+    /// let plan = ChaosPlan::random_crashes(4, 0.75, 100, 7);
+    /// let sorted = WaitFreeSorter::new(4).sort_with_plan(&keys, &plan);
+    /// assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+    /// ```
+    pub fn sort_with_plan<K: Ord + Clone + Send + Sync>(
+        &self,
+        keys: &[K],
+        plan: &ChaosPlan,
+    ) -> Vec<K> {
+        if keys.len() < 2 {
+            return keys.to_vec();
+        }
+        let job = SortJob::new(keys.to_vec());
+        crossbeam::thread::scope(|s| {
+            for w in 0..plan.workers() {
+                let job = &job;
+                s.spawn(move |_| job.participate(&mut ChaosParticipation::new(plan, w)));
+            }
+        })
+        .expect("worker threads do not panic");
+        if !job.is_complete() {
+            // Every worker crashed: the caller is the survivor of last
+            // resort.
+            job.run();
+        }
+        job.into_sorted()
+    }
+
+    /// Sorts with a helper deadline: `threads - 1` helper workers
+    /// participate until `deadline` elapses and are then released (their
+    /// processors are needed elsewhere — the paper's §1.1 scenario),
+    /// while the calling thread runs to completion, alone past the
+    /// deadline if need be. The result is always the correct sort; the
+    /// deadline bounds *helper occupancy*, not correctness.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use std::time::Duration;
+    /// use wfsort_native::WaitFreeSorter;
+    ///
+    /// let keys: Vec<u64> = (0..500).rev().collect();
+    /// let sorted = WaitFreeSorter::new(4).sort_with_deadline(&keys, Duration::ZERO);
+    /// assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+    /// ```
+    pub fn sort_with_deadline<K: Ord + Clone + Send + Sync>(
+        &self,
+        keys: &[K],
+        deadline: Duration,
+    ) -> Vec<K> {
+        self.deadline_sort(keys, deadline, None)
+    }
+
+    /// [`WaitFreeSorter::sort_with_deadline`] with the helpers
+    /// additionally driven by a [`ChaosPlan`]: each helper obeys its
+    /// fault script *and* the deadline, whichever reaps it first. Even a
+    /// plan that crashes every helper at checkpoint zero leaves a correct
+    /// sort — the caller finishes alone.
+    pub fn sort_with_deadline_under<K: Ord + Clone + Send + Sync>(
+        &self,
+        keys: &[K],
+        deadline: Duration,
+        plan: &ChaosPlan,
+    ) -> Vec<K> {
+        self.deadline_sort(keys, deadline, Some(plan))
+    }
+
+    fn deadline_sort<K: Ord + Clone + Send + Sync>(
+        &self,
+        keys: &[K],
+        deadline: Duration,
+        plan: Option<&ChaosPlan>,
+    ) -> Vec<K> {
+        if keys.len() < 2 {
+            return keys.to_vec();
+        }
+        let job = SortJob::new(keys.to_vec());
+        let until = Instant::now() + deadline;
+        crossbeam::thread::scope(|s| {
+            match plan {
+                Some(plan) => {
+                    for w in 0..plan.workers() {
+                        let job = &job;
+                        s.spawn(move |_| {
+                            job.participate(&mut WithDeadline::new(
+                                ChaosParticipation::new(plan, w),
+                                until,
+                            ));
+                        });
+                    }
+                }
+                None => {
+                    for _ in 1..self.threads {
+                        let job = &job;
+                        s.spawn(move |_| {
+                            job.participate(&mut WithDeadline::new(RunToCompletion, until));
+                        });
+                    }
+                }
+            }
+            // The caller ignores the deadline: wait-freedom guarantees it
+            // can always finish what the helpers abandoned.
+            job.run();
         })
         .expect("worker threads do not panic");
         job.into_sorted()
@@ -155,28 +279,51 @@ impl Participation for UntilFlag<'_> {
     }
 }
 
+/// Stops a cohort once its members have collectively burned a shared
+/// budget of participation checks — a deterministic reap trigger that
+/// cannot race on machine speed the way a wall-clock one can.
+struct SharedBudget<'a> {
+    checks: &'a AtomicUsize,
+    budget: usize,
+}
+
+impl Participation for SharedBudget<'_> {
+    fn keep_going(&mut self) -> bool {
+        self.checks.fetch_add(1, Ordering::Relaxed) < self.budget
+    }
+}
+
 /// Demonstrates oblivious thread churn: spawns `initial` workers, reaps
-/// them at `reap_after`, then spawns `replacements` fresh workers that
-/// finish the job. Returns the sorted keys.
+/// them all once they have collectively made `reap_after_checks`
+/// participation checks, then spawns `replacements` fresh workers that
+/// finish the job. The reap trigger counts work, not wall time, so the
+/// churn point is the same on any machine. Returns the sorted keys.
 pub fn sort_with_churn<K: Ord + Clone + Send + Sync>(
     keys: &[K],
     initial: usize,
-    reap_after: Duration,
+    reap_after_checks: usize,
     replacements: usize,
 ) -> Vec<K> {
     if keys.len() < 2 {
         return keys.to_vec();
     }
     let job = SortJob::new(keys.to_vec());
-    let reap = AtomicBool::new(false);
+    let checks = AtomicUsize::new(0);
     crossbeam::thread::scope(|s| {
         for _ in 0..initial.max(1) {
-            let job = &job;
-            let reap = &reap;
-            s.spawn(move |_| job.participate(&mut UntilFlag::new(reap)));
+            let (job, checks) = (&job, &checks);
+            s.spawn(move |_| {
+                job.participate(&mut SharedBudget {
+                    checks,
+                    budget: reap_after_checks,
+                });
+            });
         }
-        std::thread::sleep(reap_after);
-        reap.store(true, Ordering::Relaxed);
+        // Respawn once the initial cohort is being reaped (or finished
+        // the whole job under budget — possible for small inputs).
+        while checks.load(Ordering::Relaxed) < reap_after_checks && !job.is_complete() {
+            std::thread::yield_now();
+        }
         for _ in 0..replacements.max(1) {
             let job = &job;
             s.spawn(move |_| job.participate(&mut RunToCompletion));
@@ -237,7 +384,10 @@ mod tests {
         let keys = random_keys(30_000, 4);
         let mut expect = keys.clone();
         expect.sort_unstable();
-        let sorted = sort_with_churn(&keys, 4, Duration::from_micros(200), 3);
+        // Reap the initial cohort after 2000 collective checks — far
+        // short of the ~30k build jobs, so the replacements always
+        // inherit real work, deterministically on any machine.
+        let sorted = sort_with_churn(&keys, 4, 2_000, 3);
         assert_eq!(sorted, expect);
     }
 

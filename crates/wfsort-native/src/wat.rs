@@ -101,6 +101,18 @@ impl AtomicWat {
         self.nodes[1].load(Ordering::Acquire) == DONE
     }
 
+    /// Number of jobs whose leaves are marked complete — the progress
+    /// frontier a watchdog reads. `O(jobs)`: diagnostics only, not for
+    /// the sort's hot path.
+    pub fn done_jobs(&self) -> usize {
+        if self.all_done() {
+            return self.jobs;
+        }
+        (0..self.jobs)
+            .filter(|j| self.nodes[self.leaves + j].load(Ordering::Acquire) == DONE)
+            .count()
+    }
+
     /// Marks `node` complete and finds the next assignment: the
     /// `next_element` routine of Figure 1. Wait-free: `O(log jobs)`
     /// atomic operations per call.

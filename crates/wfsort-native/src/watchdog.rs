@@ -1,0 +1,301 @@
+//! Progress observation: heartbeat snapshots, [`ProgressReport`]s and a
+//! [`Watchdog`] that tells a *reaped-but-progressing* run from a
+//! *genuinely wedged* one.
+//!
+//! Every participant of a [`SortJob`] publishes a heartbeat — its current
+//! phase and a checkpoint epoch — at every wait-free operation boundary,
+//! plus a departed flag when it returns (completion or abandonment).
+//! [`SortJob::progress`] snapshots those heartbeats together with the WAT
+//! frontiers into a [`ProgressReport`]; the [`Watchdog`] diffs successive
+//! reports. Wait-freedom makes the diagnosis clean: a crash can only
+//! remove a *contributor*, never wedge the survivors, so "no epoch moved
+//! and no frontier moved and not complete" is a real alarm (every live
+//! thread is stalled or the cohort is empty), not a transient.
+
+use std::fmt;
+
+use crate::job::SortJob;
+
+/// The four phases of [`SortJob::participate`], in execution order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SortPhase {
+    /// Phase 1: insert every element into the pivot tree.
+    Build = 0,
+    /// Phase 2: compute subtree sizes.
+    Sum = 1,
+    /// Phase 3: compute ranks.
+    Place = 2,
+    /// Phase 4: scatter element indices by rank.
+    Scatter = 3,
+}
+
+impl SortPhase {
+    pub(crate) fn from_bits(bits: u64) -> SortPhase {
+        match bits & 3 {
+            0 => SortPhase::Build,
+            1 => SortPhase::Sum,
+            2 => SortPhase::Place,
+            _ => SortPhase::Scatter,
+        }
+    }
+}
+
+impl fmt::Display for SortPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SortPhase::Build => "build",
+            SortPhase::Sum => "sum",
+            SortPhase::Place => "place",
+            SortPhase::Scatter => "scatter",
+        })
+    }
+}
+
+/// One participant's heartbeat at snapshot time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParticipantProgress {
+    /// Heartbeat slot index (= participant id for the first 64
+    /// participants; later joiners share slots modulo the slot count).
+    pub slot: usize,
+    /// The phase the participant last reported from.
+    pub phase: SortPhase,
+    /// Checkpoints consulted so far — monotonically increasing while the
+    /// participant is alive.
+    pub epoch: u64,
+    /// Whether the participant has returned from `participate` (either
+    /// because the sort completed or because it abandoned — with
+    /// `ProgressReport::complete == false` this means "reaped").
+    pub departed: bool,
+}
+
+/// A structured snapshot of a [`SortJob`]'s progress: global phase
+/// frontier, per-participant heartbeats, and the two WAT frontiers.
+#[derive(Clone, Debug)]
+pub struct ProgressReport {
+    /// Whether the sorted permutation is fully computed.
+    pub complete: bool,
+    /// The furthest phase any participant has reported from.
+    pub phase: SortPhase,
+    /// Total participants ever registered (including untracked ones
+    /// beyond the heartbeat slots).
+    pub participants: usize,
+    /// Tracked per-participant heartbeats, indexed by slot.
+    pub workers: Vec<ParticipantProgress>,
+    /// Phase-1 (build) WAT jobs completed.
+    pub build_jobs_done: usize,
+    /// Phase-1 (build) WAT jobs in total.
+    pub build_jobs_total: usize,
+    /// Phase-4 (scatter) WAT jobs completed.
+    pub scatter_jobs_done: usize,
+    /// Phase-4 (scatter) WAT jobs in total.
+    pub scatter_jobs_total: usize,
+}
+
+impl ProgressReport {
+    /// Participants still inside `participate` (not departed).
+    pub fn live_workers(&self) -> usize {
+        self.workers.iter().filter(|w| !w.departed).count()
+    }
+
+    /// Participants that returned while the sort was still incomplete —
+    /// reaped threads whose residual work the survivors must absorb.
+    pub fn reaped_workers(&self) -> usize {
+        if self.complete {
+            0
+        } else {
+            self.workers.iter().filter(|w| w.departed).count()
+        }
+    }
+}
+
+impl fmt::Display for ProgressReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "phase {}: build {}/{}, scatter {}/{}, workers {} ({} live, {} departed){}",
+            self.phase,
+            self.build_jobs_done,
+            self.build_jobs_total,
+            self.scatter_jobs_done,
+            self.scatter_jobs_total,
+            self.participants,
+            self.live_workers(),
+            self.workers.len() - self.live_workers(),
+            if self.complete { ", complete" } else { "" }
+        )
+    }
+}
+
+/// The watchdog's verdict after diffing two successive reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Health {
+    /// The sorted permutation is fully computed.
+    Complete,
+    /// Work moved since the last observation. `reaped` counts departed
+    /// participants (the sort survives them — that is the algorithm's
+    /// whole point); `stalled` counts live participants whose epoch did
+    /// not move (paused, preempted, or between observations too briefly
+    /// to tick).
+    Progressing {
+        /// Participants whose epoch advanced since the last observation.
+        advancing: usize,
+        /// Participants that departed with the sort incomplete.
+        reaped: usize,
+        /// Live participants whose epoch did not move.
+        stalled: usize,
+    },
+    /// Nothing moved: no epoch advanced, no WAT frontier grew, nobody
+    /// joined, and the sort is incomplete. Every live thread is stuck
+    /// (or the cohort is empty) — the condition wait-freedom guarantees
+    /// a single fresh participant can always clear.
+    Wedged,
+}
+
+/// Observes a [`SortJob`]'s heartbeats over time and classifies runs:
+/// reaped threads are business as usual; a global stall is an alarm.
+///
+/// # Examples
+///
+/// ```
+/// use wfsort_native::{Health, QuitAfter, SortJob, Watchdog};
+///
+/// let job = SortJob::new((0..500i64).rev().collect::<Vec<_>>());
+/// let mut dog = Watchdog::new(&job);
+/// job.participate(&mut QuitAfter(25)); // a worker is reaped early
+/// assert!(matches!(dog.observe(), Health::Progressing { .. }));
+/// assert_eq!(dog.observe(), Health::Wedged); // ...and nobody is left
+/// job.run();
+/// assert_eq!(dog.observe(), Health::Complete);
+/// ```
+#[derive(Debug)]
+pub struct Watchdog<'a, K: Ord> {
+    job: &'a SortJob<K>,
+    prev: Option<ProgressReport>,
+}
+
+impl<'a, K: Ord> Watchdog<'a, K> {
+    /// Creates a watchdog over `job`. The first [`Watchdog::observe`]
+    /// call compares against an all-zero baseline, so it reports
+    /// [`Health::Wedged`] for a job nobody has touched yet.
+    pub fn new(job: &'a SortJob<K>) -> Self {
+        Watchdog { job, prev: None }
+    }
+
+    /// Snapshots the job and classifies what happened since the previous
+    /// observation (or since the all-zero baseline, on the first call).
+    pub fn observe(&mut self) -> Health {
+        let now = self.job.progress();
+        let health = if now.complete {
+            Health::Complete
+        } else {
+            let (mut advancing, mut reaped, mut stalled) = (0, 0, 0);
+            for w in &now.workers {
+                let (prev_epoch, prev_departed) = self
+                    .prev
+                    .as_ref()
+                    .and_then(|p| p.workers.get(w.slot))
+                    .map(|p| (p.epoch, p.departed))
+                    .unwrap_or((0, false));
+                let moved = w.epoch != prev_epoch || w.departed != prev_departed;
+                if w.departed {
+                    reaped += 1;
+                } else if !moved {
+                    stalled += 1;
+                }
+                if moved {
+                    advancing += 1;
+                }
+            }
+            let frontier_moved = match &self.prev {
+                None => {
+                    now.build_jobs_done > 0 || now.scatter_jobs_done > 0 || now.participants > 0
+                }
+                Some(p) => {
+                    now.build_jobs_done > p.build_jobs_done
+                        || now.scatter_jobs_done > p.scatter_jobs_done
+                        || now.participants > p.participants
+                }
+            };
+            if advancing == 0 && !frontier_moved {
+                Health::Wedged
+            } else {
+                Health::Progressing {
+                    advancing,
+                    reaped,
+                    stalled,
+                }
+            }
+        };
+        self.prev = Some(now);
+        health
+    }
+
+    /// The most recent report, if [`Watchdog::observe`] has run.
+    pub fn report(&self) -> Option<&ProgressReport> {
+        self.prev.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{QuitAfter, SortJob};
+
+    #[test]
+    fn untouched_job_reads_wedged() {
+        let job = SortJob::new(vec![2, 1, 3]);
+        let mut dog = Watchdog::new(&job);
+        assert_eq!(dog.observe(), Health::Wedged);
+        let report = dog.report().unwrap();
+        assert!(!report.complete);
+        assert_eq!(report.participants, 0);
+        assert_eq!(report.build_jobs_done, 0);
+    }
+
+    #[test]
+    fn completed_job_reads_complete() {
+        let job = SortJob::new(vec![3, 1, 2]);
+        job.run();
+        let mut dog = Watchdog::new(&job);
+        assert_eq!(dog.observe(), Health::Complete);
+        let report = dog.report().unwrap();
+        assert!(report.complete);
+        assert_eq!(report.phase, SortPhase::Scatter);
+        assert_eq!(report.build_jobs_done, report.build_jobs_total);
+        assert_eq!(report.scatter_jobs_done, report.scatter_jobs_total);
+        assert_eq!(report.reaped_workers(), 0);
+    }
+
+    #[test]
+    fn reaped_then_idle_reads_progressing_then_wedged() {
+        let job = SortJob::new((0..2000i64).rev().collect::<Vec<_>>());
+        let mut dog = Watchdog::new(&job);
+        assert_eq!(dog.observe(), Health::Wedged);
+        job.participate(&mut QuitAfter(40));
+        match dog.observe() {
+            Health::Progressing {
+                advancing, reaped, ..
+            } => {
+                assert_eq!(advancing, 1);
+                assert_eq!(reaped, 1);
+            }
+            h => panic!("expected progressing, got {h:?}"),
+        }
+        // Nothing has moved since: the reaped worker no longer masks the
+        // global stall.
+        assert_eq!(dog.observe(), Health::Wedged);
+        let report = dog.report().unwrap();
+        assert_eq!(report.reaped_workers(), 1);
+        assert_eq!(report.live_workers(), 0);
+        assert!(!report.complete);
+    }
+
+    #[test]
+    fn display_renders_summary() {
+        let job = SortJob::new(vec![2, 1, 3]);
+        job.run();
+        let text = job.progress().to_string();
+        assert!(text.contains("complete"), "got: {text}");
+        assert!(text.contains("build 2/2"), "got: {text}");
+    }
+}

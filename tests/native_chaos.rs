@@ -1,0 +1,256 @@
+//! Chaos-harness acceptance tests for the native sorter: seeded fault
+//! plans, exhaustive crash-window sweeps, deadline-bounded sorting, and
+//! the progress watchdog.
+//!
+//! The native mirror of `tests/wait_freedom.rs`: where that file scripts
+//! PRAM-cycle failures through `FailurePlan`, these tests script
+//! participation-checkpoint failures through `ChaosPlan` and assert the
+//! same headline property — any surviving participant (or, at worst, the
+//! calling thread) completes the sort, under every fault schedule tried.
+
+use std::time::Duration;
+
+use wait_free_sort::wfsort_native::{
+    ChaosParticipation, ChaosPlan, CheckpointCounter, Health, RunToCompletion, SortJob,
+    WaitFreeSorter, Watchdog,
+};
+
+fn random_keys(n: usize, seed: u64) -> Vec<u64> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0..1_000_000)).collect()
+}
+
+/// Drives `job` with one `ChaosParticipation` worker per plan slot and
+/// reports whether the workers alone completed it.
+fn run_cohort(job: &SortJob<u64>, plan: &ChaosPlan) -> bool {
+    crossbeam::thread::scope(|s| {
+        for w in 0..plan.workers() {
+            s.spawn(move |_| job.participate(&mut ChaosParticipation::new(plan, w)));
+        }
+    })
+    .unwrap();
+    job.is_complete()
+}
+
+/// The core acceptance sweep: 200+ seeded crash storms, each reaping 75%
+/// of a 4-worker cohort at random checkpoints. Every run must be
+/// completed *by the workers themselves* (no caller fallback) and sorted
+/// correctly, and the storm must be reproducible from its seed alone.
+#[test]
+fn seeded_crash_storm_sweep_200() {
+    let keys = random_keys(600, 42);
+    let mut expect = keys.clone();
+    expect.sort_unstable();
+    for seed in 0..200u64 {
+        let plan = ChaosPlan::random_crashes(4, 0.75, 150, seed);
+        assert!(plan.survivors() >= 1, "seed {seed}: no survivor");
+        // The plan is a pure function of its seed.
+        let replay = ChaosPlan::random_crashes(4, 0.75, 150, seed);
+        for w in 0..4 {
+            assert_eq!(plan.script(w), replay.script(w), "seed {seed} worker {w}");
+        }
+        let job = SortJob::new(keys.clone());
+        assert!(
+            run_cohort(&job, &plan),
+            "seed {seed}: survivors failed to complete the sort"
+        );
+        assert_eq!(job.into_sorted(), expect, "seed {seed}: wrong output");
+    }
+}
+
+/// Storms with jitter layered on top: background stalls perturb the
+/// interleaving but can never perturb the output.
+#[test]
+fn seeded_storm_with_jitter_sweep() {
+    let keys = random_keys(400, 7);
+    let mut expect = keys.clone();
+    expect.sort_unstable();
+    for seed in 0..40u64 {
+        let plan = ChaosPlan::random_crashes(4, 0.5, 120, seed).with_jitter(0.1, 200);
+        let job = SortJob::new(keys.clone());
+        assert!(run_cohort(&job, &plan), "seed {seed}");
+        assert_eq!(job.into_sorted(), expect, "seed {seed}");
+    }
+}
+
+/// Pause/revive storms (the §1.1 undetectable-restart adversary): nobody
+/// crashes, so every cohort finishes — delayed, never blocked.
+#[test]
+fn pause_revive_storm_completes() {
+    let keys = random_keys(400, 9);
+    let mut expect = keys.clone();
+    expect.sort_unstable();
+    for seed in 0..10u64 {
+        let plan = ChaosPlan::random_pause_revive(3, 4, 100, seed);
+        let job = SortJob::new(keys.clone());
+        assert!(run_cohort(&job, &plan), "seed {seed}");
+        assert_eq!(job.into_sorted(), expect, "seed {seed}");
+    }
+}
+
+/// The native mirror of `exhaustive_single_crash_window_sweep`: measure
+/// how many checkpoints a solo run of a small input consults, then crash
+/// a worker at *every* one of those checkpoints in turn, with a single
+/// clean partner. No crash window may corrupt the sort.
+#[test]
+fn exhaustive_single_crash_checkpoint_sweep() {
+    let keys = random_keys(24, 11);
+    let mut expect = keys.clone();
+    expect.sort_unstable();
+
+    // Window size: checkpoints a solo uninterrupted run consults.
+    let baseline = SortJob::new(keys.clone());
+    let mut counter = CheckpointCounter::new(RunToCompletion);
+    baseline.participate(&mut counter);
+    assert!(baseline.is_complete());
+    assert_eq!(baseline.into_sorted(), expect);
+    let windows = counter.count();
+    assert!(windows > 0);
+
+    for c in 0..windows {
+        let plan = ChaosPlan::new(2).crash_at(0, c);
+        let job = SortJob::new(keys.clone());
+        assert!(
+            run_cohort(&job, &plan),
+            "crash at checkpoint {c}/{windows}: partner failed to finish"
+        );
+        assert_eq!(
+            job.into_sorted(),
+            expect,
+            "crash at checkpoint {c}/{windows}: wrong output"
+        );
+    }
+}
+
+/// `sort_with_plan` survives a plan that crashes *every* worker
+/// immediately: the calling thread is the survivor of last resort.
+#[test]
+fn sort_with_plan_survives_total_cohort_loss() {
+    let keys = random_keys(2_000, 13);
+    let mut expect = keys.clone();
+    expect.sort_unstable();
+    let plan = ChaosPlan::new(4)
+        .crash_at(0, 0)
+        .crash_at(1, 0)
+        .crash_at(2, 0)
+        .crash_at(3, 0);
+    assert_eq!(plan.survivors(), 0);
+    let sorted = WaitFreeSorter::new(4).sort_with_plan(&keys, &plan);
+    assert_eq!(sorted, expect);
+}
+
+/// `sort_with_plan` under randomized storms across allocation of work to
+/// many workers: output is always the full sort.
+#[test]
+fn sort_with_plan_randomized_storms() {
+    let keys = random_keys(1_500, 17);
+    let mut expect = keys.clone();
+    expect.sort_unstable();
+    let sorter = WaitFreeSorter::new(4);
+    for seed in 0..25u64 {
+        let plan = ChaosPlan::random_crashes(6, 0.8, 200, seed).with_jitter(0.05, 100);
+        assert_eq!(sorter.sort_with_plan(&keys, &plan), expect, "seed {seed}");
+    }
+}
+
+/// A zero deadline reaps every helper at its first checkpoint; the caller
+/// still returns the correct sort.
+#[test]
+fn sort_with_deadline_zero_is_correct() {
+    let keys = random_keys(3_000, 19);
+    let mut expect = keys.clone();
+    expect.sort_unstable();
+    let sorter = WaitFreeSorter::new(4);
+    assert_eq!(sorter.sort_with_deadline(&keys, Duration::ZERO), expect);
+    assert_eq!(
+        sorter.sort_with_deadline(&keys, Duration::from_millis(5)),
+        expect
+    );
+}
+
+/// Deadline *and* chaos at once: every helper crashes at checkpoint zero
+/// under a zero deadline, and the caller still finishes alone.
+#[test]
+fn sort_with_deadline_under_total_chaos() {
+    let keys = random_keys(2_000, 23);
+    let mut expect = keys.clone();
+    expect.sort_unstable();
+    let plan = ChaosPlan::new(3)
+        .crash_at(0, 0)
+        .crash_at(1, 0)
+        .crash_at(2, 0);
+    let sorted = WaitFreeSorter::new(4).sort_with_deadline_under(&keys, Duration::ZERO, &plan);
+    assert_eq!(sorted, expect);
+}
+
+/// The watchdog tells a reaped-but-progressing run from a wedged one:
+/// a worker that quits early reads as `Progressing { reaped: 1, .. }`,
+/// a subsequent idle window reads as `Wedged`, and fresh participation
+/// flips it back to `Progressing` and eventually `Complete`.
+#[test]
+fn watchdog_distinguishes_reaped_from_wedged() {
+    let keys = random_keys(4_000, 29);
+    let job = SortJob::new(keys);
+    let mut dog = Watchdog::new(&job);
+
+    // Untouched job: nothing has ever moved.
+    assert_eq!(dog.observe(), Health::Wedged);
+
+    // One worker is reaped mid-build. That is progress (work happened),
+    // and the report attributes it: one advancing-then-departed worker.
+    let plan = ChaosPlan::new(1).crash_at(0, 50);
+    job.participate(&mut ChaosParticipation::new(&plan, 0));
+    match dog.observe() {
+        Health::Progressing {
+            advancing, reaped, ..
+        } => {
+            assert_eq!(advancing, 1);
+            assert_eq!(reaped, 1);
+        }
+        h => panic!("expected Progressing after reaped worker, got {h:?}"),
+    }
+    let report = dog.report().unwrap().clone();
+    assert!(!report.complete);
+    assert_eq!(report.reaped_workers(), 1);
+    assert_eq!(report.live_workers(), 0);
+
+    // Nobody is working now: the same incomplete job reads Wedged, not
+    // Progressing — reaped history does not mask a global stall.
+    assert_eq!(dog.observe(), Health::Wedged);
+
+    // A fresh participant clears the wedge, as wait-freedom promises.
+    job.run();
+    assert_eq!(dog.observe(), Health::Complete);
+    let done = dog.report().unwrap();
+    assert!(done.complete);
+    assert_eq!(done.reaped_workers(), 0);
+    assert_eq!(done.build_jobs_done, done.build_jobs_total);
+    assert_eq!(done.scatter_jobs_done, done.scatter_jobs_total);
+}
+
+/// `ProgressReport` is inspectable mid-run: frontiers move monotonically
+/// and the display summary carries the numbers.
+#[test]
+fn progress_report_tracks_frontiers() {
+    let keys = random_keys(1_000, 31);
+    let job = SortJob::new(keys);
+    let before = job.progress();
+    assert!(!before.complete);
+    assert_eq!(before.participants, 0);
+    assert_eq!(before.build_jobs_done, 0);
+    assert_eq!(before.scatter_jobs_done, 0);
+    assert!(before.build_jobs_total > 0);
+
+    job.run();
+    let after = job.progress();
+    assert!(after.complete);
+    assert_eq!(after.participants, 1);
+    assert_eq!(after.build_jobs_done, after.build_jobs_total);
+    assert_eq!(after.scatter_jobs_done, after.scatter_jobs_total);
+    let text = after.to_string();
+    assert!(text.contains("complete"), "got: {text}");
+    let frontier = format!("build {}/{}", after.build_jobs_done, after.build_jobs_total);
+    assert!(text.contains(&frontier), "got: {text}");
+}
