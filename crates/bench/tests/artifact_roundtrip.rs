@@ -1,0 +1,47 @@
+//! The E23 artifact contract: a minimized counterexample token written
+//! through [`bench::write_artifact`] must load back from the file and
+//! replay to the same violation — failing schedules reproduce from the
+//! CI log (or artifact directory) alone.
+
+use pram::failure::FailurePlan;
+use pram::{Explorer, Pid, ScheduleScript, Word};
+use wfsort::{Phase, PhaseTarget};
+
+fn keys(n: usize) -> Vec<Word> {
+    (0..n as Word).map(|i| (i * 7) % n as Word).collect()
+}
+
+#[test]
+fn counterexample_token_round_trips_through_write_artifact() {
+    // One test owns the whole flow because BENCH_OUTPUT_DIR is process
+    // environment: find a counterexample, write it, load it, replay it.
+    let dir = std::env::temp_dir().join(format!("e23-artifact-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp artifact dir");
+    std::env::set_var("BENCH_OUTPUT_DIR", &dir);
+
+    let mut found = None;
+    for crash_cycle in 4..60 {
+        let plan = FailurePlan::new().crash_at(crash_cycle, Pid::new(0));
+        let target = PhaseTarget::new(Phase::PlaceFaithful, keys(8), 2).with_failures(plan);
+        if let Some(ce) = Explorer::new(2).exhaustive(&target).counterexample {
+            found = Some((target, ce));
+            break;
+        }
+    }
+    let (target, ce) = found.expect("no crash cycle broke the verbatim Figure 6");
+
+    bench::write_artifact("e23-counterexample.token", &ce.script.to_token());
+    let loaded = std::fs::read_to_string(dir.join("e23-counterexample.token"))
+        .expect("artifact file written");
+    let parsed = ScheduleScript::from_token(loaded.trim()).expect("artifact parses");
+    assert_eq!(parsed, ce.script, "file round-trip changed the script");
+
+    let (_, replayed) = Explorer::replay(&target, &parsed);
+    assert_eq!(
+        replayed.violation,
+        Some(ce.violation),
+        "loaded artifact did not replay to the same violation"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,946 @@
+//! Systematic schedule exploration: bounded-preemption enumeration,
+//! guided random walks, and minimized replayable counterexamples.
+//!
+//! Every "w.h.p." lemma in the paper is a claim quantified over schedules,
+//! and §4 leaves the *adversarial* scheduler as an open problem. Random
+//! seeds sample average schedules; the tail cases where parallel sorting
+//! guarantees break are specific interleavings that sampling rarely hits.
+//! This module searches for them deterministically.
+//!
+//! The search space is the set of *serialized* schedules: exactly one
+//! processor steps per machine cycle, so the machine's arbitrary-winner
+//! arbitration never fires and a run is a pure function of its preemption
+//! list. Serialization loses nothing for safety properties — any value a
+//! processor can read under a parallel schedule it can also read under
+//! some serialization of the same operations — and it is what makes a
+//! schedule replayable from a short token.
+//!
+//! Two search modes, following context-bounded (CHESS-style) model
+//! checking:
+//!
+//! * [`Explorer::exhaustive`] enumerates every serialized schedule with at
+//!   most `k` preemptions of tiny shapes (N, P ≤ 4–6). Most concurrency
+//!   bugs need very few preemptions, so a small bound covers the
+//!   interesting space at a fraction of the full interleaving count.
+//! * [`Explorer::guided_walk`] runs seeded random walks for shapes too
+//!   large to enumerate, recording every coin flip as a preemption so any
+//!   failing walk replays exactly.
+//!
+//! On a violation — a failed invariant, a failed final verdict, or an
+//! exhausted step bound — the explorer shrinks the preemption list to a
+//! local minimum and emits a [`ScheduleScript`] whose
+//! [`ScheduleScript::to_token`] string reproduces the failure from
+//! scratch, including any crash/revive events that were in play.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::failure::{FailureEvent, FailurePlan};
+use crate::machine::Machine;
+use crate::sched::{Scheduler, ScriptedScheduler, StepRecord};
+use crate::word::Pid;
+
+/// A serializable schedule: a preemption list plus the crash/revive
+/// events composed into the run. Together with a deterministic
+/// [`ExploreTarget`] this reproduces one execution exactly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScheduleScript {
+    label: String,
+    preemptions: Vec<(u64, usize)>,
+    failures: Vec<(u64, FailureEvent)>,
+}
+
+impl ScheduleScript {
+    /// Creates an empty script (the default schedule: lowest-index
+    /// processor runs to completion, then the next).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label` contains `;` or a newline — the token format
+    /// reserves both.
+    pub fn new(label: impl Into<String>) -> Self {
+        let label = label.into();
+        assert!(
+            !label.contains(';') && !label.contains('\n'),
+            "script labels must not contain ';' or newlines"
+        );
+        ScheduleScript {
+            label,
+            preemptions: Vec::new(),
+            failures: Vec::new(),
+        }
+    }
+
+    /// Adds a preemption: at `cycle`, switch execution to processor `pid`.
+    pub fn preempt_at(mut self, cycle: u64, pid: usize) -> Self {
+        self.preemptions.push((cycle, pid));
+        self
+    }
+
+    /// Schedules processor `pid` to crash just before `cycle` executes.
+    pub fn crash_at(mut self, cycle: u64, pid: usize) -> Self {
+        self.failures
+            .push((cycle, FailureEvent::Crash(Pid::new(pid))));
+        self
+    }
+
+    /// Schedules processor `pid` to revive just before `cycle` executes.
+    pub fn revive_at(mut self, cycle: u64, pid: usize) -> Self {
+        self.failures
+            .push((cycle, FailureEvent::Revive(Pid::new(pid))));
+        self
+    }
+
+    /// Folds every event of `plan` into the script (skipping exact
+    /// duplicates), so the script replays identically against a target
+    /// that no longer applies the plan itself.
+    pub fn with_failures(mut self, plan: &FailurePlan) -> Self {
+        for (cycle, event) in plan.events() {
+            if !self.failures.contains(&(cycle, event)) {
+                self.failures.push((cycle, event));
+            }
+        }
+        self
+    }
+
+    /// The free-form target label embedded in the token.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The preemption list, as `(cycle, pid)` pairs.
+    pub fn preemptions(&self) -> &[(u64, usize)] {
+        &self.preemptions
+    }
+
+    /// The crash/revive events, as `(cycle, event)` pairs in application
+    /// order.
+    pub fn failures(&self) -> &[(u64, FailureEvent)] {
+        &self.failures
+    }
+
+    /// Rebuilds the script's failure events as a [`FailurePlan`],
+    /// preserving same-cycle application order.
+    pub fn failure_plan(&self) -> FailurePlan {
+        let mut plan = FailurePlan::new();
+        for &(cycle, event) in &self.failures {
+            plan = match event {
+                FailureEvent::Crash(pid) => plan.crash_at(cycle, pid),
+                FailureEvent::Revive(pid) => plan.revive_at(cycle, pid),
+            };
+        }
+        plan
+    }
+
+    /// A copy of the script with preemption `index` removed (the
+    /// shrinker's one move).
+    fn without_preemption(&self, index: usize) -> ScheduleScript {
+        let mut copy = self.clone();
+        copy.preemptions.remove(index);
+        copy
+    }
+
+    /// Serializes the script to a single-line replay token, e.g.
+    /// `pram-sched-v1;pre=14:2,90:0;fail=C3:1,R20:1;label=place:n=6:p=3`.
+    pub fn to_token(&self) -> String {
+        let pre = self
+            .preemptions
+            .iter()
+            .map(|(cycle, pid)| format!("{cycle}:{pid}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        let fail = self
+            .failures
+            .iter()
+            .map(|(cycle, event)| match event {
+                FailureEvent::Crash(pid) => format!("C{cycle}:{}", pid.index()),
+                FailureEvent::Revive(pid) => format!("R{cycle}:{}", pid.index()),
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!("pram-sched-v1;pre={pre};fail={fail};label={}", self.label)
+    }
+
+    /// Parses a token produced by [`ScheduleScript::to_token`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TokenError`] if the header, a field, or an entry does
+    /// not parse.
+    pub fn from_token(token: &str) -> Result<ScheduleScript, TokenError> {
+        let rest = token
+            .trim()
+            .strip_prefix("pram-sched-v1;")
+            .ok_or(TokenError::BadHeader)?;
+        let rest = rest
+            .strip_prefix("pre=")
+            .ok_or(TokenError::MissingField("pre"))?;
+        let (pre_str, rest) = rest
+            .split_once(";fail=")
+            .ok_or(TokenError::MissingField("fail"))?;
+        let (fail_str, label) = rest
+            .split_once(";label=")
+            .ok_or(TokenError::MissingField("label"))?;
+
+        let parse_pair = |entry: &str| -> Result<(u64, usize), TokenError> {
+            let (cycle, pid) = entry
+                .split_once(':')
+                .ok_or_else(|| TokenError::BadEntry(entry.to_string()))?;
+            Ok((
+                cycle
+                    .parse()
+                    .map_err(|_| TokenError::BadEntry(entry.to_string()))?,
+                pid.parse()
+                    .map_err(|_| TokenError::BadEntry(entry.to_string()))?,
+            ))
+        };
+
+        let mut preemptions = Vec::new();
+        for entry in pre_str.split(',').filter(|e| !e.is_empty()) {
+            preemptions.push(parse_pair(entry)?);
+        }
+        let mut failures = Vec::new();
+        for entry in fail_str.split(',').filter(|e| !e.is_empty()) {
+            let (kind, pair) = entry.split_at(1);
+            let (cycle, pid) = parse_pair(pair)?;
+            let event = match kind {
+                "C" => FailureEvent::Crash(Pid::new(pid)),
+                "R" => FailureEvent::Revive(Pid::new(pid)),
+                _ => return Err(TokenError::BadEntry(entry.to_string())),
+            };
+            failures.push((cycle, event));
+        }
+        Ok(ScheduleScript {
+            label: label.to_string(),
+            preemptions,
+            failures,
+        })
+    }
+}
+
+/// A malformed replay token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenError {
+    /// The token does not start with the `pram-sched-v1;` header.
+    BadHeader,
+    /// A required `pre=`/`fail=`/`label=` field is missing.
+    MissingField(&'static str),
+    /// A list entry failed to parse; the payload is the offending entry.
+    BadEntry(String),
+}
+
+impl fmt::Display for TokenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenError::BadHeader => write!(f, "token does not start with 'pram-sched-v1;'"),
+            TokenError::MissingField(field) => write!(f, "token is missing the '{field}=' field"),
+            TokenError::BadEntry(entry) => write!(f, "token entry '{entry}' does not parse"),
+        }
+    }
+}
+
+impl std::error::Error for TokenError {}
+
+/// What went wrong on an exploration run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// A mid-run watcher check or the final verdict failed; the payload is
+    /// the target's message.
+    Invariant(String),
+    /// The run exceeded the target's step limit with work remaining — for
+    /// a wait-free algorithm under these (fair by construction) serialized
+    /// schedules, a genuine bug.
+    NonTermination {
+        /// The exhausted cycle limit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Invariant(msg) => write!(f, "invariant violated: {msg}"),
+            Violation::NonTermination { limit } => {
+                write!(f, "run did not terminate within {limit} cycles")
+            }
+        }
+    }
+}
+
+/// A minimized, replayable failure: the shrunk script and the violation
+/// it reproduces.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Counterexample {
+    /// The minimized schedule, self-contained (target failure plan folded
+    /// in) and serializable via [`ScheduleScript::to_token`].
+    pub script: ScheduleScript,
+    /// The violation the script reproduces.
+    pub violation: Violation,
+}
+
+/// The observable outcome of replaying one schedule; equality across
+/// replays is what "identical run" means for token round-trip tests.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplayOutcome {
+    /// The violation, if the run failed.
+    pub violation: Option<Violation>,
+    /// Machine cycles executed.
+    pub cycles: u64,
+    /// Processes halted normally at the end of the run.
+    pub halted: usize,
+}
+
+/// Counters accumulated over an exploration.
+#[derive(Clone, Debug, Default)]
+pub struct ExploreStats {
+    /// Schedules executed, including shrink replays.
+    pub runs: u64,
+    /// Total machine cycles across all runs — the explored state count.
+    pub steps: u64,
+    /// Runs per preemption count: `runs_by_depth[k]` schedules carried
+    /// exactly `k` preemptions. The preemption-bound coverage profile.
+    pub runs_by_depth: Vec<u64>,
+}
+
+impl ExploreStats {
+    fn note(&mut self, depth: usize, cycles: u64) {
+        self.runs += 1;
+        self.steps += cycles;
+        if self.runs_by_depth.len() <= depth {
+            self.runs_by_depth.resize(depth + 1, 0);
+        }
+        self.runs_by_depth[depth] += 1;
+    }
+}
+
+/// The result of an exploration: statistics plus the first minimized
+/// counterexample, if any schedule violated the target.
+#[derive(Clone, Debug)]
+pub struct ExploreReport {
+    /// Exploration counters.
+    pub stats: ExploreStats,
+    /// The first violation found, minimized — `None` means every explored
+    /// schedule passed.
+    pub counterexample: Option<Counterexample>,
+}
+
+/// Observes machine state after every cycle of an exploration run, for
+/// invariants that a final verdict cannot see (e.g. a transiently
+/// overwritten write-once cell that is later restored).
+pub trait Watcher {
+    /// Checks invariants after one cycle; an `Err` ends the run as an
+    /// [`Violation::Invariant`].
+    fn after_cycle(&mut self, machine: &Machine) -> Result<(), String>;
+}
+
+/// A watcher that never objects — the default.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoWatcher;
+
+impl Watcher for NoWatcher {
+    fn after_cycle(&mut self, _machine: &Machine) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+/// A system under exploration. Implementations must be deterministic:
+/// [`ExploreTarget::build`] called twice must produce machines that behave
+/// identically under identical schedules — that is the whole basis of
+/// replay.
+pub trait ExploreTarget {
+    /// Short label (no `;` or newline) embedded in counterexample tokens.
+    fn label(&self) -> String;
+
+    /// Builds a fresh machine at cycle zero: processes added, memory
+    /// preloaded.
+    fn build(&self) -> Machine;
+
+    /// Cycle budget per run; exceeding it is a
+    /// [`Violation::NonTermination`].
+    fn step_limit(&self) -> u64;
+
+    /// The crash/revive plan composed into every run. The explorer folds
+    /// it into emitted counterexamples so their tokens are self-contained.
+    fn failure_plan(&self) -> FailurePlan {
+        FailurePlan::new()
+    }
+
+    /// A fresh per-run watcher for mid-run invariants.
+    fn watcher(&self) -> Box<dyn Watcher> {
+        Box::new(NoWatcher)
+    }
+
+    /// Judges the final state of a run that terminated within its budget.
+    ///
+    /// # Errors
+    ///
+    /// An `Err` message becomes a [`Violation::Invariant`].
+    fn verdict(&self, machine: &Machine) -> Result<(), String>;
+}
+
+/// Configuration for [`Explorer::guided_walk`].
+#[derive(Clone, Copy, Debug)]
+pub struct WalkConfig {
+    /// Maximum number of walks.
+    pub walks: u64,
+    /// Per-cycle probability of preempting the running processor while an
+    /// alternative is runnable.
+    pub switch_prob: f64,
+    /// Base seed; walk `i` derives its own stream from it.
+    pub seed: u64,
+    /// Optional wall-clock budget; no new walk starts after it elapses.
+    pub budget: Option<Duration>,
+}
+
+impl WalkConfig {
+    /// A walk configuration with the given count and seed, 10% switch
+    /// probability, and no wall-clock budget.
+    pub fn new(walks: u64, seed: u64) -> Self {
+        WalkConfig {
+            walks,
+            switch_prob: 0.1,
+            seed,
+            budget: None,
+        }
+    }
+}
+
+/// The schedule-exploration engine. See the [module docs](self) for the
+/// search strategy.
+#[derive(Clone, Copy, Debug)]
+pub struct Explorer {
+    preemption_bound: usize,
+}
+
+impl Explorer {
+    /// Creates an explorer whose exhaustive mode enumerates schedules
+    /// with at most `preemption_bound` preemptions.
+    pub fn new(preemption_bound: usize) -> Self {
+        Explorer { preemption_bound }
+    }
+
+    /// The configured preemption bound.
+    pub fn preemption_bound(&self) -> usize {
+        self.preemption_bound
+    }
+
+    /// Exhaustively explores every serialized schedule of `target` with
+    /// at most the configured number of preemptions, stopping at the
+    /// first violation (minimized before it is returned).
+    ///
+    /// Enumeration is replay-based: each executed schedule's decision log
+    /// yields the cycles at which an alternative processor was runnable,
+    /// and each such alternative — at cycles strictly after the schedule's
+    /// last scripted preemption, so no schedule is generated twice —
+    /// becomes a child schedule.
+    pub fn exhaustive(&self, target: &dyn ExploreTarget) -> ExploreReport {
+        let mut stats = ExploreStats::default();
+        let mut stack = vec![ScheduleScript::new(target.label())];
+        while let Some(script) = stack.pop() {
+            let (_, outcome, records) = run_script(target, &script, true, &mut stats);
+            if outcome.violation.is_some() {
+                let counterexample = self.minimize(target, script, &mut stats);
+                return ExploreReport {
+                    stats,
+                    counterexample: Some(counterexample),
+                };
+            }
+            if script.preemptions().len() >= self.preemption_bound {
+                continue;
+            }
+            let frontier = script.preemptions().last().map_or(0, |&(c, _)| c + 1);
+            for record in &records {
+                if record.cycle < frontier || record.runnable.len() < 2 {
+                    continue;
+                }
+                for &pid in &record.runnable {
+                    if pid != record.chosen {
+                        stack.push(script.clone().preempt_at(record.cycle, pid));
+                    }
+                }
+            }
+        }
+        ExploreReport {
+            stats,
+            counterexample: None,
+        }
+    }
+
+    /// Runs seeded random walks over `target`'s schedules, stopping at
+    /// the first violation (minimized before it is returned). Every walk
+    /// records its coin flips as preemptions, so a failing walk replays
+    /// exactly from its script.
+    pub fn guided_walk(&self, target: &dyn ExploreTarget, config: &WalkConfig) -> ExploreReport {
+        let started = Instant::now();
+        let mut stats = ExploreStats::default();
+        for walk in 0..config.walks {
+            if config.budget.is_some_and(|b| started.elapsed() >= b) {
+                break;
+            }
+            let seed = config
+                .seed
+                .wrapping_add(walk.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            let script = walk_script(target, seed, config.switch_prob, &mut stats);
+            if let Some(script) = script {
+                let counterexample = self.minimize(target, script, &mut stats);
+                return ExploreReport {
+                    stats,
+                    counterexample: Some(counterexample),
+                };
+            }
+        }
+        ExploreReport {
+            stats,
+            counterexample: None,
+        }
+    }
+
+    /// Replays `script` against `target`, returning the final machine and
+    /// the outcome. Replaying the same script twice yields equal
+    /// [`ReplayOutcome`]s and equal memory — the determinism the tokens
+    /// stand on.
+    pub fn replay(target: &dyn ExploreTarget, script: &ScheduleScript) -> (Machine, ReplayOutcome) {
+        let mut stats = ExploreStats::default();
+        let (machine, outcome, _) = run_script(target, script, false, &mut stats);
+        (machine, outcome)
+    }
+
+    /// Greedily shrinks a violating script to a local minimum (no single
+    /// preemption can be dropped without losing the violation), then
+    /// packages it with the target's failure plan folded in.
+    fn minimize(
+        &self,
+        target: &dyn ExploreTarget,
+        script: ScheduleScript,
+        stats: &mut ExploreStats,
+    ) -> Counterexample {
+        let mut best = script;
+        loop {
+            let mut improved = false;
+            for index in 0..best.preemptions().len() {
+                let candidate = best.without_preemption(index);
+                let (_, outcome, _) = run_script(target, &candidate, false, stats);
+                if outcome.violation.is_some() {
+                    best = candidate;
+                    improved = true;
+                    break;
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        let (_, outcome, _) = run_script(target, &best, false, stats);
+        let violation = outcome
+            .violation
+            .expect("minimized script still violates by construction");
+        Counterexample {
+            script: best.with_failures(&target.failure_plan()),
+            violation,
+        }
+    }
+}
+
+/// Executes one schedule: a fresh machine from `target`, the script's
+/// preemptions through a [`ScriptedScheduler`], and the union of the
+/// target's and the script's crash/revive events, with the same
+/// keep-ticking semantics as [`Machine::run_with_failures`].
+fn run_script(
+    target: &dyn ExploreTarget,
+    script: &ScheduleScript,
+    want_records: bool,
+    stats: &mut ExploreStats,
+) -> (Machine, ReplayOutcome, Vec<StepRecord>) {
+    let mut machine = target.build();
+    let mut watcher = target.watcher();
+    let plan = target.failure_plan();
+    let plan = script.failure_plan().merged_for_run(&plan);
+    let limit = target.step_limit();
+    let mut sched = ScriptedScheduler::new(script.preemptions().to_vec());
+    if want_records {
+        sched.enable_log();
+    }
+
+    let mut violation = None;
+    loop {
+        let keep_ticking = machine.has_runnable()
+            || (machine.has_crashed()
+                && plan
+                    .last_revive_cycle()
+                    .is_some_and(|c| c >= machine.cycle_count()));
+        if !keep_ticking {
+            break;
+        }
+        if machine.cycle_count() >= limit {
+            violation = Some(Violation::NonTermination { limit });
+            break;
+        }
+        for event in plan.events_at(machine.cycle_count()) {
+            match event {
+                FailureEvent::Crash(pid) => machine.crash(pid),
+                FailureEvent::Revive(pid) => machine.revive(pid),
+            }
+        }
+        machine.cycle(&mut sched);
+        if let Err(msg) = watcher.after_cycle(&machine) {
+            violation = Some(Violation::Invariant(msg));
+            break;
+        }
+    }
+    if violation.is_none() {
+        if let Err(msg) = target.verdict(&machine) {
+            violation = Some(Violation::Invariant(msg));
+        }
+    }
+
+    stats.note(script.preemptions().len(), machine.cycle_count());
+    let halted = machine.report().halted;
+    let outcome = ReplayOutcome {
+        violation,
+        cycles: machine.cycle_count(),
+        halted,
+    };
+    (machine, outcome, sched.into_log())
+}
+
+impl FailurePlan {
+    /// The union of `self` and `other` used for one exploration run,
+    /// skipping exact duplicates so a token with the target plan already
+    /// folded in does not double-apply events.
+    fn merged_for_run(&self, other: &FailurePlan) -> FailurePlan {
+        let mine: Vec<_> = self.events().collect();
+        let mut merged = self.clone();
+        for (cycle, event) in other.events() {
+            if !mine.contains(&(cycle, event)) {
+                merged = match event {
+                    FailureEvent::Crash(pid) => merged.crash_at(cycle, pid),
+                    FailureEvent::Revive(pid) => merged.revive_at(cycle, pid),
+                };
+            }
+        }
+        merged
+    }
+}
+
+/// One guided walk: runs `target` under a coin-flipping scheduler and
+/// returns the recorded script if the run violated, `None` otherwise.
+fn walk_script(
+    target: &dyn ExploreTarget,
+    seed: u64,
+    switch_prob: f64,
+    stats: &mut ExploreStats,
+) -> Option<ScheduleScript> {
+    let mut machine = target.build();
+    let mut watcher = target.watcher();
+    let plan = target.failure_plan();
+    let limit = target.step_limit();
+    let mut sched = WalkScheduler {
+        rng: StdRng::seed_from_u64(seed),
+        switch_prob,
+        current: None,
+        preemptions: Vec::new(),
+    };
+
+    let mut violated = false;
+    loop {
+        let keep_ticking = machine.has_runnable()
+            || (machine.has_crashed()
+                && plan
+                    .last_revive_cycle()
+                    .is_some_and(|c| c >= machine.cycle_count()));
+        if !keep_ticking {
+            break;
+        }
+        if machine.cycle_count() >= limit {
+            violated = true;
+            break;
+        }
+        for event in plan.events_at(machine.cycle_count()) {
+            match event {
+                FailureEvent::Crash(pid) => machine.crash(pid),
+                FailureEvent::Revive(pid) => machine.revive(pid),
+            }
+        }
+        machine.cycle(&mut sched);
+        if watcher.after_cycle(&machine).is_err() {
+            violated = true;
+            break;
+        }
+    }
+    if !violated {
+        violated = target.verdict(&machine).is_err();
+    }
+
+    let cycles = machine.cycle_count();
+    stats.note(sched.preemptions.len(), cycles);
+    if violated {
+        let mut script = ScheduleScript::new(target.label());
+        for (cycle, pid) in sched.preemptions {
+            script = script.preempt_at(cycle, pid);
+        }
+        Some(script)
+    } else {
+        None
+    }
+}
+
+/// The guided-walk scheduler: keep the current processor with probability
+/// `1 - switch_prob`, otherwise preempt to a uniformly random runnable
+/// alternative and record the switch. Its default moves (initial pick,
+/// fall-over on halt/crash) match [`ScriptedScheduler`]'s exactly, so the
+/// recorded preemption list replays to the identical execution.
+struct WalkScheduler {
+    rng: StdRng,
+    switch_prob: f64,
+    current: Option<usize>,
+    preemptions: Vec<(u64, usize)>,
+}
+
+impl Scheduler for WalkScheduler {
+    fn select(&mut self, cycle: u64, runnable: &[Pid], out: &mut Vec<Pid>) {
+        if runnable.is_empty() {
+            return;
+        }
+        let choice = match self.current {
+            Some(c) if runnable.iter().any(|p| p.index() == c) => {
+                if runnable.len() >= 2 && self.rng.gen_bool(self.switch_prob) {
+                    let others: Vec<usize> = runnable
+                        .iter()
+                        .map(|p| p.index())
+                        .filter(|&i| i != c)
+                        .collect();
+                    let pick = others[self.rng.gen_range(0..others.len())];
+                    self.preemptions.push((cycle, pick));
+                    pick
+                } else {
+                    c
+                }
+            }
+            _ => runnable[0].index(),
+        };
+        self.current = Some(choice);
+        out.push(Pid::new(choice));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{Op, OpResult};
+    use crate::process::{FnProcess, Process};
+
+    /// A read-modify-write incrementor with no CAS: the textbook lost
+    /// update. Any schedule that preempts between the read and the write
+    /// loses an increment.
+    fn incrementor() -> Box<dyn Process> {
+        Box::new(FnProcess::new(|last| match last {
+            None => Op::Read(0),
+            Some(OpResult::Read(v)) => Op::Write(0, v + 1),
+            Some(OpResult::Write) => Op::Halt,
+            other => panic!("unexpected {other:?}"),
+        }))
+    }
+
+    /// Two racy incrementors; the invariant is that both increments land.
+    struct RacyCounter {
+        plan: FailurePlan,
+    }
+
+    impl RacyCounter {
+        fn new() -> Self {
+            RacyCounter {
+                plan: FailurePlan::new(),
+            }
+        }
+    }
+
+    impl ExploreTarget for RacyCounter {
+        fn label(&self) -> String {
+            "racy-counter".into()
+        }
+        fn build(&self) -> Machine {
+            let mut m = Machine::new(1);
+            m.add_process(incrementor());
+            m.add_process(incrementor());
+            m
+        }
+        fn step_limit(&self) -> u64 {
+            100
+        }
+        fn failure_plan(&self) -> FailurePlan {
+            self.plan.clone()
+        }
+        fn verdict(&self, machine: &Machine) -> Result<(), String> {
+            let v = machine.memory().read(0);
+            if v == 2 {
+                Ok(())
+            } else {
+                Err(format!("expected counter 2, found {v}"))
+            }
+        }
+    }
+
+    /// A process that spins forever — exercises the non-termination bound.
+    struct Spinner;
+
+    impl ExploreTarget for Spinner {
+        fn label(&self) -> String {
+            "spinner".into()
+        }
+        fn build(&self) -> Machine {
+            let mut m = Machine::new(1);
+            m.add_process(Box::new(FnProcess::new(|_| Op::Read(0))));
+            m
+        }
+        fn step_limit(&self) -> u64 {
+            25
+        }
+        fn verdict(&self, _machine: &Machine) -> Result<(), String> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn default_schedule_is_sequential_and_correct() {
+        let (machine, outcome) = Explorer::replay(&RacyCounter::new(), &ScheduleScript::new("t"));
+        assert_eq!(outcome.violation, None);
+        assert_eq!(machine.memory().read(0), 2);
+        assert_eq!(outcome.halted, 2);
+    }
+
+    #[test]
+    fn bound_zero_explores_only_the_default_schedule() {
+        let report = Explorer::new(0).exhaustive(&RacyCounter::new());
+        assert!(report.counterexample.is_none());
+        assert_eq!(report.stats.runs, 1);
+        assert_eq!(report.stats.runs_by_depth, vec![1]);
+    }
+
+    #[test]
+    fn one_preemption_finds_the_lost_update() {
+        let report = Explorer::new(1).exhaustive(&RacyCounter::new());
+        let ce = report.counterexample.expect("lost update exists");
+        assert_eq!(ce.script.preemptions().len(), 1);
+        assert!(matches!(&ce.violation, Violation::Invariant(m) if m.contains("counter")));
+        assert!(report.stats.runs >= 2, "explored the default first");
+    }
+
+    #[test]
+    fn counterexample_token_round_trips_to_the_same_run() {
+        let target = RacyCounter::new();
+        let ce = Explorer::new(1)
+            .exhaustive(&target)
+            .counterexample
+            .expect("lost update exists");
+        let token = ce.script.to_token();
+        let parsed = ScheduleScript::from_token(&token).expect("token parses");
+        assert_eq!(parsed, ce.script);
+        let (m1, o1) = Explorer::replay(&target, &ce.script);
+        let (m2, o2) = Explorer::replay(&target, &parsed);
+        assert_eq!(o1, o2);
+        assert_eq!(o1.violation, Some(ce.violation));
+        assert_eq!(m1.memory().read(0), m2.memory().read(0));
+    }
+
+    #[test]
+    fn guided_walk_finds_the_lost_update_and_minimizes_it() {
+        let config = WalkConfig {
+            walks: 200,
+            switch_prob: 0.4,
+            seed: 7,
+            budget: None,
+        };
+        let report = Explorer::new(1).guided_walk(&RacyCounter::new(), &config);
+        let ce = report.counterexample.expect("walks hit the race");
+        assert_eq!(ce.script.preemptions().len(), 1, "shrunk to one switch");
+        let (_, outcome) = Explorer::replay(&RacyCounter::new(), &ce.script);
+        assert_eq!(outcome.violation, Some(ce.violation));
+    }
+
+    #[test]
+    fn non_termination_is_reported_with_the_limit() {
+        let report = Explorer::new(0).exhaustive(&Spinner);
+        let ce = report.counterexample.expect("spinner never halts");
+        assert_eq!(ce.violation, Violation::NonTermination { limit: 25 });
+    }
+
+    #[test]
+    fn target_failure_plan_is_folded_into_the_token() {
+        let mut target = RacyCounter::new();
+        // Crash processor 1 before it starts and never revive it: only one
+        // increment can land, so even the default schedule violates.
+        target.plan = FailurePlan::new().crash_at(0, Pid::new(1));
+        let report = Explorer::new(0).exhaustive(&target);
+        let ce = report.counterexample.expect("one increment is lost");
+        assert_eq!(ce.script.failures().len(), 1);
+        let token = ce.script.to_token();
+        assert!(token.contains("fail=C0:1"), "token: {token}");
+        // The token is self-contained: replaying it against a plan-free
+        // target reproduces the violation.
+        let (_, outcome) = Explorer::replay(&RacyCounter::new(), &ce.script);
+        assert_eq!(outcome.violation, Some(ce.violation));
+    }
+
+    #[test]
+    fn crash_revive_keeps_ticking_through_an_all_down_moment() {
+        let mut target = RacyCounter::new();
+        target.plan = FailurePlan::new()
+            .crash_at(0, Pid::new(0))
+            .crash_at(0, Pid::new(1))
+            .revive_at(10, Pid::new(0))
+            .revive_at(10, Pid::new(1));
+        let report = Explorer::new(0).exhaustive(&target);
+        assert!(
+            report.counterexample.is_none(),
+            "revived processors finish the job: {:?}",
+            report.counterexample
+        );
+    }
+
+    #[test]
+    fn token_rejects_garbage() {
+        assert_eq!(
+            ScheduleScript::from_token("not-a-token"),
+            Err(TokenError::BadHeader)
+        );
+        assert_eq!(
+            ScheduleScript::from_token("pram-sched-v1;pre=1:2"),
+            Err(TokenError::MissingField("fail"))
+        );
+        assert!(matches!(
+            ScheduleScript::from_token("pram-sched-v1;pre=x:y;fail=;label=t"),
+            Err(TokenError::BadEntry(_))
+        ));
+        assert!(matches!(
+            ScheduleScript::from_token("pram-sched-v1;pre=;fail=X1:2;label=t"),
+            Err(TokenError::BadEntry(_))
+        ));
+        assert!(TokenError::BadHeader.to_string().contains("pram-sched-v1"));
+    }
+
+    #[test]
+    fn empty_script_token_round_trips() {
+        let script = ScheduleScript::new("empty");
+        let parsed = ScheduleScript::from_token(&script.to_token()).unwrap();
+        assert_eq!(parsed, script);
+        assert_eq!(parsed.label(), "empty");
+    }
+
+    #[test]
+    #[should_panic(expected = "labels")]
+    fn labels_with_semicolons_are_rejected() {
+        ScheduleScript::new("a;b");
+    }
+
+    #[test]
+    fn exhaustive_depth_profile_counts_every_schedule() {
+        let report = Explorer::new(1).exhaustive(&Spinner);
+        // A lone spinner has no alternatives: depth 1 is unreachable.
+        assert_eq!(report.stats.runs_by_depth.len(), 1);
+        let report = Explorer::new(1).exhaustive(&RacyCounter::new());
+        assert!(report.stats.runs_by_depth.len() >= 2);
+    }
+}

@@ -106,6 +106,14 @@ impl FailurePlan {
         plan
     }
 
+    /// Every scheduled `(cycle, event)` pair in insertion order — the
+    /// order [`FailurePlan::events_at`] applies same-cycle events in.
+    /// The schedule explorer uses this to fold a target's plan into its
+    /// self-contained replay tokens.
+    pub fn events(&self) -> impl Iterator<Item = (u64, FailureEvent)> + '_ {
+        self.events.iter().copied()
+    }
+
     /// All events scheduled for `cycle`.
     pub fn events_at(&self, cycle: u64) -> impl Iterator<Item = FailureEvent> + '_ {
         self.events

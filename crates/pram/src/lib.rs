@@ -61,8 +61,13 @@ mod sched;
 mod trace;
 mod word;
 
+pub mod explore;
 pub mod failure;
 
+pub use explore::{
+    Counterexample, ExploreReport, ExploreStats, ExploreTarget, Explorer, NoWatcher, ReplayOutcome,
+    ScheduleScript, TokenError, Violation, WalkConfig, Watcher,
+};
 pub use layout::{MemoryLayout, Region};
 pub use machine::{Machine, MachineError, ModelPolicy, RunReport};
 pub use memory::Memory;
@@ -70,8 +75,8 @@ pub use metrics::{CycleReport, Metrics};
 pub use op::{Op, OpResult};
 pub use process::{FnProcess, Process, ProcessState, SeqProcess};
 pub use sched::{
-    AdversaryScheduler, RandomScheduler, RoundRobinScheduler, Scheduler, SingleStepScheduler,
-    SyncScheduler,
+    AdversaryScheduler, RandomScheduler, RoundRobinScheduler, Scheduler, ScriptedScheduler,
+    SingleStepScheduler, StepRecord, SyncScheduler,
 };
 pub use trace::{Trace, TraceEvent};
 pub use word::{Addr, Pid, Word};

@@ -259,6 +259,25 @@ impl Machine {
         self.slots.iter().any(|s| s.state == ProcessState::Runnable)
     }
 
+    /// Whether any process is currently crashed. Together with a failure
+    /// plan's pending revivals this decides whether an externally driven
+    /// cycle loop (e.g. the schedule explorer) should keep ticking through
+    /// a moment where everyone happens to be down.
+    pub fn has_crashed(&self) -> bool {
+        self.slots.iter().any(|s| s.state == ProcessState::Crashed)
+    }
+
+    /// The pids of all currently runnable processes, in ascending order —
+    /// the same set a [`Scheduler`] would be offered on the next cycle.
+    pub fn runnable_pids(&self) -> Vec<Pid> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.state.is_runnable())
+            .map(|(i, _)| Pid::new(i))
+            .collect()
+    }
+
     /// Executes one machine cycle under `sched` and reports what happened.
     pub fn cycle(&mut self, sched: &mut dyn Scheduler) -> CycleReport {
         self.runnable_buf.clear();

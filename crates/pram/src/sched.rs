@@ -136,6 +136,110 @@ impl Scheduler for RoundRobinScheduler {
     }
 }
 
+/// One scheduling decision taken by a [`ScriptedScheduler`]: the cycle,
+/// the processor that stepped, and the runnable alternatives it was chosen
+/// from. The schedule explorer ([`crate::explore::Explorer`]) branches on
+/// these records to enumerate preemption points.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StepRecord {
+    /// Machine cycle of the decision.
+    pub cycle: u64,
+    /// Index of the processor that stepped.
+    pub chosen: usize,
+    /// Indices of every processor that was runnable at that cycle
+    /// (including `chosen`), in ascending order.
+    pub runnable: Vec<usize>,
+}
+
+/// A deterministic one-processor-per-cycle scheduler driven by an explicit
+/// preemption script.
+///
+/// The default policy keeps stepping the current processor while it stays
+/// runnable and falls over to the lowest-index runnable processor when it
+/// halts or crashes. A scripted preemption `(cycle, pid)` overrides the
+/// default at exactly that cycle, switching to `pid` if it is runnable
+/// (and silently keeping the default otherwise, so shrunk scripts stay
+/// well-formed). Because exactly one processor steps per cycle, the
+/// machine's arbitrary-winner arbitration never fires: a run is
+/// reproducible from the preemption list alone, which is what makes the
+/// explorer's replay tokens possible.
+#[derive(Clone, Debug, Default)]
+pub struct ScriptedScheduler {
+    preemptions: Vec<(u64, usize)>,
+    cursor: usize,
+    current: Option<usize>,
+    logging: bool,
+    log: Vec<StepRecord>,
+}
+
+impl ScriptedScheduler {
+    /// Creates a scheduler that applies `preemptions` — `(cycle, pid)`
+    /// pairs — on top of the default keep-running-then-lowest-index
+    /// policy. The list is sorted by cycle; at most one preemption fires
+    /// per cycle.
+    pub fn new(mut preemptions: Vec<(u64, usize)>) -> Self {
+        preemptions.sort_by_key(|&(cycle, _)| cycle);
+        ScriptedScheduler {
+            preemptions,
+            cursor: 0,
+            current: None,
+            logging: false,
+            log: Vec::new(),
+        }
+    }
+
+    /// Enables recording a [`StepRecord`] per decision (the explorer's
+    /// branching input). Off by default to keep replays cheap.
+    pub fn enable_log(&mut self) {
+        self.logging = true;
+    }
+
+    /// The decisions recorded so far (empty unless
+    /// [`ScriptedScheduler::enable_log`] was called).
+    pub fn log(&self) -> &[StepRecord] {
+        &self.log
+    }
+
+    /// Consumes the scheduler, returning its decision log.
+    pub fn into_log(self) -> Vec<StepRecord> {
+        self.log
+    }
+}
+
+impl Scheduler for ScriptedScheduler {
+    fn select(&mut self, cycle: u64, runnable: &[Pid], out: &mut Vec<Pid>) {
+        if runnable.is_empty() {
+            return;
+        }
+        // Preemptions scheduled for cycles where nobody was runnable are
+        // skipped, never applied late: replay must not depend on how long
+        // an all-crashed gap lasted.
+        while self.cursor < self.preemptions.len() && self.preemptions[self.cursor].0 < cycle {
+            self.cursor += 1;
+        }
+        let mut choice = match self.current {
+            Some(c) if runnable.iter().any(|p| p.index() == c) => c,
+            _ => runnable[0].index(),
+        };
+        if self.cursor < self.preemptions.len() && self.preemptions[self.cursor].0 == cycle {
+            let (_, pid) = self.preemptions[self.cursor];
+            self.cursor += 1;
+            if runnable.iter().any(|p| p.index() == pid) {
+                choice = pid;
+            }
+        }
+        self.current = Some(choice);
+        if self.logging {
+            self.log.push(StepRecord {
+                cycle,
+                chosen: choice,
+                runnable: runnable.iter().map(|p| p.index()).collect(),
+            });
+        }
+        out.push(Pid::new(choice));
+    }
+}
+
 /// A scripted adversary: an arbitrary closure over (cycle, runnable set).
 ///
 /// Tests use this to stall victims at the worst possible moments, e.g.
@@ -288,6 +392,83 @@ mod tests {
             all
         };
         assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn scripted_default_runs_lowest_index_to_completion() {
+        let mut s = ScriptedScheduler::new(Vec::new());
+        let mut out = Vec::new();
+        s.select(0, &pids(&[0, 1, 2]), &mut out);
+        assert_eq!(out, pids(&[0]));
+        out.clear();
+        // Processor 0 is gone: fall over to the lowest-index survivor.
+        s.select(1, &pids(&[1, 2]), &mut out);
+        assert_eq!(out, pids(&[1]));
+        out.clear();
+        // ...and stick with it while it stays runnable.
+        s.select(2, &pids(&[1, 2]), &mut out);
+        assert_eq!(out, pids(&[1]));
+    }
+
+    #[test]
+    fn scripted_preemption_switches_at_its_cycle() {
+        let mut s = ScriptedScheduler::new(vec![(1, 2)]);
+        let r = pids(&[0, 1, 2]);
+        let mut chosen = Vec::new();
+        for c in 0..4 {
+            let mut out = Vec::new();
+            s.select(c, &r, &mut out);
+            chosen.push(out[0].index());
+        }
+        assert_eq!(chosen, vec![0, 2, 2, 2]);
+    }
+
+    #[test]
+    fn scripted_preemption_to_non_runnable_pid_is_ignored() {
+        let mut s = ScriptedScheduler::new(vec![(0, 7)]);
+        let mut out = Vec::new();
+        s.select(0, &pids(&[0, 1]), &mut out);
+        assert_eq!(out, pids(&[0]));
+    }
+
+    #[test]
+    fn scripted_missed_preemption_is_never_applied_late() {
+        let mut s = ScriptedScheduler::new(vec![(1, 1)]);
+        let r = pids(&[0, 1]);
+        let mut out = Vec::new();
+        s.select(0, &r, &mut out);
+        out.clear();
+        // Cycle 1 had nobody runnable (select not called); the preemption
+        // must not fire at cycle 2.
+        s.select(2, &r, &mut out);
+        assert_eq!(out, pids(&[0]));
+    }
+
+    #[test]
+    fn scripted_log_records_alternatives() {
+        let mut s = ScriptedScheduler::new(vec![(1, 1)]);
+        s.enable_log();
+        let r = pids(&[0, 1]);
+        for c in 0..2 {
+            let mut out = Vec::new();
+            s.select(c, &r, &mut out);
+        }
+        let log = s.into_log();
+        assert_eq!(
+            log,
+            vec![
+                StepRecord {
+                    cycle: 0,
+                    chosen: 0,
+                    runnable: vec![0, 1]
+                },
+                StepRecord {
+                    cycle: 1,
+                    chosen: 1,
+                    runnable: vec![0, 1]
+                },
+            ]
+        );
     }
 
     #[test]

@@ -502,6 +502,37 @@ mod tests {
     }
 
     #[test]
+    fn generated_plans_are_pure_functions_of_their_parameters() {
+        // Unit mirror of the proptest in `tests/proptest_extensions.rs`:
+        // same (shape, seed) ⇒ identical per-worker scripts, across both
+        // generators and a spread of parameters.
+        for seed in 0..100u64 {
+            let workers = 1 + (seed as usize % 8);
+            let fraction = (seed % 11) as f64 / 10.0;
+            let horizon = 1 + (seed * 7) % 400;
+            let a = ChaosPlan::random_crashes(workers, fraction, horizon, seed);
+            let b = ChaosPlan::random_crashes(workers, fraction, horizon, seed);
+            for w in 0..workers {
+                assert_eq!(a.script(w), b.script(w), "crashes: seed {seed} worker {w}");
+            }
+            assert_eq!(a.crash_victims(), b.crash_victims());
+            let rounds = seed as usize % 4;
+            let c = ChaosPlan::random_pause_revive(workers, rounds, horizon, seed);
+            let d = ChaosPlan::random_pause_revive(workers, rounds, horizon, seed);
+            for w in 0..workers {
+                assert_eq!(c.script(w), d.script(w), "pauses: seed {seed} worker {w}");
+            }
+            // A different seed perturbs at least one generated script
+            // (vacuously equal plans — no victims, no rounds — excepted).
+            let shifted = ChaosPlan::random_crashes(workers, fraction, horizon, seed + 1);
+            if a.crash_victims() > 0 && shifted.crash_victims() > 0 {
+                let differs = (0..workers).any(|w| a.script(w) != shifted.script(w));
+                assert!(differs, "seed {seed}: seed change left every script equal");
+            }
+        }
+    }
+
+    #[test]
     fn participation_replays_script_deterministically() {
         let plan = ChaosPlan::new(1)
             .stall_at(0, 2, 5)

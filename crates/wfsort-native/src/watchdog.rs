@@ -185,6 +185,21 @@ impl<'a, K: Ord> Watchdog<'a, K> {
     /// observation (or since the all-zero baseline, on the first call).
     pub fn observe(&mut self) -> Health {
         let now = self.job.progress();
+        self.observe_report(now)
+    }
+
+    /// Classifies an externally supplied report against the previous one,
+    /// exactly as [`Watchdog::observe`] would (and becoming the baseline
+    /// for the next observation). Exposed so tests and external monitors
+    /// can feed synthetic or replayed report sequences — stale heartbeats
+    /// delivered out of order, equal epochs, even epoch wraparound —
+    /// without arranging real thread timings.
+    ///
+    /// Movement is detected by *inequality* (`epoch != previous`), never
+    /// by ordering: a heartbeat that goes backwards (reordered delivery,
+    /// wraparound) still proves its thread executed, so it must never
+    /// push a Progressing run toward [`Health::Wedged`].
+    pub fn observe_report(&mut self, now: ProgressReport) -> Health {
         let health = if now.complete {
             Health::Complete
         } else {
@@ -288,6 +303,121 @@ mod tests {
         assert_eq!(report.reaped_workers(), 1);
         assert_eq!(report.live_workers(), 0);
         assert!(!report.complete);
+    }
+
+    /// A one-live-worker report with the given heartbeat epoch, for
+    /// driving [`Watchdog::observe_report`] with synthetic sequences.
+    fn synthetic(epoch: u64, departed: bool) -> ProgressReport {
+        ProgressReport {
+            complete: false,
+            phase: SortPhase::Build,
+            participants: 1,
+            workers: vec![ParticipantProgress {
+                slot: 0,
+                phase: SortPhase::Build,
+                epoch,
+                departed,
+            }],
+            build_jobs_done: 0,
+            build_jobs_total: 2,
+            scatter_jobs_done: 0,
+            scatter_jobs_total: 3,
+        }
+    }
+
+    #[test]
+    fn stale_or_reordered_epochs_never_read_as_wedged() {
+        let job = SortJob::new(vec![2, 1, 3]);
+        let mut dog = Watchdog::new(&job);
+        dog.observe_report(synthetic(10, false));
+        // A stale heartbeat delivered out of order: the epoch goes
+        // *backwards*. The thread demonstrably executed, so this is
+        // movement, not a stall.
+        assert_eq!(
+            dog.observe_report(synthetic(8, false)),
+            Health::Progressing {
+                advancing: 1,
+                reaped: 0,
+                stalled: 0,
+            }
+        );
+        // And forward again: still progressing.
+        assert_eq!(
+            dog.observe_report(synthetic(9, false)),
+            Health::Progressing {
+                advancing: 1,
+                reaped: 0,
+                stalled: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn epoch_wraparound_reads_as_progress() {
+        let job = SortJob::new(vec![2, 1, 3]);
+        let mut dog = Watchdog::new(&job);
+        dog.observe_report(synthetic(u64::MAX, false));
+        // The counter wraps to zero between observations: inequality, not
+        // ordering, is what the watchdog keys on.
+        assert_eq!(
+            dog.observe_report(synthetic(0, false)),
+            Health::Progressing {
+                advancing: 1,
+                reaped: 0,
+                stalled: 0,
+            }
+        );
+        // Having wrapped to the all-zero baseline value, a *repeat* of
+        // the same report is a genuine stall.
+        assert_eq!(dog.observe_report(synthetic(0, false)), Health::Wedged);
+    }
+
+    #[test]
+    fn equal_epochs_with_no_frontier_motion_read_wedged() {
+        let job = SortJob::new(vec![2, 1, 3]);
+        let mut dog = Watchdog::new(&job);
+        dog.observe_report(synthetic(5, false));
+        // Identical consecutive reports: nothing moved anywhere.
+        assert_eq!(dog.observe_report(synthetic(5, false)), Health::Wedged);
+        assert_eq!(dog.observe_report(synthetic(5, false)), Health::Wedged);
+    }
+
+    #[test]
+    fn departed_flip_with_equal_epoch_is_movement() {
+        let job = SortJob::new(vec![2, 1, 3]);
+        let mut dog = Watchdog::new(&job);
+        dog.observe_report(synthetic(5, false));
+        // Same epoch, but the worker departed: returning from
+        // `participate` is an observable step even if no checkpoint
+        // ticked in between.
+        assert_eq!(
+            dog.observe_report(synthetic(5, true)),
+            Health::Progressing {
+                advancing: 1,
+                reaped: 1,
+                stalled: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn frontier_growth_alone_is_progress_for_equal_epochs() {
+        let job = SortJob::new(vec![2, 1, 3]);
+        let mut dog = Watchdog::new(&job);
+        dog.observe_report(synthetic(5, false));
+        // Epochs frozen, but a WAT frontier grew (some untracked thread
+        // finished a job): progressing, with the frozen worker counted
+        // as stalled.
+        let mut moved = synthetic(5, false);
+        moved.build_jobs_done = 1;
+        assert_eq!(
+            dog.observe_report(moved),
+            Health::Progressing {
+                advancing: 0,
+                reaped: 0,
+                stalled: 1,
+            }
+        );
     }
 
     #[test]

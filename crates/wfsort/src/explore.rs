@@ -1,0 +1,530 @@
+//! Schedule-exploration targets for the sort phases.
+//!
+//! This module adapts the sort to `pram`'s bounded-preemption
+//! [`Explorer`](pram::Explorer): a [`PhaseTarget`] wraps one phase (or the
+//! whole sort) as a deterministic [`ExploreTarget`] whose verdicts encode
+//! the paper's safety claims — a valid pivot tree (Lemma 2.5, including
+//! the write-once child-pointer discipline, watched per cycle), consistent
+//! subtree sizes (Figure 5), places that are exactly the sorted ranks
+//! (Figure 6), and a sorted permutation of the input end-to-end. Crash
+//! plans compose in via [`PhaseTarget::with_failures`], so the explorer
+//! can hunt for schedules on which a crash becomes fatal.
+//!
+//! [`Phase::PlaceFaithful`] targets the Figure 6 routine *exactly as
+//! printed* ([`FindPlaceProcess::faithful_figure6`]) — a known-unsafe
+//! mutation that the explorer must be able to break; E23 uses it as the
+//! engine's acceptance test.
+
+use pram::explore::{ExploreTarget, NoWatcher, Watcher};
+use pram::failure::FailurePlan;
+use pram::{Machine, MemoryLayout, Pid, Region, Word};
+use wat::{Wat, WatProcess};
+
+use crate::build::{key_less, BuildTreeWorker};
+use crate::layout::{ElementArrays, Side, SortLayout, EMPTY};
+use crate::place::FindPlaceProcess;
+use crate::sort::{PramSorter, SortConfig};
+use crate::sum::TreeSumProcess;
+use crate::verify::{check_sorted_permutation, validate_pivot_tree};
+
+/// Builds the pivot tree for `keys` locally (the same deterministic
+/// insertion rule phase 1 converges to) and returns the
+/// `(small, big, parent)` child vectors, 1-based with entry 0 unused.
+fn local_tree(keys: &[Word]) -> (Vec<Word>, Vec<Word>, Vec<Word>) {
+    let n = keys.len();
+    let mut small = vec![0i64; n + 1];
+    let mut big = vec![0i64; n + 1];
+    let mut parent = vec![0i64; n + 1];
+    for i in 2..=n {
+        let mut p = 1usize;
+        loop {
+            let slot = if key_less(keys[i - 1], i, keys[p - 1], p) {
+                &mut small
+            } else {
+                &mut big
+            };
+            if slot[p] == 0 {
+                slot[p] = i as i64;
+                parent[i] = p as i64;
+                break;
+            }
+            p = slot[p] as usize;
+        }
+    }
+    (small, big, parent)
+}
+
+/// Subtree sizes of the tree rooted at element 1, computed locally in
+/// postorder (`size[0]` unused and zero).
+fn local_sizes(n: usize, small: &[Word], big: &[Word]) -> Vec<Word> {
+    let mut size = vec![0i64; n + 1];
+    let mut stack = vec![(1usize, false)];
+    while let Some((node, ready)) = stack.pop() {
+        if ready {
+            let s = |c: Word| if c == 0 { 0 } else { size[c as usize] };
+            size[node] = s(small[node]) + s(big[node]) + 1;
+        } else {
+            stack.push((node, true));
+            for &c in [small[node], big[node]].iter().filter(|&&c| c != 0) {
+                stack.push((c as usize, false));
+            }
+        }
+    }
+    size
+}
+
+/// Builds a machine whose memory holds `keys` and their fully built pivot
+/// tree (children and parents) — the starting state of phase 2. Returns
+/// the machine (no processes added yet) and the element arrays.
+pub fn machine_with_tree(keys: &[Word], seed: u64) -> (Machine, ElementArrays) {
+    let n = keys.len();
+    let mut layout = MemoryLayout::new();
+    let arrays = ElementArrays::layout(&mut layout, n);
+    let mut machine = Machine::with_seed(layout.total(), seed);
+    arrays.load_keys(machine.memory_mut(), keys);
+    let (small, big, parent) = local_tree(keys);
+    machine
+        .memory_mut()
+        .load(arrays.child(1, Side::Small) - 1, &small);
+    machine
+        .memory_mut()
+        .load(arrays.child(1, Side::Big) - 1, &big);
+    machine.memory_mut().load(arrays.parent(1) - 1, &parent);
+    (machine, arrays)
+}
+
+/// Like [`machine_with_tree`], additionally preloading every subtree size
+/// — the starting state of phase 3.
+pub fn machine_with_sized_tree(keys: &[Word], seed: u64) -> (Machine, ElementArrays) {
+    let (mut machine, arrays) = machine_with_tree(keys, seed);
+    let (small, big, _) = local_tree(keys);
+    let sizes = local_sizes(keys.len(), &small, &big);
+    machine.memory_mut().load(arrays.size(1) - 1, &sizes);
+    (machine, arrays)
+}
+
+/// Which slice of the sort a [`PhaseTarget`] explores.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Phase 1 alone: insert every element into the pivot tree through
+    /// the build WAT. Verdict: [`validate_pivot_tree`]; a per-cycle
+    /// watcher enforces the write-once child-pointer discipline.
+    Build,
+    /// Phase 2 alone, over a preloaded tree. Verdict: every `size` cell
+    /// satisfies `size = size(small) + size(big) + 1` and the root's is
+    /// `n`.
+    Sum,
+    /// Phase 3 (the crash-safe postorder variant), over a preloaded sized
+    /// tree. Verdict: every element's `place` is its sorted rank and its
+    /// `place_done` flag is set.
+    Place,
+    /// Phase 3 **exactly as printed** in Figure 6 — the crash-unsafe skip
+    /// on `place > 0`, no postorder flag. Correct without failures; with
+    /// a crash composed in, the explorer should find losing schedules.
+    PlaceFaithful,
+    /// All four phases end-to-end (via [`PramSorter::prepare`]). Verdict:
+    /// the output is a sorted permutation of the input; the write-once
+    /// watcher runs too.
+    EndToEnd,
+}
+
+impl Phase {
+    fn name(&self) -> &'static str {
+        match self {
+            Phase::Build => "build",
+            Phase::Sum => "sum",
+            Phase::Place => "place",
+            Phase::PlaceFaithful => "place-faithful",
+            Phase::EndToEnd => "e2e",
+        }
+    }
+}
+
+/// One sort phase (or the whole sort) packaged as a deterministic
+/// [`ExploreTarget`] for the schedule explorer.
+///
+/// # Examples
+///
+/// ```
+/// use pram::Explorer;
+/// use wfsort::explore::{Phase, PhaseTarget};
+///
+/// let target = PhaseTarget::new(Phase::Sum, vec![2, 1, 3], 2);
+/// let report = Explorer::new(1).exhaustive(&target);
+/// assert!(report.counterexample.is_none());
+/// assert!(report.stats.runs > 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct PhaseTarget {
+    phase: Phase,
+    keys: Vec<Word>,
+    nprocs: usize,
+    seed: u64,
+    plan: FailurePlan,
+}
+
+impl PhaseTarget {
+    /// Creates a target exploring `phase` over `keys` with `nprocs`
+    /// simulated processors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` is empty, `nprocs` is zero, or fewer than two
+    /// keys are given for [`Phase::Build`] / [`Phase::EndToEnd`] (which
+    /// need at least one WAT job).
+    pub fn new(phase: Phase, keys: Vec<Word>, nprocs: usize) -> Self {
+        assert!(!keys.is_empty(), "need at least one key");
+        assert!(nprocs > 0, "need at least one processor");
+        if matches!(phase, Phase::Build | Phase::EndToEnd) {
+            assert!(keys.len() >= 2, "build/e2e targets need at least two keys");
+        }
+        PhaseTarget {
+            phase,
+            keys,
+            nprocs,
+            seed: 13,
+            plan: FailurePlan::new(),
+        }
+    }
+
+    /// Sets the machine seed (irrelevant to serialized schedules — one
+    /// operation per cycle leaves nothing to arbitrate — but recorded in
+    /// the label so tokens name the exact machine).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Composes a crash/revive plan into every explored run. The explorer
+    /// folds it into emitted counterexample tokens.
+    pub fn with_failures(mut self, plan: FailurePlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    fn n(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// The element arrays at the addresses [`ExploreTarget::build`] used —
+    /// layouts are deterministic, so laying the same plan out again finds
+    /// the same regions.
+    fn arrays(&self) -> ElementArrays {
+        let mut layout = MemoryLayout::new();
+        match self.phase {
+            Phase::EndToEnd => SortLayout::layout(&mut layout, self.n()).elems,
+            _ => ElementArrays::layout(&mut layout, self.n()),
+        }
+    }
+
+    /// The expected 1-based rank of every element, by `(key, index)`.
+    fn expected_ranks(&self) -> Vec<(usize, Word)> {
+        let mut order: Vec<usize> = (1..=self.n()).collect();
+        order.sort_by_key(|&i| (self.keys[i - 1], i));
+        order
+            .into_iter()
+            .enumerate()
+            .map(|(rank0, elem)| (elem, rank0 as Word + 1))
+            .collect()
+    }
+}
+
+impl ExploreTarget for PhaseTarget {
+    fn label(&self) -> String {
+        format!(
+            "{}:n={}:p={}:seed={}",
+            self.phase.name(),
+            self.n(),
+            self.nprocs,
+            self.seed
+        )
+    }
+
+    fn build(&self) -> Machine {
+        match self.phase {
+            Phase::Build => {
+                let n = self.n();
+                let mut layout = MemoryLayout::new();
+                let arrays = ElementArrays::layout(&mut layout, n);
+                let build_wat = Wat::layout(&mut layout, n - 1);
+                let mut machine = Machine::with_seed(layout.total(), self.seed);
+                arrays.load_keys(machine.memory_mut(), &self.keys);
+                for i in 0..self.nprocs {
+                    machine.add_process(Box::new(WatProcess::new(
+                        build_wat,
+                        Pid::new(i),
+                        self.nprocs,
+                        BuildTreeWorker::for_full_sort(arrays),
+                    )));
+                }
+                machine
+            }
+            Phase::Sum => {
+                let (mut machine, arrays) = machine_with_tree(&self.keys, self.seed);
+                for i in 0..self.nprocs {
+                    machine.add_process(Box::new(TreeSumProcess::new(arrays, Pid::new(i), 1)));
+                }
+                machine
+            }
+            Phase::Place | Phase::PlaceFaithful => {
+                let (mut machine, arrays) = machine_with_sized_tree(&self.keys, self.seed);
+                for i in 0..self.nprocs {
+                    let pid = Pid::new(i);
+                    let process: Box<dyn pram::Process> = match self.phase {
+                        Phase::Place => Box::new(FindPlaceProcess::new(arrays, pid, 1)),
+                        _ => Box::new(FindPlaceProcess::faithful_figure6(arrays, pid, 1)),
+                    };
+                    machine.add_process(process);
+                }
+                machine
+            }
+            Phase::EndToEnd => {
+                PramSorter::new(SortConfig::new(self.nprocs).seed(self.seed))
+                    .prepare(&self.keys)
+                    .machine
+            }
+        }
+    }
+
+    fn step_limit(&self) -> u64 {
+        // Serialized schedules do the processors' work one step at a
+        // time: budget the worst case (fully skewed tree, everyone
+        // traverses everything) with room to spare.
+        let n = self.n() as u64;
+        10_000 + 64 * n * n * self.nprocs as u64
+    }
+
+    fn failure_plan(&self) -> FailurePlan {
+        self.plan.clone()
+    }
+
+    fn watcher(&self) -> Box<dyn Watcher> {
+        match self.phase {
+            Phase::Build | Phase::EndToEnd => {
+                Box::new(WriteOnceWatcher::new(self.arrays().child_regions()))
+            }
+            _ => Box::new(NoWatcher),
+        }
+    }
+
+    fn verdict(&self, machine: &Machine) -> Result<(), String> {
+        let arrays = self.arrays();
+        let memory = machine.memory();
+        let n = self.n();
+        match self.phase {
+            Phase::Build => validate_pivot_tree(memory, &arrays, 1, n)
+                .map(|_| ())
+                .map_err(|e| format!("pivot tree invalid: {e}")),
+            Phase::Sum => {
+                let s = |j: Word| {
+                    if j == 0 {
+                        0
+                    } else {
+                        memory.read(arrays.size(j as usize))
+                    }
+                };
+                if memory.read(arrays.size(1)) != n as Word {
+                    return Err(format!(
+                        "root size is {}, expected {n}",
+                        memory.read(arrays.size(1))
+                    ));
+                }
+                for i in 1..=n {
+                    let small = memory.read(arrays.child(i, Side::Small));
+                    let big = memory.read(arrays.child(i, Side::Big));
+                    let got = memory.read(arrays.size(i));
+                    if got != s(small) + s(big) + 1 {
+                        return Err(format!("size invariant broken at element {i}: {got}"));
+                    }
+                }
+                Ok(())
+            }
+            Phase::Place | Phase::PlaceFaithful => {
+                for (elem, rank) in self.expected_ranks() {
+                    let got = memory.read(arrays.place(elem));
+                    if got != rank {
+                        return Err(format!(
+                            "element {elem} placed at {got}, expected rank {rank}"
+                        ));
+                    }
+                    if self.phase == Phase::Place && memory.read(arrays.place_done(elem)) != 1 {
+                        return Err(format!("element {elem} missing its place_done flag"));
+                    }
+                }
+                Ok(())
+            }
+            Phase::EndToEnd => {
+                let mut layout = MemoryLayout::new();
+                let sort_layout = SortLayout::layout(&mut layout, n);
+                let output = sort_layout.read_output(memory);
+                check_sorted_permutation(&self.keys, &output)
+                    .map_err(|e| format!("output invalid: {e}"))
+            }
+        }
+    }
+}
+
+/// Watches Lemma 2.5's write-once discipline over the child-pointer
+/// arrays: once a cell leaves [`EMPTY`] it must never change again.
+struct WriteOnceWatcher {
+    regions: [Region; 2],
+    seen: Vec<Word>,
+}
+
+impl WriteOnceWatcher {
+    fn new(regions: [Region; 2]) -> Self {
+        let cells = regions.iter().map(|r| r.len()).sum();
+        WriteOnceWatcher {
+            regions,
+            seen: vec![EMPTY; cells],
+        }
+    }
+}
+
+impl Watcher for WriteOnceWatcher {
+    fn after_cycle(&mut self, machine: &Machine) -> Result<(), String> {
+        let mut i = 0;
+        for region in self.regions {
+            for addr in region.range() {
+                let now = machine.memory().read(addr);
+                let before = self.seen[i];
+                if before != EMPTY && now != before {
+                    return Err(format!(
+                        "write-once violation: child cell {addr} changed {before} -> {now}"
+                    ));
+                }
+                self.seen[i] = now;
+                i += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pram::{Explorer, ScheduleScript, SyncScheduler};
+
+    fn small_keys(n: usize) -> Vec<Word> {
+        (0..n as Word).map(|i| (i * 7) % n as Word).collect()
+    }
+
+    #[test]
+    fn preloaded_tree_matches_what_phase_one_builds() {
+        let keys = small_keys(12);
+        let (machine, arrays) = machine_with_tree(&keys, 3);
+        validate_pivot_tree(machine.memory(), &arrays, 1, keys.len()).expect("local tree valid");
+    }
+
+    #[test]
+    fn preloaded_sizes_are_consistent() {
+        let keys = small_keys(12);
+        let (machine, arrays) = machine_with_sized_tree(&keys, 3);
+        let mem = machine.memory();
+        assert_eq!(mem.read(arrays.size(1)), 12);
+        for i in 1..=12usize {
+            let s = |j: Word| {
+                if j == 0 {
+                    0
+                } else {
+                    mem.read(arrays.size(j as usize))
+                }
+            };
+            let small = mem.read(arrays.child(i, Side::Small));
+            let big = mem.read(arrays.child(i, Side::Big));
+            assert_eq!(mem.read(arrays.size(i)), s(small) + s(big) + 1);
+        }
+    }
+
+    #[test]
+    fn sized_tree_runs_place_phase_to_correct_ranks() {
+        let keys = small_keys(10);
+        let target = PhaseTarget::new(Phase::Place, keys, 2);
+        let mut machine = target.build();
+        machine.run(&mut SyncScheduler, 100_000).unwrap();
+        target.verdict(&machine).expect("places are ranks");
+    }
+
+    #[test]
+    fn every_phase_passes_its_default_schedule() {
+        for phase in [
+            Phase::Build,
+            Phase::Sum,
+            Phase::Place,
+            Phase::PlaceFaithful,
+            Phase::EndToEnd,
+        ] {
+            let target = PhaseTarget::new(phase, small_keys(6), 3);
+            let (_, outcome) = Explorer::replay(&target, &ScheduleScript::new(target.label()));
+            assert_eq!(
+                outcome.violation, None,
+                "{phase:?} failed its default schedule"
+            );
+        }
+    }
+
+    #[test]
+    fn exhaustive_sum_n3_p2_is_clean() {
+        let target = PhaseTarget::new(Phase::Sum, vec![2, 1, 3], 2);
+        let report = Explorer::new(1).exhaustive(&target);
+        assert!(
+            report.counterexample.is_none(),
+            "phase 2 must survive every single-preemption schedule: {:?}",
+            report.counterexample
+        );
+        assert!(report.stats.runs > 10, "only {} runs", report.stats.runs);
+    }
+
+    #[test]
+    fn exhaustive_build_n3_p3_is_clean_at_bound_one() {
+        let target = PhaseTarget::new(Phase::Build, vec![2, 1, 3], 3);
+        let report = Explorer::new(1).exhaustive(&target);
+        assert!(report.counterexample.is_none());
+        assert_eq!(report.stats.runs_by_depth.len(), 2);
+    }
+
+    #[test]
+    fn composed_crash_is_survivable_by_the_fixed_place_phase() {
+        let keys = small_keys(8);
+        let plan = FailurePlan::new().crash_at(4, Pid::new(0));
+        let target = PhaseTarget::new(Phase::Place, keys, 2).with_failures(plan);
+        let report = Explorer::new(1).exhaustive(&target);
+        assert!(
+            report.counterexample.is_none(),
+            "postorder flag must survive the crash on every schedule: {:?}",
+            report.counterexample
+        );
+    }
+
+    #[test]
+    fn explorer_breaks_faithful_figure6_under_a_crash() {
+        // The acceptance mutation in miniature: crash processor 0
+        // mid-placement; the verbatim Figure 6 loses a subtree on some
+        // schedule, and the counterexample replays from its token.
+        let keys = small_keys(8);
+        let mut found = None;
+        for crash_cycle in 4..40 {
+            let plan = FailurePlan::new().crash_at(crash_cycle, Pid::new(0));
+            let target =
+                PhaseTarget::new(Phase::PlaceFaithful, keys.clone(), 2).with_failures(plan);
+            let report = Explorer::new(2).exhaustive(&target);
+            if let Some(ce) = report.counterexample {
+                found = Some((target, ce));
+                break;
+            }
+        }
+        let (target, ce) = found.expect("some crash cycle breaks verbatim Figure 6");
+        assert!(ce.script.preemptions().len() <= 6, "not minimal: {ce:?}");
+        let token = ce.script.to_token();
+        let parsed = ScheduleScript::from_token(&token).expect("token parses");
+        let (_, replayed) = Explorer::replay(&target, &parsed);
+        assert_eq!(replayed.violation, Some(ce.violation), "token: {token}");
+    }
+
+    #[test]
+    fn labels_identify_the_shape() {
+        let target = PhaseTarget::new(Phase::EndToEnd, vec![3, 1, 2], 2).seed(9);
+        assert_eq!(ExploreTarget::label(&target), "e2e:n=3:p=2:seed=9");
+    }
+}

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod build;
+pub mod explore;
 pub mod layout;
 pub mod low_contention;
 pub mod place;
@@ -48,6 +49,7 @@ pub mod verify;
 pub mod workload;
 
 pub use crate::build::BuildTreeWorker;
+pub use crate::explore::{machine_with_sized_tree, machine_with_tree, Phase, PhaseTarget};
 pub use crate::layout::{ElementArrays, Side, SortLayout, EMPTY};
 pub use crate::low_contention::LowContentionSorter;
 pub use crate::place::FindPlaceProcess;

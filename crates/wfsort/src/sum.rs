@@ -156,42 +156,12 @@ impl Process for TreeSumProcess {
 #[cfg(test)]
 pub(crate) mod tests {
     use super::*;
-    use pram::{Machine, MemoryLayout, SyncScheduler};
+    use pram::{Machine, SyncScheduler};
 
     /// Builds a pivot tree locally (same deterministic rule as phase 1)
     /// and loads it into a machine's memory; returns (machine, arrays).
     pub(crate) fn machine_with_tree(keys: &[Word], seed: u64) -> (Machine, ElementArrays) {
-        let n = keys.len();
-        let mut layout = MemoryLayout::new();
-        let arrays = ElementArrays::layout(&mut layout, n);
-        let mut machine = Machine::with_seed(layout.total(), seed);
-        arrays.load_keys(machine.memory_mut(), keys);
-        let mut small = vec![0i64; n + 1];
-        let mut big = vec![0i64; n + 1];
-        let mut parent = vec![0i64; n + 1];
-        for i in 2..=n {
-            let mut p = 1usize;
-            loop {
-                let slot = if crate::build::key_less(keys[i - 1], i, keys[p - 1], p) {
-                    &mut small
-                } else {
-                    &mut big
-                };
-                if slot[p] == 0 {
-                    slot[p] = i as i64;
-                    parent[i] = p as i64;
-                    break;
-                }
-                p = slot[p] as usize;
-            }
-        }
-        let base_small = arrays.child(1, Side::Small) - 1;
-        let base_big = arrays.child(1, Side::Big) - 1;
-        let base_parent = arrays.parent(1) - 1;
-        machine.memory_mut().load(base_small, &small);
-        machine.memory_mut().load(base_big, &big);
-        machine.memory_mut().load(base_parent, &parent);
-        (machine, arrays)
+        crate::explore::machine_with_tree(keys, seed)
     }
 
     fn run_sum(keys: &[Word], nprocs: usize) -> (Machine, ElementArrays) {

@@ -8,11 +8,11 @@
 //! same headline property — any surviving participant (or, at worst, the
 //! calling thread) completes the sort, under every fault schedule tried.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use wait_free_sort::wfsort_native::{
-    ChaosParticipation, ChaosPlan, CheckpointCounter, Health, RunToCompletion, SortJob,
-    WaitFreeSorter, Watchdog,
+    ChaosParticipation, ChaosPlan, CheckpointCounter, Health, Participation, RunToCompletion,
+    SortJob, WaitFreeSorter, Watchdog, WithDeadline,
 };
 
 fn random_keys(n: usize, seed: u64) -> Vec<u64> {
@@ -168,6 +168,105 @@ fn sort_with_deadline_zero_is_correct() {
         sorter.sort_with_deadline(&keys, Duration::from_millis(5)),
         expect
     );
+}
+
+/// A helper whose deadline already expired at entry does *zero* work:
+/// `WithDeadline` checks the clock on its very first consultation, so the
+/// inner participation is never consulted and the caller does everything.
+#[test]
+fn expired_deadline_at_entry_means_zero_helper_occupancy() {
+    let keys = random_keys(1_500, 37);
+    let mut expect = keys.clone();
+    expect.sort_unstable();
+
+    let job = SortJob::new(keys);
+    // A deadline strictly in the past (falling back to "now" on platforms
+    // where Instant cannot represent it).
+    let until = Instant::now()
+        .checked_sub(Duration::from_secs(1))
+        .unwrap_or_else(Instant::now);
+    let counts = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let job = &job;
+                s.spawn(move |_| {
+                    let mut p = WithDeadline::new(CheckpointCounter::new(RunToCompletion), until);
+                    job.participate(&mut p);
+                    assert!(p.expired());
+                    p.into_inner().count()
+                })
+            })
+            .collect();
+        // The caller ignores the deadline and finishes alone.
+        job.run();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect::<Vec<_>>()
+    })
+    .unwrap();
+    assert!(job.is_complete());
+    assert_eq!(job.into_sorted(), expect);
+    assert_eq!(
+        counts,
+        vec![0, 0, 0],
+        "expired helpers consulted checkpoints"
+    );
+}
+
+/// A deadline racing the final checkpoints: whatever instant the deadline
+/// lands on, the sort is correct and each helper overshoots the deadline
+/// by at most one clock-sampling window (16 checkpoints).
+#[test]
+fn deadline_racing_the_final_checkpoint_bounds_occupancy() {
+    /// Counts inner consultations that happen at-or-after the deadline —
+    /// the occupancy `WithDeadline` is supposed to bound.
+    struct LateProbe {
+        until: Instant,
+        late: u64,
+    }
+    impl Participation for LateProbe {
+        fn keep_going(&mut self) -> bool {
+            if Instant::now() >= self.until {
+                self.late += 1;
+            }
+            true
+        }
+    }
+
+    let keys = random_keys(2_000, 41);
+    let mut expect = keys.clone();
+    expect.sort_unstable();
+    // Deadlines from "immediately" up past typical completion time, so
+    // across the sweep some run has the deadline land mid-run or right at
+    // the final checkpoints.
+    for micros in [0u64, 20, 100, 500, 2_000, 20_000] {
+        let job = SortJob::new(keys.clone());
+        let until = Instant::now() + Duration::from_micros(micros);
+        let late = crossbeam::thread::scope(|s| {
+            let handle = {
+                let job = &job;
+                s.spawn(move |_| {
+                    let mut p = WithDeadline::new(LateProbe { until, late: 0 }, until);
+                    job.participate(&mut p);
+                    p.into_inner().late
+                })
+            };
+            job.run();
+            handle.join().unwrap()
+        })
+        .unwrap();
+        assert!(job.is_complete());
+        assert_eq!(
+            job.into_sorted(),
+            expect,
+            "deadline {micros}us: wrong output"
+        );
+        assert!(
+            late <= 16,
+            "deadline {micros}us: helper consulted {late} checkpoints past the deadline"
+        );
+    }
 }
 
 /// Deadline *and* chaos at once: every helper crashes at checkpoint zero

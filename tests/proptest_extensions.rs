@@ -9,7 +9,7 @@ use wait_free_sort::baselines::UniversalSorter;
 use wait_free_sort::pram::{failure::FailurePlan, AdversaryScheduler, Pid};
 use wait_free_sort::wfsort::low_contention::LowContentionSorter;
 use wait_free_sort::wfsort::{check_sorted_permutation, PramSorter, SortConfig};
-use wait_free_sort::wfsort_native::AtomicLcWat;
+use wait_free_sort::wfsort_native::{AtomicLcWat, ChaosPlan};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
@@ -108,6 +108,39 @@ proptest! {
         }).unwrap();
         prop_assert!(wat.all_done());
         prop_assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) >= 1));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(100))]
+
+    /// `ChaosPlan` script generation is a pure function of (shape, seed):
+    /// regenerating with identical parameters yields identical per-worker
+    /// scripts from both generators, so any native chaos run reproduces
+    /// from its seed alone.
+    #[test]
+    fn chaos_plan_generation_is_deterministic(
+        workers in 1usize..12,
+        fraction in 0.0f64..1.0,
+        rounds in 0usize..5,
+        horizon in 1u64..500,
+        seed in proptest::num::u64::ANY,
+    ) {
+        let a = ChaosPlan::random_crashes(workers, fraction, horizon, seed);
+        let b = ChaosPlan::random_crashes(workers, fraction, horizon, seed);
+        prop_assert_eq!(a.workers(), workers);
+        prop_assert_eq!(a.crash_victims(), b.crash_victims());
+        prop_assert!(a.survivors() >= 1);
+        for w in 0..workers {
+            prop_assert_eq!(a.script(w), b.script(w), "crashes differ for worker {}", w);
+        }
+        let c = ChaosPlan::random_pause_revive(workers, rounds, horizon, seed);
+        let d = ChaosPlan::random_pause_revive(workers, rounds, horizon, seed);
+        prop_assert_eq!(c.len(), workers * rounds);
+        prop_assert_eq!(c.crash_victims(), 0);
+        for w in 0..workers {
+            prop_assert_eq!(c.script(w), d.script(w), "pauses differ for worker {}", w);
+        }
     }
 }
 

@@ -1,0 +1,118 @@
+//! Acceptance tests for the schedule-exploration engine: exhaustive
+//! bounded-preemption coverage of the tiny shapes completes and reports
+//! its state count, and a seeded invariant break (the Figure 6 routine
+//! *as printed*, which is crash-unsafe) yields a minimized schedule that
+//! replays to the same failure from its serialized token alone.
+
+use pram::failure::FailurePlan;
+use pram::{ExploreTarget, Explorer, Pid, ScheduleScript, Word};
+use wfsort::{Phase, PhaseTarget};
+
+fn keys(n: usize) -> Vec<Word> {
+    (0..n as Word).map(|i| (i * 7) % n as Word).collect()
+}
+
+#[test]
+fn exhaustive_n3_p3_build_tree_completes_and_reports_state_count() {
+    let target = PhaseTarget::new(Phase::Build, keys(3), 3);
+    let report = Explorer::new(2).exhaustive(&target);
+    assert!(
+        report.counterexample.is_none(),
+        "phase 1 failed an explored schedule: {:?}",
+        report.counterexample
+    );
+    assert!(
+        report.stats.runs > 100,
+        "implausibly few schedules explored: {}",
+        report.stats.runs
+    );
+    // Coverage reaches the preemption bound, and the per-depth profile
+    // accounts for every run.
+    assert_eq!(report.stats.runs_by_depth.len(), 3);
+    assert!(report.stats.runs_by_depth.iter().all(|&c| c > 0));
+    assert_eq!(
+        report.stats.runs,
+        report.stats.runs_by_depth.iter().sum::<u64>()
+    );
+}
+
+#[test]
+fn exhaustive_composes_crash_plans_into_every_schedule() {
+    // Crash late enough that plenty of two-runnable branch points exist
+    // before the plan thins the schedule down to one survivor.
+    let plan = FailurePlan::new().crash_at(10, Pid::new(0));
+    let target = PhaseTarget::new(Phase::Sum, keys(3), 2).with_failures(plan);
+    let report = Explorer::new(2).exhaustive(&target);
+    assert!(
+        report.counterexample.is_none(),
+        "phase 2 must survive the crash on every schedule: {:?}",
+        report.counterexample
+    );
+    assert!(report.stats.runs > 10, "runs: {}", report.stats.runs);
+}
+
+#[test]
+fn seeded_invariant_break_minimizes_and_replays_from_its_token() {
+    // The mutation test: Figure 6 exactly as printed skips any element
+    // whose `place` is already written, so a crash between the write and
+    // the subtree descent strands the subtree on some schedule.
+    let mut found = None;
+    for crash_cycle in 4..120 {
+        let plan = FailurePlan::new().crash_at(crash_cycle, Pid::new(0));
+        let target = PhaseTarget::new(Phase::PlaceFaithful, keys(8), 2).with_failures(plan);
+        // Skip crash cycles that kill even the default schedule — the
+        // engine's job is finding losses that *need* adversarial
+        // preemption.
+        let empty = ScheduleScript::new(ExploreTarget::label(&target));
+        if Explorer::replay(&target, &empty).1.violation.is_some() {
+            continue;
+        }
+        if let Some(ce) = Explorer::new(2).exhaustive(&target).counterexample {
+            found = Some((target, ce));
+            break;
+        }
+    }
+    let (target, ce) = found.expect("no crash cycle broke the verbatim Figure 6");
+    assert!(
+        (1..=6).contains(&ce.script.preemptions().len()),
+        "expected a minimal 1..=6-preemption schedule: {:?}",
+        ce.script
+    );
+
+    // The serialized token alone reproduces the identical failure.
+    let token = ce.script.to_token();
+    let parsed = ScheduleScript::from_token(&token).expect("emitted token must parse");
+    assert_eq!(parsed, ce.script, "token round-trip changed the script");
+    let (_, replayed) = Explorer::replay(&target, &parsed);
+    assert_eq!(
+        replayed.violation,
+        Some(ce.violation),
+        "token did not replay to the same violation: {token}"
+    );
+
+    // Tokens are self-contained: the crash plan is folded in, so even a
+    // plan-free target reproduces the loss from the token.
+    let bare = PhaseTarget::new(Phase::PlaceFaithful, keys(8), 2);
+    assert_eq!(ExploreTarget::failure_plan(&bare).len(), 0);
+    let (_, bare_replay) = Explorer::replay(&bare, &parsed);
+    assert!(
+        bare_replay.violation.is_some(),
+        "token was not self-contained: {token}"
+    );
+}
+
+#[test]
+fn fixed_place_phase_survives_the_same_mutation_campaign() {
+    // Control arm: the crash-safe postorder variant passes the exact
+    // campaign that breaks the verbatim routine.
+    for crash_cycle in 4..60 {
+        let plan = FailurePlan::new().crash_at(crash_cycle, Pid::new(0));
+        let target = PhaseTarget::new(Phase::Place, keys(8), 2).with_failures(plan);
+        let report = Explorer::new(1).exhaustive(&target);
+        assert!(
+            report.counterexample.is_none(),
+            "crash at {crash_cycle}: {:?}",
+            report.counterexample
+        );
+    }
+}

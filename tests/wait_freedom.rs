@@ -4,10 +4,13 @@
 //! processors do — including doing nothing at all forever.
 
 use wait_free_sort::pram::{
-    failure::FailurePlan, AdversaryScheduler, Machine, MemoryLayout, Pid, SyncScheduler,
+    failure::FailurePlan, AdversaryScheduler, ExploreTarget, Explorer, Machine, MemoryLayout, Pid,
+    ScheduleScript, SyncScheduler,
 };
 use wait_free_sort::wat::{NopWorker, Wat, WriteAllWorker};
-use wait_free_sort::wfsort::{check_sorted_permutation, PramSorter, SortConfig, Workload};
+use wait_free_sort::wfsort::{
+    check_sorted_permutation, Phase, PhaseTarget, PramSorter, SortConfig, SortLayout, Workload,
+};
 
 /// An adversary that only ever steps processor 0 must see processor 0
 /// finish the whole sort alone, within its per-processor step bound.
@@ -164,7 +167,9 @@ fn fail_revive_storms() {
 }
 
 /// Crashing processors at every possible cycle of a small run (an
-/// exhaustive sweep of the crash window) never breaks the result.
+/// exhaustive sweep of the crash window) never breaks the result — and
+/// every window's schedule reproduces from its serialized explorer token
+/// alone, so a failing window in a CI log is enough to replay it locally.
 #[test]
 fn exhaustive_single_crash_window_sweep() {
     let n = 24;
@@ -179,6 +184,37 @@ fn exhaustive_single_crash_window_sweep() {
             .unwrap_or_else(|e| panic!("crash at {crash_cycle}: {e}"));
         check_sorted_permutation(&keys, &outcome.sorted)
             .unwrap_or_else(|e| panic!("crash at {crash_cycle}: {e}"));
+
+        // Replay-token round trip for a subsample of windows (the token
+        // machinery is schedule-level, so a spread of windows suffices):
+        // serialize → deserialize → identical script → identical run.
+        if crash_cycle % 13 != 0 {
+            continue;
+        }
+        let target = PhaseTarget::new(Phase::EndToEnd, keys.clone(), 3)
+            .seed(13)
+            .with_failures(plan.clone());
+        let script = ScheduleScript::new(ExploreTarget::label(&target))
+            .preempt_at(crash_cycle / 2, 1)
+            .with_failures(&plan);
+        let token = script.to_token();
+        let parsed = ScheduleScript::from_token(&token)
+            .unwrap_or_else(|e| panic!("window {crash_cycle}: token did not parse: {e}"));
+        assert_eq!(
+            parsed, script,
+            "window {crash_cycle}: token round-trip drifted"
+        );
+        let (m1, o1) = Explorer::replay(&target, &script);
+        let (m2, o2) = Explorer::replay(&target, &parsed);
+        assert_eq!(o1, o2, "window {crash_cycle}: replays diverged ({token})");
+        assert_eq!(o1.violation, None, "window {crash_cycle}: {token}");
+        let mut layout = MemoryLayout::new();
+        let sort_layout = SortLayout::layout(&mut layout, n);
+        assert_eq!(
+            sort_layout.read_output(m1.memory()),
+            sort_layout.read_output(m2.memory()),
+            "window {crash_cycle}: memory diverged across replays ({token})"
+        );
     }
 }
 
