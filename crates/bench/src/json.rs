@@ -1,0 +1,436 @@
+//! A minimal JSON reader and the `BENCH_native.json` schema check.
+//!
+//! The experiment binaries hand-render their JSON artifacts (the
+//! workspace deliberately carries no serialization dependency), so the
+//! schema gate needs a reader of the same weight: enough JSON to parse
+//! what the binaries emit — objects, arrays, strings with the standard
+//! escapes, numbers, booleans, null — and reject trailing garbage.
+//! It is a validator's parser, not a general-purpose one: numbers
+//! become `f64` (fine for counters well under 2^53) and object keys
+//! keep their order.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (integers included).
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Parses `text` as a single JSON value (surrounding whitespace
+    /// allowed, trailing garbage rejected).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Member `key` of an object, if this is an object that has it.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, what: u8) -> Result<(), String> {
+    if *pos < bytes.len() && bytes[*pos] == what {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", what as char, pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, word: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    while let Some(&b) = bytes.get(*pos) {
+        *pos += 1;
+        match b {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let esc = *bytes.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                        *pos += 4;
+                        // Surrogate pairs are not needed for our ASCII
+                        // artifacts; map unpaired surrogates to U+FFFD.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos - 1)),
+                }
+            }
+            _ => {
+                // Multi-byte UTF-8: copy the whole sequence through.
+                let len = utf8_len(b);
+                let end = *pos - 1 + len;
+                let s = bytes
+                    .get(*pos - 1..end)
+                    .and_then(|sl| std::str::from_utf8(sl).ok())
+                    .ok_or("bad utf-8 in string")?;
+                out.push_str(s);
+                *pos = end;
+            }
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'{')?;
+    let mut members = BTreeMap::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        members.insert(key, value);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+/// The schema tag `e24_native_metrics` writes and this gate expects.
+pub const NATIVE_METRICS_SCHEMA: &str = "wfsort-native-metrics/v1";
+
+fn require_num(run: &Json, key: &str, at: usize) -> Result<f64, String> {
+    run.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("runs[{at}].{key}: missing or not a number"))
+}
+
+fn require_counts(run: &Json, group: &str, keys: &[&str], at: usize) -> Result<(), String> {
+    let obj = run
+        .get(group)
+        .ok_or_else(|| format!("runs[{at}].{group}: missing"))?;
+    for key in keys {
+        let v = obj
+            .get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("runs[{at}].{group}.{key}: missing or not a number"))?;
+        if v < 0.0 || v.fract() != 0.0 {
+            return Err(format!(
+                "runs[{at}].{group}.{key}: not a non-negative integer"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Validates a `BENCH_native.json` document against the
+/// [`NATIVE_METRICS_SCHEMA`] shape: schema tag, experiment id, and a
+/// non-empty `runs` array in which every run carries the sweep
+/// coordinates, timing, the four per-phase counter groups, and a
+/// CAS-failure rate inside `[0, 1]`. Returns the number of runs.
+pub fn validate_native_metrics(text: &str) -> Result<usize, String> {
+    let doc = Json::parse(text)?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(NATIVE_METRICS_SCHEMA) => {}
+        Some(other) => {
+            return Err(format!(
+                "schema: expected {NATIVE_METRICS_SCHEMA}, got {other}"
+            ))
+        }
+        None => return Err("schema: missing".into()),
+    }
+    if doc.get("experiment").and_then(Json::as_str).is_none() {
+        return Err("experiment: missing or not a string".into());
+    }
+    if doc.get("quick").and_then(Json::as_bool).is_none() {
+        return Err("quick: missing or not a boolean".into());
+    }
+    let runs = doc
+        .get("runs")
+        .and_then(Json::as_array)
+        .ok_or("runs: missing or not an array")?;
+    if runs.is_empty() {
+        return Err("runs: empty".into());
+    }
+    for (at, run) in runs.iter().enumerate() {
+        for key in [
+            "threads",
+            "n",
+            "elapsed_ms",
+            "total_ops",
+            "help_steps",
+            "checkpoints",
+        ] {
+            require_num(run, key, at)?;
+        }
+        for key in ["shape", "allocation"] {
+            if run.get(key).and_then(Json::as_str).is_none() {
+                return Err(format!("runs[{at}].{key}: missing or not a string"));
+            }
+        }
+        if run.get("sorted").and_then(Json::as_bool) != Some(true) {
+            return Err(format!("runs[{at}].sorted: missing or not true"));
+        }
+        require_counts(
+            run,
+            "build",
+            &[
+                "cas_attempts",
+                "cas_failures",
+                "descent_steps",
+                "claims",
+                "probes",
+            ],
+            at,
+        )?;
+        require_counts(run, "sum", &["visits", "skips"], at)?;
+        require_counts(run, "place", &["visits", "skips"], at)?;
+        require_counts(run, "scatter", &["claims", "probes"], at)?;
+        let rate = require_num(run, "cas_failure_rate", at)?;
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(format!(
+                "runs[{at}].cas_failure_rate: {rate} outside [0, 1]"
+            ));
+        }
+    }
+    Ok(runs.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_nesting() {
+        let doc = Json::parse(r#"{"a": [1, -2.5, "x\n", true, null], "b": {"c": 3e2}}"#).unwrap();
+        let a = doc.get("a").unwrap().as_array().unwrap();
+        assert_eq!(a[0].as_f64(), Some(1.0));
+        assert_eq!(a[1].as_f64(), Some(-2.5));
+        assert_eq!(a[2].as_str(), Some("x\n"));
+        assert_eq!(a[3].as_bool(), Some(true));
+        assert_eq!(a[4], Json::Null);
+        assert_eq!(
+            doc.get("b").unwrap().get("c").unwrap().as_f64(),
+            Some(300.0)
+        );
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_truncation() {
+        assert!(Json::parse("{} x").is_err());
+        assert!(Json::parse(r#"{"a": "#).is_err());
+        assert!(Json::parse(r#""unterminated"#).is_err());
+        assert!(Json::parse("[1,]").is_err());
+    }
+
+    #[test]
+    fn unicode_escapes_and_utf8_pass_through() {
+        let doc = Json::parse(r#""café — naïve""#).unwrap();
+        assert_eq!(doc.as_str(), Some("café — naïve"));
+    }
+
+    fn valid_run() -> String {
+        r#"{
+            "threads": 2, "n": 100, "shape": "uniform-random",
+            "allocation": "deterministic", "elapsed_ms": 1.5,
+            "sorted": true, "total_ops": 900, "help_steps": 40,
+            "checkpoints": 220, "cas_failure_rate": 0.01,
+            "build": {"cas_attempts": 99, "cas_failures": 1,
+                      "descent_steps": 700, "claims": 101, "probes": 130},
+            "sum": {"visits": 180, "skips": 30},
+            "place": {"visits": 150, "skips": 10},
+            "scatter": {"claims": 100, "probes": 120}
+        }"#
+        .to_string()
+    }
+
+    fn valid_doc(run: &str) -> String {
+        format!(
+            r#"{{"schema": "{NATIVE_METRICS_SCHEMA}", "experiment": "e24",
+                "quick": true, "runs": [{run}]}}"#
+        )
+    }
+
+    #[test]
+    fn accepts_a_valid_document() {
+        assert_eq!(validate_native_metrics(&valid_doc(&valid_run())), Ok(1));
+    }
+
+    #[test]
+    fn rejects_wrong_schema_missing_fields_and_bad_rate() {
+        let doc = valid_doc(&valid_run()).replace(NATIVE_METRICS_SCHEMA, "other/v0");
+        assert!(validate_native_metrics(&doc)
+            .unwrap_err()
+            .starts_with("schema"));
+
+        let doc = valid_doc(&valid_run().replace(r#""sorted": true"#, r#""sorted": false"#));
+        assert!(validate_native_metrics(&doc)
+            .unwrap_err()
+            .contains("sorted"));
+
+        let doc = valid_doc(
+            &valid_run().replace(r#""cas_failure_rate": 0.01"#, r#""cas_failure_rate": 1.5"#),
+        );
+        assert!(validate_native_metrics(&doc)
+            .unwrap_err()
+            .contains("cas_failure_rate"));
+
+        let doc =
+            valid_doc(&valid_run().replace(r#""cas_failures": 1"#, r#""cas_failures": 1.25"#));
+        assert!(validate_native_metrics(&doc)
+            .unwrap_err()
+            .contains("cas_failures"));
+
+        let empty = format!(
+            r#"{{"schema": "{NATIVE_METRICS_SCHEMA}", "experiment": "e24",
+                "quick": true, "runs": []}}"#
+        );
+        assert_eq!(validate_native_metrics(&empty).unwrap_err(), "runs: empty");
+    }
+}

@@ -7,6 +7,23 @@
 
 #![forbid(unsafe_code)]
 
+use std::path::PathBuf;
+
+pub mod json;
+
+pub use json::validate_native_metrics;
+
+/// The artifact directory, if `BENCH_OUTPUT_DIR` is set — created on
+/// first use, so pointing the variable at a fresh path just works.
+fn output_dir() -> Option<PathBuf> {
+    let dir = PathBuf::from(std::env::var_os("BENCH_OUTPUT_DIR")?);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: could not create {}: {e}", dir.display());
+        return None;
+    }
+    Some(dir)
+}
+
 /// A rendered results table.
 #[derive(Clone, Debug, Default)]
 pub struct Table {
@@ -89,7 +106,7 @@ impl Table {
     pub fn print(&self, title: &str) {
         println!("\n## {title}\n");
         print!("{}", self.to_markdown());
-        if let Ok(dir) = std::env::var("BENCH_OUTPUT_DIR") {
+        if let Some(dir) = output_dir() {
             let slug: String = title
                 .chars()
                 .map(|c| {
@@ -104,7 +121,7 @@ impl Table {
                 .filter(|s| !s.is_empty())
                 .collect::<Vec<_>>()
                 .join("-");
-            let path = std::path::Path::new(&dir).join(format!("{slug}.csv"));
+            let path = dir.join(format!("{slug}.csv"));
             if let Err(e) = std::fs::write(&path, self.to_csv()) {
                 eprintln!("warning: could not write {}: {e}", path.display());
             } else {
@@ -114,19 +131,23 @@ impl Table {
     }
 }
 
-/// Writes `contents` to `file_name` inside `BENCH_OUTPUT_DIR`, if that
-/// environment variable is set; otherwise does nothing. Used by
-/// experiment binaries for machine-readable artifacts (JSON records,
-/// raw samples) that do not fit the [`Table`] CSV side-channel.
-pub fn write_artifact(file_name: &str, contents: &str) {
-    if let Ok(dir) = std::env::var("BENCH_OUTPUT_DIR") {
-        let path = std::path::Path::new(&dir).join(file_name);
-        if let Err(e) = std::fs::write(&path, contents) {
-            eprintln!("warning: could not write {}: {e}", path.display());
-        } else {
-            eprintln!("(artifact written to {})", path.display());
-        }
+/// Writes `contents` to `file_name` inside `BENCH_OUTPUT_DIR`, creating
+/// the directory if needed; does nothing when the variable is unset.
+/// Used by experiment binaries for machine-readable artifacts (JSON
+/// records, raw samples) that do not fit the [`Table`] CSV side-channel.
+///
+/// Returns the path written, so callers that *require* the artifact
+/// (CI smoke jobs) can treat `None` — variable unset, directory not
+/// creatable, or write failed — as a hard error instead of a warning.
+pub fn write_artifact(file_name: &str, contents: &str) -> Option<PathBuf> {
+    let dir = output_dir()?;
+    let path = dir.join(file_name);
+    if let Err(e) = std::fs::write(&path, contents) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+        return None;
     }
+    eprintln!("(artifact written to {})", path.display());
+    Some(path)
 }
 
 /// Unicode block characters for sparklines, blank to full.

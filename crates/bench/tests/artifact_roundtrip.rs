@@ -1,24 +1,53 @@
-//! The E23 artifact contract: a minimized counterexample token written
-//! through [`bench::write_artifact`] must load back from the file and
-//! replay to the same violation — failing schedules reproduce from the
-//! CI log (or artifact directory) alone.
+//! The artifact contracts, exercised end to end: everything persisted
+//! through [`bench::write_artifact`] must load back byte-identical and
+//! still mean the same thing — a minimized E23 counterexample token must
+//! replay to the same violation, and an E24 `BENCH_native.json` must
+//! pass [`bench::validate_native_metrics`] after the round trip.
+//!
+//! One test owns the whole flow because `BENCH_OUTPUT_DIR` is process
+//! environment: parallel tests mutating it would race.
 
 use pram::failure::FailurePlan;
 use pram::{Explorer, Pid, ScheduleScript, Word};
 use wfsort::{Phase, PhaseTarget};
+use wfsort_native::{NativeAllocation, SortJob, WaitFreeSorter};
 
 fn keys(n: usize) -> Vec<Word> {
     (0..n as Word).map(|i| (i * 7) % n as Word).collect()
 }
 
 #[test]
-fn counterexample_token_round_trips_through_write_artifact() {
-    // One test owns the whole flow because BENCH_OUTPUT_DIR is process
-    // environment: find a counterexample, write it, load it, replay it.
-    let dir = std::env::temp_dir().join(format!("e23-artifact-{}", std::process::id()));
+fn artifacts_round_trip_through_write_artifact() {
+    let dir = std::env::temp_dir().join(format!("bench-artifact-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("temp artifact dir");
-    std::env::set_var("BENCH_OUTPUT_DIR", &dir);
 
+    // With the variable unset, write_artifact reports "not persisted"
+    // via None — CI smoke jobs treat that as a hard error.
+    std::env::remove_var("BENCH_OUTPUT_DIR");
+    assert_eq!(bench::write_artifact("x.json", "{}"), None);
+
+    // Regression (the silent-drop bug): a BENCH_OUTPUT_DIR pointing at a
+    // directory that does not exist yet used to make every write fail
+    // with a warning while the experiment exited 0. The directory is now
+    // created on demand and the written path is returned.
+    let nested = dir.join("fresh").join("deeper");
+    assert!(!nested.exists());
+    std::env::set_var("BENCH_OUTPUT_DIR", &nested);
+    let path = bench::write_artifact("probe.txt", "probe")
+        .expect("write_artifact must create the missing directory");
+    assert_eq!(std::fs::read_to_string(&path).unwrap(), "probe");
+
+    std::env::set_var("BENCH_OUTPUT_DIR", &dir);
+    e23_counterexample_flow(&dir);
+    e24_native_metrics_flow(&dir);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A minimized counterexample token written to disk must parse back and
+/// replay to the same violation — failing schedules reproduce from the
+/// CI artifact directory alone.
+fn e23_counterexample_flow(dir: &std::path::Path) {
     let mut found = None;
     for crash_cycle in 4..60 {
         let plan = FailurePlan::new().crash_at(crash_cycle, Pid::new(0));
@@ -42,6 +71,82 @@ fn counterexample_token_round_trips_through_write_artifact() {
         Some(ce.violation),
         "loaded artifact did not replay to the same violation"
     );
+}
 
-    std::fs::remove_dir_all(&dir).ok();
+/// A `BENCH_native.json` built from a real instrumented sort must pass
+/// schema validation before and after the file round trip, and obvious
+/// corruptions must be rejected — the CI smoke job's `--validate` gate
+/// rests on this.
+fn e24_native_metrics_flow(dir: &std::path::Path) {
+    let input: Vec<u64> = (0..400).rev().collect();
+    let job = SortJob::with_tracked(input, NativeAllocation::Deterministic, 2);
+    let report = WaitFreeSorter::new(2).run_job_with_report(&job);
+    assert!(job.is_complete());
+
+    let p = &report.per_phase;
+    let artifact = format!(
+        concat!(
+            "{{\"schema\":\"{}\",\"experiment\":\"artifact_roundtrip\",\"quick\":true,",
+            "\"runs\":[{{\"threads\":2,\"n\":400,\"shape\":\"reversed\",",
+            "\"allocation\":\"wat\",\"elapsed_ms\":{:.3},\"sorted\":true,",
+            "\"total_ops\":{},\"help_steps\":{},\"checkpoints\":{},",
+            "\"cas_failure_rate\":{:.6},",
+            "\"build\":{{\"cas_attempts\":{},\"cas_failures\":{},\"descent_steps\":{},",
+            "\"claims\":{},\"probes\":{}}},",
+            "\"sum\":{{\"visits\":{},\"skips\":{}}},",
+            "\"place\":{{\"visits\":{},\"skips\":{}}},",
+            "\"scatter\":{{\"claims\":{},\"probes\":{}}}}}]}}"
+        ),
+        bench::json::NATIVE_METRICS_SCHEMA,
+        report.elapsed.as_secs_f64() * 1e3,
+        report.total_ops(),
+        report.help_steps(),
+        report.checkpoints(),
+        report.cas_failure_rate,
+        p.build.cas_attempts,
+        p.build.cas_failures,
+        p.build.descent_steps,
+        p.build.claims,
+        p.build.probes,
+        p.sum.visits,
+        p.sum.skips,
+        p.place.visits,
+        p.place.skips,
+        p.scatter.claims,
+        p.scatter.probes,
+    );
+    assert_eq!(
+        bench::validate_native_metrics(&artifact),
+        Ok(1),
+        "freshly generated artifact must satisfy its own schema"
+    );
+
+    let path = bench::write_artifact("BENCH_native.json", &artifact)
+        .expect("metrics artifact must be written");
+    assert_eq!(path, dir.join("BENCH_native.json"));
+    let loaded = std::fs::read_to_string(&path).expect("artifact file written");
+    assert_eq!(loaded, artifact, "file round-trip changed the artifact");
+    assert_eq!(bench::validate_native_metrics(&loaded), Ok(1));
+
+    // The validator is not a rubber stamp: corruptions CI must catch.
+    for (corrupt, why) in [
+        (
+            loaded.replace("wfsort-native-metrics/v1", "v0"),
+            "schema tag",
+        ),
+        (
+            loaded.replace("\"sorted\":true", "\"sorted\":false"),
+            "unsorted run",
+        ),
+        (
+            loaded.replace("\"cas_failures\":", "\"cas_fail\":"),
+            "missing counter",
+        ),
+        (loaded.replace("]}", ""), "truncated file"),
+    ] {
+        assert!(
+            bench::validate_native_metrics(&corrupt).is_err(),
+            "validator must reject: {why}"
+        );
+    }
 }

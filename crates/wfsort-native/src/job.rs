@@ -10,13 +10,31 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use crate::lcwat::AtomicLcWat;
+use crate::metrics::{Instrument, MetricSlot, NoInstrument};
 use crate::tree::{SharedTree, Side, EMPTY};
 use crate::wat::AtomicWat;
 use crate::watchdog::{ParticipantProgress, ProgressReport, SortPhase};
 
-/// Heartbeat slots tracked per job; participants beyond this share slots
-/// (diagnostics degrade gracefully, correctness is unaffected).
-const MAX_TRACKED: usize = 64;
+/// Heartbeat slots allocated by [`SortJob::new`] / [`SortJob::with_allocation`]
+/// when the worker count is unknown. Participants beyond the tracked
+/// count share slots (their heartbeats alias; `ProgressReport` records
+/// how many, and correctness is unaffected). Front-ends that know their
+/// worker count size the slot vector exactly via [`SortJob::with_tracked`].
+pub const DEFAULT_TRACKED_PARTICIPANTS: usize = 64;
+
+/// Which child a thread's descent visits first at a given depth: the
+/// paper's PID-bit trick (Figures 5–6), spreading threads across
+/// subtrees so concurrent whole-tree traversals do not stampede down
+/// the same path. Bit `depth % usize::BITS` of `tid`, set = SMALL first.
+///
+/// Depths at or beyond `usize::BITS` wrap around and reuse low bits
+/// (the simulator's `Pid::bit` instead saturates to BIG-first there —
+/// see `pram::word::Pid`). Any fixed choice is correct: the bit only
+/// picks a traversal order, and trees that deep — n beyond 2^64 keys,
+/// or a pathological spine — are outside both implementations' reach.
+pub(crate) fn descent_side(tid: usize, depth: u32) -> Side {
+    Side::from_bit(tid >> (depth % usize::BITS) & 1 == 1)
+}
 
 /// Heartbeat bit layout: bit 63 = departed, bits 60..=61 = phase,
 /// bits 0..=59 = checkpoint epoch.
@@ -148,7 +166,10 @@ pub struct SortJob<K: Ord> {
     /// `perm[r - 1]` = element index with rank `r`.
     perm: Vec<AtomicUsize>,
     participants: AtomicUsize,
-    /// Per-participant heartbeats, indexed by `tid % MAX_TRACKED`.
+    /// Per-participant heartbeats, indexed by `tid % heartbeats.len()`.
+    /// Sized from the expected worker count when the job is built with
+    /// [`SortJob::with_tracked`]; later arrivals alias (recorded in
+    /// [`ProgressReport::aliased_participants`]).
     heartbeats: Vec<HeartbeatSlot>,
 }
 
@@ -163,14 +184,30 @@ impl<K: Ord> SortJob<K> {
         Self::with_allocation(keys, NativeAllocation::Deterministic)
     }
 
-    /// Creates a job using the given work-allocation strategy.
+    /// Creates a job using the given work-allocation strategy, with
+    /// [`DEFAULT_TRACKED_PARTICIPANTS`] heartbeat slots.
     ///
     /// # Panics
     ///
     /// Panics if `keys` has fewer than 2 elements.
     pub fn with_allocation(keys: Vec<K>, allocation: NativeAllocation) -> Self {
+        Self::with_tracked(keys, allocation, DEFAULT_TRACKED_PARTICIPANTS)
+    }
+
+    /// Creates a job with a heartbeat slot for each of `tracked` expected
+    /// participants, so the watchdog can tell every worker apart.
+    /// Participants past `tracked` still sort correctly but alias slots
+    /// (see [`ProgressReport::aliased_participants`]). Callers that know
+    /// their worker count — every [`crate::WaitFreeSorter`] front-end —
+    /// should pass it here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` has fewer than 2 elements or `tracked` is zero.
+    pub fn with_tracked(keys: Vec<K>, allocation: NativeAllocation, tracked: usize) -> Self {
         let n = keys.len();
         assert!(n >= 2, "a sort job needs at least two keys");
+        assert!(tracked >= 1, "a sort job needs at least one tracked slot");
         SortJob {
             keys,
             tree: SharedTree::new(n),
@@ -181,7 +218,7 @@ impl<K: Ord> SortJob<K> {
             scatter_lcwat: AtomicLcWat::new(n),
             perm: (0..n).map(|_| AtomicUsize::new(0)).collect(),
             participants: AtomicUsize::new(0),
-            heartbeats: (0..MAX_TRACKED).map(|_| HeartbeatSlot::default()).collect(),
+            heartbeats: (0..tracked).map(|_| HeartbeatSlot::default()).collect(),
         }
     }
 
@@ -209,7 +246,8 @@ impl<K: Ord> SortJob<K> {
     /// the [`crate::Watchdog`] and for diagnostics.
     pub fn progress(&self) -> ProgressReport {
         let participants = self.participants.load(Ordering::Relaxed);
-        let workers: Vec<ParticipantProgress> = (0..participants.min(MAX_TRACKED))
+        let tracked_slots = self.heartbeats.len();
+        let workers: Vec<ParticipantProgress> = (0..participants.min(tracked_slots))
             .map(|slot| {
                 let raw = self.heartbeats[slot].0.load(Ordering::Acquire);
                 ParticipantProgress {
@@ -244,6 +282,8 @@ impl<K: Ord> SortJob<K> {
                 .unwrap_or(SortPhase::Build),
             participants,
             workers,
+            tracked_slots,
+            aliased_participants: participants.saturating_sub(tracked_slots),
             build_jobs_done,
             build_jobs_total,
             scatter_jobs_done,
@@ -268,11 +308,23 @@ impl<K: Ord> SortJob<K> {
     /// or `p` abandons. Wait-free: bounded work between `keep_going`
     /// checks, and progress never depends on any other participant.
     pub fn participate(&self, p: &mut impl Participation) {
+        self.participate_inner(p, &NoInstrument);
+    }
+
+    /// [`SortJob::participate`], recording per-worker telemetry into
+    /// `slot`. Read the counts back with [`MetricSlot::snapshot`] after
+    /// this returns; [`crate::WaitFreeSorter::run_job_with_report`] does
+    /// the slot bookkeeping for a whole worker cohort.
+    pub fn participate_instrumented(&self, p: &mut impl Participation, slot: &MetricSlot) {
+        self.participate_inner(p, slot.counters());
+    }
+
+    fn participate_inner(&self, p: &mut impl Participation, ins: &impl Instrument) {
         let tid = self.participants.fetch_add(1, Ordering::Relaxed);
         // A nominal thread count for work spreading; any value works, the
         // WAT reassigns everything anyway.
         let nthreads = (tid + 1).max(2);
-        let slot = &self.heartbeats[tid % MAX_TRACKED].0;
+        let slot = &self.heartbeats[tid % self.heartbeats.len()].0;
         let mut m = Monitored {
             inner: p,
             slot,
@@ -280,14 +332,18 @@ impl<K: Ord> SortJob<K> {
             epoch: 0,
         };
         m.publish();
-        self.build_phase(tid, nthreads, &mut m);
+        ins.enter_phase(SortPhase::Build);
+        self.build_phase(tid, nthreads, &mut m, ins);
         if self.build_done() {
             m.enter_phase(SortPhase::Sum);
-            if self.sum_phase(tid, &mut m) {
+            ins.enter_phase(SortPhase::Sum);
+            if self.sum_phase(tid, &mut m, ins) {
                 m.enter_phase(SortPhase::Place);
-                if self.place_phase(tid, &mut m) {
+                ins.enter_phase(SortPhase::Place);
+                if self.place_phase(tid, &mut m, ins) {
                     m.enter_phase(SortPhase::Scatter);
-                    self.scatter_phase(tid, nthreads, &mut m);
+                    ins.enter_phase(SortPhase::Scatter);
+                    self.scatter_phase(tid, nthreads, &mut m, ins);
                 }
             }
         }
@@ -300,52 +356,78 @@ impl<K: Ord> SortJob<K> {
     }
 
     /// Phase 1: insert every element into the pivot tree (Figure 4).
-    fn build_phase(&self, tid: usize, nthreads: usize, p: &mut impl Participation) {
+    fn build_phase(
+        &self,
+        tid: usize,
+        nthreads: usize,
+        p: &mut impl Participation,
+        ins: &impl Instrument,
+    ) {
         // Job j inserts element j + 2 (element 1 is the root).
         let insert = |job: usize| {
             let element = job + 2;
             let mut parent = 1usize;
             loop {
+                ins.descent_step();
                 let side = if self.less(element, parent) {
                     Side::Small
                 } else {
                     Side::Big
                 };
-                let occupant = self.tree.install_child(parent, side, element);
+                // Figure 4's read-then-CAS: only attempt the install when
+                // the slot was observed EMPTY, so every CAS failure is a
+                // genuinely lost race — the contention event the metrics
+                // count — rather than a routine occupied-slot descent.
+                let occupant = match self.tree.child(parent, side) {
+                    EMPTY => {
+                        let (occupant, installed) =
+                            self.tree.install_child_observed(parent, side, element);
+                        ins.cas(!installed);
+                        occupant
+                    }
+                    occupied => occupied,
+                };
                 if occupant == element {
                     return;
                 }
                 parent = occupant;
             }
         };
+        let keep_going = || {
+            ins.checkpoint();
+            p.keep_going()
+        };
         match self.allocation {
             NativeAllocation::Deterministic => {
                 self.build_wat
-                    .participate(tid, nthreads, insert, || p.keep_going());
+                    .participate_with(tid, nthreads, insert, keep_going, ins);
             }
             NativeAllocation::Randomized => {
                 self.build_lcwat
-                    .participate(tid as u64, insert, || p.keep_going());
+                    .participate_with(tid as u64, insert, keep_going, ins);
             }
         }
     }
 
     /// Phase 2: subtree sizes (Figure 5); returns `false` if abandoned.
-    fn sum_phase(&self, tid: usize, p: &mut impl Participation) -> bool {
+    fn sum_phase(&self, tid: usize, p: &mut impl Participation, ins: &impl Instrument) -> bool {
         // Explicit stack: (node, visit-state). State 0 = first entry,
         // 1 = after first child, 2 = after second child.
         let mut stack: Vec<(usize, u8, usize)> = vec![(1, 0, 0)];
         let mut ret = 0usize;
         while let Some((node, stage, first_sum)) = stack.pop() {
+            ins.checkpoint();
             if !p.keep_going() {
                 return false;
             }
             let depth = stack.len() as u32;
-            let first = Side::from_bit(tid >> (depth % usize::BITS) & 1 == 1);
+            let first = descent_side(tid, depth);
             match stage {
                 0 => {
+                    ins.visit();
                     let s = self.tree.size(node);
                     if s > 0 {
+                        ins.skip();
                         ret = s;
                         continue;
                     }
@@ -381,17 +463,20 @@ impl<K: Ord> SortJob<K> {
 
     /// Phase 3: ranks (Figure 6 with the postorder completion flag);
     /// returns `false` if abandoned.
-    fn place_phase(&self, tid: usize, p: &mut impl Participation) -> bool {
+    fn place_phase(&self, tid: usize, p: &mut impl Participation, ins: &impl Instrument) -> bool {
         // Frames: (node, sub, stage).
         let mut stack: Vec<(usize, usize, u8)> = vec![(1, 0, 0)];
         while let Some((node, sub, stage)) = stack.pop() {
+            ins.checkpoint();
             if !p.keep_going() {
                 return false;
             }
             let depth = stack.len() as u32;
             match stage {
                 0 => {
+                    ins.visit();
                     if self.tree.place_complete(node) {
+                        ins.skip();
                         continue;
                     }
                     let small = self.tree.child(node, Side::Small);
@@ -405,8 +490,7 @@ impl<K: Ord> SortJob<K> {
                     }
                     let big = self.tree.child(node, Side::Big);
                     // Children in PID-bit order.
-                    let small_first =
-                        Side::from_bit(tid >> (depth % usize::BITS) & 1 == 1) == Side::Small;
+                    let small_first = descent_side(tid, depth) == Side::Small;
                     let kids = if small_first {
                         [(small, sub), (big, sub + s + 1)]
                     } else {
@@ -428,21 +512,31 @@ impl<K: Ord> SortJob<K> {
     }
 
     /// Phase 4: scatter element indices by rank.
-    fn scatter_phase(&self, tid: usize, nthreads: usize, p: &mut impl Participation) {
+    fn scatter_phase(
+        &self,
+        tid: usize,
+        nthreads: usize,
+        p: &mut impl Participation,
+        ins: &impl Instrument,
+    ) {
         let move_one = |job: usize| {
             let element = job + 1;
             let rank = self.tree.place(element);
             debug_assert!(rank >= 1, "scatter before placement");
             self.perm[rank - 1].store(element, Ordering::Release);
         };
+        let keep_going = || {
+            ins.checkpoint();
+            p.keep_going()
+        };
         match self.allocation {
             NativeAllocation::Deterministic => {
                 self.scatter_wat
-                    .participate(tid, nthreads, move_one, || p.keep_going());
+                    .participate_with(tid, nthreads, move_one, keep_going, ins);
             }
             NativeAllocation::Randomized => {
                 self.scatter_lcwat
-                    .participate(tid as u64, move_one, || p.keep_going());
+                    .participate_with(tid as u64, move_one, keep_going, ins);
             }
         }
     }
@@ -585,6 +679,52 @@ mod tests {
             job.into_sorted(),
             vec!["apple", "cherry", "date", "fig", "pear"]
         );
+    }
+
+    #[test]
+    fn descent_side_reads_pid_bits() {
+        assert_eq!(descent_side(0b101, 0), Side::Small);
+        assert_eq!(descent_side(0b101, 1), Side::Big);
+        assert_eq!(descent_side(0b101, 2), Side::Small);
+        assert_eq!(descent_side(0, 0), Side::Big);
+        // Depths past the word width wrap and reuse low bits (documented
+        // divergence from the simulator's saturating Pid::bit).
+        assert_eq!(descent_side(0b101, usize::BITS), descent_side(0b101, 0));
+        assert_eq!(descent_side(0b101, usize::BITS + 1), descent_side(0b101, 1));
+    }
+
+    #[test]
+    fn tracked_slots_and_aliasing_reported() {
+        let job = SortJob::with_tracked(vec![3, 1, 2], NativeAllocation::Deterministic, 2);
+        for _ in 0..5 {
+            job.participate(&mut QuitAfter(1));
+        }
+        let r = job.progress();
+        assert_eq!(r.tracked_slots, 2);
+        assert_eq!(r.participants, 5);
+        assert_eq!(r.aliased_participants, 3);
+        assert_eq!(r.workers.len(), 2);
+    }
+
+    #[test]
+    fn instrumented_participant_records_counts() {
+        let slot = crate::MetricSlot::new();
+        let job = SortJob::new(vec![5, 2, 9, 1, 7, 3]);
+        job.participate_instrumented(&mut RunToCompletion, &slot);
+        assert!(job.is_complete());
+        let m = slot.snapshot();
+        // Alone, the worker installs each non-root element with exactly
+        // one uncontended CAS and visits each node once per traversal.
+        assert_eq!(m.phases.build.cas_attempts, 5);
+        assert_eq!(m.phases.build.cas_failures, 0);
+        assert_eq!(m.phases.build.claims, 5);
+        assert_eq!(m.phases.sum.visits, 6);
+        assert_eq!(m.phases.sum.skips, 0);
+        assert_eq!(m.phases.place.visits, 6);
+        assert_eq!(m.phases.place.skips, 0);
+        assert_eq!(m.phases.scatter.claims, 6);
+        assert!(m.checkpoints > 0);
+        assert_eq!(job.into_sorted(), vec![1, 2, 3, 5, 7, 9]);
     }
 
     #[test]

@@ -13,6 +13,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::metrics::{Instrument, NoInstrument};
+
 const EMPTY: usize = 0;
 const DONE: usize = 1;
 const ALLDONE: usize = 2;
@@ -81,9 +83,26 @@ impl AtomicLcWat {
     pub fn participate(
         &self,
         seed: u64,
+        work: impl FnMut(usize),
+        keep_going: impl FnMut() -> bool,
+    ) {
+        self.participate_with(seed, work, keep_going, &NoInstrument);
+    }
+
+    /// [`AtomicLcWat::participate`] with a metrics sink: `ins` sees one
+    /// `claim` per job executed and one `probe` for every other probe
+    /// (already-done node, empty internal, padding leaf, ALLDONE flood).
+    /// Random probing has no reserved initial assignment, so
+    /// `own_assignment_done` fires immediately and every step counts as
+    /// helping.
+    pub(crate) fn participate_with(
+        &self,
+        seed: u64,
         mut work: impl FnMut(usize),
         mut keep_going: impl FnMut() -> bool,
+        ins: &impl Instrument,
     ) {
+        ins.own_assignment_done();
         let mut rng = StdRng::seed_from_u64(seed);
         let count = 2 * self.leaves - 1;
         loop {
@@ -97,7 +116,10 @@ impl AtomicLcWat {
                 EMPTY if is_leaf => {
                     let job = node - self.leaves;
                     if job < self.jobs {
+                        ins.claim();
                         work(job);
+                    } else {
+                        ins.probe();
                     }
                     self.store(node, if is_root { ALLDONE } else { DONE });
                     if is_root {
@@ -105,14 +127,18 @@ impl AtomicLcWat {
                     }
                 }
                 EMPTY => {
+                    ins.probe();
                     let left = self.load(2 * node);
                     let right = self.load(2 * node + 1);
                     if left >= DONE && right >= DONE {
                         self.store(node, if is_root { ALLDONE } else { DONE });
                     }
                 }
-                DONE => {}
+                DONE => {
+                    ins.probe();
+                }
                 _ => {
+                    ins.probe();
                     // ALLDONE: flood one level down and quit (at a leaf
                     // there is nothing to flood — quitting is sound, any
                     // ALLDONE sighting implies the root completed).

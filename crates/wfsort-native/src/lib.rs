@@ -24,6 +24,12 @@
 //! [`WaitFreeSorter::sort_with_deadline`] expose graceful degradation as
 //! ordinary sorting entry points.
 //!
+//! A telemetry layer ([`metrics`]) mirrors the simulator's measurement
+//! role on real threads: [`WaitFreeSorter::sort_with_report`] returns a
+//! [`SortReport`] of per-phase and per-worker operation counts, with the
+//! build phase's CAS-failure rate standing in for the paper's §1.2
+//! contention measure (DESIGN.md §9).
+//!
 //! # Example
 //!
 //! ```
@@ -42,14 +48,22 @@
 mod fault;
 mod job;
 mod lcwat;
+pub mod metrics;
 mod sorter;
 mod tree;
 mod wat;
 mod watchdog;
 
 pub use fault::{ChaosParticipation, ChaosPlan, CheckpointCounter, FaultAction, WithDeadline};
-pub use job::{NativeAllocation, Participation, QuitAfter, RunToCompletion, SortJob};
+pub use job::{
+    NativeAllocation, Participation, QuitAfter, RunToCompletion, SortJob,
+    DEFAULT_TRACKED_PARTICIPANTS,
+};
 pub use lcwat::AtomicLcWat;
+pub use metrics::{
+    BuildMetrics, MetricSlot, PhaseMetrics, ScatterMetrics, SortReport, TraversalMetrics,
+    WorkerMetrics,
+};
 pub use sorter::{sort_with_churn, UntilFlag, WaitFreeSorter};
 pub use tree::{SharedTree, Side, EMPTY};
 pub use wat::{Assignment, AtomicWat};

@@ -1,0 +1,513 @@
+//! Native sort telemetry: per-worker counters behind a crate-private
+//! `Instrument` handle, aggregated into a [`SortReport`].
+//!
+//! The PRAM simulator measures the paper's quantities directly
+//! (`pram::Metrics` counts every shared-memory operation and charges
+//! QRQW time); real threads have no such vantage point, so this module
+//! gives each worker a private counter block — a [`MetricSlot`] — that it
+//! increments with plain (non-atomic) stores as it runs. Slots are
+//! cache-line padded so two workers' live counters never share a line,
+//! and nothing is read until the workers have joined.
+//!
+//! Instrumentation is threaded through the phases as a generic
+//! `Instrument` parameter. The uninstrumented entry points pass
+//! `NoInstrument`, whose methods are empty `#[inline]` bodies — after
+//! monomorphization the plain `sort` path carries no trace of the
+//! counters at all.
+//!
+//! The headline statistic is [`SortReport::cas_failure_rate`]: the
+//! fraction of child-pointer `compare_exchange` attempts that lost a
+//! race. A CAS is only attempted after the slot was observed `EMPTY`
+//! (Figure 4's read-then-CAS), so a failure is always evidence that
+//! another thread wrote the same cell concurrently — the closest native
+//! analogue of the paper's §1.2 contention measure ("the maximum number
+//! of concurrent accesses to any single variable"). See DESIGN.md §9 for
+//! what the proxy does and does not capture.
+
+use std::cell::Cell;
+use std::time::Duration;
+
+use crate::watchdog::SortPhase;
+
+/// Phase-1 (build) counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BuildMetrics {
+    /// Child-pointer `compare_exchange` attempts. Each is issued only
+    /// after the slot was observed `EMPTY`, so single-threaded runs see
+    /// exactly `n - 1` attempts (one successful install per element).
+    pub cas_attempts: u64,
+    /// Attempts that lost the slot to a concurrent writer — the
+    /// contention proxy. Zero in any single-threaded run.
+    pub cas_failures: u64,
+    /// Tree levels stepped during insertion descents (one per node
+    /// visited on the root-to-install path, install level included).
+    /// Matches the simulator's per-level CAS count for the same input.
+    pub descent_steps: u64,
+    /// Build-WAT job claims: elements this worker inserted, duplicates
+    /// included.
+    pub claims: u64,
+    /// Build-WAT bookkeeping steps: internal-node hops (deterministic
+    /// WAT) or non-claiming probes (LC-WAT).
+    pub probes: u64,
+}
+
+/// Counters for the tree-walking phases 2 (sum) and 3 (place).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraversalMetrics {
+    /// Nodes entered (a skip still counts as an entry).
+    pub visits: u64,
+    /// Entries cut short because another worker had already completed
+    /// the subtree (`size > 0` / `place_done` observed set).
+    pub skips: u64,
+}
+
+/// Phase-4 (scatter) counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScatterMetrics {
+    /// Scatter-WAT job claims: rank slots this worker wrote, duplicates
+    /// included.
+    pub claims: u64,
+    /// Scatter-WAT bookkeeping steps (internal hops / non-claiming
+    /// probes).
+    pub probes: u64,
+}
+
+/// One counter block per phase — the per-phase half of a [`SortReport`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseMetrics {
+    /// Phase 1: pivot-tree construction.
+    pub build: BuildMetrics,
+    /// Phase 2: subtree sizes.
+    pub sum: TraversalMetrics,
+    /// Phase 3: ranks.
+    pub place: TraversalMetrics,
+    /// Phase 4: scatter by rank.
+    pub scatter: ScatterMetrics,
+}
+
+impl PhaseMetrics {
+    /// Adds `other`'s counts into `self` (worker → aggregate folding).
+    pub fn absorb(&mut self, other: &PhaseMetrics) {
+        self.build.cas_attempts += other.build.cas_attempts;
+        self.build.cas_failures += other.build.cas_failures;
+        self.build.descent_steps += other.build.descent_steps;
+        self.build.claims += other.build.claims;
+        self.build.probes += other.build.probes;
+        self.sum.visits += other.sum.visits;
+        self.sum.skips += other.sum.skips;
+        self.place.visits += other.place.visits;
+        self.place.skips += other.place.skips;
+        self.scatter.claims += other.scatter.claims;
+        self.scatter.probes += other.scatter.probes;
+    }
+
+    /// Total counted operations across all phases — a coarse native
+    /// *work* figure (the analogue of the simulator's `total_ops`).
+    pub fn total_ops(&self) -> u64 {
+        self.build.cas_attempts
+            + self.build.descent_steps
+            + self.build.claims
+            + self.build.probes
+            + self.sum.visits
+            + self.place.visits
+            + self.scatter.claims
+            + self.scatter.probes
+    }
+}
+
+/// One worker's counters for a whole `participate` call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerMetrics {
+    /// Per-phase counts for this worker alone.
+    pub phases: PhaseMetrics,
+    /// `keep_going` checkpoints consulted (wait-free operation
+    /// boundaries — the same events that tick the heartbeat epoch).
+    pub checkpoints: u64,
+    /// WAT steps (claims + probes) taken after the worker's own initial
+    /// assignment was complete — Figure 2's helping traversal. A lone
+    /// worker helps through everything by construction, so the share is
+    /// interesting *relative to claims* when workers race: high help
+    /// with few claims means the worker mostly confirmed others' work.
+    /// All LC-WAT steps count as help (random probing has no reserved
+    /// assignment).
+    pub help_steps: u64,
+}
+
+/// Aggregated telemetry for one sorting run, returned by
+/// [`crate::WaitFreeSorter::sort_with_report`] /
+/// [`crate::WaitFreeSorter::run_job_with_report`].
+#[derive(Clone, Debug)]
+pub struct SortReport {
+    /// Counts summed over all workers, grouped by phase.
+    pub per_phase: PhaseMetrics,
+    /// Each worker's own counts, in spawn order.
+    pub per_worker: Vec<WorkerMetrics>,
+    /// Wall-clock time from first spawn to last join.
+    pub elapsed: Duration,
+    /// `build.cas_failures / build.cas_attempts`, or `0.0` when no CAS
+    /// was attempted — the native §1.2 contention proxy.
+    pub cas_failure_rate: f64,
+}
+
+impl SortReport {
+    /// Folds per-worker counts into a report.
+    pub(crate) fn aggregate(per_worker: Vec<WorkerMetrics>, elapsed: Duration) -> SortReport {
+        let mut per_phase = PhaseMetrics::default();
+        for w in &per_worker {
+            per_phase.absorb(&w.phases);
+        }
+        let attempts = per_phase.build.cas_attempts;
+        let cas_failure_rate = if attempts == 0 {
+            0.0
+        } else {
+            per_phase.build.cas_failures as f64 / attempts as f64
+        };
+        SortReport {
+            per_phase,
+            per_worker,
+            elapsed,
+            cas_failure_rate,
+        }
+    }
+
+    /// The report of a run that never started (inputs shorter than two
+    /// keys are returned as-is without spawning workers).
+    pub(crate) fn empty() -> SortReport {
+        SortReport::aggregate(Vec::new(), Duration::ZERO)
+    }
+
+    /// Total counted operations across all workers and phases.
+    pub fn total_ops(&self) -> u64 {
+        self.per_phase.total_ops()
+    }
+
+    /// Help steps summed over workers.
+    pub fn help_steps(&self) -> u64 {
+        self.per_worker.iter().map(|w| w.help_steps).sum()
+    }
+
+    /// Checkpoints summed over workers.
+    pub fn checkpoints(&self) -> u64 {
+        self.per_worker.iter().map(|w| w.checkpoints).sum()
+    }
+}
+
+/// Counter sink consulted on the sort's hot paths. All methods default
+/// to empty bodies so the uninstrumented path monomorphizes to nothing.
+pub(crate) trait Instrument {
+    /// The participant moved to `phase`; subsequent events belong to it.
+    #[inline]
+    fn enter_phase(&self, _phase: SortPhase) {}
+    /// A child-pointer CAS was attempted; `failed` = lost the race.
+    #[inline]
+    fn cas(&self, _failed: bool) {}
+    /// One level of an insertion descent.
+    #[inline]
+    fn descent_step(&self) {}
+    /// A WAT job claim (routed to build or scatter by current phase).
+    #[inline]
+    fn claim(&self) {}
+    /// A WAT bookkeeping step (routed by current phase).
+    #[inline]
+    fn probe(&self) {}
+    /// A sum/place node entry (routed by current phase).
+    #[inline]
+    fn visit(&self) {}
+    /// A sum/place entry that found the subtree already complete.
+    #[inline]
+    fn skip(&self) {}
+    /// A `keep_going` consultation.
+    #[inline]
+    fn checkpoint(&self) {}
+    /// The worker's own initial WAT assignment is complete; subsequent
+    /// claims/probes in this phase are helping steps.
+    #[inline]
+    fn own_assignment_done(&self) {}
+}
+
+/// The no-op sink used by the uninstrumented entry points.
+pub(crate) struct NoInstrument;
+
+impl Instrument for NoInstrument {}
+
+/// The recording sink: interior-mutable so the work and `keep_going`
+/// closures can share it, plain `Cell` stores so recording costs a
+/// register-width store per event.
+#[derive(Debug)]
+pub(crate) struct LocalCounters {
+    phase: Cell<SortPhase>,
+    helping: Cell<bool>,
+    build_cas_attempts: Cell<u64>,
+    build_cas_failures: Cell<u64>,
+    build_descent_steps: Cell<u64>,
+    build_claims: Cell<u64>,
+    build_probes: Cell<u64>,
+    sum_visits: Cell<u64>,
+    sum_skips: Cell<u64>,
+    place_visits: Cell<u64>,
+    place_skips: Cell<u64>,
+    scatter_claims: Cell<u64>,
+    scatter_probes: Cell<u64>,
+    checkpoints: Cell<u64>,
+    help_steps: Cell<u64>,
+}
+
+impl Default for LocalCounters {
+    fn default() -> Self {
+        LocalCounters {
+            phase: Cell::new(SortPhase::Build),
+            helping: Cell::new(false),
+            build_cas_attempts: Cell::new(0),
+            build_cas_failures: Cell::new(0),
+            build_descent_steps: Cell::new(0),
+            build_claims: Cell::new(0),
+            build_probes: Cell::new(0),
+            sum_visits: Cell::new(0),
+            sum_skips: Cell::new(0),
+            place_visits: Cell::new(0),
+            place_skips: Cell::new(0),
+            scatter_claims: Cell::new(0),
+            scatter_probes: Cell::new(0),
+            checkpoints: Cell::new(0),
+            help_steps: Cell::new(0),
+        }
+    }
+}
+
+#[inline]
+fn bump(cell: &Cell<u64>) {
+    cell.set(cell.get() + 1);
+}
+
+impl LocalCounters {
+    fn snapshot(&self) -> WorkerMetrics {
+        WorkerMetrics {
+            phases: PhaseMetrics {
+                build: BuildMetrics {
+                    cas_attempts: self.build_cas_attempts.get(),
+                    cas_failures: self.build_cas_failures.get(),
+                    descent_steps: self.build_descent_steps.get(),
+                    claims: self.build_claims.get(),
+                    probes: self.build_probes.get(),
+                },
+                sum: TraversalMetrics {
+                    visits: self.sum_visits.get(),
+                    skips: self.sum_skips.get(),
+                },
+                place: TraversalMetrics {
+                    visits: self.place_visits.get(),
+                    skips: self.place_skips.get(),
+                },
+                scatter: ScatterMetrics {
+                    claims: self.scatter_claims.get(),
+                    probes: self.scatter_probes.get(),
+                },
+            },
+            checkpoints: self.checkpoints.get(),
+            help_steps: self.help_steps.get(),
+        }
+    }
+
+    #[inline]
+    fn help_if_helping(&self) {
+        if self.helping.get() {
+            bump(&self.help_steps);
+        }
+    }
+}
+
+impl Instrument for LocalCounters {
+    #[inline]
+    fn enter_phase(&self, phase: SortPhase) {
+        self.phase.set(phase);
+        // Each phase's WAT hands out a fresh initial assignment.
+        self.helping.set(false);
+    }
+
+    #[inline]
+    fn cas(&self, failed: bool) {
+        bump(&self.build_cas_attempts);
+        if failed {
+            bump(&self.build_cas_failures);
+        }
+    }
+
+    #[inline]
+    fn descent_step(&self) {
+        bump(&self.build_descent_steps);
+    }
+
+    #[inline]
+    fn claim(&self) {
+        match self.phase.get() {
+            SortPhase::Scatter => bump(&self.scatter_claims),
+            _ => bump(&self.build_claims),
+        }
+        self.help_if_helping();
+    }
+
+    #[inline]
+    fn probe(&self) {
+        match self.phase.get() {
+            SortPhase::Scatter => bump(&self.scatter_probes),
+            _ => bump(&self.build_probes),
+        }
+        self.help_if_helping();
+    }
+
+    #[inline]
+    fn visit(&self) {
+        match self.phase.get() {
+            SortPhase::Place => bump(&self.place_visits),
+            _ => bump(&self.sum_visits),
+        }
+    }
+
+    #[inline]
+    fn skip(&self) {
+        match self.phase.get() {
+            SortPhase::Place => bump(&self.place_skips),
+            _ => bump(&self.sum_skips),
+        }
+    }
+
+    #[inline]
+    fn checkpoint(&self) {
+        bump(&self.checkpoints);
+    }
+
+    #[inline]
+    fn own_assignment_done(&self) {
+        self.helping.set(true);
+    }
+}
+
+/// One worker's live counter block, padded to two cache lines (the
+/// span hardware prefetchers treat as a unit on x86) so adjacent
+/// workers' hot stores never false-share. Hand one slot to each worker
+/// via [`crate::SortJob::participate_instrumented`] and read it back
+/// with [`MetricSlot::snapshot`] once the worker has returned.
+///
+/// A slot is `Send` but deliberately not `Sync` (the counters are plain
+/// `Cell`s): exactly one thread may record into it at a time.
+#[derive(Debug, Default)]
+#[repr(align(128))]
+pub struct MetricSlot {
+    counters: LocalCounters,
+}
+
+impl MetricSlot {
+    /// A fresh all-zero slot.
+    pub fn new() -> Self {
+        MetricSlot::default()
+    }
+
+    pub(crate) fn counters(&self) -> &LocalCounters {
+        &self.counters
+    }
+
+    /// The counts recorded so far, as a plain value.
+    pub fn snapshot(&self) -> WorkerMetrics {
+        self.counters.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_routes_by_phase() {
+        let c = LocalCounters::default();
+        c.cas(false);
+        c.cas(true);
+        c.descent_step();
+        c.claim();
+        c.probe();
+        c.visit();
+        c.enter_phase(SortPhase::Sum);
+        c.visit();
+        c.skip();
+        c.enter_phase(SortPhase::Place);
+        c.visit();
+        c.enter_phase(SortPhase::Scatter);
+        c.claim();
+        c.probe();
+        c.checkpoint();
+        let m = c.snapshot();
+        assert_eq!(m.phases.build.cas_attempts, 2);
+        assert_eq!(m.phases.build.cas_failures, 1);
+        assert_eq!(m.phases.build.descent_steps, 1);
+        assert_eq!(m.phases.build.claims, 1);
+        assert_eq!(m.phases.build.probes, 1);
+        // Build-phase visit routes to sum (only sum/place ever visit).
+        assert_eq!(m.phases.sum.visits, 2);
+        assert_eq!(m.phases.sum.skips, 1);
+        assert_eq!(m.phases.place.visits, 1);
+        assert_eq!(m.phases.scatter.claims, 1);
+        assert_eq!(m.phases.scatter.probes, 1);
+        assert_eq!(m.checkpoints, 1);
+    }
+
+    #[test]
+    fn help_steps_count_only_after_own_assignment() {
+        let c = LocalCounters::default();
+        c.claim();
+        c.probe();
+        c.own_assignment_done();
+        c.claim();
+        c.probe();
+        assert_eq!(c.snapshot().help_steps, 2);
+        // A new phase resets the helping flag.
+        c.enter_phase(SortPhase::Scatter);
+        c.claim();
+        assert_eq!(c.snapshot().help_steps, 2);
+    }
+
+    #[test]
+    fn aggregate_computes_failure_rate() {
+        let mut a = WorkerMetrics::default();
+        a.phases.build.cas_attempts = 6;
+        a.phases.build.cas_failures = 1;
+        let mut b = WorkerMetrics::default();
+        b.phases.build.cas_attempts = 2;
+        b.phases.build.cas_failures = 1;
+        let r = SortReport::aggregate(vec![a, b], Duration::from_millis(5));
+        assert_eq!(r.per_phase.build.cas_attempts, 8);
+        assert_eq!(r.per_phase.build.cas_failures, 2);
+        assert!((r.cas_failure_rate - 0.25).abs() < 1e-12);
+        assert_eq!(r.per_worker.len(), 2);
+    }
+
+    #[test]
+    fn empty_report_has_zero_rate() {
+        let r = SortReport::empty();
+        assert_eq!(r.cas_failure_rate, 0.0);
+        assert_eq!(r.total_ops(), 0);
+        assert_eq!(r.help_steps(), 0);
+        assert_eq!(r.checkpoints(), 0);
+    }
+
+    #[test]
+    fn no_instrument_is_inert() {
+        // Compiles and does nothing — the uninstrumented path's contract.
+        let n = NoInstrument;
+        n.enter_phase(SortPhase::Place);
+        n.cas(true);
+        n.descent_step();
+        n.claim();
+        n.probe();
+        n.visit();
+        n.skip();
+        n.checkpoint();
+        n.own_assignment_done();
+    }
+
+    #[test]
+    fn metric_slot_is_padded() {
+        assert!(std::mem::align_of::<MetricSlot>() >= 128);
+        let slot = MetricSlot::new();
+        slot.counters().cas(false);
+        assert_eq!(slot.snapshot().phases.build.cas_attempts, 1);
+    }
+}

@@ -4,7 +4,8 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use crate::fault::{ChaosParticipation, ChaosPlan, WithDeadline};
-use crate::job::{Participation, RunToCompletion, SortJob};
+use crate::job::{NativeAllocation, Participation, RunToCompletion, SortJob};
+use crate::metrics::{MetricSlot, SortReport};
 
 /// A multi-threaded wait-free sorter.
 ///
@@ -52,14 +53,71 @@ impl WaitFreeSorter {
         }
     }
 
+    /// Runs `job` to completion with one telemetry slot per worker and
+    /// returns the aggregated [`SortReport`]. The job may use either
+    /// allocation strategy and may have been partially sorted already;
+    /// the report covers only what this cohort did.
+    pub fn run_job_with_report<K: Ord + Send + Sync>(&self, job: &SortJob<K>) -> SortReport {
+        let start = Instant::now();
+        let mut slots: Vec<MetricSlot> = (0..self.threads).map(|_| MetricSlot::new()).collect();
+        if self.threads == 1 {
+            job.participate_instrumented(&mut RunToCompletion, &slots[0]);
+        } else {
+            crossbeam::thread::scope(|s| {
+                for slot in &mut slots {
+                    let job = &*job;
+                    s.spawn(move |_| job.participate_instrumented(&mut RunToCompletion, slot));
+                }
+            })
+            .expect("worker threads do not panic");
+        }
+        let elapsed = start.elapsed();
+        SortReport::aggregate(slots.iter().map(|s| s.snapshot()).collect(), elapsed)
+    }
+
     /// Sorts `keys` into a new vector.
     pub fn sort<K: Ord + Clone + Send + Sync>(&self, keys: &[K]) -> Vec<K> {
         if keys.len() < 2 {
             return keys.to_vec();
         }
-        let job = SortJob::new(keys.to_vec());
+        let job = self.job_for(keys);
         self.run_job(&job);
         job.into_sorted()
+    }
+
+    /// Sorts `keys` and reports what the workers did: per-phase operation
+    /// counts, per-worker breakdowns, wall-clock time, and the
+    /// CAS-failure rate (the native contention proxy — see DESIGN.md §9).
+    /// Inputs shorter than two keys return unchanged with an empty
+    /// report.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wfsort_native::WaitFreeSorter;
+    ///
+    /// let keys: Vec<u64> = (0..1000).rev().collect();
+    /// let (sorted, report) = WaitFreeSorter::new(4).sort_with_report(&keys);
+    /// assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+    /// assert!(report.per_phase.build.claims >= 999);
+    /// assert!(report.cas_failure_rate <= 1.0);
+    /// ```
+    pub fn sort_with_report<K: Ord + Clone + Send + Sync>(
+        &self,
+        keys: &[K],
+    ) -> (Vec<K>, SortReport) {
+        if keys.len() < 2 {
+            return (keys.to_vec(), SortReport::empty());
+        }
+        let job = self.job_for(keys);
+        let report = self.run_job_with_report(&job);
+        (job.into_sorted(), report)
+    }
+
+    /// A deterministic-allocation job sized to this sorter's cohort (one
+    /// heartbeat slot per worker).
+    fn job_for<K: Ord + Clone + Send + Sync>(&self, keys: &[K]) -> SortJob<K> {
+        SortJob::with_tracked(keys.to_vec(), NativeAllocation::Deterministic, self.threads)
     }
 
     /// Sorts `items` by the key `f` extracts, computing each key once and
@@ -85,7 +143,7 @@ impl WaitFreeSorter {
             return items.to_vec();
         }
         let keys: Vec<K> = items.iter().map(f).collect();
-        let job = SortJob::new(keys);
+        let job = SortJob::with_tracked(keys, NativeAllocation::Deterministic, self.threads);
         self.run_job(&job);
         job.permutation()
             .into_iter()
@@ -105,7 +163,7 @@ impl WaitFreeSorter {
         if keys.len() < 2 {
             return keys.to_vec();
         }
-        let job = SortJob::new(keys.to_vec());
+        let job = self.job_for(keys);
         crossbeam::thread::scope(|s| {
             for t in 1..self.threads {
                 let job = &job;
@@ -152,7 +210,13 @@ impl WaitFreeSorter {
         if keys.len() < 2 {
             return keys.to_vec();
         }
-        let job = SortJob::new(keys.to_vec());
+        // One slot per plan worker, plus the caller (survivor of last
+        // resort below).
+        let job = SortJob::with_tracked(
+            keys.to_vec(),
+            NativeAllocation::Deterministic,
+            plan.workers() + 1,
+        );
         crossbeam::thread::scope(|s| {
             for w in 0..plan.workers() {
                 let job = &job;
@@ -216,7 +280,12 @@ impl WaitFreeSorter {
         if keys.len() < 2 {
             return keys.to_vec();
         }
-        let job = SortJob::new(keys.to_vec());
+        // Helpers plus the deadline-exempt caller.
+        let tracked = match plan {
+            Some(plan) => plan.workers() + 1,
+            None => self.threads,
+        };
+        let job = SortJob::with_tracked(keys.to_vec(), NativeAllocation::Deterministic, tracked);
         let until = Instant::now() + deadline;
         crossbeam::thread::scope(|s| {
             match plan {
@@ -307,7 +376,11 @@ pub fn sort_with_churn<K: Ord + Clone + Send + Sync>(
     if keys.len() < 2 {
         return keys.to_vec();
     }
-    let job = SortJob::new(keys.to_vec());
+    let job = SortJob::with_tracked(
+        keys.to_vec(),
+        NativeAllocation::Deterministic,
+        initial.max(1) + replacements.max(1),
+    );
     let checks = AtomicUsize::new(0);
     crossbeam::thread::scope(|s| {
         for _ in 0..initial.max(1) {
@@ -389,6 +462,54 @@ mod tests {
         // inherit real work, deterministically on any machine.
         let sorted = sort_with_churn(&keys, 4, 2_000, 3);
         assert_eq!(sorted, expect);
+    }
+
+    #[test]
+    fn report_counts_cover_input_multithreaded() {
+        let keys = random_keys(10_000, 5);
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        let (sorted, report) = WaitFreeSorter::new(4).sort_with_report(&keys);
+        assert_eq!(sorted, expect);
+        let n = keys.len() as u64;
+        assert!(report.per_phase.build.claims >= n - 1);
+        assert!(report.per_phase.build.cas_attempts >= n - 1);
+        assert!(report.per_phase.sum.visits >= n);
+        assert!(report.per_phase.place.visits >= n);
+        assert!(report.per_phase.scatter.claims >= n);
+        assert_eq!(report.per_worker.len(), 4);
+        assert!((0.0..=1.0).contains(&report.cas_failure_rate));
+        assert!(report.elapsed > Duration::ZERO);
+        assert!(report.total_ops() > 0);
+    }
+
+    #[test]
+    fn trivial_input_report_is_empty() {
+        let (sorted, report) = WaitFreeSorter::new(2).sort_with_report(&[1u64]);
+        assert_eq!(sorted, vec![1]);
+        assert!(report.per_worker.is_empty());
+        assert_eq!(report.total_ops(), 0);
+    }
+
+    #[test]
+    fn report_on_randomized_job_counts_probes() {
+        let keys = random_keys(5_000, 6);
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        let job = SortJob::with_tracked(keys, NativeAllocation::Randomized, 4);
+        let report = WaitFreeSorter::new(4).run_job_with_report(&job);
+        assert_eq!(job.into_sorted(), expect);
+        assert!(report.per_phase.build.probes > 0);
+        assert!(report.per_phase.scatter.probes > 0);
+        // Random probing has no reserved assignment: every WAT step is
+        // a helping step.
+        assert_eq!(
+            report.help_steps(),
+            report.per_phase.build.claims
+                + report.per_phase.build.probes
+                + report.per_phase.scatter.claims
+                + report.per_phase.scatter.probes
+        );
     }
 
     #[test]

@@ -92,14 +92,22 @@ impl SharedTree {
     /// slot's occupant afterwards (== `child` on success, the prior
     /// occupant on failure) — mirroring the paper's re-read after CAS.
     pub fn install_child(&self, node: usize, side: Side, child: usize) -> usize {
+        self.install_child_observed(node, side, child).0
+    }
+
+    /// Like [`SharedTree::install_child`], but also reports whether this
+    /// call's CAS won the slot. A `false` second component means the CAS
+    /// genuinely lost a race (or the slot was already occupied) — the
+    /// event the metrics layer counts as a contention failure.
+    pub fn install_child_observed(&self, node: usize, side: Side, child: usize) -> (usize, bool) {
         match self.child_slot(node, side).compare_exchange(
             EMPTY,
             child,
             Ordering::AcqRel,
             Ordering::Acquire,
         ) {
-            Ok(_) => child,
-            Err(current) => current,
+            Ok(_) => (child, true),
+            Err(current) => (current, false),
         }
     }
 
@@ -156,6 +164,16 @@ mod tests {
         // A duplicate-working thread re-attempting the same install gets
         // the already-present value back — counts as success upstream.
         assert_eq!(t.install_child(1, Side::Big, 3), 3);
+    }
+
+    #[test]
+    fn install_observed_reports_winner() {
+        let t = SharedTree::new(4);
+        assert_eq!(t.install_child_observed(1, Side::Small, 2), (2, true));
+        assert_eq!(t.install_child_observed(1, Side::Small, 3), (2, false));
+        // Re-attempting an identical install is a loss too: the slot was
+        // not EMPTY, even though the value matches.
+        assert_eq!(t.install_child_observed(1, Side::Small, 2), (2, false));
     }
 
     #[test]

@@ -9,6 +9,8 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use crate::metrics::{Instrument, NoInstrument};
+
 const NOT_DONE: usize = 0;
 const DONE: usize = 1;
 
@@ -161,13 +163,31 @@ impl AtomicWat {
         &self,
         tid: usize,
         nthreads: usize,
+        work: impl FnMut(usize),
+        keep_going: impl FnMut() -> bool,
+    ) {
+        self.participate_with(tid, nthreads, work, keep_going, &NoInstrument);
+    }
+
+    /// [`AtomicWat::participate`] with a metrics sink: `ins` sees one
+    /// `claim` per job executed, one `probe` per bookkeeping step
+    /// (internal hop or padding leaf), and `own_assignment_done` once the
+    /// thread's initial Figure-2 assignment is behind it — everything
+    /// after that is helping.
+    pub(crate) fn participate_with(
+        &self,
+        tid: usize,
+        nthreads: usize,
         mut work: impl FnMut(usize),
         mut keep_going: impl FnMut() -> bool,
+        ins: &impl Instrument,
     ) {
         let mut node = self.initial_node(tid, nthreads);
         if let Some(job) = self.job_at(node) {
+            ins.claim();
             work(job);
         }
+        ins.own_assignment_done();
         loop {
             if !keep_going() {
                 return;
@@ -175,10 +195,14 @@ impl AtomicWat {
             match self.next_after(node) {
                 Assignment::AllDone => return,
                 Assignment::Job(job) => {
+                    ins.claim();
                     work(job);
                     node = self.leaves + job;
                 }
-                Assignment::Internal(n) => node = n,
+                Assignment::Internal(n) => {
+                    ins.probe();
+                    node = n;
+                }
             }
         }
     }

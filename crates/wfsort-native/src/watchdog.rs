@@ -81,6 +81,16 @@ pub struct ProgressReport {
     pub participants: usize,
     /// Tracked per-participant heartbeats, indexed by slot.
     pub workers: Vec<ParticipantProgress>,
+    /// Heartbeat slots the job allocated. Jobs built via
+    /// [`SortJob::with_tracked`](crate::SortJob::with_tracked) size this
+    /// to their worker count so every participant gets its own slot.
+    pub tracked_slots: usize,
+    /// Participants beyond `tracked_slots`, which share heartbeat slots
+    /// with earlier arrivals (`tid % tracked_slots`). Nonzero means the
+    /// per-worker heartbeats may conflate two threads' progress — a
+    /// wedged worker can hide behind an aliased live one — though the
+    /// WAT frontiers and completion flag stay exact.
+    pub aliased_participants: usize,
     /// Phase-1 (build) WAT jobs completed.
     pub build_jobs_done: usize,
     /// Phase-1 (build) WAT jobs in total.
@@ -122,7 +132,11 @@ impl fmt::Display for ProgressReport {
             self.live_workers(),
             self.workers.len() - self.live_workers(),
             if self.complete { ", complete" } else { "" }
-        )
+        )?;
+        if self.aliased_participants > 0 {
+            write!(f, " [{} aliased]", self.aliased_participants)?;
+        }
+        Ok(())
     }
 }
 
@@ -318,6 +332,8 @@ mod tests {
                 epoch,
                 departed,
             }],
+            tracked_slots: 1,
+            aliased_participants: 0,
             build_jobs_done: 0,
             build_jobs_total: 2,
             scatter_jobs_done: 0,

@@ -8,11 +8,13 @@
 //! same headline property — any surviving participant (or, at worst, the
 //! calling thread) completes the sort, under every fault schedule tried.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use wait_free_sort::wfsort_native::{
-    ChaosParticipation, ChaosPlan, CheckpointCounter, Health, Participation, RunToCompletion,
-    SortJob, WaitFreeSorter, Watchdog, WithDeadline,
+    ChaosParticipation, ChaosPlan, CheckpointCounter, Health, NativeAllocation, Participation,
+    QuitAfter, RunToCompletion, SortJob, WaitFreeSorter, Watchdog, WithDeadline,
+    DEFAULT_TRACKED_PARTICIPANTS,
 };
 
 fn random_keys(n: usize, seed: u64) -> Vec<u64> {
@@ -352,4 +354,111 @@ fn progress_report_tracks_frontiers() {
     assert!(text.contains("complete"), "got: {text}");
     let frontier = format!("build {}/{}", after.build_jobs_done, after.build_jobs_total);
     assert!(text.contains(&frontier), "got: {text}");
+}
+
+/// Runs normally except for one controlled freeze: at the second
+/// checkpoint it flags `parked`, then spins until `release` — a live,
+/// wedged participant with a deterministic park point.
+struct Gated<'a> {
+    release: &'a AtomicBool,
+    parked: &'a AtomicBool,
+    checks: usize,
+}
+
+impl Participation for Gated<'_> {
+    fn keep_going(&mut self) -> bool {
+        self.checks += 1;
+        if self.checks == 2 {
+            self.parked.store(true, Ordering::Release);
+            while !self.release.load(Ordering::Acquire) {
+                std::thread::yield_now();
+            }
+        }
+        true
+    }
+}
+
+/// Regression test for the heartbeat slot-aliasing bug: participant ids
+/// used to be folded into a hard-coded 64-slot table (`tid % 64`), so
+/// the 65th joiner silently shared slot 0 with a reaped thread — the
+/// report showed a departed worker as live, and the watchdog could read
+/// a wedged cohort as progressing. `SortJob::with_tracked` now sizes the
+/// table to the announced worker count; this test drives one more
+/// participant than the old hard-coded capacity and asserts the late
+/// joiner gets its own, correctly attributed row.
+#[test]
+fn heartbeats_track_more_workers_than_the_old_fixed_table() {
+    let workers = DEFAULT_TRACKED_PARTICIPANTS + 1;
+    let keys = random_keys(6_000, 37);
+    let job = SortJob::with_tracked(keys, NativeAllocation::Deterministic, workers);
+
+    // The first 64 participants join and are reaped almost immediately.
+    for _ in 0..DEFAULT_TRACKED_PARTICIPANTS {
+        job.participate(&mut QuitAfter(1));
+    }
+    assert!(!job.is_complete(), "quitters alone must not finish the job");
+
+    let release = AtomicBool::new(false);
+    let parked = AtomicBool::new(false);
+    let mut dog = Watchdog::new(&job);
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            job.participate(&mut Gated {
+                release: &release,
+                parked: &parked,
+                checks: 0,
+            });
+        });
+        while !parked.load(Ordering::Acquire) {
+            std::thread::yield_now();
+        }
+
+        // With the old indexing the report had 64 rows and the late
+        // joiner aliased slot 0, resurrecting a reaped thread. Now every
+        // participant has its own row and nothing is aliased.
+        let report = job.progress();
+        assert_eq!(report.tracked_slots, workers);
+        assert_eq!(report.aliased_participants, 0);
+        assert_eq!(report.participants, workers);
+        assert_eq!(report.workers.len(), workers);
+        assert!(
+            report.workers[..DEFAULT_TRACKED_PARTICIPANTS]
+                .iter()
+                .all(|w| w.departed),
+            "the reaped cohort must read as departed"
+        );
+        let late = &report.workers[DEFAULT_TRACKED_PARTICIPANTS];
+        assert!(!late.departed, "the parked worker is live, not reaped");
+        assert!(late.epoch > 0, "the parked worker published progress");
+        assert_eq!(report.live_workers(), 1);
+
+        // The watchdog sees through the reaped pile: the parked live
+        // worker stops the epoch clock, so the second observation is a
+        // true global stall, not Progressing-by-alias.
+        assert!(matches!(dog.observe(), Health::Progressing { .. }));
+        assert_eq!(dog.observe(), Health::Wedged);
+
+        release.store(true, Ordering::Release);
+    });
+    assert!(job.is_complete(), "released worker finishes the sort");
+    assert_eq!(dog.observe(), Health::Complete);
+}
+
+/// Joiners beyond the heartbeat table are no longer silently folded into
+/// old slots: the report counts them as aliased, keeping live/reaped
+/// attribution honest for the rows it does track.
+#[test]
+fn default_job_counts_aliased_late_joiners() {
+    let keys = random_keys(3_000, 41);
+    let job = SortJob::new(keys);
+    for _ in 0..DEFAULT_TRACKED_PARTICIPANTS + 6 {
+        job.participate(&mut QuitAfter(1));
+    }
+    let report = job.progress();
+    assert_eq!(report.tracked_slots, DEFAULT_TRACKED_PARTICIPANTS);
+    assert_eq!(report.participants, DEFAULT_TRACKED_PARTICIPANTS + 6);
+    assert_eq!(report.aliased_participants, 6);
+    assert_eq!(report.workers.len(), DEFAULT_TRACKED_PARTICIPANTS);
+    let text = report.to_string();
+    assert!(text.contains("[6 aliased]"), "got: {text}");
 }

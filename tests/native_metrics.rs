@@ -1,0 +1,159 @@
+//! Acceptance tests for the native telemetry layer (DESIGN.md §9).
+//!
+//! The headline check is *cross-model parity*: a single-threaded
+//! instrumented native sort must report exactly the operation counts the
+//! PRAM simulator meters for the same input — the native counters are
+//! only trustworthy as a stand-in for the paper's measures (§1.2, §3) if
+//! the two models agree where they are comparable. With one participant
+//! there are no races, so the native descent count equals the simulator's
+//! build-phase `cas_ops`, the traversal visits equal the simulator's
+//! phase-2/3 write counts, and every child-pointer CAS must succeed.
+
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, SeedableRng};
+use wait_free_sort::pram::{Machine, MemoryLayout, Pid, SyncScheduler, Word};
+use wait_free_sort::wat::Wat;
+use wait_free_sort::wfsort::{
+    machine_with_sized_tree, machine_with_tree, BuildTreeWorker, ElementArrays, FindPlaceProcess,
+    TreeSumProcess, Workload,
+};
+use wait_free_sort::wfsort_native::{NativeAllocation, SortJob, WaitFreeSorter};
+
+/// One participant, no contention: the native report's phase counters
+/// must equal the simulator's `Metrics` op counts for the same keys.
+///
+/// * build: `descent_steps` (levels visited during insertion) = the
+///   build machine's `cas_ops` — the simulator CASes once per level
+///   (Figure 4), the native path reads first and CASes only on EMPTY,
+///   so the *descent* count is the model-independent quantity;
+/// * build: `cas_attempts` = N-1 (one successful install per element)
+///   and `cas_failures` = 0 — single-threaded, no race can be lost;
+/// * sum: `visits` = the sum machine's `writes` (= N: every node's size
+///   is computed and written exactly once);
+/// * place: `visits` = half the place machine's `writes` (the simulator
+///   writes `place` and `place_done` per node; a visit covers both).
+#[test]
+fn single_threaded_report_matches_simulator_op_counts() {
+    const N: usize = 512;
+    let sim_keys: Vec<Word> = Workload::RandomPermutation.generate(N, 97);
+    let native_keys: Vec<u64> = sim_keys.iter().map(|&k| k as u64).collect();
+
+    // Native, one instrumented participant.
+    let job = SortJob::with_tracked(native_keys.clone(), NativeAllocation::Deterministic, 1);
+    let report = WaitFreeSorter::new(1).run_job_with_report(&job);
+    let mut expect = native_keys.clone();
+    expect.sort_unstable();
+    assert_eq!(job.into_sorted(), expect, "native sort must be correct");
+
+    let p = &report.per_phase;
+    assert_eq!(p.build.cas_failures, 0, "no races to lose single-threaded");
+    assert_eq!(report.cas_failure_rate, 0.0);
+    assert_eq!(p.build.cas_attempts, (N - 1) as u64);
+    assert_eq!(p.sum.skips, 0, "nobody else precomputes subtrees");
+    assert_eq!(p.place.skips, 0);
+    assert_eq!(p.scatter.claims, N as u64, "one scatter job per element");
+
+    // Simulator phase 1: same keys, one processor through the build WAT.
+    let mut layout = MemoryLayout::new();
+    let arrays = ElementArrays::layout(&mut layout, N);
+    let bwat = Wat::layout(&mut layout, N - 1);
+    let mut m1 = Machine::with_seed(layout.total(), 0);
+    arrays.load_keys(m1.memory_mut(), &sim_keys);
+    for proc in bwat.processes(1, |_| BuildTreeWorker::for_full_sort(arrays)) {
+        m1.add_process(proc);
+    }
+    m1.run(&mut SyncScheduler, 100_000_000).unwrap();
+    assert_eq!(
+        p.build.descent_steps,
+        m1.metrics().cas_ops,
+        "native descent steps must equal the simulator's per-level CASes"
+    );
+
+    // Simulator phase 2 on the prebuilt tree.
+    let (mut m2, arrays) = machine_with_tree(&sim_keys, 0);
+    m2.add_process(Box::new(TreeSumProcess::new(arrays, Pid::new(0), 1)));
+    m2.run(&mut SyncScheduler, 100_000_000).unwrap();
+    assert_eq!(
+        p.sum.visits,
+        m2.metrics().writes,
+        "native sum visits must equal the simulator's size writes"
+    );
+    assert_eq!(p.sum.visits, N as u64);
+
+    // Simulator phase 3 on the prebuilt sized tree.
+    let (mut m3, arrays) = machine_with_sized_tree(&sim_keys, 0);
+    m3.add_process(Box::new(FindPlaceProcess::new(arrays, Pid::new(0), 1)));
+    m3.run(&mut SyncScheduler, 100_000_000).unwrap();
+    assert_eq!(
+        2 * p.place.visits,
+        m3.metrics().writes,
+        "the simulator writes place and place_done per native place visit"
+    );
+    assert_eq!(p.place.visits, N as u64);
+}
+
+/// The randomized allocation reports through the same counters: the work
+/// totals (which are allocation-independent) must match the
+/// deterministic run on identical keys; only the WAT bookkeeping
+/// (claims/probes split, descent order) may differ.
+#[test]
+fn randomized_allocation_reports_same_work_totals() {
+    let keys: Vec<u64> = Workload::RandomPermutation
+        .generate(600, 11)
+        .iter()
+        .map(|&k| k as u64)
+        .collect();
+    let mut expect = keys.clone();
+    expect.sort_unstable();
+
+    let mut reports = Vec::new();
+    for allocation in [
+        NativeAllocation::Deterministic,
+        NativeAllocation::Randomized,
+    ] {
+        let job = SortJob::with_tracked(keys.clone(), allocation, 1);
+        reports.push(WaitFreeSorter::new(1).run_job_with_report(&job));
+        assert_eq!(job.into_sorted(), expect);
+    }
+    let (det, rnd) = (&reports[0].per_phase, &reports[1].per_phase);
+    assert_eq!(det.build.cas_attempts, rnd.build.cas_attempts);
+    assert_eq!(rnd.build.cas_failures, 0);
+    assert_eq!(det.sum.visits, rnd.sum.visits);
+    assert_eq!(det.place.visits, rnd.place.visits);
+    assert_eq!(det.scatter.claims, rnd.scatter.claims);
+}
+
+/// Instrumentation must not change the sort's complexity class: the
+/// generous bound here (1.5x + 5ms slack on the minimum of 5 runs)
+/// guards against an accidental hot-path regression — a shared counter,
+/// a false-sharing layout, an allocation per checkpoint — while staying
+/// robust to CI timer noise. The *exact* overhead (a few percent) is
+/// recorded in EXPERIMENTS.md E24c.
+#[test]
+fn instrumentation_overhead_is_bounded() {
+    // The E5 workload: a random permutation of 0..N.
+    let n: u64 = 40_000;
+    let mut keys: Vec<u64> = (0..n).collect();
+    keys.shuffle(&mut StdRng::seed_from_u64(5));
+    let mut expect = keys.clone();
+    expect.sort_unstable();
+
+    let sorter = WaitFreeSorter::new(2);
+    let (mut plain, mut instrumented) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..5 {
+        let t = std::time::Instant::now();
+        assert_eq!(sorter.sort(&keys), expect);
+        plain = plain.min(t.elapsed().as_secs_f64());
+
+        let t = std::time::Instant::now();
+        let (sorted, report) = sorter.sort_with_report(&keys);
+        instrumented = instrumented.min(t.elapsed().as_secs_f64());
+        assert_eq!(sorted, expect);
+        assert!(report.total_ops() > 0, "a real run must count something");
+        assert_eq!(report.per_worker.len(), 2);
+    }
+    assert!(
+        instrumented <= plain * 1.5 + 0.005,
+        "instrumented sort took {instrumented:.4}s vs {plain:.4}s plain"
+    );
+}
