@@ -1,0 +1,90 @@
+//! Criterion bench: packed vs legacy pivot-tree layout, grain sweep,
+//! and arena reuse on the native hot path (backs experiment E25).
+//!
+//! The `e25_layout_bench` binary produces the schema-gated
+//! `BENCH_layout.json` artifact; this bench is the statistically honest
+//! companion for local investigation (`cargo bench -p bench --bench
+//! layout`), where criterion's sampling beats the binary's min-of-R.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use wfsort_native::{
+    recommended_grain, LegacySharedTree, NativeAllocation, SortArena, SortJob, WaitFreeSorter,
+};
+
+fn keys(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen()).collect()
+}
+
+fn bench_layout(c: &mut Criterion) {
+    let n = 1 << 15;
+    let input = keys(n, 25);
+
+    let mut group = c.benchmark_group("layout");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n as u64));
+
+    // Packed vs legacy at matching grain: job construction is inside the
+    // timed body for both, so the comparison stays apples-to-apples.
+    for threads in [1usize, 2, 4] {
+        let grain = recommended_grain(n, threads);
+        group.bench_with_input(BenchmarkId::new("packed", threads), &threads, |b, &t| {
+            let sorter = WaitFreeSorter::new(t);
+            b.iter(|| {
+                let job =
+                    SortJob::with_grain(input.clone(), NativeAllocation::Deterministic, t, grain);
+                sorter.run_job(&job);
+                job.into_sorted()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("legacy", threads), &threads, |b, &t| {
+            let sorter = WaitFreeSorter::new(t);
+            b.iter(|| {
+                let job = SortJob::<u64, LegacySharedTree>::with_layout(
+                    input.clone(),
+                    NativeAllocation::Deterministic,
+                    t,
+                    grain,
+                );
+                sorter.run_job(&job);
+                job.into_sorted()
+            })
+        });
+    }
+
+    // Grain sweep at a fixed thread count: how much of the WAT claim
+    // amortization shows up as wall time.
+    for grain in [1usize, 2, 7, 64] {
+        group.bench_with_input(BenchmarkId::new("grain", grain), &grain, |b, &g| {
+            let sorter = WaitFreeSorter::new(2);
+            b.iter(|| {
+                let job = SortJob::with_grain(input.clone(), NativeAllocation::Deterministic, 2, g);
+                sorter.run_job(&job);
+                job.into_sorted()
+            })
+        });
+    }
+
+    // Fresh allocations per sort vs one recycled arena.
+    group.bench_function("fresh_per_sort", |b| {
+        let sorter = WaitFreeSorter::new(2);
+        b.iter(|| sorter.sort(&input))
+    });
+    group.bench_function("arena_reuse", |b| {
+        let sorter = WaitFreeSorter::new(2);
+        let mut arena = SortArena::new();
+        let mut out = Vec::new();
+        b.iter(|| {
+            sorter.sort_into(&input, &mut arena, &mut out);
+            out.len()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_layout);
+criterion_main!(benches);

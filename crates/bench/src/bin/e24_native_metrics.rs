@@ -55,6 +55,7 @@ struct Run {
     shape: &'static str,
     allocation: NativeAllocation,
     sorted: bool,
+    tracked_slots: usize,
     report: SortReport,
 }
 
@@ -73,22 +74,40 @@ fn run_once(
         shape,
         allocation,
         sorted: job.into_sorted() == expect,
+        tracked_slots: threads,
         report,
     }
 }
 
 fn json_record(r: &Run) -> String {
     let p = &r.report.per_phase;
+    // The validator cross-checks per_worker length against tracked_slots,
+    // so the slot count comes from the job's configuration, not from
+    // whatever the report happens to contain.
+    let per_worker: Vec<String> = r
+        .report
+        .per_worker
+        .iter()
+        .map(|w| {
+            format!(
+                "{{\"help_steps\":{},\"checkpoints\":{},\"total_ops\":{}}}",
+                w.help_steps,
+                w.checkpoints,
+                w.phases.total_ops()
+            )
+        })
+        .collect();
     format!(
         concat!(
             "{{\"threads\":{},\"n\":{},\"shape\":\"{}\",\"allocation\":\"{}\",",
             "\"elapsed_ms\":{:.3},\"sorted\":{},\"total_ops\":{},",
             "\"help_steps\":{},\"checkpoints\":{},\"cas_failure_rate\":{:.6},",
+            "\"tracked_slots\":{},\"per_worker\":[{}],",
             "\"build\":{{\"cas_attempts\":{},\"cas_failures\":{},",
-            "\"descent_steps\":{},\"claims\":{},\"probes\":{}}},",
+            "\"descent_steps\":{},\"claims\":{},\"block_claims\":{},\"probes\":{}}},",
             "\"sum\":{{\"visits\":{},\"skips\":{}}},",
             "\"place\":{{\"visits\":{},\"skips\":{}}},",
-            "\"scatter\":{{\"claims\":{},\"probes\":{}}}}}"
+            "\"scatter\":{{\"claims\":{},\"block_claims\":{},\"probes\":{}}}}}"
         ),
         r.threads,
         r.n,
@@ -100,16 +119,20 @@ fn json_record(r: &Run) -> String {
         r.report.help_steps(),
         r.report.checkpoints(),
         r.report.cas_failure_rate,
+        r.tracked_slots,
+        per_worker.join(","),
         p.build.cas_attempts,
         p.build.cas_failures,
         p.build.descent_steps,
         p.build.claims,
+        p.build.block_claims,
         p.build.probes,
         p.sum.visits,
         p.sum.skips,
         p.place.visits,
         p.place.skips,
         p.scatter.claims,
+        p.scatter.block_claims,
         p.scatter.probes,
     )
 }

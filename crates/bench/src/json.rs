@@ -272,8 +272,11 @@ fn require_counts(run: &Json, group: &str, keys: &[&str], at: usize) -> Result<(
 /// Validates a `BENCH_native.json` document against the
 /// [`NATIVE_METRICS_SCHEMA`] shape: schema tag, experiment id, and a
 /// non-empty `runs` array in which every run carries the sweep
-/// coordinates, timing, the four per-phase counter groups, and a
-/// CAS-failure rate inside `[0, 1]`. Returns the number of runs.
+/// coordinates, timing, the four per-phase counter groups (block-claim
+/// counts included), a CAS-failure rate inside `[0, 1]`, and a
+/// `per_worker` breakdown whose length matches the job's
+/// `tracked_slots` — a report that tracked more or fewer workers than
+/// it metered is corrupt. Returns the number of runs.
 pub fn validate_native_metrics(text: &str) -> Result<usize, String> {
     let doc = Json::parse(text)?;
     match doc.get("schema").and_then(Json::as_str) {
@@ -306,6 +309,7 @@ pub fn validate_native_metrics(text: &str) -> Result<usize, String> {
             "total_ops",
             "help_steps",
             "checkpoints",
+            "tracked_slots",
         ] {
             require_num(run, key, at)?;
         }
@@ -325,21 +329,194 @@ pub fn validate_native_metrics(text: &str) -> Result<usize, String> {
                 "cas_failures",
                 "descent_steps",
                 "claims",
+                "block_claims",
                 "probes",
             ],
             at,
         )?;
         require_counts(run, "sum", &["visits", "skips"], at)?;
         require_counts(run, "place", &["visits", "skips"], at)?;
-        require_counts(run, "scatter", &["claims", "probes"], at)?;
+        require_counts(run, "scatter", &["claims", "block_claims", "probes"], at)?;
         let rate = require_num(run, "cas_failure_rate", at)?;
         if !(0.0..=1.0).contains(&rate) {
             return Err(format!(
                 "runs[{at}].cas_failure_rate: {rate} outside [0, 1]"
             ));
         }
+        let tracked = require_num(run, "tracked_slots", at)?;
+        let per_worker = run
+            .get("per_worker")
+            .and_then(Json::as_array)
+            .ok_or_else(|| format!("runs[{at}].per_worker: missing or not an array"))?;
+        if per_worker.len() as f64 != tracked {
+            return Err(format!(
+                "runs[{at}].per_worker: {} entries but tracked_slots is {tracked}",
+                per_worker.len()
+            ));
+        }
+        for (slot, worker) in per_worker.iter().enumerate() {
+            for key in ["help_steps", "checkpoints", "total_ops"] {
+                if worker.get(key).and_then(Json::as_f64).is_none() {
+                    return Err(format!(
+                        "runs[{at}].per_worker[{slot}].{key}: missing or not a number"
+                    ));
+                }
+            }
+        }
     }
     Ok(runs.len())
+}
+
+/// The schema tag `e25_layout_bench` writes.
+pub const LAYOUT_SCHEMA: &str = "wfsort-native-layout/v1";
+
+/// Validates a `BENCH_layout.json` document against the
+/// [`LAYOUT_SCHEMA`] shape:
+///
+/// * `throughput`: non-empty packed-vs-legacy timing sweep — every entry
+///   names a shape, carries both layouts' best times, and proves both
+///   runs actually sorted;
+/// * `cache_lines`: the per-phase cache-lines-touched estimates for both
+///   layouts (the analytical half of the story);
+/// * `grain_sweep`: non-empty, each entry a single-threaded run whose
+///   deterministic `build_block_claims` must equal
+///   `ceil((n - 1) / grain)` — the validator recomputes it;
+/// * `arena`: fresh-allocation vs arena-reuse round timings.
+///
+/// Returns the total number of throughput + grain-sweep entries.
+pub fn validate_layout_bench(text: &str) -> Result<usize, String> {
+    let doc = Json::parse(text)?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(LAYOUT_SCHEMA) => {}
+        Some(other) => return Err(format!("schema: expected {LAYOUT_SCHEMA}, got {other}")),
+        None => return Err("schema: missing".into()),
+    }
+    if doc.get("experiment").and_then(Json::as_str).is_none() {
+        return Err("experiment: missing or not a string".into());
+    }
+    if doc.get("quick").and_then(Json::as_bool).is_none() {
+        return Err("quick: missing or not a boolean".into());
+    }
+
+    let throughput = doc
+        .get("throughput")
+        .and_then(Json::as_array)
+        .ok_or("throughput: missing or not an array")?;
+    if throughput.is_empty() {
+        return Err("throughput: empty".into());
+    }
+    for (at, entry) in throughput.iter().enumerate() {
+        if entry.get("shape").and_then(Json::as_str).is_none() {
+            return Err(format!("throughput[{at}].shape: missing or not a string"));
+        }
+        for key in ["n", "threads", "packed_ms", "legacy_ms", "speedup"] {
+            let v = entry
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("throughput[{at}].{key}: missing or not a number"))?;
+            if v < 0.0 {
+                return Err(format!("throughput[{at}].{key}: negative"));
+            }
+        }
+        for key in ["packed_sorted", "legacy_sorted"] {
+            if entry.get(key).and_then(Json::as_bool) != Some(true) {
+                return Err(format!("throughput[{at}].{key}: missing or not true"));
+            }
+        }
+    }
+
+    let cache_lines = doc
+        .get("cache_lines")
+        .and_then(Json::as_array)
+        .ok_or("cache_lines: missing or not an array")?;
+    if cache_lines.is_empty() {
+        return Err("cache_lines: empty".into());
+    }
+    for (at, entry) in cache_lines.iter().enumerate() {
+        if entry.get("phase").and_then(Json::as_str).is_none() {
+            return Err(format!("cache_lines[{at}].phase: missing or not a string"));
+        }
+        for key in [
+            "n",
+            "packed_lines_per_step",
+            "legacy_lines_per_step",
+            "packed_lines",
+            "legacy_lines",
+        ] {
+            require_num(entry, key, at).map_err(|e| e.replace("runs[", "cache_lines["))?;
+        }
+    }
+
+    let sweep = doc
+        .get("grain_sweep")
+        .and_then(Json::as_array)
+        .ok_or("grain_sweep: missing or not an array")?;
+    if sweep.is_empty() {
+        return Err("grain_sweep: empty".into());
+    }
+    for (at, entry) in sweep.iter().enumerate() {
+        for key in [
+            "n",
+            "grain",
+            "build_claims",
+            "build_block_claims",
+            "scatter_block_claims",
+        ] {
+            let v = entry
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("grain_sweep[{at}].{key}: missing or not a number"))?;
+            if v < 0.0 || v.fract() != 0.0 {
+                return Err(format!(
+                    "grain_sweep[{at}].{key}: not a non-negative integer"
+                ));
+            }
+        }
+        if entry.get("sorted").and_then(Json::as_bool) != Some(true) {
+            return Err(format!("grain_sweep[{at}].sorted: missing or not true"));
+        }
+        // Single-threaded block claims are fully deterministic: one per
+        // real leaf block. Recompute and compare.
+        let n = entry.get("n").and_then(Json::as_f64).unwrap() as u64;
+        let grain = entry.get("grain").and_then(Json::as_f64).unwrap() as u64;
+        if grain == 0 {
+            return Err(format!("grain_sweep[{at}].grain: zero"));
+        }
+        let expect = (n - 1).div_ceil(grain);
+        let got = entry
+            .get("build_block_claims")
+            .and_then(Json::as_f64)
+            .unwrap() as u64;
+        if got != expect {
+            return Err(format!(
+                "grain_sweep[{at}].build_block_claims: {got}, expected ceil((n-1)/grain) = {expect}"
+            ));
+        }
+    }
+
+    let arena = doc
+        .get("arena")
+        .and_then(Json::as_array)
+        .ok_or("arena: missing or not an array")?;
+    if arena.is_empty() {
+        return Err("arena: empty".into());
+    }
+    for (at, entry) in arena.iter().enumerate() {
+        for key in ["n", "rounds", "fresh_ms", "arena_ms"] {
+            let v = entry
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("arena[{at}].{key}: missing or not a number"))?;
+            if v < 0.0 {
+                return Err(format!("arena[{at}].{key}: negative"));
+            }
+        }
+        if entry.get("sorted").and_then(Json::as_bool) != Some(true) {
+            return Err(format!("arena[{at}].sorted: missing or not true"));
+        }
+    }
+
+    Ok(throughput.len() + sweep.len())
 }
 
 #[cfg(test)]
@@ -381,11 +558,17 @@ mod tests {
             "allocation": "deterministic", "elapsed_ms": 1.5,
             "sorted": true, "total_ops": 900, "help_steps": 40,
             "checkpoints": 220, "cas_failure_rate": 0.01,
+            "tracked_slots": 2,
+            "per_worker": [
+                {"help_steps": 25, "checkpoints": 110, "total_ops": 500},
+                {"help_steps": 15, "checkpoints": 110, "total_ops": 400}
+            ],
             "build": {"cas_attempts": 99, "cas_failures": 1,
-                      "descent_steps": 700, "claims": 101, "probes": 130},
+                      "descent_steps": 700, "claims": 101,
+                      "block_claims": 101, "probes": 130},
             "sum": {"visits": 180, "skips": 30},
             "place": {"visits": 150, "skips": 10},
-            "scatter": {"claims": 100, "probes": 120}
+            "scatter": {"claims": 100, "block_claims": 100, "probes": 120}
         }"#
         .to_string()
     }
@@ -432,5 +615,90 @@ mod tests {
                 "quick": true, "runs": []}}"#
         );
         assert_eq!(validate_native_metrics(&empty).unwrap_err(), "runs: empty");
+    }
+
+    #[test]
+    fn rejects_per_worker_length_disagreeing_with_tracked_slots() {
+        // One tracked slot claimed, two per-worker entries reported.
+        let doc = valid_doc(&valid_run().replace(r#""tracked_slots": 2"#, r#""tracked_slots": 1"#));
+        let err = validate_native_metrics(&doc).unwrap_err();
+        assert!(
+            err.contains("per_worker") && err.contains("tracked_slots"),
+            "unexpected error: {err}"
+        );
+
+        let doc = valid_doc(&valid_run().replace(r#""per_worker": ["#, r#""per_worker_gone": ["#));
+        assert!(validate_native_metrics(&doc)
+            .unwrap_err()
+            .contains("per_worker"));
+    }
+
+    #[test]
+    fn rejects_missing_block_claims() {
+        let doc = valid_doc(&valid_run().replace(r#""block_claims": 101, "#, ""));
+        assert!(validate_native_metrics(&doc)
+            .unwrap_err()
+            .contains("block_claims"));
+    }
+
+    fn valid_layout_doc() -> String {
+        format!(
+            r#"{{"schema": "{LAYOUT_SCHEMA}", "experiment": "e25", "quick": true,
+                "throughput": [
+                    {{"shape": "uniform-random", "n": 4096, "threads": 2,
+                      "packed_ms": 1.1, "legacy_ms": 1.4, "speedup": 1.27,
+                      "packed_sorted": true, "legacy_sorted": true}}
+                ],
+                "cache_lines": [
+                    {{"phase": "sum", "n": 4096,
+                      "packed_lines_per_step": 1, "legacy_lines_per_step": 3,
+                      "packed_lines": 4096, "legacy_lines": 12288}}
+                ],
+                "grain_sweep": [
+                    {{"n": 4096, "grain": 1, "build_claims": 4095,
+                      "build_block_claims": 4095, "scatter_block_claims": 4096,
+                      "sorted": true}},
+                    {{"n": 4096, "grain": 64, "build_claims": 4095,
+                      "build_block_claims": 64, "scatter_block_claims": 64,
+                      "sorted": true}}
+                ],
+                "arena": [
+                    {{"n": 4096, "rounds": 8, "fresh_ms": 9.0, "arena_ms": 7.5,
+                      "sorted": true}}
+                ]}}"#
+        )
+    }
+
+    #[test]
+    fn accepts_a_valid_layout_document() {
+        assert_eq!(validate_layout_bench(&valid_layout_doc()), Ok(3));
+    }
+
+    #[test]
+    fn layout_validator_recomputes_block_claims_and_checks_shape() {
+        let doc = valid_layout_doc()
+            .replace(r#""build_block_claims": 64"#, r#""build_block_claims": 65"#);
+        let err = validate_layout_bench(&doc).unwrap_err();
+        assert!(
+            err.contains("build_block_claims"),
+            "unexpected error: {err}"
+        );
+
+        let doc =
+            valid_layout_doc().replace(r#""legacy_sorted": true"#, r#""legacy_sorted": false"#);
+        assert!(validate_layout_bench(&doc)
+            .unwrap_err()
+            .contains("legacy_sorted"));
+
+        let doc = valid_layout_doc().replace(LAYOUT_SCHEMA, "other/v0");
+        assert!(validate_layout_bench(&doc)
+            .unwrap_err()
+            .starts_with("schema"));
+
+        let doc = valid_layout_doc().replace(r#""throughput": ["#, r#""throughput": [], "x": ["#);
+        assert_eq!(
+            validate_layout_bench(&doc).unwrap_err(),
+            "throughput: empty"
+        );
     }
 }

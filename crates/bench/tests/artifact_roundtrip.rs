@@ -84,6 +84,18 @@ fn e24_native_metrics_flow(dir: &std::path::Path) {
     assert!(job.is_complete());
 
     let p = &report.per_phase;
+    let per_worker: Vec<String> = report
+        .per_worker
+        .iter()
+        .map(|w| {
+            format!(
+                "{{\"help_steps\":{},\"checkpoints\":{},\"total_ops\":{}}}",
+                w.help_steps,
+                w.checkpoints,
+                w.phases.total_ops()
+            )
+        })
+        .collect();
     let artifact = format!(
         concat!(
             "{{\"schema\":\"{}\",\"experiment\":\"artifact_roundtrip\",\"quick\":true,",
@@ -91,11 +103,12 @@ fn e24_native_metrics_flow(dir: &std::path::Path) {
             "\"allocation\":\"wat\",\"elapsed_ms\":{:.3},\"sorted\":true,",
             "\"total_ops\":{},\"help_steps\":{},\"checkpoints\":{},",
             "\"cas_failure_rate\":{:.6},",
+            "\"tracked_slots\":2,\"per_worker\":[{}],",
             "\"build\":{{\"cas_attempts\":{},\"cas_failures\":{},\"descent_steps\":{},",
-            "\"claims\":{},\"probes\":{}}},",
+            "\"claims\":{},\"block_claims\":{},\"probes\":{}}},",
             "\"sum\":{{\"visits\":{},\"skips\":{}}},",
             "\"place\":{{\"visits\":{},\"skips\":{}}},",
-            "\"scatter\":{{\"claims\":{},\"probes\":{}}}}}]}}"
+            "\"scatter\":{{\"claims\":{},\"block_claims\":{},\"probes\":{}}}}}]}}"
         ),
         bench::json::NATIVE_METRICS_SCHEMA,
         report.elapsed.as_secs_f64() * 1e3,
@@ -103,16 +116,19 @@ fn e24_native_metrics_flow(dir: &std::path::Path) {
         report.help_steps(),
         report.checkpoints(),
         report.cas_failure_rate,
+        per_worker.join(","),
         p.build.cas_attempts,
         p.build.cas_failures,
         p.build.descent_steps,
         p.build.claims,
+        p.build.block_claims,
         p.build.probes,
         p.sum.visits,
         p.sum.skips,
         p.place.visits,
         p.place.skips,
         p.scatter.claims,
+        p.scatter.block_claims,
         p.scatter.probes,
     );
     assert_eq!(
@@ -141,6 +157,10 @@ fn e24_native_metrics_flow(dir: &std::path::Path) {
         (
             loaded.replace("\"cas_failures\":", "\"cas_fail\":"),
             "missing counter",
+        ),
+        (
+            loaded.replace("\"tracked_slots\":2", "\"tracked_slots\":3"),
+            "per_worker length disagreeing with tracked_slots",
         ),
         (loaded.replace("]}", ""), "truncated file"),
     ] {

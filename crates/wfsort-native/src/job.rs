@@ -11,7 +11,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use crate::lcwat::AtomicLcWat;
 use crate::metrics::{Instrument, MetricSlot, NoInstrument};
-use crate::tree::{SharedTree, Side, EMPTY};
+use crate::tree::{PivotTree, SharedTree, Side, EMPTY};
 use crate::wat::AtomicWat;
 use crate::watchdog::{ParticipantProgress, ProgressReport, SortPhase};
 
@@ -27,13 +27,32 @@ pub const DEFAULT_TRACKED_PARTICIPANTS: usize = 64;
 /// subtrees so concurrent whole-tree traversals do not stampede down
 /// the same path. Bit `depth % usize::BITS` of `tid`, set = SMALL first.
 ///
+/// Branchless — a shift, a mask, and [`Side::from_bit`]'s table lookup —
+/// and `#[inline]` because it runs on every level of every sum/place
+/// frame. Agrees with the simulator's `Pid::bit` for every depth below
+/// `usize::BITS` (property-tested in `tests/proptest_layout.rs`).
+///
 /// Depths at or beyond `usize::BITS` wrap around and reuse low bits
 /// (the simulator's `Pid::bit` instead saturates to BIG-first there —
 /// see `pram::word::Pid`). Any fixed choice is correct: the bit only
 /// picks a traversal order, and trees that deep — n beyond 2^64 keys,
 /// or a pathological spine — are outside both implementations' reach.
-pub(crate) fn descent_side(tid: usize, depth: u32) -> Side {
+#[inline]
+pub fn descent_side(tid: usize, depth: u32) -> Side {
     Side::from_bit(tid >> (depth % usize::BITS) & 1 == 1)
+}
+
+/// The grain (items per WAT leaf block) [`SortJob::with_tracked`] picks
+/// for `n` keys and an expected `workers` cohort: `n / (workers * 8)`,
+/// clamped to `1..=64`.
+///
+/// The `workers * 8` divisor keeps at least ~8 blocks per worker so the
+/// WAT can still rebalance around slow or reaped participants; the 64
+/// cap bounds the work between two `keep_going` block boundaries and
+/// keeps the redo cost of a mid-block crash small. Both constants are
+/// exercised by the grain-sweep tests and the E25 grain sweep.
+pub fn recommended_grain(n: usize, workers: usize) -> usize {
+    (n / (workers.max(1) * 8)).clamp(1, 64)
 }
 
 /// Heartbeat bit layout: bit 63 = departed, bits 60..=61 = phase,
@@ -155,9 +174,9 @@ pub enum NativeAllocation {
 /// assert_eq!(job.into_sorted(), vec![1, 2, 3, 5, 8, 9]);
 /// ```
 #[derive(Debug)]
-pub struct SortJob<K: Ord> {
+pub struct SortJob<K: Ord, T: PivotTree = SharedTree> {
     keys: Vec<K>,
-    tree: SharedTree,
+    tree: T,
     allocation: NativeAllocation,
     build_wat: AtomicWat,
     scatter_wat: AtomicWat,
@@ -199,27 +218,117 @@ impl<K: Ord> SortJob<K> {
     /// Participants past `tracked` still sort correctly but alias slots
     /// (see [`ProgressReport::aliased_participants`]). Callers that know
     /// their worker count — every [`crate::WaitFreeSorter`] front-end —
-    /// should pass it here.
+    /// should pass it here. The WAT grain defaults to
+    /// [`recommended_grain`] for `tracked` workers.
     ///
     /// # Panics
     ///
     /// Panics if `keys` has fewer than 2 elements or `tracked` is zero.
     pub fn with_tracked(keys: Vec<K>, allocation: NativeAllocation, tracked: usize) -> Self {
+        let grain = recommended_grain(keys.len(), tracked);
+        Self::with_grain(keys, allocation, tracked, grain)
+    }
+
+    /// [`SortJob::with_tracked`] with an explicit WAT grain (items per
+    /// work-assignment leaf block) instead of the [`recommended_grain`]
+    /// heuristic. Grain 1 reproduces the one-element-per-leaf trees
+    /// exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` has fewer than 2 elements, or `tracked` or
+    /// `grain` is zero.
+    pub fn with_grain(
+        keys: Vec<K>,
+        allocation: NativeAllocation,
+        tracked: usize,
+        grain: usize,
+    ) -> Self {
+        Self::with_layout(keys, allocation, tracked, grain)
+    }
+}
+
+impl<K: Ord, T: PivotTree> SortJob<K, T> {
+    /// [`SortJob::with_grain`] generalized over the pivot-tree layout
+    /// `T`: the packed [`SharedTree`] by default, or (with the
+    /// `legacy-layout` feature) the five-parallel-array
+    /// `LegacySharedTree`, so differential tests can drive the identical
+    /// pipeline through either memory layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` has fewer than 2 elements, or `tracked` or
+    /// `grain` is zero.
+    pub fn with_layout(
+        keys: Vec<K>,
+        allocation: NativeAllocation,
+        tracked: usize,
+        grain: usize,
+    ) -> Self {
         let n = keys.len();
         assert!(n >= 2, "a sort job needs at least two keys");
         assert!(tracked >= 1, "a sort job needs at least one tracked slot");
         SortJob {
             keys,
-            tree: SharedTree::new(n),
+            tree: T::with_len(n),
             allocation,
-            build_wat: AtomicWat::new(n - 1),
-            scatter_wat: AtomicWat::new(n),
-            build_lcwat: AtomicLcWat::new(n - 1),
-            scatter_lcwat: AtomicLcWat::new(n),
+            build_wat: AtomicWat::with_grain(n - 1, grain),
+            scatter_wat: AtomicWat::with_grain(n, grain),
+            build_lcwat: AtomicLcWat::with_grain(n - 1, grain),
+            scatter_lcwat: AtomicLcWat::with_grain(n, grain),
             perm: (0..n).map(|_| AtomicUsize::new(0)).collect(),
             participants: AtomicUsize::new(0),
             heartbeats: (0..tracked).map(|_| HeartbeatSlot::default()).collect(),
         }
+    }
+
+    /// Rebuilds this job in place for a fresh sort over `keys`, reusing
+    /// every existing allocation (tree cells, WAT nodes, permutation,
+    /// heartbeats, and the key vector itself). Exclusive access (`&mut`)
+    /// guarantees no participant is running; the arena calls this
+    /// between sorts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` has fewer than 2 elements, or `tracked` or
+    /// `grain` is zero.
+    pub fn recycle_from_slice(
+        &mut self,
+        keys: &[K],
+        allocation: NativeAllocation,
+        tracked: usize,
+        grain: usize,
+    ) where
+        K: Clone,
+    {
+        let n = keys.len();
+        assert!(n >= 2, "a sort job needs at least two keys");
+        assert!(tracked >= 1, "a sort job needs at least one tracked slot");
+        assert!(grain >= 1, "a sort job needs a non-zero grain");
+        self.keys.clear();
+        self.keys.extend_from_slice(keys);
+        self.allocation = allocation;
+        self.tree.reset(n);
+        self.build_wat.reset(n - 1, grain);
+        self.scatter_wat.reset(n, grain);
+        self.build_lcwat.reset(n - 1, grain);
+        self.scatter_lcwat.reset(n, grain);
+        self.perm.truncate(n);
+        for slot in &mut self.perm {
+            *slot.get_mut() = 0;
+        }
+        self.perm.resize_with(n, || AtomicUsize::new(0));
+        *self.participants.get_mut() = 0;
+        self.heartbeats.truncate(tracked);
+        for slot in &mut self.heartbeats {
+            *slot.0.get_mut() = 0;
+        }
+        self.heartbeats.resize_with(tracked, HeartbeatSlot::default);
+    }
+
+    /// The WAT grain this job was built with (items per leaf block).
+    pub fn grain(&self) -> usize {
+        self.build_wat.grain()
     }
 
     /// Number of keys.
@@ -567,6 +676,28 @@ impl<K: Ord> SortJob<K> {
             .map(|i| slots[i - 1].take().expect("permutation is a bijection"))
             .collect()
     }
+
+    /// Writes the keys in sorted order into `out` (cleared first),
+    /// leaving the job intact for recycling — the allocation-free
+    /// counterpart of [`SortJob::into_sorted`] used by
+    /// [`crate::WaitFreeSorter::sort_into`]. Keys are cloned through the
+    /// computed permutation; `out`'s capacity is reused.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sort is not complete.
+    pub fn sorted_into(&self, out: &mut Vec<K>)
+    where
+        K: Clone,
+    {
+        assert!(self.is_complete(), "sort not complete");
+        out.clear();
+        out.extend(
+            self.perm
+                .iter()
+                .map(|slot| self.keys[slot.load(Ordering::Acquire) - 1].clone()),
+        );
+    }
 }
 
 #[cfg(test)]
@@ -723,8 +854,87 @@ mod tests {
         assert_eq!(m.phases.place.visits, 6);
         assert_eq!(m.phases.place.skips, 0);
         assert_eq!(m.phases.scatter.claims, 6);
+        // Six keys resolve to grain 1, where block and element claims
+        // coincide.
+        assert_eq!(job.grain(), 1);
+        assert_eq!(m.phases.build.block_claims, 5);
+        assert_eq!(m.phases.scatter.block_claims, 6);
         assert!(m.checkpoints > 0);
         assert_eq!(job.into_sorted(), vec![1, 2, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn grain_amortizes_block_claims() {
+        let keys: Vec<i64> = (0..512).rev().collect();
+        let mut expect = keys.clone();
+        expect.sort();
+        let slot = crate::MetricSlot::new();
+        let job = SortJob::with_grain(keys, NativeAllocation::Deterministic, 1, 8);
+        job.participate_instrumented(&mut RunToCompletion, &slot);
+        let m = slot.snapshot();
+        // Per-element counts are grain-independent...
+        assert_eq!(m.phases.build.claims, 511);
+        assert_eq!(m.phases.build.cas_attempts, 511);
+        assert_eq!(m.phases.scatter.claims, 512);
+        // ...while structure-level claim traffic shrinks by the grain.
+        assert_eq!(m.phases.build.block_claims, 511u64.div_ceil(8));
+        assert_eq!(m.phases.scatter.block_claims, 64);
+        assert_eq!(job.into_sorted(), expect);
+    }
+
+    #[test]
+    fn explicit_grains_all_sort_correctly() {
+        let keys: Vec<i64> = (0..500).map(|i| (i * 131) % 499).collect();
+        let mut expect = keys.clone();
+        expect.sort();
+        for grain in [1, 2, 7, 64] {
+            for allocation in [
+                NativeAllocation::Deterministic,
+                NativeAllocation::Randomized,
+            ] {
+                let job = SortJob::with_grain(keys.clone(), allocation, 4, grain);
+                crossbeam::thread::scope(|s| {
+                    for _ in 0..4 {
+                        let job = &job;
+                        s.spawn(move |_| job.run());
+                    }
+                })
+                .unwrap();
+                assert_eq!(job.into_sorted(), expect, "grain {grain}");
+            }
+        }
+    }
+
+    #[test]
+    fn recycled_job_reuses_allocations_for_fresh_sorts() {
+        let first: Vec<i64> = (0..300).rev().collect();
+        let mut job = SortJob::with_grain(first.clone(), NativeAllocation::Deterministic, 2, 4);
+        job.run();
+        let mut out = Vec::new();
+        job.sorted_into(&mut out);
+        let mut expect = first;
+        expect.sort();
+        assert_eq!(out, expect);
+
+        // Recycle for a different shape (longer input, new grain and
+        // allocation) and sort again through the same storage.
+        let second: Vec<i64> = (0..450).map(|i| (i * 7) % 113).collect();
+        job.recycle_from_slice(&second, NativeAllocation::Randomized, 3, 16);
+        assert!(!job.is_complete());
+        assert_eq!(job.len(), 450);
+        assert_eq!(job.grain(), 16);
+        job.run();
+        job.sorted_into(&mut out);
+        let mut expect = second;
+        expect.sort();
+        assert_eq!(out, expect);
+
+        // And once more for a shorter input.
+        let third: Vec<i64> = vec![9, 3, 7, 1];
+        job.recycle_from_slice(&third, NativeAllocation::Deterministic, 1, 1);
+        job.run();
+        job.sorted_into(&mut out);
+        assert_eq!(out, vec![1, 3, 7, 9]);
     }
 
     #[test]

@@ -19,34 +19,91 @@ const EMPTY: usize = 0;
 const DONE: usize = 1;
 const ALLDONE: usize = 2;
 
-/// A randomized work-assignment tree over `jobs` jobs for native threads.
+/// A randomized work-assignment tree over `items` items for native
+/// threads, handing out blocks of `grain` consecutive items per leaf
+/// (see the grain discussion in [`crate::AtomicWat`]).
 #[derive(Debug)]
 pub struct AtomicLcWat {
     nodes: Vec<AtomicUsize>,
     leaves: usize,
     jobs: usize,
+    items: usize,
+    grain: usize,
 }
 
 impl AtomicLcWat {
-    /// Creates an LC-WAT covering `jobs` jobs (leaf count rounded up to a
-    /// power of two; padding leaves complete on first probe).
+    /// Creates an LC-WAT with one item per leaf — [`AtomicLcWat::with_grain`]
+    /// at grain 1 (leaf count rounded up to a power of two; padding
+    /// leaves complete on first probe).
     ///
     /// # Panics
     ///
-    /// Panics if `jobs` is zero.
-    pub fn new(jobs: usize) -> Self {
-        assert!(jobs > 0, "an LC-WAT needs at least one job");
+    /// Panics if `items` is zero.
+    pub fn new(items: usize) -> Self {
+        Self::with_grain(items, 1)
+    }
+
+    /// Creates an LC-WAT covering `items` items with `grain` items per
+    /// leaf block (the last block may be short).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` or `grain` is zero.
+    pub fn with_grain(items: usize, grain: usize) -> Self {
+        assert!(items > 0, "an LC-WAT needs at least one job");
+        assert!(grain > 0, "an LC-WAT block needs at least one item");
+        let jobs = items.div_ceil(grain);
         let leaves = jobs.next_power_of_two();
         AtomicLcWat {
             nodes: (0..2 * leaves).map(|_| AtomicUsize::new(EMPTY)).collect(),
             leaves,
             jobs,
+            items,
+            grain,
         }
     }
 
-    /// Number of real jobs.
+    /// Number of real jobs (leaf blocks).
     pub fn jobs(&self) -> usize {
         self.jobs
+    }
+
+    /// Number of items covered.
+    pub fn items(&self) -> usize {
+        self.items
+    }
+
+    /// Items per leaf block.
+    pub fn grain(&self) -> usize {
+        self.grain
+    }
+
+    /// The item range job `job` covers.
+    pub fn block_range(&self, job: usize) -> std::ops::Range<usize> {
+        let start = job * self.grain;
+        start..((start + self.grain).min(self.items))
+    }
+
+    /// Resizes to cover `items` items at `grain`, zeroing all node
+    /// states and reusing the node vector's allocation. Requires
+    /// exclusive access — the arena calls it between sorts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` or `grain` is zero.
+    pub(crate) fn reset(&mut self, items: usize, grain: usize) {
+        assert!(items > 0, "an LC-WAT needs at least one job");
+        assert!(grain > 0, "an LC-WAT block needs at least one item");
+        self.jobs = items.div_ceil(grain);
+        self.items = items;
+        self.grain = grain;
+        self.leaves = self.jobs.next_power_of_two();
+        let wanted = 2 * self.leaves;
+        self.nodes.truncate(wanted);
+        for node in &mut self.nodes {
+            *node.get_mut() = EMPTY;
+        }
+        self.nodes.resize_with(wanted, || AtomicUsize::new(EMPTY));
     }
 
     /// Whether all jobs are complete.
@@ -75,11 +132,12 @@ impl AtomicLcWat {
         self.nodes[node].store(value, Ordering::Release);
     }
 
-    /// Runs `work(job)` for every job as one probing participant (the
+    /// Runs `work(item)` for every item as one probing participant (the
     /// Figure 8 loop). Callable from any number of threads; returns when
     /// the participant observes global completion or `keep_going()`
-    /// returns `false`. Leaf work may be executed more than once across
-    /// participants and must be idempotent.
+    /// returns `false` (also consulted between a block's items). Leaf
+    /// work may be executed more than once across participants and must
+    /// be idempotent.
     pub fn participate(
         &self,
         seed: u64,
@@ -90,9 +148,10 @@ impl AtomicLcWat {
     }
 
     /// [`AtomicLcWat::participate`] with a metrics sink: `ins` sees one
-    /// `claim` per job executed and one `probe` for every other probe
-    /// (already-done node, empty internal, padding leaf, ALLDONE flood).
-    /// Random probing has no reserved initial assignment, so
+    /// `block_claim` per leaf block entered, one `claim` per item
+    /// executed, and one `probe` for every other probe (already-done
+    /// node, empty internal, padding leaf, ALLDONE flood). Random
+    /// probing has no reserved initial assignment, so
     /// `own_assignment_done` fires immediately and every step counts as
     /// helping.
     pub(crate) fn participate_with(
@@ -116,8 +175,19 @@ impl AtomicLcWat {
                 EMPTY if is_leaf => {
                     let job = node - self.leaves;
                     if job < self.jobs {
-                        ins.claim();
-                        work(job);
+                        ins.block_claim();
+                        let range = self.block_range(job);
+                        let start = range.start;
+                        for item in range {
+                            // Abandoning mid-block leaves the leaf
+                            // unmarked; survivors redo the whole
+                            // (idempotent) block.
+                            if item > start && !keep_going() {
+                                return;
+                            }
+                            ins.claim();
+                            work(item);
+                        }
                     } else {
                         ins.probe();
                     }
@@ -243,6 +313,81 @@ mod tests {
         wat.participate(9, |_| ran += 1, || true);
         assert!(wat.all_done());
         assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn grained_probing_covers_all_items() {
+        for grain in [2, 7, 64] {
+            let wat = AtomicLcWat::with_grain(150, grain);
+            assert_eq!(wat.jobs(), 150usize.div_ceil(grain));
+            let counts: Vec<Counter> = (0..150).map(|_| Counter::new(0)).collect();
+            crossbeam::thread::scope(|s| {
+                for t in 0..4u64 {
+                    let (wat, counts) = (&wat, &counts);
+                    s.spawn(move |_| {
+                        wat.participate(
+                            t,
+                            |item| {
+                                counts[item].fetch_add(1, Ordering::Relaxed);
+                            },
+                            || true,
+                        );
+                    });
+                }
+            })
+            .unwrap();
+            assert!(wat.all_done());
+            assert!(
+                counts.iter().all(|c| c.load(Ordering::Relaxed) >= 1),
+                "grain {grain}"
+            );
+        }
+    }
+
+    #[test]
+    fn grained_mid_block_deserter_is_redone() {
+        let wat = AtomicLcWat::with_grain(64, 16);
+        let counts: Vec<Counter> = (0..64).map(|_| Counter::new(0)).collect();
+        let mut budget = 5;
+        wat.participate(
+            3,
+            |item| {
+                counts[item].fetch_add(1, Ordering::Relaxed);
+            },
+            move || {
+                budget -= 1;
+                budget > 0
+            },
+        );
+        wat.participate(
+            4,
+            |item| {
+                counts[item].fetch_add(1, Ordering::Relaxed);
+            },
+            || true,
+        );
+        assert!(wat.all_done());
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) >= 1));
+    }
+
+    #[test]
+    fn reset_reuses_nodes_for_new_shape() {
+        let mut wat = AtomicLcWat::with_grain(64, 4);
+        wat.participate(1, |_| {}, || true);
+        assert!(wat.all_done());
+        wat.reset(30, 3);
+        assert!(!wat.all_done());
+        assert_eq!(wat.jobs(), 10);
+        let counts: Vec<Counter> = (0..30).map(|_| Counter::new(0)).collect();
+        wat.participate(
+            2,
+            |item| {
+                counts[item].fetch_add(1, Ordering::Relaxed);
+            },
+            || true,
+        );
+        assert!(wat.all_done());
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) >= 1));
     }
 
     #[test]

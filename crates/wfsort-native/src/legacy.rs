@@ -1,0 +1,160 @@
+//! The pre-packing pivot-tree layout, kept as a comparison shim.
+//!
+//! Before DESIGN.md §10 the native tree stored each node's five fields
+//! in five separate `Vec<AtomicUsize>`s — `small`, `big`, `size`,
+//! `place`, `place_done` — so one traversal visit touched up to five
+//! cache lines roughly `n` words apart. This module preserves that
+//! layout verbatim behind the `legacy-layout` feature, implementing the
+//! same [`PivotTree`] contract as the packed [`crate::SharedTree`], so
+//! differential tests and `e25_layout_bench` can run the identical sort
+//! pipeline over either memory layout and compare outputs, operation
+//! counts, and throughput. It is not part of the supported API surface
+//! and takes no further optimization work.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::tree::{PivotTree, Side, EMPTY};
+
+/// The five-parallel-array pivot tree (1-based; index 0 unused).
+#[derive(Debug)]
+pub struct LegacySharedTree {
+    small: Vec<AtomicUsize>,
+    big: Vec<AtomicUsize>,
+    size: Vec<AtomicUsize>,
+    place: Vec<AtomicUsize>,
+    place_done: Vec<AtomicUsize>,
+}
+
+impl LegacySharedTree {
+    /// Creates the shared fields for `n` elements.
+    pub fn new(n: usize) -> Self {
+        let mk = || (0..n + 1).map(|_| AtomicUsize::new(0)).collect();
+        LegacySharedTree {
+            small: mk(),
+            big: mk(),
+            size: mk(),
+            place: mk(),
+            place_done: mk(),
+        }
+    }
+
+    fn slot(&self, node: usize, side: Side) -> &AtomicUsize {
+        match side {
+            Side::Small => &self.small[node],
+            Side::Big => &self.big[node],
+        }
+    }
+}
+
+impl PivotTree for LegacySharedTree {
+    fn with_len(n: usize) -> Self {
+        LegacySharedTree::new(n)
+    }
+
+    fn len(&self) -> usize {
+        self.small.len() - 1
+    }
+
+    #[inline]
+    fn child(&self, node: usize, side: Side) -> usize {
+        self.slot(node, side).load(Ordering::Acquire)
+    }
+
+    fn install_child_observed(&self, node: usize, side: Side, child: usize) -> (usize, bool) {
+        match self.slot(node, side).compare_exchange(
+            EMPTY,
+            child,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => (child, true),
+            Err(current) => (current, false),
+        }
+    }
+
+    #[inline]
+    fn size(&self, node: usize) -> usize {
+        self.size[node].load(Ordering::Acquire)
+    }
+
+    #[inline]
+    fn set_size(&self, node: usize, value: usize) {
+        self.size[node].store(value, Ordering::Release);
+    }
+
+    #[inline]
+    fn place(&self, node: usize) -> usize {
+        self.place[node].load(Ordering::Acquire)
+    }
+
+    #[inline]
+    fn set_place(&self, node: usize, value: usize) {
+        self.place[node].store(value, Ordering::Release);
+    }
+
+    #[inline]
+    fn place_complete(&self, node: usize) -> bool {
+        self.place_done[node].load(Ordering::Acquire) == 1
+    }
+
+    #[inline]
+    fn set_place_complete(&self, node: usize) {
+        self.place_done[node].store(1, Ordering::Release);
+    }
+
+    fn reset(&mut self, n: usize) {
+        for vec in [
+            &mut self.small,
+            &mut self.big,
+            &mut self.size,
+            &mut self.place,
+            &mut self.place_done,
+        ] {
+            vec.truncate(n + 1);
+            for a in vec.iter_mut() {
+                *a.get_mut() = 0;
+            }
+            vec.resize_with(n + 1, || AtomicUsize::new(0));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legacy_tree_honors_pivot_contract() {
+        let t = LegacySharedTree::new(4);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.install_child_observed(1, Side::Small, 2), (2, true));
+        assert_eq!(t.install_child_observed(1, Side::Small, 3), (2, false));
+        assert_eq!(t.child(1, Side::Small), 2);
+        assert_eq!(t.child(1, Side::Big), EMPTY);
+        t.set_size(1, 4);
+        assert_eq!(t.size(1), 4);
+        t.set_place(2, 1);
+        assert_eq!(t.place(2), 1);
+        assert!(!t.place_complete(2));
+        t.set_place_complete(2);
+        assert!(t.place_complete(2));
+    }
+
+    #[test]
+    fn legacy_reset_rezeros() {
+        let mut t = LegacySharedTree::new(3);
+        t.install_child_observed(1, Side::Big, 2);
+        t.set_size(1, 3);
+        t.set_place(1, 2);
+        t.set_place_complete(1);
+        t.reset(5);
+        assert_eq!(t.len(), 5);
+        for node in 1..=5 {
+            assert_eq!(t.child(node, Side::Small), EMPTY);
+            assert_eq!(t.child(node, Side::Big), EMPTY);
+            assert_eq!(t.size(node), 0);
+            assert_eq!(t.place(node), 0);
+            assert!(!t.place_complete(node));
+        }
+    }
+}

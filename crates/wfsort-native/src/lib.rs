@@ -45,26 +45,32 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod fault;
 mod job;
 mod lcwat;
+#[cfg(feature = "legacy-layout")]
+pub mod legacy;
 pub mod metrics;
 mod sorter;
 mod tree;
 mod wat;
 mod watchdog;
 
+pub use arena::SortArena;
 pub use fault::{ChaosParticipation, ChaosPlan, CheckpointCounter, FaultAction, WithDeadline};
 pub use job::{
-    NativeAllocation, Participation, QuitAfter, RunToCompletion, SortJob,
-    DEFAULT_TRACKED_PARTICIPANTS,
+    descent_side, recommended_grain, NativeAllocation, Participation, QuitAfter, RunToCompletion,
+    SortJob, DEFAULT_TRACKED_PARTICIPANTS,
 };
 pub use lcwat::AtomicLcWat;
+#[cfg(feature = "legacy-layout")]
+pub use legacy::LegacySharedTree;
 pub use metrics::{
     BuildMetrics, MetricSlot, PhaseMetrics, ScatterMetrics, SortReport, TraversalMetrics,
     WorkerMetrics,
 };
 pub use sorter::{sort_with_churn, UntilFlag, WaitFreeSorter};
-pub use tree::{SharedTree, Side, EMPTY};
+pub use tree::{PivotTree, SharedTree, Side, EMPTY};
 pub use wat::{Assignment, AtomicWat};
 pub use watchdog::{Health, ParticipantProgress, ProgressReport, SortPhase, Watchdog};

@@ -44,8 +44,13 @@ pub struct BuildMetrics {
     /// Matches the simulator's per-level CAS count for the same input.
     pub descent_steps: u64,
     /// Build-WAT job claims: elements this worker inserted, duplicates
-    /// included.
+    /// included. Counted per *element* regardless of WAT grain, so the
+    /// figure stays comparable across grain settings.
     pub claims: u64,
+    /// Build-WAT leaf blocks this worker entered — the structure-level
+    /// claim traffic the grain amortizes. Equals `claims` at grain 1;
+    /// roughly `claims / grain` otherwise.
+    pub block_claims: u64,
     /// Build-WAT bookkeeping steps: internal-node hops (deterministic
     /// WAT) or non-claiming probes (LC-WAT).
     pub probes: u64,
@@ -65,8 +70,12 @@ pub struct TraversalMetrics {
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ScatterMetrics {
     /// Scatter-WAT job claims: rank slots this worker wrote, duplicates
-    /// included.
+    /// included. Per *element*, grain-independent (see
+    /// [`BuildMetrics::claims`]).
     pub claims: u64,
+    /// Scatter-WAT leaf blocks this worker entered (see
+    /// [`BuildMetrics::block_claims`]).
+    pub block_claims: u64,
     /// Scatter-WAT bookkeeping steps (internal hops / non-claiming
     /// probes).
     pub probes: u64,
@@ -92,12 +101,14 @@ impl PhaseMetrics {
         self.build.cas_failures += other.build.cas_failures;
         self.build.descent_steps += other.build.descent_steps;
         self.build.claims += other.build.claims;
+        self.build.block_claims += other.build.block_claims;
         self.build.probes += other.build.probes;
         self.sum.visits += other.sum.visits;
         self.sum.skips += other.sum.skips;
         self.place.visits += other.place.visits;
         self.place.skips += other.place.skips;
         self.scatter.claims += other.scatter.claims;
+        self.scatter.block_claims += other.scatter.block_claims;
         self.scatter.probes += other.scatter.probes;
     }
 
@@ -207,6 +218,12 @@ pub(crate) trait Instrument {
     /// A WAT job claim (routed to build or scatter by current phase).
     #[inline]
     fn claim(&self) {}
+    /// A WAT leaf-block entry (routed by current phase). Fires once per
+    /// block where `claim` fires once per item, so it neither feeds
+    /// `help_steps` nor `total_ops` — the per-item claim already
+    /// represents that work.
+    #[inline]
+    fn block_claim(&self) {}
     /// A WAT bookkeeping step (routed by current phase).
     #[inline]
     fn probe(&self) {}
@@ -241,12 +258,14 @@ pub(crate) struct LocalCounters {
     build_cas_failures: Cell<u64>,
     build_descent_steps: Cell<u64>,
     build_claims: Cell<u64>,
+    build_block_claims: Cell<u64>,
     build_probes: Cell<u64>,
     sum_visits: Cell<u64>,
     sum_skips: Cell<u64>,
     place_visits: Cell<u64>,
     place_skips: Cell<u64>,
     scatter_claims: Cell<u64>,
+    scatter_block_claims: Cell<u64>,
     scatter_probes: Cell<u64>,
     checkpoints: Cell<u64>,
     help_steps: Cell<u64>,
@@ -261,12 +280,14 @@ impl Default for LocalCounters {
             build_cas_failures: Cell::new(0),
             build_descent_steps: Cell::new(0),
             build_claims: Cell::new(0),
+            build_block_claims: Cell::new(0),
             build_probes: Cell::new(0),
             sum_visits: Cell::new(0),
             sum_skips: Cell::new(0),
             place_visits: Cell::new(0),
             place_skips: Cell::new(0),
             scatter_claims: Cell::new(0),
+            scatter_block_claims: Cell::new(0),
             scatter_probes: Cell::new(0),
             checkpoints: Cell::new(0),
             help_steps: Cell::new(0),
@@ -288,6 +309,7 @@ impl LocalCounters {
                     cas_failures: self.build_cas_failures.get(),
                     descent_steps: self.build_descent_steps.get(),
                     claims: self.build_claims.get(),
+                    block_claims: self.build_block_claims.get(),
                     probes: self.build_probes.get(),
                 },
                 sum: TraversalMetrics {
@@ -300,6 +322,7 @@ impl LocalCounters {
                 },
                 scatter: ScatterMetrics {
                     claims: self.scatter_claims.get(),
+                    block_claims: self.scatter_block_claims.get(),
                     probes: self.scatter_probes.get(),
                 },
             },
@@ -344,6 +367,14 @@ impl Instrument for LocalCounters {
             _ => bump(&self.build_claims),
         }
         self.help_if_helping();
+    }
+
+    #[inline]
+    fn block_claim(&self) {
+        match self.phase.get() {
+            SortPhase::Scatter => bump(&self.scatter_block_claims),
+            _ => bump(&self.build_block_claims),
+        }
     }
 
     #[inline]
@@ -422,6 +453,7 @@ mod tests {
         c.cas(false);
         c.cas(true);
         c.descent_step();
+        c.block_claim();
         c.claim();
         c.probe();
         c.visit();
@@ -431,6 +463,8 @@ mod tests {
         c.enter_phase(SortPhase::Place);
         c.visit();
         c.enter_phase(SortPhase::Scatter);
+        c.block_claim();
+        c.claim();
         c.claim();
         c.probe();
         c.checkpoint();
@@ -439,12 +473,14 @@ mod tests {
         assert_eq!(m.phases.build.cas_failures, 1);
         assert_eq!(m.phases.build.descent_steps, 1);
         assert_eq!(m.phases.build.claims, 1);
+        assert_eq!(m.phases.build.block_claims, 1);
         assert_eq!(m.phases.build.probes, 1);
         // Build-phase visit routes to sum (only sum/place ever visit).
         assert_eq!(m.phases.sum.visits, 2);
         assert_eq!(m.phases.sum.skips, 1);
         assert_eq!(m.phases.place.visits, 1);
-        assert_eq!(m.phases.scatter.claims, 1);
+        assert_eq!(m.phases.scatter.claims, 2);
+        assert_eq!(m.phases.scatter.block_claims, 1);
         assert_eq!(m.phases.scatter.probes, 1);
         assert_eq!(m.checkpoints, 1);
     }
@@ -457,6 +493,9 @@ mod tests {
         c.own_assignment_done();
         c.claim();
         c.probe();
+        // Block entries never count as help: the per-item claims inside
+        // the block already do.
+        c.block_claim();
         assert_eq!(c.snapshot().help_steps, 2);
         // A new phase resets the helping flag.
         c.enter_phase(SortPhase::Scatter);
@@ -496,6 +535,7 @@ mod tests {
         n.cas(true);
         n.descent_step();
         n.claim();
+        n.block_claim();
         n.probe();
         n.visit();
         n.skip();

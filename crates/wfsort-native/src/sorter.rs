@@ -3,9 +3,11 @@
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
+use crate::arena::SortArena;
 use crate::fault::{ChaosParticipation, ChaosPlan, WithDeadline};
-use crate::job::{NativeAllocation, Participation, RunToCompletion, SortJob};
+use crate::job::{recommended_grain, NativeAllocation, Participation, RunToCompletion, SortJob};
 use crate::metrics::{MetricSlot, SortReport};
+use crate::tree::PivotTree;
 
 /// A multi-threaded wait-free sorter.
 ///
@@ -39,8 +41,11 @@ impl WaitFreeSorter {
     }
 
     /// Runs `job` to completion on this sorter's thread count (inline
-    /// when single-threaded, scoped workers otherwise).
-    fn run_job<K: Ord + Send + Sync>(&self, job: &SortJob<K>) {
+    /// when single-threaded, scoped workers otherwise). Public so
+    /// callers that build their own jobs — explicit grains, arena
+    /// recycling, or the `legacy-layout` pivot tree — can still use the
+    /// sorter's cohort management.
+    pub fn run_job<K: Ord + Send + Sync, T: PivotTree>(&self, job: &SortJob<K, T>) {
         if self.threads == 1 {
             job.run();
         } else {
@@ -57,7 +62,10 @@ impl WaitFreeSorter {
     /// returns the aggregated [`SortReport`]. The job may use either
     /// allocation strategy and may have been partially sorted already;
     /// the report covers only what this cohort did.
-    pub fn run_job_with_report<K: Ord + Send + Sync>(&self, job: &SortJob<K>) -> SortReport {
+    pub fn run_job_with_report<K: Ord + Send + Sync, T: PivotTree>(
+        &self,
+        job: &SortJob<K, T>,
+    ) -> SortReport {
         let start = Instant::now();
         let mut slots: Vec<MetricSlot> = (0..self.threads).map(|_| MetricSlot::new()).collect();
         if self.threads == 1 {
@@ -83,6 +91,44 @@ impl WaitFreeSorter {
         let job = self.job_for(keys);
         self.run_job(&job);
         job.into_sorted()
+    }
+
+    /// Sorts `keys` into `out` through a reusable [`SortArena`]: after
+    /// the arena's first (allocating) sort, repeated calls reset the
+    /// retained tree cells, WAT nodes, permutation, and heartbeat slots
+    /// in place instead of reallocating them — the hot path for callers
+    /// that sort many same-shaped batches. `out` is cleared and refilled;
+    /// its capacity is reused too. Inputs shorter than two keys are
+    /// copied through without touching the arena.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wfsort_native::{SortArena, WaitFreeSorter};
+    ///
+    /// let sorter = WaitFreeSorter::new(2);
+    /// let mut arena = SortArena::new();
+    /// let mut out = Vec::new();
+    /// sorter.sort_into(&[3u64, 1, 2], &mut arena, &mut out);
+    /// assert_eq!(out, vec![1, 2, 3]);
+    /// sorter.sort_into(&[9u64, 5, 7, 6], &mut arena, &mut out);
+    /// assert_eq!(out, vec![5, 6, 7, 9]);
+    /// ```
+    pub fn sort_into<K: Ord + Clone + Send + Sync>(
+        &self,
+        keys: &[K],
+        arena: &mut SortArena<K>,
+        out: &mut Vec<K>,
+    ) {
+        if keys.len() < 2 {
+            out.clear();
+            out.extend_from_slice(keys);
+            return;
+        }
+        let grain = recommended_grain(keys.len(), self.threads);
+        let job = arena.prepare(keys, NativeAllocation::Deterministic, self.threads, grain);
+        self.run_job(job);
+        job.sorted_into(out);
     }
 
     /// Sorts `keys` and reports what the workers did: per-phase operation
@@ -510,6 +556,25 @@ mod tests {
                 + report.per_phase.scatter.claims
                 + report.per_phase.scatter.probes
         );
+    }
+
+    #[test]
+    fn sort_into_matches_sort_across_rounds() {
+        let sorter = WaitFreeSorter::new(4);
+        let mut arena = SortArena::new();
+        let mut out = Vec::new();
+        for round in 0..4 {
+            let keys = random_keys(3_000 + 500 * round, 40 + round as u64);
+            let mut expect = keys.clone();
+            expect.sort_unstable();
+            sorter.sort_into(&keys, &mut arena, &mut out);
+            assert_eq!(out, expect, "round {round}");
+        }
+        // Trivial inputs bypass the arena but still fill `out`.
+        sorter.sort_into(&[7u64], &mut arena, &mut out);
+        assert_eq!(out, vec![7]);
+        sorter.sort_into(&[], &mut arena, &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -5,6 +5,19 @@
 //! `AtomicUsize` and `next_element` is an ordinary function a thread runs
 //! to completion — it is wait-free, so running it inline is fine.
 //!
+//! # Grain
+//!
+//! A leaf may cover a *block* of consecutive items rather than a single
+//! one ([`AtomicWat::with_grain`]): the tree then has `ceil(items /
+//! grain)` leaves, shrinking the structure — and the claim/climb traffic
+//! through it — by the grain factor, the binary-forking-model lever that
+//! turns optimal span into optimal wall-clock (PAPERS.md). Executing a
+//! block is a loop of single-item executions, so the idempotent-leaf
+//! contract is untouched: a crashed participant leaves a partially-run
+//! block's leaf unmarked and survivors simply redo the whole block.
+//! `with_grain(items, 1)` is bit-identical to `new(items)` — same tree,
+//! same assignment order, same checkpoint cadence.
+//!
 //! [`wat`]: https://crates.io/crates/wat
 
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -17,8 +30,8 @@ const DONE: usize = 1;
 /// Outcome of asking the WAT for more work.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Assignment {
-    /// Run this job (a leaf's work). The job may already have been
-    /// executed by another thread — leaf work must be idempotent.
+    /// Run this job (a leaf's block of items). The job may already have
+    /// been executed by another thread — leaf work must be idempotent.
     Job(usize),
     /// An internal bookkeeping node was claimed; call
     /// [`AtomicWat::next_after`] again with it after "completing" it
@@ -28,7 +41,8 @@ pub enum Assignment {
     AllDone,
 }
 
-/// A wait-free work-assignment tree over `jobs` jobs for native threads.
+/// A wait-free work-assignment tree over `items` items for native
+/// threads, handing out blocks of `grain` consecutive items per leaf.
 ///
 /// # Examples
 ///
@@ -42,8 +56,8 @@ pub enum Assignment {
 ///     for t in 0..4 {
 ///         let (wat, done) = (&wat, &done);
 ///         s.spawn(move |_| {
-///             wat.participate(t, 4, |job| {
-///                 done[job].fetch_add(1, Ordering::Relaxed);
+///             wat.participate(t, 4, |item| {
+///                 done[item].fetch_add(1, Ordering::Relaxed);
 ///             }, || true);
 ///         });
 ///     }
@@ -56,17 +70,37 @@ pub struct AtomicWat {
     nodes: Vec<AtomicUsize>,
     leaves: usize,
     jobs: usize,
+    items: usize,
+    grain: usize,
+}
+
+/// `ceil(items / grain)` leaf jobs cover `items` items.
+fn job_count(items: usize, grain: usize) -> usize {
+    items.div_ceil(grain)
 }
 
 impl AtomicWat {
-    /// Creates a WAT covering `jobs` jobs (leaf count rounded up to a
-    /// power of two; padding leaves carry no work).
+    /// Creates a WAT with one item per leaf — [`AtomicWat::with_grain`]
+    /// at grain 1 (leaf count rounded up to a power of two; padding
+    /// leaves carry no work).
     ///
     /// # Panics
     ///
-    /// Panics if `jobs` is zero.
-    pub fn new(jobs: usize) -> Self {
-        assert!(jobs > 0, "a WAT needs at least one job");
+    /// Panics if `items` is zero.
+    pub fn new(items: usize) -> Self {
+        Self::with_grain(items, 1)
+    }
+
+    /// Creates a WAT covering `items` items with `grain` items per leaf
+    /// block (the last block may be short).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` or `grain` is zero.
+    pub fn with_grain(items: usize, grain: usize) -> Self {
+        assert!(items > 0, "a WAT needs at least one job");
+        assert!(grain > 0, "a WAT block needs at least one item");
+        let jobs = job_count(items, grain);
         let leaves = jobs.next_power_of_two();
         AtomicWat {
             nodes: (0..2 * leaves)
@@ -74,12 +108,47 @@ impl AtomicWat {
                 .collect(),
             leaves,
             jobs,
+            items,
+            grain,
         }
     }
 
-    /// Number of real jobs.
+    /// Number of real jobs (leaf blocks).
     pub fn jobs(&self) -> usize {
         self.jobs
+    }
+
+    /// Number of items covered (`jobs * grain`, minus the short tail).
+    pub fn items(&self) -> usize {
+        self.items
+    }
+
+    /// Items per leaf block.
+    pub fn grain(&self) -> usize {
+        self.grain
+    }
+
+    /// Resizes to cover `items` items at `grain`, zeroing all node
+    /// states and reusing the node vector's allocation. Requires
+    /// exclusive access — the arena calls it between sorts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` or `grain` is zero.
+    pub(crate) fn reset(&mut self, items: usize, grain: usize) {
+        assert!(items > 0, "a WAT needs at least one job");
+        assert!(grain > 0, "a WAT block needs at least one item");
+        self.jobs = job_count(items, grain);
+        self.items = items;
+        self.grain = grain;
+        self.leaves = self.jobs.next_power_of_two();
+        let wanted = 2 * self.leaves;
+        self.nodes.truncate(wanted);
+        for node in &mut self.nodes {
+            *node.get_mut() = NOT_DONE;
+        }
+        self.nodes
+            .resize_with(wanted, || AtomicUsize::new(NOT_DONE));
     }
 
     /// The starting node for thread `tid` of `nthreads` (Figure 2's
@@ -96,6 +165,13 @@ impl AtomicWat {
         } else {
             None
         }
+    }
+
+    /// The item range job `job` covers: `grain` consecutive items,
+    /// fewer for the last block.
+    pub fn block_range(&self, job: usize) -> std::ops::Range<usize> {
+        let start = job * self.grain;
+        start..((start + self.grain).min(self.items))
     }
 
     /// Whether all jobs are complete.
@@ -154,11 +230,37 @@ impl AtomicWat {
         }
     }
 
-    /// Runs `work(job)` for every job, as one participant: the skeleton
+    /// Runs the items of block `job`, consulting `keep_going` between
+    /// items (so a block is still bounded work per checkpoint at any
+    /// grain). Returns `false` if abandoned mid-block — the caller must
+    /// then *not* mark the leaf, leaving the whole block for survivors
+    /// (idempotent redo).
+    fn run_block(
+        &self,
+        job: usize,
+        work: &mut impl FnMut(usize),
+        keep_going: &mut impl FnMut() -> bool,
+        ins: &impl Instrument,
+    ) -> bool {
+        ins.block_claim();
+        let range = self.block_range(job);
+        let start = range.start;
+        for item in range {
+            if item > start && !keep_going() {
+                return false;
+            }
+            ins.claim();
+            work(item);
+        }
+        true
+    }
+
+    /// Runs `work(item)` for every item, as one participant: the skeleton
     /// algorithm of Figure 2. Safe to call from any number of threads;
     /// returns when all jobs are complete. `keep_going()` is consulted
-    /// between assignments — returning `false` abandons participation
-    /// (simulating a crash; other participants finish the work).
+    /// between assignments and between a block's items — returning
+    /// `false` abandons participation (simulating a crash; other
+    /// participants finish the work).
     pub fn participate(
         &self,
         tid: usize,
@@ -170,10 +272,11 @@ impl AtomicWat {
     }
 
     /// [`AtomicWat::participate`] with a metrics sink: `ins` sees one
-    /// `claim` per job executed, one `probe` per bookkeeping step
-    /// (internal hop or padding leaf), and `own_assignment_done` once the
-    /// thread's initial Figure-2 assignment is behind it — everything
-    /// after that is helping.
+    /// `block_claim` per leaf block entered, one `claim` per item
+    /// executed (so item-level counts stay grain-independent), one
+    /// `probe` per bookkeeping step (internal hop or padding leaf), and
+    /// `own_assignment_done` once the thread's initial Figure-2
+    /// assignment is behind it — everything after that is helping.
     pub(crate) fn participate_with(
         &self,
         tid: usize,
@@ -184,8 +287,9 @@ impl AtomicWat {
     ) {
         let mut node = self.initial_node(tid, nthreads);
         if let Some(job) = self.job_at(node) {
-            ins.claim();
-            work(job);
+            if !self.run_block(job, &mut work, &mut keep_going, ins) {
+                return;
+            }
         }
         ins.own_assignment_done();
         loop {
@@ -195,8 +299,9 @@ impl AtomicWat {
             match self.next_after(node) {
                 Assignment::AllDone => return,
                 Assignment::Job(job) => {
-                    ins.claim();
-                    work(job);
+                    if !self.run_block(job, &mut work, &mut keep_going, ins) {
+                        return;
+                    }
                     node = self.leaves + job;
                 }
                 Assignment::Internal(n) => {
@@ -317,8 +422,115 @@ mod tests {
     }
 
     #[test]
+    fn grain_shrinks_the_tree() {
+        let wat = AtomicWat::with_grain(100, 8);
+        assert_eq!(wat.jobs(), 13);
+        assert_eq!(wat.items(), 100);
+        assert_eq!(wat.grain(), 8);
+        assert_eq!(wat.block_range(0), 0..8);
+        assert_eq!(wat.block_range(12), 96..100, "tail block is short");
+    }
+
+    #[test]
+    fn grained_single_thread_covers_all_items_in_order() {
+        for grain in [1, 2, 7, 64] {
+            let wat = AtomicWat::with_grain(100, grain);
+            let mut seen = Vec::new();
+            wat.participate(0, 1, |item| seen.push(item), || true);
+            assert!(wat.all_done());
+            // A lone worker starting at the leftmost leaf sweeps blocks
+            // left to right, so items arrive in 0..items order at every
+            // grain — the property the descent-order parity pins rely on.
+            assert_eq!(seen, (0..100).collect::<Vec<_>>(), "grain {grain}");
+        }
+    }
+
+    #[test]
+    fn grained_many_threads_cover_all_items() {
+        let wat = AtomicWat::with_grain(257, 16);
+        let counts: Vec<Counter> = (0..257).map(|_| Counter::new(0)).collect();
+        crossbeam::thread::scope(|s| {
+            for t in 0..8 {
+                let (wat, counts) = (&wat, &counts);
+                s.spawn(move |_| {
+                    wat.participate(
+                        t,
+                        8,
+                        |item| {
+                            counts[item].fetch_add(1, Ordering::Relaxed);
+                        },
+                        || true,
+                    );
+                });
+            }
+        })
+        .unwrap();
+        assert!(wat.all_done());
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) >= 1));
+    }
+
+    #[test]
+    fn mid_block_deserter_leaves_block_for_survivors() {
+        let wat = AtomicWat::with_grain(32, 8);
+        let counts: Vec<Counter> = (0..32).map(|_| Counter::new(0)).collect();
+        // Abandon after 3 checks: mid-block, leaving the leaf unmarked.
+        let mut budget = 3;
+        wat.participate(
+            0,
+            1,
+            |item| {
+                counts[item].fetch_add(1, Ordering::Relaxed);
+            },
+            move || {
+                budget -= 1;
+                budget > 0
+            },
+        );
+        assert!(!wat.all_done());
+        // A survivor redoes the partial block and finishes everything.
+        wat.participate(
+            0,
+            1,
+            |item| {
+                counts[item].fetch_add(1, Ordering::Relaxed);
+            },
+            || true,
+        );
+        assert!(wat.all_done());
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) >= 1));
+    }
+
+    #[test]
+    fn reset_reuses_nodes_for_new_shape() {
+        let mut wat = AtomicWat::with_grain(64, 4);
+        wat.participate(0, 1, |_| {}, || true);
+        assert!(wat.all_done());
+        wat.reset(40, 8);
+        assert!(!wat.all_done());
+        assert_eq!(wat.jobs(), 5);
+        assert_eq!(wat.grain(), 8);
+        let counts: Vec<Counter> = (0..40).map(|_| Counter::new(0)).collect();
+        wat.participate(
+            0,
+            1,
+            |item| {
+                counts[item].fetch_add(1, Ordering::Relaxed);
+            },
+            || true,
+        );
+        assert!(wat.all_done());
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) >= 1));
+    }
+
+    #[test]
     #[should_panic(expected = "at least one job")]
     fn zero_jobs_rejected() {
         AtomicWat::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn zero_grain_rejected() {
+        AtomicWat::with_grain(5, 0);
     }
 }

@@ -1,0 +1,205 @@
+//! Differential tests: the packed pivot-tree layout against the legacy
+//! five-parallel-array layout (DESIGN.md §10).
+//!
+//! The packed [`SharedTree`] changes only *where* the shared words live,
+//! never what gets written to them, so the two layouts must be
+//! observationally identical: same sorted outputs, same deterministic
+//! operation counts, and (single-threaded, where no race can perturb
+//! anything) bit-identical CAS tallies. These tests drive the identical
+//! `SortJob` pipeline through both layouts via the `PivotTree` trait —
+//! the same differential harness `e25_layout_bench` uses for throughput
+//! — and extend the PR-1 chaos storms across the block-grain sweep, so
+//! grain amortization is exercised under worker crashes too.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wait_free_sort::wfsort_native::{
+    recommended_grain, ChaosParticipation, ChaosPlan, LegacySharedTree, NativeAllocation,
+    PivotTree, SortArena, SortJob, WaitFreeSorter,
+};
+
+/// The E25 shape trio: uniform random, few-distinct (long equal-key
+/// chains), and a sawtooth whose descent direction is highly
+/// predictable — the shape that killed two earlier packed layouts.
+fn shapes(n: usize, seed: u64) -> Vec<(&'static str, Vec<u64>)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let uniform: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
+    let few: Vec<u64> = (0..n).map(|_| rng.gen_range(0..64)).collect();
+    let sawtooth: Vec<u64> = (0..n).map(|i| (i % 199) as u64).collect();
+    vec![
+        ("uniform-random", uniform),
+        ("few-distinct", few),
+        ("sawtooth", sawtooth),
+    ]
+}
+
+/// Single-threaded runs are completely deterministic (no races, no
+/// interleaving): both layouts must report *identical* operation counts
+/// in every phase, and identical outputs.
+#[test]
+fn single_threaded_counters_are_bit_identical_across_layouts() {
+    for (shape, keys) in shapes(700, 7) {
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        for grain in [1usize, 7] {
+            let sorter = WaitFreeSorter::new(1);
+
+            let packed =
+                SortJob::with_grain(keys.clone(), NativeAllocation::Deterministic, 1, grain);
+            let pr = sorter.run_job_with_report(&packed);
+            assert_eq!(packed.into_sorted(), expect, "{shape}: packed unsorted");
+
+            let legacy = SortJob::<u64, LegacySharedTree>::with_layout(
+                keys.clone(),
+                NativeAllocation::Deterministic,
+                1,
+                grain,
+            );
+            let lr = sorter.run_job_with_report(&legacy);
+            assert_eq!(legacy.into_sorted(), expect, "{shape}: legacy unsorted");
+
+            let (p, l) = (&pr.per_phase, &lr.per_phase);
+            assert_eq!(
+                p.build.descent_steps, l.build.descent_steps,
+                "{shape} grain {grain}: descent steps diverged"
+            );
+            assert_eq!(p.build.cas_attempts, l.build.cas_attempts);
+            assert_eq!(p.build.cas_failures, 0, "{shape}: no races single-threaded");
+            assert_eq!(l.build.cas_failures, 0);
+            assert_eq!(p.build.claims, l.build.claims);
+            assert_eq!(p.build.block_claims, l.build.block_claims);
+            assert_eq!(p.sum.visits, l.sum.visits);
+            assert_eq!(p.place.visits, l.place.visits);
+            assert_eq!(p.scatter.claims, l.scatter.claims);
+            assert_eq!(p.scatter.block_claims, l.scatter.block_claims);
+            assert_eq!(
+                pr.total_ops(),
+                lr.total_ops(),
+                "{shape}: op totals diverged"
+            );
+        }
+    }
+}
+
+/// Multi-threaded runs race, so counters may differ — but outputs must
+/// not, on either layout, at any swept grain.
+#[test]
+fn concurrent_outputs_agree_across_layouts_and_grains() {
+    for (shape, keys) in shapes(1500, 11) {
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        for grain in [1usize, 2, 7, 64] {
+            let sorter = WaitFreeSorter::new(4);
+
+            let packed =
+                SortJob::with_grain(keys.clone(), NativeAllocation::Deterministic, 4, grain);
+            sorter.run_job(&packed);
+            assert_eq!(packed.into_sorted(), expect, "{shape}/B={grain}: packed");
+
+            let legacy = SortJob::<u64, LegacySharedTree>::with_layout(
+                keys.clone(),
+                NativeAllocation::Deterministic,
+                4,
+                grain,
+            );
+            sorter.run_job(&legacy);
+            assert_eq!(legacy.into_sorted(), expect, "{shape}/B={grain}: legacy");
+        }
+    }
+}
+
+/// Drives `job` with one `ChaosParticipation` worker per plan slot
+/// (the PR-1 storm harness) and reports whether the workers alone
+/// completed it.
+fn run_chaos_cohort<T: PivotTree>(job: &SortJob<u64, T>, plan: &ChaosPlan) -> bool {
+    crossbeam::thread::scope(|s| {
+        for w in 0..plan.workers() {
+            s.spawn(move |_| job.participate(&mut ChaosParticipation::new(plan, w)));
+        }
+    })
+    .unwrap();
+    job.is_complete()
+}
+
+/// The PR-1 crash storm, extended across the grain sweep and both
+/// layouts: reap 75% of a 4-worker cohort at random checkpoints and
+/// require the survivors to finish a correct sort at every block grain.
+/// Block-grained claiming changes how much work a mid-block crash
+/// strands, so wait-freedom under churn must be re-proven per grain.
+#[test]
+fn chaos_storm_completes_on_both_layouts_across_grain_sweep() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let keys: Vec<u64> = (0..600).map(|_| rng.gen_range(0..1_000_000u64)).collect();
+    let mut expect = keys.clone();
+    expect.sort_unstable();
+
+    for grain in [1usize, 2, 7, 64] {
+        for seed in 0..12u64 {
+            let plan = ChaosPlan::random_crashes(4, 0.75, 150, seed);
+
+            let packed =
+                SortJob::with_grain(keys.clone(), NativeAllocation::Deterministic, 4, grain);
+            assert!(
+                run_chaos_cohort(&packed, &plan),
+                "B={grain} seed {seed}: packed cohort left the sort incomplete"
+            );
+            assert_eq!(
+                packed.into_sorted(),
+                expect,
+                "B={grain} seed {seed}: packed"
+            );
+
+            let legacy = SortJob::<u64, LegacySharedTree>::with_layout(
+                keys.clone(),
+                NativeAllocation::Deterministic,
+                4,
+                grain,
+            );
+            assert!(
+                run_chaos_cohort(&legacy, &plan),
+                "B={grain} seed {seed}: legacy cohort left the sort incomplete"
+            );
+            assert_eq!(
+                legacy.into_sorted(),
+                expect,
+                "B={grain} seed {seed}: legacy"
+            );
+        }
+    }
+}
+
+/// The recommended grain feeds the default constructors; pin its shape
+/// so the sweep above provably covers the auto-selected values.
+#[test]
+fn recommended_grain_is_clamped_and_swept() {
+    assert_eq!(recommended_grain(4096, 1), 64, "big n, one worker: cap");
+    assert_eq!(recommended_grain(16, 4), 1, "tiny n: floor");
+    assert_eq!(recommended_grain(112, 7), 2);
+    assert_eq!(recommended_grain(4096, 8), 64);
+    assert_eq!(recommended_grain(1024, 2), 64);
+    assert_eq!(recommended_grain(1024, 16), 8);
+}
+
+/// A recycled arena must keep producing correct (and identical) results
+/// across sorts of different lengths and key mixes — storage reuse, not
+/// state reuse.
+#[test]
+fn arena_reuse_matches_fresh_sorts() {
+    let sorter = WaitFreeSorter::new(2);
+    let mut arena = SortArena::new();
+    let mut out = Vec::new();
+    for (i, (_, keys)) in shapes(900, 13).into_iter().enumerate() {
+        // Vary the length so the arena both grows and shrinks.
+        let keys = &keys[..keys.len() - i * 100];
+        let mut expect = keys.to_vec();
+        expect.sort_unstable();
+        sorter.sort_into(keys, &mut arena, &mut out);
+        assert_eq!(out, expect, "arena sort diverged on round {i}");
+        assert_eq!(
+            sorter.sort(keys),
+            expect,
+            "fresh sort diverged on round {i}"
+        );
+        assert!(arena.is_warm(), "arena should retain storage after a sort");
+    }
+}

@@ -1,0 +1,74 @@
+//! Property-based tests for the packed pivot-tree layout (DESIGN.md
+//! §10): the branchless traversal-order helper against the simulator's
+//! bit decoder, and differential packed-vs-legacy sorting over
+//! arbitrary inputs and grains.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use wait_free_sort::pram::Pid;
+use wait_free_sort::wfsort_native::{
+    descent_side, LegacySharedTree, NativeAllocation, Side, SortJob, WaitFreeSorter,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `descent_side` must agree with the simulator's `Pid::bit` for
+    /// every depth below `usize::BITS` — the two models must walk sum
+    /// and place traversals in the same order or the parity pins in
+    /// tests/native_metrics.rs mean nothing. (At or beyond
+    /// `usize::BITS` the native helper wraps while `Pid::bit`
+    /// saturates; both are fixed, correct orders — see `descent_side`'s
+    /// docs — so the contract is scoped to real depths.)
+    #[test]
+    fn descent_side_matches_simulator_bit(
+        tid in 0usize..1_000_000,
+        depth in 0u32..usize::BITS,
+    ) {
+        prop_assert_eq!(
+            descent_side(tid, depth),
+            Side::from_bit(Pid::new(tid).bit(depth))
+        );
+    }
+
+    /// Differential sort: for arbitrary keys (duplicates encouraged),
+    /// thread counts and grains, the packed and legacy layouts both
+    /// produce the sorted permutation — and single-threaded, their
+    /// deterministic descent/CAS tallies are identical.
+    #[test]
+    fn packed_and_legacy_layouts_sort_identically(
+        keys in vec(0u64..64, 2..200),
+        threads in 1usize..4,
+        grain_index in 0usize..4,
+    ) {
+        let grain = [1usize, 2, 7, 64][grain_index];
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        let sorter = WaitFreeSorter::new(threads);
+
+        let packed = SortJob::with_grain(
+            keys.clone(), NativeAllocation::Deterministic, threads, grain,
+        );
+        let pr = sorter.run_job_with_report(&packed);
+        prop_assert_eq!(packed.into_sorted(), expect.clone());
+
+        let legacy = SortJob::<u64, LegacySharedTree>::with_layout(
+            keys.clone(), NativeAllocation::Deterministic, threads, grain,
+        );
+        let lr = sorter.run_job_with_report(&legacy);
+        prop_assert_eq!(legacy.into_sorted(), expect);
+
+        if threads == 1 {
+            let (p, l) = (&pr.per_phase, &lr.per_phase);
+            prop_assert_eq!(p.build.descent_steps, l.build.descent_steps);
+            prop_assert_eq!(p.build.cas_attempts, l.build.cas_attempts);
+            prop_assert_eq!(p.build.cas_failures, 0u64);
+            prop_assert_eq!(l.build.cas_failures, 0u64);
+            prop_assert_eq!(p.build.block_claims, l.build.block_claims);
+            prop_assert_eq!(p.sum.visits, l.sum.visits);
+            prop_assert_eq!(p.place.visits, l.place.visits);
+            prop_assert_eq!(pr.total_ops(), lr.total_ops());
+        }
+    }
+}
