@@ -519,6 +519,174 @@ pub fn validate_layout_bench(text: &str) -> Result<usize, String> {
     Ok(throughput.len() + sweep.len())
 }
 
+/// The schema tag `e26_sharded_bench` writes.
+pub const SHARDED_SCHEMA: &str = "wfsort-native-sharded/v1";
+
+/// Validates a `BENCH_sharded.json` document against the
+/// [`SHARDED_SCHEMA`] shape:
+///
+/// * `comparison`: non-empty sharded-vs-single-tree sweep — every entry
+///   names a shape, carries its sweep coordinates (`n`, `threads`,
+///   `shards`), both paths' best times, and proves both runs sorted
+///   *and* that their permutations matched element-for-element
+///   (`permutation_match` — the differential claim, self-validated);
+/// * `balance`: per-configuration shard-size statistics whose
+///   `sizes_sum` must equal `n` (the validator recomputes the
+///   coverage) with `imbalance >= 1` (it is max/ideal);
+/// * `counter_pins`: single-threaded deterministic runs — the validator
+///   recomputes `partition_blocks = ceil(n / partition_grain)` and pins
+///   `partition_claims = n`, `partition_block_claims = fill_claims =
+///   partition_blocks`, and `shard_sort_claims = shards`.
+///
+/// Returns the number of comparison + counter-pin entries.
+pub fn validate_sharded_bench(text: &str) -> Result<usize, String> {
+    let doc = Json::parse(text)?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(SHARDED_SCHEMA) => {}
+        Some(other) => return Err(format!("schema: expected {SHARDED_SCHEMA}, got {other}")),
+        None => return Err("schema: missing".into()),
+    }
+    if doc.get("experiment").and_then(Json::as_str).is_none() {
+        return Err("experiment: missing or not a string".into());
+    }
+    if doc.get("quick").and_then(Json::as_bool).is_none() {
+        return Err("quick: missing or not a boolean".into());
+    }
+
+    let comparison = doc
+        .get("comparison")
+        .and_then(Json::as_array)
+        .ok_or("comparison: missing or not an array")?;
+    if comparison.is_empty() {
+        return Err("comparison: empty".into());
+    }
+    for (at, entry) in comparison.iter().enumerate() {
+        if entry.get("shape").and_then(Json::as_str).is_none() {
+            return Err(format!("comparison[{at}].shape: missing or not a string"));
+        }
+        for key in [
+            "n",
+            "threads",
+            "shards",
+            "sharded_ms",
+            "single_ms",
+            "speedup",
+        ] {
+            let v = entry
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("comparison[{at}].{key}: missing or not a number"))?;
+            if v < 0.0 {
+                return Err(format!("comparison[{at}].{key}: negative"));
+            }
+        }
+        for key in ["sharded_sorted", "single_sorted", "permutation_match"] {
+            if entry.get(key).and_then(Json::as_bool) != Some(true) {
+                return Err(format!("comparison[{at}].{key}: missing or not true"));
+            }
+        }
+    }
+
+    let balance = doc
+        .get("balance")
+        .and_then(Json::as_array)
+        .ok_or("balance: missing or not an array")?;
+    if balance.is_empty() {
+        return Err("balance: empty".into());
+    }
+    for (at, entry) in balance.iter().enumerate() {
+        if entry.get("shape").and_then(Json::as_str).is_none() {
+            return Err(format!("balance[{at}].shape: missing or not a string"));
+        }
+        for key in ["n", "shards", "max_shard", "sizes_sum"] {
+            let v = entry
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("balance[{at}].{key}: missing or not a number"))?;
+            if v < 0.0 || v.fract() != 0.0 {
+                return Err(format!("balance[{at}].{key}: not a non-negative integer"));
+            }
+        }
+        let n = entry.get("n").and_then(Json::as_f64).unwrap();
+        let sum = entry.get("sizes_sum").and_then(Json::as_f64).unwrap();
+        if sum != n {
+            return Err(format!(
+                "balance[{at}].sizes_sum: {sum}, but shard sizes must cover n = {n}"
+            ));
+        }
+        let imbalance = entry
+            .get("imbalance")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("balance[{at}].imbalance: missing or not a number"))?;
+        if imbalance < 1.0 {
+            return Err(format!(
+                "balance[{at}].imbalance: {imbalance} below 1 (it is max/ideal)"
+            ));
+        }
+    }
+
+    let pins = doc
+        .get("counter_pins")
+        .and_then(Json::as_array)
+        .ok_or("counter_pins: missing or not an array")?;
+    if pins.is_empty() {
+        return Err("counter_pins: empty".into());
+    }
+    for (at, entry) in pins.iter().enumerate() {
+        for key in [
+            "n",
+            "shards",
+            "partition_grain",
+            "partition_blocks",
+            "partition_claims",
+            "partition_block_claims",
+            "fill_claims",
+            "shard_sort_claims",
+        ] {
+            let v = entry
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("counter_pins[{at}].{key}: missing or not a number"))?;
+            if v < 0.0 || v.fract() != 0.0 {
+                return Err(format!(
+                    "counter_pins[{at}].{key}: not a non-negative integer"
+                ));
+            }
+        }
+        if entry.get("sorted").and_then(Json::as_bool) != Some(true) {
+            return Err(format!("counter_pins[{at}].sorted: missing or not true"));
+        }
+        let get = |key: &str| entry.get(key).and_then(Json::as_f64).unwrap() as u64;
+        let (n, grain) = (get("n"), get("partition_grain"));
+        if grain == 0 {
+            return Err(format!("counter_pins[{at}].partition_grain: zero"));
+        }
+        let blocks = n.div_ceil(grain);
+        if get("partition_blocks") != blocks {
+            return Err(format!(
+                "counter_pins[{at}].partition_blocks: {}, expected ceil(n/grain) = {blocks}",
+                get("partition_blocks")
+            ));
+        }
+        for (key, expect) in [
+            ("partition_claims", n),
+            ("partition_block_claims", blocks),
+            ("fill_claims", blocks),
+            ("shard_sort_claims", get("shards")),
+        ] {
+            if get(key) != expect {
+                return Err(format!(
+                    "counter_pins[{at}].{key}: {}, expected {expect} (single-threaded \
+                     deterministic runs are exact)",
+                    get(key)
+                ));
+            }
+        }
+    }
+
+    Ok(comparison.len() + pins.len())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -700,5 +868,76 @@ mod tests {
             validate_layout_bench(&doc).unwrap_err(),
             "throughput: empty"
         );
+    }
+
+    fn valid_sharded_doc() -> String {
+        format!(
+            r#"{{"schema": "{SHARDED_SCHEMA}", "experiment": "e26", "quick": true,
+                "comparison": [
+                    {{"shape": "uniform-random", "n": 20000, "threads": 2,
+                      "shards": 8, "sharded_ms": 2.0, "single_ms": 2.6,
+                      "speedup": 1.3, "sharded_sorted": true,
+                      "single_sorted": true, "permutation_match": true}}
+                ],
+                "balance": [
+                    {{"shape": "uniform-random", "n": 20000, "shards": 8,
+                      "max_shard": 2900, "sizes_sum": 20000,
+                      "imbalance": 1.16}}
+                ],
+                "counter_pins": [
+                    {{"n": 4096, "shards": 8, "partition_grain": 512,
+                      "partition_blocks": 8, "partition_claims": 4096,
+                      "partition_block_claims": 8, "fill_claims": 8,
+                      "shard_sort_claims": 8, "sorted": true}}
+                ]}}"#
+        )
+    }
+
+    #[test]
+    fn accepts_a_valid_sharded_document() {
+        assert_eq!(validate_sharded_bench(&valid_sharded_doc()), Ok(2));
+    }
+
+    #[test]
+    fn sharded_validator_recomputes_pins_and_coverage() {
+        let doc = valid_sharded_doc()
+            .replace(r#""partition_claims": 4096"#, r#""partition_claims": 4097"#);
+        assert!(validate_sharded_bench(&doc)
+            .unwrap_err()
+            .contains("partition_claims"));
+
+        let doc = valid_sharded_doc().replace(r#""fill_claims": 8"#, r#""fill_claims": 9"#);
+        assert!(validate_sharded_bench(&doc)
+            .unwrap_err()
+            .contains("fill_claims"));
+
+        let doc =
+            valid_sharded_doc().replace(r#""partition_blocks": 8"#, r#""partition_blocks": 7"#);
+        assert!(validate_sharded_bench(&doc)
+            .unwrap_err()
+            .contains("partition_blocks"));
+
+        let doc = valid_sharded_doc().replace(r#""sizes_sum": 20000"#, r#""sizes_sum": 19999"#);
+        assert!(validate_sharded_bench(&doc)
+            .unwrap_err()
+            .contains("sizes_sum"));
+
+        let doc = valid_sharded_doc().replace(r#""imbalance": 1.16"#, r#""imbalance": 0.9"#);
+        assert!(validate_sharded_bench(&doc)
+            .unwrap_err()
+            .contains("imbalance"));
+
+        let doc = valid_sharded_doc().replace(
+            r#""permutation_match": true"#,
+            r#""permutation_match": false"#,
+        );
+        assert!(validate_sharded_bench(&doc)
+            .unwrap_err()
+            .contains("permutation_match"));
+
+        let doc = valid_sharded_doc().replace(SHARDED_SCHEMA, "other/v0");
+        assert!(validate_sharded_bench(&doc)
+            .unwrap_err()
+            .starts_with("schema"));
     }
 }

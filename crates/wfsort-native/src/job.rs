@@ -246,6 +246,29 @@ impl<K: Ord> SortJob<K> {
     ) -> Self {
         Self::with_layout(keys, allocation, tracked, grain)
     }
+
+    /// Builds a *sharded* job over `keys` instead of a single-tree one:
+    /// the input is split by sampled splitters into `shards` buckets
+    /// which workers then claim and sort independently (see
+    /// [`crate::ShardedSortJob`] for the full pipeline and fault story).
+    /// The single-tree constructors on this type remain the right choice
+    /// for small inputs; [`crate::recommended_shards`] says when sharding
+    /// starts paying.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` has fewer than 2 elements or `shards` is zero.
+    pub fn with_shards(keys: Vec<K>, shards: usize) -> crate::shard::ShardedSortJob<K>
+    where
+        K: Clone,
+    {
+        crate::shard::ShardedSortJob::with_workers(
+            keys,
+            NativeAllocation::Deterministic,
+            DEFAULT_TRACKED_PARTICIPANTS,
+            shards,
+        )
+    }
 }
 
 impl<K: Ord, T: PivotTree> SortJob<K, T> {
@@ -428,7 +451,7 @@ impl<K: Ord, T: PivotTree> SortJob<K, T> {
         self.participate_inner(p, slot.counters());
     }
 
-    fn participate_inner(&self, p: &mut impl Participation, ins: &impl Instrument) {
+    pub(crate) fn participate_inner(&self, p: &mut impl Participation, ins: &impl Instrument) {
         let tid = self.participants.fetch_add(1, Ordering::Relaxed);
         // A nominal thread count for work spreading; any value works, the
         // WAT reassigns everything anyway.

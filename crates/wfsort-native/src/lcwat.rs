@@ -188,6 +188,18 @@ impl AtomicLcWat {
                             ins.claim();
                             work(item);
                         }
+                        // Consult once more between finishing the block
+                        // and publishing it, mirroring the deterministic
+                        // WAT (whose loop-top check gates `next_after`).
+                        // An abandoning participant must not mark the
+                        // leaf: `work` may itself have been cut short by
+                        // the same `keep_going` signal — a nested sort
+                        // driven inside the closure, as in the sharded
+                        // path's shard phase — and publishing would
+                        // declare that half-done work complete.
+                        if !keep_going() {
+                            return;
+                        }
                     } else {
                         ins.probe();
                     }
@@ -368,6 +380,30 @@ mod tests {
         );
         assert!(wat.all_done());
         assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) >= 1));
+    }
+
+    #[test]
+    fn abandoning_at_the_publish_gate_leaves_the_block_unmarked() {
+        // A single-job tree: the root is the one leaf, so the first
+        // probe claims it. The participant survives the loop-top check
+        // and the whole block, then abandons exactly at the publish
+        // gate — the leaf must stay unmarked for survivors to redo.
+        let wat = AtomicLcWat::new(1);
+        let mut ran = 0;
+        let mut budget = 1i32;
+        wat.participate(
+            9,
+            |_| ran += 1,
+            move || {
+                budget -= 1;
+                budget >= 0
+            },
+        );
+        assert_eq!(ran, 1, "the block itself ran");
+        assert!(!wat.all_done(), "abandoned work must not be published");
+        wat.participate(4, |_| ran += 1, || true);
+        assert!(wat.all_done());
+        assert_eq!(ran, 2, "the survivor redid the idempotent block");
     }
 
     #[test]

@@ -24,6 +24,14 @@
 //! [`WaitFreeSorter::sort_with_deadline`] expose graceful degradation as
 //! ordinary sorting entry points.
 //!
+//! For large inputs a *sharded* path ([`ShardedSortJob`],
+//! [`WaitFreeSorter::sort_sharded`]) puts sample-sort splitters in front
+//! of the algorithm: partition into [`recommended_shards`] buckets, then
+//! run one independent pivot-tree sort per shard, every phase driven by
+//! the same Work Assignment Trees so crash recovery holds at shard
+//! granularity. It computes exactly the permutation the single-tree path
+//! does.
+//!
 //! A telemetry layer ([`metrics`]) mirrors the simulator's measurement
 //! role on real threads: [`WaitFreeSorter::sort_with_report`] returns a
 //! [`SortReport`] of per-phase and per-worker operation counts, with the
@@ -52,6 +60,7 @@ mod lcwat;
 #[cfg(feature = "legacy-layout")]
 pub mod legacy;
 pub mod metrics;
+mod shard;
 mod sorter;
 mod tree;
 mod wat;
@@ -67,9 +76,10 @@ pub use lcwat::AtomicLcWat;
 #[cfg(feature = "legacy-layout")]
 pub use legacy::LegacySharedTree;
 pub use metrics::{
-    BuildMetrics, MetricSlot, PhaseMetrics, ScatterMetrics, SortReport, TraversalMetrics,
-    WorkerMetrics,
+    BuildMetrics, MetricSlot, PhaseMetrics, ScatterMetrics, ShardPhaseMetrics, ShardReport,
+    ShardStat, SortReport, TraversalMetrics, WorkerMetrics,
 };
+pub use shard::{recommended_shards, ShardedSortJob};
 pub use sorter::{sort_with_churn, UntilFlag, WaitFreeSorter};
 pub use tree::{PivotTree, SharedTree, Side, EMPTY};
 pub use wat::{Assignment, AtomicWat};

@@ -66,6 +66,25 @@ pub struct TraversalMetrics {
     pub skips: u64,
 }
 
+/// Counters for one WAT-driven phase of the sharded path (partition,
+/// fill, or shard sort — see [`crate::ShardedSortJob`]). The unit a
+/// `claim` counts differs per phase: one *element classified*
+/// (partition), one *block written into the buckets* (fill), or one
+/// *shard entered* (shard sort). All three are zero on the single-tree
+/// path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardPhaseMetrics {
+    /// WAT job claims this worker executed, duplicates (redone work)
+    /// included.
+    pub claims: u64,
+    /// WAT leaf blocks entered (see [`BuildMetrics::block_claims`]).
+    /// Equals `claims` in the fill and shard-sort phases, whose WATs run
+    /// at grain 1.
+    pub block_claims: u64,
+    /// WAT bookkeeping steps (internal hops / non-claiming probes).
+    pub probes: u64,
+}
+
 /// Phase-4 (scatter) counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ScatterMetrics {
@@ -92,6 +111,16 @@ pub struct PhaseMetrics {
     pub place: TraversalMetrics,
     /// Phase 4: scatter by rank.
     pub scatter: ScatterMetrics,
+    /// Sharded phase 1: splitter classification (zero on the
+    /// single-tree path). A claim is one element classified.
+    pub partition: ShardPhaseMetrics,
+    /// Sharded phase 2: bucket writes (zero on the single-tree path).
+    /// A claim is one partition block written into the buckets.
+    pub fill: ShardPhaseMetrics,
+    /// Sharded phase 3: shard claims (zero on the single-tree path).
+    /// A claim is one shard entered; the inner per-shard sorts record
+    /// into `build`/`sum`/`place`/`scatter` like any other sort.
+    pub shard_sort: ShardPhaseMetrics,
 }
 
 impl PhaseMetrics {
@@ -110,6 +139,15 @@ impl PhaseMetrics {
         self.scatter.claims += other.scatter.claims;
         self.scatter.block_claims += other.scatter.block_claims;
         self.scatter.probes += other.scatter.probes;
+        for (mine, theirs) in [
+            (&mut self.partition, &other.partition),
+            (&mut self.fill, &other.fill),
+            (&mut self.shard_sort, &other.shard_sort),
+        ] {
+            mine.claims += theirs.claims;
+            mine.block_claims += theirs.block_claims;
+            mine.probes += theirs.probes;
+        }
     }
 
     /// Total counted operations across all phases — a coarse native
@@ -123,6 +161,12 @@ impl PhaseMetrics {
             + self.place.visits
             + self.scatter.claims
             + self.scatter.probes
+            + self.partition.claims
+            + self.partition.probes
+            + self.fill.claims
+            + self.fill.probes
+            + self.shard_sort.claims
+            + self.shard_sort.probes
     }
 }
 
@@ -144,6 +188,49 @@ pub struct WorkerMetrics {
     pub help_steps: u64,
 }
 
+/// One shard's vital statistics inside a [`ShardReport`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStat {
+    /// Elements the splitters routed into this shard. Sizes sum to `n`;
+    /// a skewed sample shows up here as outlier sizes.
+    pub size: usize,
+    /// Times the shard's sort closure was entered, across all workers.
+    /// Exactly 1 per shard in a crash-free single-threaded run; higher
+    /// counts mean the WAT handed the shard out again (a racing double
+    /// claim, or a redo after the first claimant crashed mid-shard).
+    pub claims: u64,
+}
+
+/// Per-shard telemetry for a sharded run, carried in
+/// [`SortReport::shard`] by
+/// [`crate::WaitFreeSorter::sort_sharded_with_report`].
+#[derive(Clone, Debug)]
+pub struct ShardReport {
+    /// Shard count `S` the job was built with.
+    pub shards: usize,
+    /// Partition blocks `B` (the fill phase's work units).
+    pub partition_blocks: usize,
+    /// Elements per partition block (the last block may be short).
+    pub partition_grain: usize,
+    /// Per-shard size and claim counts, indexed by shard.
+    pub per_shard: Vec<ShardStat>,
+}
+
+impl ShardReport {
+    /// The largest shard's size over the ideal `n / shards` — 1.0 is a
+    /// perfectly balanced split, higher means the sampled splitters let
+    /// one shard swell (the quantity the `O(S log S)` oversampling
+    /// bounds with high probability on random inputs).
+    pub fn imbalance(&self) -> f64 {
+        let n: usize = self.per_shard.iter().map(|s| s.size).sum();
+        if n == 0 || self.shards == 0 {
+            return 1.0;
+        }
+        let max = self.per_shard.iter().map(|s| s.size).max().unwrap_or(0);
+        max as f64 * self.shards as f64 / n as f64
+    }
+}
+
 /// Aggregated telemetry for one sorting run, returned by
 /// [`crate::WaitFreeSorter::sort_with_report`] /
 /// [`crate::WaitFreeSorter::run_job_with_report`].
@@ -158,6 +245,10 @@ pub struct SortReport {
     /// `build.cas_failures / build.cas_attempts`, or `0.0` when no CAS
     /// was attempted — the native §1.2 contention proxy.
     pub cas_failure_rate: f64,
+    /// Per-shard statistics when the run went through the sharded path
+    /// ([`crate::WaitFreeSorter::sort_sharded_with_report`]); `None` for
+    /// single-tree runs.
+    pub shard: Option<ShardReport>,
 }
 
 impl SortReport {
@@ -178,6 +269,7 @@ impl SortReport {
             per_worker,
             elapsed,
             cas_failure_rate,
+            shard: None,
         }
     }
 
@@ -267,9 +359,17 @@ pub(crate) struct LocalCounters {
     scatter_claims: Cell<u64>,
     scatter_block_claims: Cell<u64>,
     scatter_probes: Cell<u64>,
+    partition: [Cell<u64>; 3],
+    fill: [Cell<u64>; 3],
+    shard_sort: [Cell<u64>; 3],
     checkpoints: Cell<u64>,
     help_steps: Cell<u64>,
 }
+
+/// Index names for the `[claims, block_claims, probes]` triples above.
+const CLAIMS: usize = 0;
+const BLOCK_CLAIMS: usize = 1;
+const PROBES: usize = 2;
 
 impl Default for LocalCounters {
     fn default() -> Self {
@@ -289,6 +389,9 @@ impl Default for LocalCounters {
             scatter_claims: Cell::new(0),
             scatter_block_claims: Cell::new(0),
             scatter_probes: Cell::new(0),
+            partition: Default::default(),
+            fill: Default::default(),
+            shard_sort: Default::default(),
             checkpoints: Cell::new(0),
             help_steps: Cell::new(0),
         }
@@ -298,6 +401,14 @@ impl Default for LocalCounters {
 #[inline]
 fn bump(cell: &Cell<u64>) {
     cell.set(cell.get() + 1);
+}
+
+fn snapshot_triple(triple: &[Cell<u64>; 3]) -> ShardPhaseMetrics {
+    ShardPhaseMetrics {
+        claims: triple[CLAIMS].get(),
+        block_claims: triple[BLOCK_CLAIMS].get(),
+        probes: triple[PROBES].get(),
+    }
 }
 
 impl LocalCounters {
@@ -325,6 +436,9 @@ impl LocalCounters {
                     block_claims: self.scatter_block_claims.get(),
                     probes: self.scatter_probes.get(),
                 },
+                partition: snapshot_triple(&self.partition),
+                fill: snapshot_triple(&self.fill),
+                shard_sort: snapshot_triple(&self.shard_sort),
             },
             checkpoints: self.checkpoints.get(),
             help_steps: self.help_steps.get(),
@@ -364,6 +478,9 @@ impl Instrument for LocalCounters {
     fn claim(&self) {
         match self.phase.get() {
             SortPhase::Scatter => bump(&self.scatter_claims),
+            SortPhase::Partition => bump(&self.partition[CLAIMS]),
+            SortPhase::Fill => bump(&self.fill[CLAIMS]),
+            SortPhase::ShardSort => bump(&self.shard_sort[CLAIMS]),
             _ => bump(&self.build_claims),
         }
         self.help_if_helping();
@@ -373,6 +490,9 @@ impl Instrument for LocalCounters {
     fn block_claim(&self) {
         match self.phase.get() {
             SortPhase::Scatter => bump(&self.scatter_block_claims),
+            SortPhase::Partition => bump(&self.partition[BLOCK_CLAIMS]),
+            SortPhase::Fill => bump(&self.fill[BLOCK_CLAIMS]),
+            SortPhase::ShardSort => bump(&self.shard_sort[BLOCK_CLAIMS]),
             _ => bump(&self.build_block_claims),
         }
     }
@@ -381,6 +501,9 @@ impl Instrument for LocalCounters {
     fn probe(&self) {
         match self.phase.get() {
             SortPhase::Scatter => bump(&self.scatter_probes),
+            SortPhase::Partition => bump(&self.partition[PROBES]),
+            SortPhase::Fill => bump(&self.fill[PROBES]),
+            SortPhase::ShardSort => bump(&self.shard_sort[PROBES]),
             _ => bump(&self.build_probes),
         }
         self.help_if_helping();
@@ -483,6 +606,80 @@ mod tests {
         assert_eq!(m.phases.scatter.block_claims, 1);
         assert_eq!(m.phases.scatter.probes, 1);
         assert_eq!(m.checkpoints, 1);
+    }
+
+    #[test]
+    fn recorder_routes_sharded_phases() {
+        let c = LocalCounters::default();
+        c.enter_phase(SortPhase::Partition);
+        c.block_claim();
+        c.claim();
+        c.claim();
+        c.probe();
+        c.enter_phase(SortPhase::Fill);
+        c.claim();
+        c.block_claim();
+        c.enter_phase(SortPhase::ShardSort);
+        c.claim();
+        c.probe();
+        // An inner per-shard sort re-enters Build mid-shard-phase; its
+        // events must land in the ordinary single-tree buckets...
+        c.enter_phase(SortPhase::Build);
+        c.cas(false);
+        c.claim();
+        // ...and the shard phase resumes where it left off.
+        c.enter_phase(SortPhase::ShardSort);
+        c.claim();
+        let m = c.snapshot();
+        assert_eq!(m.phases.partition.claims, 2);
+        assert_eq!(m.phases.partition.block_claims, 1);
+        assert_eq!(m.phases.partition.probes, 1);
+        assert_eq!(m.phases.fill.claims, 1);
+        assert_eq!(m.phases.fill.block_claims, 1);
+        assert_eq!(m.phases.shard_sort.claims, 2);
+        assert_eq!(m.phases.shard_sort.probes, 1);
+        assert_eq!(m.phases.build.cas_attempts, 1);
+        assert_eq!(m.phases.build.claims, 1);
+
+        // The new buckets flow through aggregation and total_ops.
+        let r = SortReport::aggregate(vec![m, m], Duration::ZERO);
+        assert_eq!(r.per_phase.partition.claims, 4);
+        assert_eq!(r.per_phase.fill.claims, 2);
+        assert_eq!(r.per_phase.shard_sort.claims, 4);
+        // Per worker: partition 2+1, fill 1+0, shard 2+1 (claims+probes),
+        // plus build cas 1 and claim 1 — block claims never feed
+        // total_ops.
+        assert_eq!(r.total_ops(), 2 * 9);
+        assert!(
+            r.shard.is_none(),
+            "plain aggregation carries no shard stats"
+        );
+    }
+
+    #[test]
+    fn shard_report_imbalance_is_max_over_ideal() {
+        let report = ShardReport {
+            shards: 4,
+            partition_blocks: 2,
+            partition_grain: 64,
+            per_shard: vec![
+                ShardStat {
+                    size: 10,
+                    claims: 1,
+                },
+                ShardStat {
+                    size: 30,
+                    claims: 1,
+                },
+                ShardStat {
+                    size: 40,
+                    claims: 2,
+                },
+                ShardStat { size: 0, claims: 1 },
+            ],
+        };
+        // max 40 over ideal 80/4 = 20 → 2.0.
+        assert!((report.imbalance() - 2.0).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,744 @@
+//! The sharded large-N sorting path: sample-sort splitters in front of
+//! the paper's wait-free sort.
+//!
+//! The single-tree [`SortJob`] funnels every element through one pivot
+//! tree, so at large N the root's cache line is the whole machine's
+//! rendezvous point — exactly the regime where multi-level splitting
+//! wins (Axtmann & Sanders, *Robust Massively Parallel Sorting*; see
+//! PAPERS.md). A [`ShardedSortJob`] instead runs three wait-free
+//! phases, each driven by the same Work Assignment Trees as the
+//! single-tree path so the fault story is preserved at every
+//! granularity:
+//!
+//! 1. **Partition** — `O(S log S)` keys are sampled at construction and
+//!    sorted to pick `S - 1` splitters; workers then claim blocks of
+//!    elements from a WAT and classify each element against the
+//!    splitters (a binary search), publishing `shard_of[i]`. The stores
+//!    are benign races: every claimant computes the same deterministic
+//!    value.
+//! 2. **Fill** — workers claim partition blocks from a second WAT and
+//!    copy each element's index into its shard's contiguous range of
+//!    the bucket array. Destinations are a pure function of the
+//!    completed classification (block-major, original order within a
+//!    block), so redone blocks rewrite identical values — and the
+//!    within-shard order preserves the original index order, which is
+//!    what makes the sharded permutation *identical* to the single-tree
+//!    one, ties and all.
+//! 3. **Shard sort** — workers claim whole shards from a third WAT and
+//!    sort each one locally with the packed pivot tree, recycling one
+//!    private [`SortArena`] across every shard they claim. The sorted
+//!    ranks are published into the output permutation; concatenation in
+//!    splitter order is free because each shard owns a contiguous rank
+//!    range.
+//!
+//! **Fault story.** A worker that crashes mid-phase leaves its current
+//! WAT leaf unmarked and survivors redo the whole unit — an element
+//! block, a fill block, or an entire shard. The shard is the coarsest
+//! redo unit in the crate, which is the deliberate trade: claim traffic
+//! shrinks to `O(S)` for the longest phase, at the cost of redoing up
+//! to one shard's sort per crash. A participant abandoned *inside* a
+//! shard's inner sort signals the WAT through its `keep_going` before
+//! the leaf is published, so a half-sorted shard is never marked
+//! complete (both WAT flavors gate publication on a final consult).
+//!
+//! The splitter sample is taken at deterministic stride positions, so a
+//! job — and therefore every chaos replay over it — is a pure function
+//! of its `(keys, shards)` input. The cost is that adversarially
+//! periodic inputs can skew shard sizes; skew hurts only balance, never
+//! correctness, and [`crate::ShardReport::imbalance`] measures it.
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+use crate::arena::SortArena;
+use crate::job::{
+    recommended_grain, NativeAllocation, Participation, RunToCompletion,
+    DEFAULT_TRACKED_PARTICIPANTS,
+};
+use crate::lcwat::AtomicLcWat;
+use crate::metrics::{Instrument, MetricSlot, NoInstrument, ShardReport, ShardStat};
+use crate::wat::AtomicWat;
+use crate::watchdog::SortPhase;
+
+/// The shard count [`crate::WaitFreeSorter::sort_sharded`] picks for
+/// `n` keys and a `workers`-thread cohort: `n / 8192`, but at least one
+/// shard per worker, capped at 256 and at `n`.
+///
+/// The `n / 8192` target keeps each shard's pivot tree small enough
+/// that its hot path stays in cache instead of chasing pointers across
+/// a single tree of all `n` nodes; at least `workers` shards lets every
+/// thread hold a distinct shard in the final phase; the 256 cap bounds
+/// the splitter binary search and the per-worker `O(B·S)` fill
+/// bookkeeping. Mirrors [`recommended_grain`], and like it the
+/// constants are exercised by the E26 sweep rather than trusted.
+pub fn recommended_shards(n: usize, workers: usize) -> usize {
+    (n / 8192).max(workers.max(1)).clamp(1, 256).min(n.max(1))
+}
+
+/// Elements per partition block: the claim unit of the partition phase
+/// and the work unit of the fill phase. Scales like the WAT grain
+/// (about eight blocks per worker) but with a higher floor, since a
+/// block is also the unit of fill-phase bookkeeping.
+fn partition_grain(n: usize, workers: usize) -> usize {
+    (n / (workers.max(1) * 8)).clamp(64, 4096).min(n)
+}
+
+/// Deterministic `O(S log S)` splitter sample: `S · (⌈log₂ S⌉ + 1)`
+/// keys at stride positions, sorted, with every `m/S`-th picked as a
+/// splitter.
+fn sample_splitters<K: Ord + Clone>(keys: &[K], shards: usize) -> Vec<K> {
+    if shards <= 1 {
+        return Vec::new();
+    }
+    let n = keys.len();
+    let oversample = (usize::BITS - (shards - 1).leading_zeros()) as usize + 1;
+    let m = (shards * oversample).min(n);
+    let mut sample: Vec<K> = (0..m).map(|j| keys[j * n / m].clone()).collect();
+    sample.sort();
+    (1..shards)
+        .map(|j| sample[j * m / shards].clone())
+        .collect()
+}
+
+/// Forwards an outer [`Participation`] into a shard's inner sort,
+/// latching any abandonment so (a) the inner sort stops promptly and
+/// (b) the outer shard WAT sees the signal at its publish gate and
+/// leaves the half-sorted shard's leaf unmarked.
+struct ForwardAbandon<'a, 'p, P: Participation> {
+    outer: &'a RefCell<&'p mut P>,
+    abandoned: &'a Cell<bool>,
+}
+
+impl<P: Participation> Participation for ForwardAbandon<'_, '_, P> {
+    fn keep_going(&mut self) -> bool {
+        if self.abandoned.get() {
+            return false;
+        }
+        let ok = self.outer.borrow_mut().keep_going();
+        if !ok {
+            self.abandoned.set(true);
+        }
+        ok
+    }
+}
+
+/// A wait-free *sharded* sort of `keys` in progress (or completed):
+/// splitter partition, bucket fill, then one independent single-tree
+/// sort per shard (see the module docs for the pipeline and fault
+/// story).
+///
+/// Like [`SortJob`], any number of threads may call
+/// [`ShardedSortJob::participate`] at any time, abandon at will, and
+/// the sort completes as long as one participant keeps running. The
+/// computed permutation is identical to the single-tree job's —
+/// `(key, index)` order, so stable — which the differential suite in
+/// `tests/sharded_parity.rs` pins.
+///
+/// Unlike [`SortJob`] there are no per-participant heartbeat slots: the
+/// watchdog story for the sharded path rides on its completion gates
+/// and on the WAT frontiers, not on per-thread epochs.
+///
+/// # Examples
+///
+/// ```
+/// use wfsort_native::{RunToCompletion, ShardedSortJob};
+///
+/// let job = ShardedSortJob::new((0..500u64).rev().collect(), 8);
+/// crossbeam::thread::scope(|s| {
+///     s.spawn(|_| job.participate(&mut RunToCompletion));
+///     s.spawn(|_| job.participate(&mut RunToCompletion));
+/// })
+/// .unwrap();
+/// assert!(job.is_complete());
+/// assert_eq!(job.into_sorted(), (0..500u64).collect::<Vec<_>>());
+/// ```
+///
+/// [`SortJob`]: crate::SortJob
+#[derive(Debug)]
+pub struct ShardedSortJob<K: Ord> {
+    keys: Vec<K>,
+    /// `shards - 1` sorted splitter keys; element `i` belongs to shard
+    /// `splitters.partition_point(|s| s <= keys[i])`, so equal keys
+    /// always land in the same shard.
+    splitters: Vec<K>,
+    shards: usize,
+    pgrain: usize,
+    blocks: usize,
+    allocation: NativeAllocation,
+    partition_wat: AtomicWat,
+    fill_wat: AtomicWat,
+    shard_wat: AtomicWat,
+    partition_lcwat: AtomicLcWat,
+    fill_lcwat: AtomicLcWat,
+    shard_lcwat: AtomicLcWat,
+    /// `shard_of[i]` = shard of element `i` (0-based). Benign race:
+    /// every writer stores the same deterministic value.
+    shard_of: Vec<AtomicU32>,
+    /// `bucket[d]` = 1-based element index occupying bucket slot `d`;
+    /// shard `j` owns the contiguous slots `starts[j]..starts[j + 1]`,
+    /// filled in original-index order (benign race, like `shard_of`).
+    bucket: Vec<AtomicUsize>,
+    /// `out_perm[r]` = 1-based element index with rank `r + 1` — the
+    /// same contract as [`crate::SortJob`]'s permutation.
+    out_perm: Vec<AtomicUsize>,
+    /// Telemetry only: how many times each shard's sort closure was
+    /// entered (redos and racing double claims included).
+    shard_claims: Vec<AtomicU64>,
+    participants: AtomicUsize,
+}
+
+impl<K: Ord + Clone> ShardedSortJob<K> {
+    /// Creates a sharded job over `keys` with `shards` shards,
+    /// deterministic WAT allocation, and work grains sized for
+    /// [`DEFAULT_TRACKED_PARTICIPANTS`] workers.
+    /// [`crate::SortJob::with_shards`] is the same constructor under
+    /// the name the single-tree path uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` has fewer than 2 elements or `shards` is zero.
+    pub fn new(keys: Vec<K>, shards: usize) -> Self {
+        Self::with_workers(
+            keys,
+            NativeAllocation::Deterministic,
+            DEFAULT_TRACKED_PARTICIPANTS,
+            shards,
+        )
+    }
+
+    /// Creates a sharded job with every knob explicit: the WAT flavor
+    /// (`allocation`), the expected `workers` cohort (sizes the
+    /// partition-block grain; correctness never depends on it), and the
+    /// shard count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` has fewer than 2 elements, or `workers` or
+    /// `shards` is zero, or `shards` does not fit in a `u32`.
+    pub fn with_workers(
+        keys: Vec<K>,
+        allocation: NativeAllocation,
+        workers: usize,
+        shards: usize,
+    ) -> Self {
+        let n = keys.len();
+        assert!(n >= 2, "a sort job needs at least two keys");
+        assert!(workers >= 1, "a sharded job needs at least one worker");
+        assert!(shards >= 1, "a sharded job needs at least one shard");
+        assert!(u32::try_from(shards).is_ok(), "shard ids are stored as u32");
+        let splitters = sample_splitters(&keys, shards);
+        let pgrain = partition_grain(n, workers);
+        let blocks = n.div_ceil(pgrain);
+        ShardedSortJob {
+            splitters,
+            shards,
+            pgrain,
+            blocks,
+            allocation,
+            partition_wat: AtomicWat::with_grain(n, pgrain),
+            fill_wat: AtomicWat::new(blocks),
+            shard_wat: AtomicWat::new(shards),
+            partition_lcwat: AtomicLcWat::with_grain(n, pgrain),
+            fill_lcwat: AtomicLcWat::new(blocks),
+            shard_lcwat: AtomicLcWat::new(shards),
+            shard_of: (0..n).map(|_| AtomicU32::new(0)).collect(),
+            bucket: (0..n).map(|_| AtomicUsize::new(0)).collect(),
+            out_perm: (0..n).map(|_| AtomicUsize::new(0)).collect(),
+            shard_claims: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            participants: AtomicUsize::new(0),
+            keys,
+        }
+    }
+
+    /// Runs all three phases as one participant until the sort is
+    /// complete or `p` abandons. Wait-free with the same contract as
+    /// [`crate::SortJob::participate`]: bounded work between
+    /// `keep_going` checks, progress never depends on any other
+    /// participant.
+    pub fn participate(&self, p: &mut impl Participation) {
+        self.participate_inner(p, &NoInstrument);
+    }
+
+    /// [`ShardedSortJob::participate`] recording per-worker telemetry
+    /// into `slot`, including the inner per-shard sorts (their events
+    /// land in the ordinary build/sum/place/scatter buckets).
+    pub fn participate_instrumented(&self, p: &mut impl Participation, slot: &MetricSlot) {
+        self.participate_inner(p, slot.counters());
+    }
+
+    /// Convenience: participate and never abandon.
+    pub fn run(&self) {
+        self.participate(&mut RunToCompletion);
+    }
+
+    pub(crate) fn participate_inner(&self, p: &mut impl Participation, ins: &impl Instrument) {
+        let tid = self.participants.fetch_add(1, Ordering::Relaxed);
+        let nthreads = (tid + 1).max(2);
+        ins.enter_phase(SortPhase::Partition);
+        self.partition_phase(tid, nthreads, p, ins);
+        if !self.partition_done() {
+            return;
+        }
+        ins.enter_phase(SortPhase::Fill);
+        let starts = self.fill_phase(tid, nthreads, p, ins);
+        if !self.fill_done() {
+            return;
+        }
+        ins.enter_phase(SortPhase::ShardSort);
+        self.shard_phase(tid, nthreads, &starts, p, ins);
+    }
+
+    /// Phase 1: classify every element against the splitters. One WAT
+    /// item per element (so `partition.claims` counts elements,
+    /// grain-independent like the single-tree phases), blocks of
+    /// [`ShardedSortJob::partition_grain`] items per leaf.
+    fn partition_phase(
+        &self,
+        tid: usize,
+        nthreads: usize,
+        p: &mut impl Participation,
+        ins: &impl Instrument,
+    ) {
+        let classify = |i: usize| {
+            let shard = self.shard_for(&self.keys[i]);
+            self.shard_of[i].store(shard as u32, Ordering::Relaxed);
+        };
+        let keep_going = || {
+            ins.checkpoint();
+            p.keep_going()
+        };
+        match self.allocation {
+            NativeAllocation::Deterministic => {
+                self.partition_wat
+                    .participate_with(tid, nthreads, classify, keep_going, ins);
+            }
+            NativeAllocation::Randomized => {
+                self.partition_lcwat
+                    .participate_with(tid as u64, classify, keep_going, ins);
+            }
+        }
+    }
+
+    /// Phase 2: write every element's index into its shard's bucket
+    /// range, one partition block per WAT job. Returns the shard start
+    /// offsets (`shards + 1` entries) for the shard phase — a pure
+    /// function of the completed classification, so every worker
+    /// computes the same values.
+    fn fill_phase(
+        &self,
+        tid: usize,
+        nthreads: usize,
+        p: &mut impl Participation,
+        ins: &impl Instrument,
+    ) -> Vec<usize> {
+        let (starts, offsets) = self.column_offsets();
+        let s = self.shards;
+        let fill_block = |blk: usize| {
+            // A private cursor copy per invocation keeps redone blocks
+            // idempotent: every rerun starts from the same offsets and
+            // rewrites the same destinations.
+            let mut next = offsets[blk * s..(blk + 1) * s].to_vec();
+            for i in self.block_span(blk) {
+                let shard = self.shard_of[i].load(Ordering::Relaxed) as usize;
+                self.bucket[next[shard]].store(i + 1, Ordering::Relaxed);
+                next[shard] += 1;
+            }
+        };
+        let keep_going = || {
+            ins.checkpoint();
+            p.keep_going()
+        };
+        match self.allocation {
+            NativeAllocation::Deterministic => {
+                self.fill_wat
+                    .participate_with(tid, nthreads, fill_block, keep_going, ins);
+            }
+            NativeAllocation::Randomized => {
+                self.fill_lcwat
+                    .participate_with(tid as u64, fill_block, keep_going, ins);
+            }
+        }
+        starts
+    }
+
+    /// Phase 3: claim whole shards and sort each one with the packed
+    /// pivot tree, recycling one private arena across claims.
+    fn shard_phase(
+        &self,
+        tid: usize,
+        nthreads: usize,
+        starts: &[usize],
+        p: &mut impl Participation,
+        ins: &impl Instrument,
+    ) {
+        let abandoned = Cell::new(false);
+        let outer = RefCell::new(p);
+        let mut arena: SortArena<K> = SortArena::new();
+        let mut shard_keys: Vec<K> = Vec::new();
+        let sort_shard = |shard: usize| {
+            self.shard_claims[shard].fetch_add(1, Ordering::Relaxed);
+            if abandoned.get() {
+                return;
+            }
+            let (lo, hi) = (starts[shard], starts[shard + 1]);
+            match hi - lo {
+                0 => {}
+                1 => {
+                    let element = self.bucket[lo].load(Ordering::Relaxed);
+                    self.out_perm[lo].store(element, Ordering::Release);
+                }
+                len => {
+                    shard_keys.clear();
+                    shard_keys.extend((lo..hi).map(|slot| {
+                        self.keys[self.bucket[slot].load(Ordering::Relaxed) - 1].clone()
+                    }));
+                    let job =
+                        arena.prepare(&shard_keys, self.allocation, 1, recommended_grain(len, 1));
+                    let mut inner = ForwardAbandon {
+                        outer: &outer,
+                        abandoned: &abandoned,
+                    };
+                    job.participate_inner(&mut inner, ins);
+                    ins.enter_phase(SortPhase::ShardSort);
+                    if abandoned.get() {
+                        // Half-sorted: the publish gate below sees the
+                        // same signal and leaves this shard's leaf
+                        // unmarked for survivors.
+                        return;
+                    }
+                    debug_assert!(job.is_complete());
+                    // Within a shard the bucket preserves original index
+                    // order, so the inner job's (key, local index) ties
+                    // break exactly like the global (key, index) ties.
+                    for (rank, local) in job.permutation().into_iter().enumerate() {
+                        let element = self.bucket[lo + local - 1].load(Ordering::Relaxed);
+                        self.out_perm[lo + rank].store(element, Ordering::Release);
+                    }
+                }
+            }
+        };
+        let keep_going = || {
+            ins.checkpoint();
+            !abandoned.get() && outer.borrow_mut().keep_going()
+        };
+        match self.allocation {
+            NativeAllocation::Deterministic => {
+                self.shard_wat
+                    .participate_with(tid, nthreads, sort_shard, keep_going, ins);
+            }
+            NativeAllocation::Randomized => {
+                self.shard_lcwat
+                    .participate_with(tid as u64, sort_shard, keep_going, ins);
+            }
+        }
+    }
+
+    /// The shard element `key` belongs to: the number of splitters at
+    /// or below it, so equal keys are never separated.
+    fn shard_for(&self, key: &K) -> usize {
+        self.splitters.partition_point(|s| s <= key)
+    }
+
+    /// Shard start offsets and per-block destination offsets, both pure
+    /// functions of the completed classification. `O(n + B·S)` per
+    /// call; each participant pays it once, at fill-phase entry.
+    fn column_offsets(&self) -> (Vec<usize>, Vec<usize>) {
+        let s = self.shards;
+        let mut offsets = vec![0usize; self.blocks * s];
+        for i in 0..self.keys.len() {
+            let shard = self.shard_of[i].load(Ordering::Relaxed) as usize;
+            offsets[(i / self.pgrain) * s + shard] += 1;
+        }
+        let mut starts = vec![0usize; s + 1];
+        for shard in 0..s {
+            let total: usize = (0..self.blocks).map(|blk| offsets[blk * s + shard]).sum();
+            starts[shard + 1] = starts[shard] + total;
+        }
+        // Convert per-block counts into absolute destination offsets.
+        let mut running = starts[..s].to_vec();
+        for blk in 0..self.blocks {
+            for shard in 0..s {
+                let count = offsets[blk * s + shard];
+                offsets[blk * s + shard] = running[shard];
+                running[shard] += count;
+            }
+        }
+        (starts, offsets)
+    }
+
+    /// The element range of partition block `blk`.
+    fn block_span(&self, blk: usize) -> std::ops::Range<usize> {
+        let start = blk * self.pgrain;
+        start..((start + self.pgrain).min(self.keys.len()))
+    }
+}
+
+impl<K: Ord> ShardedSortJob<K> {
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the job is empty (never true; `new` requires 2+ keys).
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The shard count `S`.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Elements per partition block.
+    pub fn partition_grain(&self) -> usize {
+        self.pgrain
+    }
+
+    /// Partition block count `B` (the fill phase's job count).
+    pub fn partition_blocks(&self) -> usize {
+        self.blocks
+    }
+
+    /// Whether phase 1 (classification) is complete.
+    fn partition_done(&self) -> bool {
+        match self.allocation {
+            NativeAllocation::Deterministic => self.partition_wat.all_done(),
+            NativeAllocation::Randomized => self.partition_lcwat.all_done(),
+        }
+    }
+
+    /// Whether phase 2 (bucket fill) is complete.
+    fn fill_done(&self) -> bool {
+        match self.allocation {
+            NativeAllocation::Deterministic => self.fill_wat.all_done(),
+            NativeAllocation::Randomized => self.fill_lcwat.all_done(),
+        }
+    }
+
+    /// Whether the sorted permutation is fully computed.
+    pub fn is_complete(&self) -> bool {
+        match self.allocation {
+            NativeAllocation::Deterministic => self.shard_wat.all_done(),
+            NativeAllocation::Randomized => self.shard_lcwat.all_done(),
+        }
+    }
+
+    /// The sorted permutation: entry `r` is the index (1-based) of the
+    /// rank-`r + 1` element — the same contract as
+    /// [`crate::SortJob::permutation`], and bit-identical to it for the
+    /// same keys (pinned by the differential suite).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sort is not complete.
+    pub fn permutation(&self) -> Vec<usize> {
+        assert!(self.is_complete(), "sort not complete");
+        self.out_perm
+            .iter()
+            .map(|slot| slot.load(Ordering::Acquire))
+            .collect()
+    }
+
+    /// Consumes the job, returning the keys in sorted order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sort is not complete.
+    pub fn into_sorted(self) -> Vec<K> {
+        let perm = self.permutation();
+        let mut slots: Vec<Option<K>> = self.keys.into_iter().map(Some).collect();
+        perm.into_iter()
+            .map(|i| slots[i - 1].take().expect("permutation is a bijection"))
+            .collect()
+    }
+
+    /// Writes the keys in sorted order into `out` (cleared first),
+    /// leaving the job intact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sort is not complete.
+    pub fn sorted_into(&self, out: &mut Vec<K>)
+    where
+        K: Clone,
+    {
+        assert!(self.is_complete(), "sort not complete");
+        out.clear();
+        out.extend(
+            self.out_perm
+                .iter()
+                .map(|slot| self.keys[slot.load(Ordering::Acquire) - 1].clone()),
+        );
+    }
+
+    /// Per-shard sizes and claim counts for the completed run — the
+    /// payload [`crate::WaitFreeSorter::sort_sharded_with_report`]
+    /// attaches to its [`crate::SortReport`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sort is not complete (sizes are only meaningful
+    /// once classification has finished).
+    pub fn shard_report(&self) -> ShardReport {
+        assert!(self.is_complete(), "sort not complete");
+        let mut per_shard = vec![ShardStat::default(); self.shards];
+        for slot in &self.shard_of {
+            per_shard[slot.load(Ordering::Relaxed) as usize].size += 1;
+        }
+        for (shard, stat) in per_shard.iter_mut().enumerate() {
+            stat.claims = self.shard_claims[shard].load(Ordering::Relaxed);
+        }
+        ShardReport {
+            shards: self.shards,
+            partition_blocks: self.blocks,
+            partition_grain: self.pgrain,
+            per_shard,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::QuitAfter;
+
+    fn mixed_keys(n: usize) -> Vec<u64> {
+        (0..n as u64).map(|i| (i * 2654435761) % 1013).collect()
+    }
+
+    #[test]
+    fn single_participant_sorts_across_shard_counts() {
+        for shards in [1, 2, 8, 64] {
+            let keys = mixed_keys(500);
+            let mut expect = keys.clone();
+            expect.sort_unstable();
+            let job = ShardedSortJob::new(keys, shards);
+            job.run();
+            assert!(job.is_complete());
+            assert_eq!(job.into_sorted(), expect, "shards {shards}");
+        }
+    }
+
+    #[test]
+    fn permutation_matches_single_tree_job_exactly() {
+        // Duplicate-heavy keys: the tie-break order is the hard part.
+        let keys: Vec<u64> = (0..600).map(|i| (i * 7) % 13).collect();
+        let single = crate::SortJob::new(keys.clone());
+        single.run();
+        for shards in [1, 2, 8, 64] {
+            let sharded = ShardedSortJob::new(keys.clone(), shards);
+            sharded.run();
+            assert_eq!(
+                sharded.permutation(),
+                single.permutation(),
+                "shards {shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn randomized_allocation_sorts() {
+        let keys = mixed_keys(800);
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        let job = ShardedSortJob::with_workers(keys, NativeAllocation::Randomized, 2, 8);
+        crossbeam::thread::scope(|s| {
+            for _ in 0..2 {
+                let job = &job;
+                s.spawn(move |_| job.run());
+            }
+        })
+        .unwrap();
+        assert_eq!(job.into_sorted(), expect);
+    }
+
+    #[test]
+    fn quitter_then_late_joiner_completes() {
+        for allocation in [
+            NativeAllocation::Deterministic,
+            NativeAllocation::Randomized,
+        ] {
+            // Sweep the abandonment point across the whole run so every
+            // phase boundary — including mid-inner-sort — is hit.
+            for budget in (1..200).step_by(13) {
+                let keys = mixed_keys(300);
+                let mut expect = keys.clone();
+                expect.sort_unstable();
+                let job = ShardedSortJob::with_workers(keys, allocation, 2, 8);
+                job.participate(&mut QuitAfter(budget));
+                job.run();
+                assert!(job.is_complete());
+                assert_eq!(job.into_sorted(), expect, "{allocation:?} budget {budget}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_shards_are_harmless() {
+        // All keys equal: every element lands in one shard, the rest
+        // stay empty.
+        let keys = vec![7u64; 100];
+        let job = ShardedSortJob::new(keys.clone(), 16);
+        job.run();
+        assert_eq!(
+            job.shard_report().per_shard.iter().map(|s| s.size).max(),
+            Some(100)
+        );
+        assert_eq!(job.into_sorted(), keys);
+    }
+
+    #[test]
+    fn shard_report_counts_sizes_and_claims() {
+        let keys = mixed_keys(2000);
+        let job = ShardedSortJob::new(keys, 8);
+        job.run();
+        let report = job.shard_report();
+        assert_eq!(report.shards, 8);
+        assert_eq!(report.per_shard.len(), 8);
+        assert_eq!(report.per_shard.iter().map(|s| s.size).sum::<usize>(), 2000);
+        // A lone crash-free worker claims each shard exactly once.
+        assert!(report.per_shard.iter().all(|s| s.claims == 1));
+        assert!(report.imbalance() >= 1.0);
+        assert_eq!(report.partition_blocks, job.partition_blocks());
+        assert_eq!(report.partition_grain, job.partition_grain());
+    }
+
+    #[test]
+    fn recommended_shards_scales_and_clamps() {
+        assert_eq!(recommended_shards(100, 1), 1);
+        assert_eq!(recommended_shards(100, 4), 4);
+        assert_eq!(recommended_shards(100_000, 4), 12);
+        assert_eq!(recommended_shards(10_000_000, 4), 256);
+        assert_eq!(recommended_shards(3, 64), 3, "never more shards than keys");
+        assert_eq!(recommended_shards(0, 4), 1);
+    }
+
+    #[test]
+    fn splitters_are_sorted_and_keep_duplicates_together() {
+        let keys: Vec<u64> = (0..1000).map(|i| i % 10).collect();
+        let job = ShardedSortJob::new(keys, 32);
+        assert!(job.splitters.windows(2).all(|w| w[0] <= w[1]));
+        job.run();
+        let report = job.shard_report();
+        // Ten distinct values can populate at most ten shards.
+        assert!(report.per_shard.iter().filter(|s| s.size > 0).count() <= 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two keys")]
+    fn rejects_tiny_input() {
+        ShardedSortJob::new(vec![1], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn rejects_zero_shards() {
+        ShardedSortJob::new(vec![2, 1], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sort not complete")]
+    fn permutation_before_completion_panics() {
+        ShardedSortJob::new(vec![2, 1], 2).permutation();
+    }
+}

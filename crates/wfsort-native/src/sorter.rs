@@ -7,6 +7,7 @@ use crate::arena::SortArena;
 use crate::fault::{ChaosParticipation, ChaosPlan, WithDeadline};
 use crate::job::{recommended_grain, NativeAllocation, Participation, RunToCompletion, SortJob};
 use crate::metrics::{MetricSlot, SortReport};
+use crate::shard::{recommended_shards, ShardedSortJob};
 use crate::tree::PivotTree;
 
 /// A multi-threaded wait-free sorter.
@@ -164,6 +165,174 @@ impl WaitFreeSorter {
     /// heartbeat slot per worker).
     fn job_for<K: Ord + Clone + Send + Sync>(&self, keys: &[K]) -> SortJob<K> {
         SortJob::with_tracked(keys.to_vec(), NativeAllocation::Deterministic, self.threads)
+    }
+
+    /// Sorts `keys` through the sharded large-N path with
+    /// [`recommended_shards`] shards: splitter partition, bucket fill,
+    /// then one independent pivot-tree sort per shard (see
+    /// [`ShardedSortJob`]). Produces exactly the same order as
+    /// [`WaitFreeSorter::sort`]; the difference is contention and
+    /// locality at large `n`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wfsort_native::WaitFreeSorter;
+    ///
+    /// let keys: Vec<u64> = (0..20_000).rev().collect();
+    /// let sorted = WaitFreeSorter::new(4).sort_sharded(&keys);
+    /// assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+    /// ```
+    pub fn sort_sharded<K: Ord + Clone + Send + Sync>(&self, keys: &[K]) -> Vec<K> {
+        self.sort_sharded_with(keys, recommended_shards(keys.len(), self.threads))
+    }
+
+    /// [`WaitFreeSorter::sort_sharded`] with an explicit shard count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn sort_sharded_with<K: Ord + Clone + Send + Sync>(
+        &self,
+        keys: &[K],
+        shards: usize,
+    ) -> Vec<K> {
+        if keys.len() < 2 {
+            assert!(shards >= 1, "a sharded job needs at least one shard");
+            return keys.to_vec();
+        }
+        let job = self.sharded_job_for(keys, shards);
+        self.run_sharded_job(&job);
+        job.into_sorted()
+    }
+
+    /// Runs a [`ShardedSortJob`] to completion on this sorter's thread
+    /// count, like [`WaitFreeSorter::run_job`] for the single-tree path.
+    pub fn run_sharded_job<K: Ord + Clone + Send + Sync>(&self, job: &ShardedSortJob<K>) {
+        if self.threads == 1 {
+            job.run();
+        } else {
+            crossbeam::thread::scope(|s| {
+                for _ in 0..self.threads {
+                    s.spawn(move |_| job.run());
+                }
+            })
+            .expect("worker threads do not panic");
+        }
+    }
+
+    /// Sorts `keys` through the sharded path and reports what the
+    /// workers did. On top of the single-tree telemetry (the inner
+    /// per-shard sorts land in the ordinary build/sum/place/scatter
+    /// buckets), the report's `per_phase.partition` / `fill` /
+    /// `shard_sort` counters cover the sharded phases, and
+    /// [`SortReport::shard`] carries per-shard sizes and claim counts.
+    /// Inputs shorter than two keys return unchanged with an empty
+    /// report.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wfsort_native::WaitFreeSorter;
+    ///
+    /// let keys: Vec<u64> = (0..20_000).rev().collect();
+    /// let (sorted, report) = WaitFreeSorter::new(4).sort_sharded_with_report(&keys, 16);
+    /// assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+    /// let shard = report.shard.as_ref().unwrap();
+    /// assert_eq!(shard.per_shard.iter().map(|s| s.size).sum::<usize>(), 20_000);
+    /// assert!(report.per_phase.partition.claims >= 20_000);
+    /// ```
+    pub fn sort_sharded_with_report<K: Ord + Clone + Send + Sync>(
+        &self,
+        keys: &[K],
+        shards: usize,
+    ) -> (Vec<K>, SortReport) {
+        if keys.len() < 2 {
+            assert!(shards >= 1, "a sharded job needs at least one shard");
+            return (keys.to_vec(), SortReport::empty());
+        }
+        let job = self.sharded_job_for(keys, shards);
+        let start = Instant::now();
+        let mut slots: Vec<MetricSlot> = (0..self.threads).map(|_| MetricSlot::new()).collect();
+        if self.threads == 1 {
+            job.participate_instrumented(&mut RunToCompletion, &slots[0]);
+        } else {
+            crossbeam::thread::scope(|s| {
+                for slot in &mut slots {
+                    let job = &job;
+                    s.spawn(move |_| job.participate_instrumented(&mut RunToCompletion, slot));
+                }
+            })
+            .expect("worker threads do not panic");
+        }
+        let elapsed = start.elapsed();
+        let mut report =
+            SortReport::aggregate(slots.iter().map(|s| s.snapshot()).collect(), elapsed);
+        report.shard = Some(job.shard_report());
+        (job.into_sorted(), report)
+    }
+
+    /// Sorts through the sharded path under a scripted adversary, like
+    /// [`WaitFreeSorter::sort_with_plan`]: one worker per [`ChaosPlan`]
+    /// slot, each driven by its deterministic fault script; if the plan
+    /// crashes every worker, the calling thread finishes alone. The
+    /// fault story holds at shard granularity — a crashed worker's
+    /// half-sorted shard is redone whole by a survivor.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wfsort_native::{ChaosPlan, WaitFreeSorter};
+    ///
+    /// let keys: Vec<u64> = (0..2_000).rev().collect();
+    /// let plan = ChaosPlan::random_crashes(4, 0.75, 100, 7);
+    /// let sorted = WaitFreeSorter::new(4).sort_sharded_with_plan(&keys, &plan, 8);
+    /// assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+    /// ```
+    pub fn sort_sharded_with_plan<K: Ord + Clone + Send + Sync>(
+        &self,
+        keys: &[K],
+        plan: &ChaosPlan,
+        shards: usize,
+    ) -> Vec<K> {
+        if keys.len() < 2 {
+            assert!(shards >= 1, "a sharded job needs at least one shard");
+            return keys.to_vec();
+        }
+        let job = ShardedSortJob::with_workers(
+            keys.to_vec(),
+            NativeAllocation::Deterministic,
+            plan.workers() + 1,
+            shards,
+        );
+        crossbeam::thread::scope(|s| {
+            for w in 0..plan.workers() {
+                let job = &job;
+                s.spawn(move |_| job.participate(&mut ChaosParticipation::new(plan, w)));
+            }
+        })
+        .expect("worker threads do not panic");
+        if !job.is_complete() {
+            // Every worker crashed: the caller is the survivor of last
+            // resort.
+            job.run();
+        }
+        job.into_sorted()
+    }
+
+    /// A deterministic-allocation sharded job sized to this sorter's
+    /// cohort.
+    fn sharded_job_for<K: Ord + Clone + Send + Sync>(
+        &self,
+        keys: &[K],
+        shards: usize,
+    ) -> ShardedSortJob<K> {
+        ShardedSortJob::with_workers(
+            keys.to_vec(),
+            NativeAllocation::Deterministic,
+            self.threads,
+            shards,
+        )
     }
 
     /// Sorts `items` by the key `f` extracts, computing each key once and
@@ -575,6 +744,60 @@ mod tests {
         assert_eq!(out, vec![7]);
         sorter.sort_into(&[], &mut arena, &mut out);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn sharded_sort_matches_single_tree_order_exactly() {
+        let keys = random_keys(30_000, 7);
+        let sorter = WaitFreeSorter::new(4);
+        assert_eq!(sorter.sort_sharded(&keys), sorter.sort(&keys));
+    }
+
+    #[test]
+    fn sharded_trivial_inputs_pass_through() {
+        let s = WaitFreeSorter::new(2);
+        assert_eq!(s.sort_sharded::<u64>(&[]), Vec::<u64>::new());
+        assert_eq!(s.sort_sharded_with(&[7u64], 4), vec![7]);
+        let (sorted, report) = s.sort_sharded_with_report(&[1u64], 4);
+        assert_eq!(sorted, vec![1]);
+        assert!(report.shard.is_none());
+    }
+
+    #[test]
+    fn sharded_report_carries_shard_payload() {
+        let keys = random_keys(8_000, 8);
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        let (sorted, report) = WaitFreeSorter::new(4).sort_sharded_with_report(&keys, 16);
+        assert_eq!(sorted, expect);
+        let shard = report.shard.as_ref().expect("sharded report payload");
+        assert_eq!(shard.shards, 16);
+        assert_eq!(shard.per_shard.iter().map(|s| s.size).sum::<usize>(), 8_000);
+        assert!(shard.per_shard.iter().all(|s| s.claims >= 1));
+        assert!(shard.imbalance() >= 1.0);
+        // `>=`: racing workers may idempotently redo claimed blocks;
+        // the exact single-threaded pins live in tests/sharded_parity.rs.
+        assert!(report.per_phase.partition.claims >= 8_000);
+        assert!(report.per_phase.fill.claims >= shard.partition_blocks as u64);
+        assert!(report.per_phase.shard_sort.claims >= 16);
+        // Inner per-shard sorts land in the ordinary phase buckets.
+        assert!(report.per_phase.build.claims > 0);
+        assert!(report.per_phase.scatter.claims > 0);
+    }
+
+    #[test]
+    fn sharded_plan_survives_total_crash() {
+        let keys = random_keys(3_000, 9);
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        // Crash every worker almost immediately: the caller must finish
+        // all three phases alone.
+        let mut plan = ChaosPlan::new(4);
+        for w in 0..4 {
+            plan = plan.crash_at(w, 3);
+        }
+        let sorted = WaitFreeSorter::new(4).sort_sharded_with_plan(&keys, &plan, 8);
+        assert_eq!(sorted, expect);
     }
 
     #[test]

@@ -16,7 +16,12 @@ use std::fmt;
 
 use crate::job::SortJob;
 
-/// The four phases of [`SortJob::participate`], in execution order.
+/// The phases a participant can report from: the four phases of
+/// [`SortJob::participate`] in execution order, followed by the three
+/// phases of the sharded path ([`crate::ShardedSortJob`]). A sharded
+/// participant reports `Partition` → `Fill` → `ShardSort`, dipping back
+/// into `Build`..`Scatter` while it runs a shard's inner single-tree
+/// sort.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum SortPhase {
     /// Phase 1: insert every element into the pivot tree.
@@ -27,15 +32,26 @@ pub enum SortPhase {
     Place = 2,
     /// Phase 4: scatter element indices by rank.
     Scatter = 3,
+    /// Sharded phase 1: classify every element against the splitters.
+    Partition = 4,
+    /// Sharded phase 2: write elements into their shard's bucket range.
+    Fill = 5,
+    /// Sharded phase 3: claim whole shards and sort each one.
+    ShardSort = 6,
 }
 
 impl SortPhase {
     pub(crate) fn from_bits(bits: u64) -> SortPhase {
-        match bits & 3 {
+        match bits & 7 {
             0 => SortPhase::Build,
             1 => SortPhase::Sum,
             2 => SortPhase::Place,
-            _ => SortPhase::Scatter,
+            3 => SortPhase::Scatter,
+            4 => SortPhase::Partition,
+            5 => SortPhase::Fill,
+            // 7 is unused; fold it into the last real phase so a torn
+            // read can never panic the observer.
+            _ => SortPhase::ShardSort,
         }
     }
 }
@@ -47,6 +63,9 @@ impl fmt::Display for SortPhase {
             SortPhase::Sum => "sum",
             SortPhase::Place => "place",
             SortPhase::Scatter => "scatter",
+            SortPhase::Partition => "partition",
+            SortPhase::Fill => "fill",
+            SortPhase::ShardSort => "shard-sort",
         })
     }
 }

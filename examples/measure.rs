@@ -1,0 +1,40 @@
+//! The README's "Measuring a sort" snippet, runnable and kept honest by
+//! `cargo test --examples`: native telemetry for a single-tree sort,
+//! then the sharded large-N path with its per-shard report.
+//!
+//! Run: `cargo run --release --example measure`
+
+use wait_free_sort::wfsort_native::{recommended_shards, WaitFreeSorter};
+
+fn main() {
+    // --- Single-tree telemetry (DESIGN.md §9, EXPERIMENTS.md E24) ---
+    let keys: Vec<u64> = (0..100_000).rev().collect();
+    let (sorted, report) = WaitFreeSorter::new(4).sort_with_report(&keys);
+    assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+    println!(
+        "elapsed {:?}: {} ops, CAS failure rate {:.4}, {} help steps",
+        report.elapsed,
+        report.total_ops(),
+        report.cas_failure_rate, // the §1.2 contention proxy on real threads
+        report.help_steps(),     // work done beyond the worker's own share
+    );
+    println!("tree descents: {}", report.per_phase.build.descent_steps);
+
+    // --- Sharded telemetry (DESIGN.md §11, EXPERIMENTS.md E26) ---
+    let shards = recommended_shards(keys.len(), 4);
+    let (sorted, report) = WaitFreeSorter::new(4).sort_sharded_with_report(&keys, shards);
+    assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+    let shard = report
+        .shard
+        .as_ref()
+        .expect("sharded runs carry a shard report");
+    println!(
+        "sharded ({} shards): elapsed {:?}, partition claims {}, \
+         shard claims {}, imbalance {:.2}x",
+        shard.shards,
+        report.elapsed,
+        report.per_phase.partition.claims,
+        report.per_phase.shard_sort.claims,
+        shard.imbalance(), // max shard over ideal; 1.0 is perfectly even
+    );
+}

@@ -1,0 +1,102 @@
+//! Property-based differential tests for the sharded large-N path:
+//! arbitrary keys (duplicates encouraged), shard counts, thread counts,
+//! and abandonment points must never make the sharded permutation
+//! diverge from the single-tree one.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use wait_free_sort::wfsort_native::{
+    NativeAllocation, QuitAfter, ShardedSortJob, SortJob, WaitFreeSorter,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For arbitrary keys, shard counts (including S > n, so empty and
+    /// singleton shards appear), and thread counts, the sharded path
+    /// produces exactly the single-tree permutation — the stability
+    /// contract at property scale.
+    #[test]
+    fn sharded_permutation_matches_single_tree(
+        keys in vec(0u64..48, 2..300),
+        shards in 1usize..80,
+        threads in 1usize..4,
+    ) {
+        let single = SortJob::new(keys.clone());
+        single.run();
+        let expect = single.permutation();
+
+        let job = ShardedSortJob::with_workers(
+            keys, NativeAllocation::Deterministic, threads, shards,
+        );
+        crossbeam::thread::scope(|s| {
+            for _ in 0..threads {
+                let job = &job;
+                s.spawn(move |_| job.run());
+            }
+        })
+        .unwrap();
+        prop_assert_eq!(job.permutation(), expect);
+    }
+
+    /// Same property under the randomized LC-WAT flavor: random probing
+    /// reorders claims, never values.
+    #[test]
+    fn randomized_sharded_permutation_matches_single_tree(
+        keys in vec(0u64..48, 2..300),
+        shards in 1usize..40,
+    ) {
+        let single = SortJob::new(keys.clone());
+        single.run();
+        let expect = single.permutation();
+
+        let job = ShardedSortJob::with_workers(
+            keys, NativeAllocation::Randomized, 2, shards,
+        );
+        crossbeam::thread::scope(|s| {
+            for _ in 0..2 {
+                let job = &job;
+                s.spawn(move |_| job.run());
+            }
+        })
+        .unwrap();
+        prop_assert_eq!(job.permutation(), expect);
+    }
+
+    /// A quitter abandoning after an arbitrary number of checks leaves a
+    /// state from which a late joiner recovers the exact single-tree
+    /// permutation — the publish gates make half-done shards invisible.
+    #[test]
+    fn abandoned_sharded_jobs_recover_exactly(
+        keys in vec(0u64..32, 2..200),
+        shards in 1usize..24,
+        budget in 1usize..500,
+    ) {
+        let single = SortJob::new(keys.clone());
+        single.run();
+        let expect = single.permutation();
+
+        let job = ShardedSortJob::with_workers(
+            keys, NativeAllocation::Deterministic, 2, shards,
+        );
+        job.participate(&mut QuitAfter(budget));
+        job.run();
+        prop_assert!(job.is_complete());
+        prop_assert_eq!(job.permutation(), expect);
+    }
+
+    /// The public front-end agrees with std sort for arbitrary inputs
+    /// and shard counts (the trivial n < 2 passthrough included).
+    #[test]
+    fn sort_sharded_with_matches_std(
+        keys in vec(0u64..1_000, 0..250),
+        shards in 1usize..32,
+        threads in 1usize..4,
+    ) {
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        let sorted = WaitFreeSorter::new(threads).sort_sharded_with(&keys, shards);
+        prop_assert_eq!(sorted, expect);
+    }
+}

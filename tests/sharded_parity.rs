@@ -1,0 +1,256 @@
+//! Differential tests: the sharded large-N path against the single-tree
+//! path.
+//!
+//! The sharded pipeline (splitter partition → bucket fill → per-shard
+//! pivot-tree sorts) is specified to compute *exactly* the permutation
+//! the single-tree [`SortJob`] computes — the fill phase preserves
+//! original-index order within each shard, so the inner sorts'
+//! `(key, local index)` tie-breaks compose to the global `(key, index)`
+//! order. That lets these tests compare permutations element-for-element
+//! instead of settling for "both sorted", across shard counts, thread
+//! counts, allocation flavors, and the PR-1 chaos storms.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wait_free_sort::wfsort_native::{
+    recommended_shards, ChaosParticipation, ChaosPlan, NativeAllocation, QuitAfter, ShardedSortJob,
+    SortJob, WaitFreeSorter,
+};
+
+const SHARD_SWEEP: [usize; 4] = [1, 2, 8, 64];
+
+/// The E25/E26 shape trio: uniform random, few-distinct (long equal-key
+/// chains — the tie-break stress), and a periodic sawtooth (the worst
+/// case for stride-positioned splitter samples).
+fn shapes(n: usize, seed: u64) -> Vec<(&'static str, Vec<u64>)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let uniform: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
+    let few: Vec<u64> = (0..n).map(|_| rng.gen_range(0..64)).collect();
+    let sawtooth: Vec<u64> = (0..n).map(|i| (i % 199) as u64).collect();
+    vec![
+        ("uniform-random", uniform),
+        ("few-distinct", few),
+        ("sawtooth", sawtooth),
+    ]
+}
+
+/// Single-threaded, deterministic allocation: the sharded permutation
+/// must be bit-identical to the single-tree one for every shape and
+/// shard count — including duplicate-heavy shapes where a stability bug
+/// would sort correctly but permute differently.
+#[test]
+fn sharded_permutation_is_bit_identical_to_single_tree() {
+    for (shape, keys) in shapes(900, 26) {
+        let single = SortJob::new(keys.clone());
+        single.run();
+        let expect = single.permutation();
+        for shards in SHARD_SWEEP {
+            let sharded = ShardedSortJob::new(keys.clone(), shards);
+            sharded.run();
+            assert_eq!(
+                sharded.permutation(),
+                expect,
+                "{shape}: S={shards} diverged from the single tree"
+            );
+        }
+    }
+}
+
+/// Four racing threads, both WAT flavors: races may reorder *who* does
+/// the work but never *what* gets written — the permutation is a pure
+/// function of the keys, so it must still match the single-tree one.
+#[test]
+fn four_thread_sharded_runs_agree_with_single_tree() {
+    for (shape, keys) in shapes(4_000, 27) {
+        let single = SortJob::new(keys.clone());
+        single.run();
+        let expect = single.permutation();
+        for allocation in [
+            NativeAllocation::Deterministic,
+            NativeAllocation::Randomized,
+        ] {
+            for shards in SHARD_SWEEP {
+                let job = ShardedSortJob::with_workers(keys.clone(), allocation, 4, shards);
+                crossbeam::thread::scope(|s| {
+                    for _ in 0..4 {
+                        let job = &job;
+                        s.spawn(move |_| job.run());
+                    }
+                })
+                .unwrap();
+                assert_eq!(
+                    job.permutation(),
+                    expect,
+                    "{shape}: {allocation:?} S={shards} diverged under 4 threads"
+                );
+            }
+        }
+    }
+}
+
+/// PR-1 chaos storms at shard granularity: seeded plans reap 75% of a
+/// 4-worker cohort at random checkpoints; the survivors (no caller
+/// fallback) must finish every phase and still produce the single-tree
+/// permutation. 25 seeds × 4 shard counts = 100 storms.
+#[test]
+fn chaos_storms_preserve_parity_across_shard_counts() {
+    let keys = shapes(800, 28).swap_remove(1).1; // few-distinct: hardest ties
+    let single = SortJob::new(keys.clone());
+    single.run();
+    let expect = single.permutation();
+    for shards in SHARD_SWEEP {
+        for seed in 0..25u64 {
+            let plan = ChaosPlan::random_crashes(4, 0.75, 150, seed);
+            assert!(plan.survivors() >= 1, "seed {seed}: no survivor");
+            let job = ShardedSortJob::with_workers(
+                keys.clone(),
+                NativeAllocation::Deterministic,
+                plan.workers(),
+                shards,
+            );
+            crossbeam::thread::scope(|s| {
+                for w in 0..plan.workers() {
+                    let (job, plan) = (&job, &plan);
+                    s.spawn(move |_| job.participate(&mut ChaosParticipation::new(plan, w)));
+                }
+            })
+            .unwrap();
+            assert!(
+                job.is_complete(),
+                "S={shards} seed {seed}: survivors failed to complete"
+            );
+            assert_eq!(
+                job.permutation(),
+                expect,
+                "S={shards} seed {seed}: storm changed the permutation"
+            );
+        }
+    }
+}
+
+/// The all-crash edge through the public front-end: every scripted
+/// worker dies at checkpoint 3, so the caller finishes all three phases
+/// alone (wait-freedom at shard granularity).
+#[test]
+fn sort_sharded_with_plan_survives_total_crash() {
+    let keys = shapes(600, 29).swap_remove(2).1;
+    let mut expect = keys.clone();
+    expect.sort_unstable();
+    let mut plan = ChaosPlan::new(4);
+    for w in 0..4 {
+        plan = plan.crash_at(w, 3);
+    }
+    for shards in SHARD_SWEEP {
+        let sorted = WaitFreeSorter::new(2).sort_sharded_with_plan(&keys, &plan, shards);
+        assert_eq!(sorted, expect, "S={shards}");
+    }
+}
+
+/// Abandonment sweep: a quitter abandons after every possible number of
+/// participation checks — hitting phase boundaries, mid-block points,
+/// and mid-inner-sort points — and a late joiner must always be able to
+/// finish from exactly that state. The publish gates guarantee a
+/// half-sorted shard was never marked done.
+#[test]
+fn every_abandonment_point_is_recoverable_by_a_late_joiner() {
+    let keys = shapes(400, 30).swap_remove(0).1;
+    let single = SortJob::new(keys.clone());
+    single.run();
+    let expect = single.permutation();
+    for allocation in [
+        NativeAllocation::Deterministic,
+        NativeAllocation::Randomized,
+    ] {
+        for budget in (1..400).step_by(7) {
+            let job = ShardedSortJob::with_workers(keys.clone(), allocation, 2, 8);
+            job.participate(&mut QuitAfter(budget));
+            job.run();
+            assert!(job.is_complete(), "{allocation:?} budget {budget}");
+            assert_eq!(
+                job.permutation(),
+                expect,
+                "{allocation:?} budget {budget}: quitter corrupted the sort"
+            );
+        }
+    }
+}
+
+/// Single-threaded, crash-free, deterministic allocation: every sharded
+/// counter is exactly pinned. One worker claims each element once in
+/// partition, each block once in fill, each shard once in shard-sort;
+/// the per-shard claim counts are all 1; sizes sum to `n`; and the
+/// inner sorts' scatter claims cover exactly the elements of shards big
+/// enough to need an inner sort.
+#[test]
+fn single_threaded_sharded_counters_are_exactly_pinned() {
+    let n = 2_000usize;
+    for (shape, keys) in shapes(n, 31) {
+        for shards in SHARD_SWEEP {
+            let (sorted, report) = WaitFreeSorter::new(1).sort_sharded_with_report(&keys, shards);
+            let mut expect = keys.clone();
+            expect.sort_unstable();
+            assert_eq!(sorted, expect, "{shape} S={shards}");
+
+            let shard = report.shard.as_ref().expect("sharded report payload");
+            let blocks = shard.partition_blocks as u64;
+            assert_eq!(shard.shards, shards, "{shape} S={shards}");
+            assert_eq!(
+                report.per_phase.partition.claims, n as u64,
+                "{shape} S={shards}: partition claims ≠ n"
+            );
+            assert_eq!(
+                report.per_phase.partition.block_claims, blocks,
+                "{shape} S={shards}: partition block claims ≠ B"
+            );
+            assert_eq!(
+                report.per_phase.fill.claims, blocks,
+                "{shape} S={shards}: fill claims ≠ B"
+            );
+            assert_eq!(
+                report.per_phase.shard_sort.claims, shards as u64,
+                "{shape} S={shards}: shard-sort claims ≠ S"
+            );
+            assert_eq!(report.per_phase.partition.probes, 0, "deterministic WAT");
+            assert_eq!(shard.per_shard.len(), shards);
+            assert_eq!(
+                shard.per_shard.iter().map(|s| s.size).sum::<usize>(),
+                n,
+                "{shape} S={shards}: sizes do not cover the input"
+            );
+            assert!(
+                shard.per_shard.iter().all(|s| s.claims == 1),
+                "{shape} S={shards}: a crash-free lone worker claims each shard once"
+            );
+            assert!(shard.imbalance() >= 1.0, "{shape} S={shards}");
+
+            // Inner sorts: shards of size 0 or 1 skip the pivot tree, so
+            // scatter claims count exactly the remaining elements.
+            let inner_elems: usize = shard
+                .per_shard
+                .iter()
+                .map(|s| s.size)
+                .filter(|&sz| sz >= 2)
+                .sum();
+            assert_eq!(
+                report.per_phase.scatter.claims, inner_elems as u64,
+                "{shape} S={shards}: inner scatter claims"
+            );
+        }
+    }
+}
+
+/// `recommended_shards` feeds the zero-config front-end; pin its shape
+/// so a regression can't silently turn the sharded path into a one-shard
+/// (pure overhead) or 10⁶-shard (pure bookkeeping) configuration.
+#[test]
+fn recommended_shards_tracks_input_and_cohort() {
+    assert_eq!(recommended_shards(1_000, 1), 1);
+    assert_eq!(recommended_shards(1_000, 8), 8);
+    assert_eq!(recommended_shards(1 << 20, 4), 128);
+    assert_eq!(recommended_shards(1 << 30, 4), 256, "capped");
+    assert_eq!(recommended_shards(5, 16), 5, "never exceeds n");
+    // And the zero-config entry point actually sorts with it.
+    let keys: Vec<u64> = (0..9_000u64).rev().collect();
+    let sorted = WaitFreeSorter::new(4).sort_sharded(&keys);
+    assert_eq!(sorted, (0..9_000u64).collect::<Vec<_>>());
+}
