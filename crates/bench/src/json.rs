@@ -687,6 +687,194 @@ pub fn validate_sharded_bench(text: &str) -> Result<usize, String> {
     Ok(comparison.len() + pins.len())
 }
 
+/// The schema tag `e27_service_bench` writes.
+pub const SERVICE_SCHEMA: &str = "wfsort-native-service/v1";
+
+/// Validates a `BENCH_service.json` document against the
+/// [`SERVICE_SCHEMA`] shape:
+///
+/// * `throughput`: non-empty multi-tenant load sweep — every entry
+///   carries its sweep coordinates (`workers`, `jobs`, `n`), wall time,
+///   jobs-per-second, latency statistics, and proves every tenant's
+///   output was bit-identical to a sequential sort (`all_identical`);
+/// * `deadlines`: deadline-miss rows whose `missed + completed` must
+///   equal `jobs`, with the zero-deadline row pinned to `missed ==
+///   jobs` (a zero deadline on a non-trivial job always expires);
+/// * `backpressure`: admission-control rows with exact accounting —
+///   `admitted + rejected_queue_full == submitted` and at least one
+///   rejection (the flood overruns the bounded queue by construction);
+/// * `recovery`: chaos-storm rows with publication accounting —
+///   `completed + workers_lost == admitted`, healthy tenants
+///   bit-identical, and the victim either recovered or typed-failed.
+///
+/// Every numeric field must be finite (no NaN/inf — degenerate service
+/// telemetry is normalized upstream, and this gate enforces it).
+///
+/// Returns the total number of entries across the four arrays.
+pub fn validate_service_bench(text: &str) -> Result<usize, String> {
+    let doc = Json::parse(text)?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(SERVICE_SCHEMA) => {}
+        Some(other) => return Err(format!("schema: expected {SERVICE_SCHEMA}, got {other}")),
+        None => return Err("schema: missing".into()),
+    }
+    if doc.get("experiment").and_then(Json::as_str).is_none() {
+        return Err("experiment: missing or not a string".into());
+    }
+    if doc.get("quick").and_then(Json::as_bool).is_none() {
+        return Err("quick: missing or not a boolean".into());
+    }
+
+    // Shared helper: a required numeric field that must be finite and
+    // non-negative. The ISSUE-6 imbalance fix normalizes degenerate
+    // telemetry to finite values; any NaN/inf landing here is a bug.
+    let num = |entry: &Json, section: &str, at: usize, key: &str| -> Result<f64, String> {
+        let v = entry
+            .get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{section}[{at}].{key}: missing or not a number"))?;
+        if !v.is_finite() {
+            return Err(format!("{section}[{at}].{key}: not finite"));
+        }
+        if v < 0.0 {
+            return Err(format!("{section}[{at}].{key}: negative"));
+        }
+        Ok(v)
+    };
+
+    let throughput = doc
+        .get("throughput")
+        .and_then(Json::as_array)
+        .ok_or("throughput: missing or not an array")?;
+    if throughput.is_empty() {
+        return Err("throughput: empty".into());
+    }
+    for (at, entry) in throughput.iter().enumerate() {
+        for key in [
+            "workers",
+            "jobs",
+            "n",
+            "total_ms",
+            "jobs_per_s",
+            "mean_latency_ms",
+            "max_latency_ms",
+            "mean_queued_ms",
+            "mean_imbalance",
+        ] {
+            num(entry, "throughput", at, key)?;
+        }
+        if num(entry, "throughput", at, "jobs_per_s")? <= 0.0 {
+            return Err(format!("throughput[{at}].jobs_per_s: not positive"));
+        }
+        if entry.get("all_identical").and_then(Json::as_bool) != Some(true) {
+            return Err(format!(
+                "throughput[{at}].all_identical: missing or not true"
+            ));
+        }
+    }
+
+    let deadlines = doc
+        .get("deadlines")
+        .and_then(Json::as_array)
+        .ok_or("deadlines: missing or not an array")?;
+    if deadlines.is_empty() {
+        return Err("deadlines: empty".into());
+    }
+    for (at, entry) in deadlines.iter().enumerate() {
+        for key in ["deadline_us", "jobs", "missed", "completed"] {
+            let v = num(entry, "deadlines", at, key)?;
+            if v.fract() != 0.0 {
+                return Err(format!("deadlines[{at}].{key}: not an integer"));
+            }
+        }
+        let get = |key: &str| entry.get(key).and_then(Json::as_f64).unwrap() as u64;
+        let (jobs, missed, completed) = (get("jobs"), get("missed"), get("completed"));
+        if missed + completed != jobs {
+            return Err(format!(
+                "deadlines[{at}]: missed ({missed}) + completed ({completed}) != jobs ({jobs})"
+            ));
+        }
+        if get("deadline_us") == 0 && missed != jobs {
+            return Err(format!(
+                "deadlines[{at}]: zero deadline must miss every job, got {missed}/{jobs}"
+            ));
+        }
+    }
+
+    let backpressure = doc
+        .get("backpressure")
+        .and_then(Json::as_array)
+        .ok_or("backpressure: missing or not an array")?;
+    if backpressure.is_empty() {
+        return Err("backpressure: empty".into());
+    }
+    for (at, entry) in backpressure.iter().enumerate() {
+        for key in ["capacity", "submitted", "admitted", "rejected_queue_full"] {
+            let v = num(entry, "backpressure", at, key)?;
+            if v.fract() != 0.0 {
+                return Err(format!("backpressure[{at}].{key}: not an integer"));
+            }
+        }
+        let get = |key: &str| entry.get(key).and_then(Json::as_f64).unwrap() as u64;
+        if get("admitted") + get("rejected_queue_full") != get("submitted") {
+            return Err(format!(
+                "backpressure[{at}]: admitted ({}) + rejected_queue_full ({}) != submitted ({})",
+                get("admitted"),
+                get("rejected_queue_full"),
+                get("submitted")
+            ));
+        }
+        if get("rejected_queue_full") == 0 {
+            return Err(format!(
+                "backpressure[{at}].rejected_queue_full: zero — the flood must \
+                 overrun the bounded queue"
+            ));
+        }
+    }
+
+    let recovery = doc
+        .get("recovery")
+        .and_then(Json::as_array)
+        .ok_or("recovery: missing or not an array")?;
+    if recovery.is_empty() {
+        return Err("recovery: empty".into());
+    }
+    for (at, entry) in recovery.iter().enumerate() {
+        for key in [
+            "seed",
+            "admitted",
+            "completed",
+            "workers_lost",
+            "crash_recoveries",
+        ] {
+            let v = num(entry, "recovery", at, key)?;
+            if v.fract() != 0.0 {
+                return Err(format!("recovery[{at}].{key}: not an integer"));
+            }
+        }
+        let get = |key: &str| entry.get(key).and_then(Json::as_f64).unwrap() as u64;
+        if get("completed") + get("workers_lost") != get("admitted") {
+            return Err(format!(
+                "recovery[{at}]: completed ({}) + workers_lost ({}) != admitted ({}) — \
+                 every admitted job must publish exactly once",
+                get("completed"),
+                get("workers_lost"),
+                get("admitted")
+            ));
+        }
+        if entry.get("healthy_identical").and_then(Json::as_bool) != Some(true) {
+            return Err(format!(
+                "recovery[{at}].healthy_identical: missing or not true"
+            ));
+        }
+        if entry.get("victim_outcome").and_then(Json::as_str).is_none() {
+            return Err(format!("recovery[{at}].victim_outcome: missing"));
+        }
+    }
+
+    Ok(throughput.len() + deadlines.len() + backpressure.len() + recovery.len())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -937,6 +1125,73 @@ mod tests {
 
         let doc = valid_sharded_doc().replace(SHARDED_SCHEMA, "other/v0");
         assert!(validate_sharded_bench(&doc)
+            .unwrap_err()
+            .starts_with("schema"));
+    }
+
+    fn valid_service_doc() -> String {
+        format!(
+            r#"{{"schema": "{SERVICE_SCHEMA}", "experiment": "e27", "quick": true,
+                "throughput": [
+                    {{"workers": 2, "jobs": 16, "n": 5000, "total_ms": 40.0,
+                      "jobs_per_s": 400.0, "mean_latency_ms": 5.0,
+                      "max_latency_ms": 12.0, "mean_queued_ms": 1.5,
+                      "mean_imbalance": 1.0, "all_identical": true}}
+                ],
+                "deadlines": [
+                    {{"deadline_us": 0, "jobs": 8, "missed": 8, "completed": 0}},
+                    {{"deadline_us": 5000000, "jobs": 8, "missed": 0, "completed": 8}}
+                ],
+                "backpressure": [
+                    {{"capacity": 2, "submitted": 64, "admitted": 9,
+                      "rejected_queue_full": 55}}
+                ],
+                "recovery": [
+                    {{"seed": 3, "admitted": 5, "completed": 5, "workers_lost": 0,
+                      "crash_recoveries": 1, "healthy_identical": true,
+                      "victim_outcome": "recovered"}}
+                ]}}"#
+        )
+    }
+
+    #[test]
+    fn accepts_a_valid_service_document() {
+        assert_eq!(validate_service_bench(&valid_service_doc()), Ok(5));
+    }
+
+    #[test]
+    fn service_validator_enforces_accounting_and_finiteness() {
+        // Non-finite numerics are rejected outright (the ISSUE-6
+        // imbalance fix guarantees the producer never emits them).
+        let doc =
+            valid_service_doc().replace(r#""mean_imbalance": 1.0"#, r#""mean_imbalance": 1e999"#);
+        assert!(validate_service_bench(&doc)
+            .unwrap_err()
+            .contains("not finite"));
+
+        let doc = valid_service_doc().replace(r#""missed": 8"#, r#""missed": 7"#);
+        assert!(validate_service_bench(&doc).unwrap_err().contains("missed"));
+
+        let doc = valid_service_doc().replace(r#""admitted": 9"#, r#""admitted": 8"#);
+        assert!(validate_service_bench(&doc)
+            .unwrap_err()
+            .contains("rejected_queue_full"));
+
+        let doc = valid_service_doc().replace(r#""workers_lost": 0"#, r#""workers_lost": 1"#);
+        assert!(validate_service_bench(&doc)
+            .unwrap_err()
+            .contains("publish exactly once"));
+
+        let doc = valid_service_doc().replace(
+            r#""healthy_identical": true"#,
+            r#""healthy_identical": false"#,
+        );
+        assert!(validate_service_bench(&doc)
+            .unwrap_err()
+            .contains("healthy_identical"));
+
+        let doc = valid_service_doc().replace(SERVICE_SCHEMA, "other/v0");
+        assert!(validate_service_bench(&doc)
             .unwrap_err()
             .starts_with("schema"));
     }

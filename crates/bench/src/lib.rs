@@ -11,7 +11,9 @@ use std::path::PathBuf;
 
 pub mod json;
 
-pub use json::{validate_layout_bench, validate_native_metrics, validate_sharded_bench};
+pub use json::{
+    validate_layout_bench, validate_native_metrics, validate_service_bench, validate_sharded_bench,
+};
 
 /// The artifact directory, if `BENCH_OUTPUT_DIR` is set — created on
 /// first use, so pointing the variable at a fresh path just works.

@@ -35,6 +35,8 @@ use crate::tree::{PivotTree, SharedTree};
 #[derive(Debug)]
 pub struct SortArena<K: Ord, T: PivotTree = SharedTree> {
     job: Option<SortJob<K, T>>,
+    sorts: u64,
+    recycled: u64,
 }
 
 impl<K: Ord, T: PivotTree> Default for SortArena<K, T> {
@@ -47,12 +49,31 @@ impl<K: Ord, T: PivotTree> SortArena<K, T> {
     /// An empty arena; the first sort through it allocates, later sorts
     /// recycle.
     pub fn new() -> Self {
-        SortArena { job: None }
+        SortArena {
+            job: None,
+            sorts: 0,
+            recycled: 0,
+        }
     }
 
     /// Whether the arena currently holds recyclable storage.
     pub fn is_warm(&self) -> bool {
         self.job.is_some()
+    }
+
+    /// Jobs prepared through this arena over its lifetime — the reuse
+    /// telemetry a pooled-arena host (one arena per worker, shared
+    /// across tenants, as [`crate::service::SortService`] pools them)
+    /// reads to confirm the allocation bill is actually amortized.
+    pub fn sorts(&self) -> u64 {
+        self.sorts
+    }
+
+    /// How many of those [`SortArena::sorts`] recycled retained storage
+    /// instead of allocating fresh. Survives [`SortArena::clear`]: a
+    /// clear only forfeits the *next* prepare's recycling.
+    pub fn recycled(&self) -> u64 {
+        self.recycled
     }
 
     /// Drops the retained storage.
@@ -81,8 +102,12 @@ impl<K: Ord, T: PivotTree> SortArena<K, T> {
     where
         K: Clone,
     {
+        self.sorts += 1;
         match &mut self.job {
-            Some(job) => job.recycle_from_slice(keys, allocation, tracked, grain),
+            Some(job) => {
+                self.recycled += 1;
+                job.recycle_from_slice(keys, allocation, tracked, grain);
+            }
             None => {
                 self.job = Some(SortJob::with_layout(
                     keys.to_vec(),
@@ -121,6 +146,14 @@ mod tests {
         }
         arena.clear();
         assert!(!arena.is_warm());
+        // Four prepares: the first allocated, the other three recycled.
+        assert_eq!(arena.sorts(), 4);
+        assert_eq!(arena.recycled(), 3);
+        // Clearing forfeits only the next prepare's recycling.
+        let keys: Vec<u64> = (0..10).rev().collect();
+        arena.prepare(&keys, NativeAllocation::Deterministic, 2, 4);
+        assert_eq!(arena.sorts(), 5);
+        assert_eq!(arena.recycled(), 3);
     }
 
     #[test]

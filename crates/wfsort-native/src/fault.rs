@@ -18,6 +18,7 @@
 //! crash can only land *between* wait-free operations, which is exactly
 //! the granularity at which the algorithm promises survivors can finish.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
@@ -420,6 +421,61 @@ impl<P: Participation> Participation for WithDeadline<P> {
     }
 }
 
+/// Stops a cohort once its members have collectively burned a shared
+/// budget of participation checks — a deterministic reap trigger that
+/// cannot race on machine speed the way a wall-clock deadline can.
+/// [`crate::sort_with_churn`] reaps its initial cohort this way, and
+/// [`crate::service::SortService`] exposes it as the per-job
+/// checkpoint-budget knob.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::atomic::AtomicU64;
+/// use wfsort_native::{SharedBudget, SortJob};
+///
+/// let job = SortJob::new((0..500i64).rev().collect::<Vec<_>>());
+/// let spent = AtomicU64::new(0);
+/// job.participate(&mut SharedBudget::new(&spent, 100));
+/// assert!(!job.is_complete()); // the budget reaped the participant
+/// job.run();
+/// assert!(job.is_complete()); // a fresh participant always can finish
+/// ```
+#[derive(Debug)]
+pub struct SharedBudget<'a> {
+    spent: &'a AtomicU64,
+    budget: u64,
+    exhausted: bool,
+}
+
+impl<'a> SharedBudget<'a> {
+    /// Participates until the shared `spent` counter — incremented once
+    /// per checkpoint by every participant sharing it — reaches `budget`.
+    pub fn new(spent: &'a AtomicU64, budget: u64) -> Self {
+        SharedBudget {
+            spent,
+            budget,
+            exhausted: false,
+        }
+    }
+
+    /// Whether this participant observed the budget run out.
+    pub fn exhausted(&self) -> bool {
+        self.exhausted
+    }
+}
+
+impl Participation for SharedBudget<'_> {
+    fn keep_going(&mut self) -> bool {
+        if self.spent.fetch_add(1, Ordering::Relaxed) < self.budget {
+            true
+        } else {
+            self.exhausted = true;
+            false
+        }
+    }
+}
+
 /// Counts checkpoints while delegating to an inner [`Participation`] —
 /// used to size exhaustive crash-window sweeps (how many checkpoints does
 /// a solo run consult?) and by tests asserting progress.
@@ -625,6 +681,28 @@ mod tests {
             assert!(p.keep_going());
         }
         assert!(!p.expired());
+    }
+
+    #[test]
+    fn shared_budget_reaps_cohort_deterministically() {
+        let keys: Vec<i64> = (0..3000).rev().collect();
+        let job = SortJob::new(keys);
+        let spent = AtomicU64::new(0);
+        let mut first = SharedBudget::new(&spent, 200);
+        job.participate(&mut first);
+        assert!(first.exhausted());
+        assert!(!job.is_complete());
+        // The budget is shared: a second participant on the same counter
+        // is reaped at its very first checkpoint.
+        let mut second = SharedBudget::new(&spent, 200);
+        job.participate(&mut second);
+        assert!(second.exhausted());
+        // A fresh budget finishes the abandoned job.
+        let fresh = AtomicU64::new(0);
+        let mut third = SharedBudget::new(&fresh, u64::MAX);
+        job.participate(&mut third);
+        assert!(!third.exhausted());
+        assert!(job.is_complete());
     }
 
     #[test]

@@ -113,6 +113,16 @@ pub trait Participation {
     fn keep_going(&mut self) -> bool;
 }
 
+/// A mutable reference delegates, so boxed or borrowed policies (`&mut
+/// dyn Participation`) drive a sort exactly like the concrete type —
+/// what lets one cohort spawn loop mix chaos, deadline, and plain
+/// participants.
+impl<P: Participation + ?Sized> Participation for &mut P {
+    fn keep_going(&mut self) -> bool {
+        (**self).keep_going()
+    }
+}
+
 /// Never abandons.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct RunToCompletion;

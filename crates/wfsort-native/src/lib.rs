@@ -32,6 +32,15 @@
 //! granularity. It computes exactly the permutation the single-tree path
 //! does.
 //!
+//! Above the one-array front-ends sits a service layer ([`service`]):
+//! [`SortService`] runs many tenants' jobs over a shared worker pool
+//! with admission control, per-job deadlines and budgets, pooled
+//! [`SortArena`]s, and chaos-proven tenant isolation — a [`ChaosPlan`]
+//! that crashes every worker on one job strands only that job, which a
+//! [`WatchdogRegistry`]-backed recovery path hands to a fresh stint.
+//! The one-array front-ends themselves are thin wrappers over a single
+//! [`SortOptions`] builder pipeline.
+//!
 //! A telemetry layer ([`metrics`]) mirrors the simulator's measurement
 //! role on real threads: [`WaitFreeSorter::sort_with_report`] returns a
 //! [`SortReport`] of per-phase and per-worker operation counts, with the
@@ -60,6 +69,7 @@ mod lcwat;
 #[cfg(feature = "legacy-layout")]
 pub mod legacy;
 pub mod metrics;
+pub mod service;
 mod shard;
 mod sorter;
 mod tree;
@@ -67,7 +77,9 @@ mod wat;
 mod watchdog;
 
 pub use arena::SortArena;
-pub use fault::{ChaosParticipation, ChaosPlan, CheckpointCounter, FaultAction, WithDeadline};
+pub use fault::{
+    ChaosParticipation, ChaosPlan, CheckpointCounter, FaultAction, SharedBudget, WithDeadline,
+};
 pub use job::{
     descent_side, recommended_grain, NativeAllocation, Participation, QuitAfter, RunToCompletion,
     SortJob, DEFAULT_TRACKED_PARTICIPANTS,
@@ -79,8 +91,14 @@ pub use metrics::{
     BuildMetrics, MetricSlot, PhaseMetrics, ScatterMetrics, ShardPhaseMetrics, ShardReport,
     ShardStat, SortReport, TraversalMetrics, WorkerMetrics,
 };
+pub use service::{
+    JobError, JobOptions, JobReport, JobResult, JobTicket, Rejected, ServiceConfig, ServiceStats,
+    SortService,
+};
 pub use shard::{recommended_shards, ShardedSortJob};
-pub use sorter::{sort_with_churn, UntilFlag, WaitFreeSorter};
+pub use sorter::{sort_with_churn, SortOptions, SortOutcome, UntilFlag, WaitFreeSorter};
 pub use tree::{PivotTree, SharedTree, Side, EMPTY};
 pub use wat::{Assignment, AtomicWat};
-pub use watchdog::{Health, ParticipantProgress, ProgressReport, SortPhase, Watchdog};
+pub use watchdog::{
+    Health, ParticipantProgress, ProgressReport, SortPhase, Watchdog, WatchdogRegistry,
+};

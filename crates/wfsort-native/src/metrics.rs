@@ -221,13 +221,22 @@ impl ShardReport {
     /// perfectly balanced split, higher means the sampled splitters let
     /// one shard swell (the quantity the `O(S log S)` oversampling
     /// bounds with high probability on random inputs).
+    /// Degenerate telemetry (empty input, zero shards, all-zero shard
+    /// sizes) reports a neutral 1.0 — never `NaN` or infinity, so the
+    /// value is always safe to serialize and the bench validators can
+    /// reject non-finite fields unconditionally.
     pub fn imbalance(&self) -> f64 {
         let n: usize = self.per_shard.iter().map(|s| s.size).sum();
         if n == 0 || self.shards == 0 {
             return 1.0;
         }
         let max = self.per_shard.iter().map(|s| s.size).max().unwrap_or(0);
-        max as f64 * self.shards as f64 / n as f64
+        let ratio = max as f64 * self.shards as f64 / n as f64;
+        if ratio.is_finite() {
+            ratio
+        } else {
+            1.0
+        }
     }
 }
 
@@ -680,6 +689,38 @@ mod tests {
         };
         // max 40 over ideal 80/4 = 20 → 2.0.
         assert!((report.imbalance() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_is_finite_for_degenerate_reports() {
+        // Empty input, zero shards, all-zero shard sizes: every
+        // degenerate shape must yield a neutral finite 1.0, never
+        // NaN or infinity (0/0 and x/0 are the naive formula's traps).
+        let empty = ShardReport {
+            shards: 4,
+            partition_blocks: 0,
+            partition_grain: 64,
+            per_shard: Vec::new(),
+        };
+        assert_eq!(empty.imbalance(), 1.0);
+        let zero_shards = ShardReport {
+            shards: 0,
+            partition_blocks: 0,
+            partition_grain: 64,
+            per_shard: Vec::new(),
+        };
+        assert_eq!(zero_shards.imbalance(), 1.0);
+        let all_zero_sizes = ShardReport {
+            shards: 2,
+            partition_blocks: 1,
+            partition_grain: 64,
+            per_shard: vec![
+                ShardStat { size: 0, claims: 1 },
+                ShardStat { size: 0, claims: 1 },
+            ],
+        };
+        assert_eq!(all_zero_sizes.imbalance(), 1.0);
+        assert!(all_zero_sizes.imbalance().is_finite());
     }
 
     #[test]

@@ -250,6 +250,26 @@ impl<K: Ord + Clone> ShardedSortJob<K> {
         }
     }
 
+    /// Fallible [`ShardedSortJob::with_workers`]: returns `None` for
+    /// every argument shape the panicking constructor rejects (fewer
+    /// than 2 keys, zero workers or shards, shard ids past `u32`),
+    /// handing `keys` back untouched so a service-facing caller can fall
+    /// back to a sequential sort instead of unwinding. The panicking
+    /// front-ends keep their documented contracts;
+    /// [`crate::SortOptions`] and [`crate::service::SortService`] route
+    /// degenerate inputs around the constructor entirely.
+    pub fn try_with_workers(
+        keys: Vec<K>,
+        allocation: NativeAllocation,
+        workers: usize,
+        shards: usize,
+    ) -> Result<Self, Vec<K>> {
+        if keys.len() < 2 || workers == 0 || shards == 0 || u32::try_from(shards).is_err() {
+            return Err(keys);
+        }
+        Ok(Self::with_workers(keys, allocation, workers, shards))
+    }
+
     /// Runs all three phases as one participant until the sort is
     /// complete or `p` abandons. Wait-free with the same contract as
     /// [`crate::SortJob::participate`]: bounded work between
@@ -740,5 +760,22 @@ mod tests {
     #[should_panic(expected = "sort not complete")]
     fn permutation_before_completion_panics() {
         ShardedSortJob::new(vec![2, 1], 2).permutation();
+    }
+
+    #[test]
+    fn try_with_workers_hands_back_rejected_keys() {
+        let det = NativeAllocation::Deterministic;
+        // Every shape the panicking constructor rejects comes back as
+        // Err with the keys intact for a sequential fallback.
+        match ShardedSortJob::try_with_workers(vec![1u64], det, 2, 4) {
+            Err(keys) => assert_eq!(keys, vec![1]),
+            Ok(_) => panic!("tiny input must be rejected"),
+        }
+        assert!(ShardedSortJob::try_with_workers(vec![2u64, 1], det, 0, 4).is_err());
+        assert!(ShardedSortJob::try_with_workers(vec![2u64, 1], det, 2, 0).is_err());
+        let job = ShardedSortJob::try_with_workers(vec![3u64, 1, 2], det, 2, 2)
+            .expect("valid shape constructs");
+        job.run();
+        assert_eq!(job.into_sorted(), vec![1, 2, 3]);
     }
 }

@@ -1,12 +1,26 @@
 //! High-level sorting front-ends over [`SortJob`].
+//!
+//! Every named `sort_*` entry point on [`WaitFreeSorter`] is a thin
+//! wrapper over one configurable pipeline: a [`SortOptions`] builder
+//! (threads, allocation, shards, grain, chaos plan, deadline, telemetry)
+//! whose [`SortOptions::run`] drives a single cohort spawn/finish path
+//! for both the single-tree and sharded jobs. The wrappers exist so no
+//! caller breaks and so each scenario keeps its documented contract; new
+//! combinations (say, a sharded sort under a deadline with a report)
+//! need no new method — compose them on the builder.
+//!
+//! The one front-end that does not flow through the builder is
+//! [`sort_with_churn`]: its reap-then-respawn choreography spawns a
+//! *second* cohort mid-run, a staged schedule the one-shot builder
+//! deliberately does not model.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use crate::arena::SortArena;
-use crate::fault::{ChaosParticipation, ChaosPlan, WithDeadline};
+use crate::fault::{ChaosParticipation, ChaosPlan, SharedBudget, WithDeadline};
 use crate::job::{recommended_grain, NativeAllocation, Participation, RunToCompletion, SortJob};
-use crate::metrics::{MetricSlot, SortReport};
+use crate::metrics::{MetricSlot, ShardReport, SortReport};
 use crate::shard::{recommended_shards, ShardedSortJob};
 use crate::tree::PivotTree;
 
@@ -25,6 +39,398 @@ pub struct WaitFreeSorter {
     threads: usize,
 }
 
+/// How many shards [`SortOptions::run`] splits the input into.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ShardMode {
+    /// One pivot tree over the whole input (the default).
+    SingleTree,
+    /// The sharded path with [`recommended_shards`] shards.
+    Auto,
+    /// The sharded path with an explicit shard count (>= 1).
+    Count(usize),
+}
+
+/// One builder for every way this crate can run a sort: thread count,
+/// allocation strategy, shard mode, WAT grain, a scripted [`ChaosPlan`],
+/// a helper deadline, and telemetry — all driving the same cohort
+/// spawn/finish path. The named [`WaitFreeSorter`] front-ends are thin
+/// wrappers over this type.
+///
+/// Unlike the raw job constructors, the builder is total over its
+/// inputs: inputs shorter than two keys fall back to a sequential copy
+/// (there is nothing to parallelize), and a shard count of zero means
+/// "pick [`recommended_shards`] for me" — no degenerate combination
+/// panics.
+///
+/// # Examples
+///
+/// ```
+/// use wfsort_native::SortOptions;
+///
+/// let keys: Vec<u64> = (0..10_000).rev().collect();
+/// let outcome = SortOptions::new()
+///     .threads(4)
+///     .shards(16)
+///     .report(true)
+///     .run(&keys);
+/// assert!(outcome.sorted.windows(2).all(|w| w[0] <= w[1]));
+/// assert_eq!(outcome.report.unwrap().shard.unwrap().shards, 16);
+///
+/// // Degenerate inputs that panic the raw job constructors sort fine
+/// // through the builder: tiny inputs fall back to a sequential copy,
+/// // and `shards(0)` means "choose for me".
+/// let tiny = SortOptions::new().threads(2).shards(0).run(&[7u64]);
+/// assert_eq!(tiny.sorted, vec![7]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SortOptions {
+    threads: usize,
+    allocation: NativeAllocation,
+    shards: ShardMode,
+    grain: Option<usize>,
+    plan: Option<ChaosPlan>,
+    deadline: Option<Duration>,
+    report: bool,
+}
+
+/// What [`SortOptions::run`] produced: the sorted keys, the sorting
+/// permutation, and — when requested via [`SortOptions::report`] — the
+/// aggregated telemetry.
+#[derive(Clone, Debug)]
+pub struct SortOutcome<K> {
+    /// The keys in sorted order (stable: ties keep input order).
+    pub sorted: Vec<K>,
+    /// The 1-based sorting permutation: `permutation[r]` is the input
+    /// position of the rank-`r` key, as [`SortJob::permutation`] reports
+    /// it. Empty input yields an empty permutation.
+    pub permutation: Vec<usize>,
+    /// Aggregated telemetry when [`SortOptions::report`] was enabled
+    /// (empty for inputs shorter than two keys), `None` otherwise.
+    pub report: Option<SortReport>,
+}
+
+impl Default for SortOptions {
+    fn default() -> Self {
+        SortOptions::new()
+    }
+}
+
+impl SortOptions {
+    /// Defaults: [`std::thread::available_parallelism`] threads,
+    /// deterministic allocation, single pivot tree, recommended grain,
+    /// no chaos plan, no deadline, no report.
+    pub fn new() -> Self {
+        SortOptions {
+            threads: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4),
+            allocation: NativeAllocation::Deterministic,
+            shards: ShardMode::SingleTree,
+            grain: None,
+            plan: None,
+            deadline: None,
+            report: false,
+        }
+    }
+
+    /// Sets the worker thread count (ignored while a [`ChaosPlan`] is
+    /// set — the plan's worker count sizes the cohort, matching
+    /// [`WaitFreeSorter::sort_with_plan`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the work-allocation strategy (deterministic WAT descent or
+    /// randomized LC-WAT probing).
+    pub fn allocation(mut self, allocation: NativeAllocation) -> Self {
+        self.allocation = allocation;
+        self
+    }
+
+    /// Routes the sort through the sharded large-N path with `shards`
+    /// shards; `0` selects [`recommended_shards`]. The sharded path
+    /// computes exactly the permutation the single-tree path does.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = match shards {
+            0 => ShardMode::Auto,
+            s => ShardMode::Count(s),
+        };
+        self
+    }
+
+    /// Routes the sort through the single pivot tree (the default),
+    /// undoing [`SortOptions::shards`].
+    pub fn single_tree(mut self) -> Self {
+        self.shards = ShardMode::SingleTree;
+        self
+    }
+
+    /// Sets the WAT grain (elements per work-assignment block) for the
+    /// single-tree path; `0` restores [`recommended_grain`]. The sharded
+    /// path sizes its own grains and ignores this.
+    pub fn grain(mut self, grain: usize) -> Self {
+        self.grain = if grain == 0 { None } else { Some(grain) };
+        self
+    }
+
+    /// Drives the cohort with a scripted adversary: one worker per plan
+    /// slot, each replaying its deterministic fault script. If the plan
+    /// crashes every worker the calling thread finishes the job alone
+    /// (wait-freedom makes the abandoned structures always completable).
+    pub fn plan(mut self, plan: ChaosPlan) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// Bounds helper occupancy by a wall-clock deadline: helpers abandon
+    /// once it passes while the calling thread joins the cohort and runs
+    /// to completion, alone past the deadline if need be. The result is
+    /// always the correct sort — the deadline bounds *helper occupancy*,
+    /// never correctness.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Whether to collect per-phase / per-worker telemetry into
+    /// [`SortOutcome::report`].
+    pub fn report(mut self, report: bool) -> Self {
+        self.report = report;
+        self
+    }
+
+    /// Heartbeat slots: one per cohort member, counting the caller when
+    /// a plan or deadline puts it in the cohort.
+    fn tracked_slots(&self) -> usize {
+        match &self.plan {
+            Some(plan) => plan.workers() + 1,
+            None => self.threads,
+        }
+    }
+
+    fn effective_shards(&self, n: usize) -> Option<usize> {
+        match self.shards {
+            ShardMode::SingleTree => None,
+            ShardMode::Auto => Some(recommended_shards(n, self.threads)),
+            ShardMode::Count(s) => Some(s),
+        }
+    }
+
+    /// Sorts `keys` under this configuration. Never panics on degenerate
+    /// inputs: fewer than two keys are copied through sequentially.
+    pub fn run<K: Ord + Clone + Send + Sync>(&self, keys: &[K]) -> SortOutcome<K> {
+        let n = keys.len();
+        if n < 2 {
+            return SortOutcome {
+                sorted: keys.to_vec(),
+                permutation: (1..=n).collect(),
+                report: self.report.then(SortReport::empty),
+            };
+        }
+        let tracked = self.tracked_slots();
+        match self.effective_shards(n) {
+            Some(shards) => {
+                let job =
+                    ShardedSortJob::with_workers(keys.to_vec(), self.allocation, tracked, shards);
+                let report = self.drive(&job);
+                Self::outcome(keys, &job, report)
+            }
+            None => {
+                let grain = self
+                    .grain
+                    .unwrap_or_else(|| recommended_grain(n, self.threads));
+                let job: SortJob<K> =
+                    SortJob::with_layout(keys.to_vec(), self.allocation, tracked, grain);
+                let report = self.drive(&job);
+                Self::outcome(keys, &job, report)
+            }
+        }
+    }
+
+    /// [`SortOptions::run`] through a reusable [`SortArena`]: recycles
+    /// the arena's retained storage, sorts into `out`, and returns the
+    /// telemetry when [`SortOptions::report`] is enabled. The arena path
+    /// is single-tree; the shard mode is ignored here. Inputs shorter
+    /// than two keys are copied through without touching the arena.
+    pub fn run_into<K: Ord + Clone + Send + Sync, T: PivotTree>(
+        &self,
+        keys: &[K],
+        arena: &mut SortArena<K, T>,
+        out: &mut Vec<K>,
+    ) -> Option<SortReport> {
+        if keys.len() < 2 {
+            out.clear();
+            out.extend_from_slice(keys);
+            return self.report.then(SortReport::empty);
+        }
+        let grain = self
+            .grain
+            .unwrap_or_else(|| recommended_grain(keys.len(), self.threads));
+        let job = arena.prepare(keys, self.allocation, self.tracked_slots(), grain);
+        let report = self.drive(job);
+        job.sorted_into(out);
+        report
+    }
+
+    fn outcome<K: Ord + Clone>(
+        keys: &[K],
+        job: &dyn CohortJob<K>,
+        report: Option<SortReport>,
+    ) -> SortOutcome<K> {
+        let permutation = job.permutation();
+        let sorted = permutation.iter().map(|&e| keys[e - 1].clone()).collect();
+        SortOutcome {
+            sorted,
+            permutation,
+            report,
+        }
+    }
+
+    /// The single cohort path every front-end funnels into: spawns the
+    /// configured participants, runs the caller in whatever role the
+    /// configuration implies (deadline-exempt finisher, survivor of last
+    /// resort, or bystander), and leaves `job` complete.
+    fn drive<K: Ord + Send + Sync>(&self, job: &dyn CohortJob<K>) -> Option<SortReport> {
+        let start = Instant::now();
+        let until = self.deadline.map(|d| Instant::now() + d);
+        let plan = self.plan.as_ref();
+        let helpers = match plan {
+            // The plan's worker count sizes the cohort.
+            Some(p) => p.workers(),
+            // Helpers obey the deadline; the caller is the deadline-
+            // exempt finisher.
+            None if until.is_some() => self.threads - 1,
+            None => self.threads,
+        };
+        // With a deadline the caller participates concurrently (it must
+        // finish what reaped helpers abandon); with only a plan it is the
+        // survivor of last resort, joining after the cohort returns and
+        // only if the plan crashed everyone.
+        let caller_concurrent = until.is_some();
+        let caller_fallback = plan.is_some() && until.is_none();
+        let cohort = helpers + (caller_concurrent || caller_fallback) as usize;
+        let mut slots: Vec<MetricSlot> = if self.report {
+            (0..cohort).map(|_| MetricSlot::new()).collect()
+        } else {
+            Vec::new()
+        };
+
+        if cohort == 1 && plan.is_none() && !self.report && !caller_concurrent {
+            // Single-threaded plain sort: no spawn.
+            job.participate_dyn(&mut RunToCompletion);
+        } else {
+            let (helper_slots, caller_slot) = if self.report {
+                let (h, c) = slots.split_at_mut(helpers);
+                (h, c.first_mut())
+            } else {
+                (&mut [][..], None)
+            };
+            let mut caller_slot = caller_slot;
+            crossbeam::thread::scope(|s| {
+                let mut helper_slots = helper_slots.iter_mut();
+                for w in 0..helpers {
+                    let slot = helper_slots.next();
+                    s.spawn(move |_| {
+                        let mut p: Box<dyn Participation + Send + '_> = match (plan, until) {
+                            (Some(plan), Some(until)) => {
+                                Box::new(WithDeadline::new(ChaosParticipation::new(plan, w), until))
+                            }
+                            (Some(plan), None) => Box::new(ChaosParticipation::new(plan, w)),
+                            (None, Some(until)) => {
+                                Box::new(WithDeadline::new(RunToCompletion, until))
+                            }
+                            (None, None) => Box::new(RunToCompletion),
+                        };
+                        match slot {
+                            Some(slot) => job.participate_instrumented_dyn(&mut *p, slot),
+                            None => job.participate_dyn(&mut *p),
+                        }
+                    });
+                }
+                if caller_concurrent {
+                    // The caller ignores the deadline: wait-freedom
+                    // guarantees it can always finish what the helpers
+                    // abandoned.
+                    match caller_slot.take() {
+                        Some(slot) => job.participate_instrumented_dyn(&mut RunToCompletion, slot),
+                        None => job.participate_dyn(&mut RunToCompletion),
+                    }
+                }
+            })
+            .expect("worker threads do not panic");
+            if caller_fallback && !job.is_complete() {
+                // Every scripted worker crashed: the caller is the
+                // survivor of last resort.
+                match caller_slot {
+                    Some(slot) => job.participate_instrumented_dyn(&mut RunToCompletion, slot),
+                    None => job.participate_dyn(&mut RunToCompletion),
+                }
+            }
+        }
+        debug_assert!(job.is_complete());
+        self.report.then(|| {
+            let mut report = SortReport::aggregate(
+                slots.iter().map(|s| s.snapshot()).collect(),
+                start.elapsed(),
+            );
+            report.shard = job.shard_report_opt();
+            report
+        })
+    }
+}
+
+/// The cohort-facing surface the single-tree and sharded jobs share, so
+/// [`SortOptions::drive`] serves both through one spawn/instrument path.
+trait CohortJob<K: Ord>: Sync {
+    fn participate_dyn(&self, p: &mut dyn Participation);
+    fn participate_instrumented_dyn(&self, p: &mut dyn Participation, slot: &MetricSlot);
+    fn is_complete(&self) -> bool;
+    fn permutation(&self) -> Vec<usize>;
+    fn shard_report_opt(&self) -> Option<ShardReport>;
+}
+
+impl<K: Ord + Send + Sync, T: PivotTree> CohortJob<K> for SortJob<K, T> {
+    fn participate_dyn(&self, mut p: &mut dyn Participation) {
+        self.participate(&mut p);
+    }
+    fn participate_instrumented_dyn(&self, mut p: &mut dyn Participation, slot: &MetricSlot) {
+        self.participate_instrumented(&mut p, slot);
+    }
+    fn is_complete(&self) -> bool {
+        SortJob::is_complete(self)
+    }
+    fn permutation(&self) -> Vec<usize> {
+        SortJob::permutation(self)
+    }
+    fn shard_report_opt(&self) -> Option<ShardReport> {
+        None
+    }
+}
+
+impl<K: Ord + Clone + Send + Sync> CohortJob<K> for ShardedSortJob<K> {
+    fn participate_dyn(&self, mut p: &mut dyn Participation) {
+        self.participate(&mut p);
+    }
+    fn participate_instrumented_dyn(&self, mut p: &mut dyn Participation, slot: &MetricSlot) {
+        self.participate_instrumented(&mut p, slot);
+    }
+    fn is_complete(&self) -> bool {
+        ShardedSortJob::is_complete(self)
+    }
+    fn permutation(&self) -> Vec<usize> {
+        ShardedSortJob::permutation(self)
+    }
+    fn shard_report_opt(&self) -> Option<ShardReport> {
+        Some(self.shard_report())
+    }
+}
+
 impl WaitFreeSorter {
     /// Creates a sorter that spawns `threads` worker threads per sort.
     ///
@@ -41,22 +447,30 @@ impl WaitFreeSorter {
         self.threads
     }
 
+    /// A [`SortOptions`] builder seeded with this sorter's thread count —
+    /// the configurable pipeline every `sort_*` front-end below wraps.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wfsort_native::WaitFreeSorter;
+    ///
+    /// let sorter = WaitFreeSorter::new(4);
+    /// let outcome = sorter.options().report(true).run(&[3u64, 1, 2]);
+    /// assert_eq!(outcome.sorted, vec![1, 2, 3]);
+    /// assert!(outcome.report.is_some());
+    /// ```
+    pub fn options(&self) -> SortOptions {
+        SortOptions::new().threads(self.threads)
+    }
+
     /// Runs `job` to completion on this sorter's thread count (inline
     /// when single-threaded, scoped workers otherwise). Public so
     /// callers that build their own jobs — explicit grains, arena
     /// recycling, or the `legacy-layout` pivot tree — can still use the
     /// sorter's cohort management.
     pub fn run_job<K: Ord + Send + Sync, T: PivotTree>(&self, job: &SortJob<K, T>) {
-        if self.threads == 1 {
-            job.run();
-        } else {
-            crossbeam::thread::scope(|s| {
-                for _ in 0..self.threads {
-                    s.spawn(move |_| job.run());
-                }
-            })
-            .expect("worker threads do not panic");
-        }
+        self.options().drive(job);
     }
 
     /// Runs `job` to completion with one telemetry slot per worker and
@@ -67,31 +481,24 @@ impl WaitFreeSorter {
         &self,
         job: &SortJob<K, T>,
     ) -> SortReport {
-        let start = Instant::now();
-        let mut slots: Vec<MetricSlot> = (0..self.threads).map(|_| MetricSlot::new()).collect();
-        if self.threads == 1 {
-            job.participate_instrumented(&mut RunToCompletion, &slots[0]);
-        } else {
-            crossbeam::thread::scope(|s| {
-                for slot in &mut slots {
-                    let job = &*job;
-                    s.spawn(move |_| job.participate_instrumented(&mut RunToCompletion, slot));
-                }
-            })
-            .expect("worker threads do not panic");
-        }
-        let elapsed = start.elapsed();
-        SortReport::aggregate(slots.iter().map(|s| s.snapshot()).collect(), elapsed)
+        let mut report = self
+            .options()
+            .report(true)
+            .drive(job)
+            .expect("report requested");
+        report.shard = None;
+        report
+    }
+
+    /// Runs a [`ShardedSortJob`] to completion on this sorter's thread
+    /// count, like [`WaitFreeSorter::run_job`] for the single-tree path.
+    pub fn run_sharded_job<K: Ord + Clone + Send + Sync>(&self, job: &ShardedSortJob<K>) {
+        self.options().drive(job);
     }
 
     /// Sorts `keys` into a new vector.
     pub fn sort<K: Ord + Clone + Send + Sync>(&self, keys: &[K]) -> Vec<K> {
-        if keys.len() < 2 {
-            return keys.to_vec();
-        }
-        let job = self.job_for(keys);
-        self.run_job(&job);
-        job.into_sorted()
+        self.options().run(keys).sorted
     }
 
     /// Sorts `keys` into `out` through a reusable [`SortArena`]: after
@@ -121,15 +528,7 @@ impl WaitFreeSorter {
         arena: &mut SortArena<K>,
         out: &mut Vec<K>,
     ) {
-        if keys.len() < 2 {
-            out.clear();
-            out.extend_from_slice(keys);
-            return;
-        }
-        let grain = recommended_grain(keys.len(), self.threads);
-        let job = arena.prepare(keys, NativeAllocation::Deterministic, self.threads, grain);
-        self.run_job(job);
-        job.sorted_into(out);
+        self.options().run_into(keys, arena, out);
     }
 
     /// Sorts `keys` and reports what the workers did: per-phase operation
@@ -153,18 +552,8 @@ impl WaitFreeSorter {
         &self,
         keys: &[K],
     ) -> (Vec<K>, SortReport) {
-        if keys.len() < 2 {
-            return (keys.to_vec(), SortReport::empty());
-        }
-        let job = self.job_for(keys);
-        let report = self.run_job_with_report(&job);
-        (job.into_sorted(), report)
-    }
-
-    /// A deterministic-allocation job sized to this sorter's cohort (one
-    /// heartbeat slot per worker).
-    fn job_for<K: Ord + Clone + Send + Sync>(&self, keys: &[K]) -> SortJob<K> {
-        SortJob::with_tracked(keys.to_vec(), NativeAllocation::Deterministic, self.threads)
+        let outcome = self.options().report(true).run(keys);
+        (outcome.sorted, outcome.report.expect("report requested"))
     }
 
     /// Sorts `keys` through the sharded large-N path with
@@ -184,7 +573,7 @@ impl WaitFreeSorter {
     /// assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
     /// ```
     pub fn sort_sharded<K: Ord + Clone + Send + Sync>(&self, keys: &[K]) -> Vec<K> {
-        self.sort_sharded_with(keys, recommended_shards(keys.len(), self.threads))
+        self.options().shards(0).run(keys).sorted
     }
 
     /// [`WaitFreeSorter::sort_sharded`] with an explicit shard count.
@@ -197,28 +586,8 @@ impl WaitFreeSorter {
         keys: &[K],
         shards: usize,
     ) -> Vec<K> {
-        if keys.len() < 2 {
-            assert!(shards >= 1, "a sharded job needs at least one shard");
-            return keys.to_vec();
-        }
-        let job = self.sharded_job_for(keys, shards);
-        self.run_sharded_job(&job);
-        job.into_sorted()
-    }
-
-    /// Runs a [`ShardedSortJob`] to completion on this sorter's thread
-    /// count, like [`WaitFreeSorter::run_job`] for the single-tree path.
-    pub fn run_sharded_job<K: Ord + Clone + Send + Sync>(&self, job: &ShardedSortJob<K>) {
-        if self.threads == 1 {
-            job.run();
-        } else {
-            crossbeam::thread::scope(|s| {
-                for _ in 0..self.threads {
-                    s.spawn(move |_| job.run());
-                }
-            })
-            .expect("worker threads do not panic");
-        }
+        assert!(shards >= 1, "a sharded job needs at least one shard");
+        self.options().shards(shards).run(keys).sorted
     }
 
     /// Sorts `keys` through the sharded path and reports what the
@@ -247,29 +616,13 @@ impl WaitFreeSorter {
         keys: &[K],
         shards: usize,
     ) -> (Vec<K>, SortReport) {
+        assert!(shards >= 1, "a sharded job needs at least one shard");
+        let outcome = self.options().shards(shards).report(true).run(keys);
+        let mut report = outcome.report.expect("report requested");
         if keys.len() < 2 {
-            assert!(shards >= 1, "a sharded job needs at least one shard");
-            return (keys.to_vec(), SortReport::empty());
+            report.shard = None;
         }
-        let job = self.sharded_job_for(keys, shards);
-        let start = Instant::now();
-        let mut slots: Vec<MetricSlot> = (0..self.threads).map(|_| MetricSlot::new()).collect();
-        if self.threads == 1 {
-            job.participate_instrumented(&mut RunToCompletion, &slots[0]);
-        } else {
-            crossbeam::thread::scope(|s| {
-                for slot in &mut slots {
-                    let job = &job;
-                    s.spawn(move |_| job.participate_instrumented(&mut RunToCompletion, slot));
-                }
-            })
-            .expect("worker threads do not panic");
-        }
-        let elapsed = start.elapsed();
-        let mut report =
-            SortReport::aggregate(slots.iter().map(|s| s.snapshot()).collect(), elapsed);
-        report.shard = Some(job.shard_report());
-        (job.into_sorted(), report)
+        (outcome.sorted, report)
     }
 
     /// Sorts through the sharded path under a scripted adversary, like
@@ -295,44 +648,12 @@ impl WaitFreeSorter {
         plan: &ChaosPlan,
         shards: usize,
     ) -> Vec<K> {
-        if keys.len() < 2 {
-            assert!(shards >= 1, "a sharded job needs at least one shard");
-            return keys.to_vec();
-        }
-        let job = ShardedSortJob::with_workers(
-            keys.to_vec(),
-            NativeAllocation::Deterministic,
-            plan.workers() + 1,
-            shards,
-        );
-        crossbeam::thread::scope(|s| {
-            for w in 0..plan.workers() {
-                let job = &job;
-                s.spawn(move |_| job.participate(&mut ChaosParticipation::new(plan, w)));
-            }
-        })
-        .expect("worker threads do not panic");
-        if !job.is_complete() {
-            // Every worker crashed: the caller is the survivor of last
-            // resort.
-            job.run();
-        }
-        job.into_sorted()
-    }
-
-    /// A deterministic-allocation sharded job sized to this sorter's
-    /// cohort.
-    fn sharded_job_for<K: Ord + Clone + Send + Sync>(
-        &self,
-        keys: &[K],
-        shards: usize,
-    ) -> ShardedSortJob<K> {
-        ShardedSortJob::with_workers(
-            keys.to_vec(),
-            NativeAllocation::Deterministic,
-            self.threads,
-            shards,
-        )
+        assert!(shards >= 1, "a sharded job needs at least one shard");
+        self.options()
+            .shards(shards)
+            .plan(plan.clone())
+            .run(keys)
+            .sorted
     }
 
     /// Sorts `items` by the key `f` extracts, computing each key once and
@@ -351,46 +672,40 @@ impl WaitFreeSorter {
     pub fn sort_by_cached_key<T, K, F>(&self, items: &[T], f: F) -> Vec<T>
     where
         T: Clone + Send + Sync,
-        K: Ord + Send + Sync,
+        K: Ord + Clone + Send + Sync,
         F: Fn(&T) -> K,
     {
         if items.len() < 2 {
             return items.to_vec();
         }
         let keys: Vec<K> = items.iter().map(f).collect();
-        let job = SortJob::with_tracked(keys, NativeAllocation::Deterministic, self.threads);
-        self.run_job(&job);
-        job.permutation()
+        self.options()
+            .run(&keys)
+            .permutation
             .into_iter()
             .map(|e| items[e - 1].clone())
             .collect()
     }
 
-    /// Sorts while a saboteur kills all but one worker mid-run: workers
-    /// `1..threads` abandon after `abandon_after` participation checks;
-    /// worker 0 runs to completion. Returns the sorted keys — the point
-    /// being that it *does* return, every time (wait-freedom).
+    /// Sorts while a saboteur kills all but one participant mid-run:
+    /// workers `1..threads` abandon after `abandon_after · t`
+    /// participation checks (worker `t` lives `t` times as long as the
+    /// first casualty); the calling thread finishes whatever they
+    /// abandoned. Returns the sorted keys — the point being that it
+    /// *does* return, every time (wait-freedom).
     pub fn sort_with_casualties<K: Ord + Clone + Send + Sync>(
         &self,
         keys: &[K],
         abandon_after: usize,
     ) -> Vec<K> {
-        if keys.len() < 2 {
-            return keys.to_vec();
+        if self.threads == 1 {
+            return self.sort(keys);
         }
-        let job = self.job_for(keys);
-        crossbeam::thread::scope(|s| {
-            for t in 1..self.threads {
-                let job = &job;
-                s.spawn(move |_| {
-                    job.participate(&mut crate::job::QuitAfter(abandon_after * t));
-                });
-            }
-            let job = &job;
-            s.spawn(move |_| job.run());
-        })
-        .expect("worker threads do not panic");
-        job.into_sorted()
+        let mut plan = ChaosPlan::new(self.threads - 1);
+        for t in 1..self.threads {
+            plan = plan.crash_at(t - 1, (abandon_after * t) as u64);
+        }
+        self.options().plan(plan).run(keys).sorted
     }
 
     /// Sorts under a scripted adversary: spawns one worker per
@@ -422,29 +737,7 @@ impl WaitFreeSorter {
         keys: &[K],
         plan: &ChaosPlan,
     ) -> Vec<K> {
-        if keys.len() < 2 {
-            return keys.to_vec();
-        }
-        // One slot per plan worker, plus the caller (survivor of last
-        // resort below).
-        let job = SortJob::with_tracked(
-            keys.to_vec(),
-            NativeAllocation::Deterministic,
-            plan.workers() + 1,
-        );
-        crossbeam::thread::scope(|s| {
-            for w in 0..plan.workers() {
-                let job = &job;
-                s.spawn(move |_| job.participate(&mut ChaosParticipation::new(plan, w)));
-            }
-        })
-        .expect("worker threads do not panic");
-        if !job.is_complete() {
-            // Every worker crashed: the caller is the survivor of last
-            // resort.
-            job.run();
-        }
-        job.into_sorted()
+        self.options().plan(plan.clone()).run(keys).sorted
     }
 
     /// Sorts with a helper deadline: `threads - 1` helper workers
@@ -469,7 +762,7 @@ impl WaitFreeSorter {
         keys: &[K],
         deadline: Duration,
     ) -> Vec<K> {
-        self.deadline_sort(keys, deadline, None)
+        self.options().deadline(deadline).run(keys).sorted
     }
 
     /// [`WaitFreeSorter::sort_with_deadline`] with the helpers
@@ -483,53 +776,11 @@ impl WaitFreeSorter {
         deadline: Duration,
         plan: &ChaosPlan,
     ) -> Vec<K> {
-        self.deadline_sort(keys, deadline, Some(plan))
-    }
-
-    fn deadline_sort<K: Ord + Clone + Send + Sync>(
-        &self,
-        keys: &[K],
-        deadline: Duration,
-        plan: Option<&ChaosPlan>,
-    ) -> Vec<K> {
-        if keys.len() < 2 {
-            return keys.to_vec();
-        }
-        // Helpers plus the deadline-exempt caller.
-        let tracked = match plan {
-            Some(plan) => plan.workers() + 1,
-            None => self.threads,
-        };
-        let job = SortJob::with_tracked(keys.to_vec(), NativeAllocation::Deterministic, tracked);
-        let until = Instant::now() + deadline;
-        crossbeam::thread::scope(|s| {
-            match plan {
-                Some(plan) => {
-                    for w in 0..plan.workers() {
-                        let job = &job;
-                        s.spawn(move |_| {
-                            job.participate(&mut WithDeadline::new(
-                                ChaosParticipation::new(plan, w),
-                                until,
-                            ));
-                        });
-                    }
-                }
-                None => {
-                    for _ in 1..self.threads {
-                        let job = &job;
-                        s.spawn(move |_| {
-                            job.participate(&mut WithDeadline::new(RunToCompletion, until));
-                        });
-                    }
-                }
-            }
-            // The caller ignores the deadline: wait-freedom guarantees it
-            // can always finish what the helpers abandoned.
-            job.run();
-        })
-        .expect("worker threads do not panic");
-        job.into_sorted()
+        self.options()
+            .deadline(deadline)
+            .plan(plan.clone())
+            .run(keys)
+            .sorted
     }
 }
 
@@ -563,25 +814,16 @@ impl Participation for UntilFlag<'_> {
     }
 }
 
-/// Stops a cohort once its members have collectively burned a shared
-/// budget of participation checks — a deterministic reap trigger that
-/// cannot race on machine speed the way a wall-clock one can.
-struct SharedBudget<'a> {
-    checks: &'a AtomicUsize,
-    budget: usize,
-}
-
-impl Participation for SharedBudget<'_> {
-    fn keep_going(&mut self) -> bool {
-        self.checks.fetch_add(1, Ordering::Relaxed) < self.budget
-    }
-}
-
 /// Demonstrates oblivious thread churn: spawns `initial` workers, reaps
 /// them all once they have collectively made `reap_after_checks`
-/// participation checks, then spawns `replacements` fresh workers that
-/// finish the job. The reap trigger counts work, not wall time, so the
-/// churn point is the same on any machine. Returns the sorted keys.
+/// participation checks (a [`SharedBudget`]), then spawns `replacements`
+/// fresh workers that finish the job. The reap trigger counts work, not
+/// wall time, so the churn point is the same on any machine. Returns the
+/// sorted keys.
+///
+/// This is the one front-end that does not flow through [`SortOptions`]:
+/// its second cohort joins mid-run, a staged schedule the one-shot
+/// builder deliberately does not model.
 pub fn sort_with_churn<K: Ord + Clone + Send + Sync>(
     keys: &[K],
     initial: usize,
@@ -596,20 +838,17 @@ pub fn sort_with_churn<K: Ord + Clone + Send + Sync>(
         NativeAllocation::Deterministic,
         initial.max(1) + replacements.max(1),
     );
-    let checks = AtomicUsize::new(0);
+    let checks = AtomicU64::new(0);
     crossbeam::thread::scope(|s| {
         for _ in 0..initial.max(1) {
             let (job, checks) = (&job, &checks);
             s.spawn(move |_| {
-                job.participate(&mut SharedBudget {
-                    checks,
-                    budget: reap_after_checks,
-                });
+                job.participate(&mut SharedBudget::new(checks, reap_after_checks as u64));
             });
         }
         // Respawn once the initial cohort is being reaped (or finished
         // the whole job under budget — possible for small inputs).
-        while checks.load(Ordering::Relaxed) < reap_after_checks && !job.is_complete() {
+        while checks.load(Ordering::Relaxed) < reap_after_checks as u64 && !job.is_complete() {
             std::thread::yield_now();
         }
         for _ in 0..replacements.max(1) {
@@ -818,5 +1057,66 @@ mod tests {
     #[should_panic(expected = "at least one thread")]
     fn zero_threads_rejected() {
         WaitFreeSorter::new(0);
+    }
+
+    #[test]
+    fn options_compose_plan_deadline_shards_and_report() {
+        let keys = random_keys(6_000, 10);
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        let plan = ChaosPlan::random_crashes(4, 0.5, 200, 11);
+        let outcome = SortOptions::new()
+            .threads(4)
+            .shards(8)
+            .plan(plan)
+            .deadline(Duration::from_secs(3600))
+            .report(true)
+            .run(&keys);
+        assert_eq!(outcome.sorted, expect);
+        let report = outcome.report.expect("report requested");
+        let shard = report.shard.expect("sharded payload");
+        assert_eq!(shard.shards, 8);
+        assert_eq!(shard.per_shard.iter().map(|s| s.size).sum::<usize>(), 6_000);
+        // Cohort = 4 plan workers + the deadline-exempt caller.
+        assert_eq!(report.per_worker.len(), 5);
+    }
+
+    #[test]
+    fn options_degenerate_inputs_never_panic() {
+        // Every combination the raw constructors reject: tiny inputs,
+        // zero (= auto) shard counts, shard counts above n.
+        for shards in [0usize, 1, 3, 64] {
+            let opts = SortOptions::new().threads(2).shards(shards);
+            assert_eq!(opts.run(&Vec::<u64>::new()).sorted, Vec::<u64>::new());
+            assert_eq!(opts.run(&[9u64]).sorted, vec![9]);
+            assert_eq!(opts.run(&[2u64, 1]).sorted, vec![1, 2]);
+        }
+        let outcome = SortOptions::new().threads(1).report(true).run(&[1u64]);
+        assert_eq!(outcome.permutation, vec![1]);
+        assert_eq!(outcome.report.unwrap().total_ops(), 0);
+    }
+
+    #[test]
+    fn options_permutation_is_exact() {
+        let keys = vec![30u64, 10, 20];
+        let outcome = SortOptions::new().threads(2).run(&keys);
+        assert_eq!(outcome.sorted, vec![10, 20, 30]);
+        assert_eq!(outcome.permutation, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn options_run_into_recycles_arena_with_report() {
+        let mut arena: SortArena<u64> = SortArena::new();
+        let mut out = Vec::new();
+        let opts = SortOptions::new().threads(2).report(true);
+        for round in 0..3 {
+            let keys = random_keys(2_000, 60 + round);
+            let mut expect = keys.clone();
+            expect.sort_unstable();
+            let report = opts.run_into(&keys, &mut arena, &mut out);
+            assert_eq!(out, expect, "round {round}");
+            assert!(report.expect("report requested").per_phase.build.claims >= 1_999);
+            assert!(arena.is_warm());
+        }
     }
 }

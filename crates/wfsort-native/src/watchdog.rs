@@ -11,7 +11,14 @@
 //! remove a *contributor*, never wedge the survivors, so "no epoch moved
 //! and no frontier moved and not complete" is a real alarm (every live
 //! thread is stalled or the cohort is empty), not a transient.
+//!
+//! For a single run, borrow the job with [`Watchdog`]. A supervisor
+//! juggling many concurrent jobs — [`crate::service::SortService`] is the
+//! in-crate customer — instead feeds snapshots into a
+//! [`WatchdogRegistry`], which keeps one diffing baseline per job id and
+//! applies exactly the same classification.
 
+use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::job::SortJob;
@@ -135,6 +142,18 @@ impl ProgressReport {
             self.workers.iter().filter(|w| w.departed).count()
         }
     }
+
+    /// Whether the job has been *stranded*: at least one participant
+    /// joined, every one of them has departed, and the sort is still
+    /// incomplete. Unlike [`Health::Wedged`] this needs no previous
+    /// snapshot — it is the single-report condition under which no
+    /// currently running thread will ever finish the job, and the
+    /// condition wait-freedom guarantees one fresh participant can always
+    /// clear. [`crate::service::SortService`] uses it as its reap-and-
+    /// requeue trigger.
+    pub fn stranded(&self) -> bool {
+        !self.complete && self.participants > 0 && self.live_workers() == 0
+    }
 }
 
 impl fmt::Display for ProgressReport {
@@ -233,47 +252,7 @@ impl<'a, K: Ord> Watchdog<'a, K> {
     /// wraparound) still proves its thread executed, so it must never
     /// push a Progressing run toward [`Health::Wedged`].
     pub fn observe_report(&mut self, now: ProgressReport) -> Health {
-        let health = if now.complete {
-            Health::Complete
-        } else {
-            let (mut advancing, mut reaped, mut stalled) = (0, 0, 0);
-            for w in &now.workers {
-                let (prev_epoch, prev_departed) = self
-                    .prev
-                    .as_ref()
-                    .and_then(|p| p.workers.get(w.slot))
-                    .map(|p| (p.epoch, p.departed))
-                    .unwrap_or((0, false));
-                let moved = w.epoch != prev_epoch || w.departed != prev_departed;
-                if w.departed {
-                    reaped += 1;
-                } else if !moved {
-                    stalled += 1;
-                }
-                if moved {
-                    advancing += 1;
-                }
-            }
-            let frontier_moved = match &self.prev {
-                None => {
-                    now.build_jobs_done > 0 || now.scatter_jobs_done > 0 || now.participants > 0
-                }
-                Some(p) => {
-                    now.build_jobs_done > p.build_jobs_done
-                        || now.scatter_jobs_done > p.scatter_jobs_done
-                        || now.participants > p.participants
-                }
-            };
-            if advancing == 0 && !frontier_moved {
-                Health::Wedged
-            } else {
-                Health::Progressing {
-                    advancing,
-                    reaped,
-                    stalled,
-                }
-            }
-        };
+        let health = classify(self.prev.as_ref(), &now);
         self.prev = Some(now);
         health
     }
@@ -281,6 +260,142 @@ impl<'a, K: Ord> Watchdog<'a, K> {
     /// The most recent report, if [`Watchdog::observe`] has run.
     pub fn report(&self) -> Option<&ProgressReport> {
         self.prev.as_ref()
+    }
+}
+
+/// Classifies `now` against the previous observation — the shared verdict
+/// logic behind [`Watchdog::observe_report`] and
+/// [`WatchdogRegistry::observe`].
+fn classify(prev: Option<&ProgressReport>, now: &ProgressReport) -> Health {
+    if now.complete {
+        return Health::Complete;
+    }
+    let (mut advancing, mut reaped, mut stalled) = (0, 0, 0);
+    for w in &now.workers {
+        let (prev_epoch, prev_departed) = prev
+            .and_then(|p| p.workers.get(w.slot))
+            .map(|p| (p.epoch, p.departed))
+            .unwrap_or((0, false));
+        let moved = w.epoch != prev_epoch || w.departed != prev_departed;
+        if w.departed {
+            reaped += 1;
+        } else if !moved {
+            stalled += 1;
+        }
+        if moved {
+            advancing += 1;
+        }
+    }
+    let frontier_moved = match prev {
+        None => now.build_jobs_done > 0 || now.scatter_jobs_done > 0 || now.participants > 0,
+        Some(p) => {
+            now.build_jobs_done > p.build_jobs_done
+                || now.scatter_jobs_done > p.scatter_jobs_done
+                || now.participants > p.participants
+        }
+    };
+    if advancing == 0 && !frontier_moved {
+        Health::Wedged
+    } else {
+        Health::Progressing {
+            advancing,
+            reaped,
+            stalled,
+        }
+    }
+}
+
+/// A [`Watchdog`] for many concurrent jobs: one diffing baseline per job
+/// id, fed by externally taken snapshots instead of borrowing the jobs.
+/// This is the multi-tenant face of the watchdog —
+/// [`crate::service::SortService`] keeps one registry for every in-flight
+/// job and consults it when a worker's participation ends with the sort
+/// incomplete, so a crashed or stalled tenant is reaped and requeued
+/// without touching its neighbours' baselines.
+///
+/// Ids are caller-assigned; observing an unregistered id registers it
+/// implicitly (its first verdict compares against the all-zero baseline,
+/// exactly like a fresh [`Watchdog`]).
+///
+/// # Examples
+///
+/// ```
+/// use wfsort_native::{Health, QuitAfter, SortJob, WatchdogRegistry};
+///
+/// let a = SortJob::new((0..500i64).rev().collect::<Vec<_>>());
+/// let b = SortJob::new((0..500i64).rev().collect::<Vec<_>>());
+/// let mut registry = WatchdogRegistry::new();
+/// a.participate(&mut QuitAfter(25)); // tenant A's worker is reaped
+/// b.run(); // tenant B completes
+/// assert!(matches!(registry.observe(1, a.progress()), Health::Progressing { .. }));
+/// assert_eq!(registry.observe(2, b.progress()), Health::Complete);
+/// assert_eq!(registry.observe(1, a.progress()), Health::Wedged);
+/// assert!(registry.last(1).unwrap().stranded());
+/// registry.unregister(1);
+/// assert_eq!(registry.len(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct WatchdogRegistry {
+    prev: BTreeMap<u64, Option<ProgressReport>>,
+}
+
+impl WatchdogRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        WatchdogRegistry::default()
+    }
+
+    /// Registers `id` with an all-zero baseline. Returns `false` (and
+    /// keeps the existing baseline) if the id is already present.
+    pub fn register(&mut self, id: u64) -> bool {
+        match self.prev.entry(id) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(None);
+                true
+            }
+            std::collections::btree_map::Entry::Occupied(_) => false,
+        }
+    }
+
+    /// Removes `id` and its baseline. Returns whether it was present.
+    pub fn unregister(&mut self, id: u64) -> bool {
+        self.prev.remove(&id).is_some()
+    }
+
+    /// Whether `id` is registered.
+    pub fn contains(&self, id: u64) -> bool {
+        self.prev.contains_key(&id)
+    }
+
+    /// Classifies `now` against job `id`'s previous observation, exactly
+    /// as [`Watchdog::observe_report`] would, and makes `now` the
+    /// baseline for the next observation of that id. Unregistered ids are
+    /// registered implicitly.
+    pub fn observe(&mut self, id: u64, now: ProgressReport) -> Health {
+        let slot = self.prev.entry(id).or_insert(None);
+        let health = classify(slot.as_ref(), &now);
+        *slot = Some(now);
+        health
+    }
+
+    /// Job `id`'s most recent report, if it has been observed.
+    pub fn last(&self, id: u64) -> Option<&ProgressReport> {
+        self.prev.get(&id).and_then(|p| p.as_ref())
+    }
+
+    /// Registered job ids, ascending.
+    pub fn ids(&self) -> impl Iterator<Item = u64> + '_ {
+        self.prev.keys().copied()
+    }
+
+    /// Number of registered jobs.
+    pub fn len(&self) -> usize {
+        self.prev.len()
+    }
+
+    /// Whether no jobs are registered.
+    pub fn is_empty(&self) -> bool {
+        self.prev.is_empty()
     }
 }
 
@@ -453,6 +568,59 @@ mod tests {
                 stalled: 1,
             }
         );
+    }
+
+    #[test]
+    fn registry_tracks_jobs_independently() {
+        let fast = SortJob::new(vec![2, 1, 3]);
+        let slow = SortJob::new((0..2000i64).rev().collect::<Vec<_>>());
+        let mut registry = WatchdogRegistry::new();
+        assert!(registry.register(7));
+        assert!(!registry.register(7), "double-register is a no-op");
+        fast.run();
+        slow.participate(&mut QuitAfter(40));
+        assert_eq!(registry.observe(7, fast.progress()), Health::Complete);
+        // Job 9 was never registered: observe registers it implicitly and
+        // diffs against the all-zero baseline, so the reaped worker reads
+        // as movement first, then as a genuine stall.
+        assert!(matches!(
+            registry.observe(9, slow.progress()),
+            Health::Progressing { reaped: 1, .. }
+        ));
+        assert_eq!(registry.observe(9, slow.progress()), Health::Wedged);
+        // One job's verdicts never disturb the other's baseline.
+        assert_eq!(registry.observe(7, fast.progress()), Health::Complete);
+        assert_eq!(registry.len(), 2);
+        assert_eq!(registry.ids().collect::<Vec<_>>(), vec![7, 9]);
+        assert!(registry.unregister(9));
+        assert!(!registry.contains(9));
+        assert!(!registry.unregister(9));
+        assert!(!registry.is_empty());
+    }
+
+    #[test]
+    fn stranded_flags_abandoned_incomplete_jobs_only() {
+        let job = SortJob::new((0..2000i64).rev().collect::<Vec<_>>());
+        // Untouched: nobody joined, so nobody is stranded yet.
+        assert!(!job.progress().stranded());
+        job.participate(&mut QuitAfter(40));
+        // One participant joined and departed with the sort incomplete.
+        assert!(job.progress().stranded());
+        job.run();
+        assert!(!job.progress().stranded());
+    }
+
+    #[test]
+    fn registry_observe_matches_single_job_watchdog() {
+        let job = SortJob::new((0..2000i64).rev().collect::<Vec<_>>());
+        let mut dog = Watchdog::new(&job);
+        let mut registry = WatchdogRegistry::new();
+        assert_eq!(dog.observe(), registry.observe(1, job.progress()));
+        job.participate(&mut QuitAfter(40));
+        assert_eq!(dog.observe(), registry.observe(1, job.progress()));
+        assert_eq!(dog.observe(), registry.observe(1, job.progress()));
+        job.run();
+        assert_eq!(dog.observe(), registry.observe(1, job.progress()));
     }
 
     #[test]

@@ -1,0 +1,260 @@
+//! Cross-tenant isolation acceptance suite for the native `SortService`.
+//!
+//! The service inherits the paper's wait-freedom guarantee as an
+//! *isolation* property: a `ChaosPlan` that crashes, stalls, or pauses
+//! every worker assigned to one tenant's job must strand only that job
+//! — every concurrent tenant's output stays bit-identical to a
+//! sequential sort, the service's counters attribute exactly one
+//! failure/recovery to the victim, and graceful shutdown drains
+//! in-flight jobs while rejecting new ones with a typed error.
+
+use std::time::Duration;
+
+use wait_free_sort::wfsort_native::{
+    ChaosPlan, JobError, JobOptions, Rejected, ServiceConfig, SortService,
+};
+
+fn random_keys(n: usize, seed: u64) -> Vec<u64> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0..1_000_000)).collect()
+}
+
+fn sequential_sort(keys: &[u64]) -> Vec<u64> {
+    let mut out = keys.to_vec();
+    out.sort();
+    out
+}
+
+/// The ISSUE-6 isolation proof, recovery flavor: a plan crashes every
+/// worker assigned to one tenant's job; five concurrent tenants all
+/// complete bit-identically to sequential sorts; the victim is revived
+/// by exactly one recovery dispatch and completes too.
+#[test]
+fn crashing_every_victim_worker_leaves_other_tenants_bit_identical() {
+    let service = SortService::start(
+        ServiceConfig::default()
+            .workers(3)
+            .max_recoveries(2)
+            .queue_capacity(64),
+    );
+    let tenants: Vec<Vec<u64>> = (0..5).map(|t| random_keys(3_000, 10 + t)).collect();
+    let victim_keys = random_keys(3_000, 99);
+    // Two claims for the victim; both chaos slots crash within a few
+    // checkpoints, before either can finish the 3k-key job.
+    let plan = ChaosPlan::new(2).crash_at(0, 2).crash_at(1, 4);
+    let victim = service
+        .submit(
+            victim_keys.clone(),
+            JobOptions::default().plan(plan).helpers(2),
+        )
+        .unwrap();
+    let tickets: Vec<_> = tenants
+        .iter()
+        .map(|keys| {
+            service
+                .submit(keys.clone(), JobOptions::default().helpers(2))
+                .unwrap()
+        })
+        .collect();
+
+    for (keys, ticket) in tenants.iter().zip(tickets) {
+        let result = ticket.wait();
+        assert_eq!(
+            result.sorted.expect("healthy tenant must complete"),
+            sequential_sort(keys),
+            "surviving tenant's output must be bit-identical to a sequential sort"
+        );
+    }
+    let victim_result = victim.wait();
+    assert_eq!(
+        victim_result.sorted.expect("recovered victim completes"),
+        sequential_sort(&victim_keys)
+    );
+    assert!(
+        victim_result.report.recoveries >= 1,
+        "the victim must have needed at least one recovery dispatch"
+    );
+
+    let stats = service.shutdown();
+    assert_eq!(stats.admitted, 6);
+    assert_eq!(
+        stats.completed, 6,
+        "every tenant, victim included, completed"
+    );
+    assert_eq!(
+        stats.crash_recoveries, 1,
+        "exactly one recovered job service-wide"
+    );
+    assert_eq!(stats.workers_lost, 0);
+    assert_eq!(stats.failed(), 0);
+}
+
+/// The ISSUE-6 isolation proof, clean-failure flavor: the plan also
+/// crashes every recovery stint, so the victim alone fails with a typed
+/// `WorkersLost` — and still no other tenant is affected.
+#[test]
+fn unrecoverable_victim_fails_alone_with_typed_error() {
+    let service = SortService::start(
+        ServiceConfig::default()
+            .workers(3)
+            .max_recoveries(1)
+            .queue_capacity(64),
+    );
+    // Enough crashing chaos slots to cover the claims and every recovery
+    // the service is willing to dispatch.
+    let mut plan = ChaosPlan::new(8);
+    for slot in 0..8 {
+        plan = plan.crash_at(slot, 1 + slot as u64);
+    }
+    let victim_keys = random_keys(3_000, 199);
+    let victim = service
+        .submit(
+            victim_keys.clone(),
+            JobOptions::default().plan(plan).helpers(2),
+        )
+        .unwrap();
+    let tenants: Vec<Vec<u64>> = (0..4).map(|t| random_keys(3_000, 200 + t)).collect();
+    let tickets: Vec<_> = tenants
+        .iter()
+        .map(|keys| {
+            service
+                .submit(keys.clone(), JobOptions::default().helpers(2))
+                .unwrap()
+        })
+        .collect();
+
+    assert_eq!(
+        victim.wait().sorted.unwrap_err(),
+        JobError::WorkersLost { recoveries: 1 },
+        "the victim fails with a clean typed error, not a panic or a hang"
+    );
+    for (keys, ticket) in tenants.iter().zip(tickets) {
+        assert_eq!(ticket.wait().sorted.unwrap(), sequential_sort(keys));
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.admitted, 5);
+    assert_eq!(stats.completed, 4);
+    assert_eq!(stats.workers_lost, 1, "exactly one failed job service-wide");
+    assert_eq!(stats.failed(), 1);
+}
+
+/// Chaos-storm sweep: seeded random crash schedules layered with stalls
+/// and pauses drive one tenant's job while four healthy tenants run
+/// concurrently. Every surviving tenant must stay bit-identical to a
+/// sequential sort under every storm, and the victim must either
+/// complete correctly (possibly after recoveries) or fail typed.
+#[test]
+fn seeded_chaos_storm_sweep_never_leaks_across_tenants() {
+    for seed in 0..10u64 {
+        let service = SortService::start(
+            ServiceConfig::default()
+                .workers(2)
+                .max_recoveries(2)
+                .queue_capacity(64),
+        );
+        let victim_keys = random_keys(1_500, 9_000 + seed);
+        // Crash ~90% of three chaos slots at seeded checkpoints, then
+        // layer in a pause and a stall so all three fault flavors hit.
+        let plan = ChaosPlan::random_crashes(3, 0.9, 120, seed)
+            .pause_at(0, 5, 200)
+            .stall_at(1, 7, 500);
+        let victim = service
+            .submit(
+                victim_keys.clone(),
+                JobOptions::default().plan(plan).helpers(3),
+            )
+            .unwrap();
+        let tenants: Vec<Vec<u64>> = (0..4)
+            .map(|t| random_keys(1_200, 20_000 + seed * 8 + t))
+            .collect();
+        let tickets: Vec<_> = tenants
+            .iter()
+            .map(|keys| service.submit(keys.clone(), JobOptions::default()).unwrap())
+            .collect();
+
+        for (keys, ticket) in tenants.iter().zip(tickets) {
+            assert_eq!(
+                ticket.wait().sorted.expect("healthy tenant under storm"),
+                sequential_sort(keys),
+                "seed {seed}: tenant output diverged under a sibling's chaos storm"
+            );
+        }
+        match victim.wait().sorted {
+            Ok(sorted) => assert_eq!(sorted, sequential_sort(&victim_keys), "seed {seed}"),
+            Err(err) => assert!(
+                matches!(err, JobError::WorkersLost { .. }),
+                "seed {seed}: unexpected victim error {err}"
+            ),
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.admitted, 5, "seed {seed}");
+        assert_eq!(
+            stats.completed + stats.workers_lost,
+            5,
+            "seed {seed}: every admitted job must publish exactly once"
+        );
+    }
+}
+
+/// Graceful shutdown: everything admitted before `begin_shutdown` is
+/// drained to publication; everything submitted after it is rejected
+/// with the typed `ShuttingDown` error.
+#[test]
+fn shutdown_drains_admitted_jobs_and_rejects_new_ones() {
+    let service = SortService::start(ServiceConfig::default().workers(2));
+    let tenants: Vec<Vec<u64>> = (0..5).map(|t| random_keys(2_500, 300 + t)).collect();
+    let tickets: Vec<_> = tenants
+        .iter()
+        .map(|keys| service.submit(keys.clone(), JobOptions::default()).unwrap())
+        .collect();
+
+    service.begin_shutdown();
+    assert_eq!(
+        service
+            .submit(random_keys(100, 999), JobOptions::default())
+            .unwrap_err(),
+        Rejected::ShuttingDown
+    );
+
+    let stats = service.shutdown();
+    assert_eq!(stats.admitted, 5);
+    assert_eq!(stats.completed, 5, "shutdown drained every in-flight job");
+    assert_eq!(stats.rejected_shutting_down, 1);
+    for (keys, ticket) in tenants.iter().zip(tickets) {
+        let result = ticket
+            .try_wait()
+            .expect("all in-flight jobs published before shutdown returned");
+        assert_eq!(result.sorted.unwrap(), sequential_sort(keys));
+    }
+}
+
+/// Deadlines and budgets are per-tenant too: a zero-deadline job and a
+/// starved-budget job fail typed while a plain sibling sharing the pool
+/// completes bit-identically to a sequential sort.
+#[test]
+fn expired_tenants_do_not_disturb_live_ones() {
+    let service = SortService::start(ServiceConfig::default().workers(2));
+    let keys = random_keys(4_000, 400);
+    let doomed = service
+        .submit(
+            keys.clone(),
+            JobOptions::default().deadline(Duration::ZERO).helpers(1),
+        )
+        .unwrap();
+    let starved = service
+        .submit(keys.clone(), JobOptions::default().budget(5).helpers(1))
+        .unwrap();
+    let fine = service.submit(keys.clone(), JobOptions::default()).unwrap();
+    assert_eq!(doomed.wait().sorted.unwrap_err(), JobError::DeadlineExpired);
+    assert_eq!(
+        starved.wait().sorted.unwrap_err(),
+        JobError::BudgetExhausted { budget: 5 }
+    );
+    assert_eq!(fine.wait().sorted.unwrap(), sequential_sort(&keys));
+    let stats = service.shutdown();
+    assert_eq!(stats.deadline_expired, 1);
+    assert_eq!(stats.budget_exhausted, 1);
+    assert_eq!(stats.completed, 1);
+}
