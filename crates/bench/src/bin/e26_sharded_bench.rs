@@ -1,19 +1,27 @@
 //! E26 — the sharded large-N path raced against the single pivot tree:
 //! sharded-vs-single throughput with the permutation-parity check run
 //! inline (the differential claim is *in* the artifact, not asserted
-//! from memory), per-configuration shard balance under the
-//! deterministic splitter sample, and the single-threaded counter pins
-//! that make the sharded phases' claim traffic exact, persisted as the
-//! schema-stable `BENCH_sharded.json` perf artifact.
+//! from memory), per-configuration shard balance, single-threaded
+//! counter pins that make the sharded phases' claim traffic exact, and
+//! the E26d/E28 adversarial-shape battery proving the duplicate-robust
+//! partitioner holds `imbalance ≤ τ` on the shapes that break naive
+//! splitter sampling — persisted as the schema-stable
+//! `BENCH_sharded.json` (v2) perf artifact.
 //!
-//! The sharded path ([`wfsort_native::ShardedSortJob`]) samples
-//! `O(S log S)` keys for `S - 1` splitters, classifies elements against
-//! them, buckets each shard contiguously, and sorts every shard with
-//! its own small packed pivot tree — so at large `n` the root cache
-//! line of one global tree stops being the whole machine's rendezvous
-//! point. Because the bucket fill preserves original-index order within
-//! each shard, the sharded permutation is *identical* to the
-//! single-tree one, ties and all; every comparison row re-proves that.
+//! The sharded path ([`wfsort_native::ShardedSortJob`]) oversamples
+//! `S · overpartition_factor` splitter candidates, deduplicates them,
+//! and classifies elements into strictly-ordered range pieces plus an
+//! explicit *equality bucket* per surviving splitter — so a duplicate
+//! flood lands in chunkable equality buckets instead of one overloaded
+//! shard. Buckets are assigned to shards greedily by measured size
+//! (LPT), and each shard sorts its units with its own small packed
+//! pivot tree (or a straight copy for equality/pre-sorted units). The
+//! bucket fill preserves original-index order, so the sharded
+//! permutation is *identical* to the single-tree one, ties and all;
+//! every comparison row re-proves that.
+//!
+//! All swept inputs come from [`wait_free_sort::testshapes`], the same
+//! battery the parity and property suites use.
 //!
 //! Run: `cargo run --release -p bench --bin e26_sharded_bench`
 //! CI smoke: `... e26_sharded_bench -- --quick`
@@ -26,28 +34,46 @@ use std::process::ExitCode;
 
 use bench::json::SHARDED_SCHEMA;
 use bench::{f2, timed, validate_sharded_bench, write_artifact, Table};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use wfsort_native::{recommended_grain, NativeAllocation, ShardedSortJob, SortJob, WaitFreeSorter};
+use wait_free_sort::testshapes;
+use wfsort_native::{
+    recommended_grain, NativeAllocation, ShardedSortJob, SortJob, SortOptions, WaitFreeSorter,
+};
 
-/// The swept input shapes (the E24/E25 trio): uniform random keys,
-/// few-distinct keys (splitter duplicates force empty shards), and a
-/// sawtooth (periodic — the adversarial case for a strided sample).
+/// The throughput-sweep trio (the E24/E25 lineage, now drawn from the
+/// shared battery): uniform random keys, few-distinct keys (splitter
+/// duplicates force equality buckets), and a sawtooth (periodic — the
+/// adversarial case for a strided sample).
 fn shapes(n: usize) -> Vec<(&'static str, Vec<u64>)> {
-    let mut rng = StdRng::seed_from_u64(26);
-    let uniform: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
-    let few: Vec<u64> = (0..n).map(|_| rng.gen_range(0..64)).collect();
-    let sawtooth: Vec<u64> = (0..n).map(|i| (i % 1009) as u64).collect();
     vec![
-        ("uniform-random", uniform),
-        ("few-distinct", few),
-        ("sawtooth", sawtooth),
+        ("uniform-random", testshapes::uniform(n, 26)),
+        ("few-distinct", testshapes::few_distinct(n, 64, 26)),
+        ("sawtooth", testshapes::sawtooth(n, 1009)),
+    ]
+}
+
+/// The E26d robustness battery: the three acceptance shapes from the
+/// duplicate-robust partitioning work — a total duplicate flood, heavy
+/// Zipf(1.0) skew, and a pre-sorted ramp.
+fn adversarial_shapes(n: usize) -> Vec<(&'static str, Vec<u64>)> {
+    vec![
+        ("all-equal", testshapes::all_equal(n)),
+        ("zipf-1.0", testshapes::zipf(n, 1024, 7)),
+        ("pre-sorted", testshapes::presorted(n)),
     ]
 }
 
 /// Is `perm` (1-based indices into `keys`) a sorted order of `keys`?
 fn perm_is_sorted(keys: &[u64], perm: &[usize]) -> bool {
     perm.len() == keys.len() && perm.windows(2).all(|w| keys[w[0] - 1] <= keys[w[1] - 1])
+}
+
+/// The stable `(key, original index)` permutation — the analytic oracle
+/// every sort path in this repo must reproduce exactly. 1-based, like
+/// the jobs' `permutation()`.
+fn stable_permutation(keys: &[u64]) -> Vec<usize> {
+    let mut perm: Vec<usize> = (1..=keys.len()).collect();
+    perm.sort_by_key(|&i| (keys[i - 1], i));
+    perm
 }
 
 /// Best-of-`repeats` wall time for the sharded path, plus the last
@@ -211,9 +237,10 @@ fn main() -> ExitCode {
         );
     }
 
-    // E26b — shard balance under the deterministic strided sample.
-    // Sizes are a pure function of (keys, shards), so one run per
-    // configuration is exact; imbalance is max/ideal (1.0 = perfect).
+    // E26b — shard balance under the deterministic overpartitioned
+    // sample. Sizes are a pure function of (keys, shards, config), so
+    // one run per configuration is exact; imbalance is max/ideal
+    // (1.0 = perfect).
     let n_balance = if quick { 20_000 } else { 50_000 };
     let mut balance = Vec::new();
     let mut b = Table::new(&["shape", "shards", "max shard", "ideal", "imbalance"]);
@@ -250,9 +277,10 @@ fn main() -> ExitCode {
         }
     }
     b.print(&format!(
-        "E26b: shard balance at N = {n_balance} (deterministic splitter \
-         sample; imbalance = max/ideal, 1.0 is perfect; few-distinct \
-         keys legitimately skew — equal keys are never separated)"
+        "E26b: shard balance at N = {n_balance} (deterministic \
+         overpartitioned splitter sample; imbalance = max/ideal, 1.0 is \
+         perfect; duplicate-heavy shapes stay bounded because equal keys \
+         land in chunkable equality buckets)"
     ));
 
     // E26c — single-threaded counter pins across the acceptance sweep
@@ -260,10 +288,7 @@ fn main() -> ExitCode {
     // exactly once, so each count is a closed-form function of
     // (n, grain, shards) that the validator recomputes.
     let n_pins = 4096usize;
-    let pin_keys: Vec<u64> = {
-        let mut rng = StdRng::seed_from_u64(2626);
-        (0..n_pins).map(|_| rng.gen()).collect()
-    };
+    let pin_keys = testshapes::uniform(n_pins, 2626);
     let mut counter_pins = Vec::new();
     let mut c = Table::new(&[
         "shards",
@@ -321,15 +346,107 @@ fn main() -> ExitCode {
          runs are exact; the validator recomputes every column)"
     ));
 
+    // E26d — the adversarial robustness battery (EXPERIMENTS.md E28).
+    // Every acceptance shape at the acceptance size must come in under
+    // the default balance target τ = 2.0 *and* reproduce the stable
+    // `(key, index)` permutation bit-for-bit. These are asserts, not
+    // table-only observations: a regression aborts the run.
+    //
+    // The oracle chain: at `cross_n` the real single-tree job is run and
+    // pinned equal to the analytic stable permutation (pre-sorted and
+    // all-equal inputs are the single tree's quadratic worst case, so
+    // the full-size check uses the oracle instead of an hours-long
+    // monotone-insert run; tests/sharded_parity.rs pins the same
+    // equivalence independently).
+    let n_adversarial = if quick { 20_000 } else { 1_000_000 };
+    let adv_threads = if quick { 2 } else { 4 };
+    let cross_n = 20_000;
+    for (shape, keys) in adversarial_shapes(cross_n) {
+        let single = SortJob::new(keys.clone());
+        single.run();
+        assert_eq!(
+            single.permutation(),
+            stable_permutation(&keys),
+            "single-tree vs stable oracle at {shape} n={cross_n}"
+        );
+    }
+    let mut adversarial = Vec::new();
+    let mut d = Table::new(&[
+        "shape",
+        "shards",
+        "eq buckets",
+        "buckets",
+        "max shard",
+        "imbalance",
+        "τ",
+    ]);
+    for (shape, keys) in adversarial_shapes(n_adversarial) {
+        let oracle = stable_permutation(&keys);
+        for &shards in &[8usize, 64] {
+            let outcome = SortOptions::new()
+                .threads(adv_threads)
+                .shards(shards)
+                .report(true)
+                .run(&keys);
+            assert_eq!(
+                outcome.permutation, oracle,
+                "sharded vs single-tree permutation at {shape} S={shards}"
+            );
+            let report = outcome.report.expect("report requested");
+            let shard = report.shard.expect("sharded report");
+            let imbalance = shard.imbalance();
+            assert!(
+                imbalance <= shard.requested_imbalance,
+                "{shape} S={shards}: imbalance {imbalance:.2} exceeds \
+                 requested {:.2}",
+                shard.requested_imbalance
+            );
+            assert!(shard.within_requested(), "{shape} S={shards}");
+            let max_shard = shard.per_shard.iter().map(|s| s.size).max().unwrap_or(0);
+            d.row(vec![
+                shape.into(),
+                shards.to_string(),
+                shard.equality_buckets.to_string(),
+                shard.buckets.len().to_string(),
+                max_shard.to_string(),
+                format!("{imbalance:.2}x"),
+                format!("{:.1}", shard.requested_imbalance),
+            ]);
+            adversarial.push(format!(
+                concat!(
+                    "{{\"shape\":\"{}\",\"n\":{},\"shards\":{},",
+                    "\"equality_buckets\":{},\"imbalance\":{:.4},",
+                    "\"requested_imbalance\":{:.2},\"within_requested\":true,",
+                    "\"permutation_match\":true}}"
+                ),
+                shape,
+                n_adversarial,
+                shards,
+                shard.equality_buckets,
+                imbalance,
+                shard.requested_imbalance,
+            ));
+        }
+    }
+    d.print(&format!(
+        "E26d: adversarial balance at N = {n_adversarial} (duplicate \
+         floods and skew under the overpartitioned, deduplicated sampler; \
+         every row asserted imbalance ≤ τ and permutation == stable \
+         (key, index) oracle — itself pinned to the single tree at \
+         N = {cross_n} above)"
+    ));
+
     let artifact = format!(
         "{{\"schema\":\"{SHARDED_SCHEMA}\",\"experiment\":\"e26_sharded_bench\",\
          \"quick\":{quick},\
          \"comparison\":[\n{}\n],\
          \"balance\":[\n{}\n],\
-         \"counter_pins\":[\n{}\n]}}\n",
+         \"counter_pins\":[\n{}\n],\
+         \"adversarial\":[\n{}\n]}}\n",
         comparison.join(",\n"),
         balance.join(",\n"),
         counter_pins.join(",\n"),
+        adversarial.join(",\n"),
     );
     // Self-gate before writing: a malformed artifact must never land.
     if let Err(e) = validate_sharded_bench(&artifact) {
@@ -364,11 +481,12 @@ fn main() -> ExitCode {
          every element a descent through one shared tree, so the root is \
          a contention point the moment P stops scaling with N. Splitter \
          sharding in front of the tree (Axtmann–Sanders style) turns one \
-         global rendezvous into S independent small trees while the WAT \
-         machinery keeps the fault story: a crashed worker's shard is \
-         redone whole by survivors. Timings above are from a single \
-         shared host; the permutation-parity and counter-pin columns are \
-         the load-bearing ones."
+         global rendezvous into S independent small trees, equality \
+         buckets keep duplicate floods from re-serializing the split, and \
+         the WAT machinery keeps the fault story: a crashed worker's \
+         shard is redone whole by survivors. Timings above are from a \
+         single shared host; the permutation-parity, counter-pin, and \
+         adversarial-balance columns are the load-bearing ones."
     );
     ExitCode::SUCCESS
 }

@@ -520,7 +520,13 @@ pub fn validate_layout_bench(text: &str) -> Result<usize, String> {
 }
 
 /// The schema tag `e26_sharded_bench` writes.
-pub const SHARDED_SCHEMA: &str = "wfsort-native-sharded/v1";
+pub const SHARDED_SCHEMA: &str = "wfsort-native-sharded/v2";
+
+/// The previous sharded schema tag. Per the versioning policy in
+/// `docs/artifacts.md`, the validator keeps accepting the old tag for
+/// one release so dashboards can migrate; v1 documents simply lack the
+/// `adversarial` section.
+pub const SHARDED_SCHEMA_V1: &str = "wfsort-native-sharded/v1";
 
 /// Validates a `BENCH_sharded.json` document against the
 /// [`SHARDED_SCHEMA`] shape:
@@ -536,16 +542,29 @@ pub const SHARDED_SCHEMA: &str = "wfsort-native-sharded/v1";
 /// * `counter_pins`: single-threaded deterministic runs — the validator
 ///   recomputes `partition_blocks = ceil(n / partition_grain)` and pins
 ///   `partition_claims = n`, `partition_block_claims = fill_claims =
-///   partition_blocks`, and `shard_sort_claims = shards`.
+///   partition_blocks`, and `shard_sort_claims = shards`;
+/// * `adversarial` (v2 only, required there): the duplicate/skew
+///   battery — every entry proves the achieved `imbalance` met the
+///   requested τ (`within_requested`) and that the permutation matched
+///   the stable `(key, index)` oracle (`permutation_match`), with the
+///   populated `equality_buckets` count alongside.
 ///
-/// Returns the number of comparison + counter-pin entries.
+/// Accepts both [`SHARDED_SCHEMA`] (v2) and [`SHARDED_SCHEMA_V1`]
+/// documents; only v2 requires the `adversarial` section.
+///
+/// Returns the number of comparison + counter-pin + adversarial entries.
 pub fn validate_sharded_bench(text: &str) -> Result<usize, String> {
     let doc = Json::parse(text)?;
-    match doc.get("schema").and_then(Json::as_str) {
-        Some(SHARDED_SCHEMA) => {}
-        Some(other) => return Err(format!("schema: expected {SHARDED_SCHEMA}, got {other}")),
+    let v2 = match doc.get("schema").and_then(Json::as_str) {
+        Some(SHARDED_SCHEMA) => true,
+        Some(SHARDED_SCHEMA_V1) => false,
+        Some(other) => {
+            return Err(format!(
+                "schema: expected {SHARDED_SCHEMA} (or legacy {SHARDED_SCHEMA_V1}), got {other}"
+            ))
+        }
         None => return Err("schema: missing".into()),
-    }
+    };
     if doc.get("experiment").and_then(Json::as_str).is_none() {
         return Err("experiment: missing or not a string".into());
     }
@@ -684,7 +703,64 @@ pub fn validate_sharded_bench(text: &str) -> Result<usize, String> {
         }
     }
 
-    Ok(comparison.len() + pins.len())
+    let adversarial: &[Json] = match doc.get("adversarial").and_then(Json::as_array) {
+        Some(entries) => entries,
+        None if v2 => return Err("adversarial: missing or not an array (required by v2)".into()),
+        None => &[],
+    };
+    if v2 && adversarial.is_empty() {
+        return Err("adversarial: empty".into());
+    }
+    for (at, entry) in adversarial.iter().enumerate() {
+        if entry.get("shape").and_then(Json::as_str).is_none() {
+            return Err(format!("adversarial[{at}].shape: missing or not a string"));
+        }
+        for key in ["n", "shards", "equality_buckets"] {
+            let v = entry
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("adversarial[{at}].{key}: missing or not a number"))?;
+            if v < 0.0 || v.fract() != 0.0 {
+                return Err(format!(
+                    "adversarial[{at}].{key}: not a non-negative integer"
+                ));
+            }
+        }
+        let imbalance = entry
+            .get("imbalance")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("adversarial[{at}].imbalance: missing or not a number"))?;
+        if imbalance < 1.0 {
+            return Err(format!(
+                "adversarial[{at}].imbalance: {imbalance} below 1 (it is max/ideal)"
+            ));
+        }
+        let requested = entry
+            .get("requested_imbalance")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| {
+                format!("adversarial[{at}].requested_imbalance: missing or not a number")
+            })?;
+        // NaN must fail this gate too, hence partial_cmp over `<=`.
+        if requested.partial_cmp(&1.0) != Some(std::cmp::Ordering::Greater) {
+            return Err(format!(
+                "adversarial[{at}].requested_imbalance: {requested} not above 1 \
+                 (the job normalizes τ before reporting)"
+            ));
+        }
+        if imbalance > requested {
+            return Err(format!(
+                "adversarial[{at}]: achieved imbalance {imbalance} exceeds requested {requested}"
+            ));
+        }
+        for key in ["within_requested", "permutation_match"] {
+            if entry.get(key).and_then(Json::as_bool) != Some(true) {
+                return Err(format!("adversarial[{at}].{key}: missing or not true"));
+            }
+        }
+    }
+
+    Ok(comparison.len() + pins.len() + adversarial.len())
 }
 
 /// The schema tag `e27_service_bench` writes.
@@ -1077,13 +1153,71 @@ mod tests {
                       "partition_blocks": 8, "partition_claims": 4096,
                       "partition_block_claims": 8, "fill_claims": 8,
                       "shard_sort_claims": 8, "sorted": true}}
+                ],
+                "adversarial": [
+                    {{"shape": "all-equal", "n": 20000, "shards": 8,
+                      "equality_buckets": 1, "imbalance": 1.14,
+                      "requested_imbalance": 2.0, "within_requested": true,
+                      "permutation_match": true}}
                 ]}}"#
         )
     }
 
     #[test]
     fn accepts_a_valid_sharded_document() {
-        assert_eq!(validate_sharded_bench(&valid_sharded_doc()), Ok(2));
+        assert_eq!(validate_sharded_bench(&valid_sharded_doc()), Ok(3));
+    }
+
+    #[test]
+    fn legacy_v1_sharded_documents_stay_valid_without_adversarial() {
+        // Per the versioning policy, a v1-tagged document needs no
+        // adversarial section — but a v2 one cannot drop it.
+        let v1 = valid_sharded_doc()
+            .replace(SHARDED_SCHEMA, SHARDED_SCHEMA_V1)
+            .replace(
+                r#""adversarial": [
+                    {"shape": "all-equal", "n": 20000, "shards": 8,
+                      "equality_buckets": 1, "imbalance": 1.14,
+                      "requested_imbalance": 2.0, "within_requested": true,
+                      "permutation_match": true}
+                ]"#,
+                r#""adversarial_removed": true"#,
+            );
+        assert_eq!(validate_sharded_bench(&v1), Ok(2));
+
+        let v2_missing =
+            valid_sharded_doc().replace(r#""adversarial": ["#, r#""adversarial_renamed": ["#);
+        assert!(validate_sharded_bench(&v2_missing)
+            .unwrap_err()
+            .contains("adversarial"));
+    }
+
+    #[test]
+    fn sharded_validator_enforces_adversarial_bounds() {
+        // Achieved imbalance above the requested τ is a hard failure
+        // even if the flags claim success.
+        let doc = valid_sharded_doc().replace(r#""imbalance": 1.14"#, r#""imbalance": 2.5"#);
+        assert!(validate_sharded_bench(&doc)
+            .unwrap_err()
+            .contains("exceeds requested"));
+
+        // The job normalizes τ to > 1 before reporting; a document
+        // claiming τ = 1.0 was hand-edited.
+        let doc = valid_sharded_doc().replace(
+            r#""requested_imbalance": 2.0"#,
+            r#""requested_imbalance": 1.0"#,
+        );
+        assert!(validate_sharded_bench(&doc)
+            .unwrap_err()
+            .contains("requested_imbalance"));
+
+        let doc = valid_sharded_doc().replace(
+            r#""within_requested": true"#,
+            r#""within_requested": false"#,
+        );
+        assert!(validate_sharded_bench(&doc)
+            .unwrap_err()
+            .contains("within_requested"));
     }
 
     #[test]

@@ -88,14 +88,14 @@ pub use lcwat::AtomicLcWat;
 #[cfg(feature = "legacy-layout")]
 pub use legacy::LegacySharedTree;
 pub use metrics::{
-    BuildMetrics, MetricSlot, PhaseMetrics, ScatterMetrics, ShardPhaseMetrics, ShardReport,
-    ShardStat, SortReport, TraversalMetrics, WorkerMetrics,
+    BucketStat, BuildMetrics, MetricSlot, PhaseMetrics, ScatterMetrics, ShardPhaseMetrics,
+    ShardReport, ShardStat, SortReport, TraversalMetrics, WorkerMetrics,
 };
 pub use service::{
     JobError, JobOptions, JobReport, JobResult, JobTicket, Rejected, ServiceConfig, ServiceStats,
     SortService,
 };
-pub use shard::{recommended_shards, ShardedSortJob};
+pub use shard::{recommended_shards, ShardConfig, ShardedSortJob};
 pub use sorter::{sort_with_churn, SortOptions, SortOutcome, UntilFlag, WaitFreeSorter};
 pub use tree::{PivotTree, SharedTree, Side, EMPTY};
 pub use wat::{Assignment, AtomicWat};

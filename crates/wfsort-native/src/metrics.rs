@@ -201,10 +201,24 @@ pub struct ShardStat {
     pub claims: u64,
 }
 
+/// One overpartitioned bucket's vital statistics inside a
+/// [`ShardReport`]. Buckets alternate range/equality in key order
+/// (bucket `2i` holds keys strictly between splitters, `2i + 1` keys
+/// equal to splitter `i`), so the vector is also the key-order layout.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BucketStat {
+    /// Elements classified into this bucket. Bucket sizes sum to `n`.
+    pub size: usize,
+    /// Whether this is an equality bucket (all elements share one key
+    /// value, so the bucket is publishable by a trivial fill and may be
+    /// chunked across shards).
+    pub equality: bool,
+}
+
 /// Per-shard telemetry for a sharded run, carried in
 /// [`SortReport::shard`] by
 /// [`crate::WaitFreeSorter::sort_sharded_with_report`].
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct ShardReport {
     /// Shard count `S` the job was built with.
     pub shards: usize,
@@ -212,8 +226,20 @@ pub struct ShardReport {
     pub partition_blocks: usize,
     /// Elements per partition block (the last block may be short).
     pub partition_grain: usize,
-    /// Per-shard size and claim counts, indexed by shard.
+    /// Per-shard size and claim counts, indexed by shard. A shard's
+    /// size is the total of the work units greedily assigned to it.
     pub per_shard: Vec<ShardStat>,
+    /// Per-bucket sizes in key order (range and equality interleaved) —
+    /// the overpartitioned view behind the shard assignment.
+    pub buckets: Vec<BucketStat>,
+    /// Number of *populated* equality buckets: how many distinct
+    /// splitter values actually absorbed duplicates. An all-equal input
+    /// reports exactly 1.
+    pub equality_buckets: usize,
+    /// The τ the job was configured with
+    /// ([`crate::ShardConfig::max_shard_imbalance`]) — compare against
+    /// the achieved [`ShardReport::imbalance`].
+    pub requested_imbalance: f64,
 }
 
 impl ShardReport {
@@ -237,6 +263,13 @@ impl ShardReport {
         } else {
             1.0
         }
+    }
+
+    /// Whether the achieved [`ShardReport::imbalance`] met the
+    /// requested τ. Reports built by the sharded job always carry the
+    /// normalized (> 1.0) request, so this is a plain comparison.
+    pub fn within_requested(&self) -> bool {
+        self.imbalance() <= self.requested_imbalance
     }
 }
 
@@ -686,9 +719,17 @@ mod tests {
                 },
                 ShardStat { size: 0, claims: 1 },
             ],
+            requested_imbalance: 2.0,
+            ..ShardReport::default()
         };
         // max 40 over ideal 80/4 = 20 → 2.0.
         assert!((report.imbalance() - 2.0).abs() < 1e-12);
+        assert!(report.within_requested());
+        assert!(!ShardReport {
+            requested_imbalance: 1.5,
+            ..report.clone()
+        }
+        .within_requested());
     }
 
     #[test]
@@ -700,15 +741,10 @@ mod tests {
             shards: 4,
             partition_blocks: 0,
             partition_grain: 64,
-            per_shard: Vec::new(),
+            ..ShardReport::default()
         };
         assert_eq!(empty.imbalance(), 1.0);
-        let zero_shards = ShardReport {
-            shards: 0,
-            partition_blocks: 0,
-            partition_grain: 64,
-            per_shard: Vec::new(),
-        };
+        let zero_shards = ShardReport::default();
         assert_eq!(zero_shards.imbalance(), 1.0);
         let all_zero_sizes = ShardReport {
             shards: 2,
@@ -718,6 +754,7 @@ mod tests {
                 ShardStat { size: 0, claims: 1 },
                 ShardStat { size: 0, claims: 1 },
             ],
+            ..ShardReport::default()
         };
         assert_eq!(all_zero_sizes.imbalance(), 1.0);
         assert!(all_zero_sizes.imbalance().is_finite());

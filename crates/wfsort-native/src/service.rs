@@ -60,6 +60,7 @@ use crate::arena::SortArena;
 use crate::fault::{ChaosParticipation, ChaosPlan, SharedBudget};
 use crate::job::{recommended_grain, NativeAllocation, Participation, SortJob};
 use crate::metrics::{MetricSlot, SortReport, WorkerMetrics};
+use crate::shard::{recommended_shards, ShardedSortJob};
 use crate::watchdog::WatchdogRegistry;
 
 /// Configuration for [`SortService::start`]. All knobs have serviceable
@@ -69,6 +70,7 @@ pub struct ServiceConfig {
     workers: usize,
     queue_capacity: usize,
     small_sort_cutoff: usize,
+    sharded_cutoff: usize,
     small_batch: usize,
     max_recoveries: usize,
     default_deadline: Option<Duration>,
@@ -82,6 +84,7 @@ impl Default for ServiceConfig {
                 .unwrap_or(4),
             queue_capacity: 64,
             small_sort_cutoff: 1024,
+            sharded_cutoff: 1 << 17,
             small_batch: 8,
             max_recoveries: 2,
             default_deadline: None,
@@ -117,6 +120,17 @@ impl ServiceConfig {
     /// [`SortArena`] instead of becoming a shared cohort job.
     pub fn small_sort_cutoff(mut self, cutoff: usize) -> Self {
         self.small_sort_cutoff = cutoff;
+        self
+    }
+
+    /// Plan-free inputs at least this long become shared *sharded*
+    /// cohort jobs ([`ShardedSortJob`] with
+    /// [`recommended_shards`] shards) instead of single-tree jobs —
+    /// the duplicate-robust overpartitioned path, so one tenant's
+    /// adversarial key distribution cannot collapse its job onto one
+    /// shard. `usize::MAX` disables the sharded route.
+    pub fn sharded_cutoff(mut self, cutoff: usize) -> Self {
+        self.sharded_cutoff = cutoff;
         self
     }
 
@@ -397,11 +411,14 @@ impl Counters {
 
 /// The job's payload: tiny inputs copy straight through, small inputs
 /// run whole in one worker's pooled arena, everything else is a shared
-/// wait-free cohort job that several stints co-participate in.
+/// wait-free cohort job that several stints co-participate in — the
+/// single tree for mid-sized inputs, the duplicate-robust sharded
+/// pipeline past [`ServiceConfig::sharded_cutoff`].
 enum Work<K: Ord> {
     Tiny(Mutex<Option<Vec<K>>>),
     Small(Mutex<Option<Vec<K>>>),
     Shared(Box<SortJob<K>>),
+    SharedSharded(Box<ShardedSortJob<K>>),
 }
 
 struct JobState<K: Ord> {
@@ -585,15 +602,28 @@ impl<K: Ord + Clone + Send + Sync + 'static> SortService<K> {
             // claims, the recovery stints, and slack for a stale claim
             // racing a recovery.
             let tracked = helpers + inner.config.max_recoveries + 2;
-            let grain = recommended_grain(n, helpers);
-            Work::Shared(Box::new(SortJob::with_layout(
-                keys,
-                NativeAllocation::Deterministic,
-                tracked,
-                grain,
-            )))
+            if n >= inner.config.sharded_cutoff && options.plan.is_none() {
+                // Large tenant: the duplicate-robust sharded pipeline.
+                // Scripted plans stay on the single-tree path, whose
+                // claim counts their fault scripts were written against.
+                let shards = recommended_shards(n, helpers);
+                Work::SharedSharded(Box::new(ShardedSortJob::with_workers(
+                    keys,
+                    NativeAllocation::Deterministic,
+                    tracked,
+                    shards,
+                )))
+            } else {
+                let grain = recommended_grain(n, helpers);
+                Work::Shared(Box::new(SortJob::with_layout(
+                    keys,
+                    NativeAllocation::Deterministic,
+                    tracked,
+                    grain,
+                )))
+            }
         };
-        let shared = matches!(work, Work::Shared(_));
+        let shared = matches!(work, Work::Shared(_) | Work::SharedSharded(_));
         let job = Arc::new(JobState {
             id,
             n,
@@ -812,51 +842,86 @@ fn run_stint<K: Ord + Clone + Send + Sync>(
                 Some(StopCause::Chaos) | None => {
                     // A scripted crash (or an abandoned incomplete stint).
                     // Feed the heartbeat snapshot to the watchdog registry
-                    // — the service's cross-job health ledger — then decide
-                    // under the queue lock whether this job is stranded:
-                    // this was the last active stint and nothing remains
-                    // queued for it, so no running or future worker will
-                    // ever finish it without a recovery dispatch.
+                    // — the service's cross-job health ledger — then let
+                    // the shared recovery path decide whether the job is
+                    // stranded.
                     inner
                         .registry
                         .lock()
                         .unwrap()
                         .observe(job.id, sort_job.progress());
-                    let mut queue = inner.queue.lock().unwrap();
-                    let stranded = job.active_stints.load(Ordering::Relaxed) == 1
-                        && job.queued_entries.load(Ordering::Relaxed) == 0
-                        && !job.published.load(Ordering::Acquire);
-                    if stranded {
-                        let dispatched = job.recoveries.fetch_add(1, Ordering::Relaxed);
-                        if dispatched < inner.config.max_recoveries {
-                            inner
-                                .counters
-                                .crash_recoveries
-                                .fetch_add(1, Ordering::Relaxed);
-                            job.queued_entries.fetch_add(1, Ordering::Relaxed);
-                            queue.push_back(Arc::clone(job));
-                            job.active_stints.fetch_sub(1, Ordering::Relaxed);
-                            drop(queue);
-                            inner.work_ready.notify_one();
-                            return;
-                        }
-                        job.recoveries.fetch_sub(1, Ordering::Relaxed);
-                        job.active_stints.fetch_sub(1, Ordering::Relaxed);
-                        drop(queue);
-                        publish(
-                            inner,
-                            job,
-                            Err(JobError::WorkersLost {
-                                recoveries: inner.config.max_recoveries,
-                            }),
-                        );
-                        return;
-                    }
-                    job.active_stints.fetch_sub(1, Ordering::Relaxed);
+                    recover_or_fail(inner, job);
+                }
+            }
+        }
+        Work::SharedSharded(sort_job) => {
+            let mut participation = StintParticipation::for_job(job);
+            let slot = MetricSlot::new();
+            sort_job.participate_instrumented(&mut participation, &slot);
+            job.stint_metrics.lock().unwrap().push(slot.snapshot());
+            if sort_job.is_complete() {
+                let mut out = Vec::with_capacity(job.n);
+                sort_job.sorted_into(&mut out);
+                publish(inner, job, Ok(out));
+                finish_stint(inner, job);
+                return;
+            }
+            match participation.cause {
+                Some(StopCause::Deadline) | Some(StopCause::Budget) => {
+                    publish(inner, job, Err(stint_error(job, participation.cause)));
+                    finish_stint(inner, job);
+                }
+                Some(StopCause::Chaos) | None => {
+                    // The sharded job has no per-participant heartbeat
+                    // snapshot to feed the watchdog registry (its
+                    // progress signal is the three WAT frontiers, not
+                    // per-thread epochs), so go straight to the shared
+                    // stranded/recovery decision.
+                    recover_or_fail(inner, job);
                 }
             }
         }
     }
+}
+
+/// Post-crash bookkeeping shared by both cohort-job flavors: decide
+/// under the queue lock whether the job is stranded — this was the last
+/// active stint and nothing remains queued for it, so no running or
+/// future worker will ever finish it — and either dispatch a recovery
+/// stint (up to [`ServiceConfig::max_recoveries`]) or fail the job with
+/// [`JobError::WorkersLost`].
+fn recover_or_fail<K: Ord + Clone>(inner: &Inner<K>, job: &Arc<JobState<K>>) {
+    let mut queue = inner.queue.lock().unwrap();
+    let stranded = job.active_stints.load(Ordering::Relaxed) == 1
+        && job.queued_entries.load(Ordering::Relaxed) == 0
+        && !job.published.load(Ordering::Acquire);
+    if stranded {
+        let dispatched = job.recoveries.fetch_add(1, Ordering::Relaxed);
+        if dispatched < inner.config.max_recoveries {
+            inner
+                .counters
+                .crash_recoveries
+                .fetch_add(1, Ordering::Relaxed);
+            job.queued_entries.fetch_add(1, Ordering::Relaxed);
+            queue.push_back(Arc::clone(job));
+            job.active_stints.fetch_sub(1, Ordering::Relaxed);
+            drop(queue);
+            inner.work_ready.notify_one();
+            return;
+        }
+        job.recoveries.fetch_sub(1, Ordering::Relaxed);
+        job.active_stints.fetch_sub(1, Ordering::Relaxed);
+        drop(queue);
+        publish(
+            inner,
+            job,
+            Err(JobError::WorkersLost {
+                recoveries: inner.config.max_recoveries,
+            }),
+        );
+        return;
+    }
+    job.active_stints.fetch_sub(1, Ordering::Relaxed);
 }
 
 /// Post-stint bookkeeping for the paths that did not already do it
@@ -958,6 +1023,42 @@ mod tests {
         assert_eq!(stats.admitted, 8);
         assert_eq!(stats.completed, 8);
         assert_eq!(stats.failed(), 0);
+    }
+
+    #[test]
+    fn large_tenants_route_through_the_sharded_path() {
+        // Cutoff lowered so the test stays fast: tenants above it run
+        // on the overpartitioned sharded pipeline — including the
+        // all-equal duplicate flood that used to collapse splitter
+        // sampling — tenants below it keep the single-tree path, and a
+        // sharded job under an impossible deadline still fails with the
+        // typed error instead of hanging.
+        let service = SortService::start(ServiceConfig::default().workers(2).sharded_cutoff(2_000));
+        let flood = vec![42u64; 6_000];
+        let mixed = random_keys(6_000, 400);
+        let small = random_keys(1_500, 401);
+        let t1 = service
+            .submit(flood.clone(), JobOptions::default())
+            .unwrap();
+        let t2 = service
+            .submit(mixed.clone(), JobOptions::default())
+            .unwrap();
+        let t3 = service
+            .submit(small.clone(), JobOptions::default())
+            .unwrap();
+        assert_eq!(t1.wait().sorted.unwrap(), flood);
+        assert_eq!(t2.wait().sorted.unwrap(), expect_sorted(&mixed));
+        assert_eq!(t3.wait().sorted.unwrap(), expect_sorted(&small));
+        let doomed = service
+            .submit(
+                mixed.clone(),
+                JobOptions::default().deadline(Duration::ZERO),
+            )
+            .unwrap();
+        assert_eq!(doomed.wait().sorted.unwrap_err(), JobError::DeadlineExpired);
+        let stats = service.shutdown();
+        assert_eq!(stats.completed, 3);
+        assert_eq!(stats.deadline_expired, 1);
     }
 
     #[test]

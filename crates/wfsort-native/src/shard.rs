@@ -1,5 +1,5 @@
-//! The sharded large-N sorting path: sample-sort splitters in front of
-//! the paper's wait-free sort.
+//! The sharded large-N sorting path: duplicate-robust sample-sort
+//! splitters in front of the paper's wait-free sort.
 //!
 //! The single-tree [`SortJob`] funnels every element through one pivot
 //! tree, so at large N the root's cache line is the whole machine's
@@ -10,44 +10,64 @@
 //! single-tree path so the fault story is preserved at every
 //! granularity:
 //!
-//! 1. **Partition** — `O(S log S)` keys are sampled at construction and
-//!    sorted to pick `S - 1` splitters; workers then claim blocks of
-//!    elements from a WAT and classify each element against the
-//!    splitters (a binary search), publishing `shard_of[i]`. The stores
-//!    are benign races: every claimant computes the same deterministic
-//!    value.
+//! 1. **Partition** — `k·S` *distinct* splitters are sampled at
+//!    construction (stride positions, sorted, deduplicated, thinned
+//!    evenly; `k` is [`ShardConfig::overpartition_factor`]). The `d`
+//!    splitters define `2d + 1` *buckets* in key order, alternating
+//!    *range* buckets (keys strictly between two splitters) and
+//!    *equality* buckets (keys equal to one splitter) — the
+//!    overpartitioning-plus-equality-buckets construction that makes
+//!    duplicate floods and heavy skew harmless: an all-equal input
+//!    deduplicates to a single splitter and lands entirely in its
+//!    equality bucket. Workers claim blocks of elements from a WAT and
+//!    classify each element into its bucket (a binary search),
+//!    publishing `piece_of[i]`. The stores are benign races: every
+//!    claimant computes the same deterministic value.
 //! 2. **Fill** — workers claim partition blocks from a second WAT and
-//!    copy each element's index into its shard's contiguous range of
+//!    copy each element's index into its bucket's contiguous range of
 //!    the bucket array. Destinations are a pure function of the
 //!    completed classification (block-major, original order within a
 //!    block), so redone blocks rewrite identical values — and the
-//!    within-shard order preserves the original index order, which is
+//!    within-bucket order preserves the original index order, which is
 //!    what makes the sharded permutation *identical* to the single-tree
 //!    one, ties and all.
-//! 3. **Shard sort** — workers claim whole shards from a third WAT and
-//!    sort each one locally with the packed pivot tree, recycling one
-//!    private [`SortArena`] across every shard they claim. The sorted
-//!    ranks are published into the output permutation; concatenation in
-//!    splitter order is free because each shard owns a contiguous rank
-//!    range.
+//! 3. **Shard sort** — the buckets are cut into *work units* (equality
+//!    buckets are chunked to at most `(τ-1)·n/S` elements, `τ` being
+//!    [`ShardConfig::max_shard_imbalance`]; range buckets stay whole)
+//!    and assigned to the `S` shards greedily by measured size, largest
+//!    first — a pure function of the completed classification, so every
+//!    worker computes the same assignment. Workers claim whole shards
+//!    from a third WAT and publish each of the shard's units: equality
+//!    chunks and already-non-decreasing range buckets are trivial fills
+//!    (the bucket order *is* the stable sorted order), other range
+//!    buckets are sorted locally with the packed pivot tree in a
+//!    private recycled [`SortArena`] — or, when a range bucket exceeds
+//!    the chunk size and [`ShardConfig::max_levels`] allows, re-sharded
+//!    one level down. Each bucket owns a contiguous rank range, so
+//!    concatenation in key order is free.
 //!
 //! **Fault story.** A worker that crashes mid-phase leaves its current
 //! WAT leaf unmarked and survivors redo the whole unit — an element
-//! block, a fill block, or an entire shard. The shard is the coarsest
-//! redo unit in the crate, which is the deliberate trade: claim traffic
-//! shrinks to `O(S)` for the longest phase, at the cost of redoing up
-//! to one shard's sort per crash. A participant abandoned *inside* a
-//! shard's inner sort signals the WAT through its `keep_going` before
-//! the leaf is published, so a half-sorted shard is never marked
-//! complete (both WAT flavors gate publication on a final consult).
+//! block, a fill block, or an entire shard (all of its work units). The
+//! shard is the coarsest redo unit in the crate, which is the
+//! deliberate trade: claim traffic shrinks to `O(S)` for the longest
+//! phase, at the cost of redoing up to one shard's units per crash. A
+//! participant abandoned *inside* a unit's inner sort signals the WAT
+//! through its `keep_going` before the leaf is published, so a
+//! half-sorted shard is never marked complete (both WAT flavors gate
+//! publication on a final consult).
 //!
 //! The splitter sample is taken at deterministic stride positions, so a
 //! job — and therefore every chaos replay over it — is a pure function
-//! of its `(keys, shards)` input. The cost is that adversarially
-//! periodic inputs can skew shard sizes; skew hurts only balance, never
-//! correctness, and [`crate::ShardReport::imbalance`] measures it.
+//! of its `(keys, shards, config)` input. Deduplication plus equality
+//! buckets remove the duplicate-collapse failure mode entirely;
+//! residual skew from an adversarial sample hurts only balance, never
+//! correctness, and [`crate::ShardReport::imbalance`] measures it
+//! against the requested τ.
 
 use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 
 use crate::arena::SortArena;
@@ -56,7 +76,7 @@ use crate::job::{
     DEFAULT_TRACKED_PARTICIPANTS,
 };
 use crate::lcwat::AtomicLcWat;
-use crate::metrics::{Instrument, MetricSlot, NoInstrument, ShardReport, ShardStat};
+use crate::metrics::{BucketStat, Instrument, MetricSlot, NoInstrument, ShardReport, ShardStat};
 use crate::wat::AtomicWat;
 use crate::watchdog::SortPhase;
 
@@ -68,7 +88,7 @@ use crate::watchdog::SortPhase;
 /// that its hot path stays in cache instead of chasing pointers across
 /// a single tree of all `n` nodes; at least `workers` shards lets every
 /// thread hold a distinct shard in the final phase; the 256 cap bounds
-/// the splitter binary search and the per-worker `O(B·S)` fill
+/// the splitter binary search and the per-worker `O(B·P)` fill
 /// bookkeeping. Mirrors [`recommended_grain`], and like it the
 /// constants are exercised by the E26 sweep rather than trusted.
 pub fn recommended_shards(n: usize, workers: usize) -> usize {
@@ -83,24 +103,122 @@ fn partition_grain(n: usize, workers: usize) -> usize {
     (n / (workers.max(1) * 8)).clamp(64, 4096).min(n)
 }
 
-/// Deterministic `O(S log S)` splitter sample: `S · (⌈log₂ S⌉ + 1)`
-/// keys at stride positions, sorted, with every `m/S`-th picked as a
-/// splitter.
-fn sample_splitters<K: Ord + Clone>(keys: &[K], shards: usize) -> Vec<K> {
+/// Robustness knobs for the sharded path. [`crate::SortOptions`] is the
+/// builder surface; raw construction goes through
+/// [`ShardedSortJob::with_config`].
+///
+/// Degenerate values never panic: [`ShardConfig::normalized`] maps a
+/// zero factor or level count and a non-finite or ≤ 1.0 imbalance
+/// target back to the defaults, and every constructor normalizes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ShardConfig {
+    /// Overpartition factor `k`: the sampler targets `k·S` distinct
+    /// splitters, so up to `2kS + 1` buckets feed the greedy
+    /// bucket→shard assignment. `0` selects the default (8); `1` is the
+    /// minimal robust sampler — deduplication and equality buckets with
+    /// barely any overpartitioning. Normalization caps the factor at 64
+    /// to bound the `O(B·P)` fill bookkeeping.
+    pub overpartition_factor: usize,
+    /// Balance target τ for [`crate::ShardReport::imbalance`]: equality
+    /// buckets are chunked to at most `(τ-1)·n/S` elements, so greedy
+    /// largest-first assignment keeps every shard under `τ·n/S`
+    /// whenever no single range bucket exceeds the chunk size (the
+    /// classic list-scheduling bound `max ≤ avg + largest unit`).
+    /// Non-finite or ≤ 1.0 values normalize to the default 2.0.
+    pub max_shard_imbalance: f64,
+    /// Sharding levels: `1` (the default) sorts every oversized range
+    /// bucket with the packed pivot tree; `2` re-shards a range bucket
+    /// that exceeds the chunk size one level down before pivot-sorting
+    /// its sub-buckets. `0` normalizes to 1; values above 4 clamp to 4
+    /// (the paper-relevant regime is one extra level).
+    pub max_levels: usize,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            overpartition_factor: 8,
+            max_shard_imbalance: 2.0,
+            max_levels: 1,
+        }
+    }
+}
+
+impl ShardConfig {
+    /// Maps every degenerate knob value onto a usable one (see the
+    /// field docs); idempotent, and applied by every constructor.
+    pub fn normalized(self) -> Self {
+        ShardConfig {
+            overpartition_factor: match self.overpartition_factor {
+                0 => 8,
+                f => f.min(64),
+            },
+            max_shard_imbalance: if self.max_shard_imbalance.is_finite()
+                && self.max_shard_imbalance > 1.0
+            {
+                self.max_shard_imbalance
+            } else {
+                2.0
+            },
+            max_levels: self.max_levels.clamp(1, 4),
+        }
+    }
+}
+
+/// Deterministic duplicate-robust splitter sample: stride positions,
+/// oversampled by a log factor past the `k·S` target, sorted, reduced
+/// to `k·S` evenly-spaced **quantiles of the sample with duplicates
+/// kept**, then deduplicated. Strictly increasing output; an all-equal
+/// input yields one splitter.
+///
+/// The quantile-then-dedup order is load-bearing: quantiles of the
+/// raw sorted sample are mass-weighted, so a value carrying more than
+/// `~1/(k·S)` of the input (a Zipf head, a duplicate flood) always
+/// occupies at least one quantile slot and survives as a splitter —
+/// its mass then lands in a chunkable *equality* bucket. Deduplicating
+/// first and thinning by distinct-value rank would weight every value
+/// equally and could drop exactly the heavy keys, leaving their whole
+/// mass in one unchunkable range bucket (the imbalance bug the E26d
+/// battery pins).
+fn sample_splitters<K: Ord + Clone>(keys: &[K], shards: usize, factor: usize) -> Vec<K> {
     if shards <= 1 {
         return Vec::new();
     }
     let n = keys.len();
-    let oversample = (usize::BITS - (shards - 1).leading_zeros()) as usize + 1;
-    let m = (shards * oversample).min(n);
+    let target = shards.saturating_mul(factor.max(1));
+    let oversample = (usize::BITS - (target - 1).leading_zeros()) as usize + 1;
+    let m = target.saturating_mul(oversample).min(n);
     let mut sample: Vec<K> = (0..m).map(|j| keys[j * n / m].clone()).collect();
     sample.sort();
-    (1..shards)
-        .map(|j| sample[j * m / shards].clone())
-        .collect()
+    // Quantile positions are non-decreasing and the sample is sorted,
+    // so the picks are non-decreasing; dedup makes them strictly
+    // increasing.
+    let mut splitters: Vec<K> = (1..=target.min(m))
+        .map(|j| sample[j * m / (target.min(m) + 1)].clone())
+        .collect();
+    splitters.dedup();
+    splitters
 }
 
-/// Forwards an outer [`Participation`] into a shard's inner sort,
+/// One contiguous bucket-array span the shard phase publishes as a
+/// whole: an equality-bucket chunk or a range bucket. `lo..hi` are
+/// bucket-array slots, which equal the unit's output ranks.
+#[derive(Clone, Copy, Debug)]
+struct WorkUnit {
+    lo: usize,
+    hi: usize,
+    /// Equality units hold one key value, so the bucket order (original
+    /// index order) is already the stable sorted order.
+    equality: bool,
+}
+
+impl WorkUnit {
+    fn len(&self) -> usize {
+        self.hi - self.lo
+    }
+}
+
+/// Forwards an outer [`Participation`] into a unit's inner sort,
 /// latching any abandonment so (a) the inner sort stops promptly and
 /// (b) the outer shard WAT sees the signal at its publish gate and
 /// leaves the half-sorted shard's leaf unmarked.
@@ -123,16 +241,17 @@ impl<P: Participation> Participation for ForwardAbandon<'_, '_, P> {
 }
 
 /// A wait-free *sharded* sort of `keys` in progress (or completed):
-/// splitter partition, bucket fill, then one independent single-tree
-/// sort per shard (see the module docs for the pipeline and fault
-/// story).
+/// duplicate-robust splitter partition into range and equality buckets,
+/// bucket fill, then greedy bucket→shard assignment with one
+/// independent local sort (or trivial fill) per work unit (see the
+/// module docs for the pipeline and fault story).
 ///
 /// Like [`SortJob`], any number of threads may call
 /// [`ShardedSortJob::participate`] at any time, abandon at will, and
 /// the sort completes as long as one participant keeps running. The
 /// computed permutation is identical to the single-tree job's —
 /// `(key, index)` order, so stable — which the differential suite in
-/// `tests/sharded_parity.rs` pins.
+/// `tests/sharded_parity.rs` pins across the adversarial shape battery.
 ///
 /// Unlike [`SortJob`] there are no per-participant heartbeat slots: the
 /// watchdog story for the sharded path rides on its completion gates
@@ -157,11 +276,15 @@ impl<P: Participation> Participation for ForwardAbandon<'_, '_, P> {
 #[derive(Debug)]
 pub struct ShardedSortJob<K: Ord> {
     keys: Vec<K>,
-    /// `shards - 1` sorted splitter keys; element `i` belongs to shard
-    /// `splitters.partition_point(|s| s <= keys[i])`, so equal keys
-    /// always land in the same shard.
+    /// Strictly increasing (deduplicated) splitters; element `i`
+    /// belongs to the bucket [`ShardedSortJob::piece_for`] computes, so
+    /// equal keys always share a bucket.
     splitters: Vec<K>,
     shards: usize,
+    /// Bucket count `P = 2·splitters.len() + 1`: buckets alternate
+    /// range / equality in key order.
+    pieces: usize,
+    config: ShardConfig,
     pgrain: usize,
     blocks: usize,
     allocation: NativeAllocation,
@@ -171,12 +294,12 @@ pub struct ShardedSortJob<K: Ord> {
     partition_lcwat: AtomicLcWat,
     fill_lcwat: AtomicLcWat,
     shard_lcwat: AtomicLcWat,
-    /// `shard_of[i]` = shard of element `i` (0-based). Benign race:
+    /// `piece_of[i]` = bucket of element `i` (0-based). Benign race:
     /// every writer stores the same deterministic value.
-    shard_of: Vec<AtomicU32>,
+    piece_of: Vec<AtomicU32>,
     /// `bucket[d]` = 1-based element index occupying bucket slot `d`;
-    /// shard `j` owns the contiguous slots `starts[j]..starts[j + 1]`,
-    /// filled in original-index order (benign race, like `shard_of`).
+    /// bucket `p` owns the contiguous slots `starts[p]..starts[p + 1]`,
+    /// filled in original-index order (benign race, like `piece_of`).
     bucket: Vec<AtomicUsize>,
     /// `out_perm[r]` = 1-based element index with rank `r + 1` — the
     /// same contract as [`crate::SortJob`]'s permutation.
@@ -189,8 +312,8 @@ pub struct ShardedSortJob<K: Ord> {
 
 impl<K: Ord + Clone> ShardedSortJob<K> {
     /// Creates a sharded job over `keys` with `shards` shards,
-    /// deterministic WAT allocation, and work grains sized for
-    /// [`DEFAULT_TRACKED_PARTICIPANTS`] workers.
+    /// deterministic WAT allocation, default [`ShardConfig`], and work
+    /// grains sized for [`DEFAULT_TRACKED_PARTICIPANTS`] workers.
     /// [`crate::SortJob::with_shards`] is the same constructor under
     /// the name the single-tree path uses.
     ///
@@ -206,10 +329,10 @@ impl<K: Ord + Clone> ShardedSortJob<K> {
         )
     }
 
-    /// Creates a sharded job with every knob explicit: the WAT flavor
-    /// (`allocation`), the expected `workers` cohort (sizes the
-    /// partition-block grain; correctness never depends on it), and the
-    /// shard count.
+    /// [`ShardedSortJob::with_config`] with the default [`ShardConfig`]:
+    /// the WAT flavor (`allocation`), the expected `workers` cohort
+    /// (sizes the partition-block grain; correctness never depends on
+    /// it), and the shard count.
     ///
     /// # Panics
     ///
@@ -221,17 +344,44 @@ impl<K: Ord + Clone> ShardedSortJob<K> {
         workers: usize,
         shards: usize,
     ) -> Self {
+        Self::with_config(keys, allocation, workers, shards, ShardConfig::default())
+    }
+
+    /// Creates a sharded job with every knob explicit, including the
+    /// robustness [`ShardConfig`] (normalized via
+    /// [`ShardConfig::normalized`], so degenerate knob values select
+    /// defaults instead of panicking).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` has fewer than 2 elements, or `workers` or
+    /// `shards` is zero, or `shards` does not fit in a `u32`.
+    pub fn with_config(
+        keys: Vec<K>,
+        allocation: NativeAllocation,
+        workers: usize,
+        shards: usize,
+        config: ShardConfig,
+    ) -> Self {
         let n = keys.len();
         assert!(n >= 2, "a sort job needs at least two keys");
         assert!(workers >= 1, "a sharded job needs at least one worker");
         assert!(shards >= 1, "a sharded job needs at least one shard");
         assert!(u32::try_from(shards).is_ok(), "shard ids are stored as u32");
-        let splitters = sample_splitters(&keys, shards);
+        let config = config.normalized();
+        let splitters = sample_splitters(&keys, shards, config.overpartition_factor);
+        let pieces = 2 * splitters.len() + 1;
+        assert!(
+            u32::try_from(pieces).is_ok(),
+            "bucket ids are stored as u32"
+        );
         let pgrain = partition_grain(n, workers);
         let blocks = n.div_ceil(pgrain);
         ShardedSortJob {
             splitters,
             shards,
+            pieces,
+            config,
             pgrain,
             blocks,
             allocation,
@@ -241,7 +391,7 @@ impl<K: Ord + Clone> ShardedSortJob<K> {
             partition_lcwat: AtomicLcWat::with_grain(n, pgrain),
             fill_lcwat: AtomicLcWat::new(blocks),
             shard_lcwat: AtomicLcWat::new(shards),
-            shard_of: (0..n).map(|_| AtomicU32::new(0)).collect(),
+            piece_of: (0..n).map(|_| AtomicU32::new(0)).collect(),
             bucket: (0..n).map(|_| AtomicUsize::new(0)).collect(),
             out_perm: (0..n).map(|_| AtomicUsize::new(0)).collect(),
             shard_claims: (0..shards).map(|_| AtomicU64::new(0)).collect(),
@@ -250,7 +400,7 @@ impl<K: Ord + Clone> ShardedSortJob<K> {
         }
     }
 
-    /// Fallible [`ShardedSortJob::with_workers`]: returns `None` for
+    /// Fallible [`ShardedSortJob::with_workers`]: returns `Err` for
     /// every argument shape the panicking constructor rejects (fewer
     /// than 2 keys, zero workers or shards, shard ids past `u32`),
     /// handing `keys` back untouched so a service-facing caller can fall
@@ -280,7 +430,7 @@ impl<K: Ord + Clone> ShardedSortJob<K> {
     }
 
     /// [`ShardedSortJob::participate`] recording per-worker telemetry
-    /// into `slot`, including the inner per-shard sorts (their events
+    /// into `slot`, including the inner per-unit sorts (their events
     /// land in the ordinary build/sum/place/scatter buckets).
     pub fn participate_instrumented(&self, p: &mut impl Participation, slot: &MetricSlot) {
         self.participate_inner(p, slot.counters());
@@ -308,8 +458,8 @@ impl<K: Ord + Clone> ShardedSortJob<K> {
         self.shard_phase(tid, nthreads, &starts, p, ins);
     }
 
-    /// Phase 1: classify every element against the splitters. One WAT
-    /// item per element (so `partition.claims` counts elements,
+    /// Phase 1: classify every element into its bucket. One WAT item
+    /// per element (so `partition.claims` counts elements,
     /// grain-independent like the single-tree phases), blocks of
     /// [`ShardedSortJob::partition_grain`] items per leaf.
     fn partition_phase(
@@ -320,8 +470,8 @@ impl<K: Ord + Clone> ShardedSortJob<K> {
         ins: &impl Instrument,
     ) {
         let classify = |i: usize| {
-            let shard = self.shard_for(&self.keys[i]);
-            self.shard_of[i].store(shard as u32, Ordering::Relaxed);
+            let piece = self.piece_for(&self.keys[i]);
+            self.piece_of[i].store(piece as u32, Ordering::Relaxed);
         };
         let keep_going = || {
             ins.checkpoint();
@@ -339,9 +489,9 @@ impl<K: Ord + Clone> ShardedSortJob<K> {
         }
     }
 
-    /// Phase 2: write every element's index into its shard's bucket
-    /// range, one partition block per WAT job. Returns the shard start
-    /// offsets (`shards + 1` entries) for the shard phase — a pure
+    /// Phase 2: write every element's index into its bucket's slot
+    /// range, one partition block per WAT job. Returns the bucket start
+    /// offsets (`pieces + 1` entries) for the shard phase — a pure
     /// function of the completed classification, so every worker
     /// computes the same values.
     fn fill_phase(
@@ -352,16 +502,16 @@ impl<K: Ord + Clone> ShardedSortJob<K> {
         ins: &impl Instrument,
     ) -> Vec<usize> {
         let (starts, offsets) = self.column_offsets();
-        let s = self.shards;
+        let pieces = self.pieces;
         let fill_block = |blk: usize| {
             // A private cursor copy per invocation keeps redone blocks
             // idempotent: every rerun starts from the same offsets and
             // rewrites the same destinations.
-            let mut next = offsets[blk * s..(blk + 1) * s].to_vec();
+            let mut next = offsets[blk * pieces..(blk + 1) * pieces].to_vec();
             for i in self.block_span(blk) {
-                let shard = self.shard_of[i].load(Ordering::Relaxed) as usize;
-                self.bucket[next[shard]].store(i + 1, Ordering::Relaxed);
-                next[shard] += 1;
+                let piece = self.piece_of[i].load(Ordering::Relaxed) as usize;
+                self.bucket[next[piece]].store(i + 1, Ordering::Relaxed);
+                next[piece] += 1;
             }
         };
         let keep_going = || {
@@ -381,8 +531,10 @@ impl<K: Ord + Clone> ShardedSortJob<K> {
         starts
     }
 
-    /// Phase 3: claim whole shards and sort each one with the packed
-    /// pivot tree, recycling one private arena across claims.
+    /// Phase 3: claim whole shards and publish each of the shard's work
+    /// units — trivial fills for equality chunks and non-decreasing
+    /// range buckets, a packed pivot-tree sort (one private recycled
+    /// arena per worker) or a one-level re-shard for the rest.
     fn shard_phase(
         &self,
         tid: usize,
@@ -391,49 +543,101 @@ impl<K: Ord + Clone> ShardedSortJob<K> {
         p: &mut impl Participation,
         ins: &impl Instrument,
     ) {
+        let assignment = self.assign_units(&self.plan_units(starts));
         let abandoned = Cell::new(false);
         let outer = RefCell::new(p);
         let mut arena: SortArena<K> = SortArena::new();
-        let mut shard_keys: Vec<K> = Vec::new();
+        let mut unit_keys: Vec<K> = Vec::new();
         let sort_shard = |shard: usize| {
             self.shard_claims[shard].fetch_add(1, Ordering::Relaxed);
-            if abandoned.get() {
-                return;
-            }
-            let (lo, hi) = (starts[shard], starts[shard + 1]);
-            match hi - lo {
-                0 => {}
-                1 => {
-                    let element = self.bucket[lo].load(Ordering::Relaxed);
-                    self.out_perm[lo].store(element, Ordering::Release);
+            for unit in &assignment[shard] {
+                if abandoned.get() {
+                    return;
                 }
-                len => {
-                    shard_keys.clear();
-                    shard_keys.extend((lo..hi).map(|slot| {
-                        self.keys[self.bucket[slot].load(Ordering::Relaxed) - 1].clone()
-                    }));
-                    let job =
-                        arena.prepare(&shard_keys, self.allocation, 1, recommended_grain(len, 1));
-                    let mut inner = ForwardAbandon {
+                let (lo, hi) = (unit.lo, unit.hi);
+                // Equality units hold one value, and a range bucket
+                // whose keys are already non-decreasing in bucket
+                // (original index) order — pre-sorted inputs produce
+                // these — is in stable sorted order too: publishing
+                // either is a straight copy, never a pivot tree. This
+                // is also what keeps all-equal and pre-sorted inputs
+                // out of the pivot tree's quadratic monotone-insert
+                // regime.
+                if unit.equality || hi - lo == 1 || self.is_sorted_run(lo, hi) {
+                    for slot in lo..hi {
+                        let element = self.bucket[slot].load(Ordering::Relaxed);
+                        self.out_perm[slot].store(element, Ordering::Release);
+                    }
+                    continue;
+                }
+                let len = hi - lo;
+                if self.config.max_levels > 1 && len > self.chunk_cap() {
+                    // An oversized range bucket: the sampler missed its
+                    // span, so re-shard it one level down instead of
+                    // feeding one giant pivot tree.
+                    let piece_keys: Vec<K> = (lo..hi)
+                        .map(|slot| {
+                            self.keys[self.bucket[slot].load(Ordering::Relaxed) - 1].clone()
+                        })
+                        .collect();
+                    let inner_config = ShardConfig {
+                        max_levels: self.config.max_levels - 1,
+                        ..self.config
+                    };
+                    let inner = ShardedSortJob::with_config(
+                        piece_keys,
+                        self.allocation,
+                        1,
+                        recommended_shards(len, 1).max(2),
+                        inner_config,
+                    );
+                    let mut fwd = ForwardAbandon {
                         outer: &outer,
                         abandoned: &abandoned,
                     };
-                    job.participate_inner(&mut inner, ins);
+                    // Erase the participation type at the recursion
+                    // boundary: without this, each level would nest
+                    // another ForwardAbandon<…> and monomorphization
+                    // would never terminate.
+                    let mut erased: &mut dyn Participation = &mut fwd;
+                    inner.participate_inner(&mut erased, ins);
                     ins.enter_phase(SortPhase::ShardSort);
                     if abandoned.get() {
-                        // Half-sorted: the publish gate below sees the
-                        // same signal and leaves this shard's leaf
-                        // unmarked for survivors.
                         return;
                     }
-                    debug_assert!(job.is_complete());
-                    // Within a shard the bucket preserves original index
-                    // order, so the inner job's (key, local index) ties
-                    // break exactly like the global (key, index) ties.
-                    for (rank, local) in job.permutation().into_iter().enumerate() {
+                    debug_assert!(inner.is_complete());
+                    for (rank, local) in inner.permutation().into_iter().enumerate() {
                         let element = self.bucket[lo + local - 1].load(Ordering::Relaxed);
                         self.out_perm[lo + rank].store(element, Ordering::Release);
                     }
+                    continue;
+                }
+                unit_keys.clear();
+                unit_keys.extend(
+                    (lo..hi).map(|slot| {
+                        self.keys[self.bucket[slot].load(Ordering::Relaxed) - 1].clone()
+                    }),
+                );
+                let job = arena.prepare(&unit_keys, self.allocation, 1, recommended_grain(len, 1));
+                let mut inner = ForwardAbandon {
+                    outer: &outer,
+                    abandoned: &abandoned,
+                };
+                job.participate_inner(&mut inner, ins);
+                ins.enter_phase(SortPhase::ShardSort);
+                if abandoned.get() {
+                    // Half-sorted: the publish gate below sees the
+                    // same signal and leaves this shard's leaf
+                    // unmarked for survivors.
+                    return;
+                }
+                debug_assert!(job.is_complete());
+                // Within a bucket the fill preserves original index
+                // order, so the inner job's (key, local index) ties
+                // break exactly like the global (key, index) ties.
+                for (rank, local) in job.permutation().into_iter().enumerate() {
+                    let element = self.bucket[lo + local - 1].load(Ordering::Relaxed);
+                    self.out_perm[lo + rank].store(element, Ordering::Release);
                 }
             }
         };
@@ -453,34 +657,54 @@ impl<K: Ord + Clone> ShardedSortJob<K> {
         }
     }
 
-    /// The shard element `key` belongs to: the number of splitters at
-    /// or below it, so equal keys are never separated.
-    fn shard_for(&self, key: &K) -> usize {
-        self.splitters.partition_point(|s| s <= key)
+    /// Whether the keys in bucket slots `lo..hi` are already
+    /// non-decreasing in bucket (original index) order.
+    fn is_sorted_run(&self, lo: usize, hi: usize) -> bool {
+        (lo + 1..hi).all(|slot| {
+            let a = self.bucket[slot - 1].load(Ordering::Relaxed) - 1;
+            let b = self.bucket[slot].load(Ordering::Relaxed) - 1;
+            self.keys[a] <= self.keys[b]
+        })
     }
 
-    /// Shard start offsets and per-block destination offsets, both pure
-    /// functions of the completed classification. `O(n + B·S)` per
+    /// The bucket element `key` belongs to. Buckets alternate in key
+    /// order: `2i` holds keys strictly between splitters `i - 1` and
+    /// `i` (the outermost two are open-ended), `2i + 1` holds keys
+    /// equal to splitter `i` — so equal keys always share a bucket and
+    /// bucket order is key order.
+    fn piece_for(&self, key: &K) -> usize {
+        let i = self.splitters.partition_point(|s| s < key);
+        if i < self.splitters.len() && self.splitters[i] == *key {
+            2 * i + 1
+        } else {
+            2 * i
+        }
+    }
+
+    /// Bucket start offsets and per-block destination offsets, both pure
+    /// functions of the completed classification. `O(n + B·P)` per
     /// call; each participant pays it once, at fill-phase entry.
     fn column_offsets(&self) -> (Vec<usize>, Vec<usize>) {
-        let s = self.shards;
-        let mut offsets = vec![0usize; self.blocks * s];
+        let pieces = self.pieces;
+        let mut offsets = vec![0usize; self.blocks * pieces];
         for i in 0..self.keys.len() {
-            let shard = self.shard_of[i].load(Ordering::Relaxed) as usize;
-            offsets[(i / self.pgrain) * s + shard] += 1;
+            let piece = self.piece_of[i].load(Ordering::Relaxed) as usize;
+            offsets[(i / self.pgrain) * pieces + piece] += 1;
         }
-        let mut starts = vec![0usize; s + 1];
-        for shard in 0..s {
-            let total: usize = (0..self.blocks).map(|blk| offsets[blk * s + shard]).sum();
-            starts[shard + 1] = starts[shard] + total;
+        let mut starts = vec![0usize; pieces + 1];
+        for piece in 0..pieces {
+            let total: usize = (0..self.blocks)
+                .map(|blk| offsets[blk * pieces + piece])
+                .sum();
+            starts[piece + 1] = starts[piece] + total;
         }
         // Convert per-block counts into absolute destination offsets.
-        let mut running = starts[..s].to_vec();
+        let mut running = starts[..pieces].to_vec();
         for blk in 0..self.blocks {
-            for shard in 0..s {
-                let count = offsets[blk * s + shard];
-                offsets[blk * s + shard] = running[shard];
-                running[shard] += count;
+            for piece in 0..pieces {
+                let count = offsets[blk * pieces + piece];
+                offsets[blk * pieces + piece] = running[piece];
+                running[piece] += count;
             }
         }
         (starts, offsets)
@@ -490,6 +714,68 @@ impl<K: Ord + Clone> ShardedSortJob<K> {
     fn block_span(&self, blk: usize) -> std::ops::Range<usize> {
         let start = blk * self.pgrain;
         start..((start + self.pgrain).min(self.keys.len()))
+    }
+
+    /// The largest work unit the chunker will emit: `(τ-1)·n/S`
+    /// elements, so greedy assignment's `max ≤ avg + largest` bound
+    /// lands under `τ·n/S`.
+    fn chunk_cap(&self) -> usize {
+        let slack = self.config.max_shard_imbalance - 1.0;
+        ((slack * self.keys.len() as f64 / self.shards as f64) as usize).max(1)
+    }
+
+    /// Cuts the populated buckets into work units: equality buckets
+    /// into chunks of at most [`ShardedSortJob::chunk_cap`] slots
+    /// (safe because their order is already final), range buckets
+    /// whole. Pure in the completed classification.
+    fn plan_units(&self, starts: &[usize]) -> Vec<WorkUnit> {
+        let cap = self.chunk_cap();
+        let mut units = Vec::new();
+        for piece in 0..self.pieces {
+            let (lo, hi) = (starts[piece], starts[piece + 1]);
+            if lo == hi {
+                continue;
+            }
+            if piece % 2 == 1 {
+                let mut at = lo;
+                while at < hi {
+                    let end = (at + cap).min(hi);
+                    units.push(WorkUnit {
+                        lo: at,
+                        hi: end,
+                        equality: true,
+                    });
+                    at = end;
+                }
+            } else {
+                units.push(WorkUnit {
+                    lo,
+                    hi,
+                    equality: false,
+                });
+            }
+        }
+        units
+    }
+
+    /// Greedy largest-first (LPT) assignment of work units to shards:
+    /// units sorted by size descending (position ascending on ties),
+    /// each placed on the least-loaded shard, lowest index on ties.
+    /// Fully deterministic, so every participant — and
+    /// [`ShardedSortJob::shard_report`] — recomputes the identical
+    /// assignment from the classification alone.
+    fn assign_units(&self, units: &[WorkUnit]) -> Vec<Vec<WorkUnit>> {
+        let mut order: Vec<usize> = (0..units.len()).collect();
+        order.sort_by_key(|&u| (Reverse(units[u].len()), units[u].lo));
+        let mut heap: BinaryHeap<Reverse<(usize, usize)>> =
+            (0..self.shards).map(|s| Reverse((0usize, s))).collect();
+        let mut assignment: Vec<Vec<WorkUnit>> = vec![Vec::new(); self.shards];
+        for u in order {
+            let Reverse((load, shard)) = heap.pop().expect("one slot per shard");
+            assignment[shard].push(units[u]);
+            heap.push(Reverse((load + units[u].len(), shard)));
+        }
+        assignment
     }
 }
 
@@ -507,6 +793,17 @@ impl<K: Ord> ShardedSortJob<K> {
     /// The shard count `S`.
     pub fn shards(&self) -> usize {
         self.shards
+    }
+
+    /// The normalized robustness knobs this job runs under.
+    pub fn config(&self) -> ShardConfig {
+        self.config
+    }
+
+    /// Bucket count `P = 2d + 1` for `d` distinct splitters — range and
+    /// equality buckets interleaved in key order.
+    pub fn buckets(&self) -> usize {
+        self.pieces
     }
 
     /// Elements per partition block.
@@ -590,10 +887,17 @@ impl<K: Ord> ShardedSortJob<K> {
                 .map(|slot| self.keys[slot.load(Ordering::Acquire) - 1].clone()),
         );
     }
+}
 
-    /// Per-shard sizes and claim counts for the completed run — the
+impl<K: Ord + Clone> ShardedSortJob<K> {
+    /// Per-shard and per-bucket statistics for the completed run — the
     /// payload [`crate::WaitFreeSorter::sort_sharded_with_report`]
-    /// attaches to its [`crate::SortReport`].
+    /// attaches to its [`crate::SortReport`]. Shard sizes are the
+    /// greedily assigned unit loads (recomputed from the same pure
+    /// function the workers use), so
+    /// [`crate::ShardReport::imbalance`] measures exactly the balance
+    /// the assignment achieved against the requested
+    /// [`ShardConfig::max_shard_imbalance`].
     ///
     /// # Panics
     ///
@@ -601,18 +905,38 @@ impl<K: Ord> ShardedSortJob<K> {
     /// once classification has finished).
     pub fn shard_report(&self) -> ShardReport {
         assert!(self.is_complete(), "sort not complete");
-        let mut per_shard = vec![ShardStat::default(); self.shards];
-        for slot in &self.shard_of {
-            per_shard[slot.load(Ordering::Relaxed) as usize].size += 1;
+        let mut piece_sizes = vec![0usize; self.pieces];
+        for slot in &self.piece_of {
+            piece_sizes[slot.load(Ordering::Relaxed) as usize] += 1;
         }
-        for (shard, stat) in per_shard.iter_mut().enumerate() {
-            stat.claims = self.shard_claims[shard].load(Ordering::Relaxed);
+        let mut starts = vec![0usize; self.pieces + 1];
+        for piece in 0..self.pieces {
+            starts[piece + 1] = starts[piece] + piece_sizes[piece];
         }
+        let assignment = self.assign_units(&self.plan_units(&starts));
+        let per_shard: Vec<ShardStat> = (0..self.shards)
+            .map(|shard| ShardStat {
+                size: assignment[shard].iter().map(WorkUnit::len).sum(),
+                claims: self.shard_claims[shard].load(Ordering::Relaxed),
+            })
+            .collect();
+        let buckets: Vec<BucketStat> = piece_sizes
+            .iter()
+            .enumerate()
+            .map(|(piece, &size)| BucketStat {
+                size,
+                equality: piece % 2 == 1,
+            })
+            .collect();
+        let equality_buckets = buckets.iter().filter(|b| b.equality && b.size > 0).count();
         ShardReport {
             shards: self.shards,
             partition_blocks: self.blocks,
             partition_grain: self.pgrain,
             per_shard,
+            buckets,
+            equality_buckets,
+            requested_imbalance: self.config.max_shard_imbalance,
         }
     }
 }
@@ -694,17 +1018,40 @@ mod tests {
     }
 
     #[test]
-    fn empty_and_singleton_shards_are_harmless() {
-        // All keys equal: every element lands in one shard, the rest
-        // stay empty.
+    fn all_equal_keys_spread_across_shards() {
+        // The PR-5 stride sampler collapsed an all-equal input into one
+        // shard (imbalance == S). Deduplicated splitters put the whole
+        // input into one equality bucket, and chunked assignment
+        // spreads it: the measured imbalance must respect the default
+        // τ = 2.0.
         let keys = vec![7u64; 100];
         let job = ShardedSortJob::new(keys.clone(), 16);
         job.run();
-        assert_eq!(
-            job.shard_report().per_shard.iter().map(|s| s.size).max(),
-            Some(100)
+        let report = job.shard_report();
+        assert_eq!(report.equality_buckets, 1, "one equality bucket holds all");
+        assert!(
+            report.imbalance() <= 2.0,
+            "imbalance {} exceeds requested 2.0",
+            report.imbalance()
+        );
+        assert!(
+            report.per_shard.iter().filter(|s| s.size > 0).count() > 1,
+            "chunking must engage more than one shard"
         );
         assert_eq!(job.into_sorted(), keys);
+    }
+
+    #[test]
+    fn empty_and_singleton_shards_are_harmless() {
+        // Fewer work units than shards: the unassigned shards stay
+        // empty and their claims publish nothing.
+        let keys = vec![3u64, 1, 4, 1, 5];
+        let job = ShardedSortJob::new(keys.clone(), 16);
+        job.run();
+        let report = job.shard_report();
+        assert_eq!(report.per_shard.iter().map(|s| s.size).sum::<usize>(), 5);
+        assert!(report.per_shard.iter().any(|s| s.size == 0));
+        assert_eq!(job.into_sorted(), vec![1, 1, 3, 4, 5]);
     }
 
     #[test]
@@ -721,6 +1068,12 @@ mod tests {
         assert!(report.imbalance() >= 1.0);
         assert_eq!(report.partition_blocks, job.partition_blocks());
         assert_eq!(report.partition_grain, job.partition_grain());
+        // The per-bucket view covers the input too, and the requested
+        // balance target rides along for achieved-vs-requested checks.
+        assert_eq!(report.buckets.len(), job.buckets());
+        assert_eq!(report.buckets.iter().map(|b| b.size).sum::<usize>(), 2000);
+        assert_eq!(report.requested_imbalance, 2.0);
+        assert!(report.within_requested());
     }
 
     #[test]
@@ -734,14 +1087,107 @@ mod tests {
     }
 
     #[test]
-    fn splitters_are_sorted_and_keep_duplicates_together() {
+    fn splitters_are_deduplicated_and_balance_duplicates() {
+        // Ten distinct values, 32 shards: the old sampler emitted 31
+        // splitters with duplicates and could populate at most ten
+        // shards; the robust sampler deduplicates (so splitters are
+        // strictly increasing), every value gets an equality bucket,
+        // and chunking spreads the load across more shards than there
+        // are distinct values.
         let keys: Vec<u64> = (0..1000).map(|i| i % 10).collect();
         let job = ShardedSortJob::new(keys, 32);
-        assert!(job.splitters.windows(2).all(|w| w[0] <= w[1]));
+        assert!(job.splitters.windows(2).all(|w| w[0] < w[1]));
         job.run();
         let report = job.shard_report();
-        // Ten distinct values can populate at most ten shards.
-        assert!(report.per_shard.iter().filter(|s| s.size > 0).count() <= 10);
+        assert_eq!(report.equality_buckets, 10, "one per distinct value");
+        assert!(
+            report.per_shard.iter().filter(|s| s.size > 0).count() > 10,
+            "chunked equality buckets must engage more shards than distinct values"
+        );
+        assert!(
+            report.imbalance() <= 2.0,
+            "imbalance {}",
+            report.imbalance()
+        );
+    }
+
+    #[test]
+    fn sample_splitters_dedups_all_equal_samples() {
+        // The regression at sampler granularity: all-equal keys used to
+        // yield `shards - 1` copies of the same splitter.
+        let splitters = sample_splitters(&vec![7u64; 500], 16, 8);
+        assert_eq!(splitters, vec![7]);
+        // And a two-valued input yields exactly the two values.
+        let two: Vec<u64> = (0..500).map(|i| (i % 2) * 9).collect();
+        assert_eq!(sample_splitters(&two, 16, 8), vec![0, 9]);
+    }
+
+    #[test]
+    fn multi_level_recursion_matches_single_tree() {
+        // A tight τ shrinks the chunk cap below the range-bucket sizes,
+        // so max_levels = 2 re-shards them one level down; the
+        // permutation must stay bit-identical to the single tree.
+        let keys = mixed_keys(5000);
+        let single = crate::SortJob::new(keys.clone());
+        single.run();
+        for max_levels in [2, 3] {
+            let config = ShardConfig {
+                overpartition_factor: 1,
+                max_shard_imbalance: 1.2,
+                max_levels,
+            };
+            let job = ShardedSortJob::with_config(
+                keys.clone(),
+                NativeAllocation::Deterministic,
+                2,
+                2,
+                config,
+            );
+            job.run();
+            assert!(job.is_complete());
+            assert_eq!(
+                job.permutation(),
+                single.permutation(),
+                "max_levels {max_levels}"
+            );
+        }
+    }
+
+    #[test]
+    fn config_normalization_tames_degenerate_knobs() {
+        let wild = ShardConfig {
+            overpartition_factor: 0,
+            max_shard_imbalance: f64::NAN,
+            max_levels: 0,
+        }
+        .normalized();
+        assert_eq!(wild, ShardConfig::default().normalized());
+        let low = ShardConfig {
+            overpartition_factor: 1_000_000,
+            max_shard_imbalance: 0.5,
+            max_levels: 99,
+        }
+        .normalized();
+        assert_eq!(low.overpartition_factor, 64);
+        assert_eq!(low.max_shard_imbalance, 2.0);
+        assert_eq!(low.max_levels, 4);
+        // Degenerate knobs still sort (and keep the stable permutation).
+        let keys = mixed_keys(400);
+        let single = crate::SortJob::new(keys.clone());
+        single.run();
+        let job = ShardedSortJob::with_config(
+            keys,
+            NativeAllocation::Deterministic,
+            2,
+            8,
+            ShardConfig {
+                overpartition_factor: 0,
+                max_shard_imbalance: -3.0,
+                max_levels: 0,
+            },
+        );
+        job.run();
+        assert_eq!(job.permutation(), single.permutation());
     }
 
     #[test]

@@ -21,7 +21,7 @@ use crate::arena::SortArena;
 use crate::fault::{ChaosParticipation, ChaosPlan, SharedBudget, WithDeadline};
 use crate::job::{recommended_grain, NativeAllocation, Participation, RunToCompletion, SortJob};
 use crate::metrics::{MetricSlot, ShardReport, SortReport};
-use crate::shard::{recommended_shards, ShardedSortJob};
+use crate::shard::{recommended_shards, ShardConfig, ShardedSortJob};
 use crate::tree::PivotTree;
 
 /// A multi-threaded wait-free sorter.
@@ -87,6 +87,7 @@ pub struct SortOptions {
     threads: usize,
     allocation: NativeAllocation,
     shards: ShardMode,
+    shard_config: ShardConfig,
     grain: Option<usize>,
     plan: Option<ChaosPlan>,
     deadline: Option<Duration>,
@@ -126,6 +127,7 @@ impl SortOptions {
                 .unwrap_or(4),
             allocation: NativeAllocation::Deterministic,
             shards: ShardMode::SingleTree,
+            shard_config: ShardConfig::default(),
             grain: None,
             plan: None,
             deadline: None,
@@ -169,6 +171,40 @@ impl SortOptions {
     pub fn single_tree(mut self) -> Self {
         self.shards = ShardMode::SingleTree;
         self
+    }
+
+    /// Sets the sharded path's overpartition factor `k`: the splitter
+    /// sampler targets `k·S` distinct splitters so up to `2kS + 1`
+    /// range/equality buckets feed the greedy shard assignment. `0`
+    /// restores the default (8). Ignored by the single-tree path.
+    pub fn overpartition_factor(mut self, factor: usize) -> Self {
+        self.shard_config.overpartition_factor = factor;
+        self
+    }
+
+    /// Sets the sharded path's balance target τ: equality buckets are
+    /// chunked so greedy assignment keeps
+    /// [`ShardReport::imbalance`] at or under τ whenever no single
+    /// range bucket exceeds `(τ-1)·n/S` elements. Non-finite or ≤ 1.0
+    /// values restore the default 2.0. Ignored by the single-tree path.
+    pub fn max_shard_imbalance(mut self, tau: f64) -> Self {
+        self.shard_config.max_shard_imbalance = tau;
+        self
+    }
+
+    /// Sets the sharding recursion depth: `1` (the default) pivot-sorts
+    /// every range bucket, `2` re-shards oversized range buckets one
+    /// level down. `0` restores the default. Ignored by the single-tree
+    /// path.
+    pub fn max_levels(mut self, levels: usize) -> Self {
+        self.shard_config.max_levels = levels;
+        self
+    }
+
+    /// The [`ShardConfig`] the sharded path will run under (normalized,
+    /// so degenerate knob values read back as their effective defaults).
+    pub fn shard_config(&self) -> ShardConfig {
+        self.shard_config.normalized()
     }
 
     /// Sets the WAT grain (elements per work-assignment block) for the
@@ -236,8 +272,13 @@ impl SortOptions {
         let tracked = self.tracked_slots();
         match self.effective_shards(n) {
             Some(shards) => {
-                let job =
-                    ShardedSortJob::with_workers(keys.to_vec(), self.allocation, tracked, shards);
+                let job = ShardedSortJob::with_config(
+                    keys.to_vec(),
+                    self.allocation,
+                    tracked,
+                    shards,
+                    self.shard_config,
+                );
                 let report = self.drive(&job);
                 Self::outcome(keys, &job, report)
             }

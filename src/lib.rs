@@ -14,6 +14,8 @@
 //! * [`wfsort_native`] — the same algorithm on real threads with std
 //!   atomics.
 //! * [`baselines`] — the algorithms the paper compares against.
+//! * [`testshapes`] — deterministic adversarial input generators shared
+//!   by the differential test suites and the benches.
 //!
 //! # Quickstart
 //!
@@ -26,6 +28,8 @@
 //! ```
 
 #![forbid(unsafe_code)]
+
+pub mod testshapes;
 
 pub use baselines;
 pub use pram;

@@ -1,0 +1,162 @@
+//! Deterministic adversarial input generators shared by the test and
+//! bench harnesses.
+//!
+//! Every sharded-path claim in this repo is differential ("bit-identical
+//! to the single-tree permutation") or quantitative ("imbalance ≤ τ"),
+//! and both kinds are only as strong as the input shapes they are swept
+//! over. This module centralizes the shapes that historically break
+//! splitter-based partitioning — duplicate floods, heavy skew,
+//! pre-sorted and periodic inputs — so `tests/sharded_parity.rs`,
+//! `tests/proptest_sharded.rs`, and `e26_sharded_bench` all draw from
+//! one list instead of each hand-rolling a subset.
+//!
+//! Everything here is a pure function of its arguments: the generators
+//! seed [`rand::rngs::StdRng`] explicitly, so a failing case replays
+//! from its printed `(shape, n, seed)` triple alone.
+//!
+//! Proptest *strategies* over these shapes live in the test files
+//! themselves (`proptest` is a dev-dependency, so `src/` cannot name its
+//! types); see `tests/proptest_sharded.rs` for the canonical
+//! `prop_map`-over-shape-index pattern.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// `n` copies of one key — the shape that collapses naive splitter
+/// sampling entirely (every sampled candidate is equal, so without
+/// deduplication every "splitter" is the same key and one shard
+/// receives the whole input).
+pub fn all_equal(n: usize) -> Vec<u64> {
+    vec![7; n]
+}
+
+/// Random draws from exactly two values: the smallest nontrivial
+/// duplicate-flood, with both equality-bucket boundaries exercised.
+pub fn two_valued(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0..2u64) * 1000).collect()
+}
+
+/// Zipf(1.0) draws over `1..=universe`: value `k` with probability
+/// proportional to `1/k`, the canonical heavy-skew shape from the
+/// robust sample-sort literature. Sampled by binary search over an
+/// integer cumulative-weight table (no floating-point RNG), so the
+/// output is identical on every platform for a given seed.
+pub fn zipf(n: usize, universe: u64, seed: u64) -> Vec<u64> {
+    assert!(universe >= 1, "zipf needs a non-empty universe");
+    // Fixed-point harmonic weights: weight(k) = SCALE / k.
+    const SCALE: u64 = 1 << 24;
+    let mut cumulative = Vec::with_capacity(universe as usize);
+    let mut total = 0u64;
+    for k in 1..=universe {
+        total += SCALE / k;
+        cumulative.push(total);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let r = rng.gen_range(0..total);
+            cumulative.partition_point(|&c| c <= r) as u64 + 1
+        })
+        .collect()
+}
+
+/// `0, 1, …, n-1`: already sorted. Harmless for splitters, adversarial
+/// for insertion-order pivot trees (monotone inserts build a path), so
+/// any path that feeds a pre-sorted run through a pivot tree shows up
+/// as a timing cliff here.
+pub fn presorted(n: usize) -> Vec<u64> {
+    (0..n as u64).collect()
+}
+
+/// `n-1, …, 1, 0`: sorted backwards — the mirror pivot-tree path case.
+pub fn reverse_sorted(n: usize) -> Vec<u64> {
+    (0..n as u64).rev().collect()
+}
+
+/// `i % period`: the periodic shape that aliases with stride-positioned
+/// splitter samples (the E25/E26 worst case for sampling).
+pub fn sawtooth(n: usize, period: u64) -> Vec<u64> {
+    assert!(period >= 1, "sawtooth needs a non-zero period");
+    (0..n as u64).map(|i| i % period).collect()
+}
+
+/// Random values repeated in runs of `run_len`: long equal-key chains at
+/// random positions, stressing both equality buckets and the stable
+/// tie-break order across run boundaries.
+pub fn runs_of_duplicates(n: usize, run_len: usize, seed: u64) -> Vec<u64> {
+    assert!(run_len >= 1, "runs need a non-zero length");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let value = rng.gen_range(0..1_000u64);
+        let take = run_len.min(n - out.len());
+        out.extend(std::iter::repeat_n(value, take));
+    }
+    out
+}
+
+/// Uniform random draws over the full `u64` range — the benign control
+/// shape every sweep should include.
+pub fn uniform(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen()).collect()
+}
+
+/// Random draws from `values` distinct keys — long equal chains with a
+/// controllable distinct count.
+pub fn few_distinct(n: usize, values: u64, seed: u64) -> Vec<u64> {
+    assert!(values >= 1, "need at least one distinct value");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0..values)).collect()
+}
+
+/// The named adversarial battery: every shape above at size `n`, as
+/// `(name, keys)` pairs. This is the list the sharded parity suite and
+/// the E26/E28 balance tables sweep; add new adversarial shapes here so
+/// every harness picks them up at once.
+pub fn adversarial_suite(n: usize, seed: u64) -> Vec<(&'static str, Vec<u64>)> {
+    vec![
+        ("uniform-random", uniform(n, seed)),
+        ("all-equal", all_equal(n)),
+        ("two-valued", two_valued(n, seed ^ 1)),
+        ("zipf-1.0", zipf(n, 1024, seed ^ 2)),
+        ("pre-sorted", presorted(n)),
+        ("reverse-sorted", reverse_sorted(n)),
+        ("sawtooth", sawtooth(n, 199)),
+        ("runs-of-duplicates", runs_of_duplicates(n, 17, seed ^ 3)),
+        ("few-distinct", few_distinct(n, 64, seed ^ 4)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic_and_sized() {
+        for (name, keys) in adversarial_suite(257, 42) {
+            assert_eq!(keys.len(), 257, "{name}");
+            let again: Vec<(&str, Vec<u64>)> = adversarial_suite(257, 42);
+            let twin = &again.iter().find(|(n2, _)| *n2 == name).unwrap().1;
+            assert_eq!(&keys, twin, "{name} must replay from its seed");
+        }
+    }
+
+    #[test]
+    fn zipf_is_heavy_headed() {
+        let keys = zipf(10_000, 1024, 9);
+        assert!(keys.iter().all(|&k| (1..=1024).contains(&k)));
+        // Value 1 carries ~1/H(1024) ≈ 13% of the mass; even a weak
+        // sampler should put well over 5% of draws there.
+        let ones = keys.iter().filter(|&&k| k == 1).count();
+        assert!(ones > 500, "zipf head too light: {ones}");
+    }
+
+    #[test]
+    fn runs_have_equal_chains() {
+        let keys = runs_of_duplicates(100, 10, 3);
+        assert_eq!(keys.len(), 100);
+        assert!(keys.chunks(10).all(|c| c.iter().all(|&k| k == c[0])));
+    }
+}

@@ -1,17 +1,56 @@
 //! Property-based differential tests for the sharded large-N path:
-//! arbitrary keys (duplicates encouraged), shard counts, thread counts,
-//! and abandonment points must never make the sharded permutation
-//! diverge from the single-tree one.
+//! arbitrary keys (duplicates encouraged), named adversarial shapes
+//! from [`wait_free_sort::testshapes`], shard counts, thread counts,
+//! robustness configs, and abandonment points must never make the
+//! sharded permutation diverge from the single-tree one.
+//!
+//! The shape *strategy* lives here rather than in `testshapes` because
+//! `proptest` is a dev-dependency — `src/` cannot name its types.
 
 use proptest::collection::vec;
 use proptest::prelude::*;
 
+use wait_free_sort::testshapes;
 use wait_free_sort::wfsort_native::{
-    NativeAllocation, QuitAfter, ShardedSortJob, SortJob, WaitFreeSorter,
+    NativeAllocation, QuitAfter, ShardConfig, ShardedSortJob, SortJob, WaitFreeSorter,
 };
+
+/// One named shape from the shared adversarial battery, at a generated
+/// size and seed — the proptest view of `testshapes::adversarial_suite`.
+fn adversarial_keys() -> impl Strategy<Value = (&'static str, Vec<u64>)> {
+    (0usize..9, 2usize..300, any::<u64>())
+        .prop_map(|(shape, n, seed)| testshapes::adversarial_suite(n, seed).swap_remove(shape))
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every shape in the shared adversarial battery, under arbitrary
+    /// shard counts and arbitrary (possibly degenerate) robustness
+    /// knobs, still computes exactly the single-tree permutation —
+    /// the knobs tune balance, never the output.
+    #[test]
+    fn adversarial_shapes_match_single_tree_under_any_config(
+        (shape, keys) in adversarial_keys(),
+        shards in 1usize..40,
+        factor in 0usize..12,
+        tau_tenths in 10u32..40,
+        levels in 0usize..3,
+    ) {
+        let single = SortJob::new(keys.clone());
+        single.run();
+        let expect = single.permutation();
+        let config = ShardConfig {
+            overpartition_factor: factor,
+            max_shard_imbalance: f64::from(tau_tenths) / 10.0,
+            max_levels: levels,
+        };
+        let job = ShardedSortJob::with_config(
+            keys, NativeAllocation::Deterministic, 2, shards, config,
+        );
+        job.run();
+        prop_assert_eq!(job.permutation(), expect, "{}", shape);
+    }
 
     /// For arbitrary keys, shard counts (including S > n, so empty and
     /// singleton shards appear), and thread counts, the sharded path

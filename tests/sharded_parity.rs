@@ -1,49 +1,48 @@
 //! Differential tests: the sharded large-N path against the single-tree
-//! path.
+//! path, swept over the shared adversarial shape battery.
 //!
-//! The sharded pipeline (splitter partition → bucket fill → per-shard
-//! pivot-tree sorts) is specified to compute *exactly* the permutation
-//! the single-tree [`SortJob`] computes — the fill phase preserves
-//! original-index order within each shard, so the inner sorts'
-//! `(key, local index)` tie-breaks compose to the global `(key, index)`
-//! order. That lets these tests compare permutations element-for-element
-//! instead of settling for "both sorted", across shard counts, thread
-//! counts, allocation flavors, and the PR-1 chaos storms.
+//! The sharded pipeline (duplicate-robust splitter partition → bucket
+//! fill → greedy bucket→shard assignment with per-unit sorts) is
+//! specified to compute *exactly* the permutation the single-tree
+//! [`SortJob`] computes — the fill phase preserves original-index order
+//! within each bucket, so the inner sorts' `(key, local index)`
+//! tie-breaks compose to the global `(key, index)` order. That lets
+//! these tests compare permutations element-for-element instead of
+//! settling for "both sorted", across shard counts, thread counts,
+//! allocation flavors, robustness configs, and the PR-1 chaos storms.
+//!
+//! Input shapes come from [`wait_free_sort::testshapes`], the shared
+//! adversarial battery (duplicate floods, Zipf skew, pre-sorted runs,
+//! periodic sawtooths) — the shapes that historically break
+//! splitter-based partitioning.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use wait_free_sort::testshapes;
 use wait_free_sort::wfsort_native::{
-    recommended_shards, ChaosParticipation, ChaosPlan, NativeAllocation, QuitAfter, ShardedSortJob,
-    SortJob, WaitFreeSorter,
+    recommended_shards, ChaosParticipation, ChaosPlan, NativeAllocation, QuitAfter, ShardConfig,
+    ShardedSortJob, SortJob, SortOptions, WaitFreeSorter,
 };
 
 const SHARD_SWEEP: [usize; 4] = [1, 2, 8, 64];
 
-/// The E25/E26 shape trio: uniform random, few-distinct (long equal-key
-/// chains — the tie-break stress), and a periodic sawtooth (the worst
-/// case for stride-positioned splitter samples).
-fn shapes(n: usize, seed: u64) -> Vec<(&'static str, Vec<u64>)> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let uniform: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
-    let few: Vec<u64> = (0..n).map(|_| rng.gen_range(0..64)).collect();
-    let sawtooth: Vec<u64> = (0..n).map(|i| (i % 199) as u64).collect();
-    vec![
-        ("uniform-random", uniform),
-        ("few-distinct", few),
-        ("sawtooth", sawtooth),
-    ]
+/// The stable permutation computed the boring way: 1-based indices
+/// ordered by `(key, index)` — the oracle both sorting paths must match.
+fn stable_permutation(keys: &[u64]) -> Vec<usize> {
+    let mut perm: Vec<usize> = (1..=keys.len()).collect();
+    perm.sort_by_key(|&i| (keys[i - 1], i));
+    perm
 }
 
 /// Single-threaded, deterministic allocation: the sharded permutation
-/// must be bit-identical to the single-tree one for every shape and
-/// shard count — including duplicate-heavy shapes where a stability bug
-/// would sort correctly but permute differently.
+/// must be bit-identical to the single-tree one for every adversarial
+/// shape and shard count — including duplicate-heavy shapes where a
+/// stability bug would sort correctly but permute differently.
 #[test]
 fn sharded_permutation_is_bit_identical_to_single_tree() {
-    for (shape, keys) in shapes(900, 26) {
+    for (shape, keys) in testshapes::adversarial_suite(900, 26) {
         let single = SortJob::new(keys.clone());
         single.run();
         let expect = single.permutation();
+        assert_eq!(expect, stable_permutation(&keys), "{shape}: oracle");
         for shards in SHARD_SWEEP {
             let sharded = ShardedSortJob::new(keys.clone(), shards);
             sharded.run();
@@ -59,12 +58,13 @@ fn sharded_permutation_is_bit_identical_to_single_tree() {
 /// Four racing threads, both WAT flavors: races may reorder *who* does
 /// the work but never *what* gets written — the permutation is a pure
 /// function of the keys, so it must still match the single-tree one.
+/// The sweep includes the equality-bucket boundary shapes (all-equal,
+/// two-valued, runs-of-duplicates), so racing workers publish trivial
+/// fills and pivot-tree units side by side.
 #[test]
 fn four_thread_sharded_runs_agree_with_single_tree() {
-    for (shape, keys) in shapes(4_000, 27) {
-        let single = SortJob::new(keys.clone());
-        single.run();
-        let expect = single.permutation();
+    for (shape, keys) in testshapes::adversarial_suite(2_000, 27) {
+        let expect = stable_permutation(&keys);
         for allocation in [
             NativeAllocation::Deterministic,
             NativeAllocation::Randomized,
@@ -88,16 +88,71 @@ fn four_thread_sharded_runs_agree_with_single_tree() {
     }
 }
 
+/// Four racing threads through the non-default robustness configs: the
+/// minimal overpartition factor, a tight τ that forces heavy equality
+/// chunking, and the multi-level path re-sharding oversized range
+/// buckets — each over a duplicate-flood shape so equality-bucket
+/// boundaries land inside racing workers' assignments.
+#[test]
+fn four_thread_runs_agree_across_robustness_configs() {
+    let configs = [
+        ShardConfig {
+            overpartition_factor: 1,
+            ..ShardConfig::default()
+        },
+        ShardConfig {
+            max_shard_imbalance: 1.2,
+            ..ShardConfig::default()
+        },
+        ShardConfig {
+            overpartition_factor: 1,
+            max_shard_imbalance: 1.2,
+            max_levels: 2,
+        },
+    ];
+    for (shape, keys) in [
+        ("two-valued", testshapes::two_valued(2_000, 40)),
+        (
+            "runs-of-duplicates",
+            testshapes::runs_of_duplicates(2_000, 17, 41),
+        ),
+        ("uniform-random", testshapes::uniform(2_000, 42)),
+    ] {
+        let expect = stable_permutation(&keys);
+        for config in configs {
+            for shards in [8usize, 64] {
+                let job = ShardedSortJob::with_config(
+                    keys.clone(),
+                    NativeAllocation::Deterministic,
+                    4,
+                    shards,
+                    config,
+                );
+                crossbeam::thread::scope(|s| {
+                    for _ in 0..4 {
+                        let job = &job;
+                        s.spawn(move |_| job.run());
+                    }
+                })
+                .unwrap();
+                assert_eq!(
+                    job.permutation(),
+                    expect,
+                    "{shape}: {config:?} S={shards} diverged under 4 threads"
+                );
+            }
+        }
+    }
+}
+
 /// PR-1 chaos storms at shard granularity: seeded plans reap 75% of a
 /// 4-worker cohort at random checkpoints; the survivors (no caller
 /// fallback) must finish every phase and still produce the single-tree
 /// permutation. 25 seeds × 4 shard counts = 100 storms.
 #[test]
 fn chaos_storms_preserve_parity_across_shard_counts() {
-    let keys = shapes(800, 28).swap_remove(1).1; // few-distinct: hardest ties
-    let single = SortJob::new(keys.clone());
-    single.run();
-    let expect = single.permutation();
+    let keys = testshapes::few_distinct(800, 64, 28); // hardest ties
+    let expect = stable_permutation(&keys);
     for shards in SHARD_SWEEP {
         for seed in 0..25u64 {
             let plan = ChaosPlan::random_crashes(4, 0.75, 150, seed);
@@ -128,12 +183,56 @@ fn chaos_storms_preserve_parity_across_shard_counts() {
     }
 }
 
+/// Chaos storms through the overpartitioned and multi-level paths: the
+/// crash points now land inside equality-chunk trivial fills and inner
+/// re-shard jobs, and redoing a whole shard must rewrite identical
+/// values. Two duplicate floods × two configs × 10 seeds.
+#[test]
+fn chaos_storms_preserve_parity_on_robust_configs() {
+    let configs = [
+        ShardConfig {
+            overpartition_factor: 1,
+            max_shard_imbalance: 1.2,
+            max_levels: 1,
+        },
+        ShardConfig {
+            overpartition_factor: 2,
+            max_shard_imbalance: 1.2,
+            max_levels: 2,
+        },
+    ];
+    for keys in [testshapes::all_equal(800), testshapes::two_valued(800, 29)] {
+        let expect = stable_permutation(&keys);
+        for config in configs {
+            for seed in 0..10u64 {
+                let plan = ChaosPlan::random_crashes(4, 0.75, 150, seed);
+                let job = ShardedSortJob::with_config(
+                    keys.clone(),
+                    NativeAllocation::Deterministic,
+                    plan.workers(),
+                    8,
+                    config,
+                );
+                crossbeam::thread::scope(|s| {
+                    for w in 0..plan.workers() {
+                        let (job, plan) = (&job, &plan);
+                        s.spawn(move |_| job.participate(&mut ChaosParticipation::new(plan, w)));
+                    }
+                })
+                .unwrap();
+                assert!(job.is_complete(), "{config:?} seed {seed}");
+                assert_eq!(job.permutation(), expect, "{config:?} seed {seed}");
+            }
+        }
+    }
+}
+
 /// The all-crash edge through the public front-end: every scripted
 /// worker dies at checkpoint 3, so the caller finishes all three phases
 /// alone (wait-freedom at shard granularity).
 #[test]
 fn sort_sharded_with_plan_survives_total_crash() {
-    let keys = shapes(600, 29).swap_remove(2).1;
+    let keys = testshapes::sawtooth(600, 199);
     let mut expect = keys.clone();
     expect.sort_unstable();
     let mut plan = ChaosPlan::new(4);
@@ -153,10 +252,8 @@ fn sort_sharded_with_plan_survives_total_crash() {
 /// half-sorted shard was never marked done.
 #[test]
 fn every_abandonment_point_is_recoverable_by_a_late_joiner() {
-    let keys = shapes(400, 30).swap_remove(0).1;
-    let single = SortJob::new(keys.clone());
-    single.run();
-    let expect = single.permutation();
+    let keys = testshapes::uniform(400, 30);
+    let expect = stable_permutation(&keys);
     for allocation in [
         NativeAllocation::Deterministic,
         NativeAllocation::Randomized,
@@ -175,16 +272,49 @@ fn every_abandonment_point_is_recoverable_by_a_late_joiner() {
     }
 }
 
+/// Abandonment sweep through the multi-level path: the quitter can now
+/// die inside an inner re-shard job's own three phases, and the outer
+/// publish gate must still keep the half-finished shard unclaimed.
+#[test]
+fn abandonment_inside_recursion_is_recoverable() {
+    let keys = testshapes::uniform(400, 33);
+    let expect = stable_permutation(&keys);
+    let config = ShardConfig {
+        overpartition_factor: 1,
+        max_shard_imbalance: 1.2,
+        max_levels: 2,
+    };
+    for budget in (1..400).step_by(7) {
+        let job = ShardedSortJob::with_config(
+            keys.clone(),
+            NativeAllocation::Deterministic,
+            2,
+            2,
+            config,
+        );
+        job.participate(&mut QuitAfter(budget));
+        job.run();
+        assert!(job.is_complete(), "budget {budget}");
+        assert_eq!(job.permutation(), expect, "budget {budget}");
+    }
+}
+
 /// Single-threaded, crash-free, deterministic allocation: every sharded
 /// counter is exactly pinned. One worker claims each element once in
 /// partition, each block once in fill, each shard once in shard-sort;
-/// the per-shard claim counts are all 1; sizes sum to `n`; and the
-/// inner sorts' scatter claims cover exactly the elements of shards big
-/// enough to need an inner sort.
+/// the per-shard claim counts are all 1; assigned sizes sum to `n`; and
+/// the inner pivot-tree sorts' scatter claims cover exactly the
+/// elements of work units that actually needed a tree — equality
+/// chunks, singletons, and already-non-decreasing range buckets are
+/// trivial fills and claim nothing.
 #[test]
 fn single_threaded_sharded_counters_are_exactly_pinned() {
     let n = 2_000usize;
-    for (shape, keys) in shapes(n, 31) {
+    for (shape, keys) in [
+        ("uniform-random", testshapes::uniform(n, 31)),
+        ("few-distinct", testshapes::few_distinct(n, 64, 31)),
+        ("sawtooth", testshapes::sawtooth(n, 199)),
+    ] {
         for shards in SHARD_SWEEP {
             let (sorted, report) = WaitFreeSorter::new(1).sort_sharded_with_report(&keys, shards);
             let mut expect = keys.clone();
@@ -222,19 +352,113 @@ fn single_threaded_sharded_counters_are_exactly_pinned() {
                 "{shape} S={shards}: a crash-free lone worker claims each shard once"
             );
             assert!(shard.imbalance() >= 1.0, "{shape} S={shards}");
+            assert_eq!(
+                shard.buckets.iter().map(|b| b.size).sum::<usize>(),
+                n,
+                "{shape} S={shards}: bucket sizes do not cover the input"
+            );
 
-            // Inner sorts: shards of size 0 or 1 skip the pivot tree, so
-            // scatter claims count exactly the remaining elements.
-            let inner_elems: usize = shard
-                .per_shard
-                .iter()
-                .map(|s| s.size)
-                .filter(|&sz| sz >= 2)
-                .sum();
+            // Reconstruct which range buckets needed a pivot tree. A
+            // range bucket's members are exactly the input keys inside
+            // its closed value span (neighboring buckets hold values
+            // outside it), in original order — if that order is already
+            // non-decreasing the unit was a trivial fill, otherwise its
+            // inner sort claimed one scatter slot per element.
+            let mut start = 0usize;
+            let mut inner_elems = 0usize;
+            for b in &shard.buckets {
+                let end = start + b.size;
+                if !b.equality && b.size >= 2 {
+                    let (lo, hi) = (sorted[start], sorted[end - 1]);
+                    let members: Vec<u64> = keys
+                        .iter()
+                        .copied()
+                        .filter(|&k| k >= lo && k <= hi)
+                        .collect();
+                    assert_eq!(members.len(), b.size, "{shape} S={shards}: span");
+                    if !members.windows(2).all(|w| w[0] <= w[1]) {
+                        inner_elems += b.size;
+                    }
+                }
+                start = end;
+            }
             assert_eq!(
                 report.per_phase.scatter.claims, inner_elems as u64,
                 "{shape} S={shards}: inner scatter claims"
             );
+        }
+    }
+}
+
+/// Regression pin for the PR-5 splitter bug: stride sampling without
+/// deduplication turns an all-equal input into S copies of one splitter,
+/// `partition_point(|s| s <= key)` routes every key past all of them,
+/// and a single shard swallows the whole input (imbalance ≈ S). The
+/// robust overpartitioned path must bound the measured imbalance by the
+/// requested τ = 2.0 instead — and still produce the stable permutation.
+///
+/// Written red-first: against the stride sampler this fails with
+/// imbalance == S for every S ≥ 2.
+#[test]
+fn overpartitioning_bounds_all_equal_imbalance() {
+    let n = 40_000usize;
+    let keys = wait_free_sort::testshapes::all_equal(n);
+    for shards in [8usize, 64] {
+        let (sorted, report) = WaitFreeSorter::new(2).sort_sharded_with_report(&keys, shards);
+        assert_eq!(sorted, keys, "S={shards}");
+        let shard = report.shard.expect("sharded report payload");
+        let imbalance = shard.imbalance();
+        assert!(
+            imbalance <= 2.0,
+            "S={shards}: all-equal imbalance {imbalance} exceeds the requested 2.0 \
+             (duplicate splitters collapsed the input into one shard)"
+        );
+        assert_eq!(
+            shard.equality_buckets, 1,
+            "S={shards}: one value, one bucket"
+        );
+    }
+}
+
+/// The ISSUE-7 acceptance gate at full scale: all-equal, Zipf(1.0), and
+/// pre-sorted inputs at N = 1M with S ∈ {8, 64} must come out with
+/// measured imbalance ≤ 2.0 *and* a permutation bit-identical to the
+/// single-tree path's. The single-tree oracle is computed by a stable
+/// std sort over `(key, index)` — the same permutation by construction
+/// (pinned against the real single-tree job at smaller N above), since
+/// actually running a million monotone inserts through one pivot tree is
+/// the quadratic cliff the sharded path exists to avoid.
+///
+/// Runs in seconds even under debug: the mass-weighted splitter sample
+/// routes every heavy value into an equality bucket (a trivial fill), so
+/// no duplicate chain ever reaches a pivot tree.
+#[test]
+fn acceptance_shapes_at_one_million_meet_the_balance_bound() {
+    let n = 1_000_000usize;
+    for (shape, keys) in [
+        ("all-equal", testshapes::all_equal(n)),
+        ("zipf-1.0", testshapes::zipf(n, 1024, 7)),
+        ("pre-sorted", testshapes::presorted(n)),
+    ] {
+        let expect = stable_permutation(&keys);
+        for shards in [8usize, 64] {
+            let outcome = SortOptions::new()
+                .threads(4)
+                .shards(shards)
+                .report(true)
+                .run(&keys);
+            assert_eq!(
+                outcome.permutation, expect,
+                "{shape} S={shards}: permutation diverged at N=1M"
+            );
+            let report = outcome.report.expect("report requested");
+            let shard = report.shard.expect("sharded payload");
+            let imbalance = shard.imbalance();
+            assert!(
+                imbalance <= 2.0,
+                "{shape} S={shards}: imbalance {imbalance} > 2.0 at N=1M"
+            );
+            assert!(shard.within_requested(), "{shape} S={shards}");
         }
     }
 }

@@ -7,7 +7,7 @@
 use std::time::Duration;
 
 use wait_free_sort::wfsort_native::{
-    ChaosPlan, NativeAllocation, SortArena, SortOptions, WaitFreeSorter,
+    ChaosPlan, NativeAllocation, ShardConfig, SortArena, SortOptions, WaitFreeSorter,
 };
 
 fn random_keys(n: usize, seed: u64) -> Vec<u64> {
@@ -77,6 +77,63 @@ fn builder_tolerates_every_degenerate_shape_the_raw_paths_reject() {
             );
             assert_eq!(outcome.permutation.len(), n);
         }
+    }
+}
+
+#[test]
+fn shard_robustness_knobs_flow_through_and_normalize() {
+    // The builder exposes the overpartition factor, the balance target
+    // τ, and the recursion depth; degenerate values (0 factor, τ ≤ 1 or
+    // non-finite, 0 levels) normalize to the defaults instead of
+    // panicking or changing the output.
+    let defaults = SortOptions::new().shard_config();
+    assert_eq!(defaults, ShardConfig::default());
+    let normalized = SortOptions::new()
+        .overpartition_factor(0)
+        .max_shard_imbalance(f64::NAN)
+        .max_levels(0)
+        .shard_config();
+    assert_eq!(normalized, defaults);
+    assert_eq!(
+        SortOptions::new()
+            .overpartition_factor(4)
+            .max_shard_imbalance(1.5)
+            .max_levels(2)
+            .shard_config(),
+        ShardConfig {
+            overpartition_factor: 4,
+            max_shard_imbalance: 1.5,
+            max_levels: 2,
+        }
+    );
+
+    // Every knob combination — including the degenerate ones — sorts a
+    // duplicate flood to the same stable permutation as the defaults.
+    let keys: Vec<u64> = (0..3_000u64).map(|i| (i * 13) % 7).collect();
+    let baseline = SortOptions::new().threads(2).shards(8).run(&keys);
+    for (factor, tau, levels) in [
+        (0usize, 0.0f64, 0usize), // all-degenerate: pure defaults
+        (1, 2.0, 1),              // minimal robust sampler
+        (16, 1.2, 1),             // heavy overpartitioning, tight τ
+        (1, 1.2, 2),              // multi-level recursion engaged
+    ] {
+        let outcome = SortOptions::new()
+            .threads(2)
+            .shards(8)
+            .overpartition_factor(factor)
+            .max_shard_imbalance(tau)
+            .max_levels(levels)
+            .report(true)
+            .run(&keys);
+        assert_eq!(
+            outcome.permutation, baseline.permutation,
+            "factor={factor} tau={tau} levels={levels}"
+        );
+        let shard = outcome.report.unwrap().shard.unwrap();
+        assert!(
+            shard.requested_imbalance > 1.0,
+            "factor={factor} tau={tau} levels={levels}: report carries normalized τ"
+        );
     }
 }
 
