@@ -2,10 +2,13 @@
 //! throughput while many tenants share one worker pool, the
 //! deadline-miss table (with the zero-deadline row pinned — it must
 //! miss every job), admission-control backpressure against a bounded
-//! queue with exact accounting, and seeded chaos-recovery storms whose
+//! queue with exact accounting, seeded chaos-recovery storms whose
 //! publication ledger (`completed + workers_lost == admitted`) and
-//! cross-tenant bit-identity are re-proved inline, persisted as the
-//! schema-stable `BENCH_service.json` perf artifact.
+//! cross-tenant bit-identity are re-proved inline, and a fairness
+//! section proving work conservation (idle workers join the lone
+//! in-flight job as helper stints) and weighted overtaking (weight-8
+//! tenants pass weight-1 tenants in the deficit pick), persisted as
+//! the schema-stable `BENCH_service.json` perf artifact.
 //!
 //! The service ([`wfsort_native::SortService`]) inherits the paper's
 //! wait-freedom as an *isolation* property: a `ChaosPlan` crashing
@@ -377,17 +380,136 @@ fn main() -> ExitCode {
          fails typed, never hangs; completed + workers_lost == admitted",
     );
 
+    // E27e — work conservation and weighted fairness. Row one: a single
+    // large plan-free tenant with an otherwise empty queue must pull
+    // the idle workers in as helper stints (the paper's helping
+    // discipline lifted to the pool: extra participants only ever
+    // speed a sort up). Row two: with the pool blocked, weight-8
+    // tenants submitted *behind* weight-1 tenants must overtake them
+    // in the deficit pick, and every output must still be
+    // bit-identical to a sequential sort.
+    let mut fairness = Vec::new();
+    let mut e = Table::new(&[
+        "mode",
+        "workers",
+        "jobs",
+        "queue picks",
+        "weighted picks",
+        "helper stints",
+        "stints dispatched",
+    ]);
+    {
+        let helper_n = if quick { 60_000 } else { 200_000 };
+        let service = SortService::start(ServiceConfig::default().workers(4).sharded_cutoff(4_096));
+        let keys = random_keys(helper_n, 41_000);
+        let ticket = service
+            .submit(keys.clone(), JobOptions::default().helpers(1))
+            .expect("empty queue admits the lone tenant");
+        let identical = ticket.wait().sorted.expect("no chaos here") == sequential_sort(&keys);
+        assert!(identical, "helper-joined output diverged");
+        let stats = service.shutdown();
+        assert!(
+            stats.helper_stints > 0,
+            "idle workers must join the in-flight job: {stats:?}"
+        );
+        // One queue entry existed (helpers = 1), so every further stint
+        // was a helper join: the job's occupancy is exactly
+        // queue_picks + helper_stints.
+        let dispatched = stats.queue_picks + stats.helper_stints;
+        assert!(dispatched >= 2, "multi-worker occupancy: {stats:?}");
+        e.row(vec![
+            "helper-join".into(),
+            "4".into(),
+            "1".into(),
+            stats.queue_picks.to_string(),
+            stats.weighted_picks.to_string(),
+            stats.helper_stints.to_string(),
+            dispatched.to_string(),
+        ]);
+        fairness.push(format!(
+            "{{\"mode\":\"helper-join\",\"workers\":4,\"jobs\":1,\
+             \"completed\":{},\"queue_picks\":{},\"weighted_picks\":{},\
+             \"helper_stints\":{},\"max_stints\":{dispatched},\
+             \"all_identical\":true}}",
+            stats.completed, stats.queue_picks, stats.weighted_picks, stats.helper_stints,
+        ));
+    }
+    {
+        let service = SortService::start(ServiceConfig::default().workers(1));
+        let big = random_keys(2_000, 42_000);
+        let blocker = service
+            .submit(
+                big.clone(),
+                JobOptions::default()
+                    .plan(ChaosPlan::new(1).pause_at(0, 1, 100_000))
+                    .helpers(1),
+            )
+            .expect("blocker admitted first");
+        let mut tenants = Vec::new();
+        let mut tickets = Vec::new();
+        for (t, weight) in (0u64..8).map(|t| (t, if t < 4 { 1u32 } else { 8 })) {
+            let keys = random_keys(3_000, 42_100 + t);
+            tickets.push(
+                service
+                    .submit(
+                        keys.clone(),
+                        JobOptions::default().helpers(1).weight(weight),
+                    )
+                    .expect("default queue holds the cohort"),
+            );
+            tenants.push(keys);
+        }
+        let mut identical = blocker.wait().sorted.expect("pause lifts") == sequential_sort(&big);
+        let mut max_stints = 1u64;
+        for (keys, ticket) in tenants.iter().zip(tickets) {
+            let result = ticket.wait();
+            identical &= result.sorted.expect("no chaos here") == sequential_sort(keys);
+            max_stints = max_stints.max(result.report.stints as u64);
+        }
+        assert!(identical, "weighted-cohort output diverged");
+        let stats = service.shutdown();
+        assert!(
+            stats.weighted_picks >= 1,
+            "weight-8 tenants queued behind weight-1 tenants must overtake: {stats:?}"
+        );
+        assert!(stats.weighted_picks <= stats.queue_picks);
+        e.row(vec![
+            "weighted".into(),
+            "1".into(),
+            "9".into(),
+            stats.queue_picks.to_string(),
+            stats.weighted_picks.to_string(),
+            stats.helper_stints.to_string(),
+            max_stints.to_string(),
+        ]);
+        fairness.push(format!(
+            "{{\"mode\":\"weighted\",\"workers\":1,\"jobs\":9,\
+             \"completed\":{},\"queue_picks\":{},\"weighted_picks\":{},\
+             \"helper_stints\":{},\"max_stints\":{max_stints},\
+             \"all_identical\":true}}",
+            stats.completed, stats.queue_picks, stats.weighted_picks, stats.helper_stints,
+        ));
+    }
+    e.print(
+        "E27e: work conservation and weighted fairness — idle workers \
+         join the lone in-flight sharded job as helper stints \
+         (occupancy = queue picks + helper joins), weight-8 tenants \
+         overtake weight-1 in the deficit pick, outputs bit-identical",
+    );
+
     let artifact = format!(
         "{{\"schema\":\"{SERVICE_SCHEMA}\",\"experiment\":\"e27_service_bench\",\
          \"quick\":{quick},\
          \"throughput\":[\n{}\n],\
          \"deadlines\":[\n{}\n],\
          \"backpressure\":[\n{}\n],\
-         \"recovery\":[\n{}\n]}}\n",
+         \"recovery\":[\n{}\n],\
+         \"fairness\":[\n{}\n]}}\n",
         throughput.join(",\n"),
         deadlines.join(",\n"),
         backpressure.join(",\n"),
         recovery.join(",\n"),
+        fairness.join(",\n"),
     );
     // Self-gate before writing: a malformed artifact must never land.
     if let Err(e) = validate_service_bench(&artifact) {

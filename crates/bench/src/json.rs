@@ -522,10 +522,9 @@ pub fn validate_layout_bench(text: &str) -> Result<usize, String> {
 /// The schema tag `e26_sharded_bench` writes.
 pub const SHARDED_SCHEMA: &str = "wfsort-native-sharded/v2";
 
-/// The previous sharded schema tag. Per the versioning policy in
-/// `docs/artifacts.md`, the validator keeps accepting the old tag for
-/// one release so dashboards can migrate; v1 documents simply lack the
-/// `adversarial` section.
+/// The retired sharded schema tag. The one-release migration window the
+/// versioning policy in `docs/artifacts.md` promised is over: documents
+/// carrying this tag are now rejected with a pointer at the v2 tag.
 pub const SHARDED_SCHEMA_V1: &str = "wfsort-native-sharded/v1";
 
 /// Validates a `BENCH_sharded.json` document against the
@@ -543,26 +542,29 @@ pub const SHARDED_SCHEMA_V1: &str = "wfsort-native-sharded/v1";
 ///   recomputes `partition_blocks = ceil(n / partition_grain)` and pins
 ///   `partition_claims = n`, `partition_block_claims = fill_claims =
 ///   partition_blocks`, and `shard_sort_claims = shards`;
-/// * `adversarial` (v2 only, required there): the duplicate/skew
-///   battery — every entry proves the achieved `imbalance` met the
-///   requested τ (`within_requested`) and that the permutation matched
-///   the stable `(key, index)` oracle (`permutation_match`), with the
-///   populated `equality_buckets` count alongside.
+/// * `adversarial` (required): the duplicate/skew battery — every entry
+///   proves the achieved `imbalance` met the requested τ
+///   (`within_requested`) and that the permutation matched the stable
+///   `(key, index)` oracle (`permutation_match`), with the populated
+///   `equality_buckets` count alongside.
 ///
-/// Accepts both [`SHARDED_SCHEMA`] (v2) and [`SHARDED_SCHEMA_V1`]
-/// documents; only v2 requires the `adversarial` section.
+/// Only [`SHARDED_SCHEMA`] (v2) documents are accepted. The legacy
+/// [`SHARDED_SCHEMA_V1`] tag had its promised one-release migration
+/// window and is rejected with an explicit message.
 ///
 /// Returns the number of comparison + counter-pin + adversarial entries.
 pub fn validate_sharded_bench(text: &str) -> Result<usize, String> {
     let doc = Json::parse(text)?;
-    let v2 = match doc.get("schema").and_then(Json::as_str) {
-        Some(SHARDED_SCHEMA) => true,
-        Some(SHARDED_SCHEMA_V1) => false,
-        Some(other) => {
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(SHARDED_SCHEMA) => {}
+        Some(SHARDED_SCHEMA_V1) => {
             return Err(format!(
-                "schema: expected {SHARDED_SCHEMA} (or legacy {SHARDED_SCHEMA_V1}), got {other}"
+                "schema: {SHARDED_SCHEMA_V1} is no longer accepted (its one-release \
+                 migration window is over) — regenerate the artifact with \
+                 e26_sharded_bench, which emits {SHARDED_SCHEMA}"
             ))
         }
+        Some(other) => return Err(format!("schema: expected {SHARDED_SCHEMA}, got {other}")),
         None => return Err("schema: missing".into()),
     };
     if doc.get("experiment").and_then(Json::as_str).is_none() {
@@ -703,12 +705,11 @@ pub fn validate_sharded_bench(text: &str) -> Result<usize, String> {
         }
     }
 
-    let adversarial: &[Json] = match doc.get("adversarial").and_then(Json::as_array) {
-        Some(entries) => entries,
-        None if v2 => return Err("adversarial: missing or not an array (required by v2)".into()),
-        None => &[],
-    };
-    if v2 && adversarial.is_empty() {
+    let adversarial = doc
+        .get("adversarial")
+        .and_then(Json::as_array)
+        .ok_or("adversarial: missing or not an array")?;
+    if adversarial.is_empty() {
         return Err("adversarial: empty".into());
     }
     for (at, entry) in adversarial.iter().enumerate() {
@@ -763,8 +764,9 @@ pub fn validate_sharded_bench(text: &str) -> Result<usize, String> {
     Ok(comparison.len() + pins.len() + adversarial.len())
 }
 
-/// The schema tag `e27_service_bench` writes.
-pub const SERVICE_SCHEMA: &str = "wfsort-native-service/v1";
+/// The schema tag `e27_service_bench` writes. v2 added the `fairness`
+/// section (work-conserving helper stints and weighted scheduling).
+pub const SERVICE_SCHEMA: &str = "wfsort-native-service/v2";
 
 /// Validates a `BENCH_service.json` document against the
 /// [`SERVICE_SCHEMA`] shape:
@@ -781,12 +783,20 @@ pub const SERVICE_SCHEMA: &str = "wfsort-native-service/v1";
 ///   rejection (the flood overruns the bounded queue by construction);
 /// * `recovery`: chaos-storm rows with publication accounting —
 ///   `completed + workers_lost == admitted`, healthy tenants
-///   bit-identical, and the victim either recovered or typed-failed.
+///   bit-identical, and the victim either recovered or typed-failed;
+/// * `fairness` (v2): work-conservation and weighted-scheduling rows —
+///   each carries the scheduler's pick ledger (`queue_picks`,
+///   `weighted_picks`, `helper_stints`, `max_stints`) with
+///   `weighted_picks <= queue_picks` enforced per row, every tenant
+///   bit-identical, and across the section at least one row must prove
+///   helper joins (`helper_stints > 0` with multi-stint occupancy,
+///   `max_stints >= 2`) and one must prove a weighted overtake
+///   (`weighted_picks > 0`).
 ///
 /// Every numeric field must be finite (no NaN/inf — degenerate service
 /// telemetry is normalized upstream, and this gate enforces it).
 ///
-/// Returns the total number of entries across the four arrays.
+/// Returns the total number of entries across the five arrays.
 pub fn validate_service_bench(text: &str) -> Result<usize, String> {
     let doc = Json::parse(text)?;
     match doc.get("schema").and_then(Json::as_str) {
@@ -948,7 +958,63 @@ pub fn validate_service_bench(text: &str) -> Result<usize, String> {
         }
     }
 
-    Ok(throughput.len() + deadlines.len() + backpressure.len() + recovery.len())
+    let fairness = doc
+        .get("fairness")
+        .and_then(Json::as_array)
+        .ok_or("fairness: missing or not an array")?;
+    if fairness.is_empty() {
+        return Err("fairness: empty".into());
+    }
+    let (mut helper_proven, mut weighted_proven) = (false, false);
+    for (at, entry) in fairness.iter().enumerate() {
+        if entry.get("mode").and_then(Json::as_str).is_none() {
+            return Err(format!("fairness[{at}].mode: missing or not a string"));
+        }
+        for key in [
+            "workers",
+            "jobs",
+            "completed",
+            "queue_picks",
+            "weighted_picks",
+            "helper_stints",
+            "max_stints",
+        ] {
+            let v = num(entry, "fairness", at, key)?;
+            if v.fract() != 0.0 {
+                return Err(format!("fairness[{at}].{key}: not an integer"));
+            }
+        }
+        let get = |key: &str| entry.get(key).and_then(Json::as_f64).unwrap() as u64;
+        if get("weighted_picks") > get("queue_picks") {
+            return Err(format!(
+                "fairness[{at}]: weighted_picks ({}) above queue_picks ({}) — an \
+                 overtake is a kind of queue pick",
+                get("weighted_picks"),
+                get("queue_picks")
+            ));
+        }
+        if entry.get("all_identical").and_then(Json::as_bool) != Some(true) {
+            return Err(format!("fairness[{at}].all_identical: missing or not true"));
+        }
+        if get("helper_stints") > 0 && get("max_stints") >= 2 {
+            helper_proven = true;
+        }
+        if get("weighted_picks") > 0 {
+            weighted_proven = true;
+        }
+    }
+    if !helper_proven {
+        return Err(
+            "fairness: no row proves work conservation (helper_stints > 0 \
+                    with max_stints >= 2)"
+                .into(),
+        );
+    }
+    if !weighted_proven {
+        return Err("fairness: no row proves a weighted overtake (weighted_picks > 0)".into());
+    }
+
+    Ok(throughput.len() + deadlines.len() + backpressure.len() + recovery.len() + fairness.len())
 }
 
 #[cfg(test)]
@@ -1169,22 +1235,20 @@ mod tests {
     }
 
     #[test]
-    fn legacy_v1_sharded_documents_stay_valid_without_adversarial() {
-        // Per the versioning policy, a v1-tagged document needs no
-        // adversarial section — but a v2 one cannot drop it.
-        let v1 = valid_sharded_doc()
-            .replace(SHARDED_SCHEMA, SHARDED_SCHEMA_V1)
-            .replace(
-                r#""adversarial": [
-                    {"shape": "all-equal", "n": 20000, "shards": 8,
-                      "equality_buckets": 1, "imbalance": 1.14,
-                      "requested_imbalance": 2.0, "within_requested": true,
-                      "permutation_match": true}
-                ]"#,
-                r#""adversarial_removed": true"#,
-            );
-        assert_eq!(validate_sharded_bench(&v1), Ok(2));
+    fn legacy_v1_sharded_documents_are_rejected_with_a_pointer() {
+        // The one-release migration window promised when v2 landed is
+        // over: a v1-tagged document is rejected even if its body would
+        // otherwise validate, and the message says what to do about it.
+        let v1 = valid_sharded_doc().replace(SHARDED_SCHEMA, SHARDED_SCHEMA_V1);
+        let err = validate_sharded_bench(&v1).unwrap_err();
+        assert!(err.contains(SHARDED_SCHEMA_V1), "unexpected error: {err}");
+        assert!(
+            err.contains("no longer accepted"),
+            "unexpected error: {err}"
+        );
+        assert!(err.contains(SHARDED_SCHEMA), "unexpected error: {err}");
 
+        // And the adversarial section stays mandatory for v2.
         let v2_missing =
             valid_sharded_doc().replace(r#""adversarial": ["#, r#""adversarial_renamed": ["#);
         assert!(validate_sharded_bench(&v2_missing)
@@ -1284,13 +1348,23 @@ mod tests {
                     {{"seed": 3, "admitted": 5, "completed": 5, "workers_lost": 0,
                       "crash_recoveries": 1, "healthy_identical": true,
                       "victim_outcome": "recovered"}}
+                ],
+                "fairness": [
+                    {{"mode": "helper-join", "workers": 4, "jobs": 1,
+                      "completed": 1, "queue_picks": 1, "weighted_picks": 0,
+                      "helper_stints": 3, "max_stints": 4,
+                      "all_identical": true}},
+                    {{"mode": "weighted", "workers": 1, "jobs": 9,
+                      "completed": 9, "queue_picks": 9, "weighted_picks": 4,
+                      "helper_stints": 0, "max_stints": 1,
+                      "all_identical": true}}
                 ]}}"#
         )
     }
 
     #[test]
     fn accepts_a_valid_service_document() {
-        assert_eq!(validate_service_bench(&valid_service_doc()), Ok(5));
+        assert_eq!(validate_service_bench(&valid_service_doc()), Ok(7));
     }
 
     #[test]
@@ -1328,5 +1402,41 @@ mod tests {
         assert!(validate_service_bench(&doc)
             .unwrap_err()
             .starts_with("schema"));
+
+        // The v1 service tag is simply an unknown schema now.
+        let doc = valid_service_doc().replace(SERVICE_SCHEMA, "wfsort-native-service/v1");
+        assert!(validate_service_bench(&doc)
+            .unwrap_err()
+            .starts_with("schema"));
+    }
+
+    #[test]
+    fn service_validator_enforces_the_fairness_section() {
+        // The pick ledger must balance: an overtake is a kind of queue
+        // pick, so weighted_picks can never exceed queue_picks.
+        let doc = valid_service_doc().replace(r#""weighted_picks": 4"#, r#""weighted_picks": 40"#);
+        assert!(validate_service_bench(&doc)
+            .unwrap_err()
+            .contains("weighted_picks"));
+
+        // Work conservation must be proven by at least one row: helper
+        // stints with multi-stint occupancy.
+        let doc = valid_service_doc().replace(r#""helper_stints": 3"#, r#""helper_stints": 0"#);
+        assert!(validate_service_bench(&doc)
+            .unwrap_err()
+            .contains("work conservation"));
+
+        // And so must a weighted overtake.
+        let doc = valid_service_doc().replace(r#""weighted_picks": 4"#, r#""weighted_picks": 0"#);
+        assert!(validate_service_bench(&doc)
+            .unwrap_err()
+            .contains("weighted overtake"));
+
+        // A v2 document without the section at all is rejected.
+        let doc = valid_service_doc().replace(r#""fairness": ["#, r#""fairness_renamed": ["#);
+        assert_eq!(
+            validate_service_bench(&doc).unwrap_err(),
+            "fairness: missing or not an array"
+        );
     }
 }

@@ -385,7 +385,9 @@ impl<K: Ord, T: PivotTree> SortJob<K, T> {
     /// Snapshots the job's progress: per-participant heartbeats (phase,
     /// checkpoint epoch, departed flag) and the build/scatter WAT
     /// frontiers. Safe to call from any thread at any time; intended for
-    /// the [`crate::Watchdog`] and for diagnostics.
+    /// the [`crate::Watchdog`] and for diagnostics. The sharded
+    /// pipeline's heartbeat-free counterpart is
+    /// [`crate::ShardedSortJob::progress`].
     pub fn progress(&self) -> ProgressReport {
         let participants = self.participants.load(Ordering::Relaxed);
         let tracked_slots = self.heartbeats.len();

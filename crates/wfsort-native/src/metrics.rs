@@ -321,6 +321,13 @@ impl SortReport {
         SortReport::aggregate(Vec::new(), Duration::ZERO)
     }
 
+    /// Attaches per-shard statistics: the sharded front-ends and the
+    /// service's sharded publish path call this on completed jobs.
+    pub(crate) fn with_shard(mut self, shard: ShardReport) -> SortReport {
+        self.shard = Some(shard);
+        self
+    }
+
     /// Total counted operations across all workers and phases.
     pub fn total_ops(&self) -> u64 {
         self.per_phase.total_ops()

@@ -18,7 +18,14 @@
 //!   that several pool workers co-participate in (claims re-enter the
 //!   queue so idle workers join); small jobs run whole in one worker's
 //!   pooled [`SortArena`], batched [`ServiceConfig::small_batch`] at a
-//!   time to amortize dispatch.
+//!   time to amortize dispatch. Queued tenants are picked deficit-style
+//!   by [`JobOptions::weight`] — ties fall back to queue order, so
+//!   unweighted workloads stay FIFO.
+//! * **Work conservation** — a worker that finds the queue empty joins
+//!   the largest in-flight plan-free cohort job as an extra participant
+//!   (a *helper stint*) instead of sleeping; the paper's helping
+//!   discipline guarantees extra participants only speed a sort up,
+//!   never change its result.
 //! * **Deadlines and budgets** — per-job wall-clock deadlines and
 //!   participation-check budgets are enforced at the same checkpoints
 //!   the chaos harness uses; an expired job fails with a clean
@@ -61,7 +68,7 @@ use crate::fault::{ChaosParticipation, ChaosPlan, SharedBudget};
 use crate::job::{recommended_grain, NativeAllocation, Participation, SortJob};
 use crate::metrics::{MetricSlot, SortReport, WorkerMetrics};
 use crate::shard::{recommended_shards, ShardedSortJob};
-use crate::watchdog::WatchdogRegistry;
+use crate::watchdog::{ProgressReport, WatchdogRegistry};
 
 /// Configuration for [`SortService::start`]. All knobs have serviceable
 /// defaults; override with the builder methods.
@@ -123,12 +130,13 @@ impl ServiceConfig {
         self
     }
 
-    /// Plan-free inputs at least this long become shared *sharded*
-    /// cohort jobs ([`ShardedSortJob`] with
-    /// [`recommended_shards`] shards) instead of single-tree jobs —
-    /// the duplicate-robust overpartitioned path, so one tenant's
-    /// adversarial key distribution cannot collapse its job onto one
-    /// shard. `usize::MAX` disables the sharded route.
+    /// Inputs at least this long become shared *sharded* cohort jobs
+    /// ([`ShardedSortJob`] with [`recommended_shards`] shards) instead
+    /// of single-tree jobs — the duplicate-robust overpartitioned path,
+    /// so one tenant's adversarial key distribution cannot collapse its
+    /// job onto one shard. A [`JobOptions::plan`] rides along: its
+    /// stints replay their fault scripts at shard granularity.
+    /// `usize::MAX` disables the sharded route.
     pub fn sharded_cutoff(mut self, cutoff: usize) -> Self {
         self.sharded_cutoff = cutoff;
         self
@@ -169,6 +177,7 @@ pub struct JobOptions {
     budget: Option<u64>,
     helpers: Option<usize>,
     plan: Option<ChaosPlan>,
+    weight: Option<u32>,
 }
 
 impl JobOptions {
@@ -199,10 +208,27 @@ impl JobOptions {
     /// Scripted fault injection: each of the job's stints takes the next
     /// plan slot and replays its deterministic fault schedule; stints
     /// beyond the plan's worker count run fault-free. A plan forces the
-    /// job onto the shared-cohort path regardless of size, so crash
-    /// recovery exercises the wait-free structures.
+    /// job onto a shared-cohort path regardless of size — single-tree
+    /// below [`ServiceConfig::sharded_cutoff`], sharded at or past it —
+    /// so crash recovery exercises the wait-free structures of whichever
+    /// pipeline the job would run.
     pub fn plan(mut self, plan: ChaosPlan) -> Self {
         self.plan = Some(plan);
+        self
+    }
+
+    /// Scheduling weight (clamped to at least 1; the default is 1).
+    /// When queued tenants compete for a free worker, the deficit-style
+    /// pick services higher weights proportionally more often: every
+    /// tenant passed over accrues `weight` credit, the highest credit
+    /// wins the next pick (ties break toward higher weight, then queue
+    /// order), and the winner's credit resets to zero. A weight-8
+    /// tenant therefore overtakes same-credit weight-1 tenants and wins
+    /// ~8x the picks under sustained backlog, while a weight-1 tenant's
+    /// credit still grows every pass — it is picked after a bounded
+    /// number of passes, never starved.
+    pub fn weight(mut self, weight: u32) -> Self {
+        self.weight = Some(weight.max(1));
         self
     }
 }
@@ -366,6 +392,19 @@ pub struct ServiceStats {
     pub crash_recoveries: u64,
     /// Small jobs drained as batch extras on another job's queue claim.
     pub small_batched: u64,
+    /// Stints dispatched by the scheduler's deficit-style queue pick —
+    /// first claims, co-scheduling claims, and recovery claims alike.
+    /// Every stint the service runs is accounted by exactly one of
+    /// `queue_picks`, `small_batched`, or `helper_stints`.
+    pub queue_picks: u64,
+    /// Queue picks where accrued credit (or a weight tie-break)
+    /// overtook FIFO order — the picked job was not at the queue front.
+    /// Always `<= queue_picks`.
+    pub weighted_picks: u64,
+    /// Work-conserving helper stints: an idle worker that found the
+    /// queue empty joined the largest in-flight shared job as an extra
+    /// participant instead of sleeping.
+    pub helper_stints: u64,
 }
 
 impl ServiceStats {
@@ -391,6 +430,9 @@ struct Counters {
     workers_lost: AtomicU64,
     crash_recoveries: AtomicU64,
     small_batched: AtomicU64,
+    queue_picks: AtomicU64,
+    weighted_picks: AtomicU64,
+    helper_stints: AtomicU64,
 }
 
 impl Counters {
@@ -405,6 +447,9 @@ impl Counters {
             workers_lost: self.workers_lost.load(Ordering::Relaxed),
             crash_recoveries: self.crash_recoveries.load(Ordering::Relaxed),
             small_batched: self.small_batched.load(Ordering::Relaxed),
+            queue_picks: self.queue_picks.load(Ordering::Relaxed),
+            weighted_picks: self.weighted_picks.load(Ordering::Relaxed),
+            helper_stints: self.helper_stints.load(Ordering::Relaxed),
         }
     }
 }
@@ -428,6 +473,15 @@ struct JobState<K: Ord> {
     deadline: Option<Instant>,
     budget: Option<(AtomicU64, u64)>,
     plan: Option<ChaosPlan>,
+    /// Scheduling weight from [`JobOptions::weight`] (at least 1).
+    weight: u64,
+    /// Deficit credit: accrued (by `weight`) each time the scheduler
+    /// passes this job's queue entries over, reset when it wins a pick.
+    /// Mutated only under the queue lock.
+    sched_credit: AtomicU64,
+    /// Whether this job has been listed for helper joins; set at most
+    /// once, by the stint that first claims it from the queue.
+    helper_listed: AtomicBool,
     /// Next [`ChaosPlan`] slot a stint takes; slots past the plan run
     /// fault-free.
     next_plan_slot: AtomicUsize,
@@ -454,6 +508,22 @@ struct JobState<K: Ord> {
 impl<K: Ord> JobState<K> {
     fn is_small(&self) -> bool {
         matches!(self.work, Work::Tiny(_) | Work::Small(_))
+    }
+
+    /// Whether an idle worker may still join this job as a helper
+    /// stint: an unpublished, incomplete cohort job with no chaos plan
+    /// (a helper would consume a scripted plan slot out from under the
+    /// fault schedule) and no budget (helper checkpoints would drain
+    /// the tenant's budget behind its back).
+    fn joinable(&self) -> bool {
+        if self.plan.is_some() || self.budget.is_some() || self.published.load(Ordering::Acquire) {
+            return false;
+        }
+        match &self.work {
+            Work::Shared(job) => !job.is_complete(),
+            Work::SharedSharded(job) => !job.is_complete(),
+            Work::Tiny(_) | Work::Small(_) => false,
+        }
     }
 }
 
@@ -521,9 +591,21 @@ impl Participation for StintParticipation<'_> {
     }
 }
 
+/// The scheduler's shared state, guarded by one mutex: the admission
+/// queue plus the help list of in-flight cohort jobs an idle worker may
+/// join. All claim bookkeeping happens under this lock.
+struct SchedState<K: Ord> {
+    /// Admitted jobs (and co-scheduling re-claims) awaiting a worker.
+    queue: VecDeque<Arc<JobState<K>>>,
+    /// In-flight plan-free, budget-free cohort jobs idle workers can
+    /// join as work-conserving helpers. Pruned lazily: published or
+    /// completed entries fall out on the next scan.
+    helpable: Vec<Arc<JobState<K>>>,
+}
+
 struct Inner<K: Ord> {
     config: ServiceConfig,
-    queue: Mutex<VecDeque<Arc<JobState<K>>>>,
+    sched: Mutex<SchedState<K>>,
     work_ready: Condvar,
     accepting: AtomicBool,
     next_id: AtomicU64,
@@ -556,7 +638,10 @@ impl<K: Ord + Clone + Send + Sync + 'static> SortService<K> {
     pub fn start(config: ServiceConfig) -> Self {
         let inner = Arc::new(Inner {
             config: config.clone(),
-            queue: Mutex::new(VecDeque::new()),
+            sched: Mutex::new(SchedState {
+                queue: VecDeque::new(),
+                helpable: Vec::new(),
+            }),
             work_ready: Condvar::new(),
             accepting: AtomicBool::new(true),
             next_id: AtomicU64::new(1),
@@ -599,13 +684,20 @@ impl<K: Ord + Clone + Send + Sync + 'static> SortService<K> {
             Work::Small(Mutex::new(Some(keys)))
         } else {
             // Heartbeat slots for every possible stint: the co-scheduled
-            // claims, the recovery stints, and slack for a stale claim
-            // racing a recovery.
-            let tracked = helpers + inner.config.max_recoveries + 2;
-            if n >= inner.config.sharded_cutoff && options.plan.is_none() {
+            // claims, the recovery stints, slack for a stale claim
+            // racing a recovery — and, on jobs idle workers may join as
+            // helpers (no plan, no budget), the whole pool.
+            let slots = if options.plan.is_none() && options.budget.is_none() {
+                helpers.max(inner.config.workers)
+            } else {
+                helpers
+            };
+            let tracked = slots + inner.config.max_recoveries + 2;
+            if n >= inner.config.sharded_cutoff {
                 // Large tenant: the duplicate-robust sharded pipeline.
-                // Scripted plans stay on the single-tree path, whose
-                // claim counts their fault scripts were written against.
+                // A chaos plan rides along — sharded stints replay
+                // their fault scripts at shard granularity, exactly
+                // like single-tree stints replay theirs.
                 let shards = recommended_shards(n, helpers);
                 Work::SharedSharded(Box::new(ShardedSortJob::with_workers(
                     keys,
@@ -634,6 +726,9 @@ impl<K: Ord + Clone + Send + Sync + 'static> SortService<K> {
                 .map(|d| Instant::now() + d),
             budget: options.budget.map(|limit| (AtomicU64::new(0), limit)),
             plan: options.plan,
+            weight: u64::from(options.weight.unwrap_or(1).max(1)),
+            sched_credit: AtomicU64::new(0),
+            helper_listed: AtomicBool::new(false),
             next_plan_slot: AtomicUsize::new(0),
             remaining_claims: AtomicUsize::new(if shared { helpers - 1 } else { 0 }),
             queued_entries: AtomicUsize::new(0),
@@ -647,7 +742,7 @@ impl<K: Ord + Clone + Send + Sync + 'static> SortService<K> {
             ready: Condvar::new(),
         });
         {
-            let mut queue = inner.queue.lock().unwrap();
+            let mut sched = inner.sched.lock().unwrap();
             // Re-check under the lock so a shutdown that drained the
             // queue cannot miss a racing submission.
             if !inner.accepting.load(Ordering::Acquire) {
@@ -657,7 +752,7 @@ impl<K: Ord + Clone + Send + Sync + 'static> SortService<K> {
                     .fetch_add(1, Ordering::Relaxed);
                 return Err(Rejected::ShuttingDown);
             }
-            if queue.len() >= inner.config.queue_capacity {
+            if sched.queue.len() >= inner.config.queue_capacity {
                 inner
                     .counters
                     .rejected_queue_full
@@ -667,7 +762,7 @@ impl<K: Ord + Clone + Send + Sync + 'static> SortService<K> {
                 });
             }
             job.queued_entries.fetch_add(1, Ordering::Relaxed);
-            queue.push_back(Arc::clone(&job));
+            sched.queue.push_back(Arc::clone(&job));
         }
         if shared {
             inner.registry.lock().unwrap().register(id);
@@ -684,7 +779,20 @@ impl<K: Ord + Clone + Send + Sync + 'static> SortService<K> {
 
     /// Jobs admitted but not yet claimed by any worker.
     pub fn queue_depth(&self) -> usize {
-        self.inner.queue.lock().unwrap().len()
+        self.inner.sched.lock().unwrap().queue.len()
+    }
+
+    /// The most recent watchdog progress snapshot for job `id`: the
+    /// per-participant heartbeat view for single-tree cohort jobs, the
+    /// WAT-frontier fold ([`crate::ShardedSortJob::progress`]) for
+    /// sharded ones. Stints feed the [`WatchdogRegistry`] when they
+    /// stop for a scripted fault or abandon a job incomplete, so this
+    /// returns `None` for small jobs, for jobs no stint has reported
+    /// on yet, and for jobs already published (publication retires the
+    /// registry entry). Telemetry only: the recovery decision rides the
+    /// service's exact stint accounting, not this snapshot.
+    pub fn job_progress(&self, id: u64) -> Option<ProgressReport> {
+        self.inner.registry.lock().unwrap().last(id).cloned()
     }
 
     /// Stops admitting new jobs — submissions from here on get
@@ -734,43 +842,122 @@ fn worker_loop<K: Ord + Clone + Send + Sync>(inner: &Inner<K>) {
     }
 }
 
-/// Blocks for the next claim; `None` once the service stops accepting
-/// and the queue is fully drained. All claim bookkeeping happens under
-/// the queue lock.
+/// Blocks for the next stint; `None` once the service stops accepting,
+/// the queue is fully drained, and nothing in flight can use a helper.
+/// All claim bookkeeping happens under the queue lock.
+///
+/// Queued jobs are picked deficit-style (see [`JobOptions::weight`]);
+/// when the queue is empty the worker joins the largest joinable
+/// in-flight cohort job as a work-conserving helper stint instead of
+/// sleeping on `work_ready`.
 fn next_job<K: Ord>(inner: &Inner<K>) -> Option<Arc<JobState<K>>> {
-    let mut queue = inner.queue.lock().unwrap();
+    let mut sched = inner.sched.lock().unwrap();
     loop {
-        while let Some(job) = queue.pop_front() {
-            job.queued_entries.fetch_sub(1, Ordering::Relaxed);
-            if job.published.load(Ordering::Acquire) {
-                continue; // stale claim of an already-published job
-            }
+        if let Some((job, overtook)) = pick_queued(&mut sched) {
             if job.remaining_claims.load(Ordering::Relaxed) > 0 {
                 // Leave a claim behind so another idle worker co-joins.
                 job.remaining_claims.fetch_sub(1, Ordering::Relaxed);
                 job.queued_entries.fetch_add(1, Ordering::Relaxed);
-                queue.push_back(Arc::clone(&job));
+                sched.queue.push_back(Arc::clone(&job));
                 inner.work_ready.notify_one();
             }
             job.active_stints.fetch_add(1, Ordering::Relaxed);
+            inner.counters.queue_picks.fetch_add(1, Ordering::Relaxed);
+            if overtook {
+                inner
+                    .counters
+                    .weighted_picks
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            // First claim of a plan-free, budget-free cohort job: list
+            // it for helper joins and wake the idle part of the pool.
+            if !job.is_small()
+                && job.plan.is_none()
+                && job.budget.is_none()
+                && !job.helper_listed.swap(true, Ordering::Relaxed)
+            {
+                sched.helpable.push(Arc::clone(&job));
+                inner.work_ready.notify_all();
+            }
+            return Some(job);
+        }
+        if let Some(job) = pick_helpable(&mut sched) {
+            job.active_stints.fetch_add(1, Ordering::Relaxed);
+            inner.counters.helper_stints.fetch_add(1, Ordering::Relaxed);
             return Some(job);
         }
         if !inner.accepting.load(Ordering::Acquire) {
             return None;
         }
-        queue = inner.work_ready.wait(queue).unwrap();
+        sched = inner.work_ready.wait(sched).unwrap();
     }
 }
 
+/// Removes and returns the scheduler's next queued job, skipping stale
+/// entries for already-published jobs. The pick is deficit-style: the
+/// entry with the most accrued credit wins, ties break toward higher
+/// weight and then queue order (so unweighted workloads stay FIFO);
+/// every passed-over entry accrues its weight in credit and the
+/// winner's credit resets. The returned flag reports whether the pick
+/// overtook FIFO order — the winner was not the queue front.
+fn pick_queued<K: Ord>(sched: &mut SchedState<K>) -> Option<(Arc<JobState<K>>, bool)> {
+    loop {
+        if sched.queue.is_empty() {
+            return None;
+        }
+        let mut best = 0;
+        let mut best_credit = sched.queue[0].sched_credit.load(Ordering::Relaxed);
+        let mut best_weight = sched.queue[0].weight;
+        for index in 1..sched.queue.len() {
+            let credit = sched.queue[index].sched_credit.load(Ordering::Relaxed);
+            let weight = sched.queue[index].weight;
+            if credit > best_credit || (credit == best_credit && weight > best_weight) {
+                best = index;
+                best_credit = credit;
+                best_weight = weight;
+            }
+        }
+        let overtook = best != 0;
+        let job = sched.queue.remove(best).unwrap();
+        job.queued_entries.fetch_sub(1, Ordering::Relaxed);
+        if job.published.load(Ordering::Acquire) {
+            continue; // stale claim of an already-published job
+        }
+        for passed in sched.queue.iter() {
+            passed
+                .sched_credit
+                .fetch_add(passed.weight, Ordering::Relaxed);
+        }
+        job.sched_credit.store(0, Ordering::Relaxed);
+        return Some((job, overtook));
+    }
+}
+
+/// The largest in-flight job an idle worker can still join as a helper
+/// stint, pruning entries that published or completed. `None` when no
+/// in-flight job can use another participant.
+fn pick_helpable<K: Ord>(sched: &mut SchedState<K>) -> Option<Arc<JobState<K>>> {
+    sched.helpable.retain(|job| job.joinable());
+    sched
+        .helpable
+        .iter()
+        .max_by_key(|job| job.n)
+        .map(Arc::clone)
+}
+
 /// Pulls up to `limit` additional small jobs out of the queue for
-/// batched execution on the current worker.
+/// batched execution on the current worker. Extras drain in admission
+/// order regardless of weight: within one batched claim, dispatch
+/// amortization is the whole point, and every extra still publishes
+/// individually (a deadline already expired at claim time fails that
+/// extra alone, batch-mates and the stats ledger unaffected).
 fn claim_small_batch<K: Ord>(inner: &Inner<K>, limit: usize) -> Vec<Arc<JobState<K>>> {
-    let mut queue = inner.queue.lock().unwrap();
+    let mut sched = inner.sched.lock().unwrap();
     let mut batch = Vec::new();
     let mut index = 0;
-    while index < queue.len() && batch.len() < limit {
-        if queue[index].is_small() {
-            let job = queue.remove(index).unwrap();
+    while index < sched.queue.len() && batch.len() < limit {
+        if sched.queue[index].is_small() {
+            let job = sched.queue.remove(index).unwrap();
             job.queued_entries.fetch_sub(1, Ordering::Relaxed);
             if !job.published.load(Ordering::Acquire) {
                 job.active_stints.fetch_add(1, Ordering::Relaxed);
@@ -872,11 +1059,15 @@ fn run_stint<K: Ord + Clone + Send + Sync>(
                     finish_stint(inner, job);
                 }
                 Some(StopCause::Chaos) | None => {
-                    // The sharded job has no per-participant heartbeat
-                    // snapshot to feed the watchdog registry (its
-                    // progress signal is the three WAT frontiers, not
-                    // per-thread epochs), so go straight to the shared
-                    // stranded/recovery decision.
+                    // The sharded job's progress signal is the three
+                    // WAT frontiers, not per-thread epochs — fold them
+                    // into the watchdog snapshot, then let the shared
+                    // recovery path decide whether the job is stranded.
+                    inner
+                        .registry
+                        .lock()
+                        .unwrap()
+                        .observe(job.id, sort_job.progress());
                     recover_or_fail(inner, job);
                 }
             }
@@ -891,7 +1082,7 @@ fn run_stint<K: Ord + Clone + Send + Sync>(
 /// stint (up to [`ServiceConfig::max_recoveries`]) or fail the job with
 /// [`JobError::WorkersLost`].
 fn recover_or_fail<K: Ord + Clone>(inner: &Inner<K>, job: &Arc<JobState<K>>) {
-    let mut queue = inner.queue.lock().unwrap();
+    let mut sched = inner.sched.lock().unwrap();
     let stranded = job.active_stints.load(Ordering::Relaxed) == 1
         && job.queued_entries.load(Ordering::Relaxed) == 0
         && !job.published.load(Ordering::Acquire);
@@ -903,15 +1094,15 @@ fn recover_or_fail<K: Ord + Clone>(inner: &Inner<K>, job: &Arc<JobState<K>>) {
                 .crash_recoveries
                 .fetch_add(1, Ordering::Relaxed);
             job.queued_entries.fetch_add(1, Ordering::Relaxed);
-            queue.push_back(Arc::clone(job));
+            sched.queue.push_back(Arc::clone(job));
             job.active_stints.fetch_sub(1, Ordering::Relaxed);
-            drop(queue);
+            drop(sched);
             inner.work_ready.notify_one();
             return;
         }
         job.recoveries.fetch_sub(1, Ordering::Relaxed);
         job.active_stints.fetch_sub(1, Ordering::Relaxed);
-        drop(queue);
+        drop(sched);
         publish(
             inner,
             job,
@@ -927,7 +1118,7 @@ fn recover_or_fail<K: Ord + Clone>(inner: &Inner<K>, job: &Arc<JobState<K>>) {
 /// Post-stint bookkeeping for the paths that did not already do it
 /// inline: drops this stint from the job's active count.
 fn finish_stint<K: Ord>(inner: &Inner<K>, job: &JobState<K>) {
-    let _queue = inner.queue.lock().unwrap();
+    let _sched = inner.sched.lock().unwrap();
     job.active_stints.fetch_sub(1, Ordering::Relaxed);
 }
 
@@ -973,14 +1164,20 @@ fn publish<K: Ord + Clone>(inner: &Inner<K>, job: &JobState<K>, sorted: Result<V
         .map(|start| start.saturating_duration_since(job.submitted))
         .unwrap_or_default();
     let stints = job.stint_metrics.lock().unwrap().clone();
+    let mut sort = SortReport::aggregate(stints, elapsed);
+    if let (Work::SharedSharded(sharded), Ok(_)) = (&job.work, &sorted) {
+        // A completed sharded job carries its per-shard statistics,
+        // like the standalone sharded front-end's report does.
+        sort = sort.with_shard(sharded.shard_report());
+    }
     let report = JobReport {
         id: job.id,
         n: job.n,
         queued,
         elapsed,
-        stints: stints.len(),
+        stints: sort.per_worker.len(),
         recoveries: job.recoveries.load(Ordering::Relaxed),
-        sort: SortReport::aggregate(stints, elapsed),
+        sort,
     };
     inner.registry.lock().unwrap().unregister(job.id);
     let mut done = job.done.lock().unwrap();
@@ -991,6 +1188,7 @@ fn publish<K: Ord + Clone>(inner: &Inner<K>, job: &JobState<K>, sorted: Result<V
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::watchdog::SortPhase;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -1305,6 +1503,191 @@ mod tests {
         assert_eq!(result.report.id, id);
         assert!(result.sorted.is_ok());
         service.shutdown();
+    }
+
+    #[test]
+    fn scripted_plans_ride_the_sharded_pipeline() {
+        // Red-first pin for the inert-plan bug: a tenant past
+        // `sharded_cutoff` that also carries a `ChaosPlan` must run the
+        // sharded pipeline *and* replay its fault script there. Before
+        // the fix, a plan silently forced the single-tree path, so the
+        // sharded pipeline was never exercised under service chaos.
+        let service = SortService::start(
+            ServiceConfig::default()
+                .workers(2)
+                .sharded_cutoff(2_000)
+                .max_recoveries(2),
+        );
+        let keys = random_keys(6_000, 900);
+        let plan = ChaosPlan::new(2).crash_at(0, 40).crash_at(1, 80);
+        let ticket = service
+            .submit(keys.clone(), JobOptions::default().plan(plan).helpers(2))
+            .unwrap();
+        let result = ticket.wait();
+        assert_eq!(result.sorted.unwrap(), expect_sorted(&keys));
+        assert!(result.report.recoveries >= 1, "both scripted stints crash");
+        assert!(
+            result.report.sort.per_phase.partition.claims > 0,
+            "a chaos-planned large tenant must run the sharded partition \
+             phase, not fall back to the single tree"
+        );
+        let stats = service.shutdown();
+        assert!(stats.crash_recoveries >= 1);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn sharded_job_progress_feeds_the_watchdog() {
+        // Red-first pin for the sharded observe blind spot: a crashing
+        // sharded stint must feed the watchdog registry a snapshot
+        // built from the three sharded WAT frontiers. The first stint
+        // crashes mid-partition (observing on the way out); the
+        // recovery stint pauses half a second at its first checkpoint,
+        // holding the job in flight while the test reads the snapshot.
+        let service = SortService::start(ServiceConfig::default().workers(1).sharded_cutoff(2_000));
+        let keys = random_keys(6_000, 901);
+        let plan = ChaosPlan::new(2).crash_at(0, 60).pause_at(1, 1, 500_000);
+        let ticket = service
+            .submit(keys.clone(), JobOptions::default().plan(plan).helpers(1))
+            .unwrap();
+        let id = ticket.id();
+        let poll_until = Instant::now() + Duration::from_secs(10);
+        let report = loop {
+            if let Some(report) = service.job_progress(id) {
+                break report;
+            }
+            assert!(
+                Instant::now() < poll_until,
+                "no progress snapshot observed for the crashed sharded stint"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        };
+        assert!(!report.complete);
+        assert!(
+            report.phase >= SortPhase::Partition,
+            "snapshot must come from the sharded pipeline, got {:?}",
+            report.phase
+        );
+        assert!(report.build_jobs_total > 0);
+        assert_eq!(ticket.wait().sorted.unwrap(), expect_sorted(&keys));
+        service.shutdown();
+    }
+
+    #[test]
+    fn expired_small_batch_extras_fail_individually() {
+        // Red-first pin: batch extras whose deadlines already expired
+        // at claim time must each publish their own typed deadline
+        // error, without poisoning their batch-mates and without
+        // unbalancing the ledger (completed + failed == admitted).
+        let service = SortService::start(
+            ServiceConfig::default()
+                .workers(1)
+                .small_sort_cutoff(512)
+                .small_batch(8),
+        );
+        let big = random_keys(2_000, 902);
+        let pause = ChaosPlan::new(1).pause_at(0, 1, 100_000);
+        let blocker = service
+            .submit(big.clone(), JobOptions::default().plan(pause).helpers(1))
+            .unwrap();
+        let live1 = service
+            .submit(random_keys(100, 903), JobOptions::default())
+            .unwrap();
+        let doomed1 = service
+            .submit(
+                random_keys(100, 904),
+                JobOptions::default().deadline(Duration::ZERO),
+            )
+            .unwrap();
+        let doomed2 = service
+            .submit(
+                random_keys(100, 905),
+                JobOptions::default().deadline(Duration::ZERO),
+            )
+            .unwrap();
+        let live2 = service
+            .submit(random_keys(100, 906), JobOptions::default())
+            .unwrap();
+        assert_eq!(blocker.wait().sorted.unwrap(), expect_sorted(&big));
+        assert!(live1.wait().sorted.is_ok());
+        assert_eq!(
+            doomed1.wait().sorted.unwrap_err(),
+            JobError::DeadlineExpired
+        );
+        assert_eq!(
+            doomed2.wait().sorted.unwrap_err(),
+            JobError::DeadlineExpired
+        );
+        assert!(live2.wait().sorted.is_ok());
+        let stats = service.shutdown();
+        assert_eq!(stats.admitted, 5);
+        assert_eq!(stats.completed, 3);
+        assert_eq!(stats.deadline_expired, 2);
+        assert_eq!(stats.completed + stats.failed(), stats.admitted);
+        // The first small claim drained the other three as batch extras.
+        assert_eq!(stats.small_batched, 3);
+    }
+
+    #[test]
+    fn idle_workers_join_the_largest_inflight_job() {
+        // Red-first pin for work conservation: one large planless
+        // tenant claimed by a single stint, empty queue — the three
+        // idle workers must join it as helper stints instead of
+        // sleeping on `work_ready`.
+        let service = SortService::start(ServiceConfig::default().workers(4).sharded_cutoff(4_096));
+        let keys = random_keys(120_000, 907);
+        let ticket = service
+            .submit(keys.clone(), JobOptions::default().helpers(1))
+            .unwrap();
+        let result = ticket.wait();
+        assert_eq!(result.sorted.unwrap(), expect_sorted(&keys));
+        let stats = service.shutdown();
+        assert!(
+            stats.helper_stints > 0,
+            "idle workers must have joined the in-flight job: {stats:?}"
+        );
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.completed + stats.failed(), stats.admitted);
+    }
+
+    #[test]
+    fn weighted_tenants_overtake_fifo_order() {
+        // Red-first pin for weighted scheduling: with the pool blocked,
+        // a weight-8 tenant queued *behind* a weight-1 tenant must be
+        // picked first once the worker frees (equal accrued credit
+        // breaks toward the higher weight).
+        let service = SortService::start(ServiceConfig::default().workers(1));
+        let big = random_keys(2_000, 908);
+        let pause = ChaosPlan::new(1).pause_at(0, 1, 100_000);
+        let blocker = service
+            .submit(big.clone(), JobOptions::default().plan(pause).helpers(1))
+            .unwrap();
+        let a_keys = random_keys(3_000, 909);
+        let b_keys = random_keys(3_000, 910);
+        let a = service
+            .submit(a_keys.clone(), JobOptions::default().helpers(1).weight(1))
+            .unwrap();
+        let b = service
+            .submit(b_keys.clone(), JobOptions::default().helpers(1).weight(8))
+            .unwrap();
+        assert_eq!(blocker.wait().sorted.unwrap(), expect_sorted(&big));
+        let a_result = a.wait();
+        let b_result = b.wait();
+        assert_eq!(a_result.sorted.unwrap(), expect_sorted(&a_keys));
+        assert_eq!(b_result.sorted.unwrap(), expect_sorted(&b_keys));
+        assert!(
+            b_result.report.queued < a_result.report.queued,
+            "the weight-8 tenant must start before the weight-1 tenant \
+             queued ahead of it (b queued {:?}, a queued {:?})",
+            b_result.report.queued,
+            a_result.report.queued
+        );
+        let stats = service.shutdown();
+        assert!(
+            stats.weighted_picks >= 1,
+            "picking b over a is a weighted pick"
+        );
+        assert_eq!(stats.completed, 3);
     }
 
     #[test]

@@ -78,7 +78,7 @@ use crate::job::{
 use crate::lcwat::AtomicLcWat;
 use crate::metrics::{BucketStat, Instrument, MetricSlot, NoInstrument, ShardReport, ShardStat};
 use crate::wat::AtomicWat;
-use crate::watchdog::SortPhase;
+use crate::watchdog::{ProgressReport, SortPhase};
 
 /// The shard count [`crate::WaitFreeSorter::sort_sharded`] picks for
 /// `n` keys and a `workers`-thread cohort: `n / 8192`, but at least one
@@ -255,7 +255,10 @@ impl<P: Participation> Participation for ForwardAbandon<'_, '_, P> {
 ///
 /// Unlike [`SortJob`] there are no per-participant heartbeat slots: the
 /// watchdog story for the sharded path rides on its completion gates
-/// and on the WAT frontiers, not on per-thread epochs.
+/// and on the WAT frontiers, not on per-thread epochs —
+/// [`ShardedSortJob::progress`] folds those frontiers into a
+/// [`ProgressReport`] the [`crate::WatchdogRegistry`] classifies like
+/// any other job's.
 ///
 /// # Examples
 ///
@@ -837,6 +840,63 @@ impl<K: Ord> ShardedSortJob<K> {
         match self.allocation {
             NativeAllocation::Deterministic => self.shard_wat.all_done(),
             NativeAllocation::Randomized => self.shard_lcwat.all_done(),
+        }
+    }
+
+    /// A structured snapshot of the sharded pipeline's progress: the
+    /// three WAT frontiers folded into a [`ProgressReport`] so the
+    /// sharded path plugs into the same [`crate::Watchdog`] /
+    /// [`crate::WatchdogRegistry`] machinery as the single-tree
+    /// [`SortJob`](crate::SortJob). Partition and fill jobs fold into
+    /// the report's build frontier, shard-sort claims into its scatter
+    /// frontier.
+    ///
+    /// There are no per-participant heartbeat slots on this path, so
+    /// `workers` is empty and `tracked_slots` is zero; health
+    /// classification then rides entirely on frontier movement, which
+    /// the WATs keep exact. Two successive observations with no
+    /// frontier motion classify [`Wedged`](crate::Health::Wedged), a
+    /// crawling cohort [`Progressing`](crate::Health::Progressing) —
+    /// exactly the verdicts the heartbeat view would give, minus the
+    /// per-thread reaped/stalled split.
+    pub fn progress(&self) -> ProgressReport {
+        let (partition_done, partition_total, fill_done, fill_total, shard_done, shard_total) =
+            match self.allocation {
+                NativeAllocation::Deterministic => (
+                    self.partition_wat.done_jobs(),
+                    self.partition_wat.jobs(),
+                    self.fill_wat.done_jobs(),
+                    self.fill_wat.jobs(),
+                    self.shard_wat.done_jobs(),
+                    self.shard_wat.jobs(),
+                ),
+                NativeAllocation::Randomized => (
+                    self.partition_lcwat.done_jobs(),
+                    self.partition_lcwat.jobs(),
+                    self.fill_lcwat.done_jobs(),
+                    self.fill_lcwat.jobs(),
+                    self.shard_lcwat.done_jobs(),
+                    self.shard_lcwat.jobs(),
+                ),
+            };
+        let phase = if self.fill_done() {
+            SortPhase::ShardSort
+        } else if self.partition_done() {
+            SortPhase::Fill
+        } else {
+            SortPhase::Partition
+        };
+        ProgressReport {
+            complete: self.is_complete(),
+            phase,
+            participants: self.participants.load(Ordering::Relaxed),
+            workers: Vec::new(),
+            tracked_slots: 0,
+            aliased_participants: 0,
+            build_jobs_done: partition_done + fill_done,
+            build_jobs_total: partition_total + fill_total,
+            scatter_jobs_done: shard_done,
+            scatter_jobs_total: shard_total,
         }
     }
 

@@ -453,6 +453,35 @@ mod tests {
         assert!(!report.complete);
     }
 
+    #[test]
+    fn sharded_frontier_snapshots_classify_like_heartbeats() {
+        // The sharded pipeline carries no heartbeat slots; its
+        // `progress()` folds the three WAT frontiers into the report.
+        // The registry must classify those snapshots exactly like
+        // heartbeat ones: frontier movement since the last observation
+        // is Progressing, two identical incomplete snapshots are
+        // Wedged, completion is Complete.
+        let keys: Vec<u64> = (0..4_000).rev().collect();
+        let job = crate::shard::ShardedSortJob::new(keys, 4);
+        let mut registry = WatchdogRegistry::new();
+        assert!(registry.register(9));
+        job.participate(&mut QuitAfter(40));
+        assert!(!job.is_complete());
+        let snapshot = job.progress();
+        assert_eq!(snapshot.workers.len(), 0);
+        assert_eq!(snapshot.tracked_slots, 0);
+        assert!(matches!(
+            registry.observe(9, snapshot),
+            Health::Progressing { .. }
+        ));
+        // Nothing ran between observations: with every frontier frozen
+        // the wedged verdict fires without any per-thread epoch
+        // evidence.
+        assert_eq!(registry.observe(9, job.progress()), Health::Wedged);
+        job.run();
+        assert_eq!(registry.observe(9, job.progress()), Health::Complete);
+    }
+
     /// A one-live-worker report with the given heartbeat epoch, for
     /// driving [`Watchdog::observe_report`] with synthetic sequences.
     fn synthetic(epoch: u64, departed: bool) -> ProgressReport {

@@ -7,7 +7,15 @@
 //! sequential sort, the service's counters attribute exactly one
 //! failure/recovery to the victim, and graceful shutdown drains
 //! in-flight jobs while rejecting new ones with a typed error.
+//!
+//! The scheduler half of the suite proves the same isolation story for
+//! *contention* rather than faults: a weight-1 tenant completes within
+//! a bounded number of picks under a sustained weight-8 flood (the
+//! deficit scheduler never starves anyone), and helper joins — idle
+//! workers attaching to in-flight sharded jobs — never change a single
+//! output byte even while a chaos storm batters a sibling tenant.
 
+use std::collections::VecDeque;
 use std::time::Duration;
 
 use wait_free_sort::wfsort_native::{
@@ -257,4 +265,172 @@ fn expired_tenants_do_not_disturb_live_ones() {
     assert_eq!(stats.deadline_expired, 1);
     assert_eq!(stats.budget_exhausted, 1);
     assert_eq!(stats.completed, 1);
+}
+
+/// Starvation bound under a sustained heavier flood: a weight-1 tenant
+/// shares a single worker with a weight-8 flood that is replenished
+/// one-for-one as its jobs complete (at most four outstanding). The
+/// deficit scheduler ages the passed-over weight-1 entry by its weight
+/// on every pick, so its credit must eventually beat every fresh
+/// flood arrival — it completes well before the flood's 40-job cap,
+/// where strict priority would starve it for the full flood.
+#[test]
+fn weight_one_tenant_completes_during_a_weight_eight_flood() {
+    const FLOOD_CAP: usize = 40;
+    let service = SortService::start(ServiceConfig::default().workers(1));
+    // Pause the lone worker mid-stint so the lonely tenant and the
+    // initial flood wave are all queued before the first real pick.
+    let blocker_keys = random_keys(2_000, 50_000);
+    let blocker = service
+        .submit(
+            blocker_keys.clone(),
+            JobOptions::default()
+                .plan(ChaosPlan::new(1).pause_at(0, 1, 50_000))
+                .helpers(1),
+        )
+        .unwrap();
+    let lonely_keys = random_keys(2_000, 50_001);
+    let lonely = service
+        .submit(
+            lonely_keys.clone(),
+            JobOptions::default().helpers(1).weight(1),
+        )
+        .unwrap();
+    let flood_keys = random_keys(2_000, 50_002);
+    let submit_flood = || {
+        service
+            .submit(
+                flood_keys.clone(),
+                JobOptions::default().helpers(1).weight(8),
+            )
+            .unwrap()
+    };
+    let mut flood: VecDeque<_> = (0..4).map(|_| submit_flood()).collect();
+    let mut submitted = 4;
+    let mut flood_completed = 0usize;
+
+    let mut lonely = Some(lonely);
+    let lonely_result = loop {
+        match lonely.take().unwrap().try_wait() {
+            Ok(result) => break result,
+            Err(ticket) => lonely = Some(ticket),
+        }
+        let next = flood.pop_front().expect(
+            "the weight-1 tenant outlived the whole flood: deficit \
+             scheduling failed to bound its wait",
+        );
+        assert_eq!(
+            next.wait().sorted.expect("flood tenant completes"),
+            sequential_sort(&flood_keys)
+        );
+        flood_completed += 1;
+        if submitted < FLOOD_CAP {
+            flood.push_back(submit_flood());
+            submitted += 1;
+        }
+    };
+    assert!(
+        flood_completed < FLOOD_CAP,
+        "weight-1 tenant only completed after the flood was exhausted"
+    );
+    assert_eq!(
+        lonely_result.sorted.expect("weight-1 tenant completes"),
+        sequential_sort(&lonely_keys),
+        "scheduling weights must never change a tenant's output"
+    );
+    assert_eq!(
+        blocker.wait().sorted.expect("paused blocker resumes"),
+        sequential_sort(&blocker_keys)
+    );
+    for ticket in flood {
+        assert_eq!(
+            ticket.wait().sorted.expect("flood tenant completes"),
+            sequential_sort(&flood_keys)
+        );
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.completed, stats.admitted);
+    assert!(
+        stats.weighted_picks >= 1,
+        "the weight-8 flood must have overtaken the queue order at \
+         least once: {stats:?}"
+    );
+    assert!(stats.weighted_picks <= stats.queue_picks);
+}
+
+/// Work conservation under fire: four workers, one chaos-storm victim,
+/// and three plan-free sharded tenants big enough that idle workers
+/// join them as helper stints. Helpers are extra participants in the
+/// paper's §3 sense — they may only speed a sort up — so every tenant
+/// must stay bit-identical to a sequential sort on every storm seed,
+/// and the publication ledger must still balance.
+#[test]
+fn helper_joined_tenants_stay_bit_identical_under_chaos_storms() {
+    let mut total_helper_stints = 0u64;
+    for seed in 0..6u64 {
+        let service = SortService::start(
+            ServiceConfig::default()
+                .workers(4)
+                .max_recoveries(2)
+                .sharded_cutoff(4_096),
+        );
+        let victim_keys = random_keys(1_500, 30_000 + seed);
+        let plan = ChaosPlan::random_crashes(3, 0.9, 100, seed)
+            .pause_at(0, 5, 200)
+            .stall_at(1, 7, 500);
+        let victim = service
+            .submit(
+                victim_keys.clone(),
+                JobOptions::default().plan(plan).helpers(3),
+            )
+            .unwrap();
+        // Plan-free, budget-free, and past the sharded cutoff with a
+        // single queue claim each: exactly the shape the scheduler
+        // lists for helper joins once the queue drains.
+        let tenants: Vec<Vec<u64>> = (0..3)
+            .map(|t| random_keys(8_000, 31_000 + seed * 8 + t))
+            .collect();
+        let tickets: Vec<_> = tenants
+            .iter()
+            .map(|keys| {
+                service
+                    .submit(keys.clone(), JobOptions::default().helpers(1))
+                    .unwrap()
+            })
+            .collect();
+
+        for (keys, ticket) in tenants.iter().zip(tickets) {
+            assert_eq!(
+                ticket
+                    .wait()
+                    .sorted
+                    .expect("helper-joined tenant completes"),
+                sequential_sort(keys),
+                "seed {seed}: helper joins changed a tenant's output"
+            );
+        }
+        match victim.wait().sorted {
+            Ok(sorted) => assert_eq!(sorted, sequential_sort(&victim_keys), "seed {seed}"),
+            Err(err) => assert!(
+                matches!(err, JobError::WorkersLost { .. }),
+                "seed {seed}: unexpected victim error {err}"
+            ),
+        }
+        let stats = service.shutdown();
+        assert_eq!(
+            stats.completed + stats.workers_lost,
+            4,
+            "seed {seed}: every admitted job must publish exactly once"
+        );
+        assert_eq!(
+            stats.small_batched, 0,
+            "seed {seed}: no job in this shape is small enough to batch"
+        );
+        total_helper_stints += stats.helper_stints;
+    }
+    assert!(
+        total_helper_stints > 0,
+        "across six storms, idle workers never once joined an in-flight \
+         sharded job — work conservation is broken"
+    );
 }
