@@ -1,0 +1,109 @@
+//! Criterion bench: per-key binary-search classification vs the padded
+//! splitter ladder, in both its per-key and 8-lane interleaved forms
+//! (backs experiment E29). Both kernels compile branchless; the
+//! ladder's edge is the fixed trip count that lets lanes descend in
+//! lockstep and overlap the rung-load latency chains.
+//!
+//! The `e26_sharded_bench` binary's E26e section produces the
+//! schema-gated kernel A/B inside `BENCH_sharded.json`; this bench is
+//! the statistically honest companion for local investigation
+//! (`cargo bench -p bench --bench classify`), isolating the per-key
+//! classification cost from the rest of the sharded pipeline across
+//! splitter-count × input-shape combinations.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use wait_free_sort::testshapes;
+use wfsort_native::{piece_by_search, SplitterLadder};
+
+/// `d` strictly-increasing splitters spread across the `u64` domain the
+/// test shapes draw from — the same construction the sharded sampler
+/// produces after its sort + dedup + quantile thinning.
+fn splitters(d: usize) -> Vec<u64> {
+    let stride = u64::MAX / (d as u64 + 1);
+    (1..=d as u64).map(|i| i.wrapping_mul(stride)).collect()
+}
+
+/// The swept inputs: uniform random keys (every rung matters),
+/// few-distinct keys (equality buckets dominate — the ladder's folded
+/// equality probe is on the hot path), and a periodic sawtooth (the
+/// most predictable access pattern, so the baseline search shows its
+/// best side and the A/B stays honest).
+fn shapes(n: usize) -> Vec<(&'static str, Vec<u64>)> {
+    vec![
+        ("uniform", testshapes::uniform(n, 29)),
+        ("few-distinct", testshapes::few_distinct(n, 64, 29)),
+        ("sawtooth", testshapes::sawtooth(n, 1009)),
+    ]
+}
+
+fn bench_classify(c: &mut Criterion) {
+    let n = 1 << 14;
+
+    let mut group = c.benchmark_group("classify");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(n as u64));
+
+    // The ISSUE-9 sweep: small (fits one cache line of rungs), medium,
+    // and large (past the binary search's well-predicted first probes)
+    // splitter sets, over each shape. The summed piece ids defeat dead
+    // code elimination and double as a cheap agreement check.
+    for d in [7usize, 63, 127] {
+        let splitters = splitters(d);
+        let ladder = SplitterLadder::new(&splitters);
+        for (shape, keys) in shapes(n) {
+            let id = format!("{shape}/d={d}");
+            group.bench_with_input(BenchmarkId::new("binary", &id), &keys, |b, keys| {
+                b.iter(|| {
+                    let mut sum = 0usize;
+                    for key in keys {
+                        sum += piece_by_search(black_box(&splitters), black_box(key));
+                    }
+                    sum
+                })
+            });
+            group.bench_with_input(BenchmarkId::new("ladder", &id), &keys, |b, keys| {
+                b.iter(|| {
+                    let mut sum = 0usize;
+                    for key in keys {
+                        sum += ladder.piece_for(black_box(key));
+                    }
+                    sum
+                })
+            });
+            // The shipped block-kernel shape: 8 keys per interleaved
+            // walk, overlapping the rung-load chains (the per-key rows
+            // above are latency-bound by construction).
+            group.bench_with_input(BenchmarkId::new("ladder-lanes8", &id), &keys, |b, keys| {
+                b.iter(|| {
+                    let mut sum = 0usize;
+                    let chunks = keys.chunks_exact(8);
+                    let tail = chunks.remainder();
+                    for chunk in chunks {
+                        let lanes: [&u64; 8] = std::array::from_fn(|j| &chunk[j]);
+                        for piece in ladder.piece_for_lanes(black_box(lanes)) {
+                            sum += piece;
+                        }
+                    }
+                    for key in tail {
+                        sum += ladder.piece_for(black_box(key));
+                    }
+                    sum
+                })
+            });
+
+            // Sanity outside the timed body: the kernels agree on every
+            // swept key, so the A/B compares equal work.
+            for key in &keys {
+                assert_eq!(ladder.piece_for(key), piece_by_search(&splitters, key));
+            }
+        }
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_classify);
+criterion_main!(benches);

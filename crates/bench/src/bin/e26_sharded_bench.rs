@@ -5,8 +5,9 @@
 //! counter pins that make the sharded phases' claim traffic exact, and
 //! the E26d/E28 adversarial-shape battery proving the duplicate-robust
 //! partitioner holds `imbalance ≤ τ` on the shapes that break naive
-//! splitter sampling — persisted as the schema-stable
-//! `BENCH_sharded.json` (v2) perf artifact.
+//! splitter sampling, and the E26e/E29 classify-kernel A/B with the
+//! fused-histogram Fill-entry pin — persisted as the schema-stable
+//! `BENCH_sharded.json` (v3) perf artifact.
 //!
 //! The sharded path ([`wfsort_native::ShardedSortJob`]) oversamples
 //! `S · overpartition_factor` splitter candidates, deduplicates them,
@@ -36,7 +37,9 @@ use bench::json::SHARDED_SCHEMA;
 use bench::{f2, timed, validate_sharded_bench, write_artifact, Table};
 use wait_free_sort::testshapes;
 use wfsort_native::{
-    recommended_grain, NativeAllocation, ShardedSortJob, SortJob, SortOptions, WaitFreeSorter,
+    piece_by_search, recommended_grain, ClassifyKernel, MetricSlot, NativeAllocation,
+    RunToCompletion, ShardConfig, ShardedSortJob, SortJob, SortOptions, SplitterLadder,
+    WaitFreeSorter,
 };
 
 /// The throughput-sweep trio (the E24/E25 lineage, now drawn from the
@@ -125,6 +128,72 @@ fn time_single(keys: &[u64], threads: usize, repeats: usize) -> (f64, Vec<usize>
         best = best.min(secs);
     }
     (best, perm, ok)
+}
+
+/// Best-of-`repeats` single-threaded wall time for the sharded path
+/// with `kernel` forced on, plus the (deterministic) permutation and
+/// whether every run's output was sorted. Single-threaded on purpose:
+/// the kernel A/B is a superscalar-throughput question, and on this
+/// repo's 1-CPU reference host multi-thread timings measure the
+/// timeslicer, not the kernel.
+/// One full single-threaded sharded sort under `kernel`, for the E26e
+/// parity columns: the permutation it produced and whether that
+/// permutation sorts `keys`. Untimed — end-to-end sort time is
+/// dominated by the per-shard sorts, whose run-to-run noise would
+/// swamp the kernel delta the A/B exists to measure.
+fn sort_with(keys: &[u64], shards: usize, kernel: ClassifyKernel) -> (Vec<usize>, bool) {
+    let job = ShardedSortJob::with_config(
+        keys.to_vec(),
+        NativeAllocation::Deterministic,
+        1,
+        shards,
+        ShardConfig {
+            classify_kernel: kernel,
+            ..ShardConfig::default()
+        },
+    );
+    job.run();
+    let perm = job.permutation();
+    let ok = perm_is_sorted(keys, &perm);
+    (perm, ok)
+}
+
+/// Best-of-`repeats` time for one classification pass over all of
+/// `keys` against a real job's sampled `splitters` — the work the
+/// kernel knob actually changes. The ladder arm replicates the block
+/// kernel's interleaved walk (8 lanes through
+/// [`SplitterLadder::piece_for_lanes`], per-key tail); the baseline is
+/// the per-key [`piece_by_search`]. Piece ids are accumulated and
+/// black-boxed so neither pass can be optimized away.
+fn time_classify(keys: &[u64], splitters: &[u64], kernel: ClassifyKernel, repeats: usize) -> f64 {
+    let ladder = SplitterLadder::new(splitters);
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats {
+        let mut acc = 0usize;
+        let (_, secs) = timed(|| match kernel {
+            ClassifyKernel::Ladder => {
+                let chunks = keys.chunks_exact(8);
+                let tail = chunks.remainder();
+                for chunk in chunks {
+                    let lanes: [&u64; 8] = std::array::from_fn(|j| &chunk[j]);
+                    for piece in ladder.piece_for_lanes(lanes) {
+                        acc += piece;
+                    }
+                }
+                for key in tail {
+                    acc += ladder.piece_for(key);
+                }
+            }
+            _ => {
+                for key in keys {
+                    acc += piece_by_search(splitters, key);
+                }
+            }
+        });
+        std::hint::black_box(acc);
+        best = best.min(secs);
+    }
+    best
 }
 
 fn main() -> ExitCode {
@@ -436,17 +505,139 @@ fn main() -> ExitCode {
          N = {cross_n} above)"
     ));
 
+    // E26e — classify-kernel A/B (EXPERIMENTS.md E29). Both kernels
+    // sort the same keys single-threaded and their permutations are
+    // asserted equal inline (the kernel is a pure throughput knob);
+    // the timed columns then A/B one classification pass over all N
+    // keys against the instrumented job's real sampled splitters —
+    // the work the knob changes, isolated from per-shard sort noise.
+    // The instrumented ladder run contributes the fused-histogram
+    // telemetry the validator re-pins: `fill_setup_steps` must be
+    // exactly B·P — the Fill-entry scan the fusion deleted was O(n).
+    // In full mode the uniform rows are the acceptance gate: best-of
+    // ladder time must not regress past the binary-search baseline.
+    let n_classify = if quick { 20_000 } else { 1_000_000 };
+    let classify_repeats = if quick { 2 } else { 5 };
+    let mut classify = Vec::new();
+    let mut e = Table::new(&[
+        "shape",
+        "shards",
+        "splitters",
+        "binary ms",
+        "ladder ms",
+        "speedup",
+        "B·P setup",
+    ]);
+    for (shape, keys) in shapes(n_classify) {
+        for &shards in &[8usize, 64] {
+            let (binary_perm, binary_ok) = sort_with(&keys, shards, ClassifyKernel::BinarySearch);
+            let (ladder_perm, ladder_ok) = sort_with(&keys, shards, ClassifyKernel::Ladder);
+            assert!(
+                binary_ok && ladder_ok,
+                "kernel output unsorted at {shards}x{shape}"
+            );
+            assert_eq!(
+                ladder_perm, binary_perm,
+                "kernel permutation mismatch at {shards}x{shape}"
+            );
+
+            // One instrumented lone-worker run for the telemetry row
+            // and the splitter set both timed passes walk.
+            let job = ShardedSortJob::with_config(
+                keys.to_vec(),
+                NativeAllocation::Deterministic,
+                1,
+                shards,
+                ShardConfig {
+                    classify_kernel: ClassifyKernel::Ladder,
+                    ..ShardConfig::default()
+                },
+            );
+            let slot = MetricSlot::new();
+            job.participate_instrumented(&mut RunToCompletion, &slot);
+            let m = slot.snapshot();
+            let (blocks, pieces) = (job.partition_blocks(), job.buckets());
+
+            let binary_ms = time_classify(
+                &keys,
+                job.splitters(),
+                ClassifyKernel::BinarySearch,
+                classify_repeats,
+            );
+            let ladder_ms = time_classify(
+                &keys,
+                job.splitters(),
+                ClassifyKernel::Ladder,
+                classify_repeats,
+            );
+            let speedup = binary_ms / ladder_ms.max(f64::EPSILON);
+            if !quick && shape == "uniform-random" {
+                assert!(
+                    speedup >= 1.0,
+                    "{shape} S={shards}: ladder regressed to {speedup:.3}x of the \
+                     binary-search baseline at N = {n_classify} (best of \
+                     {classify_repeats})"
+                );
+            }
+            assert_eq!(
+                m.phases.fill.setup_steps,
+                (blocks * pieces) as u64,
+                "{shape} S={shards}: fill entry must reduce exactly the B·P table"
+            );
+            e.row(vec![
+                shape.into(),
+                shards.to_string(),
+                ((pieces - 1) / 2).to_string(),
+                f2(binary_ms * 1e3),
+                f2(ladder_ms * 1e3),
+                format!("{speedup:.2}x"),
+                format!("{}·{}", blocks, pieces),
+            ]);
+            classify.push(format!(
+                concat!(
+                    "{{\"shape\":\"{}\",\"n\":{},\"shards\":{},\"splitters\":{},",
+                    "\"buckets\":{},\"partition_blocks\":{},",
+                    "\"binary_ms\":{:.3},\"ladder_ms\":{:.3},\"speedup\":{:.3},",
+                    "\"kernel_blocks\":{},\"classify_steps\":{},",
+                    "\"fill_setup_steps\":{},\"sorted\":true,",
+                    "\"permutation_match\":true}}"
+                ),
+                shape,
+                n_classify,
+                shards,
+                (pieces - 1) / 2,
+                pieces,
+                blocks,
+                binary_ms * 1e3,
+                ladder_ms * 1e3,
+                speedup,
+                m.phases.partition.kernel_blocks,
+                m.phases.partition.classify_steps,
+                m.phases.fill.setup_steps,
+            ));
+        }
+    }
+    e.print(&format!(
+        "E26e: classify-kernel A/B at N = {n_classify} (one classification \
+         pass over all N keys against the job's real splitters, best of \
+         {classify_repeats}; speedup = binary/ladder, > 1 means the \
+         interleaved ladder won; full sorts matched permutations; \
+         fill-entry setup pinned at B·P)"
+    ));
+
     let artifact = format!(
         "{{\"schema\":\"{SHARDED_SCHEMA}\",\"experiment\":\"e26_sharded_bench\",\
          \"quick\":{quick},\
          \"comparison\":[\n{}\n],\
          \"balance\":[\n{}\n],\
          \"counter_pins\":[\n{}\n],\
-         \"adversarial\":[\n{}\n]}}\n",
+         \"adversarial\":[\n{}\n],\
+         \"classify\":[\n{}\n]}}\n",
         comparison.join(",\n"),
         balance.join(",\n"),
         counter_pins.join(",\n"),
         adversarial.join(",\n"),
+        classify.join(",\n"),
     );
     // Self-gate before writing: a malformed artifact must never land.
     if let Err(e) = validate_sharded_bench(&artifact) {

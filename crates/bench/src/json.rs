@@ -519,12 +519,20 @@ pub fn validate_layout_bench(text: &str) -> Result<usize, String> {
     Ok(throughput.len() + sweep.len())
 }
 
-/// The schema tag `e26_sharded_bench` writes.
-pub const SHARDED_SCHEMA: &str = "wfsort-native-sharded/v2";
+/// The schema tag `e26_sharded_bench` writes. v3 added the required
+/// `classify` section — the ISSUE-9 kernel A/B rows with the fused
+/// fill-entry histogram pin.
+pub const SHARDED_SCHEMA: &str = "wfsort-native-sharded/v3";
+
+/// The previous sharded schema tag, inside its one-release migration
+/// window per the versioning policy in `docs/artifacts.md`: v2-tagged
+/// documents still validate, with the v3 `classify` section treated as
+/// optional. The window closes next release, after which v2 joins v1.
+pub const SHARDED_SCHEMA_V2: &str = "wfsort-native-sharded/v2";
 
 /// The retired sharded schema tag. The one-release migration window the
 /// versioning policy in `docs/artifacts.md` promised is over: documents
-/// carrying this tag are now rejected with a pointer at the v2 tag.
+/// carrying this tag are now rejected with a pointer at the current tag.
 pub const SHARDED_SCHEMA_V1: &str = "wfsort-native-sharded/v1";
 
 /// Validates a `BENCH_sharded.json` document against the
@@ -546,17 +554,28 @@ pub const SHARDED_SCHEMA_V1: &str = "wfsort-native-sharded/v1";
 ///   proves the achieved `imbalance` met the requested τ
 ///   (`within_requested`) and that the permutation matched the stable
 ///   `(key, index)` oracle (`permutation_match`), with the populated
-///   `equality_buckets` count alongside.
+///   `equality_buckets` count alongside;
+/// * `classify` (required by v3): the kernel A/B rows — both kernels'
+///   best times with `speedup = binary_ms / ladder_ms`, proof the
+///   kernels agreed (`permutation_match`) and sorted, and the fused
+///   Fill-entry pin: the validator recomputes `fill_setup_steps =
+///   partition_blocks × buckets` (O(B·P), not O(n)) and requires the
+///   lone instrumented run to have classified every block
+///   (`kernel_blocks = partition_blocks`).
 ///
-/// Only [`SHARDED_SCHEMA`] (v2) documents are accepted. The legacy
-/// [`SHARDED_SCHEMA_V1`] tag had its promised one-release migration
-/// window and is rejected with an explicit message.
+/// [`SHARDED_SCHEMA`] (v3) documents are fully enforced.
+/// [`SHARDED_SCHEMA_V2`] is inside its one-release migration window:
+/// accepted, with `classify` optional (validated when present). The
+/// legacy [`SHARDED_SCHEMA_V1`] tag had its window and is rejected with
+/// an explicit message.
 ///
-/// Returns the number of comparison + counter-pin + adversarial entries.
+/// Returns the number of comparison + counter-pin + adversarial +
+/// classify entries.
 pub fn validate_sharded_bench(text: &str) -> Result<usize, String> {
     let doc = Json::parse(text)?;
-    match doc.get("schema").and_then(Json::as_str) {
-        Some(SHARDED_SCHEMA) => {}
+    let v3 = match doc.get("schema").and_then(Json::as_str) {
+        Some(SHARDED_SCHEMA) => true,
+        Some(SHARDED_SCHEMA_V2) => false,
         Some(SHARDED_SCHEMA_V1) => {
             return Err(format!(
                 "schema: {SHARDED_SCHEMA_V1} is no longer accepted (its one-release \
@@ -761,7 +780,74 @@ pub fn validate_sharded_bench(text: &str) -> Result<usize, String> {
         }
     }
 
-    Ok(comparison.len() + pins.len() + adversarial.len())
+    let empty = Vec::new();
+    let classify = match doc.get("classify").and_then(Json::as_array) {
+        Some(classify) => classify,
+        // The v2 migration window: `classify` did not exist yet.
+        None if !v3 => &empty,
+        None => return Err("classify: missing or not an array (required by v3)".into()),
+    };
+    if v3 && classify.is_empty() {
+        return Err("classify: empty".into());
+    }
+    for (at, entry) in classify.iter().enumerate() {
+        if entry.get("shape").and_then(Json::as_str).is_none() {
+            return Err(format!("classify[{at}].shape: missing or not a string"));
+        }
+        for key in [
+            "n",
+            "shards",
+            "splitters",
+            "buckets",
+            "partition_blocks",
+            "kernel_blocks",
+            "classify_steps",
+            "fill_setup_steps",
+        ] {
+            let v = entry
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("classify[{at}].{key}: missing or not a number"))?;
+            if v < 0.0 || v.fract() != 0.0 {
+                return Err(format!("classify[{at}].{key}: not a non-negative integer"));
+            }
+        }
+        for key in ["binary_ms", "ladder_ms", "speedup"] {
+            let v = entry
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("classify[{at}].{key}: missing or not a number"))?;
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("classify[{at}].{key}: not a non-negative number"));
+            }
+        }
+        let get = |key: &str| entry.get(key).and_then(Json::as_f64).unwrap() as u64;
+        // The fused-histogram claim, recomputed: entering Fill costs
+        // exactly the B·P offset-table reduction, never an O(n) scan.
+        let table = get("partition_blocks") * get("buckets");
+        if get("fill_setup_steps") != table {
+            return Err(format!(
+                "classify[{at}].fill_setup_steps: {}, expected partition_blocks × buckets \
+                 = {table} (the fused histogram makes Fill entry O(B·P))",
+                get("fill_setup_steps")
+            ));
+        }
+        if get("kernel_blocks") != get("partition_blocks") {
+            return Err(format!(
+                "classify[{at}].kernel_blocks: {}, expected partition_blocks = {} \
+                 (a lone instrumented run classifies each block exactly once)",
+                get("kernel_blocks"),
+                get("partition_blocks")
+            ));
+        }
+        for key in ["sorted", "permutation_match"] {
+            if entry.get(key).and_then(Json::as_bool) != Some(true) {
+                return Err(format!("classify[{at}].{key}: missing or not true"));
+            }
+        }
+    }
+
+    Ok(comparison.len() + pins.len() + adversarial.len() + classify.len())
 }
 
 /// The schema tag `e27_service_bench` writes. v2 added the `fairness`
@@ -1225,13 +1311,21 @@ mod tests {
                       "equality_buckets": 1, "imbalance": 1.14,
                       "requested_imbalance": 2.0, "within_requested": true,
                       "permutation_match": true}}
+                ],
+                "classify": [
+                    {{"shape": "uniform-random", "n": 20000, "shards": 8,
+                      "splitters": 7, "buckets": 15, "partition_blocks": 8,
+                      "binary_ms": 2.4, "ladder_ms": 2.0, "speedup": 1.2,
+                      "kernel_blocks": 8, "classify_steps": 100000,
+                      "fill_setup_steps": 120, "sorted": true,
+                      "permutation_match": true}}
                 ]}}"#
         )
     }
 
     #[test]
     fn accepts_a_valid_sharded_document() {
-        assert_eq!(validate_sharded_bench(&valid_sharded_doc()), Ok(3));
+        assert_eq!(validate_sharded_bench(&valid_sharded_doc()), Ok(4));
     }
 
     #[test]
@@ -1248,12 +1342,68 @@ mod tests {
         );
         assert!(err.contains(SHARDED_SCHEMA), "unexpected error: {err}");
 
-        // And the adversarial section stays mandatory for v2.
-        let v2_missing =
+        // And the adversarial section stays mandatory for v3.
+        let missing =
             valid_sharded_doc().replace(r#""adversarial": ["#, r#""adversarial_renamed": ["#);
-        assert!(validate_sharded_bench(&v2_missing)
+        assert!(validate_sharded_bench(&missing)
             .unwrap_err()
             .contains("adversarial"));
+    }
+
+    #[test]
+    fn v2_sharded_documents_validate_without_classify_during_the_window() {
+        // The ISSUE-9 migration window: a v2 tag is still accepted, and
+        // since v2 predates the `classify` section its absence is fine…
+        let v2 = valid_sharded_doc()
+            .replace(SHARDED_SCHEMA, SHARDED_SCHEMA_V2)
+            .replace(r#""classify": ["#, r#""classify_renamed": ["#);
+        assert_eq!(validate_sharded_bench(&v2), Ok(3));
+
+        // …but a v2 document that does carry one gets it validated.
+        let v2_bad = valid_sharded_doc()
+            .replace(SHARDED_SCHEMA, SHARDED_SCHEMA_V2)
+            .replace(r#""fill_setup_steps": 120"#, r#""fill_setup_steps": 20000"#);
+        assert!(validate_sharded_bench(&v2_bad)
+            .unwrap_err()
+            .contains("fill_setup_steps"));
+
+        // The current tag has no such grace: v3 requires the section.
+        let v3_missing =
+            valid_sharded_doc().replace(r#""classify": ["#, r#""classify_renamed": ["#);
+        assert!(validate_sharded_bench(&v3_missing)
+            .unwrap_err()
+            .contains("classify"));
+    }
+
+    #[test]
+    fn sharded_validator_enforces_classify_pins() {
+        // A `fill_setup_steps` that smells like O(n) — anything other
+        // than exactly B·P — is a hard failure: it means the fused
+        // histogram regressed back to the per-participant scan.
+        let doc = valid_sharded_doc()
+            .replace(r#""fill_setup_steps": 120"#, r#""fill_setup_steps": 20000"#);
+        let err = validate_sharded_bench(&doc).unwrap_err();
+        assert!(err.contains("O(B·P)"), "unexpected error: {err}");
+
+        let doc = valid_sharded_doc().replace(r#""kernel_blocks": 8"#, r#""kernel_blocks": 9"#);
+        assert!(validate_sharded_bench(&doc)
+            .unwrap_err()
+            .contains("kernel_blocks"));
+
+        let doc = valid_sharded_doc().replace(r#""ladder_ms": 2.0"#, r#""ladder_ms": -2.0"#);
+        assert!(validate_sharded_bench(&doc)
+            .unwrap_err()
+            .contains("ladder_ms"));
+
+        let doc = valid_sharded_doc().replace(
+            r#""fill_setup_steps": 120, "sorted": true,
+                      "permutation_match": true"#,
+            r#""fill_setup_steps": 120, "sorted": true,
+                      "permutation_match": false"#,
+        );
+        assert!(validate_sharded_bench(&doc)
+            .unwrap_err()
+            .contains("classify[0].permutation_match"));
     }
 
     #[test]

@@ -95,7 +95,10 @@ pub use service::{
     JobError, JobOptions, JobReport, JobResult, JobTicket, Rejected, ServiceConfig, ServiceStats,
     SortService,
 };
-pub use shard::{recommended_shards, ShardConfig, ShardedSortJob};
+pub use shard::{
+    piece_by_search, recommended_shards, ClassifyKernel, ShardConfig, ShardedSortJob,
+    SplitterLadder, LADDER_AUTO_MAX_SPLITTERS,
+};
 pub use sorter::{sort_with_churn, SortOptions, SortOutcome, UntilFlag, WaitFreeSorter};
 pub use tree::{PivotTree, SharedTree, Side, EMPTY};
 pub use wat::{Assignment, AtomicWat};

@@ -83,6 +83,22 @@ pub struct ShardPhaseMetrics {
     pub block_claims: u64,
     /// WAT bookkeeping steps (internal hops / non-claiming probes).
     pub probes: u64,
+    /// Phase-entry bookkeeping steps. Only the fill phase records any:
+    /// one per `(block, bucket)` cell of the fused-histogram reduction
+    /// at [`crate::ShardedSortJob`] fill-phase entry — exactly `B·P`
+    /// per participant, the red-first pin that no participant rescans
+    /// the `n` classifications to enter the phase.
+    pub setup_steps: u64,
+    /// Batch classify-kernel invocations: partition blocks this worker
+    /// classified, redos included. Zero outside the partition phase.
+    pub kernel_blocks: u64,
+    /// Splitter comparisons the classify kernel performed across those
+    /// blocks. The [`crate::ClassifyKernel::Ladder`] performs a fixed
+    /// count per element (`SplitterLadder::steps_per_key`); the
+    /// binary-search kernel a data-dependent count. Neither feeds
+    /// [`PhaseMetrics::total_ops`] — the per-element partition `claims`
+    /// already represent that work at element granularity.
+    pub classify_steps: u64,
 }
 
 /// Phase-4 (scatter) counters.
@@ -147,6 +163,9 @@ impl PhaseMetrics {
             mine.claims += theirs.claims;
             mine.block_claims += theirs.block_claims;
             mine.probes += theirs.probes;
+            mine.setup_steps += theirs.setup_steps;
+            mine.kernel_blocks += theirs.kernel_blocks;
+            mine.classify_steps += theirs.classify_steps;
         }
     }
 
@@ -377,6 +396,16 @@ pub(crate) trait Instrument {
     /// A `keep_going` consultation.
     #[inline]
     fn checkpoint(&self) {}
+    /// A batch classify kernel finished one partition block, having
+    /// performed `steps` splitter comparisons (routed by current
+    /// phase). Like `block_claim`, the invocation itself never feeds
+    /// `help_steps` or `total_ops` — the per-item claims already do.
+    #[inline]
+    fn kernel_block(&self, _steps: u64) {}
+    /// Phase-entry bookkeeping of `steps` elements (routed by current
+    /// phase) — the fill phase's `O(B·P)` histogram reduction.
+    #[inline]
+    fn phase_setup(&self, _steps: u64) {}
     /// The worker's own initial WAT assignment is complete; subsequent
     /// claims/probes in this phase are helping steps.
     #[inline]
@@ -408,17 +437,24 @@ pub(crate) struct LocalCounters {
     scatter_claims: Cell<u64>,
     scatter_block_claims: Cell<u64>,
     scatter_probes: Cell<u64>,
-    partition: [Cell<u64>; 3],
-    fill: [Cell<u64>; 3],
-    shard_sort: [Cell<u64>; 3],
+    partition: ShardCells,
+    fill: ShardCells,
+    shard_sort: ShardCells,
     checkpoints: Cell<u64>,
     help_steps: Cell<u64>,
 }
 
-/// Index names for the `[claims, block_claims, probes]` triples above.
+/// One sharded phase's live counters, in [`ShardPhaseMetrics`] field
+/// order; the constants below name the indices.
+type ShardCells = [Cell<u64>; 6];
+
+/// Index names for the [`ShardCells`] blocks above.
 const CLAIMS: usize = 0;
 const BLOCK_CLAIMS: usize = 1;
 const PROBES: usize = 2;
+const SETUP_STEPS: usize = 3;
+const KERNEL_BLOCKS: usize = 4;
+const CLASSIFY_STEPS: usize = 5;
 
 impl Default for LocalCounters {
     fn default() -> Self {
@@ -452,11 +488,14 @@ fn bump(cell: &Cell<u64>) {
     cell.set(cell.get() + 1);
 }
 
-fn snapshot_triple(triple: &[Cell<u64>; 3]) -> ShardPhaseMetrics {
+fn snapshot_cells(cells: &ShardCells) -> ShardPhaseMetrics {
     ShardPhaseMetrics {
-        claims: triple[CLAIMS].get(),
-        block_claims: triple[BLOCK_CLAIMS].get(),
-        probes: triple[PROBES].get(),
+        claims: cells[CLAIMS].get(),
+        block_claims: cells[BLOCK_CLAIMS].get(),
+        probes: cells[PROBES].get(),
+        setup_steps: cells[SETUP_STEPS].get(),
+        kernel_blocks: cells[KERNEL_BLOCKS].get(),
+        classify_steps: cells[CLASSIFY_STEPS].get(),
     }
 }
 
@@ -485,9 +524,9 @@ impl LocalCounters {
                     block_claims: self.scatter_block_claims.get(),
                     probes: self.scatter_probes.get(),
                 },
-                partition: snapshot_triple(&self.partition),
-                fill: snapshot_triple(&self.fill),
-                shard_sort: snapshot_triple(&self.shard_sort),
+                partition: snapshot_cells(&self.partition),
+                fill: snapshot_cells(&self.fill),
+                shard_sort: snapshot_cells(&self.shard_sort),
             },
             checkpoints: self.checkpoints.get(),
             help_steps: self.help_steps.get(),
@@ -498,6 +537,18 @@ impl LocalCounters {
     fn help_if_helping(&self) {
         if self.helping.get() {
             bump(&self.help_steps);
+        }
+    }
+
+    /// The live counter block for the current sharded phase, if the
+    /// participant is in one.
+    #[inline]
+    fn shard_cells(&self) -> Option<&ShardCells> {
+        match self.phase.get() {
+            SortPhase::Partition => Some(&self.partition),
+            SortPhase::Fill => Some(&self.fill),
+            SortPhase::ShardSort => Some(&self.shard_sort),
+            _ => None,
         }
     }
 }
@@ -577,6 +628,23 @@ impl Instrument for LocalCounters {
     #[inline]
     fn checkpoint(&self) {
         bump(&self.checkpoints);
+    }
+
+    #[inline]
+    fn kernel_block(&self, steps: u64) {
+        if let Some(cells) = self.shard_cells() {
+            bump(&cells[KERNEL_BLOCKS]);
+            let c = &cells[CLASSIFY_STEPS];
+            c.set(c.get() + steps);
+        }
+    }
+
+    #[inline]
+    fn phase_setup(&self, steps: u64) {
+        if let Some(cells) = self.shard_cells() {
+            let c = &cells[SETUP_STEPS];
+            c.set(c.get() + steps);
+        }
     }
 
     #[inline]
@@ -665,9 +733,12 @@ mod tests {
         c.claim();
         c.claim();
         c.probe();
+        c.kernel_block(5);
+        c.kernel_block(3);
         c.enter_phase(SortPhase::Fill);
         c.claim();
         c.block_claim();
+        c.phase_setup(12);
         c.enter_phase(SortPhase::ShardSort);
         c.claim();
         c.probe();
@@ -676,6 +747,10 @@ mod tests {
         c.enter_phase(SortPhase::Build);
         c.cas(false);
         c.claim();
+        // Outside any sharded phase, kernel/setup events are dropped
+        // (they have no single-tree analogue to route to).
+        c.kernel_block(9);
+        c.phase_setup(9);
         // ...and the shard phase resumes where it left off.
         c.enter_phase(SortPhase::ShardSort);
         c.claim();
@@ -683,17 +758,28 @@ mod tests {
         assert_eq!(m.phases.partition.claims, 2);
         assert_eq!(m.phases.partition.block_claims, 1);
         assert_eq!(m.phases.partition.probes, 1);
+        assert_eq!(m.phases.partition.kernel_blocks, 2);
+        assert_eq!(m.phases.partition.classify_steps, 8);
+        assert_eq!(m.phases.partition.setup_steps, 0);
         assert_eq!(m.phases.fill.claims, 1);
         assert_eq!(m.phases.fill.block_claims, 1);
+        assert_eq!(m.phases.fill.setup_steps, 12);
+        assert_eq!(m.phases.fill.kernel_blocks, 0);
         assert_eq!(m.phases.shard_sort.claims, 2);
         assert_eq!(m.phases.shard_sort.probes, 1);
         assert_eq!(m.phases.build.cas_attempts, 1);
         assert_eq!(m.phases.build.claims, 1);
 
         // The new buckets flow through aggregation and total_ops.
+        assert_eq!(m.phases.shard_sort.kernel_blocks, 0);
+        assert_eq!(m.phases.shard_sort.setup_steps, 0);
+
         let r = SortReport::aggregate(vec![m, m], Duration::ZERO);
         assert_eq!(r.per_phase.partition.claims, 4);
+        assert_eq!(r.per_phase.partition.kernel_blocks, 4);
+        assert_eq!(r.per_phase.partition.classify_steps, 16);
         assert_eq!(r.per_phase.fill.claims, 2);
+        assert_eq!(r.per_phase.fill.setup_steps, 24);
         assert_eq!(r.per_phase.shard_sort.claims, 4);
         // Per worker: partition 2+1, fill 1+0, shard 2+1 (claims+probes),
         // plus build cas 1 and claim 1 — block claims never feed
@@ -822,6 +908,8 @@ mod tests {
         n.visit();
         n.skip();
         n.checkpoint();
+        n.kernel_block(3);
+        n.phase_setup(7);
         n.own_assignment_done();
     }
 

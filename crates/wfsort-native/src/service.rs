@@ -67,7 +67,7 @@ use crate::arena::SortArena;
 use crate::fault::{ChaosParticipation, ChaosPlan, SharedBudget};
 use crate::job::{recommended_grain, NativeAllocation, Participation, SortJob};
 use crate::metrics::{MetricSlot, SortReport, WorkerMetrics};
-use crate::shard::{recommended_shards, ShardedSortJob};
+use crate::shard::{recommended_shards, ClassifyKernel, ShardConfig, ShardedSortJob};
 use crate::watchdog::{ProgressReport, WatchdogRegistry};
 
 /// Configuration for [`SortService::start`]. All knobs have serviceable
@@ -81,6 +81,7 @@ pub struct ServiceConfig {
     small_batch: usize,
     max_recoveries: usize,
     default_deadline: Option<Duration>,
+    classify_kernel: ClassifyKernel,
 }
 
 impl Default for ServiceConfig {
@@ -95,6 +96,7 @@ impl Default for ServiceConfig {
             small_batch: 8,
             max_recoveries: 2,
             default_deadline: None,
+            classify_kernel: ClassifyKernel::Auto,
         }
     }
 }
@@ -164,6 +166,16 @@ impl ServiceConfig {
     /// Deadline applied to jobs whose [`JobOptions`] set none.
     pub fn default_deadline(mut self, deadline: Duration) -> Self {
         self.default_deadline = Some(deadline);
+        self
+    }
+
+    /// The [`ClassifyKernel`] every sharded-route job runs — the
+    /// default `Auto` resolves per job by splitter count. A service
+    /// knob rather than a per-job one: the kernel changes throughput
+    /// only, never an output byte, so it belongs with the other
+    /// routing defaults.
+    pub fn classify_kernel(mut self, kernel: ClassifyKernel) -> Self {
+        self.classify_kernel = kernel;
         self
     }
 }
@@ -699,11 +711,15 @@ impl<K: Ord + Clone + Send + Sync + 'static> SortService<K> {
                 // their fault scripts at shard granularity, exactly
                 // like single-tree stints replay theirs.
                 let shards = recommended_shards(n, helpers);
-                Work::SharedSharded(Box::new(ShardedSortJob::with_workers(
+                Work::SharedSharded(Box::new(ShardedSortJob::with_config(
                     keys,
                     NativeAllocation::Deterministic,
                     tracked,
                     shards,
+                    ShardConfig {
+                        classify_kernel: inner.config.classify_kernel,
+                        ..ShardConfig::default()
+                    },
                 )))
             } else {
                 let grain = recommended_grain(n, helpers);

@@ -20,17 +20,22 @@
 //!    duplicate floods and heavy skew harmless: an all-equal input
 //!    deduplicates to a single splitter and lands entirely in its
 //!    equality bucket. Workers claim blocks of elements from a WAT and
-//!    classify each element into its bucket (a binary search),
-//!    publishing `piece_of[i]`. The stores are benign races: every
-//!    claimant computes the same deterministic value.
+//!    classify each block with the configured [`ClassifyKernel`] — the
+//!    scalar binary search or the branchless [`SplitterLadder`], both
+//!    computing the identical bucket ids — publishing `piece_of[i]`
+//!    *and* the block's per-bucket histogram into a per-block counts
+//!    table. All of these stores are benign races: every claimant
+//!    computes the same deterministic values.
 //! 2. **Fill** — workers claim partition blocks from a second WAT and
 //!    copy each element's index into its bucket's contiguous range of
-//!    the bucket array. Destinations are a pure function of the
-//!    completed classification (block-major, original order within a
-//!    block), so redone blocks rewrite identical values — and the
-//!    within-bucket order preserves the original index order, which is
-//!    what makes the sharded permutation *identical* to the single-tree
-//!    one, ties and all.
+//!    the bucket array. Entering the phase costs each participant only
+//!    an `O(B·P)` prefix-sum reduction over the fused histograms (not
+//!    an `O(n)` rescan of the classifications). Destinations are a
+//!    pure function of the completed classification (block-major,
+//!    original order within a block), so redone blocks rewrite
+//!    identical values — and the within-bucket order preserves the
+//!    original index order, which is what makes the sharded
+//!    permutation *identical* to the single-tree one, ties and all.
 //! 3. **Shard sort** — the buckets are cut into *work units* (equality
 //!    buckets are chunked to at most `(τ-1)·n/S` elements, `τ` being
 //!    [`ShardConfig::max_shard_imbalance`]; range buckets stay whole)
@@ -103,6 +108,47 @@ fn partition_grain(n: usize, workers: usize) -> usize {
     (n / (workers.max(1) * 8)).clamp(64, 4096).min(n)
 }
 
+/// Which classification kernel the Partition phase runs — how an
+/// element's key is turned into its bucket (piece) id.
+///
+/// Both kernels compute byte-identical classifications (the
+/// differential suites and a proptest pin `ladder == binary search`
+/// for arbitrary splitter sets), so the choice affects throughput
+/// only, never the permutation. Selected via
+/// [`ShardConfig::classify_kernel`] /
+/// [`crate::SortOptions::classify_kernel`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ClassifyKernel {
+    /// Resolve by splitter count at construction: the branchless
+    /// [`ClassifyKernel::Ladder`] when the (deduplicated) splitter
+    /// count is between 1 and [`LADDER_AUTO_MAX_SPLITTERS`], the
+    /// [`ClassifyKernel::BinarySearch`] baseline otherwise. The
+    /// default.
+    #[default]
+    Auto,
+    /// One `partition_point` binary search plus an equality probe per
+    /// element ([`piece_by_search`]) — the PR-5 baseline. Every
+    /// comparison is a data-dependent branch, so uniform random keys
+    /// mispredict roughly half the probes.
+    BinarySearch,
+    /// The branchless [`SplitterLadder`]: a flat splitter array padded
+    /// to a power of two, walked with a fixed trip count and
+    /// cmov-style arithmetic (comparison results are consumed as
+    /// integers, never branched on), equality-bucket resolution folded
+    /// into the final rung. Classifies a whole partition block per
+    /// batch call, amortizing the splitter loads.
+    Ladder,
+}
+
+/// The splitter-count ceiling under which [`ClassifyKernel::Auto`]
+/// resolves to the ladder: `1024` splitters pad to a ≤ 2048-entry rung
+/// array — 16 KiB of `u64`s, comfortably L1-resident — while counts
+/// past it (factor-64 configs at high shard counts) fall back to the
+/// binary search, whose early exits win once the rung array spills out
+/// of cache. The E29 criterion sweep covers the ladder side of the
+/// boundary; the cutoff is deliberately conservative.
+pub const LADDER_AUTO_MAX_SPLITTERS: usize = 1024;
+
 /// Robustness knobs for the sharded path. [`crate::SortOptions`] is the
 /// builder surface; raw construction goes through
 /// [`ShardedSortJob::with_config`].
@@ -132,6 +178,12 @@ pub struct ShardConfig {
     /// its sub-buckets. `0` normalizes to 1; values above 4 clamp to 4
     /// (the paper-relevant regime is one extra level).
     pub max_levels: usize,
+    /// Which [`ClassifyKernel`] the Partition phase runs. Every value
+    /// is valid (the default `Auto` resolves by splitter count at
+    /// construction), so normalization passes it through. Recursive
+    /// re-shards inherit the knob and re-resolve `Auto` against their
+    /// own splitter counts.
+    pub classify_kernel: ClassifyKernel,
 }
 
 impl Default for ShardConfig {
@@ -140,6 +192,7 @@ impl Default for ShardConfig {
             overpartition_factor: 8,
             max_shard_imbalance: 2.0,
             max_levels: 1,
+            classify_kernel: ClassifyKernel::Auto,
         }
     }
 }
@@ -161,7 +214,144 @@ impl ShardConfig {
                 2.0
             },
             max_levels: self.max_levels.clamp(1, 4),
+            classify_kernel: self.classify_kernel,
         }
+    }
+}
+
+/// Reference scalar classification: the bucket `key` belongs to under
+/// strictly increasing `splitters`, via `partition_point` binary search
+/// plus an equality probe. Buckets alternate in key order: `2i` holds
+/// keys strictly between splitters `i - 1` and `i` (the outermost two
+/// are open-ended), `2i + 1` holds keys equal to splitter `i` — so
+/// equal keys always share a bucket and bucket order is key order.
+///
+/// This is the [`ClassifyKernel::BinarySearch`] kernel and the oracle
+/// the [`SplitterLadder`] is differentially pinned against (unit edge
+/// cases plus an arbitrary-splitter proptest in
+/// `tests/proptest_sharded.rs`).
+pub fn piece_by_search<K: Ord>(splitters: &[K], key: &K) -> usize {
+    let i = splitters.partition_point(|s| s < key);
+    if i < splitters.len() && splitters[i] == *key {
+        2 * i + 1
+    } else {
+        2 * i
+    }
+}
+
+/// The branchless classification kernel behind
+/// [`ClassifyKernel::Ladder`]: the strictly increasing splitters,
+/// padded with copies of the last splitter up to a power of two, walked
+/// with a fixed trip count and cmov-style arithmetic. Exposed so the
+/// differential tests and the `benches/classify.rs` criterion A/B can
+/// drive it directly against [`piece_by_search`].
+#[derive(Clone, Debug)]
+pub struct SplitterLadder<K> {
+    /// `splitters` followed by copies of its last element, total length
+    /// `(d + 1).next_power_of_two()`. The padding keeps every walk at
+    /// the same trip count and makes the post-walk rung index always
+    /// in-bounds; copies of the last splitter never change the
+    /// `< key` count for keys at or below it, and for keys above it the
+    /// count is clamped back to `d`.
+    rungs: Vec<K>,
+    /// The real (distinct) splitter count `d`.
+    distinct: usize,
+}
+
+impl<K: Ord + Clone> SplitterLadder<K> {
+    /// Builds a ladder over strictly increasing `splitters` (as
+    /// produced by the job's deduplicating sampler). An empty slice is
+    /// allowed and classifies everything into bucket 0.
+    pub fn new(splitters: &[K]) -> Self {
+        let distinct = splitters.len();
+        let mut rungs = splitters.to_vec();
+        if let Some(last) = splitters.last() {
+            rungs.resize((distinct + 1).next_power_of_two(), last.clone());
+        }
+        SplitterLadder { rungs, distinct }
+    }
+
+    /// Splitter comparisons one [`SplitterLadder::piece_for`] call
+    /// performs — fixed by construction (`log2` of the padded length,
+    /// plus the final `<` rung and the folded equality rung), never
+    /// data-dependent. The telemetry's `classify_steps` is this times
+    /// the elements classified.
+    pub fn steps_per_key(&self) -> u64 {
+        if self.distinct == 0 {
+            return 0;
+        }
+        u64::from(self.rungs.len().trailing_zeros()) + 2
+    }
+}
+
+impl<K: Ord> SplitterLadder<K> {
+    /// The bucket `key` belongs to — bit-identical to
+    /// [`piece_by_search`] over the same splitters, with the
+    /// equality-bucket resolution folded into the final rung: the walk
+    /// yields `i` = the number of splitters `< key`, and the bucket is
+    /// `2i + eq` where `eq` probes rung `i` for equality (rung `d`,
+    /// reachable only when `key` exceeds every splitter, is a copy of
+    /// the last splitter and can never compare equal there).
+    #[inline]
+    pub fn piece_for(&self, key: &K) -> usize {
+        if self.distinct == 0 {
+            return 0;
+        }
+        let rungs = self.rungs.as_slice();
+        let mut base = 0usize;
+        let mut len = rungs.len();
+        // Branchless lower bound: each comparison picks between two
+        // precomputed indices through `select_unpredictable` (a
+        // guaranteed conditional move — splitter comparisons on real
+        // key streams are coin flips, exactly the case the hint
+        // exists for), and the trip count is fixed by the padding.
+        while len > 1 {
+            let half = len / 2;
+            let mid = base + half;
+            base = core::hint::select_unpredictable(rungs[mid - 1] < *key, mid, base);
+            len -= half;
+        }
+        base = core::hint::select_unpredictable(rungs[base] < *key, base + 1, base);
+        // Keys above every splitter count the padding too; clamp back.
+        let i = base.min(self.distinct);
+        2 * i + usize::from(rungs[i] == *key)
+    }
+
+    /// [`SplitterLadder::piece_for`] over `LANES` keys in one
+    /// interleaved walk — bit-identical results, but the fixed trip
+    /// count lets all lanes descend in lockstep, so each ladder level
+    /// issues `LANES` independent rung loads instead of one. That
+    /// overlap of the dependent load/compare chains is where the block
+    /// kernel's speedup over per-key [`piece_by_search`] comes from:
+    /// a lone walk is latency-bound (every level waits on the previous
+    /// rung), while the lanes keep the load ports busy. The comparison
+    /// count per key is unchanged ([`SplitterLadder::steps_per_key`]).
+    #[inline]
+    pub fn piece_for_lanes<const LANES: usize>(&self, keys: [&K; LANES]) -> [usize; LANES] {
+        if self.distinct == 0 {
+            return [0; LANES];
+        }
+        let rungs = self.rungs.as_slice();
+        let mut base = [0usize; LANES];
+        let mut len = rungs.len();
+        while len > 1 {
+            let half = len / 2;
+            for lane in 0..LANES {
+                let mid = base[lane] + half;
+                base[lane] =
+                    core::hint::select_unpredictable(rungs[mid - 1] < *keys[lane], mid, base[lane]);
+            }
+            len -= half;
+        }
+        core::array::from_fn(|lane| {
+            let at = core::hint::select_unpredictable(
+                rungs[base[lane]] < *keys[lane],
+                base[lane] + 1,
+                base[lane],
+            );
+            let i = at.min(self.distinct);
+            2 * i + usize::from(rungs[i] == *keys[lane])
+        })
     }
 }
 
@@ -280,9 +470,17 @@ impl<P: Participation> Participation for ForwardAbandon<'_, '_, P> {
 pub struct ShardedSortJob<K: Ord> {
     keys: Vec<K>,
     /// Strictly increasing (deduplicated) splitters; element `i`
-    /// belongs to the bucket [`ShardedSortJob::piece_for`] computes, so
-    /// equal keys always share a bucket.
+    /// belongs to the bucket [`piece_by_search`] computes, so equal
+    /// keys always share a bucket.
     splitters: Vec<K>,
+    /// The kernel the partition phase runs — [`ClassifyKernel::Auto`]
+    /// resolved against the splitter count at construction, so this is
+    /// never `Auto`.
+    kernel: ClassifyKernel,
+    /// The padded flat splitter array [`ClassifyKernel::Ladder`] walks;
+    /// built unconditionally (it is two cache lines of clones at common
+    /// splitter counts) so tests can pin both kernels on one job.
+    ladder: SplitterLadder<K>,
     shards: usize,
     /// Bucket count `P = 2·splitters.len() + 1`: buckets alternate
     /// range / equality in key order.
@@ -300,6 +498,16 @@ pub struct ShardedSortJob<K: Ord> {
     /// `piece_of[i]` = bucket of element `i` (0-based). Benign race:
     /// every writer stores the same deterministic value.
     piece_of: Vec<AtomicU32>,
+    /// Fused per-block histograms: `block_counts[blk · P + p]` = how
+    /// many of block `blk`'s elements classify into bucket `p`,
+    /// published by whoever classifies the block (in the same batch
+    /// call that stores `piece_of`). The same benign-race argument as
+    /// `piece_of` applies — a redone block rewrites identical counts —
+    /// and the partition WAT's completion gate orders every count
+    /// before any fill-phase read. This table is what lets
+    /// [`ShardedSortJob::column_offsets`] run in `O(B·P)` instead of
+    /// rescanning all `n` classifications per participant.
+    block_counts: Vec<AtomicU32>,
     /// `bucket[d]` = 1-based element index occupying bucket slot `d`;
     /// bucket `p` owns the contiguous slots `starts[p]..starts[p + 1]`,
     /// filled in original-index order (benign race, like `piece_of`).
@@ -380,7 +588,19 @@ impl<K: Ord + Clone> ShardedSortJob<K> {
         );
         let pgrain = partition_grain(n, workers);
         let blocks = n.div_ceil(pgrain);
+        let kernel = match config.classify_kernel {
+            ClassifyKernel::Auto => {
+                if (1..=LADDER_AUTO_MAX_SPLITTERS).contains(&splitters.len()) {
+                    ClassifyKernel::Ladder
+                } else {
+                    ClassifyKernel::BinarySearch
+                }
+            }
+            k => k,
+        };
         ShardedSortJob {
+            kernel,
+            ladder: SplitterLadder::new(&splitters),
             splitters,
             shards,
             pieces,
@@ -395,6 +615,7 @@ impl<K: Ord + Clone> ShardedSortJob<K> {
             fill_lcwat: AtomicLcWat::new(blocks),
             shard_lcwat: AtomicLcWat::new(shards),
             piece_of: (0..n).map(|_| AtomicU32::new(0)).collect(),
+            block_counts: (0..blocks * pieces).map(|_| AtomicU32::new(0)).collect(),
             bucket: (0..n).map(|_| AtomicUsize::new(0)).collect(),
             out_perm: (0..n).map(|_| AtomicUsize::new(0)).collect(),
             shard_claims: (0..shards).map(|_| AtomicU64::new(0)).collect(),
@@ -465,6 +686,19 @@ impl<K: Ord + Clone> ShardedSortJob<K> {
     /// per element (so `partition.claims` counts elements,
     /// grain-independent like the single-tree phases), blocks of
     /// [`ShardedSortJob::partition_grain`] items per leaf.
+    ///
+    /// The work is batched per leaf: both WAT flavors run a claimed
+    /// leaf's items in order from its first element, so the first
+    /// item's callback classifies the *whole* block with the resolved
+    /// [`ClassifyKernel`] (amortizing the splitter loads) and publishes
+    /// the block's piece histogram into `block_counts`; the block's
+    /// remaining items are no-ops that keep the per-element claim
+    /// accounting and `keep_going` cadence unchanged. A worker
+    /// abandoned on a later item leaves the leaf unmarked and survivors
+    /// redo the block from its first element, rewriting identical
+    /// `piece_of` values and identical histograms — the fault story is
+    /// unchanged at block granularity. Work between checkpoints stays
+    /// bounded by the grain cap (4096 classifications).
     fn partition_phase(
         &self,
         tid: usize,
@@ -472,9 +706,20 @@ impl<K: Ord + Clone> ShardedSortJob<K> {
         p: &mut impl Participation,
         ins: &impl Instrument,
     ) {
+        let scratch = RefCell::new(vec![0u32; self.pieces]);
         let classify = |i: usize| {
-            let piece = self.piece_for(&self.keys[i]);
-            self.piece_of[i].store(piece as u32, Ordering::Relaxed);
+            let blk = i / self.pgrain;
+            if i != blk * self.pgrain {
+                return;
+            }
+            let mut counts = scratch.borrow_mut();
+            counts.fill(0);
+            let steps = self.classify_block(blk, &mut counts);
+            let base = blk * self.pieces;
+            for (piece, &count) in counts.iter().enumerate() {
+                self.block_counts[base + piece].store(count, Ordering::Relaxed);
+            }
+            ins.kernel_block(steps);
         };
         let keep_going = || {
             ins.checkpoint();
@@ -504,7 +749,7 @@ impl<K: Ord + Clone> ShardedSortJob<K> {
         p: &mut impl Participation,
         ins: &impl Instrument,
     ) -> Vec<usize> {
-        let (starts, offsets) = self.column_offsets();
+        let (starts, offsets) = self.column_offsets(ins);
         let pieces = self.pieces;
         let fill_block = |blk: usize| {
             // A private cursor copy per invocation keeps redone blocks
@@ -661,39 +906,102 @@ impl<K: Ord + Clone> ShardedSortJob<K> {
     }
 
     /// Whether the keys in bucket slots `lo..hi` are already
-    /// non-decreasing in bucket (original index) order.
+    /// non-decreasing in bucket (original index) order. Carries the
+    /// previous element index across iterations, so each bucket slot is
+    /// loaded exactly once (the naive pairwise scan loaded every
+    /// interior slot twice).
     fn is_sorted_run(&self, lo: usize, hi: usize) -> bool {
-        (lo + 1..hi).all(|slot| {
-            let a = self.bucket[slot - 1].load(Ordering::Relaxed) - 1;
-            let b = self.bucket[slot].load(Ordering::Relaxed) - 1;
-            self.keys[a] <= self.keys[b]
-        })
-    }
-
-    /// The bucket element `key` belongs to. Buckets alternate in key
-    /// order: `2i` holds keys strictly between splitters `i - 1` and
-    /// `i` (the outermost two are open-ended), `2i + 1` holds keys
-    /// equal to splitter `i` — so equal keys always share a bucket and
-    /// bucket order is key order.
-    fn piece_for(&self, key: &K) -> usize {
-        let i = self.splitters.partition_point(|s| s < key);
-        if i < self.splitters.len() && self.splitters[i] == *key {
-            2 * i + 1
-        } else {
-            2 * i
+        let mut prev = self.bucket[lo].load(Ordering::Relaxed) - 1;
+        for slot in lo + 1..hi {
+            let next = self.bucket[slot].load(Ordering::Relaxed) - 1;
+            if self.keys[prev] > self.keys[next] {
+                return false;
+            }
+            prev = next;
         }
+        true
     }
 
-    /// Bucket start offsets and per-block destination offsets, both pure
-    /// functions of the completed classification. `O(n + B·P)` per
-    /// call; each participant pays it once, at fill-phase entry.
-    fn column_offsets(&self) -> (Vec<usize>, Vec<usize>) {
+    /// Classifies every element of partition block `blk` with the
+    /// resolved [`ClassifyKernel`], storing `piece_of` and accumulating
+    /// the block's per-piece histogram into `counts` (length `pieces`,
+    /// zeroed by the caller). Returns the splitter comparisons
+    /// performed, for the `classify_steps` telemetry. Deterministic in
+    /// `(keys, blk)`, so concurrent or redone invocations write
+    /// identical values everywhere.
+    fn classify_block(&self, blk: usize, counts: &mut [u32]) -> u64 {
+        let span = self.block_span(blk);
+        if self.pieces == 1 {
+            // No splitters: everything is bucket 0 and the `piece_of`
+            // entries already hold their initial zeros.
+            counts[0] = span.len() as u32;
+            return 0;
+        }
+        let mut steps = 0u64;
+        match self.kernel {
+            ClassifyKernel::Ladder => {
+                // Interleave LANES keys per walk: the lanes descend the
+                // ladder in lockstep, so the latency-bound rung-load
+                // chains overlap instead of serializing (see
+                // `SplitterLadder::piece_for_lanes`). The remainder
+                // tail falls back to the per-key walk.
+                const LANES: usize = 8;
+                steps = self.ladder.steps_per_key() * span.len() as u64;
+                let mut at = span.start;
+                while at + LANES <= span.end {
+                    let lanes: [&K; LANES] = core::array::from_fn(|j| &self.keys[at + j]);
+                    for (j, piece) in self.ladder.piece_for_lanes(lanes).into_iter().enumerate() {
+                        self.piece_of[at + j].store(piece as u32, Ordering::Relaxed);
+                        counts[piece] += 1;
+                    }
+                    at += LANES;
+                }
+                for i in at..span.end {
+                    let piece = self.ladder.piece_for(&self.keys[i]);
+                    self.piece_of[i].store(piece as u32, Ordering::Relaxed);
+                    counts[piece] += 1;
+                }
+            }
+            _ => {
+                for i in span {
+                    let key = &self.keys[i];
+                    let at = self.splitters.partition_point(|s| {
+                        steps += 1;
+                        s < key
+                    });
+                    let piece = if at < self.splitters.len() {
+                        steps += 1;
+                        if self.splitters[at] == *key {
+                            2 * at + 1
+                        } else {
+                            2 * at
+                        }
+                    } else {
+                        2 * at
+                    };
+                    self.piece_of[i].store(piece as u32, Ordering::Relaxed);
+                    counts[piece] += 1;
+                }
+            }
+        }
+        steps
+    }
+
+    /// Bucket start offsets and per-block destination offsets, reduced
+    /// from the fused `block_counts` histograms the partition phase
+    /// published — `O(B·P)` per call, paid once per participant at
+    /// fill-phase entry. Through PR 8 this began with an `O(n)` rescan
+    /// of every element's classification *per participant*; the fused
+    /// histograms delete that pass from every worker's critical path
+    /// (the E29 measurement), and `setup_steps` pins the reduction at
+    /// exactly `B·P` reads.
+    fn column_offsets(&self, ins: &impl Instrument) -> (Vec<usize>, Vec<usize>) {
         let pieces = self.pieces;
         let mut offsets = vec![0usize; self.blocks * pieces];
-        for i in 0..self.keys.len() {
-            let piece = self.piece_of[i].load(Ordering::Relaxed) as usize;
-            offsets[(i / self.pgrain) * pieces + piece] += 1;
+        for (slot, count) in offsets.iter_mut().zip(&self.block_counts) {
+            *slot = count.load(Ordering::Relaxed) as usize;
         }
+        ins.phase_setup(self.block_counts.len() as u64);
         let mut starts = vec![0usize; pieces + 1];
         for piece in 0..pieces {
             let total: usize = (0..self.blocks)
@@ -803,10 +1111,25 @@ impl<K: Ord> ShardedSortJob<K> {
         self.config
     }
 
+    /// The [`ClassifyKernel`] the partition phase actually runs:
+    /// [`ClassifyKernel::Auto`] requests read back as the kernel they
+    /// resolved to at construction, never `Auto` itself.
+    pub fn classify_kernel(&self) -> ClassifyKernel {
+        self.kernel
+    }
+
     /// Bucket count `P = 2d + 1` for `d` distinct splitters — range and
     /// equality buckets interleaved in key order.
     pub fn buckets(&self) -> usize {
         self.pieces
+    }
+
+    /// The strictly increasing splitters the deduplicating sampler
+    /// chose at construction — what both classify kernels walk. Exposed
+    /// so the E26e/E29 kernel A/B can time [`piece_by_search`] and the
+    /// [`SplitterLadder`] over the exact splitter set a real job uses.
+    pub fn splitters(&self) -> &[K] {
+        &self.splitters
     }
 
     /// Elements per partition block.
@@ -965,9 +1288,12 @@ impl<K: Ord + Clone> ShardedSortJob<K> {
     /// once classification has finished).
     pub fn shard_report(&self) -> ShardReport {
         assert!(self.is_complete(), "sort not complete");
+        // Column sums of the fused per-block histograms — O(B·P), the
+        // same reduction fill-phase entry runs, instead of rescanning
+        // all n classifications.
         let mut piece_sizes = vec![0usize; self.pieces];
-        for slot in &self.piece_of {
-            piece_sizes[slot.load(Ordering::Relaxed) as usize] += 1;
+        for (idx, count) in self.block_counts.iter().enumerate() {
+            piece_sizes[idx % self.pieces] += count.load(Ordering::Relaxed) as usize;
         }
         let mut starts = vec![0usize; self.pieces + 1];
         for piece in 0..self.pieces {
@@ -1195,6 +1521,7 @@ mod tests {
                 overpartition_factor: 1,
                 max_shard_imbalance: 1.2,
                 max_levels,
+                ..ShardConfig::default()
             };
             let job = ShardedSortJob::with_config(
                 keys.clone(),
@@ -1219,6 +1546,7 @@ mod tests {
             overpartition_factor: 0,
             max_shard_imbalance: f64::NAN,
             max_levels: 0,
+            ..ShardConfig::default()
         }
         .normalized();
         assert_eq!(wild, ShardConfig::default().normalized());
@@ -1226,6 +1554,7 @@ mod tests {
             overpartition_factor: 1_000_000,
             max_shard_imbalance: 0.5,
             max_levels: 99,
+            ..ShardConfig::default()
         }
         .normalized();
         assert_eq!(low.overpartition_factor, 64);
@@ -1244,6 +1573,7 @@ mod tests {
                 overpartition_factor: 0,
                 max_shard_imbalance: -3.0,
                 max_levels: 0,
+                ..ShardConfig::default()
             },
         );
         job.run();
@@ -1283,5 +1613,136 @@ mod tests {
             .expect("valid shape constructs");
         job.run();
         assert_eq!(job.into_sorted(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ladder_matches_binary_search_on_equality_edges() {
+        // The folded equality rung's boundary cases: keys equal to the
+        // first and last splitter, keys just off every splitter, and
+        // keys outside the whole splitter range.
+        let splitters = vec![10u64, 20, 30, 40, 50];
+        let ladder = SplitterLadder::new(&splitters);
+        for key in [0, 9, 10, 11, 15, 20, 29, 30, 31, 40, 49, 50, 51, 99] {
+            assert_eq!(
+                ladder.piece_for(&key),
+                piece_by_search(&splitters, &key),
+                "key {key}"
+            );
+        }
+        assert_eq!(ladder.piece_for(&10), 1, "first splitter's equality bucket");
+        assert_eq!(ladder.piece_for(&50), 9, "last splitter's equality bucket");
+        assert_eq!(ladder.piece_for(&99), 10, "open-ended top range bucket");
+    }
+
+    #[test]
+    fn ladder_handles_degenerate_splitter_sets() {
+        // Single splitter (the all-equal input's shape after dedup):
+        // exactly three buckets, the middle one the equality bucket.
+        let single = SplitterLadder::new(&[7u64]);
+        for key in [0u64, 6, 7, 8, 100] {
+            assert_eq!(single.piece_for(&key), piece_by_search(&[7u64], &key));
+        }
+        assert_eq!(single.piece_for(&7), 1);
+        // No splitters: everything is bucket 0 and no rungs are walked.
+        let empty: SplitterLadder<u64> = SplitterLadder::new(&[]);
+        assert_eq!(empty.piece_for(&42), 0);
+        assert_eq!(empty.steps_per_key(), 0);
+    }
+
+    #[test]
+    fn ladder_pads_to_power_of_two_with_fixed_step_count() {
+        for d in 1..=40usize {
+            let splitters: Vec<u64> = (0..d as u64).map(|i| i * 3 + 1).collect();
+            let ladder = SplitterLadder::new(&splitters);
+            assert_eq!(ladder.rungs.len(), (d + 1).next_power_of_two(), "d {d}");
+            assert_eq!(
+                ladder.steps_per_key(),
+                u64::from(ladder.rungs.len().trailing_zeros()) + 2
+            );
+            // Exhaustive key sweep across every boundary at this d.
+            for key in 0..=(3 * d as u64 + 2) {
+                assert_eq!(
+                    ladder.piece_for(&key),
+                    piece_by_search(&splitters, &key),
+                    "d {d} key {key}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_lanes_match_the_per_key_walk() {
+        // The block kernel classifies full chunks through the
+        // interleaved walk and the tail through `piece_for`; pin the
+        // two bit-identical across splitter counts that straddle the
+        // padding boundaries, including duplicate-heavy key streams.
+        for d in [1usize, 2, 5, 7, 8, 15, 33] {
+            let splitters: Vec<u64> = (0..d as u64).map(|i| i * 5 + 2).collect();
+            let ladder = SplitterLadder::new(&splitters);
+            let keys: Vec<u64> = (0..64u64).map(|i| (i * 11) % (5 * d as u64 + 4)).collect();
+            for chunk in keys.chunks_exact(8) {
+                let lanes: [&u64; 8] = core::array::from_fn(|j| &chunk[j]);
+                let got = ladder.piece_for_lanes(lanes);
+                for (j, key) in chunk.iter().enumerate() {
+                    assert_eq!(got[j], ladder.piece_for(key), "d {d} key {key}");
+                }
+            }
+        }
+        let empty: SplitterLadder<u64> = SplitterLadder::new(&[]);
+        assert_eq!(empty.piece_for_lanes([&1u64, &2, &3, &4]), [0; 4]);
+    }
+
+    #[test]
+    fn auto_kernel_resolves_and_explicit_kernels_stick() {
+        let keys = mixed_keys(4000);
+        let auto = ShardedSortJob::new(keys.clone(), 8);
+        assert_ne!(
+            auto.classify_kernel(),
+            ClassifyKernel::Auto,
+            "Auto must resolve at construction"
+        );
+        auto.run();
+        for kernel in [ClassifyKernel::BinarySearch, ClassifyKernel::Ladder] {
+            let job = ShardedSortJob::with_config(
+                keys.clone(),
+                NativeAllocation::Deterministic,
+                2,
+                8,
+                ShardConfig {
+                    classify_kernel: kernel,
+                    ..ShardConfig::default()
+                },
+            );
+            assert_eq!(job.classify_kernel(), kernel);
+            job.run();
+            assert_eq!(job.permutation(), auto.permutation(), "{kernel:?}");
+        }
+        // One shard means no splitters: Auto falls back to the binary
+        // search (which degenerates to "everything is bucket 0").
+        let one = ShardedSortJob::new(mixed_keys(100), 1);
+        assert_eq!(one.classify_kernel(), ClassifyKernel::BinarySearch);
+    }
+
+    #[test]
+    fn both_kernels_sort_all_equal_input() {
+        // All-equal keys dedup to one splitter — the ladder's smallest
+        // real shape — and everything lands in its equality bucket.
+        for kernel in [ClassifyKernel::BinarySearch, ClassifyKernel::Ladder] {
+            let keys = vec![5u64; 300];
+            let job = ShardedSortJob::with_config(
+                keys.clone(),
+                NativeAllocation::Deterministic,
+                2,
+                8,
+                ShardConfig {
+                    classify_kernel: kernel,
+                    ..ShardConfig::default()
+                },
+            );
+            job.run();
+            let report = job.shard_report();
+            assert_eq!(report.equality_buckets, 1, "{kernel:?}");
+            assert_eq!(job.into_sorted(), keys, "{kernel:?}");
+        }
     }
 }

@@ -21,7 +21,7 @@ use crate::arena::SortArena;
 use crate::fault::{ChaosParticipation, ChaosPlan, SharedBudget, WithDeadline};
 use crate::job::{recommended_grain, NativeAllocation, Participation, RunToCompletion, SortJob};
 use crate::metrics::{MetricSlot, ShardReport, SortReport};
-use crate::shard::{recommended_shards, ShardConfig, ShardedSortJob};
+use crate::shard::{recommended_shards, ClassifyKernel, ShardConfig, ShardedSortJob};
 use crate::tree::PivotTree;
 
 /// A multi-threaded wait-free sorter.
@@ -198,6 +198,18 @@ impl SortOptions {
     /// path.
     pub fn max_levels(mut self, levels: usize) -> Self {
         self.shard_config.max_levels = levels;
+        self
+    }
+
+    /// Selects the Partition phase's [`ClassifyKernel`]. The default
+    /// `Auto` resolves by splitter count at job construction (the
+    /// branchless ladder up to
+    /// [`LADDER_AUTO_MAX_SPLITTERS`](crate::LADDER_AUTO_MAX_SPLITTERS)
+    /// splitters, the scalar binary search past it). Both kernels
+    /// compute the identical permutation — this knob tunes throughput
+    /// only. Ignored by the single-tree path.
+    pub fn classify_kernel(mut self, kernel: ClassifyKernel) -> Self {
+        self.shard_config.classify_kernel = kernel;
         self
     }
 

@@ -12,7 +12,8 @@ use proptest::prelude::*;
 
 use wait_free_sort::testshapes;
 use wait_free_sort::wfsort_native::{
-    NativeAllocation, QuitAfter, ShardConfig, ShardedSortJob, SortJob, WaitFreeSorter,
+    piece_by_search, NativeAllocation, QuitAfter, ShardConfig, ShardedSortJob, SortJob,
+    SplitterLadder, WaitFreeSorter,
 };
 
 /// One named shape from the shared adversarial battery, at a generated
@@ -44,6 +45,7 @@ proptest! {
             overpartition_factor: factor,
             max_shard_imbalance: f64::from(tau_tenths) / 10.0,
             max_levels: levels,
+            ..ShardConfig::default()
         };
         let job = ShardedSortJob::with_config(
             keys, NativeAllocation::Deterministic, 2, shards, config,
@@ -137,5 +139,39 @@ proptest! {
         expect.sort_unstable();
         let sorted = WaitFreeSorter::new(threads).sort_sharded_with(&keys, shards);
         prop_assert_eq!(sorted, expect);
+    }
+
+    /// The ISSUE-9 kernel-equivalence pin at property scale: for an
+    /// arbitrary strictly-increasing splitter set (built by sort+dedup,
+    /// including the empty set) and arbitrary probe keys, the branchless
+    /// padded ladder classifies every key to exactly the piece the
+    /// reference binary search does — equality buckets, both end
+    /// splitters, and keys outside the splitter range included. The
+    /// probe pool is drawn from the same narrow domain as the splitters
+    /// so equality hits are common, then widened with the splitters
+    /// themselves and their off-by-one neighbors.
+    #[test]
+    fn ladder_classification_matches_binary_search(
+        raw in vec(0u64..500, 0..150),
+        probes in vec(0u64..500, 1..100),
+    ) {
+        let mut splitters = raw;
+        splitters.sort_unstable();
+        splitters.dedup();
+        let ladder = SplitterLadder::new(&splitters);
+        for &key in probes
+            .iter()
+            .chain(splitters.iter())
+        {
+            for key in [key.saturating_sub(1), key, key.saturating_add(1)] {
+                prop_assert_eq!(
+                    ladder.piece_for(&key),
+                    piece_by_search(&splitters, &key),
+                    "key {} against {} splitters",
+                    key,
+                    splitters.len()
+                );
+            }
+        }
     }
 }

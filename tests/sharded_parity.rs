@@ -18,9 +18,15 @@
 
 use wait_free_sort::testshapes;
 use wait_free_sort::wfsort_native::{
-    recommended_shards, ChaosParticipation, ChaosPlan, NativeAllocation, QuitAfter, ShardConfig,
-    ShardedSortJob, SortJob, SortOptions, WaitFreeSorter,
+    recommended_shards, ChaosParticipation, ChaosPlan, ClassifyKernel, MetricSlot,
+    NativeAllocation, QuitAfter, RunToCompletion, ShardConfig, ShardedSortJob, SortJob,
+    SortOptions, WaitFreeSorter,
 };
+
+/// Both explicit classify kernels — every differential sweep that takes
+/// a config runs over this pair, so a ladder bug cannot hide behind the
+/// auto heuristic picking the binary search (or vice versa).
+const KERNELS: [ClassifyKernel; 2] = [ClassifyKernel::BinarySearch, ClassifyKernel::Ladder];
 
 const SHARD_SWEEP: [usize; 4] = [1, 2, 8, 64];
 
@@ -51,6 +57,39 @@ fn sharded_permutation_is_bit_identical_to_single_tree() {
                 expect,
                 "{shape}: S={shards} diverged from the single tree"
             );
+        }
+    }
+}
+
+/// Both explicit classify kernels over the full adversarial battery:
+/// the kernel is a pure throughput knob, so the ladder's permutation
+/// must be bit-identical to the binary search's (and to the single
+/// tree's) on every shape and shard count — including the duplicate
+/// floods whose equality-bucket routing the ladder folds into its
+/// final rung compare.
+#[test]
+fn both_kernels_are_bit_identical_across_the_adversarial_battery() {
+    for (shape, keys) in testshapes::adversarial_suite(900, 26) {
+        let expect = stable_permutation(&keys);
+        for kernel in KERNELS {
+            for shards in SHARD_SWEEP {
+                let job = ShardedSortJob::with_config(
+                    keys.clone(),
+                    NativeAllocation::Deterministic,
+                    1,
+                    shards,
+                    ShardConfig {
+                        classify_kernel: kernel,
+                        ..ShardConfig::default()
+                    },
+                );
+                job.run();
+                assert_eq!(
+                    job.permutation(),
+                    expect,
+                    "{shape}: {kernel:?} S={shards} diverged from the single tree"
+                );
+            }
         }
     }
 }
@@ -98,16 +137,19 @@ fn four_thread_runs_agree_across_robustness_configs() {
     let configs = [
         ShardConfig {
             overpartition_factor: 1,
+            classify_kernel: ClassifyKernel::Ladder,
             ..ShardConfig::default()
         },
         ShardConfig {
             max_shard_imbalance: 1.2,
+            classify_kernel: ClassifyKernel::BinarySearch,
             ..ShardConfig::default()
         },
         ShardConfig {
             overpartition_factor: 1,
             max_shard_imbalance: 1.2,
             max_levels: 2,
+            classify_kernel: ClassifyKernel::Ladder,
         },
     ];
     for (shape, keys) in [
@@ -194,11 +236,13 @@ fn chaos_storms_preserve_parity_on_robust_configs() {
             overpartition_factor: 1,
             max_shard_imbalance: 1.2,
             max_levels: 1,
+            classify_kernel: ClassifyKernel::Ladder,
         },
         ShardConfig {
             overpartition_factor: 2,
             max_shard_imbalance: 1.2,
             max_levels: 2,
+            classify_kernel: ClassifyKernel::BinarySearch,
         },
     ];
     for keys in [testshapes::all_equal(800), testshapes::two_valued(800, 29)] {
@@ -283,6 +327,7 @@ fn abandonment_inside_recursion_is_recoverable() {
         overpartition_factor: 1,
         max_shard_imbalance: 1.2,
         max_levels: 2,
+        ..ShardConfig::default()
     };
     for budget in (1..400).step_by(7) {
         let job = ShardedSortJob::with_config(
@@ -297,6 +342,78 @@ fn abandonment_inside_recursion_is_recoverable() {
         assert!(job.is_complete(), "budget {budget}");
         assert_eq!(job.permutation(), expect, "budget {budget}");
     }
+}
+
+/// Abandonment sweep over both classify kernels: a quitter can die
+/// between the block-start item (which classified the whole block and
+/// published its histogram) and the block's trailing no-op items, and a
+/// late joiner redoing the block must rewrite byte-identical `piece_of`
+/// entries *and* byte-identical histogram counts — under either kernel.
+#[test]
+fn abandonment_is_recoverable_under_both_kernels() {
+    let keys = testshapes::runs_of_duplicates(400, 11, 34);
+    let expect = stable_permutation(&keys);
+    for kernel in KERNELS {
+        for budget in (1..400).step_by(13) {
+            let job = ShardedSortJob::with_config(
+                keys.clone(),
+                NativeAllocation::Deterministic,
+                2,
+                8,
+                ShardConfig {
+                    classify_kernel: kernel,
+                    ..ShardConfig::default()
+                },
+            );
+            job.participate(&mut QuitAfter(budget));
+            job.run();
+            assert!(job.is_complete(), "{kernel:?} budget {budget}");
+            assert_eq!(job.permutation(), expect, "{kernel:?} budget {budget}");
+        }
+    }
+}
+
+/// Red-first pin for the ISSUE-9 fused histogram: entering the Fill
+/// phase must cost O(B·P) — the per-block histogram reduction — not the
+/// O(n) `piece_of` re-scan every participant used to pay. A second
+/// participant joining after the sort is already complete does no claim
+/// work at all, so its fill-phase `setup_steps` is *exactly* the
+/// offset-table reduction; against the pre-fusion `column_offsets()`
+/// this assertion reads `n` (50 000), not `B·P` (a few hundred).
+#[test]
+fn fill_entry_setup_is_blocks_times_pieces_not_n() {
+    let n = 50_000usize;
+    let keys = testshapes::uniform(n, 35);
+    let job = ShardedSortJob::with_workers(keys, NativeAllocation::Deterministic, 2, 8);
+    let table = (job.partition_blocks() * job.buckets()) as u64;
+    assert!(
+        table < n as u64 / 4,
+        "shape precondition: B·P = {table} must be far below n = {n} for this pin to bite"
+    );
+
+    let first = MetricSlot::new();
+    job.participate_instrumented(&mut RunToCompletion, &first);
+    assert!(job.is_complete());
+
+    // The late joiner: the partition and fill WATs are fully done, so
+    // beyond the idempotent redo of its own initial-assignment block
+    // (the WAT runs that one without consulting the done bit) its only
+    // fill-phase cost is rebuilding the offset table from the published
+    // histograms.
+    let late = MetricSlot::new();
+    job.participate_instrumented(&mut RunToCompletion, &late);
+
+    for (who, slot) in [("first", &first), ("late", &late)] {
+        let m = slot.snapshot();
+        assert_eq!(
+            m.phases.fill.setup_steps, table,
+            "{who} participant's fill entry must reduce exactly the B·P histogram table"
+        );
+    }
+    assert!(
+        late.snapshot().phases.partition.claims <= job.partition_grain() as u64,
+        "late joiner re-claims at most its initial block — everything else was done"
+    );
 }
 
 /// Single-threaded, crash-free, deterministic allocation: every sharded
@@ -335,6 +452,15 @@ fn single_threaded_sharded_counters_are_exactly_pinned() {
             assert_eq!(
                 report.per_phase.fill.claims, blocks,
                 "{shape} S={shards}: fill claims ≠ B"
+            );
+            assert_eq!(
+                report.per_phase.partition.kernel_blocks, blocks,
+                "{shape} S={shards}: a lone worker classifies each block exactly once"
+            );
+            assert_eq!(
+                report.per_phase.fill.setup_steps,
+                blocks * shard.buckets.len() as u64,
+                "{shape} S={shards}: fill entry reduces exactly the B·P histogram table"
             );
             assert_eq!(
                 report.per_phase.shard_sort.claims, shards as u64,
