@@ -519,15 +519,21 @@ pub fn validate_layout_bench(text: &str) -> Result<usize, String> {
     Ok(throughput.len() + sweep.len())
 }
 
-/// The schema tag `e26_sharded_bench` writes. v3 added the required
-/// `classify` section — the ISSUE-9 kernel A/B rows with the fused
-/// fill-entry histogram pin.
-pub const SHARDED_SCHEMA: &str = "wfsort-native-sharded/v3";
+/// The schema tag `e26_sharded_bench` writes. v4 added the required
+/// `inplace` section — the ISSUE-10 partition-strategy A/B rows with
+/// the auxiliary-memory cap and the memory-traffic-ledger pin.
+pub const SHARDED_SCHEMA: &str = "wfsort-native-sharded/v4";
 
 /// The previous sharded schema tag, inside its one-release migration
-/// window per the versioning policy in `docs/artifacts.md`: v2-tagged
-/// documents still validate, with the v3 `classify` section treated as
-/// optional. The window closes next release, after which v2 joins v1.
+/// window per the versioning policy in `docs/artifacts.md`: v3-tagged
+/// documents still validate, with the v4 `inplace` section treated as
+/// optional. The window closes next release, after which v3 joins v2
+/// and v1.
+pub const SHARDED_SCHEMA_V3: &str = "wfsort-native-sharded/v3";
+
+/// A retired sharded schema tag. Its one-release migration window (the
+/// v3 release) is over: v2 documents are now rejected with a pointer
+/// at the current tag, exactly as v1 was before it.
 pub const SHARDED_SCHEMA_V2: &str = "wfsort-native-sharded/v2";
 
 /// The retired sharded schema tag. The one-release migration window the
@@ -555,30 +561,38 @@ pub const SHARDED_SCHEMA_V1: &str = "wfsort-native-sharded/v1";
 ///   (`within_requested`) and that the permutation matched the stable
 ///   `(key, index)` oracle (`permutation_match`), with the populated
 ///   `equality_buckets` count alongside;
-/// * `classify` (required by v3): the kernel A/B rows — both kernels'
-///   best times with `speedup = binary_ms / ladder_ms`, proof the
-///   kernels agreed (`permutation_match`) and sorted, and the fused
+/// * `classify` (required since v3): the kernel A/B rows — both
+///   kernels' best times with `speedup = binary_ms / ladder_ms`, proof
+///   the kernels agreed (`permutation_match`) and sorted, and the fused
 ///   Fill-entry pin: the validator recomputes `fill_setup_steps =
 ///   partition_blocks × buckets` (O(B·P), not O(n)) and requires the
 ///   lone instrumented run to have classified every block
-///   (`kernel_blocks = partition_blocks`).
+///   (`kernel_blocks = partition_blocks`);
+/// * `inplace` (required by v4): the partition-strategy A/B rows —
+///   every entry pins the auxiliary-memory bound (`aux_bytes <=
+///   aux_cap`, where `aux_cap = B·P·8` is recomputed from
+///   `partition_blocks × buckets × 8`), the memory-traffic ledger
+///   (`bytes_inplace < bytes_materialized`, strict), the move ledger
+///   (`moves_inplace <= moves_materialized`), a crash-free run
+///   (`cycle_restarts = 0`), and proof both strategies produced the
+///   identical permutation (`permutation_match`) and sorted.
 ///
-/// [`SHARDED_SCHEMA`] (v3) documents are fully enforced.
-/// [`SHARDED_SCHEMA_V2`] is inside its one-release migration window:
-/// accepted, with `classify` optional (validated when present). The
-/// legacy [`SHARDED_SCHEMA_V1`] tag had its window and is rejected with
-/// an explicit message.
+/// [`SHARDED_SCHEMA`] (v4) documents are fully enforced.
+/// [`SHARDED_SCHEMA_V3`] is inside its one-release migration window:
+/// accepted, with `inplace` optional (validated when present). The
+/// legacy [`SHARDED_SCHEMA_V2`] and [`SHARDED_SCHEMA_V1`] tags had
+/// their windows and are rejected with an explicit message.
 ///
 /// Returns the number of comparison + counter-pin + adversarial +
-/// classify entries.
+/// classify + inplace entries.
 pub fn validate_sharded_bench(text: &str) -> Result<usize, String> {
     let doc = Json::parse(text)?;
-    let v3 = match doc.get("schema").and_then(Json::as_str) {
+    let v4 = match doc.get("schema").and_then(Json::as_str) {
         Some(SHARDED_SCHEMA) => true,
-        Some(SHARDED_SCHEMA_V2) => false,
-        Some(SHARDED_SCHEMA_V1) => {
+        Some(SHARDED_SCHEMA_V3) => false,
+        Some(retired @ (SHARDED_SCHEMA_V2 | SHARDED_SCHEMA_V1)) => {
             return Err(format!(
-                "schema: {SHARDED_SCHEMA_V1} is no longer accepted (its one-release \
+                "schema: {retired} is no longer accepted (its one-release \
                  migration window is over) — regenerate the artifact with \
                  e26_sharded_bench, which emits {SHARDED_SCHEMA}"
             ))
@@ -780,14 +794,11 @@ pub fn validate_sharded_bench(text: &str) -> Result<usize, String> {
         }
     }
 
-    let empty = Vec::new();
-    let classify = match doc.get("classify").and_then(Json::as_array) {
-        Some(classify) => classify,
-        // The v2 migration window: `classify` did not exist yet.
-        None if !v3 => &empty,
-        None => return Err("classify: missing or not an array (required by v3)".into()),
-    };
-    if v3 && classify.is_empty() {
+    let classify = doc
+        .get("classify")
+        .and_then(Json::as_array)
+        .ok_or("classify: missing or not an array (required since v3)")?;
+    if classify.is_empty() {
         return Err("classify: empty".into());
     }
     for (at, entry) in classify.iter().enumerate() {
@@ -847,7 +858,92 @@ pub fn validate_sharded_bench(text: &str) -> Result<usize, String> {
         }
     }
 
-    Ok(comparison.len() + pins.len() + adversarial.len() + classify.len())
+    let empty = Vec::new();
+    let inplace = match doc.get("inplace").and_then(Json::as_array) {
+        Some(inplace) => inplace,
+        // The v3 migration window: `inplace` did not exist yet.
+        None if !v4 => &empty,
+        None => return Err("inplace: missing or not an array (required by v4)".into()),
+    };
+    if v4 && inplace.is_empty() {
+        return Err("inplace: empty".into());
+    }
+    for (at, entry) in inplace.iter().enumerate() {
+        if entry.get("shape").and_then(Json::as_str).is_none() {
+            return Err(format!("inplace[{at}].shape: missing or not a string"));
+        }
+        for key in [
+            "n",
+            "shards",
+            "partition_blocks",
+            "buckets",
+            "aux_bytes",
+            "aux_cap",
+            "moves_inplace",
+            "moves_materialized",
+            "bytes_inplace",
+            "bytes_materialized",
+            "cycle_restarts",
+        ] {
+            let v = entry
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("inplace[{at}].{key}: missing or not a number"))?;
+            if v < 0.0 || v.fract() != 0.0 {
+                return Err(format!("inplace[{at}].{key}: not a non-negative integer"));
+            }
+        }
+        let get = |key: &str| entry.get(key).and_then(Json::as_f64).unwrap() as u64;
+        // The auxiliary-memory claim, recomputed: the in-place exchange
+        // allocates only the B·P destination-offset table, never an
+        // N-sized output buffer.
+        let cap = get("partition_blocks") * get("buckets") * 8;
+        if get("aux_cap") != cap {
+            return Err(format!(
+                "inplace[{at}].aux_cap: {}, expected partition_blocks × buckets × 8 = {cap}",
+                get("aux_cap")
+            ));
+        }
+        if get("aux_bytes") > cap {
+            return Err(format!(
+                "inplace[{at}].aux_bytes: {} exceeds the B·P·8 cap {cap} \
+                 (the in-place exchange must not materialize the bucket buffer)",
+                get("aux_bytes")
+            ));
+        }
+        // The memory-traffic-ledger claim: the in-place Fill/publish
+        // pipeline touches strictly fewer shared-array bytes than the
+        // materialized one on every shape.
+        if get("bytes_inplace") >= get("bytes_materialized") {
+            return Err(format!(
+                "inplace[{at}].bytes_inplace: {} not strictly below \
+                 bytes_materialized = {}",
+                get("bytes_inplace"),
+                get("bytes_materialized")
+            ));
+        }
+        if get("moves_inplace") > get("moves_materialized") {
+            return Err(format!(
+                "inplace[{at}].moves_inplace: {} exceeds moves_materialized = {}",
+                get("moves_inplace"),
+                get("moves_materialized")
+            ));
+        }
+        if get("cycle_restarts") != 0 {
+            return Err(format!(
+                "inplace[{at}].cycle_restarts: {}, expected 0 (a crash-free run \
+                 never tears a unit)",
+                get("cycle_restarts")
+            ));
+        }
+        for key in ["sorted", "permutation_match"] {
+            if entry.get(key).and_then(Json::as_bool) != Some(true) {
+                return Err(format!("inplace[{at}].{key}: missing or not true"));
+            }
+        }
+    }
+
+    Ok(comparison.len() + pins.len() + adversarial.len() + classify.len() + inplace.len())
 }
 
 /// The schema tag `e27_service_bench` writes. v2 added the `fairness`
@@ -1319,30 +1415,41 @@ mod tests {
                       "kernel_blocks": 8, "classify_steps": 100000,
                       "fill_setup_steps": 120, "sorted": true,
                       "permutation_match": true}}
+                ],
+                "inplace": [
+                    {{"shape": "uniform-random", "n": 20000, "shards": 8,
+                      "partition_blocks": 8, "buckets": 15,
+                      "aux_bytes": 960, "aux_cap": 960,
+                      "moves_inplace": 39000, "moves_materialized": 40000,
+                      "bytes_inplace": 500000, "bytes_materialized": 640000,
+                      "cycle_restarts": 0, "sorted": true,
+                      "permutation_match": true}}
                 ]}}"#
         )
     }
 
     #[test]
     fn accepts_a_valid_sharded_document() {
-        assert_eq!(validate_sharded_bench(&valid_sharded_doc()), Ok(4));
+        assert_eq!(validate_sharded_bench(&valid_sharded_doc()), Ok(5));
     }
 
     #[test]
-    fn legacy_v1_sharded_documents_are_rejected_with_a_pointer() {
-        // The one-release migration window promised when v2 landed is
-        // over: a v1-tagged document is rejected even if its body would
-        // otherwise validate, and the message says what to do about it.
-        let v1 = valid_sharded_doc().replace(SHARDED_SCHEMA, SHARDED_SCHEMA_V1);
-        let err = validate_sharded_bench(&v1).unwrap_err();
-        assert!(err.contains(SHARDED_SCHEMA_V1), "unexpected error: {err}");
-        assert!(
-            err.contains("no longer accepted"),
-            "unexpected error: {err}"
-        );
-        assert!(err.contains(SHARDED_SCHEMA), "unexpected error: {err}");
+    fn retired_sharded_schema_tags_are_rejected_with_a_pointer() {
+        // Both v1 and v2 had their one-release migration windows: a
+        // document carrying either tag is rejected even if its body
+        // would otherwise validate, and the message says what to do.
+        for retired in [SHARDED_SCHEMA_V1, SHARDED_SCHEMA_V2] {
+            let doc = valid_sharded_doc().replace(SHARDED_SCHEMA, retired);
+            let err = validate_sharded_bench(&doc).unwrap_err();
+            assert!(err.contains(retired), "unexpected error: {err}");
+            assert!(
+                err.contains("no longer accepted"),
+                "unexpected error: {err}"
+            );
+            assert!(err.contains(SHARDED_SCHEMA), "unexpected error: {err}");
+        }
 
-        // And the adversarial section stays mandatory for v3.
+        // And the adversarial section stays mandatory at the current tag.
         let missing =
             valid_sharded_doc().replace(r#""adversarial": ["#, r#""adversarial_renamed": ["#);
         assert!(validate_sharded_bench(&missing)
@@ -1351,28 +1458,79 @@ mod tests {
     }
 
     #[test]
-    fn v2_sharded_documents_validate_without_classify_during_the_window() {
-        // The ISSUE-9 migration window: a v2 tag is still accepted, and
-        // since v2 predates the `classify` section its absence is fine…
-        let v2 = valid_sharded_doc()
-            .replace(SHARDED_SCHEMA, SHARDED_SCHEMA_V2)
-            .replace(r#""classify": ["#, r#""classify_renamed": ["#);
-        assert_eq!(validate_sharded_bench(&v2), Ok(3));
+    fn v3_sharded_documents_validate_without_inplace_during_the_window() {
+        // The ISSUE-10 migration window: a v3 tag is still accepted, and
+        // since v3 predates the `inplace` section its absence is fine…
+        let v3 = valid_sharded_doc()
+            .replace(SHARDED_SCHEMA, SHARDED_SCHEMA_V3)
+            .replace(r#""inplace": ["#, r#""inplace_renamed": ["#);
+        assert_eq!(validate_sharded_bench(&v3), Ok(4));
 
-        // …but a v2 document that does carry one gets it validated.
-        let v2_bad = valid_sharded_doc()
-            .replace(SHARDED_SCHEMA, SHARDED_SCHEMA_V2)
-            .replace(r#""fill_setup_steps": 120"#, r#""fill_setup_steps": 20000"#);
-        assert!(validate_sharded_bench(&v2_bad)
+        // …but a v3 document that does carry one gets it validated.
+        let v3_bad = valid_sharded_doc()
+            .replace(SHARDED_SCHEMA, SHARDED_SCHEMA_V3)
+            .replace(r#""aux_bytes": 960"#, r#""aux_bytes": 161280"#);
+        assert!(validate_sharded_bench(&v3_bad)
             .unwrap_err()
-            .contains("fill_setup_steps"));
+            .contains("aux_bytes"));
 
-        // The current tag has no such grace: v3 requires the section.
-        let v3_missing =
-            valid_sharded_doc().replace(r#""classify": ["#, r#""classify_renamed": ["#);
-        assert!(validate_sharded_bench(&v3_missing)
+        // `classify` stays mandatory inside the window — v3 required it.
+        let v3_no_classify = valid_sharded_doc()
+            .replace(SHARDED_SCHEMA, SHARDED_SCHEMA_V3)
+            .replace(r#""classify": ["#, r#""classify_renamed": ["#);
+        assert!(validate_sharded_bench(&v3_no_classify)
             .unwrap_err()
             .contains("classify"));
+
+        // The current tag has no such grace: v4 requires the section.
+        let v4_missing = valid_sharded_doc().replace(r#""inplace": ["#, r#""inplace_renamed": ["#);
+        assert!(validate_sharded_bench(&v4_missing)
+            .unwrap_err()
+            .contains("inplace"));
+    }
+
+    #[test]
+    fn sharded_validator_enforces_inplace_ledger_pins() {
+        // Auxiliary memory above the B·P·8 cap means the "in-place"
+        // exchange quietly materialized a buffer — a hard failure.
+        let doc = valid_sharded_doc().replace(r#""aux_bytes": 960"#, r#""aux_bytes": 961"#);
+        let err = validate_sharded_bench(&doc).unwrap_err();
+        assert!(err.contains("B·P·8 cap"), "unexpected error: {err}");
+
+        // The cap itself is recomputed from blocks × buckets × 8.
+        let doc = valid_sharded_doc().replace(r#""aux_cap": 960"#, r#""aux_cap": 1024"#);
+        assert!(validate_sharded_bench(&doc)
+            .unwrap_err()
+            .contains("aux_cap"));
+
+        // The traffic ledger is a strict inequality: equal bytes means
+        // the in-place path saved nothing.
+        let doc =
+            valid_sharded_doc().replace(r#""bytes_inplace": 500000"#, r#""bytes_inplace": 640000"#);
+        assert!(validate_sharded_bench(&doc)
+            .unwrap_err()
+            .contains("bytes_inplace"));
+
+        let doc =
+            valid_sharded_doc().replace(r#""moves_inplace": 39000"#, r#""moves_inplace": 40001"#);
+        assert!(validate_sharded_bench(&doc)
+            .unwrap_err()
+            .contains("moves_inplace"));
+
+        let doc = valid_sharded_doc().replace(r#""cycle_restarts": 0"#, r#""cycle_restarts": 2"#);
+        assert!(validate_sharded_bench(&doc)
+            .unwrap_err()
+            .contains("cycle_restarts"));
+
+        let doc = valid_sharded_doc().replace(
+            r#""cycle_restarts": 0, "sorted": true,
+                      "permutation_match": true"#,
+            r#""cycle_restarts": 0, "sorted": true,
+                      "permutation_match": false"#,
+        );
+        assert!(validate_sharded_bench(&doc)
+            .unwrap_err()
+            .contains("inplace[0].permutation_match"));
     }
 
     #[test]

@@ -27,6 +27,7 @@
 use std::cell::Cell;
 use std::time::Duration;
 
+use crate::shard::PartitionStrategy;
 use crate::watchdog::SortPhase;
 
 /// Phase-1 (build) counters.
@@ -99,6 +100,15 @@ pub struct ShardPhaseMetrics {
     /// [`PhaseMetrics::total_ops`] — the per-element partition `claims`
     /// already represent that work at element granularity.
     pub classify_steps: u64,
+    /// Shared-array and key bytes this worker read or wrote in the
+    /// phase — the memory-traffic ledger behind the
+    /// [`crate::PartitionStrategy`] bandwidth claim (E26f). Counts
+    /// `keys`/`piece_of`/histogram/`bucket`/`out_perm` traffic plus key
+    /// clones into unit-sort inputs; private scratch bookkeeping and
+    /// the inner unit sorts (identical on both strategies) are
+    /// excluded, so the materialized-vs-in-place delta is exactly the
+    /// intermediate-buffer traffic.
+    pub bytes_touched: u64,
 }
 
 /// Phase-4 (scatter) counters.
@@ -166,6 +176,7 @@ impl PhaseMetrics {
             mine.setup_steps += theirs.setup_steps;
             mine.kernel_blocks += theirs.kernel_blocks;
             mine.classify_steps += theirs.classify_steps;
+            mine.bytes_touched += theirs.bytes_touched;
         }
     }
 
@@ -259,6 +270,27 @@ pub struct ShardReport {
     /// ([`crate::ShardConfig::max_shard_imbalance`]) — compare against
     /// the achieved [`ShardReport::imbalance`].
     pub requested_imbalance: f64,
+    /// The resolved [`PartitionStrategy`] the job ran under — never
+    /// [`PartitionStrategy::Auto`], which the constructor resolves by
+    /// input size ([`crate::IN_PLACE_AUTO_MIN`]).
+    pub strategy: PartitionStrategy,
+    /// Auxiliary bytes the Fill/shard pipeline allocated beyond the
+    /// output permutation itself: the `B·P·8` destination-offset table
+    /// alone under [`PartitionStrategy::InPlace`], plus the `n·8`
+    /// bucket intermediate under [`PartitionStrategy::Materialized`].
+    /// E26f pins the in-place value at exactly `B·P·8`.
+    pub aux_bytes: u64,
+    /// Element moves (slot writes) across fill + shard publication,
+    /// redone and raced duplicates included. A crash-free materialized
+    /// run moves every element twice (bucket, then output); in-place
+    /// moves every element once plus one republication per range slot.
+    pub moves: u64,
+    /// Times an in-place range unit was found torn (mixed
+    /// pending/final tags — a claimant crashed or raced mid-publish)
+    /// and its fill order was rebuilt from the stable classification.
+    /// Always zero under [`PartitionStrategy::Materialized`] and in
+    /// crash-free single-threaded runs.
+    pub cycle_restarts: u64,
 }
 
 impl ShardReport {
@@ -406,6 +438,17 @@ pub(crate) trait Instrument {
     /// phase) — the fill phase's `O(B·P)` histogram reduction.
     #[inline]
     fn phase_setup(&self, _steps: u64) {}
+    /// `n` bytes of shared-array or key traffic on the sharded path
+    /// (routed by current phase) — the memory ledger behind the
+    /// [`PartitionStrategy`](crate::shard::PartitionStrategy)
+    /// bandwidth claim. Counts reads and writes of the shared arrays
+    /// (`keys`, `piece_of`, histograms, `bucket`, `out_perm`) plus key
+    /// clones into unit-sort inputs; private scratch bookkeeping is
+    /// excluded, and inner single-tree unit sorts are uninstrumented
+    /// for bytes (identical on both strategies, so the A/B delta is
+    /// unaffected).
+    #[inline]
+    fn bytes(&self, _n: u64) {}
     /// The worker's own initial WAT assignment is complete; subsequent
     /// claims/probes in this phase are helping steps.
     #[inline]
@@ -446,7 +489,7 @@ pub(crate) struct LocalCounters {
 
 /// One sharded phase's live counters, in [`ShardPhaseMetrics`] field
 /// order; the constants below name the indices.
-type ShardCells = [Cell<u64>; 6];
+type ShardCells = [Cell<u64>; 7];
 
 /// Index names for the [`ShardCells`] blocks above.
 const CLAIMS: usize = 0;
@@ -455,6 +498,7 @@ const PROBES: usize = 2;
 const SETUP_STEPS: usize = 3;
 const KERNEL_BLOCKS: usize = 4;
 const CLASSIFY_STEPS: usize = 5;
+const BYTES: usize = 6;
 
 impl Default for LocalCounters {
     fn default() -> Self {
@@ -496,6 +540,7 @@ fn snapshot_cells(cells: &ShardCells) -> ShardPhaseMetrics {
         setup_steps: cells[SETUP_STEPS].get(),
         kernel_blocks: cells[KERNEL_BLOCKS].get(),
         classify_steps: cells[CLASSIFY_STEPS].get(),
+        bytes_touched: cells[BYTES].get(),
     }
 }
 
@@ -648,6 +693,14 @@ impl Instrument for LocalCounters {
     }
 
     #[inline]
+    fn bytes(&self, n: u64) {
+        if let Some(cells) = self.shard_cells() {
+            let c = &cells[BYTES];
+            c.set(c.get() + n);
+        }
+    }
+
+    #[inline]
     fn own_assignment_done(&self) {
         self.helping.set(true);
     }
@@ -735,22 +788,26 @@ mod tests {
         c.probe();
         c.kernel_block(5);
         c.kernel_block(3);
+        c.bytes(100);
         c.enter_phase(SortPhase::Fill);
         c.claim();
         c.block_claim();
         c.phase_setup(12);
+        c.bytes(40);
         c.enter_phase(SortPhase::ShardSort);
         c.claim();
         c.probe();
+        c.bytes(7);
         // An inner per-shard sort re-enters Build mid-shard-phase; its
         // events must land in the ordinary single-tree buckets...
         c.enter_phase(SortPhase::Build);
         c.cas(false);
         c.claim();
-        // Outside any sharded phase, kernel/setup events are dropped
-        // (they have no single-tree analogue to route to).
+        // Outside any sharded phase, kernel/setup/bytes events are
+        // dropped (they have no single-tree analogue to route to).
         c.kernel_block(9);
         c.phase_setup(9);
+        c.bytes(999);
         // ...and the shard phase resumes where it left off.
         c.enter_phase(SortPhase::ShardSort);
         c.claim();
@@ -761,10 +818,13 @@ mod tests {
         assert_eq!(m.phases.partition.kernel_blocks, 2);
         assert_eq!(m.phases.partition.classify_steps, 8);
         assert_eq!(m.phases.partition.setup_steps, 0);
+        assert_eq!(m.phases.partition.bytes_touched, 100);
         assert_eq!(m.phases.fill.claims, 1);
         assert_eq!(m.phases.fill.block_claims, 1);
         assert_eq!(m.phases.fill.setup_steps, 12);
         assert_eq!(m.phases.fill.kernel_blocks, 0);
+        assert_eq!(m.phases.fill.bytes_touched, 40);
+        assert_eq!(m.phases.shard_sort.bytes_touched, 7);
         assert_eq!(m.phases.shard_sort.claims, 2);
         assert_eq!(m.phases.shard_sort.probes, 1);
         assert_eq!(m.phases.build.cas_attempts, 1);
@@ -780,6 +840,7 @@ mod tests {
         assert_eq!(r.per_phase.partition.classify_steps, 16);
         assert_eq!(r.per_phase.fill.claims, 2);
         assert_eq!(r.per_phase.fill.setup_steps, 24);
+        assert_eq!(r.per_phase.fill.bytes_touched, 80);
         assert_eq!(r.per_phase.shard_sort.claims, 4);
         // Per worker: partition 2+1, fill 1+0, shard 2+1 (claims+probes),
         // plus build cas 1 and claim 1 — block claims never feed

@@ -149,6 +149,74 @@ pub enum ClassifyKernel {
 /// boundary; the cutoff is deliberately conservative.
 pub const LADDER_AUTO_MAX_SPLITTERS: usize = 1024;
 
+/// How the Fill phase stages the permutation — whether bucket contents
+/// are materialized into a separate N-sized intermediate array or
+/// exchanged (near-)in-place inside the output buffer itself.
+///
+/// Both strategies compute the identical stable permutation (the parity
+/// suite pins them bit-identical across shapes × kernels × chaos
+/// storms); the knob trades memory footprint and traffic against the
+/// simplicity of the materialized intermediate. Selected via
+/// [`ShardConfig::partition_strategy`] /
+/// [`crate::SortOptions::partition_strategy`] /
+/// [`crate::service::ServiceConfig::partition_strategy`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PartitionStrategy {
+    /// Resolve by input size at construction:
+    /// [`PartitionStrategy::InPlace`] at or past
+    /// [`IN_PLACE_AUTO_MIN`] keys (the regime where the extra N-word
+    /// intermediate is real memory), [`PartitionStrategy::Materialized`]
+    /// below it. The default; reads back resolved.
+    #[default]
+    Auto,
+    /// The PR-5 pipeline: Fill writes every element's index into a
+    /// separate N-sized `bucket` array, and the shard phase reads that
+    /// stable intermediate while publishing into the output
+    /// permutation. Auxiliary memory is `N·8 + B·P·8` bytes. Kept as
+    /// the differential oracle and for callers that want the simplest
+    /// redo story (every shared write is idempotent by value).
+    Materialized,
+    /// The (near-)in-place exchange: Fill publishes bucket contents
+    /// directly into the output permutation buffer — equality-bucket
+    /// slots as final values, range-bucket slots carrying a high-bit
+    /// `PENDING` tag — and the shard phase republishes each range unit
+    /// in sorted order over its own slots. The only auxiliary table is
+    /// the `B·P` destination-offset reduction (`aux_bytes ≤ B·P·8`,
+    /// pinned in-binary by E26f); the N-sized intermediate is never
+    /// allocated. Crash/redo safety comes from a monotone slot
+    /// protocol rather than idempotent-by-value writes: slots move
+    /// `empty → fill value → final value` only (fills are
+    /// CAS-from-empty so a preempted filler can never resurrect a
+    /// stale value over a final one), a redone unit whose snapshot is
+    /// all-final is skipped, and a unit caught mid-publication
+    /// (mixed tags — its claimant crashed or is racing) is rebuilt
+    /// from the stable classification, never from the torn slots.
+    InPlace,
+}
+
+/// The input size at or past which [`PartitionStrategy::Auto`] resolves
+/// to the in-place exchange: 65 536 keys. Below it the N-word
+/// intermediate is at most 512 KiB and the materialized path's plain
+/// stores beat the in-place fill's CAS protocol; past it the dropped
+/// N-word allocation and the skipped equality-unit republication win
+/// on footprint and traffic (the E26f ledger measures both sides).
+pub const IN_PLACE_AUTO_MIN: usize = 1 << 16;
+
+/// High bit of an output-permutation slot under
+/// [`PartitionStrategy::InPlace`]: set on values the fill phase stages
+/// for a *range* bucket (fill order, awaiting the shard phase's sorted
+/// republication), clear on final values. The monotone
+/// `empty → PENDING-tagged → final` slot lifecycle is what lets a
+/// redoing survivor classify a unit's state from one read sweep.
+const PENDING: usize = 1 << (usize::BITS - 1);
+
+/// How many slots an in-place publication loop writes between
+/// `keep_going` consults — keeps the work between checkpoints bounded
+/// (the wait-free contract) and gives chaos scripts real windows to
+/// crash a worker *mid-unit*, which is exactly the torn state the
+/// mixed-tag recovery path exists for.
+const PUBLISH_CONSULT_EVERY: usize = 64;
+
 /// Robustness knobs for the sharded path. [`crate::SortOptions`] is the
 /// builder surface; raw construction goes through
 /// [`ShardedSortJob::with_config`].
@@ -184,6 +252,12 @@ pub struct ShardConfig {
     /// re-shards inherit the knob and re-resolve `Auto` against their
     /// own splitter counts.
     pub classify_kernel: ClassifyKernel,
+    /// How the Fill phase stages the permutation (see
+    /// [`PartitionStrategy`]). Every value is valid (the default `Auto`
+    /// resolves by input size at construction), so normalization passes
+    /// it through. Recursive re-shards inherit the knob and re-resolve
+    /// `Auto` against their own input sizes.
+    pub partition_strategy: PartitionStrategy,
 }
 
 impl Default for ShardConfig {
@@ -193,6 +267,7 @@ impl Default for ShardConfig {
             max_shard_imbalance: 2.0,
             max_levels: 1,
             classify_kernel: ClassifyKernel::Auto,
+            partition_strategy: PartitionStrategy::Auto,
         }
     }
 }
@@ -215,6 +290,7 @@ impl ShardConfig {
             },
             max_levels: self.max_levels.clamp(1, 4),
             classify_kernel: self.classify_kernel,
+            partition_strategy: self.partition_strategy,
         }
     }
 }
@@ -397,6 +473,10 @@ fn sample_splitters<K: Ord + Clone>(keys: &[K], shards: usize, factor: usize) ->
 struct WorkUnit {
     lo: usize,
     hi: usize,
+    /// The bucket this unit is a span of. The in-place recovery path
+    /// uses it to rebuild the unit's element set from the stable
+    /// classification when the slots themselves are torn.
+    piece: usize,
     /// Equality units hold one key value, so the bucket order (original
     /// index order) is already the stable sorted order.
     equality: bool,
@@ -511,10 +591,33 @@ pub struct ShardedSortJob<K: Ord> {
     /// `bucket[d]` = 1-based element index occupying bucket slot `d`;
     /// bucket `p` owns the contiguous slots `starts[p]..starts[p + 1]`,
     /// filled in original-index order (benign race, like `piece_of`).
+    /// Only allocated under [`PartitionStrategy::Materialized`]; the
+    /// in-place strategy stages bucket contents directly in `out_perm`
+    /// behind the `PENDING` tag and leaves this empty — that dropped
+    /// N-word allocation is the strategy's whole point.
     bucket: Vec<AtomicUsize>,
     /// `out_perm[r]` = 1-based element index with rank `r + 1` — the
-    /// same contract as [`crate::SortJob`]'s permutation.
+    /// same contract as [`crate::SortJob`]'s permutation. Under
+    /// [`PartitionStrategy::InPlace`] the slots double as the fill
+    /// staging area (monotone `empty → PENDING-tagged fill value →
+    /// final value` lifecycle); completion guarantees every tag is
+    /// gone.
     out_perm: Vec<AtomicUsize>,
+    /// The resolved [`PartitionStrategy`] — never `Auto`.
+    strategy: PartitionStrategy,
+    /// Telemetry: element moves actually performed — every store of an
+    /// element entry into the bucket intermediate or the output
+    /// permutation, redone work included. The materialized strategy
+    /// pays `2N` in a crash-free run (fill + republication); in-place
+    /// pays `N` plus only the *range*-unit republications (equality
+    /// units are final at fill time), which E26f measures side by side.
+    moves: AtomicU64,
+    /// Telemetry: in-place units whose slots were caught mid-publication
+    /// (mixed fill/final tags after a claimant crashed or raced) and
+    /// were rebuilt from the stable classification. Zero in any
+    /// crash-free single-threaded run; the abandonment suite drives it
+    /// positive on purpose.
+    cycle_restarts: AtomicU64,
     /// Telemetry only: how many times each shard's sort closure was
     /// entered (redos and racing double claims included).
     shard_claims: Vec<AtomicU64>,
@@ -598,8 +701,27 @@ impl<K: Ord + Clone> ShardedSortJob<K> {
             }
             k => k,
         };
+        let strategy = match config.partition_strategy {
+            PartitionStrategy::Auto => {
+                if n >= IN_PLACE_AUTO_MIN {
+                    PartitionStrategy::InPlace
+                } else {
+                    PartitionStrategy::Materialized
+                }
+            }
+            s => s,
+        };
+        // The in-place tag rides the slot word's high bit, so 1-based
+        // element indices must stay below it — true for any input that
+        // fits in memory, asserted so the invariant is explicit.
+        assert!(n < PENDING, "element indices must fit under the tag bit");
+        let bucket_len = match strategy {
+            PartitionStrategy::InPlace => 0,
+            _ => n,
+        };
         ShardedSortJob {
             kernel,
+            strategy,
             ladder: SplitterLadder::new(&splitters),
             splitters,
             shards,
@@ -616,8 +738,10 @@ impl<K: Ord + Clone> ShardedSortJob<K> {
             shard_lcwat: AtomicLcWat::new(shards),
             piece_of: (0..n).map(|_| AtomicU32::new(0)).collect(),
             block_counts: (0..blocks * pieces).map(|_| AtomicU32::new(0)).collect(),
-            bucket: (0..n).map(|_| AtomicUsize::new(0)).collect(),
+            bucket: (0..bucket_len).map(|_| AtomicUsize::new(0)).collect(),
             out_perm: (0..n).map(|_| AtomicUsize::new(0)).collect(),
+            moves: AtomicU64::new(0),
+            cycle_restarts: AtomicU64::new(0),
             shard_claims: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             participants: AtomicUsize::new(0),
             keys,
@@ -720,6 +844,11 @@ impl<K: Ord + Clone> ShardedSortJob<K> {
                 self.block_counts[base + piece].store(count, Ordering::Relaxed);
             }
             ins.kernel_block(steps);
+            // Ledger: one key read and one `piece_of` write per
+            // element, plus the block's published histogram row.
+            let span_len = self.block_span(blk).len() as u64;
+            let ksz = std::mem::size_of::<K>() as u64;
+            ins.bytes(span_len * (ksz + 4) + self.pieces as u64 * 4);
         };
         let keep_going = || {
             ins.checkpoint();
@@ -742,6 +871,20 @@ impl<K: Ord + Clone> ShardedSortJob<K> {
     /// offsets (`pieces + 1` entries) for the shard phase — a pure
     /// function of the completed classification, so every worker
     /// computes the same values.
+    ///
+    /// Under [`PartitionStrategy::Materialized`] the destinations are
+    /// `bucket` slots and plain stores suffice (redone blocks rewrite
+    /// identical values). Under [`PartitionStrategy::InPlace`] the
+    /// destinations are the output-permutation slots themselves:
+    /// equality buckets are published as untagged *final* values
+    /// (their fill order is already the stable sorted order, so the
+    /// shard phase never touches them again), range buckets as
+    /// `PENDING`-tagged staging values. In-place fills CAS from the
+    /// empty sentinel instead of storing: a filler preempted before
+    /// its block was redone by survivors — and then finalized by the
+    /// shard phase — must not wake up and resurrect a stale fill value
+    /// over a final one. Every CAS failure is exactly such a benign
+    /// stale redo.
     fn fill_phase(
         &self,
         tid: usize,
@@ -751,16 +894,37 @@ impl<K: Ord + Clone> ShardedSortJob<K> {
     ) -> Vec<usize> {
         let (starts, offsets) = self.column_offsets(ins);
         let pieces = self.pieces;
+        let in_place = self.strategy == PartitionStrategy::InPlace;
         let fill_block = |blk: usize| {
             // A private cursor copy per invocation keeps redone blocks
             // idempotent: every rerun starts from the same offsets and
             // rewrites the same destinations.
             let mut next = offsets[blk * pieces..(blk + 1) * pieces].to_vec();
-            for i in self.block_span(blk) {
+            let span = self.block_span(blk);
+            let span_len = span.len() as u64;
+            for i in span {
                 let piece = self.piece_of[i].load(Ordering::Relaxed) as usize;
-                self.bucket[next[piece]].store(i + 1, Ordering::Relaxed);
+                if in_place {
+                    let value = if piece % 2 == 1 {
+                        i + 1
+                    } else {
+                        (i + 1) | PENDING
+                    };
+                    let _ = self.out_perm[next[piece]].compare_exchange(
+                        0,
+                        value,
+                        Ordering::Release,
+                        Ordering::Relaxed,
+                    );
+                } else {
+                    self.bucket[next[piece]].store(i + 1, Ordering::Relaxed);
+                }
                 next[piece] += 1;
             }
+            self.moves.fetch_add(span_len, Ordering::Relaxed);
+            // Ledger: one `piece_of` read (4 B) and one slot write (8 B)
+            // per element, whichever array the slot lives in.
+            ins.bytes(span_len * (4 + 8));
         };
         let keep_going = || {
             ins.checkpoint();
@@ -783,6 +947,12 @@ impl<K: Ord + Clone> ShardedSortJob<K> {
     /// units — trivial fills for equality chunks and non-decreasing
     /// range buckets, a packed pivot-tree sort (one private recycled
     /// arena per worker) or a one-level re-shard for the rest.
+    ///
+    /// Under [`PartitionStrategy::InPlace`] each unit instead runs
+    /// [`ShardedSortJob::publish_unit_in_place`]: the unit's slots are
+    /// both its input and its output, so the per-unit snapshot protocol
+    /// there replaces the stable `bucket` reads of the materialized
+    /// body below.
     fn shard_phase(
         &self,
         tid: usize,
@@ -796,11 +966,28 @@ impl<K: Ord + Clone> ShardedSortJob<K> {
         let outer = RefCell::new(p);
         let mut arena: SortArena<K> = SortArena::new();
         let mut unit_keys: Vec<K> = Vec::new();
+        let mut scratch: Vec<usize> = Vec::new();
+        let in_place = self.strategy == PartitionStrategy::InPlace;
+        let ksz = std::mem::size_of::<K>() as u64;
         let sort_shard = |shard: usize| {
             self.shard_claims[shard].fetch_add(1, Ordering::Relaxed);
             for unit in &assignment[shard] {
                 if abandoned.get() {
                     return;
+                }
+                if in_place {
+                    if !self.publish_unit_in_place(
+                        unit,
+                        &outer,
+                        &abandoned,
+                        &mut arena,
+                        &mut scratch,
+                        &mut unit_keys,
+                        ins,
+                    ) {
+                        return;
+                    }
+                    continue;
                 }
                 let (lo, hi) = (unit.lo, unit.hi);
                 // Equality units hold one value, and a range bucket
@@ -811,11 +998,13 @@ impl<K: Ord + Clone> ShardedSortJob<K> {
                 // is also what keeps all-equal and pre-sorted inputs
                 // out of the pivot tree's quadratic monotone-insert
                 // regime.
-                if unit.equality || hi - lo == 1 || self.is_sorted_run(lo, hi) {
+                if unit.equality || hi - lo == 1 || self.is_sorted_run(lo, hi, ksz, ins) {
                     for slot in lo..hi {
                         let element = self.bucket[slot].load(Ordering::Relaxed);
                         self.out_perm[slot].store(element, Ordering::Release);
                     }
+                    self.moves.fetch_add((hi - lo) as u64, Ordering::Relaxed);
+                    ins.bytes((hi - lo) as u64 * 16);
                     continue;
                 }
                 let len = hi - lo;
@@ -828,6 +1017,7 @@ impl<K: Ord + Clone> ShardedSortJob<K> {
                             self.keys[self.bucket[slot].load(Ordering::Relaxed) - 1].clone()
                         })
                         .collect();
+                    ins.bytes(len as u64 * (8 + ksz));
                     let inner_config = ShardConfig {
                         max_levels: self.config.max_levels - 1,
                         ..self.config
@@ -858,6 +1048,8 @@ impl<K: Ord + Clone> ShardedSortJob<K> {
                         let element = self.bucket[lo + local - 1].load(Ordering::Relaxed);
                         self.out_perm[lo + rank].store(element, Ordering::Release);
                     }
+                    self.moves.fetch_add(len as u64, Ordering::Relaxed);
+                    ins.bytes(len as u64 * 16);
                     continue;
                 }
                 unit_keys.clear();
@@ -866,6 +1058,7 @@ impl<K: Ord + Clone> ShardedSortJob<K> {
                         self.keys[self.bucket[slot].load(Ordering::Relaxed) - 1].clone()
                     }),
                 );
+                ins.bytes(len as u64 * (8 + ksz));
                 let job = arena.prepare(&unit_keys, self.allocation, 1, recommended_grain(len, 1));
                 let mut inner = ForwardAbandon {
                     outer: &outer,
@@ -887,6 +1080,8 @@ impl<K: Ord + Clone> ShardedSortJob<K> {
                     let element = self.bucket[lo + local - 1].load(Ordering::Relaxed);
                     self.out_perm[lo + rank].store(element, Ordering::Release);
                 }
+                self.moves.fetch_add(len as u64, Ordering::Relaxed);
+                ins.bytes(len as u64 * 16);
             }
         };
         let keep_going = || {
@@ -909,16 +1104,231 @@ impl<K: Ord + Clone> ShardedSortJob<K> {
     /// non-decreasing in bucket (original index) order. Carries the
     /// previous element index across iterations, so each bucket slot is
     /// loaded exactly once (the naive pairwise scan loaded every
-    /// interior slot twice).
-    fn is_sorted_run(&self, lo: usize, hi: usize) -> bool {
+    /// interior slot twice). Ledger: counts the slots and keys actually
+    /// loaded — an early exit on unsorted data charges only the prefix
+    /// it read.
+    fn is_sorted_run(&self, lo: usize, hi: usize, ksz: u64, ins: &impl Instrument) -> bool {
         let mut prev = self.bucket[lo].load(Ordering::Relaxed) - 1;
+        let mut loads = 1u64;
+        let mut sorted = true;
         for slot in lo + 1..hi {
             let next = self.bucket[slot].load(Ordering::Relaxed) - 1;
+            loads += 1;
             if self.keys[prev] > self.keys[next] {
-                return false;
+                sorted = false;
+                break;
             }
             prev = next;
         }
+        ins.bytes(loads * (8 + ksz));
+        sorted
+    }
+
+    /// One work unit under [`PartitionStrategy::InPlace`]. The unit's
+    /// output-permutation slots are both its input and its output, so
+    /// instead of the materialized body's reads from a stable `bucket`
+    /// intermediate, the unit runs a snapshot-classify-republish
+    /// protocol built on the monotone slot lifecycle (`empty →
+    /// PENDING-tagged fill value → final value`, finals deterministic
+    /// and identical across every publisher):
+    ///
+    /// 1. **Snapshot.** One read sweep over the slots. *All tagged* ⇒
+    ///    the snapshot is exactly the pristine fill order (no final
+    ///    write can precede a tagged read of the same slot, and fill
+    ///    values are stable once the fill gate passes). *All untagged*
+    ///    ⇒ a previous claimant finished the unit; skip. *Mixed* ⇒ a
+    ///    claimant crashed (or is racing) mid-publication — final
+    ///    values at unknown positions may duplicate fill values still
+    ///    awaiting overwrite, so the slots are not a usable multiset;
+    ///    rebuild the unit's fill order from the stable classification
+    ///    ([`ShardedSortJob::rebuild_fill_order`], counted in
+    ///    `cycle_restarts`).
+    /// 2. **Sort.** Singletons and already-non-decreasing runs are
+    ///    final as-is; otherwise the snapshot's keys run through the
+    ///    same pivot-tree arena sort (or one-level re-shard) as the
+    ///    materialized path — the snapshot preserves original-index
+    ///    order within the bucket, so ties break identically.
+    /// 3. **Republish.** Final values are stored untagged, with a
+    ///    `keep_going` consult every [`PUBLISH_CONSULT_EVERY`] slots —
+    ///    a worker crashed inside the loop leaves exactly the mixed
+    ///    state step 1 recovers from, and its WAT leaf unmarked.
+    ///
+    /// Because every final value is a pure function of `(keys,
+    /// classification, unit)`, racing claimants — snapshot-based or
+    /// rebuild-based — write byte-identical finals: the only races
+    /// left are benign again, just at final-value granularity instead
+    /// of fill-value granularity. Returns `false` if the participant
+    /// abandoned mid-unit (callers stop, the shard's leaf stays
+    /// unmarked for survivors).
+    #[allow(clippy::too_many_arguments)]
+    fn publish_unit_in_place<P: Participation>(
+        &self,
+        unit: &WorkUnit,
+        outer: &RefCell<&mut P>,
+        abandoned: &Cell<bool>,
+        arena: &mut SortArena<K>,
+        scratch: &mut Vec<usize>,
+        unit_keys: &mut Vec<K>,
+        ins: &impl Instrument,
+    ) -> bool {
+        // Equality units were published as final values by the fill
+        // phase itself; there is nothing left to move or verify.
+        if unit.equality {
+            return true;
+        }
+        let (lo, hi) = (unit.lo, unit.hi);
+        let len = hi - lo;
+        let ksz = std::mem::size_of::<K>() as u64;
+        scratch.clear();
+        let mut tagged = 0usize;
+        for slot in lo..hi {
+            let raw = self.out_perm[slot].load(Ordering::Acquire);
+            debug_assert_ne!(raw, 0, "the fill gate orders every slot write first");
+            tagged += usize::from(raw & PENDING != 0);
+            scratch.push(raw & !PENDING);
+        }
+        ins.bytes(len as u64 * 8);
+        if tagged == 0 {
+            return true;
+        }
+        if tagged != len {
+            self.cycle_restarts.fetch_add(1, Ordering::Relaxed);
+            self.rebuild_fill_order(unit.piece, scratch, ins);
+            debug_assert_eq!(scratch.len(), len, "stable rebuild spans the unit");
+        }
+        // `scratch` now holds the unit's fill order — 1-based element
+        // indices, ascending by original index — whichever way it was
+        // obtained. The same trivial-unit test as the materialized
+        // body: singletons and non-decreasing runs are already final.
+        let sorted_already = len == 1 || {
+            let mut loads = 1u64;
+            let mut prev = scratch[0] - 1;
+            let mut sorted = true;
+            for &raw in &scratch[1..] {
+                let next = raw - 1;
+                loads += 1;
+                if self.keys[prev] > self.keys[next] {
+                    sorted = false;
+                    break;
+                }
+                prev = next;
+            }
+            ins.bytes(loads * ksz);
+            sorted
+        };
+        if sorted_already {
+            return self.publish_final(lo, scratch, outer, abandoned, ins);
+        }
+        if self.config.max_levels > 1 && len > self.chunk_cap() {
+            // An oversized range bucket: re-shard it one level down,
+            // exactly like the materialized body, but cloning from the
+            // snapshot instead of the bucket intermediate.
+            let piece_keys: Vec<K> = scratch.iter().map(|&v| self.keys[v - 1].clone()).collect();
+            ins.bytes(len as u64 * ksz);
+            let inner_config = ShardConfig {
+                max_levels: self.config.max_levels - 1,
+                ..self.config
+            };
+            let inner = ShardedSortJob::with_config(
+                piece_keys,
+                self.allocation,
+                1,
+                recommended_shards(len, 1).max(2),
+                inner_config,
+            );
+            let mut fwd = ForwardAbandon { outer, abandoned };
+            let mut erased: &mut dyn Participation = &mut fwd;
+            inner.participate_inner(&mut erased, ins);
+            ins.enter_phase(SortPhase::ShardSort);
+            if abandoned.get() {
+                return false;
+            }
+            debug_assert!(inner.is_complete());
+            let finals: Vec<usize> = inner
+                .permutation()
+                .into_iter()
+                .map(|local| scratch[local - 1])
+                .collect();
+            return self.publish_final(lo, &finals, outer, abandoned, ins);
+        }
+        unit_keys.clear();
+        unit_keys.extend(scratch.iter().map(|&v| self.keys[v - 1].clone()));
+        ins.bytes(len as u64 * ksz);
+        let job = arena.prepare(unit_keys, self.allocation, 1, recommended_grain(len, 1));
+        let mut inner = ForwardAbandon { outer, abandoned };
+        job.participate_inner(&mut inner, ins);
+        ins.enter_phase(SortPhase::ShardSort);
+        if abandoned.get() {
+            return false;
+        }
+        debug_assert!(job.is_complete());
+        // Within a bucket the snapshot preserves original index order,
+        // so the inner job's (key, local index) ties break exactly
+        // like the global (key, index) ties.
+        let finals: Vec<usize> = job
+            .permutation()
+            .into_iter()
+            .map(|local| scratch[local - 1])
+            .collect();
+        self.publish_final(lo, &finals, outer, abandoned, ins)
+    }
+
+    /// Rebuilds a range bucket's fill order — 1-based element indices,
+    /// ascending by original index — into `out` from the *stable* side
+    /// of the job (`piece_of` and the fused histograms), never from the
+    /// torn slots. Only blocks whose histogram row shows elements of
+    /// `piece` are scanned, so the cost is bounded by the piece's
+    /// contributing blocks; this is the rare crash/race recovery path,
+    /// not the steady state, and every caller computes the identical
+    /// result (it is a pure function of the completed classification).
+    fn rebuild_fill_order(&self, piece: usize, out: &mut Vec<usize>, ins: &impl Instrument) {
+        out.clear();
+        let pieces = self.pieces;
+        let mut scanned = 0u64;
+        for blk in 0..self.blocks {
+            if self.block_counts[blk * pieces + piece].load(Ordering::Relaxed) == 0 {
+                continue;
+            }
+            let span = self.block_span(blk);
+            scanned += span.len() as u64;
+            for i in span {
+                if self.piece_of[i].load(Ordering::Relaxed) as usize == piece {
+                    out.push(i + 1);
+                }
+            }
+        }
+        // Histogram row reads plus the contributing blocks' piece_of
+        // sweeps.
+        ins.bytes(self.blocks as u64 * 4 + scanned * 4);
+    }
+
+    /// Publishes `values[r]` into `out_perm[lo + r]` as untagged final
+    /// values, consulting `keep_going` every [`PUBLISH_CONSULT_EVERY`]
+    /// slots so chaos scripts can crash a worker mid-unit. Returns
+    /// `false` on abandonment — the unit is then torn (mixed tags),
+    /// which is exactly the state
+    /// [`ShardedSortJob::publish_unit_in_place`] recovers from on redo.
+    fn publish_final<P: Participation>(
+        &self,
+        lo: usize,
+        values: &[usize],
+        outer: &RefCell<&mut P>,
+        abandoned: &Cell<bool>,
+        ins: &impl Instrument,
+    ) -> bool {
+        let mut fwd = ForwardAbandon { outer, abandoned };
+        for (r, &v) in values.iter().enumerate() {
+            debug_assert_eq!(v & PENDING, 0, "finals are untagged");
+            self.out_perm[lo + r].store(v, Ordering::Release);
+            if (r + 1) % PUBLISH_CONSULT_EVERY == 0 {
+                ins.checkpoint();
+                if !fwd.keep_going() {
+                    return false;
+                }
+            }
+        }
+        self.moves.fetch_add(values.len() as u64, Ordering::Relaxed);
+        ins.bytes(values.len() as u64 * 8);
         true
     }
 
@@ -1002,6 +1412,7 @@ impl<K: Ord + Clone> ShardedSortJob<K> {
             *slot = count.load(Ordering::Relaxed) as usize;
         }
         ins.phase_setup(self.block_counts.len() as u64);
+        ins.bytes(self.block_counts.len() as u64 * 4);
         let mut starts = vec![0usize; pieces + 1];
         for piece in 0..pieces {
             let total: usize = (0..self.blocks)
@@ -1055,6 +1466,7 @@ impl<K: Ord + Clone> ShardedSortJob<K> {
                         lo: at,
                         hi: end,
                         equality: true,
+                        piece,
                     });
                     at = end;
                 }
@@ -1063,6 +1475,7 @@ impl<K: Ord + Clone> ShardedSortJob<K> {
                     lo,
                     hi,
                     equality: false,
+                    piece,
                 });
             }
         }
@@ -1130,6 +1543,25 @@ impl<K: Ord> ShardedSortJob<K> {
     /// [`SplitterLadder`] over the exact splitter set a real job uses.
     pub fn splitters(&self) -> &[K] {
         &self.splitters
+    }
+
+    /// The [`PartitionStrategy`] the Fill/shard pipeline actually runs:
+    /// [`PartitionStrategy::Auto`] requests read back as the strategy
+    /// they resolved to at construction
+    /// ([`PartitionStrategy::InPlace`] from [`IN_PLACE_AUTO_MIN`]
+    /// elements up), never `Auto` itself.
+    pub fn partition_strategy(&self) -> PartitionStrategy {
+        self.strategy
+    }
+
+    /// Auxiliary bytes the Fill/shard pipeline allocates beyond the
+    /// output permutation: the `B·P·8` destination-offset table every
+    /// fill participant reduces privately, plus the `n·8` bucket
+    /// intermediate under [`PartitionStrategy::Materialized`] (zero
+    /// in-place — that is the E26f `aux_bytes ≤ B·P·8` pin).
+    pub fn aux_bytes(&self) -> u64 {
+        let table = (self.blocks * self.pieces) as u64 * 8;
+        table + self.bucket.len() as u64 * 8
     }
 
     /// Elements per partition block.
@@ -1235,7 +1667,15 @@ impl<K: Ord> ShardedSortJob<K> {
         assert!(self.is_complete(), "sort not complete");
         self.out_perm
             .iter()
-            .map(|slot| slot.load(Ordering::Acquire))
+            .map(|slot| {
+                let raw = slot.load(Ordering::Acquire);
+                debug_assert_eq!(
+                    raw & PENDING,
+                    0,
+                    "a complete job holds only final (untagged) values"
+                );
+                raw
+            })
             .collect()
     }
 
@@ -1323,6 +1763,10 @@ impl<K: Ord + Clone> ShardedSortJob<K> {
             buckets,
             equality_buckets,
             requested_imbalance: self.config.max_shard_imbalance,
+            strategy: self.strategy,
+            aux_bytes: self.aux_bytes(),
+            moves: self.moves.load(Ordering::Relaxed),
+            cycle_restarts: self.cycle_restarts.load(Ordering::Relaxed),
         }
     }
 }
@@ -1744,5 +2188,157 @@ mod tests {
             assert_eq!(report.equality_buckets, 1, "{kernel:?}");
             assert_eq!(job.into_sorted(), keys, "{kernel:?}");
         }
+    }
+
+    fn with_strategy(keys: Vec<u64>, strategy: PartitionStrategy) -> ShardedSortJob<u64> {
+        ShardedSortJob::with_config(
+            keys,
+            NativeAllocation::Deterministic,
+            2,
+            8,
+            ShardConfig {
+                partition_strategy: strategy,
+                ..ShardConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn in_place_permutation_matches_materialized_across_shapes() {
+        // The differential oracle at unit scale: both strategies must
+        // compute the identical (key, index)-stable permutation on
+        // every shape class the in-place protocol special-cases —
+        // range-heavy, duplicate-heavy (equality units final at fill),
+        // pre-sorted (sorted-run strip publish), and all-equal.
+        let shapes: Vec<(&str, Vec<u64>)> = vec![
+            ("mixed", mixed_keys(700)),
+            ("dupes", (0..700).map(|i| (i * 7) % 13).collect()),
+            ("sorted", (0..700).collect()),
+            ("reversed", (0..700).rev().collect()),
+            ("all_equal", vec![9u64; 700]),
+        ];
+        for (name, keys) in shapes {
+            let mat = with_strategy(keys.clone(), PartitionStrategy::Materialized);
+            mat.run();
+            let inp = with_strategy(keys, PartitionStrategy::InPlace);
+            inp.run();
+            assert_eq!(inp.partition_strategy(), PartitionStrategy::InPlace);
+            assert_eq!(inp.permutation(), mat.permutation(), "{name}");
+            assert_eq!(
+                inp.shard_report().cycle_restarts,
+                0,
+                "{name}: a crash-free single-threaded run never tears a unit"
+            );
+        }
+    }
+
+    #[test]
+    fn in_place_survives_abandonment_at_every_budget() {
+        // The QuitAfter sweep from the materialized suite, on the
+        // in-place path: whatever torn state the quitter leaves — a
+        // half-filled block, a half-published unit — the late joiner
+        // must recover to the exact materialized permutation with no
+        // element duplicated or dropped.
+        let keys = mixed_keys(300);
+        let oracle = with_strategy(keys.clone(), PartitionStrategy::Materialized);
+        oracle.run();
+        let expect = oracle.permutation();
+        for allocation in [
+            NativeAllocation::Deterministic,
+            NativeAllocation::Randomized,
+        ] {
+            for budget in (1..200).step_by(13) {
+                let job = ShardedSortJob::with_config(
+                    keys.clone(),
+                    allocation,
+                    2,
+                    8,
+                    ShardConfig {
+                        partition_strategy: PartitionStrategy::InPlace,
+                        ..ShardConfig::default()
+                    },
+                );
+                job.participate(&mut QuitAfter(budget));
+                job.run();
+                assert!(job.is_complete());
+                assert_eq!(job.permutation(), expect, "{allocation:?} budget {budget}");
+            }
+        }
+    }
+
+    #[test]
+    fn torn_unit_is_rebuilt_and_counted() {
+        // Reproduce exactly the state a worker crashed mid-publication
+        // leaves behind — some of a range unit's slots already final
+        // (untagged), the rest still pending — and pin that the next
+        // claimant refuses the torn snapshot, rebuilds the unit's fill
+        // order from the stable classification, counts the restart,
+        // and still lands on the materialized oracle's permutation.
+        let keys: Vec<u64> = (0..600).rev().collect();
+        let oracle = with_strategy(keys.clone(), PartitionStrategy::Materialized);
+        oracle.run();
+        let job = with_strategy(keys, PartitionStrategy::InPlace);
+        let ins = crate::metrics::NoInstrument;
+        let mut p = RunToCompletion;
+        job.partition_phase(0, 2, &mut p, &ins);
+        assert!(job.partition_done());
+        let starts = job.fill_phase(0, 2, &mut p, &ins);
+        assert!(job.fill_done());
+        let units = job.plan_units(&starts);
+        let unit = units
+            .iter()
+            .find(|u| !u.equality && u.len() > 1)
+            .expect("a reversed input has multi-element range buckets");
+        // Untag the unit's first slot, as the crashed claimant's one
+        // completed final store would have.
+        let raw = job.out_perm[unit.lo].load(Ordering::Relaxed);
+        assert_ne!(raw & PENDING, 0, "range slots leave the fill tagged");
+        job.out_perm[unit.lo].store(raw & !PENDING, Ordering::Relaxed);
+        job.run();
+        assert!(job.is_complete());
+        let report = job.shard_report();
+        assert!(
+            report.cycle_restarts >= 1,
+            "the mixed-tag unit must be detected and rebuilt"
+        );
+        assert_eq!(job.permutation(), oracle.permutation());
+    }
+
+    #[test]
+    fn auto_strategy_resolves_by_input_size() {
+        let small = ShardedSortJob::new(mixed_keys(500), 8);
+        assert_eq!(
+            small.partition_strategy(),
+            PartitionStrategy::Materialized,
+            "below IN_PLACE_AUTO_MIN Auto keeps the bucket intermediate"
+        );
+        let large = ShardedSortJob::new(mixed_keys(IN_PLACE_AUTO_MIN), 8);
+        assert_eq!(large.partition_strategy(), PartitionStrategy::InPlace);
+        large.run();
+        let mut expect: Vec<u64> = mixed_keys(IN_PLACE_AUTO_MIN);
+        expect.sort_unstable();
+        assert_eq!(large.into_sorted(), expect);
+    }
+
+    #[test]
+    fn aux_bytes_drop_to_the_offsets_table_in_place() {
+        let keys = mixed_keys(2000);
+        let mat = with_strategy(keys.clone(), PartitionStrategy::Materialized);
+        let inp = with_strategy(keys, PartitionStrategy::InPlace);
+        let table = (inp.partition_blocks() * inp.buckets()) as u64 * 8;
+        assert_eq!(inp.aux_bytes(), table, "in-place: offsets table only");
+        assert_eq!(
+            mat.aux_bytes(),
+            table + 2000 * 8,
+            "materialized adds the n-slot bucket intermediate"
+        );
+        inp.run();
+        let report = inp.shard_report();
+        assert_eq!(report.strategy, PartitionStrategy::InPlace);
+        assert_eq!(report.aux_bytes, table);
+        assert!(
+            report.moves >= 2000,
+            "every element moves at least once through the fill"
+        );
     }
 }

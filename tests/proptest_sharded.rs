@@ -12,8 +12,8 @@ use proptest::prelude::*;
 
 use wait_free_sort::testshapes;
 use wait_free_sort::wfsort_native::{
-    piece_by_search, NativeAllocation, QuitAfter, ShardConfig, ShardedSortJob, SortJob,
-    SplitterLadder, WaitFreeSorter,
+    piece_by_search, NativeAllocation, PartitionStrategy, QuitAfter, ShardConfig, ShardedSortJob,
+    SortJob, SplitterLadder, WaitFreeSorter,
 };
 
 /// One named shape from the shared adversarial battery, at a generated
@@ -27,9 +27,10 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// Every shape in the shared adversarial battery, under arbitrary
-    /// shard counts and arbitrary (possibly degenerate) robustness
-    /// knobs, still computes exactly the single-tree permutation —
-    /// the knobs tune balance, never the output.
+    /// shard counts, arbitrary (possibly degenerate) robustness knobs,
+    /// and either partition strategy, still computes exactly the
+    /// single-tree permutation — the knobs tune balance and memory
+    /// traffic, never the output.
     #[test]
     fn adversarial_shapes_match_single_tree_under_any_config(
         (shape, keys) in adversarial_keys(),
@@ -37,6 +38,7 @@ proptest! {
         factor in 0usize..12,
         tau_tenths in 10u32..40,
         levels in 0usize..3,
+        in_place in any::<bool>(),
     ) {
         let single = SortJob::new(keys.clone());
         single.run();
@@ -45,6 +47,11 @@ proptest! {
             overpartition_factor: factor,
             max_shard_imbalance: f64::from(tau_tenths) / 10.0,
             max_levels: levels,
+            partition_strategy: if in_place {
+                PartitionStrategy::InPlace
+            } else {
+                PartitionStrategy::Materialized
+            },
             ..ShardConfig::default()
         };
         let job = ShardedSortJob::with_config(
@@ -107,19 +114,30 @@ proptest! {
 
     /// A quitter abandoning after an arbitrary number of checks leaves a
     /// state from which a late joiner recovers the exact single-tree
-    /// permutation — the publish gates make half-done shards invisible.
+    /// permutation — the publish gates make half-done shards invisible,
+    /// and under the in-place strategy the mixed-tag snapshot protocol
+    /// makes half-published units rebuildable.
     #[test]
     fn abandoned_sharded_jobs_recover_exactly(
         keys in vec(0u64..32, 2..200),
         shards in 1usize..24,
         budget in 1usize..500,
+        in_place in any::<bool>(),
     ) {
         let single = SortJob::new(keys.clone());
         single.run();
         let expect = single.permutation();
 
-        let job = ShardedSortJob::with_workers(
+        let job = ShardedSortJob::with_config(
             keys, NativeAllocation::Deterministic, 2, shards,
+            ShardConfig {
+                partition_strategy: if in_place {
+                    PartitionStrategy::InPlace
+                } else {
+                    PartitionStrategy::Materialized
+                },
+                ..ShardConfig::default()
+            },
         );
         job.participate(&mut QuitAfter(budget));
         job.run();

@@ -19,8 +19,8 @@
 use wait_free_sort::testshapes;
 use wait_free_sort::wfsort_native::{
     recommended_shards, ChaosParticipation, ChaosPlan, ClassifyKernel, MetricSlot,
-    NativeAllocation, QuitAfter, RunToCompletion, ShardConfig, ShardedSortJob, SortJob,
-    SortOptions, WaitFreeSorter,
+    NativeAllocation, PartitionStrategy, QuitAfter, RunToCompletion, ShardConfig, ShardedSortJob,
+    SortJob, SortOptions, WaitFreeSorter,
 };
 
 /// Both explicit classify kernels — every differential sweep that takes
@@ -150,6 +150,7 @@ fn four_thread_runs_agree_across_robustness_configs() {
             max_shard_imbalance: 1.2,
             max_levels: 2,
             classify_kernel: ClassifyKernel::Ladder,
+            ..ShardConfig::default()
         },
     ];
     for (shape, keys) in [
@@ -237,12 +238,14 @@ fn chaos_storms_preserve_parity_on_robust_configs() {
             max_shard_imbalance: 1.2,
             max_levels: 1,
             classify_kernel: ClassifyKernel::Ladder,
+            ..ShardConfig::default()
         },
         ShardConfig {
             overpartition_factor: 2,
             max_shard_imbalance: 1.2,
             max_levels: 2,
             classify_kernel: ClassifyKernel::BinarySearch,
+            ..ShardConfig::default()
         },
     ];
     for keys in [testshapes::all_equal(800), testshapes::two_valued(800, 29)] {
@@ -585,6 +588,178 @@ fn acceptance_shapes_at_one_million_meet_the_balance_bound() {
                 "{shape} S={shards}: imbalance {imbalance} > 2.0 at N=1M"
             );
             assert!(shard.within_requested(), "{shape} S={shards}");
+        }
+    }
+}
+
+/// The in-place Fill against its materialized differential oracle over
+/// the full adversarial battery: [`PartitionStrategy`] trades auxiliary
+/// memory against republication work, never an output byte, so the two
+/// permutations must be bit-identical on every shape and shard count —
+/// including the duplicate floods whose equality buckets the in-place
+/// fill publishes as final values without any shard-phase pass.
+#[test]
+fn in_place_strategy_is_bit_identical_across_the_adversarial_battery() {
+    for (shape, keys) in testshapes::adversarial_suite(900, 36) {
+        let expect = stable_permutation(&keys);
+        for shards in SHARD_SWEEP {
+            let job = ShardedSortJob::with_config(
+                keys.clone(),
+                NativeAllocation::Deterministic,
+                1,
+                shards,
+                ShardConfig {
+                    partition_strategy: PartitionStrategy::InPlace,
+                    ..ShardConfig::default()
+                },
+            );
+            job.run();
+            assert_eq!(
+                job.permutation(),
+                expect,
+                "{shape}: in-place S={shards} diverged from the stable oracle"
+            );
+        }
+    }
+}
+
+/// Red-first regression for ISSUE-10's in-place abandonment story: a
+/// worker crashed mid-cycle — mid-fill-block (half the unit's slots
+/// still empty), or mid-publication (mixed pending/final tags) — must
+/// leave a state from which survivors redo the block whole, with **no
+/// element duplicated and none dropped**. The permutation-is-a-bijection
+/// check is the direct no-dup/no-drop pin; the oracle equality pins the
+/// order on top. Swept over both WAT flavors × both classify kernels,
+/// with the quit budget walking through every phase.
+///
+/// Red-first: against a strawman in-place fill that used plain stores
+/// instead of CAS-from-empty, a preempted filler waking after survivors
+/// finalized the unit resurrects its stale fill value over a final one —
+/// the bijection check catches exactly that duplicate/drop pair.
+#[test]
+fn in_place_abandonment_never_duplicates_or_drops_an_element() {
+    let keys = testshapes::runs_of_duplicates(400, 11, 37);
+    let expect = stable_permutation(&keys);
+    for allocation in [
+        NativeAllocation::Deterministic,
+        NativeAllocation::Randomized,
+    ] {
+        for kernel in KERNELS {
+            for budget in (1..400).step_by(13) {
+                let job = ShardedSortJob::with_config(
+                    keys.clone(),
+                    allocation,
+                    2,
+                    8,
+                    ShardConfig {
+                        partition_strategy: PartitionStrategy::InPlace,
+                        classify_kernel: kernel,
+                        ..ShardConfig::default()
+                    },
+                );
+                job.participate(&mut QuitAfter(budget));
+                job.run();
+                assert!(
+                    job.is_complete(),
+                    "{allocation:?} {kernel:?} budget {budget}"
+                );
+                let perm = job.permutation();
+                let mut seen = vec![false; keys.len()];
+                for &v in &perm {
+                    assert!(
+                        v >= 1 && v <= keys.len() && !seen[v - 1],
+                        "{allocation:?} {kernel:?} budget {budget}: \
+                         element {v} duplicated or out of range"
+                    );
+                    seen[v - 1] = true;
+                }
+                assert_eq!(
+                    perm, expect,
+                    "{allocation:?} {kernel:?} budget {budget}: order diverged"
+                );
+            }
+        }
+    }
+}
+
+/// Chaos storms on the in-place path: seeded plans reap 75% of a
+/// 4-worker cohort at random checkpoints, so crash points land inside
+/// fill CAS loops and mid-publication windows; survivors must rebuild
+/// every torn unit and still produce the stable permutation. The
+/// duplicate-flood shape routes most elements through equality buckets
+/// (final at fill), leaving the range units small and tearable.
+#[test]
+fn chaos_storms_preserve_parity_in_place() {
+    let keys = testshapes::few_distinct(800, 64, 38);
+    let expect = stable_permutation(&keys);
+    for shards in [2usize, 8] {
+        for seed in 0..15u64 {
+            let plan = ChaosPlan::random_crashes(4, 0.75, 150, seed);
+            assert!(plan.survivors() >= 1, "seed {seed}: no survivor");
+            let job = ShardedSortJob::with_config(
+                keys.clone(),
+                NativeAllocation::Deterministic,
+                plan.workers(),
+                shards,
+                ShardConfig {
+                    partition_strategy: PartitionStrategy::InPlace,
+                    ..ShardConfig::default()
+                },
+            );
+            crossbeam::thread::scope(|s| {
+                for w in 0..plan.workers() {
+                    let (job, plan) = (&job, &plan);
+                    s.spawn(move |_| job.participate(&mut ChaosParticipation::new(plan, w)));
+                }
+            })
+            .unwrap();
+            assert!(job.is_complete(), "S={shards} seed {seed}");
+            assert_eq!(
+                job.permutation(),
+                expect,
+                "S={shards} seed {seed}: storm changed the in-place permutation"
+            );
+        }
+    }
+}
+
+/// Four racing live threads — no crashes, just races — on the in-place
+/// path: two claimants publishing the same unit concurrently write
+/// byte-identical final values, so the permutation stays a pure function
+/// of the keys under any interleaving.
+#[test]
+fn racing_threads_agree_in_place() {
+    for (shape, keys) in [
+        ("uniform-random", testshapes::uniform(2_000, 39)),
+        ("two-valued", testshapes::two_valued(2_000, 39)),
+    ] {
+        let expect = stable_permutation(&keys);
+        for allocation in [
+            NativeAllocation::Deterministic,
+            NativeAllocation::Randomized,
+        ] {
+            let job = ShardedSortJob::with_config(
+                keys.clone(),
+                allocation,
+                4,
+                8,
+                ShardConfig {
+                    partition_strategy: PartitionStrategy::InPlace,
+                    ..ShardConfig::default()
+                },
+            );
+            crossbeam::thread::scope(|s| {
+                for _ in 0..4 {
+                    let job = &job;
+                    s.spawn(move |_| job.run());
+                }
+            })
+            .unwrap();
+            assert_eq!(
+                job.permutation(),
+                expect,
+                "{shape}: {allocation:?} diverged under 4 racing in-place threads"
+            );
         }
     }
 }
